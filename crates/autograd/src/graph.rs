@@ -1,0 +1,301 @@
+//! The tape: [`Graph`], [`Var`], [`Parameter`], and the backward pass.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tensor::Tensor;
+
+/// A trainable tensor with an accumulated gradient.
+///
+/// Parameters outlive graphs: a model owns `ParamRef`s, every training step
+/// enters them into a fresh [`Graph`] via [`Graph::param`], and after
+/// `backward` the gradient sits in [`Parameter::grad`] ready for an
+/// optimizer.
+#[derive(Debug)]
+pub struct Parameter {
+    /// Human-readable name (used in optimizer state and debugging).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// When false, [`Graph::param`] enters this parameter as a constant and
+    /// no gradient is accumulated. Used by the meta-optimized second stage
+    /// to freeze `Enc_μ`, `Enc_σ` and the decoder.
+    pub trainable: bool,
+}
+
+/// Shared handle to a [`Parameter`].
+pub type ParamRef = Rc<RefCell<Parameter>>;
+
+impl Parameter {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Parameter {
+        let grad = Tensor::zeros(value.dims().to_vec());
+        Parameter { name: name.into(), value, grad, trainable: true }
+    }
+
+    /// Creates a shared (`Rc<RefCell<_>>`) parameter.
+    pub fn shared(name: impl Into<String>, value: Tensor) -> ParamRef {
+        Rc::new(RefCell::new(Parameter::new(name, value)))
+    }
+
+    /// Zeroes the accumulated gradient in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero_();
+    }
+}
+
+/// Gradient sink passed to backward closures: `sink(parent_id, grad)`.
+pub(crate) type GradSink<'a> = dyn FnMut(usize, Tensor) + 'a;
+
+/// Adjoint function of one tape node.
+pub(crate) type BackFn = Box<dyn Fn(&Tensor, &mut GradSink)>;
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub requires_grad: bool,
+    /// None for leaves (constants and parameters).
+    pub backward: Option<BackFn>,
+    /// Set for parameter leaves: where to deposit the final gradient.
+    pub param: Option<ParamRef>,
+}
+
+#[derive(Default)]
+pub(crate) struct GraphInner {
+    pub nodes: Vec<Node>,
+}
+
+/// A dynamic computation graph (tape).
+///
+/// Cheap to clone (shared `Rc`); create one per training step.
+#[derive(Clone, Default)]
+pub struct Graph {
+    pub(crate) inner: Rc<RefCell<GraphInner>>,
+}
+
+/// A handle to a node in a [`Graph`].
+///
+/// `Var` is `Clone` and cheap to copy around; all tensor ops are methods on
+/// `Var` (see the `ops_*` modules) and panic on shape errors, which are
+/// programming bugs in model code.
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) graph: Graph,
+    pub(crate) id: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// True if the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(&self, node: Node) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.nodes.push(node);
+        Var { graph: self.clone(), id }
+    }
+
+    /// Enters a tensor as a non-differentiable leaf.
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(Node { value, requires_grad: false, backward: None, param: None })
+    }
+
+    /// Enters a parameter as a leaf. If the parameter is trainable its
+    /// gradient is accumulated by [`Var::backward`]; otherwise it behaves as
+    /// a constant (the freezing mechanism for the meta stage).
+    pub fn param(&self, p: &ParamRef) -> Var {
+        let (value, trainable) = {
+            let pb = p.borrow();
+            (pb.value.clone(), pb.trainable)
+        };
+        self.push(Node {
+            value,
+            requires_grad: trainable,
+            backward: None,
+            param: if trainable { Some(Rc::clone(p)) } else { None },
+        })
+    }
+
+    /// Runs the backward pass from `root` (which must be a scalar), seeding
+    /// `d root / d root = 1`, and deposits gradients into trainable
+    /// parameter leaves.
+    pub fn backward_from(&self, root: &Var) {
+        let inner = self.inner.borrow();
+        let n = inner.nodes.len();
+        assert!(root.id < n);
+        assert_eq!(
+            inner.nodes[root.id].value.numel(),
+            1,
+            "backward() root must be a scalar, got shape {:?}",
+            inner.nodes[root.id].value.dims()
+        );
+        let mut grads: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        let seed_dims = inner.nodes[root.id].value.dims().to_vec();
+        grads[root.id] = Some(Tensor::ones(seed_dims));
+
+        for id in (0..=root.id).rev() {
+            let node = &inner.nodes[id];
+            if !node.requires_grad {
+                grads[id] = None;
+                continue;
+            }
+            let Some(grad) = grads[id].take() else { continue };
+            if let Some(back) = &node.backward {
+                // Split borrow: the sink writes only to ids < id because
+                // parents always precede children on the tape.
+                let (lo, _hi) = grads.split_at_mut(id);
+                let mut sink = |pid: usize, g: Tensor| {
+                    debug_assert!(pid < id, "parent id {pid} >= node id {id}");
+                    if !inner.nodes[pid].requires_grad {
+                        return;
+                    }
+                    match &mut lo[pid] {
+                        Some(acc) => acc.add_assign(&g),
+                        slot @ None => *slot = Some(g),
+                    }
+                };
+                back(&grad, &mut sink);
+            } else if let Some(p) = &node.param {
+                p.borrow_mut().grad.add_assign(&grad);
+            }
+        }
+    }
+}
+
+impl Var {
+    /// The node's current value (cloned).
+    pub fn value(&self) -> Tensor {
+        self.graph.inner.borrow().nodes[self.id].value.clone()
+    }
+
+    /// Runs `f` on the node's value without cloning.
+    pub fn with_value<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        f(&self.graph.inner.borrow().nodes[self.id].value)
+    }
+
+    /// Shape of the node's value.
+    pub fn dims(&self) -> Vec<usize> {
+        self.with_value(|t| t.dims().to_vec())
+    }
+
+    /// Whether gradients flow through this node.
+    pub fn requires_grad(&self) -> bool {
+        self.graph.inner.borrow().nodes[self.id].requires_grad
+    }
+
+    /// Scalar value of a one-element node.
+    pub fn item(&self) -> f32 {
+        self.with_value(|t| t.item())
+    }
+
+    /// Backpropagates from this (scalar) node; see [`Graph::backward_from`].
+    pub fn backward(&self) {
+        self.graph.backward_from(self);
+    }
+
+    /// Detaches the value from the tape: returns a constant leaf with the
+    /// same value on the same graph. Gradients do not flow past it.
+    pub fn detach(&self) -> Var {
+        let v = self.value();
+        self.graph.constant(v)
+    }
+
+    pub(crate) fn unary(
+        &self,
+        value: Tensor,
+        back: impl Fn(&Tensor, &mut GradSink) + 'static,
+    ) -> Var {
+        let requires = self.requires_grad();
+        self.graph.push(Node {
+            value,
+            requires_grad: requires,
+            backward: if requires { Some(Box::new(back)) } else { None },
+            param: None,
+        })
+    }
+
+    pub(crate) fn binary(
+        &self,
+        other: &Var,
+        value: Tensor,
+        back: impl Fn(&Tensor, &mut GradSink) + 'static,
+    ) -> Var {
+        assert!(
+            Rc::ptr_eq(&self.graph.inner, &other.graph.inner),
+            "vars belong to different graphs"
+        );
+        let requires = self.requires_grad() || other.requires_grad();
+        self.graph.push(Node {
+            value,
+            requires_grad: requires,
+            backward: if requires { Some(Box::new(back)) } else { None },
+            param: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_has_no_grad() {
+        let g = Graph::new();
+        let c = g.constant(Tensor::ones(vec![2]));
+        assert!(!c.requires_grad());
+        assert_eq!(c.dims(), vec![2]);
+    }
+
+    #[test]
+    fn param_leaf_accumulates_identity_grad() {
+        let p = Parameter::shared("p", Tensor::scalar(3.0));
+        let g = Graph::new();
+        let v = g.param(&p);
+        v.backward();
+        assert_eq!(p.borrow().grad.item(), 1.0);
+        // Backward again on a fresh graph accumulates.
+        let g2 = Graph::new();
+        g2.param(&p).backward();
+        assert_eq!(p.borrow().grad.item(), 2.0);
+    }
+
+    #[test]
+    fn frozen_param_is_constant() {
+        let p = Parameter::shared("p", Tensor::scalar(3.0));
+        p.borrow_mut().trainable = false;
+        let g = Graph::new();
+        let v = g.param(&p);
+        assert!(!v.requires_grad());
+        v.backward();
+        assert_eq!(p.borrow().grad.item(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a scalar")]
+    fn backward_requires_scalar_root() {
+        let p = Parameter::shared("p", Tensor::ones(vec![2]));
+        let g = Graph::new();
+        g.param(&p).backward();
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let p = Parameter::shared("p", Tensor::scalar(3.0));
+        let g = Graph::new();
+        let v = g.param(&p).detach();
+        assert!(!v.requires_grad());
+    }
+}

@@ -1,0 +1,63 @@
+//! Finite-difference gradient checking, used throughout the test suites to
+//! validate every autograd op against a numerical oracle.
+
+use crate::{Graph, ParamRef};
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `f` rebuilds the scalar loss from scratch on the supplied graph (it is
+/// called many times with perturbed parameter values). Returns the maximum
+/// relative error observed across all parameter elements.
+///
+/// The relative error for element `i` is
+/// `|analytic − numeric| / max(1, |analytic|, |numeric|)`.
+pub fn max_grad_rel_error(
+    params: &[ParamRef],
+    eps: f32,
+    f: impl Fn(&Graph) -> crate::Var,
+) -> f32 {
+    // Analytic pass.
+    for p in params {
+        p.borrow_mut().zero_grad();
+    }
+    let g = Graph::new();
+    let loss = f(&g);
+    loss.backward();
+    let analytic: Vec<Vec<f32>> =
+        params.iter().map(|p| p.borrow().grad.data().to_vec()).collect();
+
+    let mut max_err = 0.0f32;
+    for (pi, p) in params.iter().enumerate() {
+        let n = p.borrow().value.numel();
+        for i in 0..n {
+            let orig = p.borrow().value.data()[i];
+            p.borrow_mut().value.data_mut()[i] = orig + eps;
+            let plus = f(&Graph::new()).item();
+            p.borrow_mut().value.data_mut()[i] = orig - eps;
+            let minus = f(&Graph::new()).item();
+            p.borrow_mut().value.data_mut()[i] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let a = analytic[pi][i];
+            let denom = 1.0f32.max(a.abs()).max(numeric.abs());
+            let err = (a - numeric).abs() / denom;
+            if err > max_err {
+                max_err = err;
+            }
+        }
+    }
+    max_err
+}
+
+/// Asserts that gradients of `f` match finite differences to within `tol`.
+///
+/// Panics with a diagnostic message otherwise. A good default is
+/// `eps = 1e-2, tol = 1e-2` for f32.
+pub fn assert_grads_close(
+    params: &[ParamRef],
+    eps: f32,
+    tol: f32,
+    f: impl Fn(&Graph) -> crate::Var,
+) {
+    let err = max_grad_rel_error(params, eps, f);
+    assert!(err <= tol, "max gradient relative error {err} exceeds tolerance {tol}");
+}

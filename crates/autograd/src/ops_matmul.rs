@@ -1,0 +1,42 @@
+//! Matrix multiplication for [`Var`], with adjoints.
+
+use tensor::ops;
+
+use crate::graph::Var;
+
+impl Var {
+    /// Matrix product. Supports the same operand ranks as
+    /// [`tensor::ops::matmul`]: `(m,k)·(k,n)`, `(b,m,k)·(b,k,n)` and
+    /// `(b,m,k)·(k,n)` (shared right operand).
+    pub fn matmul(&self, other: &Var) -> Var {
+        let a_val = self.value();
+        let b_val = other.value();
+        let value = ops::matmul(&a_val, &b_val).expect("matmul");
+        let (aid, bid) = (self.id, other.id);
+        let (a_nd, b_nd) = (a_val.ndim(), b_val.ndim());
+        self.binary(other, value, move |g, sink| {
+            match (a_nd, b_nd) {
+                (2, 2) | (3, 3) => {
+                    // gA = g · Bᵀ ; gB = Aᵀ · g (per batch for rank 3).
+                    let bt = ops::transpose_last2(&b_val).expect("matmul-back");
+                    sink(aid, ops::matmul(g, &bt).expect("matmul-back"));
+                    let at = ops::transpose_last2(&a_val).expect("matmul-back");
+                    sink(bid, ops::matmul(&at, g).expect("matmul-back"));
+                }
+                (3, 2) => {
+                    // A: (b,m,k), B: (k,n), g: (b,m,n).
+                    let bt = ops::transpose_last2(&b_val).expect("matmul-back");
+                    sink(aid, ops::matmul(g, &bt).expect("matmul-back"));
+                    // gB = Σ_b Aᵀ_b · g_b = (flatten A)ᵀ · (flatten g).
+                    let (b, m, k) = (a_val.dim(0), a_val.dim(1), a_val.dim(2));
+                    let n = g.dim(2);
+                    let a_flat = a_val.reshape(vec![b * m, k]).expect("matmul-back");
+                    let g_flat = g.reshape(vec![b * m, n]).expect("matmul-back");
+                    let at = ops::transpose_last2(&a_flat).expect("matmul-back");
+                    sink(bid, ops::matmul(&at, &g_flat).expect("matmul-back"));
+                }
+                _ => unreachable!("forward validated operand ranks"),
+            }
+        })
+    }
+}

@@ -1,0 +1,134 @@
+//! Reductions, softmax, and the fused cross-entropy loss for [`Var`].
+
+use tensor::{ops, Tensor};
+
+use crate::graph::Var;
+
+/// Sentinel target meaning "ignore this row" in
+/// [`Var::cross_entropy_with_logits`] (padded positions).
+pub const IGNORE_INDEX: usize = usize::MAX;
+
+impl Var {
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&self) -> Var {
+        let in_dims = self.dims();
+        let value = Tensor::scalar(self.with_value(|a| a.sum_all()));
+        let aid = self.id;
+        self.unary(value, move |g, sink| {
+            sink(aid, Tensor::full(in_dims.clone(), g.item()));
+        })
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&self) -> Var {
+        let in_dims = self.dims();
+        let n: usize = in_dims.iter().product::<usize>().max(1);
+        let value = Tensor::scalar(self.with_value(|a| a.mean_all()));
+        let aid = self.id;
+        self.unary(value, move |g, sink| {
+            sink(aid, Tensor::full(in_dims.clone(), g.item() / n as f32));
+        })
+    }
+
+    /// Sum along `axis`.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Var {
+        let in_dims = self.dims();
+        let value = self.with_value(|a| ops::sum_axis(a, axis, keepdim)).expect("sum_axis");
+        let aid = self.id;
+        self.unary(value, move |g, sink| {
+            let mut kd = in_dims.clone();
+            kd[axis] = 1;
+            let gk = g.reshape(kd).expect("sum_axis-back");
+            let zeros = Tensor::zeros(in_dims.clone());
+            sink(aid, ops::add(&zeros, &gk).expect("sum_axis-back"));
+        })
+    }
+
+    /// Mean along `axis`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Var {
+        let n = self.dims()[axis] as f32;
+        self.sum_axis(axis, keepdim).scale(1.0 / n)
+    }
+
+    /// Numerically stable softmax along the last axis.
+    pub fn softmax_last(&self) -> Var {
+        let value = self.with_value(ops::softmax_last);
+        let y = value.clone();
+        let aid = self.id;
+        self.unary(value, move |g, sink| {
+            // dx = (g − Σ_last(g·y)) · y
+            let gy = ops::mul(g, &y).expect("softmax-back");
+            let nd = gy.ndim();
+            let s = ops::sum_axis(&gy, nd - 1, true).expect("softmax-back");
+            let centered = ops::sub(g, &s).expect("softmax-back");
+            sink(aid, ops::mul(&centered, &y).expect("softmax-back"));
+        })
+    }
+
+    /// Numerically stable log-softmax along the last axis.
+    pub fn log_softmax_last(&self) -> Var {
+        let (value, y) = self.with_value(|a| (ops::log_softmax_last(a), ops::softmax_last(a)));
+        let aid = self.id;
+        self.unary(value, move |g, sink| {
+            // dx = g − y · Σ_last(g)
+            let nd = g.ndim();
+            let s = ops::sum_axis(g, nd - 1, true).expect("log_softmax-back");
+            let ys = ops::mul(&y, &s).expect("log_softmax-back");
+            sink(aid, ops::sub(g, &ys).expect("log_softmax-back"));
+        })
+    }
+
+    /// Fused mean cross-entropy over rows of a `[rows, classes]` logits
+    /// matrix. `targets[i]` is the class index for row `i`;
+    /// [`IGNORE_INDEX`] rows (padding) contribute neither loss nor gradient.
+    ///
+    /// Forward: `mean_over_valid(−log_softmax(logits)[i, targets[i]])`.
+    /// Backward: `(softmax − onehot) / n_valid` per valid row — computed in
+    /// one pass, which matters when `classes` is the item-vocabulary size.
+    pub fn cross_entropy_with_logits(&self, targets: &[usize]) -> Var {
+        let logits = self.value();
+        assert_eq!(logits.ndim(), 2, "cross_entropy expects [rows, classes]");
+        let rows = logits.dim(0);
+        let classes = logits.dim(1);
+        assert_eq!(targets.len(), rows, "one target per row");
+        let probs = ops::softmax_last(&logits);
+        let mut n_valid = 0usize;
+        let mut loss = 0.0f64;
+        for (i, &t) in targets.iter().enumerate() {
+            if t == IGNORE_INDEX {
+                continue;
+            }
+            assert!(t < classes, "target {t} out of range {classes}");
+            n_valid += 1;
+            loss -= (probs.row(i)[t].max(1e-12) as f64).ln();
+        }
+        let n_valid = n_valid.max(1);
+        let value = Tensor::scalar((loss / n_valid as f64) as f32);
+        let aid = self.id;
+        let targets = targets.to_vec();
+        self.unary(value, move |g, sink| {
+            let scale = g.item() / n_valid as f32;
+            let mut grad = Tensor::zeros(vec![rows, classes]);
+            for (i, &t) in targets.iter().enumerate() {
+                if t == IGNORE_INDEX {
+                    continue;
+                }
+                let p = probs.row(i);
+                let gr = grad.row_mut(i);
+                for (o, &pv) in gr.iter_mut().zip(p.iter()) {
+                    *o = pv * scale;
+                }
+                gr[t] -= scale;
+            }
+            sink(aid, grad);
+        })
+    }
+
+    /// L2-normalizes the rows of the last axis: `x / (‖x‖₂ + eps)`.
+    /// Composed from primitives, so the gradient is exact.
+    pub fn l2_normalize_last(&self, eps: f32) -> Var {
+        let nd = self.dims().len();
+        let norm = self.square().sum_axis(nd - 1, true).add_scalar(eps * eps).sqrt();
+        self.div(&norm)
+    }
+}

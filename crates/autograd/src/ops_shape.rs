@@ -1,0 +1,119 @@
+//! Shape-manipulation ops for [`Var`]: reshape, transpose, permute, concat,
+//! slice, and row gathering (embedding lookup).
+
+use tensor::{ops, Tensor};
+
+use crate::graph::Var;
+
+impl Var {
+    /// Reshape to a new shape of equal element count.
+    pub fn reshape(&self, dims: impl Into<Vec<usize>>) -> Var {
+        let dims = dims.into();
+        let in_dims = self.dims();
+        let value = self.with_value(|a| a.reshape(dims.clone())).expect("reshape");
+        let aid = self.id;
+        self.unary(value, move |g, sink| {
+            sink(aid, g.reshape(in_dims.clone()).expect("reshape-back"));
+        })
+    }
+
+    /// Swaps the last two axes.
+    pub fn transpose_last2(&self) -> Var {
+        let value = self.with_value(ops::transpose_last2).expect("transpose");
+        let aid = self.id;
+        self.unary(value, move |g, sink| {
+            sink(aid, ops::transpose_last2(g).expect("transpose-back"));
+        })
+    }
+
+    /// Reorders axes by `perm`.
+    pub fn permute(&self, perm: &[usize]) -> Var {
+        let value = self.with_value(|a| ops::permute(a, perm)).expect("permute");
+        let aid = self.id;
+        // Inverse permutation: inv[perm[i]] = i.
+        let mut inv = vec![0usize; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        self.unary(value, move |g, sink| {
+            sink(aid, ops::permute(g, &inv).expect("permute-back"));
+        })
+    }
+
+    /// Concatenates vars along `axis`.
+    pub fn concat(parts: &[&Var], axis: usize) -> Var {
+        assert!(!parts.is_empty());
+        let values: Vec<Tensor> = parts.iter().map(|v| v.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let value = ops::concat(&refs, axis).expect("concat");
+        let ids: Vec<usize> = parts.iter().map(|v| v.id).collect();
+        let sizes: Vec<usize> = values.iter().map(|t| t.dim(axis)).collect();
+        let first = parts[0];
+        let requires = parts.iter().any(|p| p.requires_grad());
+        for p in &parts[1..] {
+            assert!(
+                std::rc::Rc::ptr_eq(&first.graph.inner, &p.graph.inner),
+                "vars belong to different graphs"
+            );
+        }
+        first.graph.push(crate::graph::Node {
+            value,
+            requires_grad: requires,
+            backward: if requires {
+                Some(Box::new(move |g: &Tensor, sink: &mut crate::graph::GradSink| {
+                    let mut start = 0usize;
+                    for (pid, &len) in ids.iter().zip(sizes.iter()) {
+                        let part =
+                            ops::slice_axis(g, axis, start, start + len).expect("concat-back");
+                        sink(*pid, part);
+                        start += len;
+                    }
+                }) as crate::graph::BackFn)
+            } else {
+                None
+            },
+            param: None,
+        })
+    }
+
+    /// Slices `[start, end)` along `axis`.
+    pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Var {
+        let in_dims = self.dims();
+        let value =
+            self.with_value(|a| ops::slice_axis(a, axis, start, end)).expect("slice_axis");
+        let aid = self.id;
+        self.unary(value, move |g, sink| {
+            // Embed the slice gradient into a zero tensor of the input shape.
+            let mut full = Tensor::zeros(in_dims.clone());
+            let outer: usize = in_dims[..axis].iter().product();
+            let inner: usize = in_dims[axis + 1..].iter().product();
+            let axis_dim = in_dims[axis];
+            let len = end - start;
+            let gd = g.data();
+            let fd = full.data_mut();
+            for o in 0..outer {
+                let src = o * len * inner;
+                let dst = (o * axis_dim + start) * inner;
+                fd[dst..dst + len * inner].copy_from_slice(&gd[src..src + len * inner]);
+            }
+            sink(aid, full);
+        })
+    }
+
+    /// Gathers rows of a rank-2 var: `out[i] = self[indices[i]]`.
+    ///
+    /// This is the embedding-lookup primitive; its adjoint scatter-adds the
+    /// upstream gradient into the selected rows.
+    pub fn index_select_rows(&self, indices: &[usize]) -> Var {
+        let in_dims = self.dims();
+        let value =
+            self.with_value(|a| ops::index_select_rows(a, indices)).expect("index_select_rows");
+        let aid = self.id;
+        let indices = indices.to_vec();
+        self.unary(value, move |g, sink| {
+            let mut full = Tensor::zeros(in_dims.clone());
+            ops::scatter_add_rows(&mut full, &indices, g);
+            sink(aid, full);
+        })
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based gradient checks: random shapes and random compositions
+//! validated against finite differences.
+
+use autograd::numeric::max_grad_rel_error;
+use autograd::{Parameter, Var};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::init;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn elementwise_chain_grads_check(r in 1usize..4, c in 1usize..4, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Parameter::shared("p", init::uniform(&mut rng, vec![r, c], 0.3, 1.3));
+        let err = max_grad_rel_error(&[p.clone()], 1e-3, |g| {
+            g.param(&p).log().exp().square().add_scalar(0.5).sqrt().sum_all()
+        });
+        prop_assert!(err < 3e-2, "rel err {err}");
+    }
+
+    #[test]
+    fn matmul_grads_check_random_shapes(m in 1usize..4, k in 1usize..4, n in 1usize..4,
+                                        seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Parameter::shared("a", init::uniform(&mut rng, vec![m, k], -1.0, 1.0));
+        let b = Parameter::shared("b", init::uniform(&mut rng, vec![k, n], -1.0, 1.0));
+        let err = max_grad_rel_error(&[a.clone(), b.clone()], 1e-2, |g| {
+            g.param(&a).matmul(&g.param(&b)).square().sum_all()
+        });
+        prop_assert!(err < 3e-2, "rel err {err}");
+    }
+
+    #[test]
+    fn softmax_ce_grads_check(rows in 1usize..4, classes in 2usize..6, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Parameter::shared("p", init::uniform(&mut rng, vec![rows, classes], -1.0, 1.0));
+        let targets: Vec<usize> = (0..rows).map(|i| i % classes).collect();
+        let t2 = targets.clone();
+        let err = max_grad_rel_error(&[p.clone()], 1e-3, move |g| {
+            g.param(&p).cross_entropy_with_logits(&t2)
+        });
+        prop_assert!(err < 3e-2, "rel err {err} (targets {targets:?})");
+    }
+
+    #[test]
+    fn broadcast_mul_grads_check(r in 2usize..4, c in 2usize..4, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Parameter::shared("a", init::uniform(&mut rng, vec![r, c], -1.0, 1.0));
+        let b = Parameter::shared("b", init::uniform(&mut rng, vec![c], -1.0, 1.0));
+        let col = Parameter::shared("col", init::uniform(&mut rng, vec![r, 1], -1.0, 1.0));
+        let err = max_grad_rel_error(&[a.clone(), b.clone(), col.clone()], 1e-2, |g| {
+            g.param(&a).mul(&g.param(&b)).add(&g.param(&col)).square().sum_all()
+        });
+        prop_assert!(err < 3e-2, "rel err {err}");
+    }
+
+    #[test]
+    fn concat_slice_grads_check(r in 1usize..4, c1 in 1usize..4, c2 in 1usize..4,
+                                seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Parameter::shared("a", init::uniform(&mut rng, vec![r, c1], -1.0, 1.0));
+        let b = Parameter::shared("b", init::uniform(&mut rng, vec![r, c2], -1.0, 1.0));
+        let err = max_grad_rel_error(&[a.clone(), b.clone()], 1e-2, |g| {
+            let va = g.param(&a);
+            let vb = g.param(&b);
+            let cat = Var::concat(&[&va, &vb], 1);
+            cat.slice_axis(1, 0, c1 + c2).square().sum_all()
+        });
+        prop_assert!(err < 3e-2, "rel err {err}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 5 — robustness to noisy interactions (RQ5): inject a proportion
+//! of random items into the *training* sequences and measure the final
+//! performance of SASRec, DuoRec, and Meta-SGCL on clean test targets.
+//!
+//! Paper shapes: noise degrades every model; the self-supervised models
+//! degrade more gracefully; Meta-SGCL stays on top across ratios.
+
+use bench::zoo::build;
+use bench::{fmt_cell, print_table, workload_by_name, Scale};
+use models::evaluate_test;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recdata::inject_noise;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42u64;
+    let ratios = [0.0f64, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let model_names = ["SASRec", "DuoRec", "Meta-SGCL"];
+
+    let header: Vec<String> = std::iter::once("model".to_string())
+        .chain(ratios.iter().map(|r| format!("{}%", (r * 100.0) as u32)))
+        .collect();
+
+    for ds in ["toys-like", "clothing-like"] {
+        let w = workload_by_name(scale, seed, ds);
+        let clean_train = w.split.train_sequences();
+        let mut rows = Vec::new();
+        let mut curves: Vec<Vec<f64>> = Vec::new();
+        for name in model_names {
+            let mut row = vec![name.to_string()];
+            let mut curve = Vec::new();
+            for &ratio in &ratios {
+                let mut rng = StdRng::seed_from_u64(seed ^ noise_seed(ratio));
+                let noisy = inject_noise(&clean_train, ratio, w.data.num_items, &mut rng);
+                let mut model = build(name, &w, seed);
+                model.fit(&noisy, &w.train_cfg(seed));
+                let r = evaluate_test(model.as_mut(), &w.split, &[5, 10]);
+                eprintln!("  [{ds}] {name} noise={ratio:.1} NDCG@10={:.4}", r.ndcg(10));
+                curve.push(r.ndcg(10));
+                row.push(fmt_cell(r.ndcg(10), None));
+            }
+            curves.push(curve);
+            rows.push(row);
+        }
+        print_table(
+            &format!("Figure 5 — NDCG@10 vs training-noise ratio ({ds})"),
+            &header,
+            &rows,
+        );
+        // Shape checks.
+        let meta = &curves[2];
+        let sas = &curves[0];
+        let meta_wins = meta.iter().zip(sas.iter()).filter(|(m, s)| m >= s).count();
+        println!(
+            "{ds}: Meta-SGCL ≥ SASRec at {meta_wins}/{} noise levels; \
+             Meta-SGCL@10% = {:.4} vs SASRec clean = {:.4} (paper: noisy Meta-SGCL can \
+             beat clean baselines)",
+            ratios.len(),
+            meta[1],
+            sas[0],
+        );
+    }
+}
+
+/// Deterministic per-ratio seed component (keeps f64 out of the seed API).
+fn noise_seed(ratio: f64) -> u64 {
+    (ratio * 1000.0) as u64
+}

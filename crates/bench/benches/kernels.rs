@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the computational kernels behind the
+//! complexity analysis in Section IV-F: self-attention (O(n²d)),
+//! feed-forward (O(nd²)), matmul, VAE sampling, InfoNCE, and one full
+//! Meta-SGCL training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use autograd::Graph;
+use meta_sgcl::{MetaSgcl, MetaSgclConfig};
+use models::cl::{info_nce, Similarity};
+use models::{NetConfig, SequentialRecommender, TrainConfig};
+use nn::{causal_mask, MultiHeadSelfAttention};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{init, ops};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[32usize, 64, 128] {
+        let a = init::randn(&mut rng, vec![n, n], 0.0, 1.0);
+        let b = init::randn(&mut rng, vec![n, n], 0.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| ops::matmul(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention_forward(c: &mut Criterion) {
+    // O(n²·d): sequence length is the dominant axis (paper Sec. IV-F-1).
+    let mut group = c.benchmark_group("attention_forward");
+    let mut rng = StdRng::seed_from_u64(0);
+    let d = 32;
+    let mha = MultiHeadSelfAttention::new(&mut rng, "mha", d, 2, 0.0);
+    for &n in &[10usize, 20, 50] {
+        let x = init::randn(&mut rng, vec![8, n, d], 0.0, 1.0);
+        let mask = causal_mask(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| {
+                let g = Graph::new();
+                let xv = g.constant(x.clone());
+                let mut r = StdRng::seed_from_u64(1);
+                black_box(mha.forward(&g, &xv, Some(&mask), &mut r, false).value())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_infonce(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let z1 = init::randn(&mut rng, vec![64, 32], 0.0, 1.0);
+    let z2 = init::randn(&mut rng, vec![64, 32], 0.0, 1.0);
+    c.bench_function("info_nce_b64_d32", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let a = g.constant(z1.clone());
+            let p = g.constant(z2.clone());
+            black_box(info_nce(&a, &p, 1.0, Similarity::Dot).item())
+        })
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    // One full meta-optimized training epoch over a tiny corpus.
+    let train: Vec<Vec<usize>> =
+        (0..64).map(|u| (0..12).map(|t| 1 + (u + t) % 50 as usize).collect()).collect();
+    c.bench_function("meta_sgcl_epoch_64seq", |b| {
+        b.iter(|| {
+            let mut m = MetaSgcl::new(MetaSgclConfig {
+                net: NetConfig { max_len: 12, dim: 16, layers: 1, ..NetConfig::for_items(50) },
+                ..MetaSgclConfig::for_items(50)
+            });
+            m.fit(
+                &train,
+                &TrainConfig { epochs: 1, batch_size: 32, ..Default::default() },
+            );
+            black_box(m.history().epochs.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_attention_forward, bench_infonce, bench_train_step
+}
+criterion_main!(kernels);

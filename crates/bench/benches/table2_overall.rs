@@ -1,0 +1,102 @@
+//! Table II — overall performance comparison: 11 models × 3 datasets ×
+//! HR@{5,10} / NDCG@{5,10}.
+//!
+//! The absolute numbers differ from the paper (synthetic data, reduced
+//! scale); what should reproduce is the *shape*: traditional < sequential <
+//! contrastive, and Meta-SGCL best overall. A summary at the end checks the
+//! key orderings.
+
+use bench::zoo::{all_model_names, build};
+use bench::{paper, print_table, run_model, workloads, Scale};
+use metrics::EvalReport;
+
+fn cell(r: &EvalReport) -> (f64, f64, f64, f64) {
+    (r.hr(5), r.hr(10), r.ndcg(5), r.ndcg(10))
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42u64;
+    let ws = workloads(scale, seed);
+    let names = all_model_names();
+
+    let mut measured: Vec<Vec<(f64, f64, f64, f64)>> = Vec::new();
+    for (di, w) in ws.iter().enumerate() {
+        eprintln!("=== dataset {} ===", w.data.name);
+        let mut row = Vec::new();
+        for name in &names {
+            let mut model = build(name, w, seed);
+            let report = run_model(model.as_mut(), w, seed);
+            row.push(cell(&report));
+        }
+        measured.push(row);
+        let _ = di;
+    }
+
+    for (di, w) in ws.iter().enumerate() {
+        let header: Vec<String> = std::iter::once("metric".to_string())
+            .chain(names.iter().map(|s| s.to_string()))
+            .collect();
+        let metric_names = ["HR@5", "HR@10", "NDCG@5", "NDCG@10"];
+        let mut rows = Vec::new();
+        for (mi, metric) in metric_names.iter().enumerate() {
+            let mut row = vec![metric.to_string()];
+            for (ni, name) in names.iter().enumerate() {
+                let m = measured[di][ni];
+                let v = [m.0, m.1, m.2, m.3][mi];
+                let p = paper::table2_ref(di, name).map(|c| [c.0, c.1, c.2, c.3][mi]);
+                row.push(bench::fmt_cell(v, p));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!(
+                "Table II — {} (measured vs paper {})",
+                w.data.name,
+                paper::TABLE2_DATASETS[di]
+            ),
+            &header,
+            &rows,
+        );
+    }
+
+    // Shape checks (averaged NDCG@10 across datasets).
+    let avg = |model: &str| -> f64 {
+        let mi = names.iter().position(|n| n == &model).unwrap();
+        measured.iter().map(|d| d[mi].3).sum::<f64>() / measured.len() as f64
+    };
+    println!("\n### shape checks (avg NDCG@10 across datasets)\n");
+    let pop = avg("Pop");
+    let bpr = avg("BPR-MF");
+    let sas = avg("SASRec");
+    let duo = avg("DuoRec");
+    let meta = avg("Meta-SGCL");
+    for (name, v) in [
+        ("Pop", pop),
+        ("BPR-MF", bpr),
+        ("GRU4Rec", avg("GRU4Rec")),
+        ("Caser", avg("Caser")),
+        ("SASRec", sas),
+        ("BERT4Rec", avg("BERT4Rec")),
+        ("VSAN", avg("VSAN")),
+        ("ACVAE", avg("ACVAE")),
+        ("DuoRec", duo),
+        ("ContrastVAE", avg("ContrastVAE")),
+        ("Meta-SGCL", meta),
+    ] {
+        println!("{name:>12}: {v:.4}");
+    }
+    let mut ok = true;
+    let mut check = |label: &str, cond: bool| {
+        println!("{} {label}", if cond { "✓" } else { "✗" });
+        ok &= cond;
+    };
+    check("Pop is the weakest family (Pop < SASRec)", pop < sas);
+    check("non-sequential BPR-MF < attention (SASRec)", bpr < sas);
+    check("contrastive DuoRec ≥ plain SASRec", duo >= sas * 0.95);
+    check("Meta-SGCL beats SASRec", meta > sas);
+    check("Meta-SGCL is best overall", meta >= duo && meta > sas);
+    if !ok {
+        eprintln!("WARNING: some shape checks failed at this scale/seed");
+    }
+}

@@ -1,0 +1,46 @@
+//! Table IV — influence of the number of self-attention heads `h` on the
+//! Clothing and Toys datasets (paper best: h = 2, with h = 1 competitive
+//! on Clothing NDCG).
+
+use bench::{fmt_cell, paper, print_table, run_model, workload_by_name, Scale};
+use meta_sgcl::MetaSgcl;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42u64;
+    let heads = [1usize, 2, 4, 8];
+
+    let header: Vec<String> =
+        ["dataset", "h", "HR@5", "HR@10", "NDCG@5", "NDCG@10"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for name in ["clothing-like", "toys-like"] {
+        let w = workload_by_name(scale, seed, name);
+        for &h in &heads {
+            let mut cfg = w.meta_cfg(seed);
+            cfg.net.heads = h;
+            // dim must stay divisible by heads; NetConfig default 32 is.
+            assert_eq!(cfg.net.dim % h, 0);
+            let mut m = MetaSgcl::new(cfg);
+            let r = run_model(&mut m, &w, seed);
+            let paper_cell = if name == "toys-like" {
+                paper::TABLE4_TOYS.iter().find(|(ph, _)| *ph == h).map(|(_, c)| *c)
+            } else {
+                None
+            };
+            rows.push(vec![
+                name.to_string(),
+                h.to_string(),
+                fmt_cell(r.hr(5), paper_cell.map(|c| c.0)),
+                fmt_cell(r.hr(10), paper_cell.map(|c| c.1)),
+                fmt_cell(r.ndcg(5), paper_cell.map(|c| c.2)),
+                fmt_cell(r.ndcg(10), paper_cell.map(|c| c.3)),
+            ]);
+        }
+    }
+    print_table(
+        "Table IV — number of self-attention heads (paper refs shown for Toys)",
+        &header,
+        &rows,
+    );
+    println!("paper shape: best around h=2; too many heads do not help");
+}

@@ -1,0 +1,52 @@
+//! Table V — influence of the InfoNCE temperature τ on Clothing and Toys.
+//!
+//! Paper shape: extreme τ (0.05 or 5) hurts; the sweet spot sits in
+//! 0.1–1.0 (best 1.0 on Toys).
+
+use bench::{fmt_cell, paper, print_table, run_model, workload_by_name, Scale};
+use meta_sgcl::MetaSgcl;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42u64;
+    let taus = [0.05f32, 0.1, 0.5, 1.0, 2.0, 5.0];
+
+    let header: Vec<String> =
+        ["dataset", "τ", "HR@5", "HR@10", "NDCG@5", "NDCG@10"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for name in ["clothing-like", "toys-like"] {
+        let w = workload_by_name(scale, seed, name);
+        let mut series = Vec::new();
+        for &tau in &taus {
+            let mut cfg = w.meta_cfg(seed);
+            cfg.tau = tau;
+            let mut m = MetaSgcl::new(cfg);
+            let r = run_model(&mut m, &w, seed);
+            series.push(r.ndcg(10));
+            let pc = if name == "toys-like" {
+                paper::TABLE5_TOYS.iter().find(|(pt, _)| (*pt - tau).abs() < 1e-6).map(|(_, c)| *c)
+            } else {
+                None
+            };
+            rows.push(vec![
+                name.to_string(),
+                format!("{tau}"),
+                fmt_cell(r.hr(5), pc.map(|c| c.0)),
+                fmt_cell(r.hr(10), pc.map(|c| c.1)),
+                fmt_cell(r.ndcg(5), pc.map(|c| c.2)),
+                fmt_cell(r.ndcg(10), pc.map(|c| c.3)),
+            ]);
+        }
+        let best_idx = series
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        println!(
+            "{name}: best τ = {} (paper suggests tuning τ in 0.1–1.0)",
+            taus[best_idx]
+        );
+    }
+    print_table("Table V — temperature τ (paper refs shown for Toys)", &header, &rows);
+}

@@ -1,0 +1,43 @@
+//! Table VII — dot product vs cosine similarity in the contrastive loss,
+//! on Clothing and Toys (the paper finds dot product best).
+
+use bench::{fmt_cell, print_table, run_model, workload_by_name, Scale};
+use meta_sgcl::MetaSgcl;
+use models::Similarity;
+
+fn main() {
+    let scale = Scale::from_env();
+    let seed = 42u64;
+
+    let header: Vec<String> = ["dataset", "similarity", "HR@5", "HR@10", "NDCG@5", "NDCG@10"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for name in ["clothing-like", "toys-like"] {
+        let w = workload_by_name(scale, seed, name);
+        let mut per_sim = Vec::new();
+        for sim in [Similarity::Dot, Similarity::Cosine] {
+            let mut cfg = w.meta_cfg(seed);
+            cfg.similarity = sim;
+            let mut m = MetaSgcl::new(cfg);
+            let r = run_model(&mut m, &w, seed);
+            rows.push(vec![
+                name.to_string(),
+                format!("{sim:?}"),
+                fmt_cell(r.hr(5), None),
+                fmt_cell(r.hr(10), None),
+                fmt_cell(r.ndcg(5), None),
+                fmt_cell(r.ndcg(10), None),
+            ]);
+            per_sim.push(r);
+        }
+        println!(
+            "{name}: dot {} cosine on NDCG@10 ({:.4} vs {:.4}; paper: dot wins)",
+            if per_sim[0].ndcg(10) >= per_sim[1].ndcg(10) { "≥" } else { "<" },
+            per_sim[0].ndcg(10),
+            per_sim[1].ndcg(10),
+        );
+    }
+    print_table("Table VII — similarity function in the CL term", &header, &rows);
+}

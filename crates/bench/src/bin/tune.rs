@@ -1,0 +1,76 @@
+//! Hyper-parameter tuning driver used while calibrating the reproduction
+//! (not part of the paper's experiment set). Trains a configurable grid on
+//! one workload and prints NDCG@10.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin tune [-- <dataset>]
+//! ```
+
+use bench::zoo::build;
+use bench::{run_model, workload_by_name, Scale};
+use meta_sgcl::{MetaSgcl, TrainStrategy};
+use models::DuoRec;
+
+fn main() {
+    let ds = std::env::args().nth(1).unwrap_or_else(|| "toys-like".into());
+    let seed = 42u64;
+    let w = workload_by_name(Scale::from_env(), seed, &ds);
+    println!("dataset {} — {}", w.data.name, w.data.stats());
+
+    // Reference points.
+    for name in ["SASRec"] {
+        let mut m = build(name, &w, seed);
+        let r = run_model(m.as_mut(), &w, seed);
+        println!("{name:<24} NDCG@10 {:.4}  HR@10 {:.4}", r.ndcg(10), r.hr(10));
+    }
+
+    // DuoRec isolation.
+    for (lu, ls) in [(0.01f32, 0.005f32)] {
+        let mut m = DuoRec::new(w.net(seed));
+        m.lambda_unsup = lu;
+        m.lambda_sup = ls;
+        let r = run_model(&mut m, &w, seed);
+        println!("DuoRec unsup={lu} sup={ls}  NDCG@10 {:.4}  HR@10 {:.4}", r.ndcg(10), r.hr(10));
+    }
+
+    // ContrastVAE isolation.
+    use models::{Augmentation, ContrastVae, Vsan};
+    {
+        let mut m = Vsan::new(w.net(seed), w.beta);
+        let r = run_model(&mut m, &w, seed);
+        println!("VSAN  NDCG@10 {:.4}  HR@10 {:.4}", r.ndcg(10), r.hr(10));
+    }
+    for (aug, alpha, rec2) in [
+        (Augmentation::Model, 0.0f32, false),
+        (Augmentation::Model, 0.05, true),
+        (Augmentation::Data, 0.05, true),
+    ] {
+        let mut m = ContrastVae::new(w.net(seed), alpha, w.beta);
+        m.augmentation = aug;
+        m.second_reconstruction = rec2;
+        let r = run_model(&mut m, &w, seed);
+        println!(
+            "ContrastVAE {aug:?} α={alpha} rec2={rec2}  NDCG@10 {:.4}  HR@10 {:.4}",
+            r.ndcg(10),
+            r.hr(10)
+        );
+    }
+
+    // Meta-SGCL alpha tuning.
+    use meta_sgcl::Ablation;
+    for (label, alpha, beta, ablation) in [
+        ("full a.05 b.2", 0.05f32, 0.2f32, Ablation::Full),
+        ("full a.05 b.3", 0.05, 0.3, Ablation::Full),
+        ("full a.05 b.4", 0.05, 0.4, Ablation::Full),
+        ("nocl b.2", 0.0, 0.2, Ablation::NoCl),
+    ] {
+        let mut cfg = w.meta_cfg(seed);
+        cfg.alpha = alpha;
+        cfg.beta = beta;
+        cfg.ablation = ablation;
+        cfg.strategy = TrainStrategy::MetaTwoStep;
+        let mut m = MetaSgcl::new(cfg);
+        let r = run_model(&mut m, &w, seed);
+        println!("Meta-SGCL {label}  NDCG@10 {:.4}  HR@10 {:.4}", r.ndcg(10), r.hr(10));
+    }
+}

@@ -1,0 +1,218 @@
+//! Experiment harness shared by the per-table/per-figure bench targets.
+//!
+//! Each bench target (`crates/bench/benches/*.rs`, `harness = false`)
+//! regenerates one table or figure of the paper at reproduction scale and
+//! prints the measured values next to the paper's reference numbers so the
+//! *shape* of the result (who wins, by roughly what factor) can be checked
+//! at a glance.
+//!
+//! Scale is controlled with `META_SGCL_SCALE`:
+//! * `quick` (default) — minutes on a laptop core;
+//! * `full`  — longer runs with more epochs for tighter numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod zoo;
+
+use std::time::Instant;
+
+use meta_sgcl::{MetaSgcl, MetaSgclConfig};
+use metrics::EvalReport;
+use models::{evaluate_test, NetConfig, SequentialRecommender, TrainConfig};
+use recdata::{synth, Dataset, LeaveOneOut};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly run (default).
+    Quick,
+    /// Longer, tighter run.
+    Full,
+}
+
+impl Scale {
+    /// Reads `META_SGCL_SCALE` (`quick`/`full`).
+    pub fn from_env() -> Scale {
+        match std::env::var("META_SGCL_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+/// One benchmark dataset with its per-scale training recipe.
+pub struct Workload {
+    /// The generated dataset.
+    pub data: Dataset,
+    /// Leave-one-out split.
+    pub split: LeaveOneOut,
+    /// Padded sequence length for this dataset (paper: 200 on ML-1M, 50 on
+    /// Amazon; scaled down proportionally).
+    pub max_len: usize,
+    /// Training epochs at the chosen scale.
+    pub epochs: usize,
+    /// β used by the paper for this dataset (0.3 Clothing, 0.2 Toys/ML-1M).
+    pub beta: f32,
+    /// Mini-batch size for this workload.
+    pub batch_size: usize,
+}
+
+impl Workload {
+    /// Shared training config for this workload.
+    ///
+    /// Batch size is kept small (more optimizer steps per epoch) because
+    /// the scaled-down corpora have only a few hundred sequences.
+    pub fn train_cfg(&self, seed: u64) -> TrainConfig {
+        TrainConfig {
+            epochs: self.epochs,
+            batch_size: self.batch_size,
+            lr: 1e-3,
+            max_len: self.max_len,
+            seed,
+            grad_clip: 5.0,
+            verbose: false,
+        }
+    }
+
+    /// Architecture defaults for this workload.
+    pub fn net(&self, seed: u64) -> NetConfig {
+        NetConfig {
+            max_len: self.max_len,
+            seed,
+            ..NetConfig::for_items(self.data.num_items)
+        }
+    }
+
+    /// Meta-SGCL defaults for this workload.
+    pub fn meta_cfg(&self, seed: u64) -> MetaSgclConfig {
+        MetaSgclConfig {
+            net: self.net(seed),
+            beta: self.beta,
+            ..MetaSgclConfig::for_items(self.data.num_items)
+        }
+    }
+}
+
+/// Builds the three paper workloads at the requested scale.
+pub fn workloads(scale: Scale, seed: u64) -> Vec<Workload> {
+    let epochs = |quick: usize, full: usize| match scale {
+        Scale::Quick => quick,
+        Scale::Full => full,
+    };
+    vec![
+        Workload {
+            data: synth::generate(&synth::SynthConfig::clothing_like(seed)),
+            split: LeaveOneOut::split(&synth::generate(&synth::SynthConfig::clothing_like(seed))),
+            max_len: 20,
+            epochs: epochs(25, 60),
+            beta: 0.3,
+            batch_size: 32,
+        },
+        Workload {
+            data: synth::generate(&synth::SynthConfig::toys_like(seed + 1)),
+            split: LeaveOneOut::split(&synth::generate(&synth::SynthConfig::toys_like(seed + 1))),
+            max_len: 20,
+            epochs: epochs(25, 60),
+            beta: 0.2,
+            batch_size: 32,
+        },
+        Workload {
+            data: synth::generate(&synth::SynthConfig::ml1m_like(seed + 2)),
+            split: LeaveOneOut::split(&synth::generate(&synth::SynthConfig::ml1m_like(seed + 2))),
+            max_len: 50,
+            epochs: epochs(30, 60),
+            beta: 0.2,
+            batch_size: 16,
+        },
+    ]
+}
+
+/// Builds only the named workload (`clothing-like` / `toys-like` /
+/// `ml1m-like`).
+pub fn workload_by_name(scale: Scale, seed: u64, name: &str) -> Workload {
+    workloads(scale, seed)
+        .into_iter()
+        .find(|w| w.data.name == name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"))
+}
+
+/// Trains `model` on the workload and evaluates HR/NDCG@{5,10} on the test
+/// targets. Prints a timing line.
+pub fn run_model(
+    model: &mut dyn SequentialRecommender,
+    w: &Workload,
+    seed: u64,
+) -> EvalReport {
+    let t0 = Instant::now();
+    model.fit(&w.split.train_sequences(), &w.train_cfg(seed));
+    let report = evaluate_test(model, &w.split, &[5, 10]);
+    eprintln!(
+        "  [{}] {} trained+evaluated in {:.1?}",
+        w.data.name,
+        model.name(),
+        t0.elapsed()
+    );
+    report
+}
+
+/// Convenience: fresh Meta-SGCL for a workload.
+pub fn meta_sgcl_for(w: &Workload, seed: u64) -> MetaSgcl {
+    MetaSgcl::new(w.meta_cfg(seed))
+}
+
+/// Formats one metric row: measured value with the paper's reference in
+/// parentheses.
+pub fn fmt_cell(measured: f64, reference: Option<f64>) -> String {
+    match reference {
+        Some(r) => format!("{measured:.4} (paper {r:.4})"),
+        None => format!("{measured:.4}"),
+    }
+}
+
+/// Prints a markdown-ish table.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_env_convention() {
+        // Default (unset or unknown) is Quick.
+        assert_eq!(Scale::from_env(), Scale::Quick);
+    }
+
+    #[test]
+    fn workloads_have_expected_names_and_order() {
+        let ws = workloads(Scale::Quick, 7);
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[0].data.name, "clothing-like");
+        assert_eq!(ws[1].data.name, "toys-like");
+        assert_eq!(ws[2].data.name, "ml1m-like");
+        // ML-1M uses the longer max_len, mirroring the paper's 200 vs 50.
+        assert!(ws[2].max_len > ws[0].max_len);
+        assert!((ws[0].beta - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workload_by_name_round_trips() {
+        let w = workload_by_name(Scale::Quick, 7, "toys-like");
+        assert_eq!(w.data.name, "toys-like");
+    }
+
+    #[test]
+    fn fmt_cell_formats() {
+        assert_eq!(fmt_cell(0.12345, None), "0.1235");
+        assert_eq!(fmt_cell(0.1, Some(0.2)), "0.1000 (paper 0.2000)");
+    }
+}

@@ -1,0 +1,177 @@
+//! Reference numbers transcribed from the paper's tables, printed next to
+//! measured values so the reader can compare shapes directly.
+
+/// Metrics for one (model, dataset) cell of Table II:
+/// `(HR@5, HR@10, NDCG@5, NDCG@10)`.
+pub type Cell = (f64, f64, f64, f64);
+
+/// Model names in Table II column order.
+pub const TABLE2_MODELS: [&str; 11] = [
+    "Pop", "BPR-MF", "GRU4Rec", "Caser", "SASRec", "BERT4Rec", "VSAN", "ACVAE", "DuoRec",
+    "ContrastVAE", "Meta-SGCL",
+];
+
+/// Dataset names in Table II row-group order.
+pub const TABLE2_DATASETS: [&str; 3] = ["Clothing", "Toys", "ML-1M"];
+
+/// Table II reference values: `TABLE2[dataset][model]`.
+pub const TABLE2: [[Cell; 11]; 3] = [
+    // Clothing
+    [
+        (0.0042, 0.0076, 0.0032, 0.0045), // Pop
+        (0.0067, 0.0094, 0.0052, 0.0069), // BPR-MF
+        (0.0095, 0.0165, 0.0061, 0.0083), // GRU4Rec
+        (0.0108, 0.0174, 0.0067, 0.0098), // Caser
+        (0.0168, 0.0272, 0.0091, 0.0124), // SASRec
+        (0.0125, 0.0208, 0.0075, 0.0102), // BERT4Rec
+        (0.0152, 0.0246, 0.0090, 0.0106), // VSAN
+        (0.0164, 0.0255, 0.0098, 0.0120), // ACVAE
+        (0.0193, 0.0302, 0.0113, 0.0148), // DuoRec
+        (0.0159, 0.0283, 0.0102, 0.0135), // ContrastVAE
+        (0.0216, 0.0309, 0.0142, 0.0167), // Meta-SGCL
+    ],
+    // Toys
+    [
+        (0.0065, 0.0090, 0.0044, 0.0052),
+        (0.0120, 0.0179, 0.0067, 0.0090),
+        (0.0121, 0.0184, 0.0077, 0.0097),
+        (0.0205, 0.0333, 0.0125, 0.0168),
+        (0.0429, 0.0652, 0.0248, 0.0320),
+        (0.0371, 0.0524, 0.0259, 0.0309),
+        (0.0472, 0.0689, 0.0328, 0.0395),
+        (0.0457, 0.0663, 0.0291, 0.0364),
+        (0.0539, 0.0744, 0.0340, 0.0406),
+        (0.0548, 0.0760, 0.0353, 0.0441),
+        (0.0642, 0.0907, 0.0420, 0.0506),
+    ],
+    // ML-1M
+    [
+        (0.0078, 0.0162, 0.0052, 0.0079),
+        (0.0068, 0.0162, 0.0052, 0.0079),
+        (0.0763, 0.1658, 0.0385, 0.0671),
+        (0.0816, 0.1593, 0.0372, 0.0624),
+        (0.1087, 0.1904, 0.0638, 0.0910),
+        (0.0733, 0.1323, 0.0432, 0.0619),
+        (0.1210, 0.1815, 0.0634, 0.0881),
+        (0.1356, 0.2033, 0.0837, 0.1145),
+        (0.2038, 0.2946, 0.1390, 0.1680),
+        (0.1152, 0.1894, 0.0687, 0.0935),
+        (0.2387, 0.3560, 0.1622, 0.1953),
+    ],
+];
+
+/// Table III (ablation) reference values: `(−clkl, −cl, −kl, full)` per
+/// dataset per metric `(HR@5, HR@10, NDCG@5, NDCG@10)`.
+pub const TABLE3: [(&str, [Cell; 4]); 3] = [
+    (
+        "Clothing",
+        [
+            (0.0168, 0.0272, 0.0091, 0.0124),
+            (0.0191, 0.0264, 0.0132, 0.0155),
+            (0.0190, 0.0265, 0.0132, 0.0156),
+            (0.0216, 0.0309, 0.0142, 0.0167),
+        ],
+    ),
+    (
+        "Toys",
+        [
+            (0.0429, 0.0652, 0.0248, 0.0320),
+            (0.0608, 0.0858, 0.0401, 0.0482),
+            (0.0587, 0.0849, 0.0392, 0.0477),
+            (0.0642, 0.0907, 0.0420, 0.0506),
+        ],
+    ),
+    (
+        "ML-1M",
+        [
+            (0.1087, 0.1904, 0.0638, 0.0910),
+            (0.1748, 0.2685, 0.1153, 0.1455),
+            (0.1841, 0.2748, 0.1235, 0.1528),
+            (0.2387, 0.3560, 0.1622, 0.1953),
+        ],
+    ),
+];
+
+/// Table IV (heads) reference, Toys dataset: `(h, HR@5, HR@10, NDCG@5,
+/// NDCG@10)`.
+pub const TABLE4_TOYS: [(usize, Cell); 4] = [
+    (1, (0.0586, 0.0812, 0.0392, 0.0465)),
+    (2, (0.0642, 0.0907, 0.0420, 0.0506)),
+    (4, (0.0551, 0.0782, 0.0388, 0.0462)),
+    (8, (0.0562, 0.0779, 0.0392, 0.0462)),
+];
+
+/// Table V (temperature τ) reference, Toys dataset.
+pub const TABLE5_TOYS: [(f32, Cell); 6] = [
+    (0.05, (0.0562, 0.0791, 0.0396, 0.0470)),
+    (0.1, (0.0573, 0.0803, 0.0406, 0.0480)),
+    (0.5, (0.0569, 0.0794, 0.0402, 0.0474)),
+    (1.0, (0.0642, 0.0907, 0.0420, 0.0506)),
+    (2.0, (0.0565, 0.0789, 0.0393, 0.0464)),
+    (5.0, (0.0552, 0.0744, 0.0391, 0.0453)),
+];
+
+/// Table VI (dropout) reference, Toys dataset.
+pub const TABLE6_TOYS: [(f32, Cell); 5] = [
+    (0.0, (0.0558, 0.0781, 0.0376, 0.0448)),
+    (0.1, (0.0569, 0.0787, 0.0395, 0.0456)),
+    (0.2, (0.0642, 0.0907, 0.0420, 0.0506)),
+    (0.3, (0.0576, 0.0794, 0.0397, 0.0467)),
+    (0.4, (0.0570, 0.0763, 0.0411, 0.0473)),
+];
+
+/// Index of a model in [`TABLE2_MODELS`].
+pub fn model_index(name: &str) -> Option<usize> {
+    TABLE2_MODELS.iter().position(|&m| m == name)
+}
+
+/// Reference cell for (dataset index, model name).
+pub fn table2_ref(dataset: usize, model: &str) -> Option<Cell> {
+    model_index(model).map(|mi| TABLE2[dataset][mi])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_sgcl_is_best_in_every_table2_cell() {
+        // The headline claim: Meta-SGCL beats every baseline on every
+        // dataset and metric (sanity check of the transcription).
+        for ds in 0..3 {
+            let best = TABLE2[ds][10];
+            for m in 0..10 {
+                let c = TABLE2[ds][m];
+                assert!(best.0 > c.0 && best.1 > c.1 && best.2 > c.2 && best.3 > c.3);
+            }
+        }
+    }
+
+    #[test]
+    fn duorec_is_best_baseline_on_ml1m() {
+        let duorec = TABLE2[2][8];
+        for (m, name) in TABLE2_MODELS.iter().enumerate().take(10) {
+            if *name == "DuoRec" {
+                continue;
+            }
+            assert!(duorec.0 >= TABLE2[2][m].0, "{name} beats DuoRec on ML-1M?");
+        }
+    }
+
+    #[test]
+    fn ablation_full_dominates() {
+        for (_ds, cells) in &TABLE3 {
+            let full = cells[3];
+            for c in &cells[..3] {
+                assert!(full.0 > c.0 && full.1 > c.1);
+            }
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        assert_eq!(model_index("Meta-SGCL"), Some(10));
+        assert!(table2_ref(0, "SASRec").is_some());
+        assert!(table2_ref(0, "NoSuchModel").is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! Model zoo: constructs any Table II model by name for a workload.
+
+use meta_sgcl::MetaSgcl;
+use models::{
+    Acvae, Bert4Rec, BprMf, Caser, ContrastVae, DuoRec, Gru4Rec, Pop, SasRec,
+    SequentialRecommender, Vsan,
+};
+
+use crate::Workload;
+
+/// All Table II model names, in column order.
+pub fn all_model_names() -> Vec<&'static str> {
+    crate::paper::TABLE2_MODELS.to_vec()
+}
+
+/// Builds a fresh, untrained model by its Table II name.
+pub fn build(name: &str, w: &Workload, seed: u64) -> Box<dyn SequentialRecommender> {
+    let net = w.net(seed);
+    match name {
+        "Pop" => Box::new(Pop::new(w.data.num_items)),
+        "BPR-MF" => Box::new(BprMf::new(w.data.num_items, net.dim)),
+        "GRU4Rec" => Box::new(Gru4Rec::new(w.data.num_items, net.max_len, net.dim, seed)),
+        "Caser" => Box::new(Caser::new(w.data.num_items, 5, net.dim, seed)),
+        "SASRec" => Box::new(SasRec::new(net)),
+        "BERT4Rec" => Box::new(Bert4Rec::new(net)),
+        "VSAN" => Box::new(Vsan::new(net, w.beta)),
+        "ACVAE" => Box::new(Acvae::new(net)),
+        "DuoRec" => Box::new(DuoRec::new(net)),
+        "ContrastVAE" => Box::new(ContrastVae::new(net, 0.02, w.beta)),
+        "Meta-SGCL" => Box::new(MetaSgcl::new(w.meta_cfg(seed))),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{workloads, Scale};
+
+    #[test]
+    fn zoo_builds_every_table2_model() {
+        let w = &workloads(Scale::Quick, 3)[1];
+        for name in all_model_names() {
+            let m = build(name, w, 3);
+            assert_eq!(m.num_items(), w.data.num_items, "{name}");
+            // Pop's display name matches; attention models report theirs.
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn zoo_rejects_unknown() {
+        let w = &workloads(Scale::Quick, 3)[0];
+        let _ = build("FooRec", w, 3);
+    }
+}

@@ -1,0 +1,312 @@
+//! The Meta-SGCL model: backbone encoder, VAE heads (`Enc_μ`, `Enc_σ`,
+//! `Enc_σ'`), Seq2Seq decoder, and catalog scoring.
+
+use autograd::{Graph, ParamRef, Var};
+use models::backbone::TransformerBackbone;
+use models::vae::standard_normal_like;
+use nn::{Linear, Module, TransformerEncoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recdata::{encode_input_only, ItemId};
+
+use crate::config::MetaSgclConfig;
+use crate::train::TrainingHistory;
+
+/// One latent view and its decoder output.
+pub(crate) struct View {
+    /// Per-position latent `z` (`[b, n, d]`). Read by tests and kept for
+    /// downstream extensions (e.g. per-position contrastive variants).
+    #[allow(dead_code)]
+    pub z: Var,
+    /// Sequence summary: the latent at the last position (`[b, d]`).
+    pub z_last: Var,
+    /// Per-position catalog logits from the decoder (`[b, n, V]`).
+    pub logits: Var,
+    /// Posterior mean (shared across views).
+    pub mu: Var,
+    /// Posterior log-variance of this view.
+    pub logvar: Var,
+}
+
+/// The Meta-SGCL sequential recommender.
+pub struct MetaSgcl {
+    pub(crate) backbone: TransformerBackbone,
+    pub(crate) enc_mu: Linear,
+    pub(crate) enc_logvar: Linear,
+    /// The meta variance encoder `Enc_σ'`.
+    pub(crate) enc_logvar_prime: Linear,
+    /// Optional explicit Seq2Seq decoder (see
+    /// [`MetaSgclConfig::decoder_layers`]); `None` means the Eq. 22 path
+    /// `ŷ = z·Mᵀ`.
+    pub(crate) decoder: Option<TransformerEncoder>,
+    pub(crate) cfg: MetaSgclConfig,
+    pub(crate) history: TrainingHistory,
+}
+
+impl MetaSgcl {
+    /// Builds an untrained Meta-SGCL from a configuration.
+    pub fn new(cfg: MetaSgclConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.net.seed);
+        let backbone = TransformerBackbone::new(
+            &mut rng,
+            "metasgcl",
+            cfg.net.num_items + 1,
+            cfg.net.max_len,
+            cfg.net.dim,
+            cfg.net.heads,
+            cfg.net.layers,
+            cfg.net.dropout,
+            true,
+        );
+        let enc_mu = Linear::new(&mut rng, "metasgcl.enc_mu", cfg.net.dim, cfg.net.dim, true);
+        let enc_logvar =
+            Linear::new(&mut rng, "metasgcl.enc_logvar", cfg.net.dim, cfg.net.dim, true);
+        let enc_logvar_prime =
+            Linear::new(&mut rng, "metasgcl.enc_logvar_prime", cfg.net.dim, cfg.net.dim, true);
+        // Start both variance heads small (σ ≈ e^{-2} ≈ 0.14) so early
+        // reconstruction is not drowned by reparameterization noise.
+        for head in [&enc_logvar, &enc_logvar_prime] {
+            head.parameters()[1].borrow_mut().value =
+                tensor::Tensor::full(vec![cfg.net.dim], -4.0);
+        }
+        let decoder = (cfg.decoder_layers > 0).then(|| {
+            TransformerEncoder::new(
+                &mut rng,
+                "metasgcl.dec",
+                cfg.decoder_layers,
+                cfg.net.dim,
+                cfg.net.heads,
+                cfg.net.dropout,
+            )
+        });
+        let _ = rng; // backbone construction consumed the seeded stream
+        MetaSgcl {
+            backbone,
+            enc_mu,
+            enc_logvar,
+            enc_logvar_prime,
+            decoder,
+            cfg,
+            history: TrainingHistory::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MetaSgclConfig {
+        &self.cfg
+    }
+
+    /// Per-epoch loss history (populated by `fit`).
+    pub fn history(&self) -> &TrainingHistory {
+        &self.history
+    }
+
+    /// The item embedding table (Fig. 6 analytics).
+    pub fn item_table(&self) -> &ParamRef {
+        self.backbone.item_table()
+    }
+
+    /// Stage-1 parameters: backbone + `Enc_μ` + `Enc_σ` + decoder.
+    pub fn main_parameters(&self) -> Vec<ParamRef> {
+        let mut ps = self.backbone.parameters();
+        ps.extend(self.enc_mu.parameters());
+        ps.extend(self.enc_logvar.parameters());
+        if let Some(dec) = &self.decoder {
+            ps.extend(dec.parameters());
+        }
+        ps
+    }
+
+    /// Stage-2 (meta) parameters: `Enc_σ'` only.
+    pub fn meta_parameters(&self) -> Vec<ParamRef> {
+        self.enc_logvar_prime.parameters()
+    }
+
+    /// All parameters.
+    pub fn all_parameters(&self) -> Vec<ParamRef> {
+        let mut ps = self.main_parameters();
+        ps.extend(self.meta_parameters());
+        ps
+    }
+
+    fn set_trainable(params: &[ParamRef], trainable: bool) {
+        for p in params {
+            p.borrow_mut().trainable = trainable;
+        }
+    }
+
+    /// Freezes/unfreezes the stage-1 modules (meta stage 2 freezing).
+    pub(crate) fn set_main_trainable(&self, trainable: bool) {
+        Self::set_trainable(&self.main_parameters(), trainable);
+    }
+
+    /// Freezes/unfreezes `Enc_σ'` (frozen during stage 1).
+    pub(crate) fn set_meta_trainable(&self, trainable: bool) {
+        Self::set_trainable(&self.meta_parameters(), trainable);
+    }
+
+    /// Encoder pass: `F^{(L)}` features for a batch (Eqs. 4–10).
+    pub(crate) fn encode(
+        &self,
+        g: &Graph,
+        inputs: &[Vec<ItemId>],
+        pad: &[Vec<bool>],
+        rng: &mut StdRng,
+        training: bool,
+    ) -> Var {
+        self.backbone.forward(g, inputs, pad, rng, training)
+    }
+
+    /// Builds one latent view from encoder features (Eqs. 11–15) and runs
+    /// the Seq2Seq decoder (Eq. 13). `meta_sigma` selects `Enc_σ'` instead
+    /// of `Enc_σ`. `deterministic` (inference) uses `z = μ`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn view(
+        &self,
+        g: &Graph,
+        features: &Var,
+        pad: &[Vec<bool>],
+        meta_sigma: bool,
+        deterministic: bool,
+        rng: &mut StdRng,
+        training: bool,
+    ) -> View {
+        let mu = self.enc_mu.forward(g, features);
+        let head = if meta_sigma { &self.enc_logvar_prime } else { &self.enc_logvar };
+        let logvar = head.forward(g, features).clamp(-8.0, 8.0);
+        let z = if deterministic {
+            mu.clone()
+        } else {
+            let sigma = logvar.scale(0.5).exp();
+            let eps = standard_normal_like(&mu.dims(), rng);
+            mu.add(&sigma.mul_const(&eps))
+        };
+        // Decode: either the explicit Transformer decoder over the latent
+        // sequence (same masks as the encoder), or the Eq. 22 path scoring
+        // the latent directly against the tied item table.
+        let h = match &self.decoder {
+            Some(dec) => {
+                let mask = self.backbone.attention_mask(pad);
+                let timeline = TransformerBackbone::timeline_mask(pad);
+                dec.forward(g, &z, Some(&mask), Some(&timeline), rng, training)
+            }
+            None => z.clone(),
+        };
+        let logits = self.backbone.scores(g, &h);
+        let z_last = TransformerBackbone::last_hidden(&z);
+        View { z, z_last, logits, mu, logvar }
+    }
+
+    /// Saves all parameters to a checkpoint file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        nn::io::save_parameters(path, &self.all_parameters())
+    }
+
+    /// Restores all parameters from a checkpoint produced by
+    /// [`MetaSgcl::save`] on an identically-configured model.
+    pub fn load(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        nn::io::load_parameters(path, &self.all_parameters())
+    }
+
+    /// Deterministic catalog scores for one interaction history.
+    pub fn score_sequence(&mut self, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.cfg.net.num_items + 1];
+        }
+        let (input, pad) = encode_input_only(seq, self.cfg.net.max_len);
+        let g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0); // unused: no dropout/noise at eval
+        let features = self.encode(&g, &[input], &[pad.clone()], &mut rng, false);
+        let view = self.view(&g, &features, &[pad], false, true, &mut rng, false);
+        let dims = view.logits.dims();
+        let (n, v) = (dims[1], dims[2]);
+        let last = view.logits.slice_axis(1, n - 1, n).reshape(vec![1, v]).value();
+        last.row(0)[..self.cfg.net.num_items + 1].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MetaSgclConfig;
+    use models::NetConfig;
+
+    fn small() -> MetaSgcl {
+        MetaSgcl::new(MetaSgclConfig {
+            net: NetConfig { max_len: 6, dim: 8, layers: 1, ..NetConfig::for_items(10) },
+            ..MetaSgclConfig::for_items(10)
+        })
+    }
+
+    #[test]
+    fn parameter_partition_is_disjoint_and_complete() {
+        let m = small();
+        let main = m.main_parameters();
+        let meta = m.meta_parameters();
+        let all = m.all_parameters();
+        assert_eq!(main.len() + meta.len(), all.len());
+        assert_eq!(meta.len(), 2); // Enc_σ' weight + bias
+        for mp in &meta {
+            assert!(
+                !main.iter().any(|p| std::rc::Rc::ptr_eq(p, mp)),
+                "meta param leaked into main set"
+            );
+        }
+    }
+
+    #[test]
+    fn freezing_toggles_trainable_flags() {
+        let m = small();
+        m.set_main_trainable(false);
+        assert!(m.main_parameters().iter().all(|p| !p.borrow().trainable));
+        assert!(m.meta_parameters().iter().all(|p| p.borrow().trainable));
+        m.set_main_trainable(true);
+        m.set_meta_trainable(false);
+        assert!(m.main_parameters().iter().all(|p| p.borrow().trainable));
+        assert!(m.meta_parameters().iter().all(|p| !p.borrow().trainable));
+        m.set_meta_trainable(true);
+    }
+
+    #[test]
+    fn views_share_mu_but_differ_in_variance_head() {
+        let mut m = small();
+        let g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let inputs = vec![vec![0, 0, 1, 2, 3, 4]];
+        let pad = vec![vec![true, true, false, false, false, false]];
+        let f = m.encode(&g, &inputs, &pad, &mut rng, false);
+        let v1 = m.view(&g, &f, &pad, false, false, &mut rng, false);
+        let v2 = m.view(&g, &f, &pad, true, false, &mut rng, false);
+        assert_eq!(v1.mu.value().data(), v2.mu.value().data(), "μ is shared");
+        assert_ne!(
+            v1.logvar.value().data(),
+            v2.logvar.value().data(),
+            "σ and σ' heads differ"
+        );
+        let _ = &mut m;
+    }
+
+    #[test]
+    fn deterministic_scoring_is_stable() {
+        let mut m = small();
+        let a = m.score_sequence(&[1, 2, 3]);
+        let b = m.score_sequence(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 11);
+        assert_eq!(m.score_sequence(&[]).len(), 11);
+    }
+
+    #[test]
+    fn stochastic_views_differ_between_draws() {
+        let mut m = small();
+        let g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let inputs = vec![vec![1, 2, 3, 4, 5, 6]];
+        let pad = vec![vec![false; 6]];
+        let f = m.encode(&g, &inputs, &pad, &mut rng, false);
+        let v1 = m.view(&g, &f, &pad, false, false, &mut rng, false);
+        let v2 = m.view(&g, &f, &pad, false, false, &mut rng, false);
+        assert_ne!(v1.z.value().data(), v2.z.value().data());
+        let _ = &mut m;
+    }
+}

@@ -1,0 +1,414 @@
+//! Training: the double-ELBO objective (Eqs. 16, 23–28) and the two
+//! schedules — joint learning and the meta-optimized two-step strategy.
+
+use autograd::{Graph, Var};
+use models::cl::info_nce_masked;
+use models::vae::gaussian_kl;
+use models::{SequentialRecommender, TrainConfig};
+use optim::{clip_grad_norm, Adam, KlAnnealing, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recdata::{encode_input_only, item_crop, item_mask, item_reorder, Batch, Batcher, ItemId};
+use rand::Rng;
+
+use crate::config::{SecondView, TrainStrategy};
+use crate::model::MetaSgcl;
+
+/// Loss components of one epoch (averaged over batches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Reconstruction loss `L_rs = L_rs1 + L_rs2` (Eq. 23).
+    pub rec: f64,
+    /// KL loss `L_kl = L_kl1 + L_kl2` (Eqs. 24–25), unweighted.
+    pub kl: f64,
+    /// Contrastive loss `L_cl` (Eq. 26), unweighted.
+    pub cl: f64,
+    /// Weighted total (Eq. 28).
+    pub total: f64,
+}
+
+/// Per-epoch loss history.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingHistory {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainingHistory {
+    /// The last epoch's stats, if any.
+    pub fn last(&self) -> Option<&EpochStats> {
+        self.epochs.last()
+    }
+}
+
+/// Scalar loss pieces of one batch forward.
+struct BatchLosses {
+    total: Var,
+    rec: f64,
+    kl: f64,
+    cl: f64,
+}
+
+impl MetaSgcl {
+    /// Builds the full double-ELBO objective (Eq. 28) for a batch.
+    ///
+    /// Both views share the encoder features and the posterior mean; view 1
+    /// samples with `Enc_σ`, view 2 (the generated augmentation) with
+    /// `Enc_σ'`.
+    fn batch_losses(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> BatchLosses {
+        let (b, n) = (batch.len(), batch.seq_len());
+        let vocab = self.backbone.vocab();
+        let targets: Vec<usize> =
+            batch.targets.iter().flat_map(|r| r.iter().copied()).collect();
+
+        let features = self.encode(g, &batch.inputs, &batch.pad, rng, true);
+        let v1 = self.view(g, &features, &batch.pad, false, false, rng, true);
+        let v2 = self.second_view(g, &features, batch, rng);
+
+        // L_rs1 + L_rs2 (Eq. 23).
+        let rec1 = v1
+            .logits
+            .reshape(vec![b * n, vocab])
+            .cross_entropy_with_logits(&targets);
+        let rec2 = v2
+            .logits
+            .reshape(vec![b * n, vocab])
+            .cross_entropy_with_logits(&targets);
+        let rec = rec1.add(&rec2);
+
+        // L_kl1 + L_kl2 (Eqs. 24–25) — same μ, different variances.
+        let kl1 = gaussian_kl(&v1.mu, &v1.logvar);
+        let kl2 = gaussian_kl(&v2.mu, &v2.logvar);
+        let kl = kl1.add(&kl2);
+
+        // L_cl (Eq. 26) between the two sequence summaries.
+        let alpha = self.cfg.effective_alpha();
+        // False negatives (same next item) are masked out of the InfoNCE
+        // denominator so the CL term does not fight the recommendation task
+        // on small catalogs.
+        let cl = if b >= 2 {
+            info_nce_masked(
+                &v1.z_last,
+                &v2.z_last,
+                self.cfg.tau,
+                self.cfg.similarity,
+                &batch.last_target,
+            )
+        } else {
+            g.constant(tensor::Tensor::scalar(0.0))
+        };
+
+        // Eq. 28 with the corrected KL sign (see crate docs). The two views
+        // share μ, so we average their KLs — this keeps the effective β
+        // directly comparable to single-view VAE baselines (VSAN).
+        let mut total = rec.clone();
+        if beta > 0.0 {
+            total = total.add(&kl.scale(beta * 0.5));
+        }
+        if alpha > 0.0 && b >= 2 {
+            total = total.add(&cl.scale(alpha));
+        }
+        BatchLosses { rec: rec.item() as f64, kl: kl.item() as f64, cl: cl.item() as f64, total }
+    }
+
+    /// Builds the second view according to the configured generator.
+    fn second_view(
+        &self,
+        g: &Graph,
+        features: &Var,
+        batch: &Batch,
+        rng: &mut StdRng,
+    ) -> crate::model::View {
+        match self.cfg.second_view {
+            SecondView::MetaSigma => self.view(g, features, &batch.pad, true, false, rng, true),
+            SecondView::Dropout => {
+                // Model augmentation: a fresh dropout-perturbed encoder pass
+                // feeding the primary (Enc_σ) posterior.
+                let f2 = self.encode(g, &batch.inputs, &batch.pad, rng, true);
+                self.view(g, &f2, &batch.pad, false, false, rng, true)
+            }
+            SecondView::DataAugmentation => {
+                // Hand-crafted augmentation of the raw inputs. The mask
+                // token is out of vocabulary here, so masked items fall
+                // back to the padding id.
+                let max_len = self.cfg.net.max_len;
+                let n_items = self.cfg.net.num_items;
+                let mut inputs = Vec::with_capacity(batch.len());
+                let mut pads = Vec::with_capacity(batch.len());
+                for input in &batch.inputs {
+                    let raw: Vec<ItemId> =
+                        input.iter().copied().filter(|&x| x != 0).collect();
+                    let aug: Vec<ItemId> = match rng.gen_range(0..3) {
+                        0 => item_crop(&raw, 0.8, rng),
+                        1 => item_mask(&raw, 0.2, n_items, rng)
+                            .into_iter()
+                            .map(|x| if x > n_items { 0 } else { x })
+                            .collect(),
+                        _ => item_reorder(&raw, 0.3, rng),
+                    };
+                    let (inp, pd) = encode_input_only(&aug, max_len);
+                    inputs.push(inp);
+                    pads.push(pd);
+                }
+                let f2 = self.encode(g, &inputs, &pads, rng, true);
+                self.view(g, &f2, &pads, false, false, rng, true)
+            }
+        }
+    }
+
+    /// Stage-2 objective: the contrastive loss alone, recomputed from a
+    /// fresh forward pass with everything but `Enc_σ'` frozen.
+    fn meta_stage_loss(&self, g: &Graph, batch: &Batch, rng: &mut StdRng) -> Var {
+        let features = self.encode(g, &batch.inputs, &batch.pad, rng, true);
+        let v1 = self.view(g, &features, &batch.pad, false, false, rng, true);
+        let v2 = self.second_view(g, &features, batch, rng);
+        info_nce_masked(&v1.z_last, &v2.z_last, self.cfg.tau, self.cfg.similarity, &batch.last_target)
+    }
+
+    /// Trains with the configured strategy, recording per-epoch losses in
+    /// [`MetaSgcl::history`].
+    pub fn train_model(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let batcher = Batcher::new(train.to_vec(), self.cfg.net.max_len, cfg.batch_size);
+        let main_params = self.main_parameters();
+        let meta_params = self.meta_parameters();
+        let mut opt_main = Adam::new(main_params.clone(), cfg.lr);
+        let mut opt_meta = Adam::new(meta_params.clone(), self.cfg.meta_lr.unwrap_or(cfg.lr));
+        // Joint training updates σ' from the full loss with one optimizer.
+        let all_params = self.all_parameters();
+        let mut opt_all = Adam::new(all_params.clone(), cfg.lr);
+
+        let anneal = if self.cfg.kl_warmup_steps > 0 {
+            KlAnnealing::new(self.cfg.effective_beta(), self.cfg.kl_warmup_steps)
+        } else {
+            KlAnnealing::constant(self.cfg.effective_beta())
+        };
+        let mut step = 0u64;
+        self.history.epochs.clear();
+
+        for epoch in 0..cfg.epochs {
+            let (mut rec_s, mut kl_s, mut cl_s, mut tot_s) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let mut batches = 0usize;
+            for batch in batcher.epoch(&mut rng) {
+                let beta = anneal.beta(step);
+                match self.cfg.strategy {
+                    TrainStrategy::Joint => {
+                        let g = Graph::new();
+                        let losses = self.batch_losses(&g, &batch, beta, &mut rng);
+                        losses.total.backward();
+                        if cfg.grad_clip > 0.0 {
+                            clip_grad_norm(&all_params, cfg.grad_clip);
+                        }
+                        opt_all.step();
+                        opt_all.zero_grad();
+                        rec_s += losses.rec;
+                        kl_s += losses.kl;
+                        cl_s += losses.cl;
+                        tot_s += losses.total.item() as f64;
+                    }
+                    TrainStrategy::MetaTwoStep => {
+                        // Stage 1: full loss, σ' frozen.
+                        self.set_meta_trainable(false);
+                        {
+                            let g = Graph::new();
+                            let losses = self.batch_losses(&g, &batch, beta, &mut rng);
+                            losses.total.backward();
+                            if cfg.grad_clip > 0.0 {
+                                clip_grad_norm(&main_params, cfg.grad_clip);
+                            }
+                            opt_main.step();
+                            opt_main.zero_grad();
+                            rec_s += losses.rec;
+                            kl_s += losses.kl;
+                            cl_s += losses.cl;
+                            tot_s += losses.total.item() as f64;
+                        }
+                        self.set_meta_trainable(true);
+                        // Stage 2: re-encode with the just-updated encoder,
+                        // freeze it, and adapt Enc_σ' to the contrastive
+                        // objective (Eq. 26).
+                        if batch.len() >= 2 {
+                            self.set_main_trainable(false);
+                            let g = Graph::new();
+                            let loss = self.meta_stage_loss(&g, &batch, &mut rng);
+                            loss.backward();
+                            if cfg.grad_clip > 0.0 {
+                                clip_grad_norm(&meta_params, cfg.grad_clip);
+                            }
+                            opt_meta.step();
+                            opt_meta.zero_grad();
+                            self.set_main_trainable(true);
+                        }
+                    }
+                }
+                step += 1;
+                batches += 1;
+            }
+            let denom = batches.max(1) as f64;
+            let stats = EpochStats {
+                epoch,
+                rec: rec_s / denom,
+                kl: kl_s / denom,
+                cl: cl_s / denom,
+                total: tot_s / denom,
+            };
+            if cfg.verbose {
+                println!(
+                    "[Meta-SGCL/{:?}] epoch {epoch} rec {:.4} kl {:.4} cl {:.4} total {:.4}",
+                    self.cfg.strategy, stats.rec, stats.kl, stats.cl, stats.total
+                );
+            }
+            self.history.epochs.push(stats);
+        }
+    }
+}
+
+impl SequentialRecommender for MetaSgcl {
+    fn name(&self) -> String {
+        match self.cfg.strategy {
+            TrainStrategy::MetaTwoStep => "Meta-SGCL".into(),
+            TrainStrategy::Joint => "SGCL-Joint".into(),
+        }
+    }
+
+    fn num_items(&self) -> usize {
+        self.cfg.net.num_items
+    }
+
+    fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
+        self.train_model(train, cfg);
+    }
+
+    fn score(&mut self, _user: usize, seq: &[ItemId]) -> Vec<f32> {
+        self.score_sequence(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Ablation, MetaSgclConfig};
+    use models::NetConfig;
+    use tensor::Tensor;
+
+    fn ring(users: usize, items: usize, len: usize) -> Vec<Vec<ItemId>> {
+        (0..users).map(|u| (0..len).map(|t| 1 + (u + t) % items).collect()).collect()
+    }
+
+    fn cfg_small(items: usize) -> MetaSgclConfig {
+        MetaSgclConfig {
+            net: NetConfig {
+                max_len: 8,
+                dim: 16,
+                layers: 1,
+                dropout: 0.0,
+                ..NetConfig::for_items(items)
+            },
+            alpha: 0.02,
+            beta: 0.05,
+            kl_warmup_steps: 20,
+            ..MetaSgclConfig::for_items(items)
+        }
+    }
+
+    #[test]
+    fn meta_two_step_learns_transitions() {
+        let train = ring(20, 6, 8);
+        let mut m = MetaSgcl::new(cfg_small(6));
+        let tc = TrainConfig { epochs: 60, batch_size: 10, ..Default::default() };
+        m.fit(&train, &tc);
+        let s = m.score(0, &[2, 3, 4]);
+        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(best, 5, "scores {s:?}");
+        assert_eq!(m.history().epochs.len(), 60);
+    }
+
+    #[test]
+    fn joint_strategy_also_learns() {
+        let train = ring(20, 6, 8);
+        let mut cfg = cfg_small(6);
+        cfg.strategy = TrainStrategy::Joint;
+        let mut m = MetaSgcl::new(cfg);
+        let tc = TrainConfig { epochs: 60, batch_size: 10, ..Default::default() };
+        m.fit(&train, &tc);
+        let s = m.score(0, &[2, 3, 4]);
+        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(best, 5, "scores {s:?}");
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let train = ring(16, 5, 8);
+        let mut m = MetaSgcl::new(cfg_small(5));
+        m.fit(&train, &TrainConfig { epochs: 20, batch_size: 8, ..Default::default() });
+        let h = &m.history().epochs;
+        let first = h[..3].iter().map(|e| e.rec).sum::<f64>() / 3.0;
+        let last = h[h.len() - 3..].iter().map(|e| e.rec).sum::<f64>() / 3.0;
+        assert!(last < first, "rec loss should fall: {first:.3} -> {last:.3}");
+    }
+
+    #[test]
+    fn meta_stage_only_updates_sigma_prime() {
+        let train = ring(8, 5, 6);
+        let m = MetaSgcl::new(cfg_small(5));
+        // Snapshot all parameters, run *only* the meta stage manually.
+        let main_before: Vec<Tensor> =
+            m.main_parameters().iter().map(|p| p.borrow().value.clone()).collect();
+        let meta_before: Vec<Tensor> =
+            m.meta_parameters().iter().map(|p| p.borrow().value.clone()).collect();
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let batcher = Batcher::new(train, 8, 8);
+        let batch = batcher.epoch(&mut rng).remove(0);
+        let meta_params = m.meta_parameters();
+        let mut opt = Adam::new(meta_params.clone(), 1e-2);
+        m.set_main_trainable(false);
+        let g = Graph::new();
+        let loss = m.meta_stage_loss(&g, &batch, &mut rng);
+        loss.backward();
+        opt.step();
+        m.set_main_trainable(true);
+
+        for (p, before) in m.main_parameters().iter().zip(main_before.iter()) {
+            assert_eq!(&p.borrow().value, before, "main param {} moved", p.borrow().name);
+        }
+        let mut any_moved = false;
+        for (p, before) in m.meta_parameters().iter().zip(meta_before.iter()) {
+            if &p.borrow().value != before {
+                any_moved = true;
+            }
+        }
+        assert!(any_moved, "Enc_σ' should move in the meta stage");
+    }
+
+    #[test]
+    fn ablations_run_and_record_expected_loss_terms() {
+        let train = ring(8, 5, 6);
+        for (ablation, expect_cl, expect_kl) in [
+            (Ablation::Full, true, true),
+            (Ablation::NoCl, false, true),
+            (Ablation::NoKl, true, false),
+            (Ablation::NoClKl, false, false),
+        ] {
+            let mut cfg = cfg_small(5);
+            cfg.ablation = ablation;
+            cfg.kl_warmup_steps = 0;
+            let mut m = MetaSgcl::new(cfg);
+            m.fit(&train, &TrainConfig { epochs: 2, batch_size: 8, ..Default::default() });
+            let last = *m.history().last().expect("history");
+            // rec is always present.
+            assert!(last.rec > 0.0);
+            // The weighted total reflects the switches.
+            let with_cl = last.total > last.rec + 1e-9;
+            match (expect_cl, expect_kl) {
+                (false, false) => assert!(
+                    (last.total - last.rec).abs() < 1e-6,
+                    "-clkl total must equal rec"
+                ),
+                _ => assert!(with_cl || expect_kl, "total should include extra terms"),
+            }
+        }
+    }
+}

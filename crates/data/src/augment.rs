@@ -1,0 +1,285 @@
+//! Sequence-level augmentation operators.
+//!
+//! These are the *hand-crafted* augmentations of CL4SRec (item crop, item
+//! mask, item reorder) that the paper's Figure 1 argues can destroy
+//! sequential semantics — we implement them because the baselines
+//! (CL4SRec-style view generation inside DuoRec/ContrastVAE variants) need
+//! them, and because the comparison against generative augmentation *is*
+//! the paper's point. [`inject_noise`] implements the RQ5 robustness
+//! protocol (random negative items inserted into training sequences).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ItemId;
+
+/// Mask-token convention: item id `num_items + MASK_TOKEN_OFFSET` is the
+/// `[mask]` token (callers must size their embedding tables accordingly).
+pub const MASK_TOKEN_OFFSET: usize = 1;
+
+/// Item crop (CL4SRec): keeps a random contiguous sub-sequence of ratio
+/// `eta` (at least one item).
+pub fn item_crop(seq: &[ItemId], eta: f64, rng: &mut StdRng) -> Vec<ItemId> {
+    if seq.is_empty() {
+        return Vec::new();
+    }
+    let keep = ((seq.len() as f64 * eta).round() as usize).clamp(1, seq.len());
+    let start = rng.gen_range(0..=seq.len() - keep);
+    seq[start..start + keep].to_vec()
+}
+
+/// Item mask (CL4SRec): replaces a `gamma` fraction of items with the
+/// `[mask]` token `num_items + 1`.
+pub fn item_mask(seq: &[ItemId], gamma: f64, num_items: usize, rng: &mut StdRng) -> Vec<ItemId> {
+    let mask_token = num_items + MASK_TOKEN_OFFSET;
+    let mut out = seq.to_vec();
+    let k = ((seq.len() as f64 * gamma).round() as usize).min(seq.len());
+    let mut idx: Vec<usize> = (0..seq.len()).collect();
+    idx.shuffle(rng);
+    for &i in idx.iter().take(k) {
+        out[i] = mask_token;
+    }
+    out
+}
+
+/// Item reorder (CL4SRec): shuffles a random contiguous window of ratio
+/// `beta`.
+pub fn item_reorder(seq: &[ItemId], beta: f64, rng: &mut StdRng) -> Vec<ItemId> {
+    let mut out = seq.to_vec();
+    if seq.len() < 2 {
+        return out;
+    }
+    let w = ((seq.len() as f64 * beta).round() as usize).clamp(2, seq.len());
+    let start = rng.gen_range(0..=seq.len() - w);
+    out[start..start + w].shuffle(rng);
+    out
+}
+
+/// Item-correlation model for CoSeRec-style *informative* augmentation:
+/// substitution and insertion draw from items that co-occur with the
+/// anchor item in training sequences rather than uniformly at random.
+#[derive(Debug, Clone)]
+pub struct ItemCorrelations {
+    /// Most-co-occurring items per item (index = item id).
+    similar: Vec<Vec<ItemId>>,
+}
+
+impl ItemCorrelations {
+    /// Builds windowed co-occurrence counts (window ±2) from training
+    /// sequences and keeps the `top_k` most correlated items per item.
+    pub fn build(sequences: &[Vec<ItemId>], num_items: usize, top_k: usize) -> Self {
+        let mut counts: Vec<HashMap<ItemId, u32>> = vec![HashMap::new(); num_items + 1];
+        for seq in sequences {
+            for (i, &a) in seq.iter().enumerate() {
+                let lo = i.saturating_sub(2);
+                let hi = (i + 3).min(seq.len());
+                for &b in &seq[lo..hi] {
+                    if a != b {
+                        *counts[a].entry(b).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let similar = counts
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(ItemId, u32)> = m.into_iter().collect();
+                v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                v.into_iter().take(top_k).map(|(it, _)| it).collect()
+            })
+            .collect();
+        ItemCorrelations { similar }
+    }
+
+    /// Items most correlated with `item` (possibly empty).
+    pub fn similar_to(&self, item: ItemId) -> &[ItemId] {
+        &self.similar[item]
+    }
+
+    /// CoSeRec *informative substitute*: replaces a `gamma` fraction of
+    /// items with one of their correlated items (no-op for items without
+    /// correlations).
+    pub fn substitute(&self, seq: &[ItemId], gamma: f64, rng: &mut StdRng) -> Vec<ItemId> {
+        let mut out = seq.to_vec();
+        let k = ((seq.len() as f64 * gamma).round() as usize).min(seq.len());
+        let mut idx: Vec<usize> = (0..seq.len()).collect();
+        idx.shuffle(rng);
+        for &i in idx.iter().take(k) {
+            let sims = self.similar_to(out[i]);
+            if !sims.is_empty() {
+                out[i] = sims[rng.gen_range(0..sims.len())];
+            }
+        }
+        out
+    }
+
+    /// CoSeRec *informative insert*: inserts correlated items after a
+    /// `gamma` fraction of positions.
+    pub fn insert(&self, seq: &[ItemId], gamma: f64, rng: &mut StdRng) -> Vec<ItemId> {
+        let k = ((seq.len() as f64 * gamma).round() as usize).min(seq.len());
+        let mut positions: Vec<usize> = (0..seq.len()).collect();
+        positions.shuffle(rng);
+        let mut insert_at: Vec<(usize, ItemId)> = Vec::new();
+        for &i in positions.iter().take(k) {
+            let sims = self.similar_to(seq[i]);
+            if !sims.is_empty() {
+                insert_at.push((i + 1, sims[rng.gen_range(0..sims.len())]));
+            }
+        }
+        // Insert from the back so earlier indices stay valid.
+        insert_at.sort_by(|a, b| b.0.cmp(&a.0));
+        let mut out = seq.to_vec();
+        for (pos, item) in insert_at {
+            out.insert(pos, item);
+        }
+        out
+    }
+}
+
+/// RQ5 noise injection: inserts `ratio · len` uniformly random items at
+/// random positions of each training sequence ("we randomly add a certain
+/// proportion of negative items into the input sequences during training").
+pub fn inject_noise(
+    sequences: &[Vec<ItemId>],
+    ratio: f64,
+    num_items: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<ItemId>> {
+    sequences
+        .iter()
+        .map(|s| {
+            let k = (s.len() as f64 * ratio).round() as usize;
+            let mut out = s.clone();
+            for _ in 0..k {
+                let pos = rng.gen_range(0..=out.len());
+                let item = rng.gen_range(1..=num_items);
+                out.insert(pos, item);
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn crop_keeps_contiguous_subsequence() {
+        let seq = vec![1, 2, 3, 4, 5, 6, 7, 8];
+        let mut r = rng();
+        for _ in 0..50 {
+            let c = item_crop(&seq, 0.5, &mut r);
+            assert_eq!(c.len(), 4);
+            // Contiguity: c must appear as a window of seq.
+            assert!(seq.windows(4).any(|w| w == c.as_slice()));
+        }
+    }
+
+    #[test]
+    fn crop_never_empty() {
+        let mut r = rng();
+        assert_eq!(item_crop(&[9], 0.01, &mut r), vec![9]);
+        assert!(item_crop(&[], 0.5, &mut r).is_empty());
+    }
+
+    #[test]
+    fn mask_replaces_expected_fraction() {
+        let seq: Vec<usize> = (1..=10).collect();
+        let mut r = rng();
+        let m = item_mask(&seq, 0.3, 100, &mut r);
+        assert_eq!(m.len(), 10);
+        let masked = m.iter().filter(|&&x| x == 101).count();
+        assert_eq!(masked, 3);
+        // Unmasked items keep their positions.
+        for (orig, new) in seq.iter().zip(m.iter()) {
+            assert!(*new == 101 || new == orig);
+        }
+    }
+
+    #[test]
+    fn reorder_is_permutation_within_window() {
+        let seq: Vec<usize> = (1..=10).collect();
+        let mut r = rng();
+        let m = item_reorder(&seq, 0.5, &mut r);
+        assert_eq!(m.len(), 10);
+        let mut a = seq.clone();
+        let mut b = m.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "reorder must be a permutation");
+    }
+
+    #[test]
+    fn noise_grows_sequences_by_ratio() {
+        let seqs = vec![vec![1usize; 10], vec![2usize; 20]];
+        let mut r = rng();
+        let noisy = inject_noise(&seqs, 0.2, 50, &mut r);
+        assert_eq!(noisy[0].len(), 12);
+        assert_eq!(noisy[1].len(), 24);
+        // Zero ratio is identity.
+        let clean = inject_noise(&seqs, 0.0, 50, &mut r);
+        assert_eq!(clean, seqs);
+    }
+
+    #[test]
+    fn correlations_capture_co_occurrence() {
+        // Items 1 and 2 always adjacent; 3 isolated with 4.
+        let seqs = vec![vec![1, 2, 1, 2, 1, 2], vec![3, 4, 3, 4]];
+        let corr = ItemCorrelations::build(&seqs, 4, 3);
+        assert_eq!(corr.similar_to(1).first(), Some(&2));
+        assert_eq!(corr.similar_to(2).first(), Some(&1));
+        assert_eq!(corr.similar_to(3).first(), Some(&4));
+        assert!(corr.similar_to(1).iter().all(|&x| x != 3 && x != 4));
+    }
+
+    #[test]
+    fn substitute_uses_correlated_items_only() {
+        let seqs = vec![vec![1, 2, 1, 2, 1, 2]];
+        let corr = ItemCorrelations::build(&seqs, 2, 2);
+        let mut r = rng();
+        let out = corr.substitute(&[1, 1, 1, 1], 1.0, &mut r);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|&x| x == 1 || x == 2));
+        assert!(out.iter().any(|&x| x == 2), "some substitution should occur");
+    }
+
+    #[test]
+    fn insert_grows_sequence_with_correlated_items() {
+        let seqs = vec![vec![1, 2, 1, 2, 1, 2]];
+        let corr = ItemCorrelations::build(&seqs, 2, 2);
+        let mut r = rng();
+        let out = corr.insert(&[1, 2, 1], 1.0, &mut r);
+        assert!(out.len() > 3);
+        // Original order preserved as a subsequence.
+        let mut iter = out.iter();
+        for want in [1usize, 2, 1] {
+            assert!(iter.any(|&x| x == want), "subsequence broken: {out:?}");
+        }
+    }
+
+    #[test]
+    fn substitute_noop_without_correlations() {
+        let corr = ItemCorrelations::build(&[], 5, 2);
+        let mut r = rng();
+        assert_eq!(corr.substitute(&[1, 2, 3], 1.0, &mut r), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn noise_items_in_valid_range() {
+        let seqs = vec![vec![1usize; 100]];
+        let mut r = rng();
+        let noisy = inject_noise(&seqs, 0.5, 7, &mut r);
+        for &it in &noisy[0] {
+            assert!(it >= 1 && it <= 7);
+        }
+    }
+}

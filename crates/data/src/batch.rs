@@ -1,0 +1,191 @@
+//! Left-padded fixed-length batching for sequence models.
+//!
+//! Following the paper's embedding layer (Section IV-B): "for sequences
+//! larger than [T] we only keep items of the length of the most recent
+//! interaction; for sequences smaller than this length, we first pad with
+//! zeros". Padding is on the *left* so the most recent item always sits at
+//! the last position, which is where next-item scoring reads the hidden
+//! state.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use crate::{ItemId, PAD_ITEM};
+
+/// One training batch of fixed-length sequences.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Left-padded input sequences `[batch][max_len]`.
+    pub inputs: Vec<Vec<ItemId>>,
+    /// Per-position next-item targets `[batch][max_len]`;
+    /// `usize::MAX` (autograd's `IGNORE_INDEX`) marks padding positions.
+    pub targets: Vec<Vec<usize>>,
+    /// The final next-item target per sequence (last real position's target).
+    pub last_target: Vec<usize>,
+    /// Padding flags `[batch][max_len]` (true = padding).
+    pub pad: Vec<Vec<bool>>,
+}
+
+impl Batch {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Sequence length (identical across the batch).
+    pub fn seq_len(&self) -> usize {
+        self.inputs.first().map_or(0, Vec::len)
+    }
+}
+
+/// Converts one raw sequence into `(input, per-position targets, pad)` for
+/// autoregressive training: input is `s[..n-1]` and target at position `t`
+/// is `s[t+1]`, both left-padded/truncated to `max_len`.
+pub fn encode_sequence(seq: &[ItemId], max_len: usize) -> (Vec<ItemId>, Vec<usize>, Vec<bool>) {
+    // Keep the most recent max_len+1 items; inputs are all but the last,
+    // targets are all but the first.
+    let keep = if seq.len() > max_len + 1 { &seq[seq.len() - (max_len + 1)..] } else { seq };
+    let inputs_raw = &keep[..keep.len().saturating_sub(1)];
+    let targets_raw = &keep[1.min(keep.len())..];
+    let n = inputs_raw.len();
+    let pad_n = max_len - n;
+    let mut input = vec![PAD_ITEM; pad_n];
+    input.extend_from_slice(inputs_raw);
+    let mut targets = vec![usize::MAX; pad_n];
+    targets.extend_from_slice(targets_raw);
+    let mut pad = vec![true; pad_n];
+    pad.extend(std::iter::repeat(false).take(n));
+    (input, targets, pad)
+}
+
+/// Encodes a sequence purely as input (for inference): the *whole* sequence
+/// left-padded/truncated to `max_len`, no targets.
+pub fn encode_input_only(seq: &[ItemId], max_len: usize) -> (Vec<ItemId>, Vec<bool>) {
+    let keep = if seq.len() > max_len { &seq[seq.len() - max_len..] } else { seq };
+    let n = keep.len();
+    let pad_n = max_len - n;
+    let mut input = vec![PAD_ITEM; pad_n];
+    input.extend_from_slice(keep);
+    let mut pad = vec![true; pad_n];
+    pad.extend(std::iter::repeat(false).take(n));
+    (input, pad)
+}
+
+/// Shuffling mini-batcher over training sequences.
+pub struct Batcher {
+    sequences: Vec<Vec<ItemId>>,
+    max_len: usize,
+    batch_size: usize,
+}
+
+impl Batcher {
+    /// Creates a batcher. Sequences shorter than 2 items are dropped (no
+    /// next-item target exists).
+    pub fn new(sequences: Vec<Vec<ItemId>>, max_len: usize, batch_size: usize) -> Self {
+        assert!(max_len >= 1 && batch_size >= 1);
+        let sequences: Vec<_> = sequences.into_iter().filter(|s| s.len() >= 2).collect();
+        Batcher { sequences, max_len, batch_size }
+    }
+
+    /// Number of usable sequences.
+    pub fn num_sequences(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Produces the epoch's batches in a seeded shuffled order.
+    pub fn epoch(&self, rng: &mut StdRng) -> Vec<Batch> {
+        let mut order: Vec<usize> = (0..self.sequences.len()).collect();
+        order.shuffle(rng);
+        order
+            .chunks(self.batch_size)
+            .map(|chunk| {
+                let mut inputs = Vec::with_capacity(chunk.len());
+                let mut targets = Vec::with_capacity(chunk.len());
+                let mut last_target = Vec::with_capacity(chunk.len());
+                let mut pad = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let (inp, tgt, pd) = encode_sequence(&self.sequences[i], self.max_len);
+                    last_target.push(*self.sequences[i].last().expect("len >= 2"));
+                    inputs.push(inp);
+                    targets.push(tgt);
+                    pad.push(pd);
+                }
+                Batch { inputs, targets, last_target, pad }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encode_pads_left() {
+        let (inp, tgt, pad) = encode_sequence(&[3, 7, 9], 5);
+        assert_eq!(inp, vec![0, 0, 0, 3, 7]);
+        assert_eq!(tgt, vec![usize::MAX, usize::MAX, usize::MAX, 7, 9]);
+        assert_eq!(pad, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn encode_truncates_to_recent() {
+        let (inp, tgt, _) = encode_sequence(&[1, 2, 3, 4, 5, 6], 3);
+        // keep last 4 = [3,4,5,6]; inputs [3,4,5], targets [4,5,6]
+        assert_eq!(inp, vec![3, 4, 5]);
+        assert_eq!(tgt, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn encode_input_only_keeps_whole_tail() {
+        let (inp, pad) = encode_input_only(&[1, 2, 3], 5);
+        assert_eq!(inp, vec![0, 0, 1, 2, 3]);
+        assert_eq!(pad, vec![true, true, false, false, false]);
+        let (inp, _) = encode_input_only(&[1, 2, 3, 4, 5, 6], 4);
+        assert_eq!(inp, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn batcher_covers_all_sequences_once() {
+        let seqs = vec![vec![1, 2, 3], vec![4, 5], vec![6, 7, 8, 9], vec![1]];
+        let b = Batcher::new(seqs, 4, 2);
+        assert_eq!(b.num_sequences(), 3, "singleton dropped");
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = b.epoch(&mut rng);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 3);
+        for batch in &batches {
+            assert_eq!(batch.seq_len(), 4);
+            assert_eq!(batch.targets.len(), batch.len());
+            assert_eq!(batch.last_target.len(), batch.len());
+        }
+    }
+
+    #[test]
+    fn epoch_order_is_seeded() {
+        let seqs: Vec<Vec<usize>> = (0..20).map(|i| vec![i + 1, i + 2, i + 3]).collect();
+        let b = Batcher::new(seqs, 3, 4);
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let e1 = b.epoch(&mut r1);
+        let e2 = b.epoch(&mut r2);
+        assert_eq!(e1[0].inputs, e2[0].inputs);
+        let mut r3 = StdRng::seed_from_u64(6);
+        let e3 = b.epoch(&mut r3);
+        assert_ne!(e1[0].inputs, e3[0].inputs);
+    }
+
+    #[test]
+    fn last_target_is_final_item() {
+        let b = Batcher::new(vec![vec![5, 6, 7]], 8, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = b.epoch(&mut rng);
+        assert_eq!(batches[0].last_target, vec![7]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Leave-one-out evaluation split.
+//!
+//! "For each user, we use the last clicked item for testing, the
+//! penultimate one for validation, and the remaining clicked items for
+//! training."
+
+use crate::{Dataset, ItemId};
+
+/// One user's split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserSplit {
+    /// Training prefix (everything except the last two items).
+    pub train: Vec<ItemId>,
+    /// Validation target (penultimate item); input is `train`.
+    pub valid_target: ItemId,
+    /// Test target (last item); input is `train ++ [valid_target]`.
+    pub test_target: ItemId,
+}
+
+impl UserSplit {
+    /// Input sequence for scoring the test target.
+    pub fn test_input(&self) -> Vec<ItemId> {
+        let mut v = self.train.clone();
+        v.push(self.valid_target);
+        v
+    }
+}
+
+/// Leave-one-out split over a whole dataset. Users with fewer than 3
+/// interactions are dropped (they cannot supply train + valid + test).
+#[derive(Debug, Clone)]
+pub struct LeaveOneOut {
+    /// Per-user splits.
+    pub users: Vec<UserSplit>,
+    /// Number of items in the underlying dataset.
+    pub num_items: usize,
+}
+
+impl LeaveOneOut {
+    /// Splits a dataset.
+    pub fn split(data: &Dataset) -> LeaveOneOut {
+        let users = data
+            .sequences
+            .iter()
+            .filter(|s| s.len() >= 3)
+            .map(|s| {
+                let n = s.len();
+                UserSplit {
+                    train: s[..n - 2].to_vec(),
+                    valid_target: s[n - 2],
+                    test_target: s[n - 1],
+                }
+            })
+            .collect();
+        LeaveOneOut { users, num_items: data.num_items }
+    }
+
+    /// Number of evaluable users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The training sequences (one per user, without valid/test items).
+    pub fn train_sequences(&self) -> Vec<Vec<ItemId>> {
+        self.users.iter().map(|u| u.train.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_assigns_last_two_items() {
+        let d = Dataset {
+            name: "t".into(),
+            num_items: 9,
+            sequences: vec![vec![1, 2, 3, 4, 5], vec![7, 8]],
+        };
+        let s = LeaveOneOut::split(&d);
+        assert_eq!(s.num_users(), 1, "short user dropped");
+        let u = &s.users[0];
+        assert_eq!(u.train, vec![1, 2, 3]);
+        assert_eq!(u.valid_target, 4);
+        assert_eq!(u.test_target, 5);
+        assert_eq!(u.test_input(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn no_leakage_into_training() {
+        let d = Dataset {
+            name: "t".into(),
+            num_items: 9,
+            sequences: vec![vec![1, 2, 3, 4, 5]],
+        };
+        let s = LeaveOneOut::split(&d);
+        let train = s.train_sequences();
+        assert!(!train[0].contains(&4));
+        assert!(!train[0].contains(&5));
+    }
+}

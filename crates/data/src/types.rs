@@ -1,0 +1,224 @@
+//! Core dataset types and statistics (Table I).
+
+/// Item identifier. `0` is reserved for padding; real items are `1..=n`.
+pub type ItemId = usize;
+
+/// The reserved padding item id.
+pub const PAD_ITEM: ItemId = 0;
+
+/// A sequential-recommendation dataset: one chronological item sequence per
+/// user.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Display name (e.g. `"clothing-like"`).
+    pub name: String,
+    /// Number of real items; valid ids are `1..=num_items`.
+    pub num_items: usize,
+    /// Per-user chronological interaction sequences (no padding).
+    pub sequences: Vec<Vec<ItemId>>,
+}
+
+/// Summary statistics in the shape of the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of users.
+    pub users: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Total interactions.
+    pub interactions: usize,
+    /// Mean sequence length.
+    pub avg_length: f64,
+    /// `1 − interactions / (users · items)`.
+    pub sparsity: f64,
+}
+
+impl Dataset {
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Total number of interactions.
+    pub fn num_interactions(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// Computes Table-I-style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let users = self.num_users();
+        let interactions = self.num_interactions();
+        let avg_length = if users == 0 { 0.0 } else { interactions as f64 / users as f64 };
+        let cells = (users * self.num_items) as f64;
+        let sparsity = if cells == 0.0 { 1.0 } else { 1.0 - interactions as f64 / cells };
+        DatasetStats { users, items: self.num_items, interactions, avg_length, sparsity }
+    }
+
+    /// Applies k-core filtering on users: repeatedly drops users with fewer
+    /// than `k` interactions and items seen fewer than `k` times, then
+    /// compacts item ids. The paper uses the 5-core versions of the Amazon
+    /// datasets.
+    pub fn k_core(&self, k: usize) -> Dataset {
+        let mut sequences = self.sequences.clone();
+        loop {
+            // Count item occurrences over surviving users.
+            let mut item_count = vec![0usize; self.num_items + 1];
+            for s in &sequences {
+                for &it in s {
+                    item_count[it] += 1;
+                }
+            }
+            let mut changed = false;
+            for s in &mut sequences {
+                let before = s.len();
+                s.retain(|&it| item_count[it] >= k);
+                if s.len() != before {
+                    changed = true;
+                }
+            }
+            let before_users = sequences.len();
+            sequences.retain(|s| s.len() >= k);
+            if sequences.len() != before_users {
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Compact item ids to 1..=m.
+        let mut remap = vec![0usize; self.num_items + 1];
+        let mut next = 0usize;
+        for s in &mut sequences {
+            for it in s.iter_mut() {
+                if remap[*it] == 0 {
+                    next += 1;
+                    remap[*it] = next;
+                }
+                *it = remap[*it];
+            }
+        }
+        Dataset { name: format!("{}-{k}core", self.name), num_items: next, sequences }
+    }
+
+    /// Per-item interaction counts, indexed by item id (`counts[0]` unused).
+    pub fn item_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_items + 1];
+        for s in &self.sequences {
+            for &it in s {
+                counts[it] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Validates internal invariants (item ids in range, no padding id in
+    /// raw data). Returns an error message on the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (u, s) in self.sequences.iter().enumerate() {
+            for &it in s {
+                if it == PAD_ITEM {
+                    return Err(format!("user {u} contains the padding item 0"));
+                }
+                if it > self.num_items {
+                    return Err(format!(
+                        "user {u} references item {it} > num_items {}",
+                        self.num_items
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "users={} items={} interactions={} avg.length={:.1} sparsity={:.2}%",
+            self.users,
+            self.items,
+            self.interactions,
+            self.avg_length,
+            self.sparsity * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset {
+            name: "toy".into(),
+            num_items: 4,
+            sequences: vec![vec![1, 2, 3], vec![2, 3], vec![4]],
+        }
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let s = toy().stats();
+        assert_eq!(s.users, 3);
+        assert_eq!(s.items, 4);
+        assert_eq!(s.interactions, 6);
+        assert!((s.avg_length - 2.0).abs() < 1e-9);
+        assert!((s.sparsity - (1.0 - 6.0 / 12.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_catches_bad_ids() {
+        let mut d = toy();
+        assert!(d.validate().is_ok());
+        d.sequences[0][0] = 0;
+        assert!(d.validate().is_err());
+        d.sequences[0][0] = 99;
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn k_core_drops_rare_users_and_items() {
+        let d = Dataset {
+            name: "t".into(),
+            num_items: 5,
+            // item 5 appears once; user 2 has 1 interaction.
+            sequences: vec![vec![1, 2, 1, 2], vec![1, 2, 2, 1], vec![5]],
+        };
+        let c = d.k_core(2);
+        assert_eq!(c.num_users(), 2);
+        assert_eq!(c.num_items, 2); // items 1,2 compacted
+        for s in &c.sequences {
+            assert!(s.len() >= 2);
+            for &it in s {
+                assert!(it >= 1 && it <= 2);
+            }
+        }
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn k_core_cascades() {
+        // Removing a user can push an item below threshold, which must
+        // cascade to other users.
+        let d = Dataset {
+            name: "t".into(),
+            num_items: 3,
+            sequences: vec![vec![1, 1], vec![1, 2], vec![2, 3]],
+        };
+        // 2-core: item 3 appears once → drop → user 2 has 1 → drop → item 2
+        // appears once → drop from user 1 → user 1 has 1 → drop.
+        let c = d.k_core(2);
+        assert_eq!(c.num_users(), 1);
+        assert_eq!(c.sequences[0], vec![1, 1]);
+    }
+
+    #[test]
+    fn item_counts_correct() {
+        let counts = toy().item_counts();
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 2);
+        assert_eq!(counts[3], 2);
+        assert_eq!(counts[4], 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Beyond-accuracy metrics: catalog coverage and recommendation
+//! concentration (Gini). Useful for diagnosing popularity bias — the
+//! failure mode the paper's Fig. 6 embedding analysis is indirectly about
+//! (cone-collapsed embeddings recommend the same few items to everyone).
+
+use std::collections::HashSet;
+
+/// Fraction of the catalog that appears in at least one user's top-k list.
+///
+/// `recommendations[u]` is user `u`'s recommended item list; `num_items`
+/// is the catalog size (ids `1..=num_items`).
+pub fn catalog_coverage(recommendations: &[Vec<usize>], num_items: usize) -> f64 {
+    if num_items == 0 {
+        return 0.0;
+    }
+    let distinct: HashSet<usize> = recommendations
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|&i| i >= 1 && i <= num_items)
+        .collect();
+    distinct.len() as f64 / num_items as f64
+}
+
+/// Gini coefficient of how often each item is recommended: 0 = perfectly
+/// even exposure, → 1 = all exposure concentrated on a few items.
+pub fn recommendation_gini(recommendations: &[Vec<usize>], num_items: usize) -> f64 {
+    if num_items == 0 {
+        return 0.0;
+    }
+    let mut counts = vec![0u64; num_items + 1];
+    for rec in recommendations {
+        for &i in rec {
+            if i >= 1 && i <= num_items {
+                counts[i] += 1;
+            }
+        }
+    }
+    let mut c: Vec<u64> = counts[1..].to_vec();
+    c.sort_unstable();
+    let total: u64 = c.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = c.len() as f64;
+    // Gini from the sorted-counts formula: Σ (2i − n − 1) x_i / (n Σ x).
+    let mut acc = 0.0f64;
+    for (i, &x) in c.iter().enumerate() {
+        acc += (2.0 * (i + 1) as f64 - n - 1.0) * x as f64;
+    }
+    acc / (n * total as f64)
+}
+
+/// Mean intra-list distance of each top-k list under a simple item-id
+/// cluster function — a cheap diversity proxy for synthetic catalogs where
+/// `cluster(item)` is known.
+pub fn mean_intra_list_diversity(
+    recommendations: &[Vec<usize>],
+    cluster: impl Fn(usize) -> usize,
+) -> f64 {
+    let mut total = 0.0f64;
+    let mut lists = 0usize;
+    for rec in recommendations {
+        if rec.len() < 2 {
+            continue;
+        }
+        let mut diff = 0usize;
+        let mut pairs = 0usize;
+        for i in 0..rec.len() {
+            for j in i + 1..rec.len() {
+                pairs += 1;
+                if cluster(rec[i]) != cluster(rec[j]) {
+                    diff += 1;
+                }
+            }
+        }
+        total += diff as f64 / pairs as f64;
+        lists += 1;
+    }
+    if lists == 0 {
+        0.0
+    } else {
+        total / lists as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_distinct_items() {
+        let recs = vec![vec![1, 2], vec![2, 3]];
+        assert!((catalog_coverage(&recs, 6) - 0.5).abs() < 1e-12);
+        assert_eq!(catalog_coverage(&[], 6), 0.0);
+        // Out-of-range ids are ignored.
+        assert_eq!(catalog_coverage(&[vec![0, 99]], 6), 0.0);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        // Perfectly even: every item recommended once.
+        let even: Vec<Vec<usize>> = (1..=4).map(|i| vec![i]).collect();
+        assert!(recommendation_gini(&even, 4).abs() < 1e-9);
+        // Fully concentrated: only item 1, many times.
+        let conc = vec![vec![1], vec![1], vec![1], vec![1]];
+        let g = recommendation_gini(&conc, 4);
+        assert!(g > 0.7, "gini {g}");
+        // Empty input.
+        assert_eq!(recommendation_gini(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn gini_monotone_in_concentration() {
+        let spread = vec![vec![1], vec![2], vec![3], vec![4]];
+        let skewed = vec![vec![1], vec![1], vec![1], vec![4]];
+        assert!(
+            recommendation_gini(&skewed, 4) > recommendation_gini(&spread, 4),
+            "more concentration ⇒ higher gini"
+        );
+    }
+
+    #[test]
+    fn diversity_by_cluster() {
+        // Clusters: even/odd item ids.
+        let cluster = |i: usize| i % 2;
+        let mono = vec![vec![2, 4, 6]];
+        let mixed = vec![vec![1, 2, 3]];
+        assert_eq!(mean_intra_list_diversity(&mono, cluster), 0.0);
+        let d = mean_intra_list_diversity(&mixed, cluster);
+        assert!((d - 2.0 / 3.0).abs() < 1e-12, "{d}");
+        assert_eq!(mean_intra_list_diversity(&[vec![1]], cluster), 0.0);
+    }
+}

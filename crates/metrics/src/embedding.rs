@@ -1,0 +1,328 @@
+//! Item-embedding distribution analytics (Figure 6 replacement).
+//!
+//! The paper visualizes item embeddings with t-SNE and argues that SASRec
+//! "produces a narrow cone in the latent space" while Meta-SGCL's
+//! distribution "is more uniform". Cone collapse and uniformity are
+//! directly measurable; this module computes:
+//!
+//! * **mean pairwise cosine similarity** — high values ⇒ narrow cone;
+//! * **Wang–Isola uniformity loss** `log E exp(−2‖z_i − z_j‖²)` on
+//!   L2-normalized embeddings — closer to 0 ⇒ *less* uniform;
+//! * **effective rank** (entropy of normalized singular values of the
+//!   covariance) — higher ⇒ the embedding uses more directions;
+//! * a **2-D PCA projection** for plotting / CSV export.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tensor::Tensor;
+
+/// Summary statistics of an embedding matrix `[n, d]`.
+#[derive(Debug, Clone)]
+pub struct EmbeddingReport {
+    /// Mean pairwise cosine similarity over sampled pairs.
+    pub mean_cosine: f64,
+    /// Wang–Isola uniformity loss (more negative ⇒ more uniform).
+    pub uniformity: f64,
+    /// Effective rank `exp(H(σ̂))` of the covariance spectrum.
+    pub effective_rank: f64,
+    /// Fraction of variance captured by the top principal component.
+    pub top1_variance_ratio: f64,
+}
+
+impl std::fmt::Display for EmbeddingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean_cos={:.4} uniformity={:.4} eff_rank={:.2} top1_var={:.3}",
+            self.mean_cosine, self.uniformity, self.effective_rank, self.top1_variance_ratio
+        )
+    }
+}
+
+fn normalize_rows(e: &Tensor) -> Vec<Vec<f64>> {
+    let (n, d) = (e.dim(0), e.dim(1));
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let row = e.row(i);
+        let norm = row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt().max(1e-12);
+        out.push(row.iter().map(|&x| x as f64 / norm).collect());
+    }
+    let _ = d;
+    out
+}
+
+/// Computes the distribution report from an embedding matrix `[n, d]`,
+/// sampling `pairs` random pairs for the pairwise statistics.
+pub fn analyze(e: &Tensor, pairs: usize, rng: &mut StdRng) -> EmbeddingReport {
+    assert_eq!(e.ndim(), 2, "analyze expects [n, d]");
+    let n = e.dim(0);
+    assert!(n >= 2, "need at least two embeddings");
+    let normed = normalize_rows(e);
+
+    let mut cos_sum = 0.0f64;
+    let mut unif_sum = 0.0f64;
+    for _ in 0..pairs {
+        let i = rng.gen_range(0..n);
+        let mut j = rng.gen_range(0..n);
+        while j == i {
+            j = rng.gen_range(0..n);
+        }
+        let dot: f64 = normed[i].iter().zip(normed[j].iter()).map(|(a, b)| a * b).sum();
+        cos_sum += dot;
+        // ‖zi − zj‖² = 2 − 2·cos for unit vectors.
+        unif_sum += (-2.0 * (2.0 - 2.0 * dot)).exp();
+    }
+    let mean_cosine = cos_sum / pairs as f64;
+    let uniformity = (unif_sum / pairs as f64).ln();
+
+    // Use the *uncentered* second moment: a cone shows up as one dominant
+    // direction (the shared mean), which centering would hide.
+    let spectrum = gram_eigenvalues(e);
+    let total: f64 = spectrum.iter().sum::<f64>().max(1e-18);
+    let mut entropy = 0.0f64;
+    for &ev in &spectrum {
+        let p = (ev / total).max(1e-18);
+        entropy -= p * p.ln();
+    }
+    EmbeddingReport {
+        mean_cosine,
+        uniformity,
+        effective_rank: entropy.exp(),
+        top1_variance_ratio: spectrum.iter().cloned().fold(0.0, f64::max) / total,
+    }
+}
+
+/// Eigenvalues of the *uncentered* second-moment matrix `EᵀE/n` of
+/// `e: [n, d]` — the squared singular-value spectrum of the embedding
+/// matrix, which exposes cone collapse as a single dominant eigenvalue.
+pub fn gram_eigenvalues(e: &Tensor) -> Vec<f64> {
+    let (n, d) = (e.dim(0), e.dim(1));
+    let mut gram = vec![0.0f64; d * d];
+    for i in 0..n {
+        let row = e.row(i);
+        for a in 0..d {
+            let xa = row[a] as f64;
+            for b in a..d {
+                gram[a * d + b] += xa * row[b] as f64;
+            }
+        }
+    }
+    for a in 0..d {
+        for b in a..d {
+            gram[a * d + b] /= n as f64;
+            gram[b * d + a] = gram[a * d + b];
+        }
+    }
+    jacobi_eigenvalues(&mut gram, d)
+}
+
+/// Eigenvalues of the `d×d` covariance of `e: [n, d]`, via cyclic Jacobi
+/// rotations (exact for symmetric matrices; `d` is ≤ a few hundred here).
+pub fn covariance_eigenvalues(e: &Tensor) -> Vec<f64> {
+    let (n, d) = (e.dim(0), e.dim(1));
+    // Column means.
+    let mut mean = vec![0.0f64; d];
+    for i in 0..n {
+        for (m, &x) in mean.iter_mut().zip(e.row(i).iter()) {
+            *m += x as f64;
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n as f64;
+    }
+    // Covariance (upper symmetric, stored dense).
+    let mut cov = vec![0.0f64; d * d];
+    for i in 0..n {
+        let row = e.row(i);
+        for a in 0..d {
+            let xa = row[a] as f64 - mean[a];
+            for b in a..d {
+                let xb = row[b] as f64 - mean[b];
+                cov[a * d + b] += xa * xb;
+            }
+        }
+    }
+    let denom = (n.max(2) - 1) as f64;
+    for a in 0..d {
+        for b in a..d {
+            cov[a * d + b] /= denom;
+            cov[b * d + a] = cov[a * d + b];
+        }
+    }
+    jacobi_eigenvalues(&mut cov, d)
+}
+
+/// In-place cyclic Jacobi eigenvalue iteration for a symmetric matrix.
+fn jacobi_eigenvalues(m: &mut [f64], d: usize) -> Vec<f64> {
+    for _sweep in 0..60 {
+        let mut off = 0.0f64;
+        for p in 0..d {
+            for q in p + 1..d {
+                off += m[p * d + q] * m[p * d + q];
+            }
+        }
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..d {
+            for q in p + 1..d {
+                let apq = m[p * d + q];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                let app = m[p * d + p];
+                let aqq = m[q * d + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..d {
+                    let akp = m[k * d + p];
+                    let akq = m[k * d + q];
+                    m[k * d + p] = c * akp - s * akq;
+                    m[k * d + q] = s * akp + c * akq;
+                }
+                for k in 0..d {
+                    let apk = m[p * d + k];
+                    let aqk = m[q * d + k];
+                    m[p * d + k] = c * apk - s * aqk;
+                    m[q * d + k] = s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    let mut ev: Vec<f64> = (0..d).map(|i| m[i * d + i].max(0.0)).collect();
+    ev.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    ev
+}
+
+/// Projects `e: [n, d]` onto its top-2 principal components, returning
+/// `(x, y)` pairs — the data behind a Fig.-6-style scatter plot.
+pub fn pca_project_2d(e: &Tensor) -> Vec<(f64, f64)> {
+    let (n, d) = (e.dim(0), e.dim(1));
+    let mut mean = vec![0.0f64; d];
+    for i in 0..n {
+        for (m, &x) in mean.iter_mut().zip(e.row(i).iter()) {
+            *m += x as f64;
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n as f64;
+    }
+    // Power iteration for the top-2 eigenvectors of the covariance, with
+    // deflation.
+    let centered: Vec<Vec<f64>> = (0..n)
+        .map(|i| e.row(i).iter().zip(mean.iter()).map(|(&x, m)| x as f64 - m).collect())
+        .collect();
+    let matvec = |v: &[f64], exclude: Option<&[f64]>| -> Vec<f64> {
+        let mut out = vec![0.0f64; d];
+        for row in &centered {
+            let mut dot: f64 = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+            if let Some(u) = exclude {
+                let proj: f64 = row.iter().zip(u.iter()).map(|(a, b)| a * b).sum();
+                let vu: f64 = v.iter().zip(u.iter()).map(|(a, b)| a * b).sum();
+                dot -= proj * vu;
+            }
+            for (o, &r) in out.iter_mut().zip(row.iter()) {
+                *o += dot * r;
+            }
+        }
+        out
+    };
+    let power = |exclude: Option<&[f64]>| -> Vec<f64> {
+        let mut v: Vec<f64> = (0..d).map(|i| ((i * 37 + 11) % 97) as f64 / 97.0 - 0.5).collect();
+        for _ in 0..100 {
+            let mut w = matvec(&v, exclude);
+            if let Some(u) = exclude {
+                let dot: f64 = w.iter().zip(u.iter()).map(|(a, b)| a * b).sum();
+                for (wi, ui) in w.iter_mut().zip(u.iter()) {
+                    *wi -= dot * ui;
+                }
+            }
+            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            for wi in w.iter_mut() {
+                *wi /= norm;
+            }
+            v = w;
+        }
+        v
+    };
+    let u1 = power(None);
+    let u2 = power(Some(&u1));
+    centered
+        .iter()
+        .map(|row| {
+            let x: f64 = row.iter().zip(u1.iter()).map(|(a, b)| a * b).sum();
+            let y: f64 = row.iter().zip(u2.iter()).map(|(a, b)| a * b).sum();
+            (x, y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tensor::init;
+
+    #[test]
+    fn cone_vs_uniform_is_detected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        // "Cone": all embeddings near one direction.
+        let mut cone = init::randn(&mut rng, vec![200, 16], 0.0, 0.05);
+        for i in 0..200 {
+            cone.row_mut(i)[0] += 1.0;
+        }
+        // "Uniform": isotropic Gaussian (uniform-ish on the sphere).
+        let uniform = init::randn(&mut rng, vec![200, 16], 0.0, 1.0);
+
+        let rc = analyze(&cone, 2000, &mut rng);
+        let ru = analyze(&uniform, 2000, &mut rng);
+        assert!(rc.mean_cosine > 0.8, "cone cosine {}", rc.mean_cosine);
+        assert!(ru.mean_cosine < 0.2, "uniform cosine {}", ru.mean_cosine);
+        assert!(ru.uniformity < rc.uniformity, "uniformity should be lower (better)");
+        assert!(ru.effective_rank > rc.effective_rank * 2.0);
+    }
+
+    #[test]
+    fn covariance_eigenvalues_of_known_matrix() {
+        // Two orthogonal directions with variances 4 and 1.
+        let mut data = Vec::new();
+        for i in 0..100 {
+            let a = if i % 2 == 0 { 2.0 } else { -2.0 };
+            let b = if i % 4 < 2 { 1.0 } else { -1.0 };
+            data.push(a);
+            data.push(b);
+        }
+        let e = Tensor::from_vec(data, vec![100, 2]);
+        let ev = covariance_eigenvalues(&e);
+        assert!((ev[0] - 4.0 * 100.0 / 99.0).abs() < 0.1, "ev0 {}", ev[0]);
+        assert!((ev[1] - 1.0 * 100.0 / 99.0).abs() < 0.1, "ev1 {}", ev[1]);
+    }
+
+    #[test]
+    fn pca_projection_captures_dominant_axis() {
+        // Points spread along a diagonal line in 4-D.
+        let mut data = Vec::new();
+        for i in 0..50 {
+            let t = i as f32 - 25.0;
+            data.extend_from_slice(&[t, t, 0.1 * (i % 3) as f32, 0.0]);
+        }
+        let e = Tensor::from_vec(data, vec![50, 4]);
+        let proj = pca_project_2d(&e);
+        // Variance along x must dominate variance along y.
+        let vx: f64 = proj.iter().map(|(x, _)| x * x).sum::<f64>() / 50.0;
+        let vy: f64 = proj.iter().map(|(_, y)| y * y).sum::<f64>() / 50.0;
+        assert!(vx > 50.0 * vy, "vx={vx} vy={vy}");
+    }
+
+    #[test]
+    fn effective_rank_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = init::randn(&mut rng, vec![300, 8], 0.0, 1.0);
+        let r = analyze(&e, 1000, &mut rng);
+        assert!(r.effective_rank <= 8.0 + 1e-6);
+        assert!(r.effective_rank > 6.0, "isotropic data should use most dims");
+        assert!(r.top1_variance_ratio < 0.35);
+    }
+}

@@ -1,0 +1,17 @@
+//! Evaluation metrics for the Meta-SGCL reproduction.
+//!
+//! * [`ranking`] — HR@k, NDCG@k, MRR@k over full-catalog ranking, the
+//!   protocol of the paper's Table II.
+//! * [`embedding`] — item-embedding distribution analytics replacing the
+//!   paper's Figure 6 t-SNE plots: mean pairwise cosine (cone collapse),
+//!   Wang–Isola uniformity, spectral effective rank, and a 2-D PCA
+//!   projection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod embedding;
+pub mod ranking;
+
+pub use ranking::{rank_of, EvalReport, MetricAccumulator};

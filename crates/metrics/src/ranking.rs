@@ -1,0 +1,217 @@
+//! Top-k ranking metrics: Hit Ratio, NDCG, MRR.
+//!
+//! The protocol matches the paper: for every user, score **all** items,
+//! rank them in descending order, and check where the held-out ground-truth
+//! item lands. Item id 0 (padding) is never ranked.
+
+use std::collections::BTreeMap;
+
+/// 1-based rank of `target` in `scores`, where `scores[i]` is the score of
+/// item `i` and index 0 is the padding item (ignored).
+///
+/// Ties are broken pessimistically: items with a strictly greater score and
+/// *earlier* items with an equal score outrank the target, which makes the
+/// metric deterministic and slightly conservative.
+pub fn rank_of(scores: &[f32], target: usize) -> usize {
+    debug_assert!(target >= 1 && target < scores.len(), "target {target} out of range");
+    let ts = scores[target];
+    let mut rank = 1usize;
+    for (i, &s) in scores.iter().enumerate().skip(1) {
+        if i == target {
+            continue;
+        }
+        if s > ts || (s == ts && i < target) {
+            rank += 1;
+        }
+    }
+    rank
+}
+
+/// Aggregated metrics for one evaluation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// HR@k per cutoff.
+    pub hr: BTreeMap<usize, f64>,
+    /// NDCG@k per cutoff.
+    pub ndcg: BTreeMap<usize, f64>,
+    /// MRR@k per cutoff.
+    pub mrr: BTreeMap<usize, f64>,
+    /// Number of evaluated users.
+    pub users: usize,
+}
+
+impl EvalReport {
+    /// HR at cutoff `k` (panics if `k` was not requested).
+    pub fn hr(&self, k: usize) -> f64 {
+        self.hr[&k]
+    }
+
+    /// NDCG at cutoff `k`.
+    pub fn ndcg(&self, k: usize) -> f64 {
+        self.ndcg[&k]
+    }
+
+    /// MRR at cutoff `k`.
+    pub fn mrr(&self, k: usize) -> f64 {
+        self.mrr[&k]
+    }
+}
+
+impl std::fmt::Display for EvalReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (k, v) in &self.hr {
+            write!(f, "HR@{k}={v:.4} ")?;
+        }
+        for (k, v) in &self.ndcg {
+            write!(f, "NDCG@{k}={v:.4} ")?;
+        }
+        Ok(())
+    }
+}
+
+/// Streaming accumulator: feed one ground-truth rank per user, then
+/// [`MetricAccumulator::finish`].
+#[derive(Debug, Clone)]
+pub struct MetricAccumulator {
+    ks: Vec<usize>,
+    hr_sum: Vec<f64>,
+    ndcg_sum: Vec<f64>,
+    mrr_sum: Vec<f64>,
+    users: usize,
+}
+
+impl MetricAccumulator {
+    /// Creates an accumulator for the given cutoffs (the paper uses 5, 10).
+    pub fn new(ks: &[usize]) -> Self {
+        MetricAccumulator {
+            ks: ks.to_vec(),
+            hr_sum: vec![0.0; ks.len()],
+            ndcg_sum: vec![0.0; ks.len()],
+            mrr_sum: vec![0.0; ks.len()],
+            users: 0,
+        }
+    }
+
+    /// Records one user whose ground-truth item landed at `rank` (1-based).
+    ///
+    /// With a single relevant item, `NDCG@k = 1/log₂(rank+1)` when
+    /// `rank ≤ k`, else 0; `MRR@k = 1/rank` when `rank ≤ k`.
+    pub fn add_rank(&mut self, rank: usize) {
+        debug_assert!(rank >= 1);
+        self.users += 1;
+        for (i, &k) in self.ks.iter().enumerate() {
+            if rank <= k {
+                self.hr_sum[i] += 1.0;
+                self.ndcg_sum[i] += 1.0 / ((rank + 1) as f64).log2();
+                self.mrr_sum[i] += 1.0 / rank as f64;
+            }
+        }
+    }
+
+    /// Convenience: compute the rank from full-catalog scores and record it.
+    pub fn add_scores(&mut self, scores: &[f32], target: usize) {
+        self.add_rank(rank_of(scores, target));
+    }
+
+    /// Finalizes the averages.
+    pub fn finish(&self) -> EvalReport {
+        let n = self.users.max(1) as f64;
+        let collect = |sums: &[f64]| {
+            self.ks.iter().copied().zip(sums.iter().map(|s| s / n)).collect::<BTreeMap<_, _>>()
+        };
+        EvalReport {
+            hr: collect(&self.hr_sum),
+            ndcg: collect(&self.ndcg_sum),
+            mrr: collect(&self.mrr_sum),
+            users: self.users,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_basic() {
+        // scores: pad, item1=0.1, item2=0.9, item3=0.5
+        let s = vec![99.0, 0.1, 0.9, 0.5];
+        assert_eq!(rank_of(&s, 2), 1);
+        assert_eq!(rank_of(&s, 3), 2);
+        assert_eq!(rank_of(&s, 1), 3);
+    }
+
+    #[test]
+    fn rank_of_ignores_padding_score() {
+        let s = vec![f32::INFINITY, 0.5, 0.1];
+        assert_eq!(rank_of(&s, 1), 1);
+    }
+
+    #[test]
+    fn rank_of_tie_breaking_is_deterministic() {
+        let s = vec![0.0, 0.5, 0.5, 0.5];
+        assert_eq!(rank_of(&s, 1), 1);
+        assert_eq!(rank_of(&s, 2), 2);
+        assert_eq!(rank_of(&s, 3), 3);
+    }
+
+    #[test]
+    fn metrics_oracle_values() {
+        let mut acc = MetricAccumulator::new(&[5, 10]);
+        acc.add_rank(1); // HR5=1, NDCG5=1, MRR=1
+        acc.add_rank(3); // HR5=1, NDCG5=1/log2(4)=0.5, MRR=1/3
+        acc.add_rank(7); // only inside k=10
+        acc.add_rank(50); // outside both
+        let r = acc.finish();
+        assert_eq!(r.users, 4);
+        assert!((r.hr(5) - 0.5).abs() < 1e-12);
+        assert!((r.hr(10) - 0.75).abs() < 1e-12);
+        let ndcg5 = (1.0 + 0.5) / 4.0;
+        assert!((r.ndcg(5) - ndcg5).abs() < 1e-12);
+        let ndcg10 = (1.0 + 0.5 + 1.0 / 8f64.log2()) / 4.0;
+        assert!((r.ndcg(10) - ndcg10).abs() < 1e-9);
+        let mrr10 = (1.0 + 1.0 / 3.0 + 1.0 / 7.0) / 4.0;
+        assert!((r.mrr(10) - mrr10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hr_monotone_in_k() {
+        let mut acc = MetricAccumulator::new(&[1, 5, 10, 100]);
+        for rank in [1usize, 2, 4, 9, 40, 80] {
+            acc.add_rank(rank);
+        }
+        let r = acc.finish();
+        assert!(r.hr(1) <= r.hr(5));
+        assert!(r.hr(5) <= r.hr(10));
+        assert!(r.hr(10) <= r.hr(100));
+    }
+
+    #[test]
+    fn add_scores_matches_manual_rank() {
+        let mut a = MetricAccumulator::new(&[5]);
+        let mut b = MetricAccumulator::new(&[5]);
+        let scores = vec![0.0, 0.3, 0.9, 0.5, 0.1];
+        a.add_scores(&scores, 3);
+        b.add_rank(rank_of(&scores, 3));
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn perfect_and_random_extremes() {
+        let mut perfect = MetricAccumulator::new(&[5]);
+        for _ in 0..10 {
+            perfect.add_rank(1);
+        }
+        let r = perfect.finish();
+        assert_eq!(r.hr(5), 1.0);
+        assert_eq!(r.ndcg(5), 1.0);
+
+        let mut bad = MetricAccumulator::new(&[5]);
+        for _ in 0..10 {
+            bad.add_rank(1000);
+        }
+        let r = bad.finish();
+        assert_eq!(r.hr(5), 0.0);
+        assert_eq!(r.ndcg(5), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The shared SASRec-style Transformer backbone: item + position
+//! embeddings, embedding LayerNorm/dropout, and a stacked self-attention
+//! encoder with causal and padding masks.
+//!
+//! Every attention-based model in this reproduction (SASRec, BERT4Rec,
+//! VSAN, DuoRec, ContrastVAE, ACVAE, and Meta-SGCL itself) is this backbone
+//! plus a different head/objective, which keeps the Table II comparison
+//! about objectives rather than implementation details.
+
+use autograd::{Graph, ParamRef, Var};
+use nn::{
+    causal_mask, padding_additive_mask, Dropout, Embedding, LayerNorm, Module,
+    TransformerEncoder,
+};
+use rand::rngs::StdRng;
+use recdata::ItemId;
+use tensor::{ops, Tensor};
+
+/// Item+position embedding and Transformer encoder stack.
+pub struct TransformerBackbone {
+    item_emb: Embedding,
+    pos_emb: Embedding,
+    emb_ln: LayerNorm,
+    emb_dropout: Dropout,
+    encoder: TransformerEncoder,
+    dim: usize,
+    heads: usize,
+    causal: bool,
+}
+
+impl TransformerBackbone {
+    /// Creates a backbone.
+    ///
+    /// `vocab` must include padding (`num_items + 1`) plus any special
+    /// tokens (e.g. BERT4Rec's `[mask]`). `causal = false` gives
+    /// bidirectional attention.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rng: &mut StdRng,
+        name: &str,
+        vocab: usize,
+        max_len: usize,
+        dim: usize,
+        heads: usize,
+        layers: usize,
+        dropout: f32,
+        causal: bool,
+    ) -> Self {
+        TransformerBackbone {
+            item_emb: Embedding::new(rng, &format!("{name}.item"), vocab, dim),
+            pos_emb: Embedding::new(rng, &format!("{name}.pos"), max_len, dim),
+            emb_ln: LayerNorm::new(&format!("{name}.emb_ln"), dim),
+            emb_dropout: Dropout::new(dropout),
+            encoder: TransformerEncoder::new(rng, &format!("{name}.enc"), layers, dim, heads, dropout),
+            dim,
+            heads,
+            causal,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size (including padding/special tokens).
+    pub fn vocab(&self) -> usize {
+        self.item_emb.vocab()
+    }
+
+    /// The item-embedding table parameter (tied output projection, Fig. 6
+    /// analytics).
+    pub fn item_table(&self) -> &ParamRef {
+        self.item_emb.table()
+    }
+
+    /// Builds the combined additive attention mask for a batch.
+    pub fn attention_mask(&self, pad: &[Vec<bool>]) -> Tensor {
+        let n = pad.first().map_or(0, Vec::len);
+        let pad_mask = padding_additive_mask(pad, self.heads);
+        if self.causal {
+            ops::add(&pad_mask, &causal_mask(n)).expect("mask broadcast")
+        } else {
+            pad_mask
+        }
+    }
+
+    /// Multiplicative timeline mask `[b, n, 1]` (0 at padding).
+    pub fn timeline_mask(pad: &[Vec<bool>]) -> Tensor {
+        let b = pad.len();
+        let n = pad.first().map_or(0, Vec::len);
+        let mut t = Tensor::ones(vec![b, n, 1]);
+        for (bi, row) in pad.iter().enumerate() {
+            for (j, &p) in row.iter().enumerate() {
+                if p {
+                    t.data_mut()[bi * n + j] = 0.0;
+                }
+            }
+        }
+        t
+    }
+
+    /// Embeds a batch (Eq. 4: `Ê = E + P`), normalizes, applies dropout.
+    pub fn embed(
+        &self,
+        g: &Graph,
+        inputs: &[Vec<ItemId>],
+        rng: &mut StdRng,
+        training: bool,
+    ) -> Var {
+        let n = inputs.first().map_or(0, Vec::len);
+        let e = self.item_emb.forward_batch(g, inputs);
+        let pos: Vec<usize> = (0..n).collect();
+        let p = self.pos_emb.forward_flat(g, &pos); // [n, d] broadcast over batch
+        let x = e.add(&p);
+        let x = self.emb_ln.forward(g, &x);
+        self.emb_dropout.forward(&x, rng, training)
+    }
+
+    /// Full forward: returns hidden states `[b, n, dim]` (Eq. 10's `F^(l)`).
+    pub fn forward(
+        &self,
+        g: &Graph,
+        inputs: &[Vec<ItemId>],
+        pad: &[Vec<bool>],
+        rng: &mut StdRng,
+        training: bool,
+    ) -> Var {
+        let x = self.embed(g, inputs, rng, training);
+        let mask = self.attention_mask(pad);
+        let timeline = Self::timeline_mask(pad);
+        self.encoder.forward(g, &x, Some(&mask), Some(&timeline), rng, training)
+    }
+
+    /// Runs the encoder on a pre-built embedding var (used by models that
+    /// modify the embedding first, e.g. the VAE decoder over `z`).
+    pub fn encode_embedded(
+        &self,
+        g: &Graph,
+        x: &Var,
+        pad: &[Vec<bool>],
+        rng: &mut StdRng,
+        training: bool,
+    ) -> Var {
+        let mask = self.attention_mask(pad);
+        let timeline = Self::timeline_mask(pad);
+        self.encoder.forward(g, x, Some(&mask), Some(&timeline), rng, training)
+    }
+
+    /// Extracts the representation at the last position: `[b, n, d] → [b, d]`.
+    /// With left padding the final position always holds the most recent
+    /// real item.
+    pub fn last_hidden(h: &Var) -> Var {
+        let dims = h.dims();
+        let (b, n, d) = (dims[0], dims[1], dims[2]);
+        h.slice_axis(1, n - 1, n).reshape(vec![b, d])
+    }
+
+    /// Scores the catalog from hidden states via the tied item table
+    /// (Eq. 22: `ŷ = z · Mᵀ`). Accepts `[b, d]` or `[b, n, d]`.
+    pub fn scores(&self, g: &Graph, h: &Var) -> Var {
+        let table = self.item_emb.full(g).transpose_last2(); // [d, V]
+        h.matmul(&table)
+    }
+
+    /// All trainable parameters.
+    pub fn parameters(&self) -> Vec<ParamRef> {
+        let mut ps = self.item_emb.parameters();
+        ps.extend(self.pos_emb.parameters());
+        ps.extend(self.emb_ln.parameters());
+        ps.extend(self.encoder.parameters());
+        ps
+    }
+}
+
+impl Module for TransformerBackbone {
+    fn parameters(&self) -> Vec<ParamRef> {
+        TransformerBackbone::parameters(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn backbone(causal: bool) -> (TransformerBackbone, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = TransformerBackbone::new(&mut rng, "bb", 11, 6, 8, 2, 1, 0.0, causal);
+        (b, rng)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (bb, mut rng) = backbone(true);
+        let g = Graph::new();
+        let inputs = vec![vec![0, 0, 1, 2, 3, 4], vec![0, 5, 6, 7, 8, 9]];
+        let pad = vec![
+            vec![true, true, false, false, false, false],
+            vec![true, false, false, false, false, false],
+        ];
+        let h = bb.forward(&g, &inputs, &pad, &mut rng, false);
+        assert_eq!(h.dims(), vec![2, 6, 8]);
+        let last = TransformerBackbone::last_hidden(&h);
+        assert_eq!(last.dims(), vec![2, 8]);
+        let s = bb.scores(&g, &last);
+        assert_eq!(s.dims(), vec![2, 11]);
+        let s3 = bb.scores(&g, &h);
+        assert_eq!(s3.dims(), vec![2, 6, 11]);
+    }
+
+    #[test]
+    fn padded_positions_output_zero() {
+        let (bb, mut rng) = backbone(true);
+        let g = Graph::new();
+        let inputs = vec![vec![0, 0, 1, 2, 3, 4]];
+        let pad = vec![vec![true, true, false, false, false, false]];
+        let h = bb.forward(&g, &inputs, &pad, &mut rng, false).value();
+        for j in 0..8 {
+            assert_eq!(h.at(&[0, 0, j]), 0.0);
+            assert_eq!(h.at(&[0, 1, j]), 0.0);
+        }
+        assert!(h.at(&[0, 2, 0]).abs() > 0.0);
+    }
+
+    #[test]
+    fn causal_backbone_ignores_future() {
+        let (bb, mut rng) = backbone(true);
+        let g = Graph::new();
+        let pad = vec![vec![false; 6]];
+        let a = bb
+            .forward(&g, &[vec![1, 2, 3, 4, 5, 6]], &pad, &mut rng, false)
+            .value();
+        let b = bb
+            .forward(&g, &[vec![1, 2, 3, 9, 5, 6]], &pad, &mut rng, false)
+            .value();
+        // Positions before the change are identical.
+        for t in 0..3 {
+            for j in 0..8 {
+                assert!((a.at(&[0, t, j]) - b.at(&[0, t, j])).abs() < 1e-5);
+            }
+        }
+        assert!((a.at(&[0, 3, 0]) - b.at(&[0, 3, 0])).abs() > 1e-5);
+    }
+
+    #[test]
+    fn bidirectional_backbone_sees_future() {
+        let (bb, mut rng) = backbone(false);
+        let g = Graph::new();
+        let pad = vec![vec![false; 6]];
+        let a = bb
+            .forward(&g, &[vec![1, 2, 3, 4, 5, 6]], &pad, &mut rng, false)
+            .value();
+        let b = bb
+            .forward(&g, &[vec![1, 2, 3, 9, 5, 6]], &pad, &mut rng, false)
+            .value();
+        // Position 0 changes because attention is bidirectional.
+        let mut any_change = false;
+        for j in 0..8 {
+            if (a.at(&[0, 0, j]) - b.at(&[0, 0, j])).abs() > 1e-6 {
+                any_change = true;
+            }
+        }
+        assert!(any_change);
+    }
+}

@@ -1,0 +1,167 @@
+//! BERT4Rec (Sun et al., CIKM 2019): bidirectional Transformer trained
+//! with masked-item prediction (Cloze objective).
+
+use autograd::{Graph, IGNORE_INDEX};
+use optim::{clip_grad_norm, Adam, Optimizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use recdata::{encode_input_only, ItemId};
+
+use crate::backbone::TransformerBackbone;
+use crate::sasrec::NetConfig;
+use crate::{SequentialRecommender, TrainConfig};
+
+/// The BERT4Rec model. Vocabulary is `num_items + 2`: padding (0), items
+/// (`1..=N`) and the `[mask]` token (`N + 1`).
+pub struct Bert4Rec {
+    backbone: TransformerBackbone,
+    net: NetConfig,
+    mask_prob: f64,
+    rng: StdRng,
+}
+
+impl Bert4Rec {
+    /// Builds an untrained BERT4Rec with mask probability 0.2 (the paper's
+    /// masked-item training scheme).
+    pub fn new(net: NetConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(net.seed);
+        let backbone = TransformerBackbone::new(
+            &mut rng,
+            "bert4rec",
+            net.num_items + 2,
+            net.max_len,
+            net.dim,
+            net.heads,
+            net.layers,
+            net.dropout,
+            false, // bidirectional
+        );
+        Bert4Rec { backbone, net, mask_prob: 0.2, rng }
+    }
+
+    fn mask_token(&self) -> ItemId {
+        self.net.num_items + 1
+    }
+}
+
+impl SequentialRecommender for Bert4Rec {
+    fn name(&self) -> String {
+        "BERT4Rec".into()
+    }
+
+    fn num_items(&self) -> usize {
+        self.net.num_items
+    }
+
+    fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mask_token = self.mask_token();
+        let usable: Vec<&Vec<ItemId>> = train.iter().filter(|s| s.len() >= 2).collect();
+        if usable.is_empty() {
+            return;
+        }
+        let params = self.backbone.parameters();
+        let mut opt = Adam::new(params.clone(), cfg.lr);
+        let mut order: Vec<usize> = (0..usable.len()).collect();
+        for epoch in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let mut inputs = Vec::with_capacity(chunk.len());
+                let mut pads = Vec::with_capacity(chunk.len());
+                let mut targets: Vec<usize> = Vec::with_capacity(chunk.len() * self.net.max_len);
+                for &i in chunk {
+                    let (mut input, pad) = encode_input_only(usable[i], self.net.max_len);
+                    let mut row_targets = vec![IGNORE_INDEX; self.net.max_len];
+                    let mut masked_any = false;
+                    for (t, is_pad) in pad.iter().enumerate() {
+                        if *is_pad {
+                            continue;
+                        }
+                        if rng.gen::<f64>() < self.mask_prob {
+                            row_targets[t] = input[t];
+                            input[t] = mask_token;
+                            masked_any = true;
+                        }
+                    }
+                    if !masked_any {
+                        // Always mask the final position so every sequence
+                        // contributes (also matches the inference pattern).
+                        let t = self.net.max_len - 1;
+                        row_targets[t] = input[t];
+                        input[t] = mask_token;
+                    }
+                    inputs.push(input);
+                    pads.push(pad);
+                    targets.extend(row_targets);
+                }
+                let g = Graph::new();
+                let h = self.backbone.forward(&g, &inputs, &pads, &mut rng, true);
+                let logits = self.backbone.scores(&g, &h);
+                let flat =
+                    logits.reshape(vec![inputs.len() * self.net.max_len, self.backbone.vocab()]);
+                let loss = flat.cross_entropy_with_logits(&targets);
+                loss.backward();
+                if cfg.grad_clip > 0.0 {
+                    clip_grad_norm(&params, cfg.grad_clip);
+                }
+                opt.step();
+                opt.zero_grad();
+                total += loss.item() as f64;
+                batches += 1;
+            }
+            if cfg.verbose {
+                println!("[BERT4Rec] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+            }
+        }
+    }
+
+    fn score(&mut self, _user: usize, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.net.num_items + 1];
+        }
+        // Append [mask] and read the prediction at that position.
+        let mut extended = seq.to_vec();
+        extended.push(self.mask_token());
+        let (input, pad) = encode_input_only(&extended, self.net.max_len);
+        let g = Graph::new();
+        let h = self.backbone.forward(&g, &[input], &[pad], &mut self.rng, false);
+        let last = TransformerBackbone::last_hidden(&h);
+        let scores = self.backbone.scores(&g, &last).value();
+        scores.row(0)[..self.net.num_items + 1].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_cloze_completion() {
+        let mut train = Vec::new();
+        for _ in 0..20 {
+            train.push(vec![1, 2, 3, 4, 5, 6]);
+        }
+        let mut m = Bert4Rec::new(NetConfig {
+            max_len: 8,
+            dim: 16,
+            layers: 1,
+            dropout: 0.0,
+            ..NetConfig::for_items(6)
+        });
+        let cfg = TrainConfig { epochs: 40, batch_size: 8, ..Default::default() };
+        m.fit(&train, &cfg);
+        let s = m.score(0, &[1, 2, 3, 4, 5]);
+        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(best, 6, "scores {s:?}");
+    }
+
+    #[test]
+    fn score_excludes_mask_token() {
+        let mut m = Bert4Rec::new(NetConfig { dim: 8, layers: 1, ..NetConfig::for_items(5) });
+        // scores truncated to num_items + 1 even though vocab has the mask.
+        assert_eq!(m.score(0, &[1]).len(), 6);
+    }
+}

@@ -1,0 +1,205 @@
+//! Caser (Tang & Wang, WSDM 2018): convolutional sequence embedding.
+//!
+//! Horizontal filters slide over the last `L` item embeddings to capture
+//! union-level patterns; vertical filters form weighted sums over the
+//! window. Simplifications at reproduction scale (documented in DESIGN.md):
+//! no separate user embedding (sequence-only variant, comparable with the
+//! other sequence models) and mean-pooling instead of max-pooling over
+//! horizontal windows (autograd-friendly and behaviourally close at small
+//! `L`).
+
+use autograd::{Graph, ParamRef, Var};
+use nn::{Embedding, Linear, Module};
+use optim::{clip_grad_norm, Adam, Optimizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use recdata::{ItemId, PAD_ITEM};
+
+use crate::{SequentialRecommender, TrainConfig};
+
+/// The Caser model.
+pub struct Caser {
+    item_emb: Embedding,
+    /// One horizontal filter bank per height: `[h·d, n_filters]`.
+    horizontal: Vec<(usize, Linear)>,
+    /// Vertical filter: `[L, n_vertical]` mixing the window rows.
+    vertical: Linear,
+    fc: Linear,
+    num_items: usize,
+    window: usize,
+    dim: usize,
+    n_vertical: usize,
+    rng: StdRng,
+}
+
+impl Caser {
+    /// Builds Caser with window length `window` (the `L` of the paper).
+    pub fn new(num_items: usize, window: usize, dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_filters = 4usize;
+        let n_vertical = 2usize;
+        let heights: Vec<usize> = [2usize, 3, 4].into_iter().filter(|&h| h <= window).collect();
+        let horizontal = heights
+            .iter()
+            .map(|&h| {
+                (h, Linear::new(&mut rng, &format!("caser.h{h}"), h * dim, n_filters, true))
+            })
+            .collect::<Vec<_>>();
+        let conv_out = n_filters * horizontal.len() + n_vertical * dim;
+        Caser {
+            item_emb: Embedding::new(&mut rng, "caser.item", num_items + 1, dim),
+            horizontal,
+            vertical: Linear::new(&mut rng, "caser.v", window, n_vertical, false),
+            fc: Linear::new(&mut rng, "caser.fc", conv_out, dim, true),
+            num_items,
+            window,
+            dim,
+            n_vertical,
+            rng,
+        }
+    }
+
+    fn parameters(&self) -> Vec<ParamRef> {
+        let mut ps = self.item_emb.parameters();
+        for (_, l) in &self.horizontal {
+            ps.extend(l.parameters());
+        }
+        ps.extend(self.vertical.parameters());
+        ps.extend(self.fc.parameters());
+        ps
+    }
+
+    /// Sequence representation for a batch of fixed windows `[b, L]`.
+    fn seq_repr(&self, g: &Graph, windows: &[Vec<ItemId>]) -> Var {
+        let b = windows.len();
+        let e = self.item_emb.forward_batch(g, windows); // [b, L, d]
+        let mut feats: Vec<Var> = Vec::new();
+        // Horizontal convolutions with mean pooling over window positions.
+        for (h, filt) in &self.horizontal {
+            let mut pooled: Option<Var> = None;
+            let positions = self.window - h + 1;
+            for t in 0..positions {
+                let win = e.slice_axis(1, t, t + h).reshape(vec![b, h * self.dim]);
+                let act = filt.forward(g, &win).relu();
+                pooled = Some(match pooled {
+                    Some(p) => p.add(&act),
+                    None => act,
+                });
+            }
+            feats.push(pooled.expect("window >= h").scale(1.0 / positions as f32));
+        }
+        // Vertical convolution: weighted sums over rows.
+        let et = e.permute(&[0, 2, 1]); // [b, d, L]
+        let v = self.vertical.forward(g, &et); // [b, d, n_vertical]
+        feats.push(v.reshape(vec![b, self.dim * self.n_vertical]));
+        let refs: Vec<&Var> = feats.iter().collect();
+        let cat = Var::concat(&refs, 1);
+        self.fc.forward(g, &cat).relu()
+    }
+
+    /// Last `window` items of `seq`, left-padded to the window size.
+    fn window_of(&self, seq: &[ItemId]) -> Vec<ItemId> {
+        let keep = if seq.len() > self.window { &seq[seq.len() - self.window..] } else { seq };
+        let mut w = vec![PAD_ITEM; self.window - keep.len()];
+        w.extend_from_slice(keep);
+        w
+    }
+}
+
+impl SequentialRecommender for Caser {
+    fn name(&self) -> String {
+        "Caser".into()
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Sliding-window examples: (last-L window ending at t, target t+1).
+        let mut examples: Vec<(Vec<ItemId>, usize)> = Vec::new();
+        for seq in train {
+            for t in 0..seq.len().saturating_sub(1) {
+                let window = self.window_of(&seq[..=t]);
+                examples.push((window, seq[t + 1]));
+            }
+        }
+        if examples.is_empty() {
+            return;
+        }
+        let params = self.parameters();
+        let mut opt = Adam::new(params.clone(), cfg.lr);
+        for epoch in 0..cfg.epochs {
+            examples.shuffle(&mut rng);
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in examples.chunks(cfg.batch_size) {
+                let g = Graph::new();
+                let windows: Vec<Vec<ItemId>> = chunk.iter().map(|(w, _)| w.clone()).collect();
+                let targets: Vec<usize> = chunk.iter().map(|(_, t)| *t).collect();
+                let z = self.seq_repr(&g, &windows);
+                let logits = z.matmul(&self.item_emb.full(&g).transpose_last2());
+                let loss = logits.cross_entropy_with_logits(&targets);
+                loss.backward();
+                if cfg.grad_clip > 0.0 {
+                    clip_grad_norm(&params, cfg.grad_clip);
+                }
+                opt.step();
+                opt.zero_grad();
+                total += loss.item() as f64;
+                batches += 1;
+            }
+            if cfg.verbose {
+                println!("[Caser] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+            }
+        }
+    }
+
+    fn score(&mut self, _user: usize, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.num_items + 1];
+        }
+        let window = self.window_of(seq);
+        let g = Graph::new();
+        let z = self.seq_repr(&g, &[window]);
+        let logits = z.matmul(&self.item_emb.full(&g).transpose_last2()).value();
+        let _ = &mut self.rng;
+        logits.row(0).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_extraction() {
+        let m = Caser::new(9, 4, 8, 0);
+        assert_eq!(m.window_of(&[1, 2]), vec![0, 0, 1, 2]);
+        assert_eq!(m.window_of(&[1, 2, 3, 4, 5, 6]), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn learns_short_patterns() {
+        let mut train = Vec::new();
+        for _ in 0..16 {
+            train.push(vec![1, 2, 3, 1, 2, 3, 1, 2, 3]);
+            train.push(vec![4, 5, 6, 4, 5, 6, 4, 5, 6]);
+        }
+        let mut m = Caser::new(6, 4, 16, 1);
+        let cfg = TrainConfig { epochs: 15, batch_size: 16, ..Default::default() };
+        m.fit(&train, &cfg);
+        let s = m.score(0, &[1, 2]);
+        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(best, 3, "after [1,2] expect 3; scores {s:?}");
+    }
+
+    #[test]
+    fn score_shape() {
+        let mut m = Caser::new(7, 3, 8, 0);
+        assert_eq!(m.score(0, &[1]).len(), 8);
+        assert_eq!(m.score(0, &[]).len(), 8);
+    }
+}

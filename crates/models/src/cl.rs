@@ -1,0 +1,184 @@
+//! Contrastive-learning utilities shared by the CL baselines and Meta-SGCL.
+
+use autograd::Var;
+use tensor::Tensor;
+
+/// Similarity function for the InfoNCE logits (the paper's Table VII
+/// ablation: dot product vs cosine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Similarity {
+    /// Raw inner product (the paper's best choice).
+    Dot,
+    /// Cosine similarity (L2-normalized inner product).
+    Cosine,
+}
+
+/// InfoNCE loss between two batches of sequence representations
+/// `z, z′ ∈ R^{B×d}` (Eq. 26):
+///
+/// ```text
+/// L = −1/B Σ_u log  exp(sim(z_u, z'_u)/τ)
+///                  ─────────────────────────────────────────
+///                  exp(sim(z_u, z'_u)/τ) + Σ_{v≠u} exp(sim(z_u, z_v)/τ)
+/// ```
+///
+/// The positive is the same user's second view; negatives are the *other
+/// users'* first-view representations, exactly as written in the paper.
+/// Returns a scalar var.
+pub fn info_nce(z: &Var, z_prime: &Var, tau: f32, sim: Similarity) -> Var {
+    info_nce_with_mask(z, z_prime, tau, sim, None)
+}
+
+/// [`info_nce`] with *false-negative masking*: when two sequences in the
+/// batch share the same ground-truth next item, pushing their
+/// representations apart directly fights the recommendation objective, so
+/// such pairs are excluded from the negatives (the strategy DuoRec
+/// introduced). Pass each sequence's next-item target in `targets`.
+pub fn info_nce_masked(
+    z: &Var,
+    z_prime: &Var,
+    tau: f32,
+    sim: Similarity,
+    targets: &[usize],
+) -> Var {
+    assert_eq!(targets.len(), z.dims()[0]);
+    info_nce_with_mask(z, z_prime, tau, sim, Some(targets))
+}
+
+fn info_nce_with_mask(
+    z: &Var,
+    z_prime: &Var,
+    tau: f32,
+    sim: Similarity,
+    targets: Option<&[usize]>,
+) -> Var {
+    let b = z.dims()[0];
+    assert!(b >= 2, "InfoNCE needs at least 2 sequences for negatives");
+    assert_eq!(z.dims(), z_prime.dims());
+    let (za, zb) = match sim {
+        Similarity::Dot => (z.clone(), z_prime.clone()),
+        Similarity::Cosine => (z.l2_normalize_last(1e-8), z_prime.l2_normalize_last(1e-8)),
+    };
+    // Positive logits: diag(z · z′ᵀ) as a column [B, 1].
+    let cross = za.matmul(&zb.transpose_last2()); // [B, B]
+    let eye = identity(b);
+    let pos = cross.mul_const(&eye).sum_axis(1, true); // [B, 1]
+    // Negative logits: z · zᵀ with the diagonal (self-similarity) and any
+    // false negatives masked out.
+    let self_sim = za.matmul(&za.transpose_last2());
+    let mut mask = neg_inf_diag(b);
+    if let Some(t) = targets {
+        let md = mask.data_mut();
+        for u in 0..b {
+            for v in 0..b {
+                if u != v && t[u] == t[v] {
+                    md[u * b + v] = -1e9;
+                }
+            }
+        }
+    }
+    let neg = self_sim.add_const(&mask); // [B, B]
+    let logits = Var::concat(&[&pos, &neg], 1).scale(1.0 / tau); // [B, B+1]
+    let ce_targets = vec![0usize; b];
+    logits.cross_entropy_with_logits(&ce_targets)
+}
+
+fn identity(n: usize) -> Tensor {
+    let mut t = Tensor::zeros(vec![n, n]);
+    for i in 0..n {
+        t.data_mut()[i * n + i] = 1.0;
+    }
+    t
+}
+
+fn neg_inf_diag(n: usize) -> Tensor {
+    let mut t = Tensor::zeros(vec![n, n]);
+    for i in 0..n {
+        t.data_mut()[i * n + i] = -1e9;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::{Graph, Parameter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::init;
+
+    #[test]
+    fn aligned_views_give_low_loss() {
+        let g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        // Well-separated representations; z' identical to z.
+        let zt = init::randn(&mut rng, vec![8, 16], 0.0, 3.0);
+        let z = g.constant(zt.clone());
+        let zp = g.constant(zt);
+        let aligned = info_nce(&z, &zp, 1.0, Similarity::Cosine).item();
+        // Misaligned: z' is a shuffled copy.
+        let mut shuffled = z.value();
+        let d = 16;
+        let data = shuffled.data_mut();
+        data.rotate_left(d); // shift every row by one user
+        let zp_bad = g.constant(shuffled);
+        let misaligned = info_nce(&z, &zp_bad, 1.0, Similarity::Cosine).item();
+        assert!(
+            aligned < misaligned,
+            "aligned {aligned} should beat misaligned {misaligned}"
+        );
+    }
+
+    #[test]
+    fn loss_is_positive_and_finite() {
+        let g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = g.constant(init::randn(&mut rng, vec![4, 8], 0.0, 1.0));
+        let zp = g.constant(init::randn(&mut rng, vec![4, 8], 0.0, 1.0));
+        for sim in [Similarity::Dot, Similarity::Cosine] {
+            for tau in [0.1f32, 1.0, 5.0] {
+                let l = info_nce(&z, &zp, tau, sim).item();
+                assert!(l.is_finite() && l > 0.0, "loss {l} (tau={tau})");
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_pulls_views_together() {
+        // One gradient step on InfoNCE should increase the positive-pair
+        // similarity.
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Parameter::shared("z", init::randn(&mut rng, vec![4, 6], 0.0, 1.0));
+        let zp_t = init::randn(&mut rng, vec![4, 6], 0.0, 1.0);
+        let before = {
+            let g = Graph::new();
+            let z = g.param(&p);
+            let zp = g.constant(zp_t.clone());
+            let loss = info_nce(&z, &zp, 1.0, Similarity::Dot);
+            loss.backward();
+            loss.item()
+        };
+        {
+            let grad = p.borrow().grad.clone();
+            p.borrow_mut().value.axpy(-0.1, &grad);
+        }
+        let after = {
+            let g = Graph::new();
+            let z = g.param(&p);
+            let zp = g.constant(zp_t);
+            info_nce(&z, &zp, 1.0, Similarity::Dot).item()
+        };
+        assert!(after < before, "loss should decrease: {before} -> {after}");
+    }
+
+    #[test]
+    fn gradcheck_infonce() {
+        use autograd::numeric::assert_grads_close;
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Parameter::shared("z", init::uniform(&mut rng, vec![3, 4], -1.0, 1.0));
+        let zp = Parameter::shared("zp", init::uniform(&mut rng, vec![3, 4], -1.0, 1.0));
+        assert_grads_close(&[z.clone(), zp.clone()], 1e-3, 3e-2, |g| {
+            info_nce(&g.param(&z), &g.param(&zp), 0.5, Similarity::Cosine)
+        });
+    }
+}

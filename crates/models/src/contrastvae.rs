@@ -1,0 +1,253 @@
+//! ContrastVAE (Wang et al., CIKM 2022): a two-branch variational
+//! sequential recommender. Both branches share the encoder; the second
+//! branch sees an *augmented* input (data augmentation: crop/mask/reorder)
+//! or a second dropout pass (model augmentation). The objective is the
+//! two-view ELBO plus InfoNCE between the branch latents — exactly the
+//! structure Meta-SGCL replaces with a *learned* second variance encoder.
+
+use autograd::Graph;
+use nn::Module;
+use optim::{clip_grad_norm, Adam, KlAnnealing, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recdata::{encode_input_only, item_crop, item_mask, item_reorder, Batcher, ItemId};
+
+use crate::backbone::TransformerBackbone;
+use crate::cl::{info_nce_masked, Similarity};
+use crate::sasrec::NetConfig;
+use crate::vae::{gaussian_kl, reparameterize, VaeHead};
+use crate::{SequentialRecommender, TrainConfig};
+
+/// Which augmentation produces the second view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Augmentation {
+    /// Random choice of item crop / mask / reorder (data augmentation).
+    Data,
+    /// A second dropout-perturbed forward pass (model augmentation).
+    Model,
+}
+
+/// The ContrastVAE model.
+pub struct ContrastVae {
+    backbone: TransformerBackbone,
+    head: VaeHead,
+    net: NetConfig,
+    /// KL weight β.
+    pub beta: f32,
+    /// Contrastive weight.
+    pub alpha: f32,
+    /// InfoNCE temperature.
+    pub tau: f32,
+    /// Second-view augmentation type.
+    pub augmentation: Augmentation,
+    /// Whether the augmented branch adds its own last-position
+    /// reconstruction loss (the original paper does; disabling it leaves
+    /// the branch supervised only through the contrastive term).
+    pub second_reconstruction: bool,
+    rng: StdRng,
+}
+
+impl ContrastVae {
+    /// Builds an untrained ContrastVAE.
+    ///
+    /// Defaults follow the original paper's *model-augmentation* variant
+    /// (a second dropout-perturbed pass), which is also its strongest
+    /// configuration at reproduction scale; switch
+    /// [`ContrastVae::augmentation`] to [`Augmentation::Data`] for the
+    /// crop/mask/reorder variant the Meta-SGCL paper argues against.
+    pub fn new(net: NetConfig, alpha: f32, beta: f32) -> Self {
+        let mut rng = StdRng::seed_from_u64(net.seed);
+        // The mask augmentation introduces item id `num_items + 1`.
+        let backbone = TransformerBackbone::new(
+            &mut rng,
+            "contrastvae",
+            net.num_items + 2,
+            net.max_len,
+            net.dim,
+            net.heads,
+            net.layers,
+            net.dropout,
+            true,
+        );
+        let head = VaeHead::new(&mut rng, "contrastvae.head", net.dim);
+        ContrastVae {
+            backbone,
+            head,
+            net,
+            beta,
+            alpha,
+            tau: 1.0,
+            augmentation: Augmentation::Model,
+            second_reconstruction: false,
+            rng,
+        }
+    }
+
+    fn all_params(&self) -> Vec<autograd::ParamRef> {
+        let mut ps = self.backbone.parameters();
+        ps.extend(self.head.parameters());
+        ps
+    }
+
+    fn augment_sequence(&self, seq: &[ItemId], rng: &mut StdRng) -> Vec<ItemId> {
+        match rng.gen_range(0..3) {
+            0 => item_crop(seq, 0.8, rng),
+            1 => item_mask(seq, 0.2, self.net.num_items, rng),
+            _ => item_reorder(seq, 0.3, rng),
+        }
+    }
+}
+
+impl SequentialRecommender for ContrastVae {
+    fn name(&self) -> String {
+        "ContrastVAE".into()
+    }
+
+    fn num_items(&self) -> usize {
+        self.net.num_items
+    }
+
+    fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let batcher = Batcher::new(train.to_vec(), self.net.max_len, cfg.batch_size);
+        let params = self.all_params();
+        let mut opt = Adam::new(params.clone(), cfg.lr);
+        let anneal = KlAnnealing::new(self.beta, (cfg.epochs as u64 / 4).max(1) * 10);
+        let mut step = 0u64;
+        for epoch in 0..cfg.epochs {
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for batch in batcher.epoch(&mut rng) {
+                let g = Graph::new();
+                let (b, n) = (batch.len(), batch.seq_len());
+                let vocab = self.backbone.vocab();
+                let targets: Vec<usize> =
+                    batch.targets.iter().flat_map(|r| r.iter().copied()).collect();
+
+                // Branch 1: original input.
+                let h1 = self.backbone.forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
+                let (mu1, lv1) = self.head.forward(&g, &h1);
+                let z1 = reparameterize(&mu1, &lv1, &mut rng, false);
+                let rec1 = self
+                    .backbone
+                    .scores(&g, &z1)
+                    .reshape(vec![b * n, vocab])
+                    .cross_entropy_with_logits(&targets);
+                let kl1 = gaussian_kl(&mu1, &lv1);
+
+                // Branch 2: augmented view.
+                let (inputs2, pad2) = match self.augmentation {
+                    Augmentation::Model => (batch.inputs.clone(), batch.pad.clone()),
+                    Augmentation::Data => {
+                        let mut inputs2 = Vec::with_capacity(b);
+                        let mut pad2 = Vec::with_capacity(b);
+                        for input in &batch.inputs {
+                            let raw: Vec<ItemId> =
+                                input.iter().copied().filter(|&x| x != 0).collect();
+                            let aug = self.augment_sequence(&raw, &mut rng);
+                            let (inp, pd) = encode_input_only(&aug, self.net.max_len);
+                            inputs2.push(inp);
+                            pad2.push(pd);
+                        }
+                        (inputs2, pad2)
+                    }
+                };
+                let h2 = self.backbone.forward(&g, &inputs2, &pad2, &mut rng, true);
+                let (mu2, lv2) = self.head.forward(&g, &h2);
+                let z2 = reparameterize(&mu2, &lv2, &mut rng, false);
+                // The augmented branch reconstructs the *original* targets
+                // (its own positions may be misaligned after crop, so we
+                // follow the original paper and supervise the summary
+                // position only via the contrastive term plus the branch-2
+                // last-position recommendation loss).
+                let z2_last = TransformerBackbone::last_hidden(&z2);
+                let kl2 = gaussian_kl(&mu2, &lv2);
+
+                // Average the two branches' KLs so the effective β matches
+                // the single-branch baselines.
+                let mut loss = rec1.add(&kl1.add(&kl2).scale(anneal.beta(step) * 0.5));
+                if self.second_reconstruction {
+                    let rec2 = self
+                        .backbone
+                        .scores(&g, &z2_last)
+                        .cross_entropy_with_logits(&batch.last_target);
+                    loss = loss.add(&rec2);
+                }
+                if b >= 2 {
+                    let z1_last = TransformerBackbone::last_hidden(&z1);
+                    let cl = info_nce_masked(
+                        &z1_last,
+                        &z2_last,
+                        self.tau,
+                        Similarity::Dot,
+                        &batch.last_target,
+                    );
+                    loss = loss.add(&cl.scale(self.alpha));
+                }
+                loss.backward();
+                if cfg.grad_clip > 0.0 {
+                    clip_grad_norm(&params, cfg.grad_clip);
+                }
+                opt.step();
+                opt.zero_grad();
+                total += loss.item() as f64;
+                batches += 1;
+                step += 1;
+            }
+            if cfg.verbose {
+                println!(
+                    "[ContrastVAE] epoch {epoch} loss {:.4}",
+                    total / batches.max(1) as f64
+                );
+            }
+        }
+    }
+
+    fn score(&mut self, _user: usize, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.net.num_items + 1];
+        }
+        let (input, pad) = encode_input_only(seq, self.net.max_len);
+        let g = Graph::new();
+        let h = self.backbone.forward(&g, &[input], &[pad], &mut self.rng, false);
+        let (mu, _) = self.head.forward(&g, &h);
+        let last = TransformerBackbone::last_hidden(&mu);
+        let scores = self.backbone.scores(&g, &last).value();
+        scores.row(0)[..self.net.num_items + 1].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_and_predicts() {
+        let train: Vec<Vec<usize>> =
+            (0..20).map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect()).collect();
+        let mut m = ContrastVae::new(
+            NetConfig { max_len: 8, dim: 16, layers: 1, dropout: 0.1, ..NetConfig::for_items(6) },
+            0.1,
+            0.2,
+        );
+        let cfg = TrainConfig { epochs: 30, batch_size: 10, ..Default::default() };
+        m.fit(&train, &cfg);
+        let s = m.score(0, &[2, 3, 4]);
+        assert_eq!(s.len(), 7);
+        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(best, 5, "scores {s:?}");
+    }
+
+    #[test]
+    fn model_augmentation_variant_runs() {
+        let train: Vec<Vec<usize>> = (0..8).map(|u| vec![1 + u % 3, 2, 3, 1]).collect();
+        let mut m = ContrastVae::new(
+            NetConfig { max_len: 4, dim: 8, layers: 1, ..NetConfig::for_items(3) },
+            0.1,
+            0.2,
+        );
+        m.augmentation = Augmentation::Model;
+        m.fit(&train, &TrainConfig { epochs: 2, batch_size: 4, ..Default::default() });
+        assert_eq!(m.score(0, &[1, 2]).len(), 4);
+    }
+}

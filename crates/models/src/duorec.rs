@@ -1,0 +1,192 @@
+//! DuoRec (Qiu et al., WSDM 2022): SASRec plus contrastive regularization
+//! where the two views of a sequence are two *dropout-perturbed forward
+//! passes* (model-level augmentation), and an additional supervised
+//! positive pairs sequences that share the same target item.
+
+use autograd::Graph;
+use optim::{clip_grad_norm, Adam, Optimizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recdata::{encode_input_only, Batcher, ItemId};
+use std::collections::HashMap;
+
+use crate::backbone::TransformerBackbone;
+use crate::cl::{info_nce_masked, Similarity};
+use crate::sasrec::NetConfig;
+use crate::{SequentialRecommender, TrainConfig};
+
+/// The DuoRec model.
+pub struct DuoRec {
+    backbone: TransformerBackbone,
+    net: NetConfig,
+    /// Weight of the unsupervised (dropout-view) contrastive term.
+    pub lambda_unsup: f32,
+    /// Weight of the supervised (same-target) contrastive term.
+    pub lambda_sup: f32,
+    /// InfoNCE temperature.
+    pub tau: f32,
+    rng: StdRng,
+}
+
+impl DuoRec {
+    /// Builds an untrained DuoRec with the original paper's default
+    /// contrastive weights (λ = 0.1) and τ = 1.
+    pub fn new(net: NetConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(net.seed);
+        let backbone = TransformerBackbone::new(
+            &mut rng,
+            "duorec",
+            net.num_items + 1,
+            net.max_len,
+            net.dim,
+            net.heads,
+            net.layers,
+            // DuoRec relies on dropout as its augmentation; keep it > 0.
+            net.dropout.max(0.1),
+            true,
+        );
+        // Reproduction-scale defaults: on small catalogs even masked
+        // contrastive terms trade off against the CE task quickly, so the
+        // weights sit an order of magnitude below the original paper's 0.1
+        // (see DESIGN.md §4).
+        DuoRec { backbone, net, lambda_unsup: 0.01, lambda_sup: 0.005, tau: 1.0, rng }
+    }
+
+    /// Access to the backbone (embedding analytics).
+    pub fn backbone(&self) -> &TransformerBackbone {
+        &self.backbone
+    }
+}
+
+impl SequentialRecommender for DuoRec {
+    fn name(&self) -> String {
+        "DuoRec".into()
+    }
+
+    fn num_items(&self) -> usize {
+        self.net.num_items
+    }
+
+    fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let batcher = Batcher::new(train.to_vec(), self.net.max_len, cfg.batch_size);
+        // Supervised positives: sequences grouped by target (last item).
+        let mut by_target: HashMap<ItemId, Vec<Vec<ItemId>>> = HashMap::new();
+        for s in train.iter().filter(|s| s.len() >= 2) {
+            // The "semantic positive" shares the same next item; its input
+            // is everything before its own last item.
+            let target = *s.last().expect("non-empty");
+            by_target.entry(target).or_default().push(s[..s.len() - 1].to_vec());
+        }
+        let params = self.backbone.parameters();
+        let mut opt = Adam::new(params.clone(), cfg.lr);
+        for epoch in 0..cfg.epochs {
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for batch in batcher.epoch(&mut rng) {
+                let g = Graph::new();
+                let b = batch.len();
+                // Recommendation view.
+                let h1 = self.backbone.forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
+                let logits = self.backbone.scores(&g, &h1);
+                let flat =
+                    logits.reshape(vec![b * batch.seq_len(), self.backbone.vocab()]);
+                let targets: Vec<usize> =
+                    batch.targets.iter().flat_map(|r| r.iter().copied()).collect();
+                let mut loss = flat.cross_entropy_with_logits(&targets);
+                if b >= 2 {
+                    // Unsupervised view: a second dropout-perturbed pass.
+                    let h2 =
+                        self.backbone.forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
+                    let z1 = TransformerBackbone::last_hidden(&h1);
+                    let z2 = TransformerBackbone::last_hidden(&h2);
+                    let cl_unsup =
+                        info_nce_masked(&z1, &z2, self.tau, Similarity::Dot, &batch.last_target);
+                    loss = loss.add(&cl_unsup.scale(self.lambda_unsup));
+                    // Supervised view: a different sequence with the same
+                    // target, where one exists; fall back to the dropout
+                    // view otherwise.
+                    let mut sup_inputs = Vec::with_capacity(b);
+                    let mut sup_pad = Vec::with_capacity(b);
+                    for (i, &target) in batch.last_target.iter().enumerate() {
+                        let candidates = by_target.get(&target);
+                        let choice = candidates.and_then(|c| {
+                            if c.len() > 1 {
+                                Some(c[rng.gen_range(0..c.len())].clone())
+                            } else {
+                                None
+                            }
+                        });
+                        match choice {
+                            Some(seq) if !seq.is_empty() => {
+                                let (inp, pd) = encode_input_only(&seq, self.net.max_len);
+                                sup_inputs.push(inp);
+                                sup_pad.push(pd);
+                            }
+                            _ => {
+                                sup_inputs.push(batch.inputs[i].clone());
+                                sup_pad.push(batch.pad[i].clone());
+                            }
+                        }
+                    }
+                    let h3 = self.backbone.forward(&g, &sup_inputs, &sup_pad, &mut rng, true);
+                    let z3 = TransformerBackbone::last_hidden(&h3);
+                    let cl_sup =
+                        info_nce_masked(&z1, &z3, self.tau, Similarity::Dot, &batch.last_target);
+                    loss = loss.add(&cl_sup.scale(self.lambda_sup));
+                }
+                loss.backward();
+                if cfg.grad_clip > 0.0 {
+                    clip_grad_norm(&params, cfg.grad_clip);
+                }
+                opt.step();
+                opt.zero_grad();
+                total += loss.item() as f64;
+                batches += 1;
+            }
+            if cfg.verbose {
+                println!("[DuoRec] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+            }
+        }
+    }
+
+    fn score(&mut self, _user: usize, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.net.num_items + 1];
+        }
+        let (input, pad) = encode_input_only(seq, self.net.max_len);
+        let g = Graph::new();
+        let h = self.backbone.forward(&g, &[input], &[pad], &mut self.rng, false);
+        let last = TransformerBackbone::last_hidden(&h);
+        let scores = self.backbone.scores(&g, &last).value();
+        scores.row(0)[..self.net.num_items + 1].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_and_predicts_transitions() {
+        let train: Vec<Vec<usize>> =
+            (0..20).map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect()).collect();
+        let mut m = DuoRec::new(NetConfig {
+            max_len: 8,
+            dim: 16,
+            layers: 1,
+            dropout: 0.1,
+            ..NetConfig::for_items(6)
+        });
+        // Small CL weights: on this tiny ring dataset every user shares the
+        // same item set, so strong user-discrimination fights the CE task
+        // (the same effect the paper reports for large alpha in Fig. 4).
+        m.lambda_unsup = 0.02;
+        m.lambda_sup = 0.02;
+        let cfg = TrainConfig { epochs: 80, batch_size: 10, ..Default::default() };
+        m.fit(&train, &cfg);
+        let s = m.score(0, &[2, 3, 4]);
+        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(best, 5, "scores {s:?}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Popularity baseline.
+
+use recdata::ItemId;
+
+use crate::{SequentialRecommender, TrainConfig};
+
+/// Non-personalized popularity recommender: scores every item by its total
+/// interaction count in the training data.
+pub struct Pop {
+    num_items: usize,
+    counts: Vec<f32>,
+}
+
+impl Pop {
+    /// Creates an untrained Pop model over `num_items` items.
+    pub fn new(num_items: usize) -> Self {
+        Pop { num_items, counts: vec![0.0; num_items + 1] }
+    }
+}
+
+impl SequentialRecommender for Pop {
+    fn name(&self) -> String {
+        "Pop".into()
+    }
+
+    fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    fn fit(&mut self, train: &[Vec<ItemId>], _cfg: &TrainConfig) {
+        self.counts = vec![0.0; self.num_items + 1];
+        for seq in train {
+            for &it in seq {
+                self.counts[it] += 1.0;
+            }
+        }
+        self.counts[0] = 0.0;
+    }
+
+    fn score(&mut self, _user: usize, _seq: &[ItemId]) -> Vec<f32> {
+        self.counts.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_by_frequency() {
+        let mut m = Pop::new(3);
+        m.fit(&[vec![1, 2, 2], vec![2, 3]], &TrainConfig::default());
+        let s = m.score(0, &[]);
+        assert!(s[2] > s[1]);
+        assert!(s[2] > s[3]);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn refit_resets_counts() {
+        let mut m = Pop::new(2);
+        m.fit(&[vec![1, 1, 1]], &TrainConfig::default());
+        m.fit(&[vec![2]], &TrainConfig::default());
+        let s = m.score(0, &[]);
+        assert_eq!(s[1], 0.0);
+        assert_eq!(s[2], 1.0);
+    }
+}

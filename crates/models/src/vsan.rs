@@ -1,0 +1,134 @@
+//! VSAN (Zhao et al., ICDE 2021): variational self-attention network —
+//! a SASRec backbone whose per-position outputs parameterize a Gaussian
+//! posterior; training maximizes the single-view ELBO (reconstruction CE +
+//! β·KL).
+
+use autograd::Graph;
+use nn::Module;
+use optim::{clip_grad_norm, Adam, KlAnnealing, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use recdata::{encode_input_only, Batcher, ItemId};
+
+use crate::backbone::TransformerBackbone;
+use crate::sasrec::NetConfig;
+use crate::vae::{gaussian_kl, reparameterize, VaeHead};
+use crate::{SequentialRecommender, TrainConfig};
+
+/// The VSAN model.
+pub struct Vsan {
+    backbone: TransformerBackbone,
+    head: VaeHead,
+    net: NetConfig,
+    beta: f32,
+    rng: StdRng,
+}
+
+impl Vsan {
+    /// Builds an untrained VSAN with KL weight `beta`.
+    pub fn new(net: NetConfig, beta: f32) -> Self {
+        let mut rng = StdRng::seed_from_u64(net.seed);
+        let backbone = TransformerBackbone::new(
+            &mut rng,
+            "vsan",
+            net.num_items + 1,
+            net.max_len,
+            net.dim,
+            net.heads,
+            net.layers,
+            net.dropout,
+            true,
+        );
+        let head = VaeHead::new(&mut rng, "vsan.head", net.dim);
+        Vsan { backbone, head, net, beta, rng }
+    }
+
+    fn all_params(&self) -> Vec<autograd::ParamRef> {
+        let mut ps = self.backbone.parameters();
+        ps.extend(self.head.parameters());
+        ps
+    }
+}
+
+impl SequentialRecommender for Vsan {
+    fn name(&self) -> String {
+        "VSAN".into()
+    }
+
+    fn num_items(&self) -> usize {
+        self.net.num_items
+    }
+
+    fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let batcher = Batcher::new(train.to_vec(), self.net.max_len, cfg.batch_size);
+        let params = self.all_params();
+        let mut opt = Adam::new(params.clone(), cfg.lr);
+        let anneal = KlAnnealing::new(self.beta, (cfg.epochs as u64 / 4).max(1) * 10);
+        let mut step = 0u64;
+        for epoch in 0..cfg.epochs {
+            let mut total = 0.0f64;
+            let mut batches = 0usize;
+            for batch in batcher.epoch(&mut rng) {
+                let g = Graph::new();
+                let h = self.backbone.forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
+                let (mu, logvar) = self.head.forward(&g, &h);
+                let z = reparameterize(&mu, &logvar, &mut rng, false);
+                let logits = self.backbone.scores(&g, &z);
+                let (b, n) = (batch.len(), batch.seq_len());
+                let flat = logits.reshape(vec![b * n, self.backbone.vocab()]);
+                let targets: Vec<usize> =
+                    batch.targets.iter().flat_map(|r| r.iter().copied()).collect();
+                let rec = flat.cross_entropy_with_logits(&targets);
+                let kl = gaussian_kl(&mu, &logvar);
+                let loss = rec.add(&kl.scale(anneal.beta(step)));
+                loss.backward();
+                if cfg.grad_clip > 0.0 {
+                    clip_grad_norm(&params, cfg.grad_clip);
+                }
+                opt.step();
+                opt.zero_grad();
+                total += loss.item() as f64;
+                batches += 1;
+                step += 1;
+            }
+            if cfg.verbose {
+                println!("[VSAN] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+            }
+        }
+    }
+
+    fn score(&mut self, _user: usize, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.net.num_items + 1];
+        }
+        let (input, pad) = encode_input_only(seq, self.net.max_len);
+        let g = Graph::new();
+        let h = self.backbone.forward(&g, &[input], &[pad], &mut self.rng, false);
+        let (mu, _logvar) = self.head.forward(&g, &h);
+        let last = TransformerBackbone::last_hidden(&mu);
+        let scores = self.backbone.scores(&g, &last).value();
+        scores.row(0)[..self.net.num_items + 1].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trains_and_scores() {
+        let train: Vec<Vec<usize>> =
+            (0..16).map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect()).collect();
+        let mut m = Vsan::new(
+            NetConfig { max_len: 8, dim: 16, layers: 1, dropout: 0.0, ..NetConfig::for_items(6) },
+            0.2,
+        );
+        let cfg = TrainConfig { epochs: 25, batch_size: 8, ..Default::default() };
+        m.fit(&train, &cfg);
+        let s = m.score(0, &[1, 2, 3]);
+        assert_eq!(s.len(), 7);
+        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert_eq!(best, 4, "scores {s:?}");
+    }
+}

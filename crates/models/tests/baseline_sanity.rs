@@ -1,0 +1,114 @@
+//! Sanity battery over every baseline: construction, naming, score-vector
+//! contracts, determinism, and graceful handling of degenerate inputs.
+
+use models::{
+    Acvae, Bert4Rec, BprMf, Caser, Cl4SRec, ContrastVae, DuoRec, Gru4Rec, NetConfig, Pop,
+    SasRec, SequentialRecommender, TrainConfig, Vsan,
+};
+
+const ITEMS: usize = 12;
+
+fn net() -> NetConfig {
+    NetConfig { max_len: 6, dim: 8, layers: 1, ..NetConfig::for_items(ITEMS) }
+}
+
+fn zoo() -> Vec<Box<dyn SequentialRecommender>> {
+    vec![
+        Box::new(Pop::new(ITEMS)),
+        Box::new(BprMf::new(ITEMS, 8)),
+        Box::new(Gru4Rec::new(ITEMS, 6, 8, 1)),
+        Box::new(Caser::new(ITEMS, 4, 8, 1)),
+        Box::new(SasRec::new(net())),
+        Box::new(Bert4Rec::new(net())),
+        Box::new(Vsan::new(net(), 0.1)),
+        Box::new(Acvae::new(net())),
+        Box::new(DuoRec::new(net())),
+        Box::new(ContrastVae::new(net(), 0.05, 0.1)),
+        Box::new(Cl4SRec::new(net())),
+    ]
+}
+
+fn tiny_train() -> Vec<Vec<usize>> {
+    (0..12).map(|u| (0..6).map(|t| 1 + (u + t) % ITEMS).collect()).collect()
+}
+
+#[test]
+fn names_are_unique_and_stable() {
+    let names: Vec<String> = zoo().iter().map(|m| m.name()).collect();
+    let mut dedup = names.clone();
+    dedup.sort();
+    dedup.dedup();
+    assert_eq!(dedup.len(), names.len(), "duplicate model names: {names:?}");
+    for n in &names {
+        assert!(!n.is_empty());
+    }
+}
+
+#[test]
+fn score_vector_contract_holds_for_all_models() {
+    let train = tiny_train();
+    let cfg = TrainConfig { epochs: 1, batch_size: 6, max_len: 6, ..Default::default() };
+    for mut m in zoo() {
+        m.fit(&train, &cfg);
+        assert_eq!(m.num_items(), ITEMS, "{}", m.name());
+        let s = m.score(0, &[1, 2, 3]);
+        assert_eq!(s.len(), ITEMS + 1, "{} score length", m.name());
+        assert!(
+            s.iter().all(|x| x.is_finite()),
+            "{} produced non-finite scores",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn empty_history_is_handled_everywhere() {
+    let train = tiny_train();
+    let cfg = TrainConfig { epochs: 1, batch_size: 6, max_len: 6, ..Default::default() };
+    for mut m in zoo() {
+        m.fit(&train, &cfg);
+        let s = m.score(0, &[]);
+        assert_eq!(s.len(), ITEMS + 1, "{} empty-history score length", m.name());
+        assert!(s.iter().all(|x| x.is_finite()), "{}", m.name());
+    }
+}
+
+#[test]
+fn scoring_is_deterministic_after_training() {
+    let train = tiny_train();
+    let cfg = TrainConfig { epochs: 2, batch_size: 6, max_len: 6, ..Default::default() };
+    for mut m in zoo() {
+        m.fit(&train, &cfg);
+        let a = m.score(1, &[2, 3, 4]);
+        let b = m.score(1, &[2, 3, 4]);
+        assert_eq!(a, b, "{} scoring not deterministic", m.name());
+    }
+}
+
+#[test]
+fn training_twice_continues_without_panics() {
+    // fit() is documented as restartable; the second call must not panic
+    // and the model must stay usable.
+    let train = tiny_train();
+    let cfg = TrainConfig { epochs: 1, batch_size: 6, max_len: 6, ..Default::default() };
+    for mut m in zoo() {
+        m.fit(&train, &cfg);
+        m.fit(&train, &cfg);
+        let s = m.score(0, &[1]);
+        assert!(s.iter().all(|x| x.is_finite()), "{}", m.name());
+    }
+}
+
+#[test]
+fn out_of_range_history_items_are_rejected_or_ignored() {
+    // Items above the vocabulary must not crash scoring for models that
+    // accept arbitrary histories (they clamp/ignore); models that index
+    // tables may panic, which is also a documented contract — we simply
+    // check the well-behaved ones here.
+    let train = tiny_train();
+    let cfg = TrainConfig { epochs: 1, batch_size: 6, max_len: 6, ..Default::default() };
+    let mut pop = Pop::new(ITEMS);
+    pop.fit(&train, &cfg);
+    let s = pop.score(0, &[999]);
+    assert_eq!(s.len(), ITEMS + 1);
+}

@@ -1,0 +1,146 @@
+//! Gated recurrent unit, for the GRU4Rec baseline.
+
+use autograd::{Graph, ParamRef, Var};
+use rand::rngs::StdRng;
+use tensor::Tensor;
+
+use crate::{Linear, Module};
+
+/// A single-layer GRU.
+///
+/// Update equations (Cho et al., 2014):
+/// ```text
+/// z  = σ(x·Wz + h·Uz + bz)
+/// r  = σ(x·Wr + h·Ur + br)
+/// h̃  = tanh(x·Wh + (r⊙h)·Uh + bh)
+/// h' = (1−z)⊙h + z⊙h̃
+/// ```
+pub struct Gru {
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+    dim: usize,
+}
+
+impl Gru {
+    /// Creates a GRU with input and hidden size `dim`.
+    pub fn new(rng: &mut StdRng, name: &str, dim: usize) -> Self {
+        Gru {
+            wz: Linear::new(rng, &format!("{name}.wz"), dim, dim, true),
+            uz: Linear::new(rng, &format!("{name}.uz"), dim, dim, false),
+            wr: Linear::new(rng, &format!("{name}.wr"), dim, dim, true),
+            ur: Linear::new(rng, &format!("{name}.ur"), dim, dim, false),
+            wh: Linear::new(rng, &format!("{name}.wh"), dim, dim, true),
+            uh: Linear::new(rng, &format!("{name}.uh"), dim, dim, false),
+            dim,
+        }
+    }
+
+    /// Hidden size.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One step: `x: [b, dim]`, `h: [b, dim]` → new hidden `[b, dim]`.
+    pub fn step(&self, g: &Graph, x: &Var, h: &Var) -> Var {
+        let z = self.wz.forward(g, x).add(&self.uz.forward(g, h)).sigmoid();
+        let r = self.wr.forward(g, x).add(&self.ur.forward(g, h)).sigmoid();
+        let h_cand = self.wh.forward(g, x).add(&self.uh.forward(g, &r.mul(h))).tanh();
+        let one_minus_z = z.neg().add_scalar(1.0);
+        one_minus_z.mul(h).add(&z.mul(&h_cand))
+    }
+
+    /// Runs the GRU over a sequence `x: [b, n, dim]`, returning all hidden
+    /// states stacked as `[b, n, dim]` (initial hidden is zero).
+    pub fn forward_sequence(&self, g: &Graph, x: &Var) -> Var {
+        let dims = x.dims();
+        let (b, n) = (dims[0], dims[1]);
+        let mut h = g.constant(Tensor::zeros(vec![b, self.dim]));
+        let mut outputs: Vec<Var> = Vec::with_capacity(n);
+        for t in 0..n {
+            let xt = x.slice_axis(1, t, t + 1).reshape(vec![b, self.dim]);
+            h = self.step(g, &xt, &h);
+            outputs.push(h.reshape(vec![b, 1, self.dim]));
+        }
+        let refs: Vec<&Var> = outputs.iter().collect();
+        Var::concat(&refs, 1)
+    }
+}
+
+impl Module for Gru {
+    fn parameters(&self) -> Vec<ParamRef> {
+        [&self.wz, &self.uz, &self.wr, &self.ur, &self.wh, &self.uh]
+            .iter()
+            .flat_map(|l| l.parameters())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tensor::init;
+
+    #[test]
+    fn step_and_sequence_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(&mut rng, "gru", 4);
+        let g = Graph::new();
+        let x = g.constant(init::randn(&mut rng, vec![2, 4], 0.0, 1.0));
+        let h = g.constant(Tensor::zeros(vec![2, 4]));
+        assert_eq!(gru.step(&g, &x, &h).dims(), vec![2, 4]);
+
+        let xs = g.constant(init::randn(&mut rng, vec![2, 5, 4], 0.0, 1.0));
+        assert_eq!(gru.forward_sequence(&g, &xs).dims(), vec![2, 5, 4]);
+    }
+
+    #[test]
+    fn hidden_bounded_by_tanh_dynamics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(&mut rng, "gru", 4);
+        let g = Graph::new();
+        let xs = g.constant(init::randn(&mut rng, vec![1, 20, 4], 0.0, 10.0));
+        let h = gru.forward_sequence(&g, &xs).value();
+        // h is a convex combination of tanh outputs, so |h| ≤ 1.
+        assert!(h.max_all() <= 1.0 + 1e-5);
+        assert!(h.min_all() >= -1.0 - 1e-5);
+    }
+
+    #[test]
+    fn sequence_is_causal() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gru = Gru::new(&mut rng, "gru", 3);
+        let base = init::randn(&mut rng, vec![1, 4, 3], 0.0, 1.0);
+        let mut altered = base.clone();
+        // change only the last timestep
+        for j in 0..3 {
+            altered.set(&[0, 3, j], 9.0);
+        }
+        let g = Graph::new();
+        let y0 = gru.forward_sequence(&g, &g.constant(base)).value();
+        let y1 = gru.forward_sequence(&g, &g.constant(altered)).value();
+        for t in 0..3 {
+            for j in 0..3 {
+                assert!((y0.at(&[0, t, j]) - y1.at(&[0, t, j])).abs() < 1e-6);
+            }
+        }
+        assert!((y0.at(&[0, 3, 0]) - y1.at(&[0, 3, 0])).abs() > 1e-4);
+    }
+
+    #[test]
+    fn gradcheck_gru_step() {
+        use autograd::numeric::assert_grads_close;
+        let mut rng = StdRng::seed_from_u64(2);
+        let gru = Gru::new(&mut rng, "gru", 3);
+        let x = init::uniform(&mut rng, vec![2, 3], -1.0, 1.0);
+        let h0 = init::uniform(&mut rng, vec![2, 3], -0.5, 0.5);
+        let params = gru.parameters();
+        assert_grads_close(&params, 1e-2, 3e-2, move |g| {
+            gru.step(g, &g.constant(x.clone()), &g.constant(h0.clone())).square().sum_all()
+        });
+    }
+}

@@ -1,0 +1,154 @@
+//! Parameter checkpointing: a tiny self-describing binary format
+//! (`MSGC1` magic, little-endian) for saving and restoring named parameter
+//! sets without external dependencies.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use autograd::ParamRef;
+use tensor::Tensor;
+
+const MAGIC: &[u8; 5] = b"MSGC1";
+
+/// Serializes parameters (name, shape, f32 data) to `path`.
+///
+/// The gradient and trainability flag are not persisted — checkpoints store
+/// model state, not optimizer state.
+pub fn save_parameters(path: impl AsRef<Path>, params: &[ParamRef]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u64).to_le_bytes())?;
+    for p in params {
+        let pb = p.borrow();
+        let name = pb.name.as_bytes();
+        w.write_all(&(name.len() as u64).to_le_bytes())?;
+        w.write_all(name)?;
+        let dims = pb.value.dims();
+        w.write_all(&(dims.len() as u64).to_le_bytes())?;
+        for &d in dims {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &x in pb.value.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Restores parameters saved by [`save_parameters`] into `params`,
+/// matching by name. Every parameter in `params` must be present in the
+/// file with an identical shape; extra entries in the file are ignored.
+pub fn load_parameters(path: impl AsRef<Path>, params: &[ParamRef]) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a MSGC1 checkpoint"));
+    }
+    let count = read_u64(&mut r)? as usize;
+    let mut loaded: std::collections::HashMap<String, Tensor> =
+        std::collections::HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u64(&mut r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("invalid parameter name"))?;
+        let ndim = read_u64(&mut r)? as usize;
+        let mut dims = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            dims.push(read_u64(&mut r)? as usize);
+        }
+        let numel: usize = dims.iter().product();
+        let mut data = vec![0f32; numel];
+        let mut buf = [0u8; 4];
+        for x in &mut data {
+            r.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        loaded.insert(name, Tensor::from_vec(data, dims));
+    }
+    for p in params {
+        let mut pb = p.borrow_mut();
+        let t = loaded
+            .get(&pb.name)
+            .ok_or_else(|| bad(&format!("parameter {} missing from checkpoint", pb.name)))?;
+        if t.dims() != pb.value.dims() {
+            return Err(bad(&format!(
+                "shape mismatch for {}: file {:?} vs model {:?}",
+                pb.name,
+                t.dims(),
+                pb.value.dims()
+            )));
+        }
+        pb.value = t.clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Parameter;
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let dir = std::env::temp_dir().join("msgc_io_test_rt");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("ckpt.bin");
+        let a = Parameter::shared("layer.weight", Tensor::arange(6).reshape(vec![2, 3]).unwrap());
+        let b = Parameter::shared("layer.bias", Tensor::from_vec(vec![-1.5, 2.5], vec![2]));
+        save_parameters(&path, &[a.clone(), b.clone()]).unwrap();
+
+        // Corrupt the in-memory values, then reload.
+        a.borrow_mut().value = Tensor::zeros(vec![2, 3]);
+        b.borrow_mut().value = Tensor::zeros(vec![2]);
+        load_parameters(&path, &[a.clone(), b.clone()]).unwrap();
+        assert_eq!(a.borrow().value.data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.borrow().value.data(), &[-1.5, 2.5]);
+    }
+
+    #[test]
+    fn missing_parameter_is_an_error() {
+        let dir = std::env::temp_dir().join("msgc_io_test_missing");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("ckpt.bin");
+        let a = Parameter::shared("a", Tensor::ones(vec![2]));
+        save_parameters(&path, &[a]).unwrap();
+        let c = Parameter::shared("c", Tensor::ones(vec![2]));
+        let err = load_parameters(&path, &[c]).unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let dir = std::env::temp_dir().join("msgc_io_test_shape");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("ckpt.bin");
+        let a = Parameter::shared("a", Tensor::ones(vec![2]));
+        save_parameters(&path, &[a]).unwrap();
+        let a2 = Parameter::shared("a", Tensor::ones(vec![3]));
+        let err = load_parameters(&path, &[a2]).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let dir = std::env::temp_dir().join("msgc_io_test_bad");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"hello world").unwrap();
+        let a = Parameter::shared("a", Tensor::ones(vec![1]));
+        assert!(load_parameters(&path, &[a]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Adam / AdamW.
+
+use autograd::ParamRef;
+use tensor::Tensor;
+
+use crate::Optimizer;
+
+/// Adam (Kingma & Ba, 2015) with bias correction and optional decoupled
+/// weight decay (AdamW when `weight_decay > 0`).
+///
+/// The paper trains with Adam at `lr = 0.001`, the defaults here.
+pub struct Adam {
+    params: Vec<ParamRef>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the paper's defaults: `lr=1e-3, β₁=0.9, β₂=0.999, ε=1e-8`.
+    pub fn new(params: Vec<ParamRef>, lr: f32) -> Self {
+        Self::with_config(params, lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully-configured Adam/AdamW.
+    pub fn with_config(
+        params: Vec<ParamRef>,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        let m = params
+            .iter()
+            .map(|p| Tensor::zeros(p.borrow().value.dims().to_vec()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| Tensor::zeros(p.borrow().value.dims().to_vec()))
+            .collect();
+        Adam { params, lr, beta1, beta2, eps, weight_decay, t: 0, m, v }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            let mut pb = p.borrow_mut();
+            let grad = pb.grad.clone();
+            // m ← β₁·m + (1−β₁)·g ; v ← β₂·v + (1−β₂)·g²
+            for ((mi, vi), gi) in
+                m.data_mut().iter_mut().zip(v.data_mut().iter_mut()).zip(grad.data().iter())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let lr = self.lr;
+            let (wd, eps) = (self.weight_decay, self.eps);
+            for ((t, mi), vi) in
+                pb.value.data_mut().iter_mut().zip(m.data().iter()).zip(v.data().iter())
+            {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                let mut update = mhat / (vhat.sqrt() + eps);
+                if wd > 0.0 {
+                    update += wd * *t; // decoupled weight decay (AdamW)
+                }
+                *t -= lr * update;
+            }
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.borrow_mut().zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Parameter;
+
+    #[test]
+    fn first_step_has_unit_scale() {
+        // With bias correction, the very first Adam update ≈ lr·sign(g).
+        let p = Parameter::shared("p", Tensor::from_vec(vec![0.0], vec![1]));
+        p.borrow_mut().grad = Tensor::from_vec(vec![10.0], vec![1]);
+        let mut opt = Adam::new(vec![p.clone()], 0.01);
+        opt.step();
+        assert!((p.borrow().value.data()[0] + 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn minimizes_quadratic() {
+        let p = Parameter::shared("p", Tensor::from_vec(vec![-4.0], vec![1]));
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        for _ in 0..300 {
+            let theta = p.borrow().value.data()[0];
+            p.borrow_mut().grad = Tensor::from_vec(vec![2.0 * (theta - 3.0)], vec![1]);
+            opt.step();
+            opt.zero_grad();
+        }
+        assert!((p.borrow().value.data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        // Zero gradient + weight decay: parameter should decay toward 0.
+        let p = Parameter::shared("p", Tensor::from_vec(vec![1.0], vec![1]));
+        let mut opt = Adam::with_config(vec![p.clone()], 0.1, 0.9, 0.999, 1e-8, 0.1);
+        for _ in 0..10 {
+            opt.step();
+            opt.zero_grad();
+        }
+        let v = p.borrow().value.data()[0];
+        assert!(v < 1.0 && v > 0.0, "value {v}");
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let p = Parameter::shared("p", Tensor::from_vec(vec![0.0], vec![1]));
+        let mut opt = Adam::new(vec![p], 0.1);
+        assert_eq!(opt.steps(), 0);
+        opt.step();
+        opt.step();
+        assert_eq!(opt.steps(), 2);
+    }
+}

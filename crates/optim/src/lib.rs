@@ -1,0 +1,81 @@
+//! Optimizers and schedules for the Meta-SGCL reproduction.
+//!
+//! * [`Sgd`] — stochastic gradient descent with optional momentum.
+//! * [`Adam`] — the paper's optimizer (Kingma & Ba), with optional decoupled
+//!   weight decay (AdamW).
+//! * [`clip_grad_norm`] — global-norm gradient clipping.
+//! * [`LrSchedule`] — constant / linear-warmup / step-decay learning rates.
+//! * [`KlAnnealing`] — the β warm-up heuristic the paper cites for training
+//!   VAEs ("KL annealing", Section IV-E).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adam;
+mod schedule;
+mod sgd;
+
+pub use adam::Adam;
+pub use schedule::{KlAnnealing, LrSchedule};
+pub use sgd::Sgd;
+
+use autograd::ParamRef;
+
+/// A first-order optimizer over a fixed parameter list.
+pub trait Optimizer {
+    /// Applies one update from the accumulated gradients, then leaves the
+    /// gradients untouched (call [`Optimizer::zero_grad`] or the module's
+    /// `zero_grad` before the next accumulation).
+    fn step(&mut self);
+
+    /// Zeroes the gradients of every managed parameter.
+    fn zero_grad(&mut self);
+
+    /// Sets the learning rate (for schedules).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the norm before clipping.
+pub fn clip_grad_norm(params: &[ParamRef], max_norm: f32) -> f32 {
+    let mut total_sq = 0.0f32;
+    for p in params {
+        let g = &p.borrow().grad;
+        total_sq += g.data().iter().map(|x| x * x).sum::<f32>();
+    }
+    let norm = total_sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            p.borrow_mut().grad.scale_inplace(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Parameter;
+    use tensor::Tensor;
+
+    #[test]
+    fn clip_reduces_large_norm() {
+        let p = Parameter::shared("p", Tensor::zeros(vec![2]));
+        p.borrow_mut().grad = Tensor::from_vec(vec![3.0, 4.0], vec![2]);
+        let before = clip_grad_norm(&[p.clone()], 1.0);
+        assert!((before - 5.0).abs() < 1e-6);
+        assert!((p.borrow().grad.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_noop_when_small() {
+        let p = Parameter::shared("p", Tensor::zeros(vec![2]));
+        p.borrow_mut().grad = Tensor::from_vec(vec![0.3, 0.4], vec![2]);
+        clip_grad_norm(&[p.clone()], 1.0);
+        assert_eq!(p.borrow().grad.data(), &[0.3, 0.4]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Learning-rate schedules and the VAE KL-annealing schedule.
+
+/// A learning-rate schedule mapping a step counter to a learning rate.
+#[derive(Debug, Clone, Copy)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant {
+        /// The learning rate.
+        lr: f32,
+    },
+    /// Linear ramp from 0 to `lr` over `warmup` steps, then constant.
+    LinearWarmup {
+        /// Peak learning rate after warm-up.
+        lr: f32,
+        /// Number of warm-up steps.
+        warmup: u64,
+    },
+    /// Multiplies the rate by `gamma` every `every` steps.
+    StepDecay {
+        /// Initial learning rate.
+        lr: f32,
+        /// Decay interval in steps.
+        every: u64,
+        /// Multiplicative decay factor in `(0, 1]`.
+        gamma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `step` (0-based).
+    pub fn at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::LinearWarmup { lr, warmup } => {
+                if warmup == 0 || step >= warmup {
+                    lr
+                } else {
+                    lr * (step + 1) as f32 / warmup as f32
+                }
+            }
+            LrSchedule::StepDecay { lr, every, gamma } => {
+                lr * gamma.powi((step / every.max(1)) as i32)
+            }
+        }
+    }
+}
+
+/// KL-annealing: the β weight on the KL term ramps linearly from 0 to
+/// `beta_max` over `warmup_steps`, the standard fix for posterior collapse
+/// the paper adopts ("we only need to multiply the KL term by a weight
+/// coefficient, which is β in our work").
+#[derive(Debug, Clone, Copy)]
+pub struct KlAnnealing {
+    beta_max: f32,
+    warmup_steps: u64,
+}
+
+impl KlAnnealing {
+    /// Creates a schedule ramping to `beta_max` over `warmup_steps`.
+    pub fn new(beta_max: f32, warmup_steps: u64) -> Self {
+        KlAnnealing { beta_max, warmup_steps }
+    }
+
+    /// A constant β (annealing disabled).
+    pub fn constant(beta: f32) -> Self {
+        KlAnnealing { beta_max: beta, warmup_steps: 0 }
+    }
+
+    /// β at `step`.
+    pub fn beta(&self, step: u64) -> f32 {
+        if self.warmup_steps == 0 || step >= self.warmup_steps {
+            self.beta_max
+        } else {
+            self.beta_max * step as f32 / self.warmup_steps as f32
+        }
+    }
+
+    /// The asymptotic β.
+    pub fn beta_max(&self) -> f32 {
+        self.beta_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule() {
+        let s = LrSchedule::Constant { lr: 0.5 };
+        assert_eq!(s.at(0), 0.5);
+        assert_eq!(s.at(1000), 0.5);
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::LinearWarmup { lr: 1.0, warmup: 10 };
+        assert!((s.at(0) - 0.1).abs() < 1e-6);
+        assert!((s.at(4) - 0.5).abs() < 1e-6);
+        assert_eq!(s.at(10), 1.0);
+        assert_eq!(s.at(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { lr: 1.0, every: 10, gamma: 0.5 };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+
+    #[test]
+    fn kl_annealing_ramp() {
+        let k = KlAnnealing::new(0.2, 100);
+        assert_eq!(k.beta(0), 0.0);
+        assert!((k.beta(50) - 0.1).abs() < 1e-6);
+        assert_eq!(k.beta(100), 0.2);
+        assert_eq!(k.beta(1_000), 0.2);
+        assert_eq!(KlAnnealing::constant(0.3).beta(0), 0.3);
+    }
+}

@@ -1,0 +1,106 @@
+//! SGD with momentum.
+
+use autograd::ParamRef;
+use tensor::Tensor;
+
+use crate::Optimizer;
+
+/// Stochastic gradient descent with classical momentum:
+/// `v ← μ·v + g; θ ← θ − lr·v`.
+pub struct Sgd {
+    params: Vec<ParamRef>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer over `params`.
+    pub fn new(params: Vec<ParamRef>, lr: f32, momentum: f32) -> Self {
+        let velocity = params
+            .iter()
+            .map(|p| Tensor::zeros(p.borrow().value.dims().to_vec()))
+            .collect();
+        Sgd { params, lr, momentum, velocity }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
+            let mut pb = p.borrow_mut();
+            if self.momentum > 0.0 {
+                v.scale_inplace(self.momentum);
+                v.add_assign(&pb.grad);
+                let update = v.clone();
+                pb.value.axpy(-self.lr, &update);
+            } else {
+                let g = pb.grad.clone();
+                pb.value.axpy(-self.lr, &g);
+            }
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for p in &self.params {
+            p.borrow_mut().zero_grad();
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Parameter;
+
+    #[test]
+    fn vanilla_step() {
+        let p = Parameter::shared("p", Tensor::from_vec(vec![1.0], vec![1]));
+        p.borrow_mut().grad = Tensor::from_vec(vec![2.0], vec![1]);
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0);
+        opt.step();
+        assert!((p.borrow().value.data()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let p = Parameter::shared("p", Tensor::from_vec(vec![0.0], vec![1]));
+        let mut opt = Sgd::new(vec![p.clone()], 1.0, 0.5);
+        p.borrow_mut().grad = Tensor::from_vec(vec![1.0], vec![1]);
+        opt.step(); // v=1, θ=-1
+        assert!((p.borrow().value.data()[0] + 1.0).abs() < 1e-6);
+        opt.step(); // v=0.5+1=1.5, θ=-2.5
+        assert!((p.borrow().value.data()[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let p = Parameter::shared("p", Tensor::from_vec(vec![0.0], vec![1]));
+        p.borrow_mut().grad = Tensor::from_vec(vec![5.0], vec![1]);
+        let mut opt = Sgd::new(vec![p.clone()], 1.0, 0.0);
+        opt.zero_grad();
+        assert_eq!(p.borrow().grad.data(), &[0.0]);
+    }
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(θ) = (θ−3)², gradient 2(θ−3); SGD should converge to 3.
+        let p = Parameter::shared("p", Tensor::from_vec(vec![0.0], vec![1]));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0);
+        for _ in 0..100 {
+            let theta = p.borrow().value.data()[0];
+            p.borrow_mut().grad = Tensor::from_vec(vec![2.0 * (theta - 3.0)], vec![1]);
+            opt.step();
+            opt.zero_grad();
+        }
+        assert!((p.borrow().value.data()[0] - 3.0).abs() < 1e-3);
+    }
+}

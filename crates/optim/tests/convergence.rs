@@ -1,0 +1,99 @@
+//! Optimizer integration tests: solve small problems end-to-end through
+//! the autograd engine.
+
+use autograd::{Graph, Parameter};
+use optim::{clip_grad_norm, Adam, KlAnnealing, LrSchedule, Optimizer, Sgd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{init, ops, Tensor};
+
+/// Least squares: find W minimizing ‖X·W − Y‖² for a known W*.
+fn least_squares(opt_name: &str, mut step_fn: impl FnMut(&[autograd::ParamRef]) -> ()) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let x = init::randn(&mut rng, vec![32, 4], 0.0, 1.0);
+    let w_true = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.0, 2.0, 1.5], vec![4, 2]);
+    let y = ops::matmul(&x, &w_true).unwrap();
+    let w = Parameter::shared("w", init::randn(&mut rng, vec![4, 2], 0.0, 0.1));
+
+    for _ in 0..400 {
+        let g = Graph::new();
+        let pred = g.constant(x.clone()).matmul(&g.param(&w));
+        let loss = pred.sub(&g.constant(y.clone())).square().mean_all();
+        loss.backward();
+        step_fn(&[w.clone()]);
+    }
+    let mut diff = w.borrow().value.clone();
+    diff.axpy(-1.0, &w_true);
+    assert!(
+        diff.norm() < 0.05,
+        "{opt_name} failed to recover W*: residual {}",
+        diff.norm()
+    );
+}
+
+#[test]
+fn sgd_recovers_linear_map() {
+    let w_holder: std::cell::RefCell<Option<Sgd>> = std::cell::RefCell::new(None);
+    least_squares("sgd", |params| {
+        let mut slot = w_holder.borrow_mut();
+        let opt = slot.get_or_insert_with(|| Sgd::new(params.to_vec(), 0.05, 0.9));
+        opt.step();
+        opt.zero_grad();
+    });
+}
+
+#[test]
+fn adam_recovers_linear_map() {
+    let holder: std::cell::RefCell<Option<Adam>> = std::cell::RefCell::new(None);
+    least_squares("adam", |params| {
+        let mut slot = holder.borrow_mut();
+        let opt = slot.get_or_insert_with(|| Adam::new(params.to_vec(), 0.05));
+        opt.step();
+        opt.zero_grad();
+    });
+}
+
+#[test]
+fn gradient_clipping_stabilizes_explosive_start() {
+    // With a huge learning-rate-like gradient scale, clipping keeps the
+    // update bounded per step.
+    let p = Parameter::shared("p", Tensor::from_vec(vec![0.0], vec![1]));
+    p.borrow_mut().grad = Tensor::from_vec(vec![1e6], vec![1]);
+    let before = clip_grad_norm(&[p.clone()], 1.0);
+    assert!(before > 1e5);
+    let mut opt = Sgd::new(vec![p.clone()], 1.0, 0.0);
+    opt.step();
+    assert!(p.borrow().value.data()[0].abs() <= 1.0 + 1e-6);
+}
+
+#[test]
+fn lr_schedule_drives_optimizer() {
+    let p = Parameter::shared("p", Tensor::from_vec(vec![0.0], vec![1]));
+    let mut opt = Sgd::new(vec![p.clone()], 0.0, 0.0);
+    let sched = LrSchedule::LinearWarmup { lr: 1.0, warmup: 4 };
+    let mut positions = Vec::new();
+    for step in 0..6u64 {
+        opt.set_lr(sched.at(step));
+        p.borrow_mut().grad = Tensor::from_vec(vec![-1.0], vec![1]); // constant pull up
+        opt.step();
+        opt.zero_grad();
+        positions.push(p.borrow().value.data()[0]);
+    }
+    // Increments grow during warmup then stay constant at lr=1.
+    let inc: Vec<f32> = positions.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(inc[0] < inc[1] && inc[1] < inc[2], "warmup increments must grow: {inc:?}");
+    assert!((inc[4] - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn kl_annealing_composes_with_training_loop() {
+    // β ramps over the first half of training and then holds.
+    let anneal = KlAnnealing::new(0.2, 50);
+    let betas: Vec<f32> = (0..100).map(|s| anneal.beta(s)).collect();
+    assert!(betas[0] < betas[25]);
+    assert!(betas[25] < betas[49]);
+    assert_eq!(betas[50], 0.2);
+    assert_eq!(betas[99], 0.2);
+    // Monotone non-decreasing throughout.
+    assert!(betas.windows(2).all(|w| w[0] <= w[1]));
+}

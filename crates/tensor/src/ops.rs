@@ -1,0 +1,719 @@
+//! Tensor operations: broadcasting elementwise math, matrix multiplication,
+//! reductions, softmax, and shape manipulation.
+//!
+//! All functions are free functions taking `&Tensor` and returning owned
+//! results. Errors are reported via [`crate::TensorError`]; shape panics are
+//! reserved for internal invariant violations.
+
+use rayon::prelude::*;
+
+use crate::shape::{broadcast_shapes, broadcast_strides, Shape};
+use crate::{Result, Tensor, TensorError};
+
+// ---------------------------------------------------------------------------
+// Elementwise binary ops with broadcasting
+// ---------------------------------------------------------------------------
+
+fn binary_broadcast(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor> {
+    if a.dims() == b.dims() {
+        // Fast path: identical shapes.
+        let data = a
+            .data()
+            .iter()
+            .zip(b.data().iter())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        return Ok(Tensor::from_vec(data, a.dims().to_vec()));
+    }
+    let out_dims = broadcast_shapes(a.dims(), b.dims()).map_err(|_| TensorError::ShapeMismatch {
+        op,
+        lhs: a.dims().to_vec(),
+        rhs: b.dims().to_vec(),
+    })?;
+    let out_shape = Shape::new(out_dims.clone());
+    let sa = broadcast_strides(a.dims(), &out_dims);
+    let sb = broadcast_strides(b.dims(), &out_dims);
+    let n = out_shape.numel();
+    let ndim = out_dims.len();
+    let mut data = Vec::with_capacity(n);
+    let mut idx = vec![0usize; ndim];
+    let mut off_a = 0usize;
+    let mut off_b = 0usize;
+    let ad = a.data();
+    let bd = b.data();
+    for _ in 0..n {
+        data.push(f(ad[off_a], bd[off_b]));
+        // Odometer increment over the output index space, updating the two
+        // input offsets incrementally.
+        for axis in (0..ndim).rev() {
+            idx[axis] += 1;
+            off_a += sa[axis];
+            off_b += sb[axis];
+            if idx[axis] < out_dims[axis] {
+                break;
+            }
+            off_a -= sa[axis] * out_dims[axis];
+            off_b -= sb[axis] * out_dims[axis];
+            idx[axis] = 0;
+        }
+    }
+    Ok(Tensor::from_vec(data, out_dims))
+}
+
+/// Elementwise `a + b` with broadcasting.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_broadcast("add", a, b, |x, y| x + y)
+}
+
+/// Elementwise `a - b` with broadcasting.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_broadcast("sub", a, b, |x, y| x - y)
+}
+
+/// Elementwise `a * b` with broadcasting.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_broadcast("mul", a, b, |x, y| x * y)
+}
+
+/// Elementwise `a / b` with broadcasting.
+pub fn div(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_broadcast("div", a, b, |x, y| x / y)
+}
+
+/// Elementwise maximum with broadcasting.
+pub fn maximum(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_broadcast("maximum", a, b, f32::max)
+}
+
+/// Reduces `grad` (shaped like the broadcast output) back to `target_dims`
+/// by summing over broadcast axes. This is the adjoint of broadcasting and
+/// the workhorse of autograd for elementwise ops.
+pub fn unbroadcast(grad: &Tensor, target_dims: &[usize]) -> Tensor {
+    if grad.dims() == target_dims {
+        return grad.clone();
+    }
+    let gdims = grad.dims().to_vec();
+    let ndim = gdims.len();
+    let offset = ndim - target_dims.len();
+    let mut out = Tensor::zeros(target_dims.to_vec());
+    let t_strides = Shape::new(target_dims.to_vec()).strides();
+    // Stride-0 mapping from output-space axes into the target buffer.
+    let mut map = vec![0usize; ndim];
+    for i in 0..target_dims.len() {
+        map[offset + i] = if target_dims[i] == 1 && gdims[offset + i] != 1 {
+            0
+        } else {
+            t_strides[i]
+        };
+    }
+    let mut idx = vec![0usize; ndim];
+    let mut off_t = 0usize;
+    let gd = grad.data();
+    let od = out.data_mut();
+    for &g in gd.iter() {
+        od[off_t] += g;
+        for axis in (0..ndim).rev() {
+            idx[axis] += 1;
+            off_t += map[axis];
+            if idx[axis] < gdims[axis] {
+                break;
+            }
+            off_t -= map[axis] * gdims[axis];
+            idx[axis] = 0;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Matrix multiplication
+// ---------------------------------------------------------------------------
+
+/// `C = A · B` for 2-D matrices `(m,k)·(k,n) → (m,n)`.
+///
+/// Uses an `i-k-j` loop order so the inner loop is a contiguous
+/// multiply-accumulate over rows of `B`, which auto-vectorises. Rows are
+/// processed in parallel via rayon when the problem is large enough.
+pub fn matmul2d(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.ndim() != 2 || b.ndim() != 2 || a.dim(1) != b.dim(0) {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul2d",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = b.dim(1);
+    let mut out = Tensor::zeros(vec![m, n]);
+    gemm_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    Ok(out)
+}
+
+/// Dense GEMM kernel: `out[m×n] += a[m×k] · b[k×n]` (out must be zeroed by
+/// the caller for a pure product).
+pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let row_work = k * n;
+    if m >= 32 && row_work >= 16_384 {
+        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+            gemm_row(&a[i * k..(i + 1) * k], b, out_row, k, n);
+        });
+    } else {
+        for i in 0..m {
+            gemm_row(&a[i * k..(i + 1) * k], b, &mut out[i * n..(i + 1) * n], k, n);
+        }
+    }
+}
+
+#[inline]
+fn gemm_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: usize) {
+    for (kk, &aik) in a_row.iter().enumerate().take(k) {
+        if aik == 0.0 {
+            continue;
+        }
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += aik * bv;
+        }
+    }
+}
+
+/// Batched matmul.
+///
+/// Supported operand ranks:
+/// * `(m,k) · (k,n)` — plain 2-D.
+/// * `(b,m,k) · (b,k,n)` — per-batch product.
+/// * `(b,m,k) · (k,n)` — shared right operand broadcast over the batch.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    match (a.ndim(), b.ndim()) {
+        (2, 2) => matmul2d(a, b),
+        (3, 3) => {
+            let (bs, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+            if b.dim(0) != bs || b.dim(1) != k {
+                return Err(TensorError::ShapeMismatch {
+                    op: "matmul",
+                    lhs: a.dims().to_vec(),
+                    rhs: b.dims().to_vec(),
+                });
+            }
+            let n = b.dim(2);
+            let mut out = Tensor::zeros(vec![bs, m, n]);
+            let (ad, bd) = (a.data(), b.data());
+            let od = out.data_mut();
+            for i in 0..bs {
+                gemm_into(
+                    &ad[i * m * k..(i + 1) * m * k],
+                    &bd[i * k * n..(i + 1) * k * n],
+                    &mut od[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            Ok(out)
+        }
+        (3, 2) => {
+            let (bs, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+            if b.dim(0) != k {
+                return Err(TensorError::ShapeMismatch {
+                    op: "matmul",
+                    lhs: a.dims().to_vec(),
+                    rhs: b.dims().to_vec(),
+                });
+            }
+            let n = b.dim(1);
+            // Collapse the batch into rows: (b·m, k) · (k, n).
+            let flat = a.reshape(vec![bs * m, k])?;
+            let out = matmul2d(&flat, b)?;
+            out.reshape(vec![bs, m, n])
+        }
+        _ => Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transpose / permute
+// ---------------------------------------------------------------------------
+
+/// Swaps the last two axes of a rank-≥2 tensor.
+pub fn transpose_last2(t: &Tensor) -> Result<Tensor> {
+    let nd = t.ndim();
+    if nd < 2 {
+        return Err(TensorError::InvalidAxis { axis: 1, ndim: nd });
+    }
+    let dims = t.dims();
+    let (r, c) = (dims[nd - 2], dims[nd - 1]);
+    let batch: usize = dims[..nd - 2].iter().product();
+    let mut out_dims = dims.to_vec();
+    out_dims.swap(nd - 2, nd - 1);
+    let mut out = vec![0.0f32; t.numel()];
+    let src = t.data();
+    for bi in 0..batch {
+        let so = bi * r * c;
+        for i in 0..r {
+            for j in 0..c {
+                out[so + j * r + i] = src[so + i * c + j];
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, out_dims))
+}
+
+/// Reorders axes according to `perm` (a permutation of `0..ndim`).
+pub fn permute(t: &Tensor, perm: &[usize]) -> Result<Tensor> {
+    let nd = t.ndim();
+    if perm.len() != nd {
+        return Err(TensorError::InvalidAxis { axis: perm.len(), ndim: nd });
+    }
+    let mut seen = vec![false; nd];
+    for &p in perm {
+        if p >= nd || seen[p] {
+            return Err(TensorError::InvalidAxis { axis: p, ndim: nd });
+        }
+        seen[p] = true;
+    }
+    let in_dims = t.dims();
+    let out_dims: Vec<usize> = perm.iter().map(|&p| in_dims[p]).collect();
+    let in_strides = t.shape().strides();
+    let permuted_strides: Vec<usize> = perm.iter().map(|&p| in_strides[p]).collect();
+    let n = t.numel();
+    let mut data = Vec::with_capacity(n);
+    let mut idx = vec![0usize; nd];
+    let mut off = 0usize;
+    let src = t.data();
+    for _ in 0..n {
+        data.push(src[off]);
+        for axis in (0..nd).rev() {
+            idx[axis] += 1;
+            off += permuted_strides[axis];
+            if idx[axis] < out_dims[axis] {
+                break;
+            }
+            off -= permuted_strides[axis] * out_dims[axis];
+            idx[axis] = 0;
+        }
+    }
+    Ok(Tensor::from_vec(data, out_dims))
+}
+
+// ---------------------------------------------------------------------------
+// Reductions along an axis
+// ---------------------------------------------------------------------------
+
+fn axis_reduce(
+    t: &Tensor,
+    axis: usize,
+    keepdim: bool,
+    init: f32,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor> {
+    let nd = t.ndim();
+    if axis >= nd {
+        return Err(TensorError::InvalidAxis { axis, ndim: nd });
+    }
+    let dims = t.dims();
+    let outer: usize = dims[..axis].iter().product();
+    let red = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    let mut out = vec![init; outer * inner];
+    let src = t.data();
+    for o in 0..outer {
+        for r in 0..red {
+            let base = (o * red + r) * inner;
+            let obase = o * inner;
+            for i in 0..inner {
+                out[obase + i] = f(out[obase + i], src[base + i]);
+            }
+        }
+    }
+    let mut out_dims: Vec<usize> = dims.to_vec();
+    if keepdim {
+        out_dims[axis] = 1;
+    } else {
+        out_dims.remove(axis);
+    }
+    Ok(Tensor::from_vec(out, out_dims))
+}
+
+/// Sum along `axis`.
+pub fn sum_axis(t: &Tensor, axis: usize, keepdim: bool) -> Result<Tensor> {
+    axis_reduce(t, axis, keepdim, 0.0, |a, b| a + b)
+}
+
+/// Mean along `axis`.
+pub fn mean_axis(t: &Tensor, axis: usize, keepdim: bool) -> Result<Tensor> {
+    let n = t.dim(axis) as f32;
+    let mut s = sum_axis(t, axis, keepdim)?;
+    s.scale_inplace(1.0 / n);
+    Ok(s)
+}
+
+/// Max along `axis`.
+pub fn max_axis(t: &Tensor, axis: usize, keepdim: bool) -> Result<Tensor> {
+    axis_reduce(t, axis, keepdim, f32::NEG_INFINITY, f32::max)
+}
+
+/// Index of the maximum along the last axis, one result per leading row.
+pub fn argmax_last(t: &Tensor) -> Vec<usize> {
+    let nd = t.ndim();
+    assert!(nd >= 1);
+    let last = t.dim(nd - 1);
+    t.data()
+        .chunks_exact(last)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Softmax family (last axis)
+// ---------------------------------------------------------------------------
+
+/// Numerically stable softmax along the last axis.
+pub fn softmax_last(t: &Tensor) -> Tensor {
+    let last = t.dim(t.ndim() - 1);
+    let mut out = t.clone();
+    for row in out.data_mut().chunks_exact_mut(last) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - m).exp();
+            sum += *x;
+        }
+        let inv = 1.0 / sum;
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+    out
+}
+
+/// Numerically stable log-softmax along the last axis.
+pub fn log_softmax_last(t: &Tensor) -> Tensor {
+    let last = t.dim(t.ndim() - 1);
+    let mut out = t.clone();
+    for row in out.data_mut().chunks_exact_mut(last) {
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+        for x in row.iter_mut() {
+            *x -= lse;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Concatenation / slicing / gather
+// ---------------------------------------------------------------------------
+
+/// Concatenates tensors along `axis`. All other dimensions must match.
+pub fn concat(parts: &[&Tensor], axis: usize) -> Result<Tensor> {
+    assert!(!parts.is_empty(), "concat of zero tensors");
+    let first = parts[0];
+    let nd = first.ndim();
+    if axis >= nd {
+        return Err(TensorError::InvalidAxis { axis, ndim: nd });
+    }
+    let mut axis_total = 0usize;
+    for p in parts {
+        if p.ndim() != nd {
+            return Err(TensorError::ShapeMismatch {
+                op: "concat",
+                lhs: first.dims().to_vec(),
+                rhs: p.dims().to_vec(),
+            });
+        }
+        for d in 0..nd {
+            if d != axis && p.dim(d) != first.dim(d) {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat",
+                    lhs: first.dims().to_vec(),
+                    rhs: p.dims().to_vec(),
+                });
+            }
+        }
+        axis_total += p.dim(axis);
+    }
+    let outer: usize = first.dims()[..axis].iter().product();
+    let inner: usize = first.dims()[axis + 1..].iter().product();
+    let mut out_dims = first.dims().to_vec();
+    out_dims[axis] = axis_total;
+    let mut data = Vec::with_capacity(outer * axis_total * inner);
+    for o in 0..outer {
+        for p in parts {
+            let pa = p.dim(axis);
+            let chunk = pa * inner;
+            data.extend_from_slice(&p.data()[o * chunk..(o + 1) * chunk]);
+        }
+    }
+    Ok(Tensor::from_vec(data, out_dims))
+}
+
+/// Slices `[start, end)` along `axis`.
+pub fn slice_axis(t: &Tensor, axis: usize, start: usize, end: usize) -> Result<Tensor> {
+    let nd = t.ndim();
+    if axis >= nd {
+        return Err(TensorError::InvalidAxis { axis, ndim: nd });
+    }
+    if end > t.dim(axis) || start > end {
+        return Err(TensorError::IndexOutOfRange { index: end, bound: t.dim(axis) });
+    }
+    let dims = t.dims();
+    let outer: usize = dims[..axis].iter().product();
+    let inner: usize = dims[axis + 1..].iter().product();
+    let len = end - start;
+    let mut out_dims = dims.to_vec();
+    out_dims[axis] = len;
+    let mut data = Vec::with_capacity(outer * len * inner);
+    let src = t.data();
+    let axis_dim = dims[axis];
+    for o in 0..outer {
+        let base = (o * axis_dim + start) * inner;
+        data.extend_from_slice(&src[base..base + len * inner]);
+    }
+    Ok(Tensor::from_vec(data, out_dims))
+}
+
+/// Selects rows of a rank-2 tensor: `out[i] = t[indices[i]]`.
+pub fn index_select_rows(t: &Tensor, indices: &[usize]) -> Result<Tensor> {
+    assert_eq!(t.ndim(), 2, "index_select_rows requires a rank-2 tensor");
+    let (rows, cols) = (t.dim(0), t.dim(1));
+    let mut data = Vec::with_capacity(indices.len() * cols);
+    for &ix in indices {
+        if ix >= rows {
+            return Err(TensorError::IndexOutOfRange { index: ix, bound: rows });
+        }
+        data.extend_from_slice(t.row(ix));
+    }
+    Ok(Tensor::from_vec(data, vec![indices.len(), cols]))
+}
+
+/// Scatter-add rows: `out[indices[i]] += grad[i]`. Adjoint of
+/// [`index_select_rows`], used for embedding gradients.
+pub fn scatter_add_rows(out: &mut Tensor, indices: &[usize], grad: &Tensor) {
+    assert_eq!(out.ndim(), 2);
+    assert_eq!(grad.ndim(), 2);
+    assert_eq!(grad.dim(0), indices.len());
+    assert_eq!(grad.dim(1), out.dim(1));
+    let cols = out.dim(1);
+    for (i, &ix) in indices.iter().enumerate() {
+        let g = grad.row(i);
+        let o = &mut out.row_mut(ix)[..cols];
+        for (ov, gv) in o.iter_mut().zip(g.iter()) {
+            *ov += gv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: Vec<usize>) -> Tensor {
+        Tensor::from_vec(v, d)
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let a = t(vec![1.0, 2.0], vec![2]);
+        let b = t(vec![10.0, 20.0], vec![2]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn add_broadcast_row() {
+        let a = Tensor::arange(6).reshape(vec![2, 3]).unwrap();
+        let b = t(vec![10.0, 20.0, 30.0], vec![3]);
+        let c = add(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.data(), &[10.0, 21.0, 32.0, 13.0, 24.0, 35.0]);
+    }
+
+    #[test]
+    fn mul_broadcast_col() {
+        let a = Tensor::ones(vec![2, 3]);
+        let b = t(vec![2.0, 3.0], vec![2, 1]);
+        let c = mul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[2.0, 2.0, 2.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Tensor::arange(3);
+        let s = Tensor::scalar(2.0);
+        assert_eq!(mul(&a, &s).unwrap().data(), &[0.0, 2.0, 4.0]);
+        assert_eq!(sub(&s, &a).unwrap().data(), &[2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let a = Tensor::ones(vec![2, 3]);
+        let b = Tensor::ones(vec![4, 3]);
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn unbroadcast_sums_expanded_axes() {
+        let g = Tensor::ones(vec![2, 3]);
+        assert_eq!(unbroadcast(&g, &[3]).data(), &[2.0, 2.0, 2.0]);
+        assert_eq!(unbroadcast(&g, &[2, 1]).data(), &[3.0, 3.0]);
+        assert_eq!(unbroadcast(&g, &[]).data(), &[6.0]);
+        assert_eq!(unbroadcast(&g, &[2, 3]).data(), g.data());
+    }
+
+    #[test]
+    fn matmul_2d_known() {
+        let a = Tensor::arange(6).reshape(vec![2, 3]).unwrap();
+        let b = Tensor::arange(6).reshape(vec![3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[10.0, 13.0, 28.0, 40.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::arange(4).reshape(vec![2, 2]).unwrap();
+        let eye = t(vec![1.0, 0.0, 0.0, 1.0], vec![2, 2]);
+        assert_eq!(matmul(&a, &eye).unwrap().data(), a.data());
+    }
+
+    #[test]
+    fn matmul_batched() {
+        let a = Tensor::arange(12).reshape(vec![2, 2, 3]).unwrap();
+        let b = Tensor::ones(vec![2, 3, 1]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2, 1]);
+        assert_eq!(c.data(), &[3.0, 12.0, 21.0, 30.0]);
+    }
+
+    #[test]
+    fn matmul_broadcast_rhs() {
+        let a = Tensor::arange(12).reshape(vec![2, 2, 3]).unwrap();
+        let b = Tensor::ones(vec![3, 1]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2, 1]);
+        assert_eq!(c.data(), &[3.0, 12.0, 21.0, 30.0]);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::ones(vec![2, 3]);
+        let b = Tensor::ones(vec![2, 3]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn transpose_2d_and_batched() {
+        let a = Tensor::arange(6).reshape(vec![2, 3]).unwrap();
+        let at = transpose_last2(&a).unwrap();
+        assert_eq!(at.dims(), &[3, 2]);
+        assert_eq!(at.data(), &[0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+
+        let b = Tensor::arange(12).reshape(vec![2, 2, 3]).unwrap();
+        let bt = transpose_last2(&b).unwrap();
+        assert_eq!(bt.dims(), &[2, 3, 2]);
+        assert_eq!(bt.at(&[1, 2, 0]), b.at(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn permute_3d() {
+        let a = Tensor::arange(24).reshape(vec![2, 3, 4]).unwrap();
+        let p = permute(&a, &[2, 0, 1]).unwrap();
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        assert_eq!(p.at(&[3, 1, 2]), a.at(&[1, 2, 3]));
+        assert!(permute(&a, &[0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let a = Tensor::arange(6).reshape(vec![2, 3]).unwrap();
+        assert_eq!(sum_axis(&a, 0, false).unwrap().data(), &[3.0, 5.0, 7.0]);
+        assert_eq!(sum_axis(&a, 1, false).unwrap().data(), &[3.0, 12.0]);
+        assert_eq!(sum_axis(&a, 1, true).unwrap().dims(), &[2, 1]);
+        assert_eq!(mean_axis(&a, 1, false).unwrap().data(), &[1.0, 4.0]);
+        assert_eq!(max_axis(&a, 0, false).unwrap().data(), &[3.0, 4.0, 5.0]);
+        assert!(sum_axis(&a, 2, false).is_err());
+    }
+
+    #[test]
+    fn argmax_rows() {
+        let a = t(vec![1.0, 5.0, 2.0, 9.0, 0.0, 3.0], vec![2, 3]);
+        assert_eq!(argmax_last(&a), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], vec![2, 3]);
+        let s = softmax_last(&a);
+        for row in s.data().chunks_exact(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Large inputs stay finite (stability).
+        assert!(!s.has_non_finite());
+        // Uniform row.
+        assert!((s.data()[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let a = t(vec![0.5, -1.0, 2.0], vec![1, 3]);
+        let ls = log_softmax_last(&a);
+        let s = softmax_last(&a);
+        for (l, p) in ls.data().iter().zip(s.data().iter()) {
+            assert!((l - p.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn concat_axis0_and_1() {
+        let a = Tensor::arange(4).reshape(vec![2, 2]).unwrap();
+        let b = Tensor::ones(vec![1, 2]);
+        let c = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.data(), &[0.0, 1.0, 2.0, 3.0, 1.0, 1.0]);
+
+        let d = concat(&[&a, &a], 1).unwrap();
+        assert_eq!(d.dims(), &[2, 4]);
+        assert_eq!(d.data(), &[0.0, 1.0, 0.0, 1.0, 2.0, 3.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn slice_middle_axis() {
+        let a = Tensor::arange(24).reshape(vec![2, 3, 4]).unwrap();
+        let s = slice_axis(&a, 1, 1, 3).unwrap();
+        assert_eq!(s.dims(), &[2, 2, 4]);
+        assert_eq!(s.at(&[0, 0, 0]), a.at(&[0, 1, 0]));
+        assert_eq!(s.at(&[1, 1, 3]), a.at(&[1, 2, 3]));
+        assert!(slice_axis(&a, 1, 2, 4).is_err());
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let table = Tensor::arange(8).reshape(vec![4, 2]).unwrap();
+        let picked = index_select_rows(&table, &[3, 0, 3]).unwrap();
+        assert_eq!(picked.data(), &[6.0, 7.0, 0.0, 1.0, 6.0, 7.0]);
+
+        let mut grad = Tensor::zeros(vec![4, 2]);
+        let upstream = Tensor::ones(vec![3, 2]);
+        scatter_add_rows(&mut grad, &[3, 0, 3], &upstream);
+        assert_eq!(grad.row(3), &[2.0, 2.0]);
+        assert_eq!(grad.row(0), &[1.0, 1.0]);
+        assert_eq!(grad.row(1), &[0.0, 0.0]);
+
+        assert!(index_select_rows(&table, &[4]).is_err());
+    }
+}

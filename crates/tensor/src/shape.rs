@@ -1,0 +1,153 @@
+//! Shape utilities: dimension bookkeeping, strides, broadcasting rules.
+
+use crate::{Result, TensorError};
+
+/// A tensor shape: an ordered list of dimension sizes.
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` adding stride computation and
+/// broadcasting helpers. A scalar has the empty shape `[]` and one element.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (rank).
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dims; 1 for a scalar).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `axis`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major (C-order) strides, in elements.
+    ///
+    /// The last dimension has stride 1.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0usize; self.0.len()];
+        let mut acc = 1usize;
+        for (s, &d) in strides.iter_mut().zip(self.0.iter()).rev() {
+            *s = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Converts a flat row-major offset into per-axis indices.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.0.len()];
+        for axis in (0..self.0.len()).rev() {
+            let d = self.0[axis];
+            idx[axis] = offset % d;
+            offset /= d;
+        }
+        idx
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+/// Computes the broadcast result shape of two shapes under NumPy rules.
+///
+/// Trailing dimensions are aligned; each pair must be equal or one of them 1.
+///
+/// ```
+/// use tensor::broadcast_shapes;
+/// assert_eq!(broadcast_shapes(&[4, 1, 3], &[2, 3]).unwrap(), vec![4, 2, 3]);
+/// ```
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Result<Vec<usize>> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0usize; ndim];
+    for i in 0..ndim {
+        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
+        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                op: "broadcast",
+                lhs: a.to_vec(),
+                rhs: b.to_vec(),
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Strides for iterating a tensor of shape `from` as if it had been
+/// broadcast to shape `to`: broadcast axes get stride 0.
+pub(crate) fn broadcast_strides(from: &[usize], to: &[usize]) -> Vec<usize> {
+    let base = Shape::new(from.to_vec()).strides();
+    let offset = to.len() - from.len();
+    let mut out = vec![0usize; to.len()];
+    for i in 0..from.len() {
+        out[offset + i] = if from[i] == 1 && to[offset + i] != 1 { 0 } else { base[i] };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
+        assert_eq!(Shape::new(Vec::<usize>::new()).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn numel_and_unravel() {
+        let s = Shape::new(vec![2, 3]);
+        assert_eq!(s.numel(), 6);
+        assert_eq!(s.unravel(0), vec![0, 0]);
+        assert_eq!(s.unravel(4), vec![1, 1]);
+        assert_eq!(s.unravel(5), vec![1, 2]);
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[2, 3]).unwrap(), vec![2, 3]);
+        assert!(broadcast_shapes(&[2, 3], &[4, 3]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zero_on_expanded_axes() {
+        assert_eq!(broadcast_strides(&[1, 3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[2, 3], &[2, 3]), vec![3, 1]);
+    }
+}

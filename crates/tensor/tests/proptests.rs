@@ -1,0 +1,109 @@
+//! Property-based tests for tensor algebra.
+
+use proptest::prelude::*;
+use tensor::{ops, Tensor};
+
+fn vec_tensor(max_len: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-100.0f32..100.0, 1..max_len)
+        .prop_map(|v| { let n = v.len(); Tensor::from_vec(v, vec![n]) })
+}
+
+fn matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..max_dim, 1..max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c..=r * c)
+            .prop_map(move |v| Tensor::from_vec(v, vec![r, c]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_zero_is_identity(a in vec_tensor(64)) {
+        let z = Tensor::zeros(a.dims().to_vec());
+        let out = ops::add(&a, &z).unwrap();
+        prop_assert_eq!(out.data(), a.data());
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in vec_tensor(32)) {
+        let b = a.map(|x| x * 0.5 + 1.0);
+        let c = a.map(|x| -x + 2.0);
+        // a*(b+c) == a*b + a*c (within f32 tolerance)
+        let lhs = ops::mul(&a, &ops::add(&b, &c).unwrap()).unwrap();
+        let rhs = ops::add(&ops::mul(&a, &b).unwrap(), &ops::mul(&a, &c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_associates_with_scalar(a in matrix(6), s in -3.0f32..3.0) {
+        let b = ops::transpose_last2(&a).unwrap();
+        // (s·A)·Aᵀ == s·(A·Aᵀ)
+        let mut sa = a.clone();
+        sa.scale_inplace(s);
+        let lhs = ops::matmul(&sa, &b).unwrap();
+        let mut rhs = ops::matmul(&a, &b).unwrap();
+        rhs.scale_inplace(s);
+        for (x, y) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sum_axis_totals_match_sum_all(a in matrix(8)) {
+        let s0 = ops::sum_axis(&a, 0, false).unwrap().sum_all();
+        let s1 = ops::sum_axis(&a, 1, false).unwrap().sum_all();
+        let total = a.sum_all();
+        prop_assert!((s0 - total).abs() < 1e-2 * (1.0 + total.abs()));
+        prop_assert!((s1 - total).abs() < 1e-2 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn max_axis_bounded_by_global_max(a in matrix(8)) {
+        let m = ops::max_axis(&a, 0, false).unwrap();
+        prop_assert!(m.max_all() <= a.max_all() + 1e-6);
+        prop_assert!(m.max_all() >= a.max_all() - 1e-6, "global max must appear in some column");
+    }
+
+    #[test]
+    fn softmax_invariant_to_shift(a in matrix(6)) {
+        let shifted = a.map(|x| x + 7.5);
+        let s1 = ops::softmax_last(&a);
+        let s2 = ops::softmax_last(&shifted);
+        for (x, y) in s1.data().iter().zip(s2.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn concat_then_slice_round_trips(a in matrix(6), b_cols in 1usize..6) {
+        let r = a.dim(0);
+        let b = Tensor::full(vec![r, b_cols], 3.25);
+        let cat = ops::concat(&[&a, &b], 1).unwrap();
+        let back = ops::slice_axis(&cat, 1, 0, a.dim(1)).unwrap();
+        prop_assert_eq!(back.data(), a.data());
+        let tail = ops::slice_axis(&cat, 1, a.dim(1), a.dim(1) + b_cols).unwrap();
+        prop_assert_eq!(tail.data(), b.data());
+    }
+
+    #[test]
+    fn permute_inverse_round_trips(a in matrix(6)) {
+        let t = a.reshape(vec![a.dim(0), a.dim(1), 1]).unwrap();
+        let p = ops::permute(&t, &[2, 0, 1]).unwrap();
+        let back = ops::permute(&p, &[1, 2, 0]).unwrap();
+        prop_assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
+    fn index_select_then_scatter_is_count_weighted(rows in 2usize..6, cols in 1usize..5) {
+        let table = Tensor::ones(vec![rows, cols]);
+        let indices: Vec<usize> = (0..rows).chain(0..rows).collect(); // each row twice
+        let picked = ops::index_select_rows(&table, &indices).unwrap();
+        let mut grad = Tensor::zeros(vec![rows, cols]);
+        ops::scatter_add_rows(&mut grad, &indices, &picked);
+        // Every row selected twice with value 1 ⇒ gradient 2 everywhere.
+        prop_assert!(grad.data().iter().all(|&x| (x - 2.0).abs() < 1e-6));
+    }
+}

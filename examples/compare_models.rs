@@ -1,0 +1,60 @@
+//! Mini Table II: trains a representative subset of the paper's baselines
+//! and Meta-SGCL on one dataset and prints a leaderboard.
+//!
+//! ```sh
+//! cargo run --release --example compare_models [-- <dataset>]
+//! ```
+//! `<dataset>` is `clothing`, `toys` (default) or `ml1m`.
+
+use meta_sgcl_repro::meta_sgcl::{MetaSgcl, MetaSgclConfig};
+use meta_sgcl_repro::models::{
+    evaluate_test, DuoRec, Gru4Rec, NetConfig, Pop, SasRec, SequentialRecommender, TrainConfig,
+};
+use meta_sgcl_repro::recdata::{synth, LeaveOneOut};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "toys".into());
+    let cfg = match which.as_str() {
+        "clothing" => synth::SynthConfig::clothing_like(42),
+        "ml1m" => synth::SynthConfig::ml1m_like(42),
+        _ => synth::SynthConfig::toys_like(42),
+    };
+    let data = synth::generate(&cfg);
+    println!("dataset {}: {}", data.name, data.stats());
+    let split = LeaveOneOut::split(&data);
+    let train = split.train_sequences();
+
+    let net = NetConfig::for_items(data.num_items);
+    let tc = TrainConfig { epochs: 12, ..Default::default() };
+
+    let mut models: Vec<Box<dyn SequentialRecommender>> = vec![
+        Box::new(Pop::new(data.num_items)),
+        Box::new(Gru4Rec::new(data.num_items, net.max_len, net.dim, net.seed)),
+        Box::new(SasRec::new(net.clone())),
+        Box::new(DuoRec::new(net.clone())),
+        Box::new(MetaSgcl::new(MetaSgclConfig::for_items(data.num_items))),
+    ];
+
+    let mut results = Vec::new();
+    for model in models.iter_mut() {
+        let t0 = std::time::Instant::now();
+        model.fit(&train, &tc);
+        let report = evaluate_test(model.as_mut(), &split, &[5, 10]);
+        println!(
+            "{:<12} HR@5 {:.4}  HR@10 {:.4}  NDCG@5 {:.4}  NDCG@10 {:.4}   ({:.1?})",
+            model.name(),
+            report.hr(5),
+            report.hr(10),
+            report.ndcg(5),
+            report.ndcg(10),
+            t0.elapsed()
+        );
+        results.push((model.name(), report.ndcg(10)));
+    }
+
+    results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\nleaderboard by NDCG@10:");
+    for (rank, (name, v)) in results.iter().enumerate() {
+        println!("  {}. {name} ({v:.4})", rank + 1);
+    }
+}

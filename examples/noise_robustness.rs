@@ -1,0 +1,46 @@
+//! RQ5 in miniature: how gracefully do SASRec and Meta-SGCL degrade when
+//! random items are injected into the training sequences?
+//!
+//! ```sh
+//! cargo run --release --example noise_robustness
+//! ```
+
+use meta_sgcl_repro::meta_sgcl::{MetaSgcl, MetaSgclConfig};
+use meta_sgcl_repro::models::{
+    evaluate_test, NetConfig, SasRec, SequentialRecommender, TrainConfig,
+};
+use meta_sgcl_repro::recdata::{inject_noise, synth, LeaveOneOut};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let data = synth::generate(&synth::SynthConfig::toys_like(42));
+    let split = LeaveOneOut::split(&data);
+    let clean = split.train_sequences();
+    let tc = TrainConfig { epochs: 10, ..Default::default() };
+
+    println!("noise  SASRec-NDCG@10  Meta-SGCL-NDCG@10");
+    for ratio in [0.0f64, 0.2, 0.4] {
+        let mut rng = StdRng::seed_from_u64(42 + (ratio * 10.0) as u64);
+        let noisy = inject_noise(&clean, ratio, data.num_items, &mut rng);
+
+        let mut sasrec = SasRec::new(NetConfig::for_items(data.num_items));
+        sasrec.fit(&noisy, &tc);
+        let rs = evaluate_test(&mut sasrec, &split, &[10]);
+
+        let mut meta = MetaSgcl::new(MetaSgclConfig::for_items(data.num_items));
+        meta.fit(&noisy, &tc);
+        let rm = evaluate_test(&mut meta, &split, &[10]);
+
+        println!(
+            "{:>4.0}%        {:.4}             {:.4}",
+            ratio * 100.0,
+            rs.ndcg(10),
+            rm.ndcg(10)
+        );
+    }
+    println!(
+        "\npaper's finding: the self-supervised auxiliary task makes the model \
+         degrade more gracefully under training noise (Fig. 5)."
+    );
+}

@@ -1,0 +1,211 @@
+//! `msgc` — command-line interface for the Meta-SGCL reproduction.
+//!
+//! ```text
+//! msgc generate --preset toys --seed 42 --out data.csv
+//! msgc stats    --data data.csv
+//! msgc train    --data data.csv --epochs 20 --out model.msgc
+//! msgc evaluate --data data.csv --model model.msgc
+//! msgc recommend --data data.csv --model model.msgc --user 3 --k 10
+//! ```
+//!
+//! `--data` accepts either a CSV of `user,item,rating,timestamp` rows or
+//! one of the built-in synthetic presets via `synth:<preset>:<seed>`
+//! (e.g. `synth:toys:42`).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+use meta_sgcl_repro::meta_sgcl::{MetaSgcl, MetaSgclConfig};
+use meta_sgcl_repro::models::{
+    evaluate_test, evaluate_valid, recommend_top_k, NetConfig, SequentialRecommender,
+    TrainConfig,
+};
+use meta_sgcl_repro::recdata::io::{load_interactions_csv, CsvOptions};
+use meta_sgcl_repro::recdata::{synth, Dataset, LeaveOneOut};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  msgc generate --preset <clothing|toys|ml1m> [--seed N] --out FILE\n  \
+         msgc stats --data SPEC\n  \
+         msgc train --data SPEC [--epochs N] [--dim N] [--max-len N] [--alpha F] [--beta F] \
+         [--joint] --out MODEL\n  \
+         msgc evaluate --data SPEC --model MODEL [--dim N] [--max-len N]\n  \
+         msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n\n\
+         SPEC = path to user,item,rating,timestamp CSV, or synth:<preset>:<seed>"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Option<Args> {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if name == "joint" {
+                    flags.insert(name.to_string(), "true".to_string());
+                    i += 1;
+                } else {
+                    let value = argv.get(i + 1)?;
+                    flags.insert(name.to_string(), value.clone());
+                    i += 2;
+                }
+            } else {
+                return None;
+            }
+        }
+        Some(Args { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+}
+
+fn load_data(spec: &str) -> Result<Dataset, String> {
+    if let Some(rest) = spec.strip_prefix("synth:") {
+        let mut parts = rest.split(':');
+        let preset = parts.next().unwrap_or("toys");
+        let seed: u64 = parts
+            .next()
+            .unwrap_or("42")
+            .parse()
+            .map_err(|_| format!("bad seed in data spec {spec}"))?;
+        let cfg = match preset {
+            "clothing" => synth::SynthConfig::clothing_like(seed),
+            "ml1m" => synth::SynthConfig::ml1m_like(seed),
+            "toys" => synth::SynthConfig::toys_like(seed),
+            other => return Err(format!("unknown preset {other}")),
+        };
+        Ok(synth::generate(&cfg))
+    } else {
+        load_interactions_csv(spec, &CsvOptions::default()).map_err(|e| e.to_string())
+    }
+}
+
+fn build_model(data: &Dataset, args: &Args) -> Result<MetaSgcl, String> {
+    let dim: usize = args.get_or("dim", 32)?;
+    let max_len: usize = args.get_or("max-len", 20)?;
+    let alpha: f32 = args.get_or("alpha", 0.05)?;
+    let beta: f32 = args.get_or("beta", 0.2)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let mut cfg = MetaSgclConfig {
+        net: NetConfig { dim, max_len, seed, ..NetConfig::for_items(data.num_items) },
+        alpha,
+        beta,
+        ..MetaSgclConfig::for_items(data.num_items)
+    };
+    if args.get("joint").is_some() {
+        cfg.strategy = meta_sgcl_repro::meta_sgcl::TrainStrategy::Joint;
+    }
+    Ok(MetaSgcl::new(cfg))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let preset = args.get("preset").ok_or("--preset required")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let out = args.get("out").ok_or("--out required")?;
+    let data = load_data(&format!("synth:{preset}:{seed}"))?;
+    let mut f = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    for (u, seq) in data.sequences.iter().enumerate() {
+        for (t, item) in seq.iter().enumerate() {
+            writeln!(f, "u{u},i{item},5,{t}").map_err(|e| e.to_string())?;
+        }
+    }
+    println!("wrote {} interactions to {out}", data.num_interactions());
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let data = load_data(args.get("data").ok_or("--data required")?)?;
+    println!("dataset {}: {}", data.name, data.stats());
+    let split = LeaveOneOut::split(&data);
+    println!("evaluable users (≥3 interactions): {}", split.num_users());
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let data = load_data(args.get("data").ok_or("--data required")?)?;
+    let out = args.get("out").ok_or("--out required")?;
+    let epochs: usize = args.get_or("epochs", 20)?;
+    let split = LeaveOneOut::split(&data);
+    let mut model = build_model(&data, args)?;
+    let tc = TrainConfig {
+        epochs,
+        max_len: model.config().net.max_len,
+        verbose: true,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    model.fit(&split.train_sequences(), &tc);
+    println!("trained {} epochs in {:.1?}", epochs, t0.elapsed());
+    let valid = evaluate_valid(&mut model, &split, &[5, 10]);
+    println!("validation: {valid}");
+    model.save(out).map_err(|e| e.to_string())?;
+    println!("saved model to {out}");
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let data = load_data(args.get("data").ok_or("--data required")?)?;
+    let split = LeaveOneOut::split(&data);
+    let mut model = build_model(&data, args)?;
+    model.load(args.get("model").ok_or("--model required")?).map_err(|e| e.to_string())?;
+    let report = evaluate_test(&mut model, &split, &[5, 10]);
+    println!("test: {report}");
+    Ok(())
+}
+
+fn cmd_recommend(args: &Args) -> Result<(), String> {
+    let data = load_data(args.get("data").ok_or("--data required")?)?;
+    let split = LeaveOneOut::split(&data);
+    let user: usize = args.get_or("user", 0)?;
+    let k: usize = args.get_or("k", 10)?;
+    if user >= split.num_users() {
+        return Err(format!("user {user} out of range ({} users)", split.num_users()));
+    }
+    let mut model = build_model(&data, args)?;
+    model.load(args.get("model").ok_or("--model required")?).map_err(|e| e.to_string())?;
+    let history = split.users[user].test_input();
+    println!("user {user} history (most recent last): {history:?}");
+    for (rank, (item, score)) in
+        recommend_top_k(&mut model, user, &history, k, true).iter().enumerate()
+    {
+        println!("  {}. item {item} (score {score:.4})", rank + 1);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { return usage() };
+    let Some(args) = Args::parse(&argv[1..]) else { return usage() };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "train" => cmd_train(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "recommend" => cmd_recommend(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the Meta-SGCL reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! * [`tensor`] — dense f32 tensors.
+//! * [`autograd`] — reverse-mode automatic differentiation.
+//! * [`nn`] — layers (attention, transformer, GRU, …).
+//! * [`optim`] — Adam/SGD, schedules, KL annealing.
+//! * [`recdata`] — datasets, splits, batching, augmentation.
+//! * [`metrics`] — HR/NDCG/MRR and embedding analytics.
+//! * [`models`] — the ten baselines from the paper's Table II.
+//! * [`meta_sgcl`] — the paper's model (also re-exported at the root).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use autograd;
+pub use meta_sgcl;
+pub use metrics;
+pub use models;
+pub use nn;
+pub use optim;
+pub use recdata;
+pub use tensor;
+
+pub use meta_sgcl::{Ablation, MetaSgcl, MetaSgclConfig, TrainStrategy};
+pub use models::{evaluate_test, evaluate_valid, SequentialRecommender, TrainConfig};

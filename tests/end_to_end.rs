@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: dataset → split → train → evaluate, for
+//! every model family, plus determinism guarantees.
+
+use meta_sgcl_repro::meta_sgcl::{MetaSgcl, MetaSgclConfig};
+use meta_sgcl_repro::models::{
+    evaluate_test, evaluate_valid, Bert4Rec, BprMf, Caser, DuoRec, Gru4Rec, NetConfig, Pop,
+    SasRec, SequentialRecommender, TrainConfig, Vsan,
+};
+use meta_sgcl_repro::recdata::{synth, Dataset, LeaveOneOut};
+
+/// A small but learnable workload (strong successor chains).
+fn tiny_workload() -> (Dataset, LeaveOneOut) {
+    let cfg = synth::SynthConfig {
+        num_users: 120,
+        num_items: 60,
+        num_clusters: 6,
+        mean_len: 12.0,
+        min_len: 6,
+        max_len: 30,
+        markov_weight: 0.7,
+        pop_weight: 0.1,
+        ..synth::SynthConfig::toys_like(7)
+    };
+    let data = synth::generate(&cfg);
+    let split = LeaveOneOut::split(&data);
+    (data, split)
+}
+
+fn tiny_net(num_items: usize) -> NetConfig {
+    NetConfig { max_len: 12, dim: 16, layers: 1, ..NetConfig::for_items(num_items) }
+}
+
+fn tiny_cfg() -> TrainConfig {
+    TrainConfig { epochs: 16, batch_size: 32, max_len: 12, ..Default::default() }
+}
+
+/// HR@10 of a uniformly random ranker is ~ 10 / num_items.
+fn random_hr10(num_items: usize) -> f64 {
+    10.0 / num_items as f64
+}
+
+#[test]
+fn every_neural_model_beats_random_ranking() {
+    let (data, split) = tiny_workload();
+    let train = split.train_sequences();
+    let chance = random_hr10(data.num_items);
+
+    let mut models: Vec<Box<dyn SequentialRecommender>> = vec![
+        Box::new(Gru4Rec::new(data.num_items, 12, 16, 1)),
+        Box::new(Caser::new(data.num_items, 4, 16, 1)),
+        Box::new(SasRec::new(tiny_net(data.num_items))),
+        Box::new(Bert4Rec::new(tiny_net(data.num_items))),
+        Box::new(Vsan::new(tiny_net(data.num_items), 0.05)),
+        Box::new(DuoRec::new(tiny_net(data.num_items))),
+        Box::new(MetaSgcl::new(MetaSgclConfig {
+            net: tiny_net(data.num_items),
+            ..MetaSgclConfig::for_items(data.num_items)
+        })),
+    ];
+    for model in models.iter_mut() {
+        model.fit(&train, &tiny_cfg());
+        let r = evaluate_test(model.as_mut(), &split, &[10]);
+        assert!(
+            r.hr(10) > 1.5 * chance,
+            "{} HR@10 {:.4} not above 1.5x chance {:.4}",
+            model.name(),
+            r.hr(10),
+            chance
+        );
+    }
+}
+
+#[test]
+fn pop_and_bpr_learn_something_but_less_than_sasrec() {
+    let (data, split) = tiny_workload();
+    let train = split.train_sequences();
+
+    let mut pop = Pop::new(data.num_items);
+    pop.fit(&train, &tiny_cfg());
+    let r_pop = evaluate_test(&mut pop, &split, &[10]);
+
+    let mut bpr = BprMf::new(data.num_items, 16);
+    bpr.fit(&train, &TrainConfig { epochs: 20, ..tiny_cfg() });
+    let r_bpr = evaluate_test(&mut bpr, &split, &[10]);
+
+    let mut sas = SasRec::new(tiny_net(data.num_items));
+    sas.fit(&train, &tiny_cfg());
+    let r_sas = evaluate_test(&mut sas, &split, &[10]);
+
+    // Traditional methods beat pure chance…
+    let chance = random_hr10(data.num_items);
+    assert!(r_pop.hr(10) > chance, "Pop {:.4} vs chance {chance:.4}", r_pop.hr(10));
+    assert!(r_bpr.hr(10) > chance, "BPR {:.4} vs chance {chance:.4}", r_bpr.hr(10));
+    // …but the sequential model dominates on sequential data (Table II).
+    assert!(
+        r_sas.ndcg(10) > r_pop.ndcg(10),
+        "SASRec {:.4} should beat Pop {:.4}",
+        r_sas.ndcg(10),
+        r_pop.ndcg(10)
+    );
+    assert!(
+        r_sas.ndcg(10) > r_bpr.ndcg(10),
+        "SASRec {:.4} should beat BPR-MF {:.4}",
+        r_sas.ndcg(10),
+        r_bpr.ndcg(10)
+    );
+}
+
+#[test]
+fn training_is_deterministic_per_seed() {
+    let (data, split) = tiny_workload();
+    let train = split.train_sequences();
+    let run = || {
+        let mut m = SasRec::new(tiny_net(data.num_items));
+        m.fit(&train, &TrainConfig { epochs: 3, ..tiny_cfg() });
+        let r = evaluate_test(&mut m, &split, &[5, 10]);
+        (r.hr(5), r.hr(10), r.ndcg(5), r.ndcg(10))
+    };
+    assert_eq!(run(), run(), "same seed must give identical metrics");
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let (data, split) = tiny_workload();
+    let train = split.train_sequences();
+    let run = |seed: u64| {
+        let mut m = SasRec::new(NetConfig { seed, ..tiny_net(data.num_items) });
+        m.fit(&train, &TrainConfig { epochs: 2, seed, ..tiny_cfg() });
+        m.score(0, &split.users[0].test_input())
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn validation_and_test_reports_are_both_computable() {
+    let (data, split) = tiny_workload();
+    let mut m = SasRec::new(tiny_net(data.num_items));
+    m.fit(&split.train_sequences(), &TrainConfig { epochs: 2, ..tiny_cfg() });
+    let rv = evaluate_valid(&mut m, &split, &[5, 10]);
+    let rt = evaluate_test(&mut m, &split, &[5, 10]);
+    assert_eq!(rv.users, split.num_users());
+    assert_eq!(rt.users, split.num_users());
+    for r in [&rv, &rt] {
+        assert!(r.hr(5) <= r.hr(10) + 1e-12);
+        assert!((0.0..=1.0).contains(&r.hr(10)));
+        assert!((0.0..=1.0).contains(&r.ndcg(10)));
+    }
+}
+
+#[test]
+fn meta_sgcl_improves_over_training() {
+    let (data, split) = tiny_workload();
+    let train = split.train_sequences();
+    let mut short = MetaSgcl::new(MetaSgclConfig {
+        net: tiny_net(data.num_items),
+        ..MetaSgclConfig::for_items(data.num_items)
+    });
+    short.fit(&train, &TrainConfig { epochs: 1, ..tiny_cfg() });
+    let r_short = evaluate_test(&mut short, &split, &[10]);
+
+    let mut long = MetaSgcl::new(MetaSgclConfig {
+        net: tiny_net(data.num_items),
+        ..MetaSgclConfig::for_items(data.num_items)
+    });
+    long.fit(&train, &TrainConfig { epochs: 10, ..tiny_cfg() });
+    let r_long = evaluate_test(&mut long, &split, &[10]);
+
+    assert!(
+        r_long.ndcg(10) > r_short.ndcg(10),
+        "more training should help: {:.4} vs {:.4}",
+        r_long.ndcg(10),
+        r_short.ndcg(10)
+    );
+}

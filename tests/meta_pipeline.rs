@@ -1,0 +1,139 @@
+//! Meta-SGCL-specific integration tests: the two training strategies, the
+//! ablation grid, checkpointing, and the contrastive-view machinery.
+
+use meta_sgcl_repro::meta_sgcl::{Ablation, MetaSgcl, MetaSgclConfig, TrainStrategy};
+use meta_sgcl_repro::models::{evaluate_test, NetConfig, SequentialRecommender, TrainConfig};
+use meta_sgcl_repro::recdata::{synth, LeaveOneOut};
+
+fn workload() -> (usize, LeaveOneOut) {
+    let cfg = synth::SynthConfig {
+        num_users: 100,
+        num_items: 50,
+        num_clusters: 5,
+        mean_len: 10.0,
+        min_len: 6,
+        max_len: 24,
+        markov_weight: 0.65,
+        pop_weight: 0.1,
+        ..synth::SynthConfig::toys_like(11)
+    };
+    let data = synth::generate(&cfg);
+    let split = LeaveOneOut::split(&data);
+    (data.num_items, split)
+}
+
+fn cfg(num_items: usize) -> MetaSgclConfig {
+    MetaSgclConfig {
+        net: NetConfig { max_len: 12, dim: 16, layers: 1, ..NetConfig::for_items(num_items) },
+        ..MetaSgclConfig::for_items(num_items)
+    }
+}
+
+fn tc(epochs: usize) -> TrainConfig {
+    TrainConfig { epochs, batch_size: 25, max_len: 12, ..Default::default() }
+}
+
+#[test]
+fn both_strategies_reach_usable_accuracy() {
+    let (num_items, split) = workload();
+    let train = split.train_sequences();
+    let chance = 10.0 / num_items as f64;
+    for strategy in [TrainStrategy::Joint, TrainStrategy::MetaTwoStep] {
+        let mut c = cfg(num_items);
+        c.strategy = strategy;
+        let mut m = MetaSgcl::new(c);
+        m.fit(&train, &tc(12));
+        let r = evaluate_test(&mut m, &split, &[10]);
+        assert!(
+            r.hr(10) > 2.0 * chance,
+            "{strategy:?}: HR@10 {:.4} vs chance {chance:.4}",
+            r.hr(10)
+        );
+    }
+}
+
+#[test]
+fn every_ablation_trains_cleanly() {
+    let (num_items, split) = workload();
+    let train = split.train_sequences();
+    for ablation in [Ablation::Full, Ablation::NoCl, Ablation::NoKl, Ablation::NoClKl] {
+        let mut c = cfg(num_items);
+        c.ablation = ablation;
+        let mut m = MetaSgcl::new(c);
+        m.fit(&train, &tc(4));
+        let h = m.history();
+        assert_eq!(h.epochs.len(), 4);
+        assert!(h.epochs.iter().all(|e| e.total.is_finite()), "{ablation:?} diverged");
+        let r = evaluate_test(&mut m, &split, &[10]);
+        assert!(r.hr(10) > 0.0, "{ablation:?} produced degenerate rankings");
+    }
+}
+
+#[test]
+fn checkpoint_round_trip_restores_scores() {
+    let (num_items, split) = workload();
+    let train = split.train_sequences();
+    let mut m = MetaSgcl::new(cfg(num_items));
+    m.fit(&train, &tc(3));
+    let probe = split.users[0].test_input();
+    let scores_before = m.score(0, &probe);
+
+    let dir = std::env::temp_dir().join("meta_sgcl_ckpt_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.msgc");
+    m.save(&path).unwrap();
+
+    // Wreck the weights, confirm behaviour changed, then restore.
+    for p in m.all_parameters() {
+        p.borrow_mut().value.scale_inplace(0.0);
+    }
+    assert_ne!(m.score(0, &probe), scores_before);
+    m.load(&path).unwrap();
+    assert_eq!(m.score(0, &probe), scores_before);
+}
+
+#[test]
+fn checkpoint_into_fresh_model_matches() {
+    let (num_items, split) = workload();
+    let train = split.train_sequences();
+    let mut trained = MetaSgcl::new(cfg(num_items));
+    trained.fit(&train, &tc(3));
+    let dir = std::env::temp_dir().join("meta_sgcl_ckpt_fresh");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.msgc");
+    trained.save(&path).unwrap();
+
+    let mut fresh = MetaSgcl::new(cfg(num_items));
+    fresh.load(&path).unwrap();
+    let probe = split.users[1].test_input();
+    assert_eq!(fresh.score(0, &probe), trained.score(0, &probe));
+}
+
+#[test]
+fn history_reports_all_loss_components() {
+    let (num_items, split) = workload();
+    let mut m = MetaSgcl::new(cfg(num_items));
+    m.fit(&split.train_sequences(), &tc(3));
+    for e in &m.history().epochs {
+        assert!(e.rec > 0.0, "reconstruction loss should be positive");
+        assert!(e.kl >= 0.0, "KL is non-negative");
+        assert!(e.cl >= 0.0, "InfoNCE is non-negative");
+        assert!(e.total >= e.rec - 1e-6, "total includes rec plus weighted extras");
+    }
+}
+
+#[test]
+fn meta_lr_override_is_respected() {
+    let (num_items, split) = workload();
+    let train = split.train_sequences();
+    // meta_lr = 0 freezes σ' in practice: its weights must not move.
+    let mut c = cfg(num_items);
+    c.meta_lr = Some(0.0);
+    let mut m = MetaSgcl::new(c);
+    let before: Vec<f32> =
+        m.meta_parameters().iter().flat_map(|p| p.borrow().value.data().to_vec()).collect();
+    m.fit(&train, &tc(2));
+    let after: Vec<f32> =
+        m.meta_parameters().iter().flat_map(|p| p.borrow().value.data().to_vec()).collect();
+    assert_eq!(before, after, "meta_lr = 0 must freeze Enc_σ'");
+}

@@ -1,0 +1,203 @@
+//! Property-based tests (proptest) on cross-crate invariants: tensor
+//! algebra laws, softmax/ranking invariants, dataset/batching invariants,
+//! and loss-function bounds.
+
+use meta_sgcl_repro::autograd::Graph;
+use meta_sgcl_repro::metrics::{rank_of, MetricAccumulator};
+use meta_sgcl_repro::models::{info_nce, Similarity};
+use meta_sgcl_repro::recdata::{encode_input_only, encode_sequence, inject_noise, item_crop,
+    item_mask, item_reorder};
+use meta_sgcl_repro::tensor::{broadcast_shapes, ops, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+fn tensor_for(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    prop::collection::vec(-10.0f32..10.0, n..=n)
+        .prop_map(move |data| Tensor::from_vec(data, dims.clone()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ----- tensor algebra ---------------------------------------------------
+
+    #[test]
+    fn add_commutes(dims in small_dims()) {
+        let t = dims.clone();
+        let runner = |a: &Tensor, b: &Tensor| {
+            let ab = ops::add(a, b).unwrap();
+            let ba = ops::add(b, a).unwrap();
+            prop_assert_eq!(ab.data(), ba.data());
+            Ok(())
+        };
+        let mut rng = StdRng::seed_from_u64(dims.iter().sum::<usize>() as u64);
+        let a = meta_sgcl_repro::tensor::init::randn(&mut rng, t.clone(), 0.0, 1.0);
+        let b = meta_sgcl_repro::tensor::init::randn(&mut rng, t, 0.0, 1.0);
+        runner(&a, &b)?;
+    }
+
+    #[test]
+    fn broadcast_is_symmetric_and_idempotent(a in small_dims(), b in small_dims()) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(&x, &y);
+                // Broadcasting a shape with itself is identity.
+                prop_assert_eq!(broadcast_shapes(&x, &x).unwrap(), x);
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "broadcast symmetry violated"),
+        }
+    }
+
+    #[test]
+    fn unbroadcast_preserves_total_mass(dims in small_dims()) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = meta_sgcl_repro::tensor::init::randn(&mut rng, dims.clone(), 0.0, 1.0);
+        // Reducing to a scalar shape keeps the sum.
+        let reduced = ops::unbroadcast(&g, &[]);
+        prop_assert!((reduced.item() - g.sum_all()).abs() < 1e-3 * (1.0 + g.sum_all().abs()));
+    }
+
+    #[test]
+    fn transpose_is_involution(r in 1usize..5, c in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = meta_sgcl_repro::tensor::init::randn(&mut rng, vec![r, c], 0.0, 1.0);
+        let back = ops::transpose_last2(&ops::transpose_last2(&a).unwrap()).unwrap();
+        prop_assert_eq!(a.data(), back.data());
+    }
+
+    #[test]
+    fn matmul_identity_is_neutral(n in 1usize..6, m in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = meta_sgcl_repro::tensor::init::randn(&mut rng, vec![n, m], 0.0, 1.0);
+        let mut eye = Tensor::zeros(vec![m, m]);
+        for i in 0..m {
+            eye.data_mut()[i * m + i] = 1.0;
+        }
+        let out = ops::matmul(&a, &eye).unwrap();
+        for (x, y) in a.data().iter().zip(out.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    // ----- softmax / ranking -------------------------------------------------
+
+    #[test]
+    fn softmax_rows_are_distributions(t in small_dims().prop_flat_map(tensor_for)) {
+        let s = ops::softmax_last(&t);
+        let last = s.dim(s.ndim() - 1);
+        for row in s.data().chunks_exact(last) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row sum {sum}");
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn rank_is_within_bounds(scores in prop::collection::vec(-5.0f32..5.0, 2..40),
+                             target_raw in 1usize..40) {
+        let n = scores.len();
+        let target = 1 + (target_raw - 1) % (n - 1).max(1);
+        if target < n {
+            let r = rank_of(&scores, target);
+            prop_assert!(r >= 1 && r <= n - 1, "rank {r} out of [1, {}]", n - 1);
+        }
+    }
+
+    #[test]
+    fn boosting_target_score_never_worsens_rank(
+        scores in prop::collection::vec(-5.0f32..5.0, 3..20),
+        target_raw in 1usize..20,
+    ) {
+        let n = scores.len();
+        let target = 1 + (target_raw - 1) % (n - 1);
+        let before = rank_of(&scores, target);
+        let mut boosted = scores.clone();
+        boosted[target] += 10.0;
+        let after = rank_of(&boosted, target);
+        prop_assert!(after <= before);
+    }
+
+    #[test]
+    fn metric_accumulator_bounds(ranks in prop::collection::vec(1usize..200, 1..50)) {
+        let mut acc = MetricAccumulator::new(&[5, 10]);
+        for r in &ranks {
+            acc.add_rank(*r);
+        }
+        let rep = acc.finish();
+        for k in [5usize, 10] {
+            prop_assert!((0.0..=1.0).contains(&rep.hr(k)));
+            prop_assert!((0.0..=1.0).contains(&rep.ndcg(k)));
+            prop_assert!(rep.ndcg(k) <= rep.hr(k) + 1e-12, "NDCG@k ≤ HR@k");
+            prop_assert!(rep.mrr(k) <= rep.hr(k) + 1e-12, "MRR@k ≤ HR@k");
+        }
+        prop_assert!(rep.hr(5) <= rep.hr(10) + 1e-12);
+    }
+
+    // ----- data pipeline ------------------------------------------------------
+
+    #[test]
+    fn encode_sequence_invariants(seq in prop::collection::vec(1usize..100, 2..30),
+                                  max_len in 2usize..25) {
+        let (input, targets, pad) = encode_sequence(&seq, max_len);
+        prop_assert_eq!(input.len(), max_len);
+        prop_assert_eq!(targets.len(), max_len);
+        prop_assert_eq!(pad.len(), max_len);
+        for ((it, tg), pd) in input.iter().zip(&targets).zip(&pad) {
+            if *pd {
+                prop_assert_eq!(*it, 0);
+                prop_assert_eq!(*tg, usize::MAX);
+            } else {
+                prop_assert!(*it >= 1);
+                prop_assert!(*tg >= 1 && *tg < usize::MAX);
+            }
+        }
+        // Final target is the sequence's last item.
+        prop_assert_eq!(*targets.last().unwrap(), *seq.last().unwrap());
+        // Input never contains the final item at the last position.
+        let (ionly, _) = encode_input_only(&seq, max_len);
+        prop_assert_eq!(*ionly.last().unwrap(), *seq.last().unwrap());
+    }
+
+    #[test]
+    fn augmentations_respect_invariants(seq in prop::collection::vec(1usize..50, 2..20),
+                                        seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let crop = item_crop(&seq, 0.5, &mut rng);
+        prop_assert!(!crop.is_empty() && crop.len() <= seq.len());
+        let mask = item_mask(&seq, 0.3, 50, &mut rng);
+        prop_assert_eq!(mask.len(), seq.len());
+        prop_assert!(mask.iter().all(|&x| (1..=51).contains(&x)));
+        let reorder = item_reorder(&seq, 0.5, &mut rng);
+        let mut a = seq.clone();
+        let mut b = reorder.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        let noisy = inject_noise(&[seq.clone()], 0.25, 50, &mut rng);
+        prop_assert!(noisy[0].len() >= seq.len());
+    }
+
+    // ----- losses ---------------------------------------------------------------
+
+    #[test]
+    fn info_nce_is_bounded_below_and_finite(seed in 0u64..500, b in 2usize..8, d in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Graph::new();
+        let z = g.constant(meta_sgcl_repro::tensor::init::randn(&mut rng, vec![b, d], 0.0, 1.0));
+        let zp = g.constant(meta_sgcl_repro::tensor::init::randn(&mut rng, vec![b, d], 0.0, 1.0));
+        for sim in [Similarity::Dot, Similarity::Cosine] {
+            let l = info_nce(&z, &zp, 0.7, sim).item();
+            prop_assert!(l.is_finite());
+            prop_assert!(l >= 0.0, "cross-entropy form is non-negative: {l}");
+        }
+    }
+}
