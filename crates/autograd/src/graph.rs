@@ -2,8 +2,11 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use tensor::Tensor;
+
+use crate::accum::GradientSet;
 
 /// A trainable tensor with an accumulated gradient.
 ///
@@ -25,19 +28,59 @@ pub struct Parameter {
     pub trainable: bool,
 }
 
-/// Shared handle to a [`Parameter`].
-pub type ParamRef = Rc<RefCell<Parameter>>;
+/// Shared, thread-safe handle to a [`Parameter`].
+///
+/// Internally `Arc<RwLock<Parameter>>`, so models holding `ParamRef`s are
+/// `Send + Sync` and the data-parallel executor can run forward/backward on
+/// shards from worker threads. The accessors keep the `borrow`/`borrow_mut`
+/// names from the earlier `Rc<RefCell<_>>` representation so call sites read
+/// the same; they panic if the lock is poisoned (a worker panicked mid-write),
+/// which is already a fatal state for training.
+#[derive(Debug, Clone)]
+pub struct ParamRef(Arc<RwLock<Parameter>>);
+
+impl ParamRef {
+    /// Wraps a parameter in a shared handle.
+    pub fn new(p: Parameter) -> ParamRef {
+        ParamRef(Arc::new(RwLock::new(p)))
+    }
+
+    /// Read access. Multiple simultaneous reads are fine; blocks on a writer.
+    pub fn borrow(&self) -> RwLockReadGuard<'_, Parameter> {
+        self.0.read().expect("parameter lock poisoned")
+    }
+
+    /// Exclusive write access.
+    pub fn borrow_mut(&self) -> RwLockWriteGuard<'_, Parameter> {
+        self.0.write().expect("parameter lock poisoned")
+    }
+
+    /// True if both handles refer to the same parameter allocation.
+    pub fn ptr_eq(a: &ParamRef, b: &ParamRef) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Stable identity key for this allocation, usable in hash maps.
+    pub fn key(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+}
 
 impl Parameter {
     /// Creates a parameter with a zeroed gradient.
     pub fn new(name: impl Into<String>, value: Tensor) -> Parameter {
         let grad = Tensor::zeros(value.dims().to_vec());
-        Parameter { name: name.into(), value, grad, trainable: true }
+        Parameter {
+            name: name.into(),
+            value,
+            grad,
+            trainable: true,
+        }
     }
 
-    /// Creates a shared (`Rc<RefCell<_>>`) parameter.
+    /// Creates a shared [`ParamRef`] parameter.
     pub fn shared(name: impl Into<String>, value: Tensor) -> ParamRef {
-        Rc::new(RefCell::new(Parameter::new(name, value)))
+        ParamRef::new(Parameter::new(name, value))
     }
 
     /// Zeroes the accumulated gradient in place.
@@ -105,12 +148,20 @@ impl Graph {
         let mut inner = self.inner.borrow_mut();
         let id = inner.nodes.len();
         inner.nodes.push(node);
-        Var { graph: self.clone(), id }
+        Var {
+            graph: self.clone(),
+            id,
+        }
     }
 
     /// Enters a tensor as a non-differentiable leaf.
     pub fn constant(&self, value: Tensor) -> Var {
-        self.push(Node { value, requires_grad: false, backward: None, param: None })
+        self.push(Node {
+            value,
+            requires_grad: false,
+            backward: None,
+            param: None,
+        })
     }
 
     /// Enters a parameter as a leaf. If the parameter is trainable its
@@ -125,7 +176,7 @@ impl Graph {
             value,
             requires_grad: trainable,
             backward: None,
-            param: if trainable { Some(Rc::clone(p)) } else { None },
+            param: if trainable { Some(p.clone()) } else { None },
         })
     }
 
@@ -133,6 +184,24 @@ impl Graph {
     /// `d root / d root = 1`, and deposits gradients into trainable
     /// parameter leaves.
     pub fn backward_from(&self, root: &Var) {
+        self.backward_with(root, &mut |p, grad| p.borrow_mut().grad.add_assign(&grad));
+    }
+
+    /// Like [`Graph::backward_from`], but instead of writing into the shared
+    /// [`Parameter::grad`] buffers, collects the gradients into a local
+    /// [`GradientSet`]. This is the primitive behind data-parallel training:
+    /// each shard runs `backward_collect` on its own tape without touching
+    /// shared state, and the coordinator merges the per-shard sets in a fixed
+    /// order (see [`GradientSet::merge_scaled`]).
+    pub fn backward_collect(&self, root: &Var) -> GradientSet {
+        let mut set = GradientSet::new();
+        self.backward_with(root, &mut |p, grad| set.accumulate(p, &grad, 1.0));
+        set
+    }
+
+    /// Backward-pass core: walks the tape in reverse and hands each trainable
+    /// parameter leaf's gradient to `deposit`.
+    fn backward_with(&self, root: &Var, deposit: &mut dyn FnMut(&ParamRef, Tensor)) {
         let inner = self.inner.borrow();
         let n = inner.nodes.len();
         assert!(root.id < n);
@@ -152,7 +221,9 @@ impl Graph {
                 grads[id] = None;
                 continue;
             }
-            let Some(grad) = grads[id].take() else { continue };
+            let Some(grad) = grads[id].take() else {
+                continue;
+            };
             if let Some(back) = &node.backward {
                 // Split borrow: the sink writes only to ids < id because
                 // parents always precede children on the tape.
@@ -169,7 +240,7 @@ impl Graph {
                 };
                 back(&grad, &mut sink);
             } else if let Some(p) = &node.param {
-                p.borrow_mut().grad.add_assign(&grad);
+                deposit(p, grad);
             }
         }
     }
@@ -204,6 +275,13 @@ impl Var {
     /// Backpropagates from this (scalar) node; see [`Graph::backward_from`].
     pub fn backward(&self) {
         self.graph.backward_from(self);
+    }
+
+    /// Backpropagates from this (scalar) node into a local [`GradientSet`]
+    /// instead of the shared parameter gradients; see
+    /// [`Graph::backward_collect`].
+    pub fn backward_collect(&self) -> GradientSet {
+        self.graph.backward_collect(self)
     }
 
     /// Detaches the value from the tape: returns a constant leaf with the

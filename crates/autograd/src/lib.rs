@@ -7,10 +7,16 @@
 //!
 //! Design choices (documented for contributors):
 //!
-//! * **Graphs are per-step.** A fresh `Graph` is created for every training
-//!   step and dropped afterwards. Parameters live *outside* the graph in
-//!   `Rc<RefCell<Parameter>>` cells so optimizers can see accumulated
-//!   gradients across steps.
+//! * **Graphs are per-step and thread-local.** A fresh `Graph` is created for
+//!   every training step (or shard) and dropped afterwards; tapes are never
+//!   shared across threads. Parameters live *outside* the graph in
+//!   thread-safe [`ParamRef`] cells (`Arc<RwLock<Parameter>>`) so optimizers
+//!   can see accumulated gradients across steps and worker threads can run
+//!   forward/backward on shards concurrently.
+//! * **Data-parallel gradients go through [`GradientSet`].** Workers call
+//!   [`Graph::backward_collect`] to gather shard gradients locally; the
+//!   coordinator merges the sets in fixed shard order (deterministic
+//!   regardless of thread count) and deposits them once.
 //! * **This makes the paper's meta-optimized two-step schedule trivial**: in
 //!   stage 2 the same forward computation is rebuilt with the frozen modules'
 //!   parameters entered as *constants* ([`Graph::constant`]) and only the
@@ -35,12 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accum;
 mod graph;
+pub mod numeric;
 mod ops_basic;
 mod ops_matmul;
 mod ops_reduce;
 mod ops_shape;
-pub mod numeric;
 
+pub use accum::GradientSet;
 pub use graph::{Graph, ParamRef, Parameter, Var};
 pub use ops_reduce::IGNORE_INDEX;

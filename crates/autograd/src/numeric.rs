@@ -11,11 +11,7 @@ use crate::{Graph, ParamRef};
 ///
 /// The relative error for element `i` is
 /// `|analytic − numeric| / max(1, |analytic|, |numeric|)`.
-pub fn max_grad_rel_error(
-    params: &[ParamRef],
-    eps: f32,
-    f: impl Fn(&Graph) -> crate::Var,
-) -> f32 {
+pub fn max_grad_rel_error(params: &[ParamRef], eps: f32, f: impl Fn(&Graph) -> crate::Var) -> f32 {
     // Analytic pass.
     for p in params {
         p.borrow_mut().zero_grad();
@@ -23,12 +19,17 @@ pub fn max_grad_rel_error(
     let g = Graph::new();
     let loss = f(&g);
     loss.backward();
-    let analytic: Vec<Vec<f32>> =
-        params.iter().map(|p| p.borrow().grad.data().to_vec()).collect();
+    let analytic: Vec<Vec<f32>> = params
+        .iter()
+        .map(|p| p.borrow().grad.data().to_vec())
+        .collect();
 
     let mut max_err = 0.0f32;
     for (pi, p) in params.iter().enumerate() {
         let n = p.borrow().value.numel();
+        // An index loop is the natural shape here: each step perturbs the
+        // parameter buffer at `i` and re-runs the closure.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let orig = p.borrow().value.data()[i];
             p.borrow_mut().value.data_mut()[i] = orig + eps;
@@ -59,5 +60,8 @@ pub fn assert_grads_close(
     f: impl Fn(&Graph) -> crate::Var,
 ) {
     let err = max_grad_rel_error(params, eps, f);
-    assert!(err <= tol, "max gradient relative error {err} exceeds tolerance {tol}");
+    assert!(
+        err <= tol,
+        "max gradient relative error {err} exceeds tolerance {tol}"
+    );
 }

@@ -9,7 +9,9 @@ impl Var {
 
     /// Elementwise `self + other` with broadcasting.
     pub fn add(&self, other: &Var) -> Var {
-        let value = self.with_value(|a| other.with_value(|b| ops::add(a, b))).expect("add");
+        let value = self
+            .with_value(|a| other.with_value(|b| ops::add(a, b)))
+            .expect("add");
         let (aid, bid) = (self.id, other.id);
         let (ad, bd) = (self.dims(), other.dims());
         self.binary(other, value, move |g, sink| {
@@ -20,7 +22,9 @@ impl Var {
 
     /// Elementwise `self - other` with broadcasting.
     pub fn sub(&self, other: &Var) -> Var {
-        let value = self.with_value(|a| other.with_value(|b| ops::sub(a, b))).expect("sub");
+        let value = self
+            .with_value(|a| other.with_value(|b| ops::sub(a, b)))
+            .expect("sub");
         let (aid, bid) = (self.id, other.id);
         let (ad, bd) = (self.dims(), other.dims());
         self.binary(other, value, move |g, sink| {
@@ -56,8 +60,8 @@ impl Var {
             // d/da (a/b) = 1/b ; d/db (a/b) = -a/b² = -(a/b)/b
             let ga = ops::div(g, &b_val).expect("div-back");
             sink(aid, ops::unbroadcast(&ga, a_val.dims()));
-            let gb_full = ops::div(&ops::mul(g, &out_val).expect("div-back"), &b_val)
-                .expect("div-back");
+            let gb_full =
+                ops::div(&ops::mul(g, &out_val).expect("div-back"), &b_val).expect("div-back");
             let mut gb = ops::unbroadcast(&gb_full, b_val.dims());
             gb.scale_inplace(-1.0);
             sink(bid, gb);

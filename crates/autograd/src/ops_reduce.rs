@@ -33,7 +33,9 @@ impl Var {
     /// Sum along `axis`.
     pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Var {
         let in_dims = self.dims();
-        let value = self.with_value(|a| ops::sum_axis(a, axis, keepdim)).expect("sum_axis");
+        let value = self
+            .with_value(|a| ops::sum_axis(a, axis, keepdim))
+            .expect("sum_axis");
         let aid = self.id;
         self.unary(value, move |g, sink| {
             let mut kd = in_dims.clone();
@@ -128,7 +130,11 @@ impl Var {
     /// Composed from primitives, so the gradient is exact.
     pub fn l2_normalize_last(&self, eps: f32) -> Var {
         let nd = self.dims().len();
-        let norm = self.square().sum_axis(nd - 1, true).add_scalar(eps * eps).sqrt();
+        let norm = self
+            .square()
+            .sum_axis(nd - 1, true)
+            .add_scalar(eps * eps)
+            .sqrt();
         self.div(&norm)
     }
 }

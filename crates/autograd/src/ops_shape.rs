@@ -10,7 +10,9 @@ impl Var {
     pub fn reshape(&self, dims: impl Into<Vec<usize>>) -> Var {
         let dims = dims.into();
         let in_dims = self.dims();
-        let value = self.with_value(|a| a.reshape(dims.clone())).expect("reshape");
+        let value = self
+            .with_value(|a| a.reshape(dims.clone()))
+            .expect("reshape");
         let aid = self.id;
         self.unary(value, move |g, sink| {
             sink(aid, g.reshape(in_dims.clone()).expect("reshape-back"));
@@ -60,15 +62,17 @@ impl Var {
             value,
             requires_grad: requires,
             backward: if requires {
-                Some(Box::new(move |g: &Tensor, sink: &mut crate::graph::GradSink| {
-                    let mut start = 0usize;
-                    for (pid, &len) in ids.iter().zip(sizes.iter()) {
-                        let part =
-                            ops::slice_axis(g, axis, start, start + len).expect("concat-back");
-                        sink(*pid, part);
-                        start += len;
-                    }
-                }) as crate::graph::BackFn)
+                Some(
+                    Box::new(move |g: &Tensor, sink: &mut crate::graph::GradSink| {
+                        let mut start = 0usize;
+                        for (pid, &len) in ids.iter().zip(sizes.iter()) {
+                            let part =
+                                ops::slice_axis(g, axis, start, start + len).expect("concat-back");
+                            sink(*pid, part);
+                            start += len;
+                        }
+                    }) as crate::graph::BackFn,
+                )
             } else {
                 None
             },
@@ -79,8 +83,9 @@ impl Var {
     /// Slices `[start, end)` along `axis`.
     pub fn slice_axis(&self, axis: usize, start: usize, end: usize) -> Var {
         let in_dims = self.dims();
-        let value =
-            self.with_value(|a| ops::slice_axis(a, axis, start, end)).expect("slice_axis");
+        let value = self
+            .with_value(|a| ops::slice_axis(a, axis, start, end))
+            .expect("slice_axis");
         let aid = self.id;
         self.unary(value, move |g, sink| {
             // Embed the slice gradient into a zero tensor of the input shape.
@@ -106,8 +111,9 @@ impl Var {
     /// upstream gradient into the selected rows.
     pub fn index_select_rows(&self, indices: &[usize]) -> Var {
         let in_dims = self.dims();
-        let value =
-            self.with_value(|a| ops::index_select_rows(a, indices)).expect("index_select_rows");
+        let value = self
+            .with_value(|a| ops::index_select_rows(a, indices))
+            .expect("index_select_rows");
         let aid = self.id;
         let indices = indices.to_vec();
         self.unary(value, move |g, sink| {

@@ -62,39 +62,60 @@ fn grad_div() {
 #[test]
 fn grad_scalar_ops() {
     let a = p_signed("a", vec![4], 9);
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| {
-        g.param(&a).scale(3.0).add_scalar(1.0).neg().square().sum_all()
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
+        g.param(&a)
+            .scale(3.0)
+            .add_scalar(1.0)
+            .neg()
+            .square()
+            .sum_all()
     });
 }
 
 #[test]
 fn grad_exp_log() {
     let a = p("a", vec![5], 10);
-    assert_grads_close(&[a.clone()], 1e-3, TOL, |g| g.param(&a).exp().sum_all());
-    assert_grads_close(&[a.clone()], 1e-3, TOL, |g| g.param(&a).log().sum_all());
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, |g| {
+        g.param(&a).exp().sum_all()
+    });
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, |g| {
+        g.param(&a).log().sum_all()
+    });
 }
 
 #[test]
 fn grad_sqrt_square() {
     let a = p("a", vec![5], 11);
-    assert_grads_close(&[a.clone()], 1e-3, TOL, |g| g.param(&a).sqrt().sum_all());
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| g.param(&a).square().sum_all());
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, |g| {
+        g.param(&a).sqrt().sum_all()
+    });
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
+        g.param(&a).square().sum_all()
+    });
 }
 
 #[test]
 fn grad_activations() {
     // Keep values away from the ReLU kink for finite differences.
     let a = p("a", vec![6], 12);
-    assert_grads_close(&[a.clone()], 1e-3, TOL, |g| g.param(&a).relu().square().sum_all());
-    assert_grads_close(&[a.clone()], 1e-3, TOL, |g| g.param(&a).tanh().sum_all());
-    assert_grads_close(&[a.clone()], 1e-3, TOL, |g| g.param(&a).sigmoid().sum_all());
-    assert_grads_close(&[a.clone()], 1e-3, TOL, |g| g.param(&a).gelu().sum_all());
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, |g| {
+        g.param(&a).relu().square().sum_all()
+    });
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, |g| {
+        g.param(&a).tanh().sum_all()
+    });
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, |g| {
+        g.param(&a).sigmoid().sum_all()
+    });
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, |g| {
+        g.param(&a).gelu().sum_all()
+    });
 }
 
 #[test]
 fn grad_clamp_interior() {
     let a = p("a", vec![5], 13); // in (0.2, 1.2), clamp to [0, 10] is interior
-    assert_grads_close(&[a.clone()], 1e-3, TOL, |g| {
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, |g| {
         g.param(&a).clamp(0.0, 10.0).square().sum_all()
     });
 }
@@ -104,12 +125,14 @@ fn grad_add_mul_const() {
     let a = p_signed("a", vec![2, 3], 14);
     let c = Tensor::from_vec(vec![0.5, -1.0, 2.0], vec![3]);
     let cc = c.clone();
-    assert_grads_close(&[a.clone()], EPS, TOL, move |g| {
-        g.param(&a).add_const(&cc).square().sum_all()
+    let ac = a.clone();
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, move |g| {
+        g.param(&ac).add_const(&cc).square().sum_all()
     });
     let a2 = p_signed("a2", vec![2, 3], 15);
-    assert_grads_close(&[a2.clone()], EPS, TOL, move |g| {
-        g.param(&a2).mul_const(&c).square().sum_all()
+    let a2c = a2.clone();
+    assert_grads_close(std::slice::from_ref(&a2), EPS, TOL, move |g| {
+        g.param(&a2c).mul_const(&c).square().sum_all()
     });
 }
 
@@ -143,13 +166,13 @@ fn grad_matmul_broadcast_rhs() {
 #[test]
 fn grad_reshape_transpose_permute() {
     let a = p_signed("a", vec![2, 3, 4], 22);
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| {
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
         g.param(&a).reshape(vec![6, 4]).square().sum_all()
     });
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| {
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
         g.param(&a).transpose_last2().square().sum_all()
     });
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| {
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
         let v = g.param(&a).permute(&[2, 0, 1]);
         // Weight each position differently so permutation errors surface.
         let w = Tensor::arange(24).reshape(vec![4, 2, 3]).unwrap();
@@ -171,7 +194,7 @@ fn grad_concat() {
 #[test]
 fn grad_slice() {
     let a = p_signed("a", vec![2, 4, 3], 25);
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| {
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
         g.param(&a).slice_axis(1, 1, 3).square().sum_all()
     });
 }
@@ -179,30 +202,36 @@ fn grad_slice() {
 #[test]
 fn grad_index_select_rows() {
     let a = p_signed("a", vec![5, 3], 26);
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| {
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
         // Repeated index 4 exercises gradient accumulation.
-        g.param(&a).index_select_rows(&[4, 0, 4, 2]).square().sum_all()
+        g.param(&a)
+            .index_select_rows(&[4, 0, 4, 2])
+            .square()
+            .sum_all()
     });
 }
 
 #[test]
 fn grad_sum_mean_axis() {
     let a = p_signed("a", vec![2, 3, 4], 27);
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| {
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
         g.param(&a).sum_axis(1, false).square().sum_all()
     });
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| {
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
         g.param(&a).mean_axis(2, true).square().sum_all()
     });
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| g.param(&a).mean_all());
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
+        g.param(&a).mean_all()
+    });
 }
 
 #[test]
 fn grad_softmax() {
     let a = p_signed("a", vec![3, 4], 28);
     let w = Tensor::arange(12).reshape(vec![3, 4]).unwrap();
-    assert_grads_close(&[a.clone()], 1e-3, TOL, move |g| {
-        g.param(&a).softmax_last().mul_const(&w).sum_all()
+    let ac = a.clone();
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, move |g| {
+        g.param(&ac).softmax_last().mul_const(&w).sum_all()
     });
 }
 
@@ -210,15 +239,16 @@ fn grad_softmax() {
 fn grad_log_softmax() {
     let a = p_signed("a", vec![3, 4], 29);
     let w = Tensor::arange(12).reshape(vec![3, 4]).unwrap();
-    assert_grads_close(&[a.clone()], 1e-3, TOL, move |g| {
-        g.param(&a).log_softmax_last().mul_const(&w).sum_all()
+    let ac = a.clone();
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, move |g| {
+        g.param(&ac).log_softmax_last().mul_const(&w).sum_all()
     });
 }
 
 #[test]
 fn grad_cross_entropy() {
     let a = p_signed("a", vec![4, 5], 30);
-    assert_grads_close(&[a.clone()], 1e-3, TOL, |g| {
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, |g| {
         g.param(&a).cross_entropy_with_logits(&[1, 0, 4, 2])
     });
 }
@@ -226,13 +256,16 @@ fn grad_cross_entropy() {
 #[test]
 fn grad_cross_entropy_with_ignored_rows() {
     let a = p_signed("a", vec![4, 5], 31);
-    assert_grads_close(&[a.clone()], 1e-3, TOL, |g| {
-        g.param(&a).cross_entropy_with_logits(&[1, IGNORE_INDEX, 4, IGNORE_INDEX])
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, |g| {
+        g.param(&a)
+            .cross_entropy_with_logits(&[1, IGNORE_INDEX, 4, IGNORE_INDEX])
     });
     // Ignored rows get exactly zero gradient.
     a.borrow_mut().zero_grad();
     let g = Graph::new();
-    let loss = g.param(&a).cross_entropy_with_logits(&[1, IGNORE_INDEX, 4, IGNORE_INDEX]);
+    let loss = g
+        .param(&a)
+        .cross_entropy_with_logits(&[1, IGNORE_INDEX, 4, IGNORE_INDEX]);
     loss.backward();
     let grad = a.borrow().grad.clone();
     assert!(grad.row(1).iter().all(|&x| x == 0.0));
@@ -244,8 +277,9 @@ fn grad_cross_entropy_with_ignored_rows() {
 fn grad_l2_normalize() {
     let a = p_signed("a", vec![3, 4], 32);
     let w = Tensor::arange(12).reshape(vec![3, 4]).unwrap();
-    assert_grads_close(&[a.clone()], 1e-3, TOL, move |g| {
-        g.param(&a).l2_normalize_last(1e-8).mul_const(&w).sum_all()
+    let ac = a.clone();
+    assert_grads_close(std::slice::from_ref(&a), 1e-3, TOL, move |g| {
+        g.param(&ac).l2_normalize_last(1e-8).mul_const(&w).sum_all()
     });
 }
 
@@ -274,7 +308,7 @@ fn grad_value_reused_twice() {
     // A var consumed by two branches must receive both gradient
     // contributions (fan-out accumulation).
     let a = p_signed("a", vec![3], 36);
-    assert_grads_close(&[a.clone()], EPS, TOL, |g| {
+    assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {
         let v = g.param(&a);
         let left = v.square();
         let right = v.scale(2.0);

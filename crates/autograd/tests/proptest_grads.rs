@@ -15,7 +15,7 @@ proptest! {
     fn elementwise_chain_grads_check(r in 1usize..4, c in 1usize..4, seed in 0u64..500) {
         let mut rng = StdRng::seed_from_u64(seed);
         let p = Parameter::shared("p", init::uniform(&mut rng, vec![r, c], 0.3, 1.3));
-        let err = max_grad_rel_error(&[p.clone()], 1e-3, |g| {
+        let err = max_grad_rel_error(std::slice::from_ref(&p), 1e-3, |g| {
             g.param(&p).log().exp().square().add_scalar(0.5).sqrt().sum_all()
         });
         prop_assert!(err < 3e-2, "rel err {err}");
@@ -39,8 +39,9 @@ proptest! {
         let p = Parameter::shared("p", init::uniform(&mut rng, vec![rows, classes], -1.0, 1.0));
         let targets: Vec<usize> = (0..rows).map(|i| i % classes).collect();
         let t2 = targets.clone();
-        let err = max_grad_rel_error(&[p.clone()], 1e-3, move |g| {
-            g.param(&p).cross_entropy_with_logits(&t2)
+        let p2 = p.clone();
+        let err = max_grad_rel_error(std::slice::from_ref(&p), 1e-3, move |g| {
+            g.param(&p2).cross_entropy_with_logits(&t2)
         });
         prop_assert!(err < 3e-2, "rel err {err} (targets {targets:?})");
     }

@@ -16,15 +16,26 @@ fn main() {
     let scale = Scale::from_env();
     let seed = 42u64;
 
-    let header: Vec<String> = ["dataset", "view generator", "HR@5", "HR@10", "NDCG@5", "NDCG@10"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "dataset",
+        "view generator",
+        "HR@5",
+        "HR@10",
+        "NDCG@5",
+        "NDCG@10",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for name in ["clothing-like", "toys-like"] {
         let w = workload_by_name(scale, seed, name);
         let mut results = Vec::new();
-        for view in [SecondView::MetaSigma, SecondView::Dropout, SecondView::DataAugmentation] {
+        for view in [
+            SecondView::MetaSigma,
+            SecondView::Dropout,
+            SecondView::DataAugmentation,
+        ] {
             let mut cfg = w.meta_cfg(seed);
             cfg.second_view = view;
             let mut m = MetaSgcl::new(cfg);

@@ -48,7 +48,11 @@ fn main() {
             }
         }
     }
-    print_table("Figure 3 — joint learning vs meta-optimized two-step", &header, &rows);
+    print_table(
+        "Figure 3 — joint learning vs meta-optimized two-step",
+        &header,
+        &rows,
+    );
     println!(
         "meta-optimized wins or ties {wins}/{cells} metric cells \
          (paper: meta better on all datasets)"

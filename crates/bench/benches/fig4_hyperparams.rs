@@ -40,7 +40,11 @@ fn main() {
             name,
             best,
             last,
-            if last <= best { "deteriorates as in the paper ✓" } else { "✗" }
+            if last <= best {
+                "deteriorates as in the paper ✓"
+            } else {
+                "✗"
+            }
         );
     }
     print_table("Figure 4(a,b) — contrastive weight α", &header, &rows);
@@ -63,7 +67,11 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table("Figure 4(c,d) — KL weight β (paper best: 0.3 Clothing, 0.2 Toys)", &header, &rows);
+    print_table(
+        "Figure 4(c,d) — KL weight β (paper best: 0.3 Clothing, 0.2 Toys)",
+        &header,
+        &rows,
+    );
 
     // -- Fig. 4(e,f): embedding dimension sweep -----------------------------
     // Paper sweeps 32..512 at full scale; reproduction sweeps 8..64.

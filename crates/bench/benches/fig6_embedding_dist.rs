@@ -47,11 +47,17 @@ fn main() {
     let ws = workloads(scale, seed);
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let header: Vec<String> =
-        ["dataset", "model", "mean cosine", "uniformity", "effective rank", "top-1 var share"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+    let header: Vec<String> = [
+        "dataset",
+        "model",
+        "mean cosine",
+        "uniformity",
+        "effective rank",
+        "top-1 var share",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     let mut shape_ok = true;
 
@@ -73,7 +79,12 @@ fn main() {
         run_model(&mut meta, w, seed);
         let meta_table = strip_padding_row(&meta.item_table().borrow().value);
         let met = analyze(&meta_table, 4000, &mut rng);
-        dump_csv("metasgcl", &w.data.name, &pca_project_2d(&meta_table), &counts);
+        dump_csv(
+            "metasgcl",
+            &w.data.name,
+            &pca_project_2d(&meta_table),
+            &counts,
+        );
 
         rows.push(vec![
             w.data.name.clone(),
@@ -107,7 +118,11 @@ fn main() {
             met.effective_rank - sas.effective_rank,
         );
     }
-    print_table("Figure 6 — item-embedding distribution statistics", &header, &rows);
+    print_table(
+        "Figure 6 — item-embedding distribution statistics",
+        &header,
+        &rows,
+    );
     println!(
         "{} Meta-SGCL produces a more uniform embedding distribution (paper's Fig. 6 claim)",
         if shape_ok { "✓" } else { "✗" }

@@ -65,17 +65,27 @@ fn bench_infonce(c: &mut Criterion) {
 
 fn bench_train_step(c: &mut Criterion) {
     // One full meta-optimized training epoch over a tiny corpus.
-    let train: Vec<Vec<usize>> =
-        (0..64).map(|u| (0..12).map(|t| 1 + (u + t) % 50 as usize).collect()).collect();
+    let train: Vec<Vec<usize>> = (0..64)
+        .map(|u| (0..12).map(|t| 1 + (u + t) % 50_usize).collect())
+        .collect();
     c.bench_function("meta_sgcl_epoch_64seq", |b| {
         b.iter(|| {
             let mut m = MetaSgcl::new(MetaSgclConfig {
-                net: NetConfig { max_len: 12, dim: 16, layers: 1, ..NetConfig::for_items(50) },
+                net: NetConfig {
+                    max_len: 12,
+                    dim: 16,
+                    layers: 1,
+                    ..NetConfig::for_items(50)
+                },
                 ..MetaSgclConfig::for_items(50)
             });
             m.fit(
                 &train,
-                &TrainConfig { epochs: 1, batch_size: 32, ..Default::default() },
+                &TrainConfig {
+                    epochs: 1,
+                    batch_size: 32,
+                    ..Default::default()
+                },
             );
             black_box(m.history().epochs.len())
         })

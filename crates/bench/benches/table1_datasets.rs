@@ -18,10 +18,17 @@ fn main() {
         ("ML-1M", 6_040, 3_416, 999_611, 165.5, 95.16),
     ];
 
-    let header: Vec<String> = ["dataset", "users", "items", "interactions", "avg.length", "sparsity"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "dataset",
+        "users",
+        "items",
+        "interactions",
+        "avg.length",
+        "sparsity",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for (w, p) in ws.iter().zip(paper.iter()) {
         let s = w.data.stats();
@@ -34,13 +41,29 @@ fn main() {
             format!("{:.2}% ({:.2}%)", s.sparsity * 100.0, p.5),
         ]);
     }
-    print_table("Table I — dataset statistics (measured vs paper)", &header, &rows);
+    print_table(
+        "Table I — dataset statistics (measured vs paper)",
+        &header,
+        &rows,
+    );
 
     // Shape assertions: orderings from the paper must hold.
     let stats: Vec<_> = ws.iter().map(|w| w.data.stats()).collect();
-    assert!(stats[0].sparsity > stats[1].sparsity, "clothing sparser than toys");
-    assert!(stats[1].sparsity > stats[2].sparsity, "toys sparser than ml1m");
-    assert!(stats[0].avg_length < stats[1].avg_length, "clothing shorter than toys");
-    assert!(stats[1].avg_length < stats[2].avg_length, "toys shorter than ml1m");
+    assert!(
+        stats[0].sparsity > stats[1].sparsity,
+        "clothing sparser than toys"
+    );
+    assert!(
+        stats[1].sparsity > stats[2].sparsity,
+        "toys sparser than ml1m"
+    );
+    assert!(
+        stats[0].avg_length < stats[1].avg_length,
+        "clothing shorter than toys"
+    );
+    assert!(
+        stats[1].avg_length < stats[2].avg_length,
+        "toys shorter than ml1m"
+    );
     println!("shape check: sparsity and avg-length orderings match the paper ✓");
 }

@@ -10,11 +10,7 @@ use bench::{fmt_cell, paper, print_table, run_model, workloads, Scale};
 use meta_sgcl::{Ablation, MetaSgcl};
 use metrics::EvalReport;
 
-fn run_variant(
-    w: &bench::Workload,
-    seed: u64,
-    ablation: Option<Ablation>,
-) -> EvalReport {
+fn run_variant(w: &bench::Workload, seed: u64, ablation: Option<Ablation>) -> EvalReport {
     match ablation {
         None => {
             // −clkl = SASRec.
@@ -49,8 +45,10 @@ fn main() {
 
     for (di, w) in ws.iter().enumerate() {
         eprintln!("=== dataset {} ===", w.data.name);
-        let reports: Vec<EvalReport> =
-            variants.iter().map(|(_, ab)| run_variant(w, seed, *ab)).collect();
+        let reports: Vec<EvalReport> = variants
+            .iter()
+            .map(|(_, ab)| run_variant(w, seed, *ab))
+            .collect();
         let (_, refs) = paper::TABLE3[di];
         for (mi, metric) in ["HR@5", "HR@10", "NDCG@5", "NDCG@10"].iter().enumerate() {
             let mut row = vec![format!("{} {metric}", w.data.name)];
@@ -65,7 +63,11 @@ fn main() {
             full_beats_clkl = false;
         }
     }
-    print_table("Table III — Meta-SGCL ablation (measured vs paper)", &header, &rows);
+    print_table(
+        "Table III — Meta-SGCL ablation (measured vs paper)",
+        &header,
+        &rows,
+    );
     println!(
         "{} full model beats the -clkl (SASRec) variant on NDCG@10 for every dataset",
         if full_beats_clkl { "✓" } else { "✗" }

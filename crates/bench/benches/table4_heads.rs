@@ -10,8 +10,10 @@ fn main() {
     let seed = 42u64;
     let heads = [1usize, 2, 4, 8];
 
-    let header: Vec<String> =
-        ["dataset", "h", "HR@5", "HR@10", "NDCG@5", "NDCG@10"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["dataset", "h", "HR@5", "HR@10", "NDCG@5", "NDCG@10"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for name in ["clothing-like", "toys-like"] {
         let w = workload_by_name(scale, seed, name);
@@ -23,7 +25,10 @@ fn main() {
             let mut m = MetaSgcl::new(cfg);
             let r = run_model(&mut m, &w, seed);
             let paper_cell = if name == "toys-like" {
-                paper::TABLE4_TOYS.iter().find(|(ph, _)| *ph == h).map(|(_, c)| *c)
+                paper::TABLE4_TOYS
+                    .iter()
+                    .find(|(ph, _)| *ph == h)
+                    .map(|(_, c)| *c)
             } else {
                 None
             };

@@ -11,8 +11,10 @@ fn main() {
     let seed = 42u64;
     let taus = [0.05f32, 0.1, 0.5, 1.0, 2.0, 5.0];
 
-    let header: Vec<String> =
-        ["dataset", "τ", "HR@5", "HR@10", "NDCG@5", "NDCG@10"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["dataset", "τ", "HR@5", "HR@10", "NDCG@5", "NDCG@10"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = Vec::new();
     for name in ["clothing-like", "toys-like"] {
         let w = workload_by_name(scale, seed, name);
@@ -24,7 +26,10 @@ fn main() {
             let r = run_model(&mut m, &w, seed);
             series.push(r.ndcg(10));
             let pc = if name == "toys-like" {
-                paper::TABLE5_TOYS.iter().find(|(pt, _)| (*pt - tau).abs() < 1e-6).map(|(_, c)| *c)
+                paper::TABLE5_TOYS
+                    .iter()
+                    .find(|(pt, _)| (*pt - tau).abs() < 1e-6)
+                    .map(|(_, c)| *c)
             } else {
                 None
             };
@@ -48,5 +53,9 @@ fn main() {
             taus[best_idx]
         );
     }
-    print_table("Table V — temperature τ (paper refs shown for Toys)", &header, &rows);
+    print_table(
+        "Table V — temperature τ (paper refs shown for Toys)",
+        &header,
+        &rows,
+    );
 }

@@ -24,7 +24,10 @@ fn main() {
             let mut m = MetaSgcl::new(cfg);
             let r = run_model(&mut m, &w, seed);
             let pc = if name == "toys-like" {
-                paper::TABLE6_TOYS.iter().find(|(pp, _)| (*pp - p).abs() < 1e-6).map(|(_, c)| *c)
+                paper::TABLE6_TOYS
+                    .iter()
+                    .find(|(pp, _)| (*pp - p).abs() < 1e-6)
+                    .map(|(_, c)| *c)
             } else {
                 None
             };
@@ -38,6 +41,10 @@ fn main() {
             ]);
         }
     }
-    print_table("Table VI — dropout rate (paper refs shown for Toys)", &header, &rows);
+    print_table(
+        "Table VI — dropout rate (paper refs shown for Toys)",
+        &header,
+        &rows,
+    );
     println!("paper shape: rises then falls with increasing dropout; 0.2 best");
 }

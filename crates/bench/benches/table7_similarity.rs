@@ -9,10 +9,17 @@ fn main() {
     let scale = Scale::from_env();
     let seed = 42u64;
 
-    let header: Vec<String> = ["dataset", "similarity", "HR@5", "HR@10", "NDCG@5", "NDCG@10"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "dataset",
+        "similarity",
+        "HR@5",
+        "HR@10",
+        "NDCG@5",
+        "NDCG@10",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for name in ["clothing-like", "toys-like"] {
         let w = workload_by_name(scale, seed, name);
@@ -34,10 +41,18 @@ fn main() {
         }
         println!(
             "{name}: dot {} cosine on NDCG@10 ({:.4} vs {:.4}; paper: dot wins)",
-            if per_sim[0].ndcg(10) >= per_sim[1].ndcg(10) { "≥" } else { "<" },
+            if per_sim[0].ndcg(10) >= per_sim[1].ndcg(10) {
+                "≥"
+            } else {
+                "<"
+            },
             per_sim[0].ndcg(10),
             per_sim[1].ndcg(10),
         );
     }
-    print_table("Table VII — similarity function in the CL term", &header, &rows);
+    print_table(
+        "Table VII — similarity function in the CL term",
+        &header,
+        &rows,
+    );
 }

@@ -12,25 +12,37 @@ use meta_sgcl::{MetaSgcl, TrainStrategy};
 use models::DuoRec;
 
 fn main() {
-    let ds = std::env::args().nth(1).unwrap_or_else(|| "toys-like".into());
+    let ds = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "toys-like".into());
     let seed = 42u64;
     let w = workload_by_name(Scale::from_env(), seed, &ds);
     println!("dataset {} — {}", w.data.name, w.data.stats());
 
     // Reference points.
-    for name in ["SASRec"] {
+    {
+        let name = "SASRec";
         let mut m = build(name, &w, seed);
         let r = run_model(m.as_mut(), &w, seed);
-        println!("{name:<24} NDCG@10 {:.4}  HR@10 {:.4}", r.ndcg(10), r.hr(10));
+        println!(
+            "{name:<24} NDCG@10 {:.4}  HR@10 {:.4}",
+            r.ndcg(10),
+            r.hr(10)
+        );
     }
 
     // DuoRec isolation.
-    for (lu, ls) in [(0.01f32, 0.005f32)] {
+    {
+        let (lu, ls) = (0.01f32, 0.005f32);
         let mut m = DuoRec::new(w.net(seed));
         m.lambda_unsup = lu;
         m.lambda_sup = ls;
         let r = run_model(&mut m, &w, seed);
-        println!("DuoRec unsup={lu} sup={ls}  NDCG@10 {:.4}  HR@10 {:.4}", r.ndcg(10), r.hr(10));
+        println!(
+            "DuoRec unsup={lu} sup={ls}  NDCG@10 {:.4}  HR@10 {:.4}",
+            r.ndcg(10),
+            r.hr(10)
+        );
     }
 
     // ContrastVAE isolation.
@@ -71,6 +83,10 @@ fn main() {
         cfg.strategy = TrainStrategy::MetaTwoStep;
         let mut m = MetaSgcl::new(cfg);
         let r = run_model(&mut m, &w, seed);
-        println!("Meta-SGCL {label}  NDCG@10 {:.4}  HR@10 {:.4}", r.ndcg(10), r.hr(10));
+        println!(
+            "Meta-SGCL {label}  NDCG@10 {:.4}  HR@10 {:.4}",
+            r.ndcg(10),
+            r.hr(10)
+        );
     }
 }

@@ -57,6 +57,19 @@ pub struct Workload {
     pub beta: f32,
     /// Mini-batch size for this workload.
     pub batch_size: usize,
+    /// Worker threads for data-parallel training (from `META_SGCL_THREADS`,
+    /// default 1). Results are identical for any value — see the training
+    /// executor's determinism contract — only wall-clock changes.
+    pub threads: usize,
+}
+
+/// Reads `META_SGCL_THREADS` (positive integer, default 1).
+pub fn threads_from_env() -> usize {
+    std::env::var("META_SGCL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl Workload {
@@ -73,6 +86,8 @@ impl Workload {
             seed,
             grad_clip: 5.0,
             verbose: false,
+            threads: self.threads,
+            ..TrainConfig::default()
         }
     }
 
@@ -101,6 +116,7 @@ pub fn workloads(scale: Scale, seed: u64) -> Vec<Workload> {
         Scale::Quick => quick,
         Scale::Full => full,
     };
+    let threads = threads_from_env();
     vec![
         Workload {
             data: synth::generate(&synth::SynthConfig::clothing_like(seed)),
@@ -109,6 +125,7 @@ pub fn workloads(scale: Scale, seed: u64) -> Vec<Workload> {
             epochs: epochs(25, 60),
             beta: 0.3,
             batch_size: 32,
+            threads,
         },
         Workload {
             data: synth::generate(&synth::SynthConfig::toys_like(seed + 1)),
@@ -117,6 +134,7 @@ pub fn workloads(scale: Scale, seed: u64) -> Vec<Workload> {
             epochs: epochs(25, 60),
             beta: 0.2,
             batch_size: 32,
+            threads,
         },
         Workload {
             data: synth::generate(&synth::SynthConfig::ml1m_like(seed + 2)),
@@ -125,6 +143,7 @@ pub fn workloads(scale: Scale, seed: u64) -> Vec<Workload> {
             epochs: epochs(30, 60),
             beta: 0.2,
             batch_size: 16,
+            threads,
         },
     ]
 }
@@ -140,19 +159,21 @@ pub fn workload_by_name(scale: Scale, seed: u64, name: &str) -> Workload {
 
 /// Trains `model` on the workload and evaluates HR/NDCG@{5,10} on the test
 /// targets. Prints a timing line.
-pub fn run_model(
-    model: &mut dyn SequentialRecommender,
-    w: &Workload,
-    seed: u64,
-) -> EvalReport {
+pub fn run_model(model: &mut dyn SequentialRecommender, w: &Workload, seed: u64) -> EvalReport {
     let t0 = Instant::now();
-    model.fit(&w.split.train_sequences(), &w.train_cfg(seed));
+    let train = w.split.train_sequences();
+    let n_seqs = train.len();
+    model.fit(&train, &w.train_cfg(seed));
+    let train_secs = t0.elapsed().as_secs_f64();
     let report = evaluate_test(model, &w.split, &[5, 10]);
     eprintln!(
-        "  [{}] {} trained+evaluated in {:.1?}",
+        "  [{}] {} trained+evaluated in {:.1?} ({:.0} seqs/s on {} thread{})",
         w.data.name,
         model.name(),
-        t0.elapsed()
+        t0.elapsed(),
+        (n_seqs * w.epochs) as f64 / train_secs.max(1e-9),
+        w.threads,
+        if w.threads == 1 { "" } else { "s" }
     );
     report
 }
@@ -175,7 +196,10 @@ pub fn fmt_cell(measured: f64, reference: Option<f64>) -> String {
 pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

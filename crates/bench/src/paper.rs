@@ -7,8 +7,17 @@ pub type Cell = (f64, f64, f64, f64);
 
 /// Model names in Table II column order.
 pub const TABLE2_MODELS: [&str; 11] = [
-    "Pop", "BPR-MF", "GRU4Rec", "Caser", "SASRec", "BERT4Rec", "VSAN", "ACVAE", "DuoRec",
-    "ContrastVAE", "Meta-SGCL",
+    "Pop",
+    "BPR-MF",
+    "GRU4Rec",
+    "Caser",
+    "SASRec",
+    "BERT4Rec",
+    "VSAN",
+    "ACVAE",
+    "DuoRec",
+    "ContrastVAE",
+    "Meta-SGCL",
 ];
 
 /// Dataset names in Table II row-group order.
@@ -138,10 +147,9 @@ mod tests {
     fn meta_sgcl_is_best_in_every_table2_cell() {
         // The headline claim: Meta-SGCL beats every baseline on every
         // dataset and metric (sanity check of the transcription).
-        for ds in 0..3 {
-            let best = TABLE2[ds][10];
-            for m in 0..10 {
-                let c = TABLE2[ds][m];
+        for row in &TABLE2 {
+            let best = row[10];
+            for c in &row[..10] {
                 assert!(best.0 > c.0 && best.1 > c.1 && best.2 > c.2 && best.3 > c.3);
             }
         }

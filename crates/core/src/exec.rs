@@ -1,0 +1,198 @@
+//! The data-parallel training executor.
+//!
+//! [`Executor`] fans a mini-batch's shards out over a thread pool, runs
+//! forward + backward per shard on a private tape, and hands the per-shard
+//! [`GradientSet`]s back to the coordinator in input order.
+//!
+//! # Determinism contract
+//!
+//! Training with `threads = 1` and `threads = N` produces **bitwise
+//! identical** parameters for the same seed and configuration, because every
+//! source of arithmetic ordering is independent of the thread count:
+//!
+//! 1. the shard partition is a pure function of the batch length and
+//!    `shard_size` ([`recdata::Batch::shard`]);
+//! 2. each shard's RNG is derived from the batch seed and the shard *index*
+//!    ([`Executor::shard_seed`]), not from which worker runs it;
+//! 3. shard gradients are merged on the coordinating thread in fixed shard
+//!    order ([`GradientSet::merge_scaled`]).
+//!
+//! Threads only change *when* each shard is computed, never *what* is
+//! computed or the order results are combined.
+
+use autograd::GradientSet;
+use recdata::Batch;
+
+use crate::train::EpochStats;
+
+/// Runs shard closures serially or on a dedicated thread pool.
+pub struct Executor {
+    pool: Option<rayon::ThreadPool>,
+    threads: usize,
+    shard_size: usize,
+}
+
+impl Executor {
+    /// Creates an executor with `threads` workers (1 = run in place) that
+    /// splits batches into shards of at most `shard_size` rows.
+    pub fn new(threads: usize, shard_size: usize) -> Executor {
+        let threads = threads.max(1);
+        let pool = (threads > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("failed to build training thread pool")
+        });
+        Executor {
+            pool,
+            threads,
+            shard_size: shard_size.max(1),
+        }
+    }
+
+    /// Builds an executor from a training configuration.
+    pub fn from_config(cfg: &models::TrainConfig) -> Executor {
+        Executor::new(cfg.threads, cfg.shard_size)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maximum rows per shard.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Derives the RNG seed for one shard of one training stage.
+    ///
+    /// A SplitMix64-style hash of `(batch_seed, stage, shard index)`: every
+    /// shard gets an independent, reproducible stream regardless of which
+    /// worker thread executes it.
+    pub fn shard_seed(batch_seed: u64, stage: u64, shard: u64) -> u64 {
+        let mut z = batch_seed
+            .wrapping_add(stage.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(shard.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Runs `f(shard_index, shard)` for every shard and returns the results
+    /// in shard order — serially with one thread, fanned out over the pool
+    /// otherwise.
+    pub fn map_shards<T, F>(&self, shards: &[Batch], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &Batch) -> T + Sync,
+    {
+        match &self.pool {
+            None => shards.iter().enumerate().map(|(i, s)| f(i, s)).collect(),
+            Some(pool) => {
+                use rayon::prelude::*;
+                let indexed: Vec<(usize, &Batch)> = shards.iter().enumerate().collect();
+                pool.install(|| indexed.par_iter().map(|&(i, s)| f(i, s)).collect())
+            }
+        }
+    }
+}
+
+/// What one shard's forward + backward produced.
+pub(crate) struct ShardOutcome {
+    /// Locally collected gradients (not yet in the shared buffers).
+    pub grads: GradientSet,
+    /// Unweighted reconstruction loss of the shard.
+    pub rec: f64,
+    /// Unweighted KL loss of the shard.
+    pub kl: f64,
+    /// Unweighted contrastive loss of the shard.
+    pub cl: f64,
+    /// Weighted total loss of the shard.
+    pub total: f64,
+    /// Rows in the shard.
+    pub len: usize,
+}
+
+/// Loss components averaged over a batch (weighted by shard size).
+#[derive(Default, Clone, Copy)]
+pub(crate) struct BatchStats {
+    pub rec: f64,
+    pub kl: f64,
+    pub cl: f64,
+    pub total: f64,
+}
+
+/// Merges shard outcomes in fixed shard order: gradients are mean-reduced
+/// with weights `shard_len / batch_len` (summing to one) and loss components
+/// are averaged with the same weights.
+pub(crate) fn reduce_outcomes(outcomes: &[ShardOutcome]) -> (GradientSet, BatchStats) {
+    let batch_len: usize = outcomes.iter().map(|o| o.len).sum();
+    let mut merged = GradientSet::new();
+    let mut stats = BatchStats::default();
+    for o in outcomes {
+        let w = o.len as f64 / batch_len.max(1) as f64;
+        merged.merge_scaled(&o.grads, w as f32);
+        stats.rec += w * o.rec;
+        stats.kl += w * o.kl;
+        stats.cl += w * o.cl;
+        stats.total += w * o.total;
+    }
+    (merged, stats)
+}
+
+/// Observer of training progress, called by the executor-driven training
+/// loop. All hooks have no-op defaults; implement only what you need.
+pub trait TrainObserver {
+    /// Called after every epoch with the epoch's statistics (loss
+    /// components, wall-clock time, throughput).
+    fn on_epoch_end(&mut self, _stats: &EpochStats) {}
+}
+
+/// The do-nothing observer.
+pub struct NullObserver;
+
+impl TrainObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_batch(rows: usize) -> Batch {
+        Batch {
+            inputs: (0..rows).map(|r| vec![0, r + 1]).collect(),
+            targets: (0..rows).map(|r| vec![usize::MAX, r + 2]).collect(),
+            last_target: (0..rows).map(|r| r + 2).collect(),
+            pad: (0..rows).map(|_| vec![true, false]).collect(),
+        }
+    }
+
+    #[test]
+    fn map_shards_preserves_order_serial_and_parallel() {
+        let shards = toy_batch(10).shard(3);
+        assert_eq!(
+            shards.iter().map(Batch::len).collect::<Vec<_>>(),
+            vec![3, 3, 3, 1]
+        );
+        let serial = Executor::new(1, 3).map_shards(&shards, |i, s| (i, s.len()));
+        let parallel = Executor::new(4, 3).map_shards(&shards, |i, s| (i, s.len()));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, vec![(0, 3), (1, 3), (2, 3), (3, 1)]);
+    }
+
+    #[test]
+    fn shard_seed_depends_on_all_inputs() {
+        let base = Executor::shard_seed(7, 1, 0);
+        assert_ne!(base, Executor::shard_seed(8, 1, 0), "batch seed ignored");
+        assert_ne!(base, Executor::shard_seed(7, 2, 0), "stage ignored");
+        assert_ne!(base, Executor::shard_seed(7, 1, 1), "shard index ignored");
+        assert_eq!(base, Executor::shard_seed(7, 1, 0), "not deterministic");
+    }
+
+    #[test]
+    fn executor_clamps_degenerate_config() {
+        let e = Executor::new(0, 0);
+        assert_eq!(e.threads(), 1);
+        assert_eq!(e.shard_size(), 1);
+    }
+}

@@ -49,9 +49,11 @@
 #![warn(missing_docs)]
 
 mod config;
+mod exec;
 mod model;
 mod train;
 
 pub use config::{Ablation, MetaSgclConfig, SecondView, TrainStrategy};
+pub use exec::{Executor, NullObserver, TrainObserver};
 pub use model::MetaSgcl;
 pub use train::{EpochStats, TrainingHistory};

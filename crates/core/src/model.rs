@@ -59,15 +59,24 @@ impl MetaSgcl {
             true,
         );
         let enc_mu = Linear::new(&mut rng, "metasgcl.enc_mu", cfg.net.dim, cfg.net.dim, true);
-        let enc_logvar =
-            Linear::new(&mut rng, "metasgcl.enc_logvar", cfg.net.dim, cfg.net.dim, true);
-        let enc_logvar_prime =
-            Linear::new(&mut rng, "metasgcl.enc_logvar_prime", cfg.net.dim, cfg.net.dim, true);
+        let enc_logvar = Linear::new(
+            &mut rng,
+            "metasgcl.enc_logvar",
+            cfg.net.dim,
+            cfg.net.dim,
+            true,
+        );
+        let enc_logvar_prime = Linear::new(
+            &mut rng,
+            "metasgcl.enc_logvar_prime",
+            cfg.net.dim,
+            cfg.net.dim,
+            true,
+        );
         // Start both variance heads small (σ ≈ e^{-2} ≈ 0.14) so early
         // reconstruction is not drowned by reparameterization noise.
         for head in [&enc_logvar, &enc_logvar_prime] {
-            head.parameters()[1].borrow_mut().value =
-                tensor::Tensor::full(vec![cfg.net.dim], -4.0);
+            head.parameters()[1].borrow_mut().value = tensor::Tensor::full(vec![cfg.net.dim], -4.0);
         }
         let decoder = (cfg.decoder_layers > 0).then(|| {
             TransformerEncoder::new(
@@ -172,7 +181,11 @@ impl MetaSgcl {
         training: bool,
     ) -> View {
         let mu = self.enc_mu.forward(g, features);
-        let head = if meta_sigma { &self.enc_logvar_prime } else { &self.enc_logvar };
+        let head = if meta_sigma {
+            &self.enc_logvar_prime
+        } else {
+            &self.enc_logvar
+        };
         let logvar = head.forward(g, features).clamp(-8.0, 8.0);
         let z = if deterministic {
             mu.clone()
@@ -194,7 +207,13 @@ impl MetaSgcl {
         };
         let logits = self.backbone.scores(g, &h);
         let z_last = TransformerBackbone::last_hidden(&z);
-        View { z, z_last, logits, mu, logvar }
+        View {
+            z,
+            z_last,
+            logits,
+            mu,
+            logvar,
+        }
     }
 
     /// Saves all parameters to a checkpoint file.
@@ -216,11 +235,15 @@ impl MetaSgcl {
         let (input, pad) = encode_input_only(seq, self.cfg.net.max_len);
         let g = Graph::new();
         let mut rng = StdRng::seed_from_u64(0); // unused: no dropout/noise at eval
-        let features = self.encode(&g, &[input], &[pad.clone()], &mut rng, false);
+        let features = self.encode(&g, &[input], std::slice::from_ref(&pad), &mut rng, false);
         let view = self.view(&g, &features, &[pad], false, true, &mut rng, false);
         let dims = view.logits.dims();
         let (n, v) = (dims[1], dims[2]);
-        let last = view.logits.slice_axis(1, n - 1, n).reshape(vec![1, v]).value();
+        let last = view
+            .logits
+            .slice_axis(1, n - 1, n)
+            .reshape(vec![1, v])
+            .value();
         last.row(0)[..self.cfg.net.num_items + 1].to_vec()
     }
 }
@@ -233,7 +256,12 @@ mod tests {
 
     fn small() -> MetaSgcl {
         MetaSgcl::new(MetaSgclConfig {
-            net: NetConfig { max_len: 6, dim: 8, layers: 1, ..NetConfig::for_items(10) },
+            net: NetConfig {
+                max_len: 6,
+                dim: 8,
+                layers: 1,
+                ..NetConfig::for_items(10)
+            },
             ..MetaSgclConfig::for_items(10)
         })
     }
@@ -248,7 +276,7 @@ mod tests {
         assert_eq!(meta.len(), 2); // Enc_σ' weight + bias
         for mp in &meta {
             assert!(
-                !main.iter().any(|p| std::rc::Rc::ptr_eq(p, mp)),
+                !main.iter().any(|p| autograd::ParamRef::ptr_eq(p, mp)),
                 "meta param leaked into main set"
             );
         }

@@ -1,17 +1,20 @@
 //! Training: the double-ELBO objective (Eqs. 16, 23–28) and the two
 //! schedules — joint learning and the meta-optimized two-step strategy.
 
-use autograd::{Graph, Var};
+use autograd::{GradientSet, Graph, Var};
 use models::cl::info_nce_masked;
 use models::vae::gaussian_kl;
 use models::{SequentialRecommender, TrainConfig};
-use optim::{clip_grad_norm, Adam, KlAnnealing, Optimizer};
+use optim::{apply_step, Adam, KlAnnealing};
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 use recdata::{encode_input_only, item_crop, item_mask, item_reorder, Batch, Batcher, ItemId};
-use rand::Rng;
 
 use crate::config::{SecondView, TrainStrategy};
+use crate::exec::{
+    reduce_outcomes, BatchStats, Executor, NullObserver, ShardOutcome, TrainObserver,
+};
 use crate::model::MetaSgcl;
 
 /// Loss components of one epoch (averaged over batches).
@@ -27,6 +30,10 @@ pub struct EpochStats {
     pub cl: f64,
     /// Weighted total (Eq. 28).
     pub total: f64,
+    /// Wall-clock time of the epoch in milliseconds.
+    pub wall_ms: f64,
+    /// Training throughput: sequences processed per second.
+    pub seqs_per_sec: f64,
 }
 
 /// Per-epoch loss history.
@@ -60,8 +67,11 @@ impl MetaSgcl {
     fn batch_losses(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> BatchLosses {
         let (b, n) = (batch.len(), batch.seq_len());
         let vocab = self.backbone.vocab();
-        let targets: Vec<usize> =
-            batch.targets.iter().flat_map(|r| r.iter().copied()).collect();
+        let targets: Vec<usize> = batch
+            .targets
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect();
 
         let features = self.encode(g, &batch.inputs, &batch.pad, rng, true);
         let v1 = self.view(g, &features, &batch.pad, false, false, rng, true);
@@ -110,7 +120,12 @@ impl MetaSgcl {
         if alpha > 0.0 && b >= 2 {
             total = total.add(&cl.scale(alpha));
         }
-        BatchLosses { rec: rec.item() as f64, kl: kl.item() as f64, cl: cl.item() as f64, total }
+        BatchLosses {
+            rec: rec.item() as f64,
+            kl: kl.item() as f64,
+            cl: cl.item() as f64,
+            total,
+        }
     }
 
     /// Builds the second view according to the configured generator.
@@ -138,8 +153,7 @@ impl MetaSgcl {
                 let mut inputs = Vec::with_capacity(batch.len());
                 let mut pads = Vec::with_capacity(batch.len());
                 for input in &batch.inputs {
-                    let raw: Vec<ItemId> =
-                        input.iter().copied().filter(|&x| x != 0).collect();
+                    let raw: Vec<ItemId> = input.iter().copied().filter(|&x| x != 0).collect();
                     let aug: Vec<ItemId> = match rng.gen_range(0..3) {
                         0 => item_crop(&raw, 0.8, rng),
                         1 => item_mask(&raw, 0.2, n_items, rng)
@@ -164,12 +178,99 @@ impl MetaSgcl {
         let features = self.encode(g, &batch.inputs, &batch.pad, rng, true);
         let v1 = self.view(g, &features, &batch.pad, false, false, rng, true);
         let v2 = self.second_view(g, &features, batch, rng);
-        info_nce_masked(&v1.z_last, &v2.z_last, self.cfg.tau, self.cfg.similarity, &batch.last_target)
+        info_nce_masked(
+            &v1.z_last,
+            &v2.z_last,
+            self.cfg.tau,
+            self.cfg.similarity,
+            &batch.last_target,
+        )
+    }
+
+    /// Stage-1 / joint shard work: full double-ELBO forward + backward on a
+    /// private tape, gradients collected locally.
+    fn full_loss_shard(&self, shard: &Batch, beta: f32, seed: u64) -> ShardOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Graph::new();
+        let losses = self.batch_losses(&g, shard, beta, &mut rng);
+        let grads = losses.total.backward_collect();
+        ShardOutcome {
+            grads,
+            rec: losses.rec,
+            kl: losses.kl,
+            cl: losses.cl,
+            total: losses.total.item() as f64,
+            len: shard.len(),
+        }
+    }
+
+    /// Stage-2 shard work: contrastive loss only, with everything but
+    /// `Enc_σ'` frozen by the caller. Returns `None` for shards with fewer
+    /// than two rows (no in-shard negatives exist).
+    fn contrastive_shard(&self, shard: &Batch, seed: u64) -> Option<(GradientSet, usize)> {
+        if shard.len() < 2 {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Graph::new();
+        let loss = self.meta_stage_loss(&g, shard, &mut rng);
+        Some((loss.backward_collect(), shard.len()))
+    }
+
+    /// Fans the full-loss stage over the shards and reduces to one merged
+    /// gradient set plus shard-weighted loss statistics.
+    fn full_loss_step(
+        &self,
+        exec: &Executor,
+        shards: &[Batch],
+        beta: f32,
+        batch_seed: u64,
+    ) -> (GradientSet, BatchStats) {
+        let outcomes = exec.map_shards(shards, |i, shard| {
+            self.full_loss_shard(shard, beta, Executor::shard_seed(batch_seed, 1, i as u64))
+        });
+        reduce_outcomes(&outcomes)
+    }
+
+    /// Fans the contrastive stage over the shards; gradients of eligible
+    /// shards (≥ 2 rows) are mean-reduced with weights renormalized over the
+    /// eligible rows. `None` when no shard has two rows.
+    fn contrastive_step(
+        &self,
+        exec: &Executor,
+        shards: &[Batch],
+        batch_seed: u64,
+    ) -> Option<GradientSet> {
+        let collected = exec.map_shards(shards, |i, shard| {
+            self.contrastive_shard(shard, Executor::shard_seed(batch_seed, 2, i as u64))
+        });
+        let eligible: usize = collected.iter().flatten().map(|(_, len)| len).sum();
+        if eligible == 0 {
+            return None;
+        }
+        let mut merged = GradientSet::new();
+        for (grads, len) in collected.iter().flatten() {
+            merged.merge_scaled(grads, *len as f32 / eligible as f32);
+        }
+        Some(merged)
     }
 
     /// Trains with the configured strategy, recording per-epoch losses in
     /// [`MetaSgcl::history`].
     pub fn train_model(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
+        self.train_model_observed(train, cfg, &mut NullObserver);
+    }
+
+    /// [`MetaSgcl::train_model`] with an observer receiving per-epoch
+    /// statistics (loss components, wall-clock, throughput) as they are
+    /// produced.
+    pub fn train_model_observed(
+        &mut self,
+        train: &[Vec<ItemId>],
+        cfg: &TrainConfig,
+        observer: &mut dyn TrainObserver,
+    ) {
+        let exec = Executor::from_config(cfg);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let batcher = Batcher::new(train.to_vec(), self.cfg.net.max_len, cfg.batch_size);
         let main_params = self.main_parameters();
@@ -189,78 +290,75 @@ impl MetaSgcl {
         self.history.epochs.clear();
 
         for epoch in 0..cfg.epochs {
-            let (mut rec_s, mut kl_s, mut cl_s, mut tot_s) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            let epoch_start = std::time::Instant::now();
+            let mut sums = BatchStats::default();
             let mut batches = 0usize;
+            let mut seqs = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let beta = anneal.beta(step);
+                // One seed per batch; each shard derives its own stream from
+                // it, so the arithmetic is independent of the thread count.
+                let batch_seed: u64 = rng.gen();
+                let shards = batch.shard(exec.shard_size());
                 match self.cfg.strategy {
                     TrainStrategy::Joint => {
-                        let g = Graph::new();
-                        let losses = self.batch_losses(&g, &batch, beta, &mut rng);
-                        losses.total.backward();
-                        if cfg.grad_clip > 0.0 {
-                            clip_grad_norm(&all_params, cfg.grad_clip);
-                        }
-                        opt_all.step();
-                        opt_all.zero_grad();
-                        rec_s += losses.rec;
-                        kl_s += losses.kl;
-                        cl_s += losses.cl;
-                        tot_s += losses.total.item() as f64;
+                        let (grads, stats) = self.full_loss_step(&exec, &shards, beta, batch_seed);
+                        apply_step(&mut opt_all, &all_params, &grads, cfg.grad_clip);
+                        sums.rec += stats.rec;
+                        sums.kl += stats.kl;
+                        sums.cl += stats.cl;
+                        sums.total += stats.total;
                     }
                     TrainStrategy::MetaTwoStep => {
                         // Stage 1: full loss, σ' frozen.
                         self.set_meta_trainable(false);
-                        {
-                            let g = Graph::new();
-                            let losses = self.batch_losses(&g, &batch, beta, &mut rng);
-                            losses.total.backward();
-                            if cfg.grad_clip > 0.0 {
-                                clip_grad_norm(&main_params, cfg.grad_clip);
-                            }
-                            opt_main.step();
-                            opt_main.zero_grad();
-                            rec_s += losses.rec;
-                            kl_s += losses.kl;
-                            cl_s += losses.cl;
-                            tot_s += losses.total.item() as f64;
-                        }
+                        let (grads, stats) = self.full_loss_step(&exec, &shards, beta, batch_seed);
+                        apply_step(&mut opt_main, &main_params, &grads, cfg.grad_clip);
+                        sums.rec += stats.rec;
+                        sums.kl += stats.kl;
+                        sums.cl += stats.cl;
+                        sums.total += stats.total;
                         self.set_meta_trainable(true);
                         // Stage 2: re-encode with the just-updated encoder,
                         // freeze it, and adapt Enc_σ' to the contrastive
                         // objective (Eq. 26).
-                        if batch.len() >= 2 {
-                            self.set_main_trainable(false);
-                            let g = Graph::new();
-                            let loss = self.meta_stage_loss(&g, &batch, &mut rng);
-                            loss.backward();
-                            if cfg.grad_clip > 0.0 {
-                                clip_grad_norm(&meta_params, cfg.grad_clip);
-                            }
-                            opt_meta.step();
-                            opt_meta.zero_grad();
-                            self.set_main_trainable(true);
+                        self.set_main_trainable(false);
+                        if let Some(grads) = self.contrastive_step(&exec, &shards, batch_seed) {
+                            apply_step(&mut opt_meta, &meta_params, &grads, cfg.grad_clip);
                         }
+                        self.set_main_trainable(true);
                     }
                 }
                 step += 1;
                 batches += 1;
+                seqs += batch.len();
             }
             let denom = batches.max(1) as f64;
+            let wall_ms = epoch_start.elapsed().as_secs_f64() * 1e3;
             let stats = EpochStats {
                 epoch,
-                rec: rec_s / denom,
-                kl: kl_s / denom,
-                cl: cl_s / denom,
-                total: tot_s / denom,
+                rec: sums.rec / denom,
+                kl: sums.kl / denom,
+                cl: sums.cl / denom,
+                total: sums.total / denom,
+                wall_ms,
+                seqs_per_sec: seqs as f64 / (wall_ms / 1e3).max(1e-9),
             };
             if cfg.verbose {
                 println!(
-                    "[Meta-SGCL/{:?}] epoch {epoch} rec {:.4} kl {:.4} cl {:.4} total {:.4}",
-                    self.cfg.strategy, stats.rec, stats.kl, stats.cl, stats.total
+                    "[Meta-SGCL/{:?}] epoch {epoch} rec {:.4} kl {:.4} cl {:.4} total {:.4} \
+                     ({:.0} ms, {:.0} seqs/s)",
+                    self.cfg.strategy,
+                    stats.rec,
+                    stats.kl,
+                    stats.cl,
+                    stats.total,
+                    stats.wall_ms,
+                    stats.seqs_per_sec
                 );
             }
             self.history.epochs.push(stats);
+            observer.on_epoch_end(&stats);
         }
     }
 }
@@ -291,10 +389,13 @@ mod tests {
     use super::*;
     use crate::config::{Ablation, MetaSgclConfig};
     use models::NetConfig;
+    use optim::Optimizer;
     use tensor::Tensor;
 
     fn ring(users: usize, items: usize, len: usize) -> Vec<Vec<ItemId>> {
-        (0..users).map(|u| (0..len).map(|t| 1 + (u + t) % items).collect()).collect()
+        (0..users)
+            .map(|u| (0..len).map(|t| 1 + (u + t) % items).collect())
+            .collect()
     }
 
     fn cfg_small(items: usize) -> MetaSgclConfig {
@@ -317,10 +418,20 @@ mod tests {
     fn meta_two_step_learns_transitions() {
         let train = ring(20, 6, 8);
         let mut m = MetaSgcl::new(cfg_small(6));
-        let tc = TrainConfig { epochs: 60, batch_size: 10, ..Default::default() };
+        let tc = TrainConfig {
+            epochs: 60,
+            batch_size: 10,
+            ..Default::default()
+        };
         m.fit(&train, &tc);
         let s = m.score(0, &[2, 3, 4]);
-        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = s
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 5, "scores {s:?}");
         assert_eq!(m.history().epochs.len(), 60);
     }
@@ -331,10 +442,20 @@ mod tests {
         let mut cfg = cfg_small(6);
         cfg.strategy = TrainStrategy::Joint;
         let mut m = MetaSgcl::new(cfg);
-        let tc = TrainConfig { epochs: 60, batch_size: 10, ..Default::default() };
+        let tc = TrainConfig {
+            epochs: 60,
+            batch_size: 10,
+            ..Default::default()
+        };
         m.fit(&train, &tc);
         let s = m.score(0, &[2, 3, 4]);
-        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = s
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 5, "scores {s:?}");
     }
 
@@ -342,11 +463,21 @@ mod tests {
     fn loss_decreases_over_training() {
         let train = ring(16, 5, 8);
         let mut m = MetaSgcl::new(cfg_small(5));
-        m.fit(&train, &TrainConfig { epochs: 20, batch_size: 8, ..Default::default() });
+        m.fit(
+            &train,
+            &TrainConfig {
+                epochs: 20,
+                batch_size: 8,
+                ..Default::default()
+            },
+        );
         let h = &m.history().epochs;
         let first = h[..3].iter().map(|e| e.rec).sum::<f64>() / 3.0;
         let last = h[h.len() - 3..].iter().map(|e| e.rec).sum::<f64>() / 3.0;
-        assert!(last < first, "rec loss should fall: {first:.3} -> {last:.3}");
+        assert!(
+            last < first,
+            "rec loss should fall: {first:.3} -> {last:.3}"
+        );
     }
 
     #[test]
@@ -354,10 +485,16 @@ mod tests {
         let train = ring(8, 5, 6);
         let m = MetaSgcl::new(cfg_small(5));
         // Snapshot all parameters, run *only* the meta stage manually.
-        let main_before: Vec<Tensor> =
-            m.main_parameters().iter().map(|p| p.borrow().value.clone()).collect();
-        let meta_before: Vec<Tensor> =
-            m.meta_parameters().iter().map(|p| p.borrow().value.clone()).collect();
+        let main_before: Vec<Tensor> = m
+            .main_parameters()
+            .iter()
+            .map(|p| p.borrow().value.clone())
+            .collect();
+        let meta_before: Vec<Tensor> = m
+            .meta_parameters()
+            .iter()
+            .map(|p| p.borrow().value.clone())
+            .collect();
 
         let mut rng = StdRng::seed_from_u64(0);
         let batcher = Batcher::new(train, 8, 8);
@@ -372,7 +509,12 @@ mod tests {
         m.set_main_trainable(true);
 
         for (p, before) in m.main_parameters().iter().zip(main_before.iter()) {
-            assert_eq!(&p.borrow().value, before, "main param {} moved", p.borrow().name);
+            assert_eq!(
+                &p.borrow().value,
+                before,
+                "main param {} moved",
+                p.borrow().name
+            );
         }
         let mut any_moved = false;
         for (p, before) in m.meta_parameters().iter().zip(meta_before.iter()) {
@@ -396,7 +538,14 @@ mod tests {
             cfg.ablation = ablation;
             cfg.kl_warmup_steps = 0;
             let mut m = MetaSgcl::new(cfg);
-            m.fit(&train, &TrainConfig { epochs: 2, batch_size: 8, ..Default::default() });
+            m.fit(
+                &train,
+                &TrainConfig {
+                    epochs: 2,
+                    batch_size: 8,
+                    ..Default::default()
+                },
+            );
             let last = *m.history().last().expect("history");
             // rec is always present.
             assert!(last.rec > 0.0);

@@ -41,6 +41,32 @@ impl Batch {
     pub fn seq_len(&self) -> usize {
         self.inputs.first().map_or(0, Vec::len)
     }
+
+    /// Splits the batch into contiguous shards of at most `shard_size` rows,
+    /// preserving row order.
+    ///
+    /// The partition is a pure function of the batch length and `shard_size`
+    /// — deliberately independent of how many worker threads will process
+    /// the shards, so data-parallel training produces identical results for
+    /// any thread count (see the training executor in the core crate).
+    pub fn shard(&self, shard_size: usize) -> Vec<Batch> {
+        assert!(shard_size >= 1, "shard_size must be at least 1");
+        if self.len() <= shard_size {
+            return vec![self.clone()];
+        }
+        (0..self.len())
+            .step_by(shard_size)
+            .map(|start| {
+                let end = (start + shard_size).min(self.len());
+                Batch {
+                    inputs: self.inputs[start..end].to_vec(),
+                    targets: self.targets[start..end].to_vec(),
+                    last_target: self.last_target[start..end].to_vec(),
+                    pad: self.pad[start..end].to_vec(),
+                }
+            })
+            .collect()
+    }
 }
 
 /// Converts one raw sequence into `(input, per-position targets, pad)` for
@@ -49,7 +75,11 @@ impl Batch {
 pub fn encode_sequence(seq: &[ItemId], max_len: usize) -> (Vec<ItemId>, Vec<usize>, Vec<bool>) {
     // Keep the most recent max_len+1 items; inputs are all but the last,
     // targets are all but the first.
-    let keep = if seq.len() > max_len + 1 { &seq[seq.len() - (max_len + 1)..] } else { seq };
+    let keep = if seq.len() > max_len + 1 {
+        &seq[seq.len() - (max_len + 1)..]
+    } else {
+        seq
+    };
     let inputs_raw = &keep[..keep.len().saturating_sub(1)];
     let targets_raw = &keep[1.min(keep.len())..];
     let n = inputs_raw.len();
@@ -59,20 +89,24 @@ pub fn encode_sequence(seq: &[ItemId], max_len: usize) -> (Vec<ItemId>, Vec<usiz
     let mut targets = vec![usize::MAX; pad_n];
     targets.extend_from_slice(targets_raw);
     let mut pad = vec![true; pad_n];
-    pad.extend(std::iter::repeat(false).take(n));
+    pad.extend(std::iter::repeat_n(false, n));
     (input, targets, pad)
 }
 
 /// Encodes a sequence purely as input (for inference): the *whole* sequence
 /// left-padded/truncated to `max_len`, no targets.
 pub fn encode_input_only(seq: &[ItemId], max_len: usize) -> (Vec<ItemId>, Vec<bool>) {
-    let keep = if seq.len() > max_len { &seq[seq.len() - max_len..] } else { seq };
+    let keep = if seq.len() > max_len {
+        &seq[seq.len() - max_len..]
+    } else {
+        seq
+    };
     let n = keep.len();
     let pad_n = max_len - n;
     let mut input = vec![PAD_ITEM; pad_n];
     input.extend_from_slice(keep);
     let mut pad = vec![true; pad_n];
-    pad.extend(std::iter::repeat(false).take(n));
+    pad.extend(std::iter::repeat_n(false, n));
     (input, pad)
 }
 
@@ -89,7 +123,11 @@ impl Batcher {
     pub fn new(sequences: Vec<Vec<ItemId>>, max_len: usize, batch_size: usize) -> Self {
         assert!(max_len >= 1 && batch_size >= 1);
         let sequences: Vec<_> = sequences.into_iter().filter(|s| s.len() >= 2).collect();
-        Batcher { sequences, max_len, batch_size }
+        Batcher {
+            sequences,
+            max_len,
+            batch_size,
+        }
     }
 
     /// Number of usable sequences.
@@ -115,7 +153,12 @@ impl Batcher {
                     targets.push(tgt);
                     pad.push(pd);
                 }
-                Batch { inputs, targets, last_target, pad }
+                Batch {
+                    inputs,
+                    targets,
+                    last_target,
+                    pad,
+                }
             })
             .collect()
     }

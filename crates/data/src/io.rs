@@ -84,7 +84,11 @@ impl From<std::io::Error> for LoadError {
 }
 
 /// Parses interactions from a reader. See [`load_interactions_csv`].
-pub fn read_interactions(r: impl Read, opts: &CsvOptions, name: &str) -> Result<Dataset, LoadError> {
+pub fn read_interactions(
+    r: impl Read,
+    opts: &CsvOptions,
+    name: &str,
+) -> Result<Dataset, LoadError> {
     let reader = BufReader::new(r);
     // (user_key, item_key, timestamp) triples.
     let mut rows: Vec<(String, String, f64)> = Vec::new();
@@ -102,7 +106,11 @@ pub fn read_interactions(r: impl Read, opts: &CsvOptions, name: &str) -> Result<
         if fields.len() <= needed {
             return Err(LoadError::BadRow {
                 line: i + 1,
-                reason: format!("expected at least {} columns, got {}", needed + 1, fields.len()),
+                reason: format!(
+                    "expected at least {} columns, got {}",
+                    needed + 1,
+                    fields.len()
+                ),
             });
         }
         if let Some(rc) = opts.rating_col {
@@ -121,7 +129,11 @@ pub fn read_interactions(r: impl Read, opts: &CsvOptions, name: &str) -> Result<
             })?,
             None => rows.len() as f64,
         };
-        rows.push((fields[opts.user_col].to_string(), fields[opts.item_col].to_string(), ts));
+        rows.push((
+            fields[opts.user_col].to_string(),
+            fields[opts.item_col].to_string(),
+            ts,
+        ));
     }
 
     // Map string ids to dense indices; group and sort per user.
@@ -142,8 +154,16 @@ pub fn read_interactions(r: impl Read, opts: &CsvOptions, name: &str) -> Result<
             evs.into_iter().map(|(_, it)| it).collect()
         })
         .collect();
-    let data = Dataset { name: name.to_string(), num_items: item_ids.len(), sequences };
-    Ok(if opts.k_core > 1 { data.k_core(opts.k_core) } else { data })
+    let data = Dataset {
+        name: name.to_string(),
+        num_items: item_ids.len(),
+        sequences,
+    };
+    Ok(if opts.k_core > 1 {
+        data.k_core(opts.k_core)
+    } else {
+        data
+    })
 }
 
 /// Loads a `user,item[,rating[,timestamp]]` interaction file from disk with
@@ -166,7 +186,10 @@ mod tests {
     use super::*;
 
     fn opts_no_core() -> CsvOptions {
-        CsvOptions { k_core: 1, ..CsvOptions::default() }
+        CsvOptions {
+            k_core: 1,
+            ..CsvOptions::default()
+        }
     }
 
     #[test]
@@ -193,7 +216,11 @@ mod tests {
     #[test]
     fn header_and_blank_lines_are_skipped() {
         let csv = "user,item,rating,ts\n\nu1,a,5,1\n";
-        let opts = CsvOptions { has_header: true, k_core: 1, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: true,
+            k_core: 1,
+            ..CsvOptions::default()
+        };
         let d = read_interactions(csv.as_bytes(), &opts, "t").unwrap();
         assert_eq!(d.num_interactions(), 1);
     }
@@ -226,7 +253,10 @@ mod tests {
         // Items b,c appear once; with 2-core only 'a' survives and only
         // users with ≥2 interactions on it.
         let csv = "u1,a,5,1\nu1,a,5,2\nu1,b,5,3\nu2,c,5,1\n";
-        let opts = CsvOptions { k_core: 2, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            k_core: 2,
+            ..CsvOptions::default()
+        };
         let d = read_interactions(csv.as_bytes(), &opts, "t").unwrap();
         assert_eq!(d.num_users(), 1);
         assert_eq!(d.sequences[0], vec![1, 1]);

@@ -25,13 +25,15 @@
 #![warn(missing_docs)]
 
 mod augment;
-pub mod io;
 mod batch;
+pub mod io;
 mod split;
 pub mod synth;
 mod types;
 
-pub use augment::{inject_noise, item_crop, item_mask, item_reorder, ItemCorrelations, MASK_TOKEN_OFFSET};
+pub use augment::{
+    inject_noise, item_crop, item_mask, item_reorder, ItemCorrelations, MASK_TOKEN_OFFSET,
+};
 pub use batch::{encode_input_only, encode_sequence, Batch, Batcher};
 pub use split::{LeaveOneOut, UserSplit};
 pub use types::{Dataset, DatasetStats, ItemId, PAD_ITEM};

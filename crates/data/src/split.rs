@@ -52,7 +52,10 @@ impl LeaveOneOut {
                 }
             })
             .collect();
-        LeaveOneOut { users, num_items: data.num_items }
+        LeaveOneOut {
+            users,
+            num_items: data.num_items,
+        }
     }
 
     /// Number of evaluable users.

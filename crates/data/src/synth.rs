@@ -143,7 +143,10 @@ fn sample_cdf(rng: &mut StdRng, cdf: &[f64]) -> usize {
 
 /// Generates a dataset plus its planted structure. Deterministic per seed.
 pub fn generate_with_plant(cfg: &SynthConfig) -> (Dataset, Planted) {
-    assert!(cfg.markov_weight + cfg.pop_weight <= 1.0, "mixture weights exceed 1");
+    assert!(
+        cfg.markov_weight + cfg.pop_weight <= 1.0,
+        "mixture weights exceed 1"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let c = cfg.num_clusters;
     let n = cfg.num_items;
@@ -172,8 +175,8 @@ pub fn generate_with_plant(cfg: &SynthConfig) -> (Dataset, Planted) {
     }
 
     let mut cluster_of = vec![0usize; n + 1];
-    for item in 1..=n {
-        cluster_of[item] = cluster_of_item(item);
+    for (item, c) in cluster_of.iter_mut().enumerate().skip(1) {
+        *c = cluster_of_item(item);
     }
 
     let mut sequences = Vec::with_capacity(cfg.num_users);
@@ -187,7 +190,9 @@ pub fn generate_with_plant(cfg: &SynthConfig) -> (Dataset, Planted) {
             }
         }
         let affinity_cdf: Vec<f64> = {
-            let mut w: Vec<f64> = (0..interests.len()).map(|i| 0.5f64.powi(i as i32)).collect();
+            let mut w: Vec<f64> = (0..interests.len())
+                .map(|i| 0.5f64.powi(i as i32))
+                .collect();
             let sum: f64 = w.iter().sum();
             let mut acc = 0.0;
             for v in w.iter_mut() {
@@ -239,8 +244,15 @@ pub fn generate_with_plant(cfg: &SynthConfig) -> (Dataset, Planted) {
         sequences.push(seq);
     }
     (
-        Dataset { name: cfg.name.clone(), num_items: n, sequences },
-        Planted { successors, cluster_of },
+        Dataset {
+            name: cfg.name.clone(),
+            num_items: n,
+            sequences,
+        },
+        Planted {
+            successors,
+            cluster_of,
+        },
     )
 }
 
@@ -309,7 +321,10 @@ mod tests {
         // The top-5 items must not dominate (Pop should stay weak) but the
         // distribution must still be skewed (it is a popularity signal).
         assert!(share < 0.15, "top-5 share too high: {share:.3}");
-        assert!(share > 2.0 * 5.0 / counts.len() as f64, "no skew at all: {share:.3}");
+        assert!(
+            share > 2.0 * 5.0 / counts.len() as f64,
+            "no skew at all: {share:.3}"
+        );
     }
 
     #[test]
@@ -357,7 +372,10 @@ mod tests {
         let clothing = measure(&SynthConfig::clothing_like(13));
         let toys = measure(&SynthConfig::toys_like(13));
         let ml1m = measure(&SynthConfig::ml1m_like(13));
-        assert!(clothing < toys && toys < ml1m, "{clothing:.3} {toys:.3} {ml1m:.3}");
+        assert!(
+            clothing < toys && toys < ml1m,
+            "{clothing:.3} {toys:.3} {ml1m:.3}"
+        );
     }
 
     #[test]

@@ -48,10 +48,24 @@ impl Dataset {
     pub fn stats(&self) -> DatasetStats {
         let users = self.num_users();
         let interactions = self.num_interactions();
-        let avg_length = if users == 0 { 0.0 } else { interactions as f64 / users as f64 };
+        let avg_length = if users == 0 {
+            0.0
+        } else {
+            interactions as f64 / users as f64
+        };
         let cells = (users * self.num_items) as f64;
-        let sparsity = if cells == 0.0 { 1.0 } else { 1.0 - interactions as f64 / cells };
-        DatasetStats { users, items: self.num_items, interactions, avg_length, sparsity }
+        let sparsity = if cells == 0.0 {
+            1.0
+        } else {
+            1.0 - interactions as f64 / cells
+        };
+        DatasetStats {
+            users,
+            items: self.num_items,
+            interactions,
+            avg_length,
+            sparsity,
+        }
     }
 
     /// Applies k-core filtering on users: repeatedly drops users with fewer
@@ -97,7 +111,11 @@ impl Dataset {
                 *it = remap[*it];
             }
         }
-        Dataset { name: format!("{}-{k}core", self.name), num_items: next, sequences }
+        Dataset {
+            name: format!("{}-{k}core", self.name),
+            num_items: next,
+            sequences,
+        }
     }
 
     /// Per-item interaction counts, indexed by item id (`counts[0]` unused).
@@ -191,7 +209,7 @@ mod tests {
         for s in &c.sequences {
             assert!(s.len() >= 2);
             for &it in s {
-                assert!(it >= 1 && it <= 2);
+                assert!((1..=2).contains(&it));
             }
         }
         assert!(c.validate().is_ok());

@@ -44,7 +44,12 @@ fn normalize_rows(e: &Tensor) -> Vec<Vec<f64>> {
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         let row = e.row(i);
-        let norm = row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt().max(1e-12);
+        let norm = row
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
+            .max(1e-12);
         out.push(row.iter().map(|&x| x as f64 / norm).collect());
     }
     let _ = d;
@@ -67,7 +72,11 @@ pub fn analyze(e: &Tensor, pairs: usize, rng: &mut StdRng) -> EmbeddingReport {
         while j == i {
             j = rng.gen_range(0..n);
         }
-        let dot: f64 = normed[i].iter().zip(normed[j].iter()).map(|(a, b)| a * b).sum();
+        let dot: f64 = normed[i]
+            .iter()
+            .zip(normed[j].iter())
+            .map(|(a, b)| a * b)
+            .sum();
         cos_sum += dot;
         // ‖zi − zj‖² = 2 − 2·cos for unit vectors.
         unif_sum += (-2.0 * (2.0 - 2.0 * dot)).exp();
@@ -212,7 +221,13 @@ pub fn pca_project_2d(e: &Tensor) -> Vec<(f64, f64)> {
     // Power iteration for the top-2 eigenvectors of the covariance, with
     // deflation.
     let centered: Vec<Vec<f64>> = (0..n)
-        .map(|i| e.row(i).iter().zip(mean.iter()).map(|(&x, m)| x as f64 - m).collect())
+        .map(|i| {
+            e.row(i)
+                .iter()
+                .zip(mean.iter())
+                .map(|(&x, m)| x as f64 - m)
+                .collect()
+        })
         .collect();
     let matvec = |v: &[f64], exclude: Option<&[f64]>| -> Vec<f64> {
         let mut out = vec![0.0f64; d];
@@ -230,7 +245,9 @@ pub fn pca_project_2d(e: &Tensor) -> Vec<(f64, f64)> {
         out
     };
     let power = |exclude: Option<&[f64]>| -> Vec<f64> {
-        let mut v: Vec<f64> = (0..d).map(|i| ((i * 37 + 11) % 97) as f64 / 97.0 - 0.5).collect();
+        let mut v: Vec<f64> = (0..d)
+            .map(|i| ((i * 37 + 11) % 97) as f64 / 97.0 - 0.5)
+            .collect();
         for _ in 0..100 {
             let mut w = matvec(&v, exclude);
             if let Some(u) = exclude {
@@ -280,7 +297,10 @@ mod tests {
         let ru = analyze(&uniform, 2000, &mut rng);
         assert!(rc.mean_cosine > 0.8, "cone cosine {}", rc.mean_cosine);
         assert!(ru.mean_cosine < 0.2, "uniform cosine {}", ru.mean_cosine);
-        assert!(ru.uniformity < rc.uniformity, "uniformity should be lower (better)");
+        assert!(
+            ru.uniformity < rc.uniformity,
+            "uniformity should be lower (better)"
+        );
         assert!(ru.effective_rank > rc.effective_rank * 2.0);
     }
 
@@ -322,7 +342,10 @@ mod tests {
         let e = init::randn(&mut rng, vec![300, 8], 0.0, 1.0);
         let r = analyze(&e, 1000, &mut rng);
         assert!(r.effective_rank <= 8.0 + 1e-6);
-        assert!(r.effective_rank > 6.0, "isotropic data should use most dims");
+        assert!(
+            r.effective_rank > 6.0,
+            "isotropic data should use most dims"
+        );
         assert!(r.top1_variance_ratio < 0.35);
     }
 }

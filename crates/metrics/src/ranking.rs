@@ -13,7 +13,10 @@ use std::collections::BTreeMap;
 /// *earlier* items with an equal score outrank the target, which makes the
 /// metric deterministic and slightly conservative.
 pub fn rank_of(scores: &[f32], target: usize) -> usize {
-    debug_assert!(target >= 1 && target < scores.len(), "target {target} out of range");
+    debug_assert!(
+        target >= 1 && target < scores.len(),
+        "target {target} out of range"
+    );
     let ts = scores[target];
     let mut rank = 1usize;
     for (i, &s) in scores.iter().enumerate().skip(1) {
@@ -117,7 +120,11 @@ impl MetricAccumulator {
     pub fn finish(&self) -> EvalReport {
         let n = self.users.max(1) as f64;
         let collect = |sums: &[f64]| {
-            self.ks.iter().copied().zip(sums.iter().map(|s| s / n)).collect::<BTreeMap<_, _>>()
+            self.ks
+                .iter()
+                .copied()
+                .zip(sums.iter().map(|s| s / n))
+                .collect::<BTreeMap<_, _>>()
         };
         EvalReport {
             hr: collect(&self.hr_sum),

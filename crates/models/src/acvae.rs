@@ -52,7 +52,14 @@ impl Acvae {
             true,
         );
         let head = VaeHead::new(&mut rng, "acvae.head", net.dim);
-        Acvae { backbone, head, net, gamma: 0.1, beta: 0.3, rng }
+        Acvae {
+            backbone,
+            head,
+            net,
+            gamma: 0.1,
+            beta: 0.3,
+            rng,
+        }
     }
 
     fn all_params(&self) -> Vec<autograd::ParamRef> {
@@ -84,7 +91,9 @@ impl SequentialRecommender for Acvae {
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
                 let (b, n) = (batch.len(), batch.seq_len());
-                let h = self.backbone.forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
+                let h = self
+                    .backbone
+                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
                 let (mu, lv) = self.head.forward(&g, &h);
                 let z = reparameterize(&mu, &lv, &mut rng, false);
                 let rec = self
@@ -92,7 +101,11 @@ impl SequentialRecommender for Acvae {
                     .scores(&g, &z)
                     .reshape(vec![b * n, self.backbone.vocab()])
                     .cross_entropy_with_logits(
-                        &batch.targets.iter().flat_map(|r| r.iter().copied()).collect::<Vec<_>>(),
+                        &batch
+                            .targets
+                            .iter()
+                            .flat_map(|r| r.iter().copied())
+                            .collect::<Vec<_>>(),
                     );
                 let kl = gaussian_kl(&mu, &lv);
                 let mut loss = rec.add(&kl.scale(anneal.beta(step)));
@@ -104,8 +117,13 @@ impl SequentialRecommender for Acvae {
                     let emb = self.backbone.embed(&g, &batch.inputs, &mut rng, true);
                     let timeline = TransformerBackbone::timeline_mask(&batch.pad);
                     let seq_repr = emb.mul_const(&timeline).mean_axis(1, false); // [b, d]
-                    let cl =
-                        info_nce_masked(&z_last, &seq_repr, 1.0, Similarity::Dot, &batch.last_target);
+                    let cl = info_nce_masked(
+                        &z_last,
+                        &seq_repr,
+                        1.0,
+                        Similarity::Dot,
+                        &batch.last_target,
+                    );
                     loss = loss.add(&cl.scale(self.gamma));
                 }
                 loss.backward();
@@ -119,7 +137,10 @@ impl SequentialRecommender for Acvae {
                 step += 1;
             }
             if cfg.verbose {
-                println!("[ACVAE] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+                println!(
+                    "[ACVAE] epoch {epoch} loss {:.4}",
+                    total / batches.max(1) as f64
+                );
             }
         }
     }
@@ -130,7 +151,9 @@ impl SequentialRecommender for Acvae {
         }
         let (input, pad) = encode_input_only(seq, self.net.max_len);
         let g = Graph::new();
-        let h = self.backbone.forward(&g, &[input], &[pad], &mut self.rng, false);
+        let h = self
+            .backbone
+            .forward(&g, &[input], &[pad], &mut self.rng, false);
         let (mu, _) = self.head.forward(&g, &h);
         let last = TransformerBackbone::last_hidden(&mu);
         let scores = self.backbone.scores(&g, &last).value();
@@ -144,8 +167,9 @@ mod tests {
 
     #[test]
     fn trains_and_predicts() {
-        let train: Vec<Vec<usize>> =
-            (0..20).map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect()).collect();
+        let train: Vec<Vec<usize>> = (0..20)
+            .map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect())
+            .collect();
         let mut m = Acvae::new(NetConfig {
             max_len: 8,
             dim: 16,
@@ -157,11 +181,21 @@ mod tests {
         // dataset so discrimination pressure does not drown the CE task.
         m.gamma = 0.02;
         m.beta = 0.05;
-        let cfg = TrainConfig { epochs: 80, batch_size: 10, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 80,
+            batch_size: 10,
+            ..Default::default()
+        };
         m.fit(&train, &cfg);
         let s = m.score(0, &[3, 4, 5]);
         assert_eq!(s.len(), 7);
-        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = s
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 6, "scores {s:?}");
     }
 }

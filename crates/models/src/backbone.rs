@@ -9,8 +9,7 @@
 
 use autograd::{Graph, ParamRef, Var};
 use nn::{
-    causal_mask, padding_additive_mask, Dropout, Embedding, LayerNorm, Module,
-    TransformerEncoder,
+    causal_mask, padding_additive_mask, Dropout, Embedding, LayerNorm, Module, TransformerEncoder,
 };
 use rand::rngs::StdRng;
 use recdata::ItemId;
@@ -51,7 +50,14 @@ impl TransformerBackbone {
             pos_emb: Embedding::new(rng, &format!("{name}.pos"), max_len, dim),
             emb_ln: LayerNorm::new(&format!("{name}.emb_ln"), dim),
             emb_dropout: Dropout::new(dropout),
-            encoder: TransformerEncoder::new(rng, &format!("{name}.enc"), layers, dim, heads, dropout),
+            encoder: TransformerEncoder::new(
+                rng,
+                &format!("{name}.enc"),
+                layers,
+                dim,
+                heads,
+                dropout,
+            ),
             dim,
             heads,
             causal,
@@ -129,7 +135,8 @@ impl TransformerBackbone {
         let x = self.embed(g, inputs, rng, training);
         let mask = self.attention_mask(pad);
         let timeline = Self::timeline_mask(pad);
-        self.encoder.forward(g, &x, Some(&mask), Some(&timeline), rng, training)
+        self.encoder
+            .forward(g, &x, Some(&mask), Some(&timeline), rng, training)
     }
 
     /// Runs the encoder on a pre-built embedding var (used by models that
@@ -144,7 +151,8 @@ impl TransformerBackbone {
     ) -> Var {
         let mask = self.attention_mask(pad);
         let timeline = Self::timeline_mask(pad);
-        self.encoder.forward(g, x, Some(&mask), Some(&timeline), rng, training)
+        self.encoder
+            .forward(g, x, Some(&mask), Some(&timeline), rng, training)
     }
 
     /// Extracts the representation at the last position: `[b, n, d] → [b, d]`.

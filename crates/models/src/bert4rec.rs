@@ -37,7 +37,12 @@ impl Bert4Rec {
             net.dropout,
             false, // bidirectional
         );
-        Bert4Rec { backbone, net, mask_prob: 0.2, rng }
+        Bert4Rec {
+            backbone,
+            net,
+            mask_prob: 0.2,
+            rng,
+        }
     }
 
     fn mask_token(&self) -> ItemId {
@@ -113,7 +118,10 @@ impl SequentialRecommender for Bert4Rec {
                 batches += 1;
             }
             if cfg.verbose {
-                println!("[BERT4Rec] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+                println!(
+                    "[BERT4Rec] epoch {epoch} loss {:.4}",
+                    total / batches.max(1) as f64
+                );
             }
         }
     }
@@ -127,7 +135,9 @@ impl SequentialRecommender for Bert4Rec {
         extended.push(self.mask_token());
         let (input, pad) = encode_input_only(&extended, self.net.max_len);
         let g = Graph::new();
-        let h = self.backbone.forward(&g, &[input], &[pad], &mut self.rng, false);
+        let h = self
+            .backbone
+            .forward(&g, &[input], &[pad], &mut self.rng, false);
         let last = TransformerBackbone::last_hidden(&h);
         let scores = self.backbone.scores(&g, &last).value();
         scores.row(0)[..self.net.num_items + 1].to_vec()
@@ -151,16 +161,30 @@ mod tests {
             dropout: 0.0,
             ..NetConfig::for_items(6)
         });
-        let cfg = TrainConfig { epochs: 40, batch_size: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 8,
+            ..Default::default()
+        };
         m.fit(&train, &cfg);
         let s = m.score(0, &[1, 2, 3, 4, 5]);
-        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = s
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 6, "scores {s:?}");
     }
 
     #[test]
     fn score_excludes_mask_token() {
-        let mut m = Bert4Rec::new(NetConfig { dim: 8, layers: 1, ..NetConfig::for_items(5) });
+        let mut m = Bert4Rec::new(NetConfig {
+            dim: 8,
+            layers: 1,
+            ..NetConfig::for_items(5)
+        });
         // scores truncated to num_items + 1 even though vocab has the mask.
         assert_eq!(m.score(0, &[1]).len(), 6);
     }

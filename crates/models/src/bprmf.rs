@@ -117,8 +117,8 @@ impl SequentialRecommender for BprMf {
             return out;
         }
         let xu = self.user_factors.row(user);
-        for i in 1..=self.num_items {
-            out[i] = Self::dot(xu, self.item_factors.row(i));
+        for (i, o) in out.iter_mut().enumerate().skip(1) {
+            *o = Self::dot(xu, self.item_factors.row(i));
         }
         out
     }
@@ -138,13 +138,21 @@ mod tests {
             vec![5, 6, 4, 6, 5],
         ];
         let mut m = BprMf::new(6, 8);
-        let cfg = TrainConfig { epochs: 60, lr: 0.05, seed: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 60,
+            lr: 0.05,
+            seed: 1,
+            ..Default::default()
+        };
         m.fit(&train, &cfg);
         // User 0 should prefer item 3 (seen cluster) over item 6.
         let s0 = m.score(0, &[]);
         let best_own: f32 = (1..=3).map(|i| s0[i]).fold(f32::NEG_INFINITY, f32::max);
         let best_other: f32 = (4..=6).map(|i| s0[i]).fold(f32::NEG_INFINITY, f32::max);
-        assert!(best_own > best_other, "own {best_own} vs other {best_other}");
+        assert!(
+            best_own > best_other,
+            "own {best_own} vs other {best_other}"
+        );
         // Symmetric check for user 2.
         let s2 = m.score(2, &[]);
         let own2: f32 = (4..=6).map(|i| s2[i]).sum();
@@ -155,7 +163,13 @@ mod tests {
     #[test]
     fn unknown_user_gets_zero_scores() {
         let mut m = BprMf::new(3, 4);
-        m.fit(&[vec![1, 2]], &TrainConfig { epochs: 1, ..Default::default() });
+        m.fit(
+            &[vec![1, 2]],
+            &TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         let s = m.score(99, &[]);
         assert!(s.iter().all(|&x| x == 0.0));
     }

@@ -39,11 +39,17 @@ impl Caser {
         let mut rng = StdRng::seed_from_u64(seed);
         let n_filters = 4usize;
         let n_vertical = 2usize;
-        let heights: Vec<usize> = [2usize, 3, 4].into_iter().filter(|&h| h <= window).collect();
+        let heights: Vec<usize> = [2usize, 3, 4]
+            .into_iter()
+            .filter(|&h| h <= window)
+            .collect();
         let horizontal = heights
             .iter()
             .map(|&h| {
-                (h, Linear::new(&mut rng, &format!("caser.h{h}"), h * dim, n_filters, true))
+                (
+                    h,
+                    Linear::new(&mut rng, &format!("caser.h{h}"), h * dim, n_filters, true),
+                )
             })
             .collect::<Vec<_>>();
         let conv_out = n_filters * horizontal.len() + n_vertical * dim;
@@ -100,7 +106,11 @@ impl Caser {
 
     /// Last `window` items of `seq`, left-padded to the window size.
     fn window_of(&self, seq: &[ItemId]) -> Vec<ItemId> {
-        let keep = if seq.len() > self.window { &seq[seq.len() - self.window..] } else { seq };
+        let keep = if seq.len() > self.window {
+            &seq[seq.len() - self.window..]
+        } else {
+            seq
+        };
         let mut w = vec![PAD_ITEM; self.window - keep.len()];
         w.extend_from_slice(keep);
         w
@@ -152,7 +162,10 @@ impl SequentialRecommender for Caser {
                 batches += 1;
             }
             if cfg.verbose {
-                println!("[Caser] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+                println!(
+                    "[Caser] epoch {epoch} loss {:.4}",
+                    total / batches.max(1) as f64
+                );
             }
         }
     }
@@ -189,10 +202,20 @@ mod tests {
             train.push(vec![4, 5, 6, 4, 5, 6, 4, 5, 6]);
         }
         let mut m = Caser::new(6, 4, 16, 1);
-        let cfg = TrainConfig { epochs: 15, batch_size: 16, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch_size: 16,
+            ..Default::default()
+        };
         m.fit(&train, &cfg);
         let s = m.score(0, &[1, 2]);
-        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = s
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 3, "after [1,2] expect 3; scores {s:?}");
     }
 

@@ -63,8 +63,8 @@ fn info_nce_with_mask(
     let cross = za.matmul(&zb.transpose_last2()); // [B, B]
     let eye = identity(b);
     let pos = cross.mul_const(&eye).sum_axis(1, true); // [B, 1]
-    // Negative logits: z · zᵀ with the diagonal (self-similarity) and any
-    // false negatives masked out.
+                                                       // Negative logits: z · zᵀ with the diagonal (self-similarity) and any
+                                                       // false negatives masked out.
     let self_sim = za.matmul(&za.transpose_last2());
     let mut mask = neg_inf_diag(b);
     if let Some(t) = targets {

@@ -24,6 +24,17 @@ pub struct TrainConfig {
     pub grad_clip: f32,
     /// Print a line per epoch when true.
     pub verbose: bool,
+    /// Worker threads for data-parallel training (1 = serial). Thread count
+    /// affects only which worker computes each shard, never the arithmetic,
+    /// so results are identical for any value given the same seed and
+    /// `shard_size`.
+    pub threads: usize,
+    /// Rows per gradient shard. Each mini-batch is split into contiguous
+    /// shards of at most this many sequences; shards run forward/backward
+    /// independently (in parallel when `threads > 1`) and their gradients
+    /// are mean-reduced in fixed shard order. Contrastive terms draw
+    /// in-batch negatives per shard, so smaller shards mean fewer negatives.
+    pub shard_size: usize,
 }
 
 impl Default for TrainConfig {
@@ -36,13 +47,19 @@ impl Default for TrainConfig {
             seed: 42,
             grad_clip: 5.0,
             verbose: false,
+            threads: 1,
+            shard_size: 16,
         }
     }
 }
 
 /// A next-item recommender that can be trained on user sequences and can
 /// score the full item catalog for a user.
-pub trait SequentialRecommender {
+///
+/// `Send` is required so trained models can move across threads (e.g. the
+/// bench harness evaluating several models concurrently); all implementors
+/// hold thread-safe [`autograd::ParamRef`] parameters and owned RNG state.
+pub trait SequentialRecommender: Send {
     /// Model name as it appears in the paper's tables.
     fn name(&self) -> String;
 
@@ -102,8 +119,11 @@ pub fn recommend_top_k(
     exclude_seen: bool,
 ) -> Vec<(ItemId, f32)> {
     let scores = model.score(user, seq);
-    let seen: std::collections::HashSet<ItemId> =
-        if exclude_seen { seq.iter().copied().collect() } else { Default::default() };
+    let seen: std::collections::HashSet<ItemId> = if exclude_seen {
+        seq.iter().copied().collect()
+    } else {
+        Default::default()
+    };
     let mut ranked: Vec<(ItemId, f32)> = scores
         .iter()
         .enumerate()

@@ -121,11 +121,16 @@ impl SequentialRecommender for ContrastVae {
                 let g = Graph::new();
                 let (b, n) = (batch.len(), batch.seq_len());
                 let vocab = self.backbone.vocab();
-                let targets: Vec<usize> =
-                    batch.targets.iter().flat_map(|r| r.iter().copied()).collect();
+                let targets: Vec<usize> = batch
+                    .targets
+                    .iter()
+                    .flat_map(|r| r.iter().copied())
+                    .collect();
 
                 // Branch 1: original input.
-                let h1 = self.backbone.forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
+                let h1 = self
+                    .backbone
+                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
                 let (mu1, lv1) = self.head.forward(&g, &h1);
                 let z1 = reparameterize(&mu1, &lv1, &mut rng, false);
                 let rec1 = self
@@ -209,7 +214,9 @@ impl SequentialRecommender for ContrastVae {
         }
         let (input, pad) = encode_input_only(seq, self.net.max_len);
         let g = Graph::new();
-        let h = self.backbone.forward(&g, &[input], &[pad], &mut self.rng, false);
+        let h = self
+            .backbone
+            .forward(&g, &[input], &[pad], &mut self.rng, false);
         let (mu, _) = self.head.forward(&g, &h);
         let last = TransformerBackbone::last_hidden(&mu);
         let scores = self.backbone.scores(&g, &last).value();
@@ -223,18 +230,35 @@ mod tests {
 
     #[test]
     fn trains_and_predicts() {
-        let train: Vec<Vec<usize>> =
-            (0..20).map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect()).collect();
+        let train: Vec<Vec<usize>> = (0..20)
+            .map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect())
+            .collect();
         let mut m = ContrastVae::new(
-            NetConfig { max_len: 8, dim: 16, layers: 1, dropout: 0.1, ..NetConfig::for_items(6) },
+            NetConfig {
+                max_len: 8,
+                dim: 16,
+                layers: 1,
+                dropout: 0.1,
+                ..NetConfig::for_items(6)
+            },
             0.1,
             0.2,
         );
-        let cfg = TrainConfig { epochs: 30, batch_size: 10, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 10,
+            ..Default::default()
+        };
         m.fit(&train, &cfg);
         let s = m.score(0, &[2, 3, 4]);
         assert_eq!(s.len(), 7);
-        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = s
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 5, "scores {s:?}");
     }
 
@@ -242,12 +266,24 @@ mod tests {
     fn model_augmentation_variant_runs() {
         let train: Vec<Vec<usize>> = (0..8).map(|u| vec![1 + u % 3, 2, 3, 1]).collect();
         let mut m = ContrastVae::new(
-            NetConfig { max_len: 4, dim: 8, layers: 1, ..NetConfig::for_items(3) },
+            NetConfig {
+                max_len: 4,
+                dim: 8,
+                layers: 1,
+                ..NetConfig::for_items(3)
+            },
             0.1,
             0.2,
         );
         m.augmentation = Augmentation::Model;
-        m.fit(&train, &TrainConfig { epochs: 2, batch_size: 4, ..Default::default() });
+        m.fit(
+            &train,
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.score(0, &[1, 2]).len(), 4);
     }
 }

@@ -49,7 +49,14 @@ impl DuoRec {
         // contrastive terms trade off against the CE task quickly, so the
         // weights sit an order of magnitude below the original paper's 0.1
         // (see DESIGN.md §4).
-        DuoRec { backbone, net, lambda_unsup: 0.01, lambda_sup: 0.005, tau: 1.0, rng }
+        DuoRec {
+            backbone,
+            net,
+            lambda_unsup: 0.01,
+            lambda_sup: 0.005,
+            tau: 1.0,
+            rng,
+        }
     }
 
     /// Access to the backbone (embedding analytics).
@@ -76,7 +83,10 @@ impl SequentialRecommender for DuoRec {
             // The "semantic positive" shares the same next item; its input
             // is everything before its own last item.
             let target = *s.last().expect("non-empty");
-            by_target.entry(target).or_default().push(s[..s.len() - 1].to_vec());
+            by_target
+                .entry(target)
+                .or_default()
+                .push(s[..s.len() - 1].to_vec());
         }
         let params = self.backbone.parameters();
         let mut opt = Adam::new(params.clone(), cfg.lr);
@@ -87,17 +97,22 @@ impl SequentialRecommender for DuoRec {
                 let g = Graph::new();
                 let b = batch.len();
                 // Recommendation view.
-                let h1 = self.backbone.forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
+                let h1 = self
+                    .backbone
+                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
                 let logits = self.backbone.scores(&g, &h1);
-                let flat =
-                    logits.reshape(vec![b * batch.seq_len(), self.backbone.vocab()]);
-                let targets: Vec<usize> =
-                    batch.targets.iter().flat_map(|r| r.iter().copied()).collect();
+                let flat = logits.reshape(vec![b * batch.seq_len(), self.backbone.vocab()]);
+                let targets: Vec<usize> = batch
+                    .targets
+                    .iter()
+                    .flat_map(|r| r.iter().copied())
+                    .collect();
                 let mut loss = flat.cross_entropy_with_logits(&targets);
                 if b >= 2 {
                     // Unsupervised view: a second dropout-perturbed pass.
-                    let h2 =
-                        self.backbone.forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
+                    let h2 = self
+                        .backbone
+                        .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
                     let z1 = TransformerBackbone::last_hidden(&h1);
                     let z2 = TransformerBackbone::last_hidden(&h2);
                     let cl_unsup =
@@ -129,7 +144,9 @@ impl SequentialRecommender for DuoRec {
                             }
                         }
                     }
-                    let h3 = self.backbone.forward(&g, &sup_inputs, &sup_pad, &mut rng, true);
+                    let h3 = self
+                        .backbone
+                        .forward(&g, &sup_inputs, &sup_pad, &mut rng, true);
                     let z3 = TransformerBackbone::last_hidden(&h3);
                     let cl_sup =
                         info_nce_masked(&z1, &z3, self.tau, Similarity::Dot, &batch.last_target);
@@ -145,7 +162,10 @@ impl SequentialRecommender for DuoRec {
                 batches += 1;
             }
             if cfg.verbose {
-                println!("[DuoRec] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+                println!(
+                    "[DuoRec] epoch {epoch} loss {:.4}",
+                    total / batches.max(1) as f64
+                );
             }
         }
     }
@@ -156,7 +176,9 @@ impl SequentialRecommender for DuoRec {
         }
         let (input, pad) = encode_input_only(seq, self.net.max_len);
         let g = Graph::new();
-        let h = self.backbone.forward(&g, &[input], &[pad], &mut self.rng, false);
+        let h = self
+            .backbone
+            .forward(&g, &[input], &[pad], &mut self.rng, false);
         let last = TransformerBackbone::last_hidden(&h);
         let scores = self.backbone.scores(&g, &last).value();
         scores.row(0)[..self.net.num_items + 1].to_vec()
@@ -169,8 +191,9 @@ mod tests {
 
     #[test]
     fn trains_and_predicts_transitions() {
-        let train: Vec<Vec<usize>> =
-            (0..20).map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect()).collect();
+        let train: Vec<Vec<usize>> = (0..20)
+            .map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect())
+            .collect();
         let mut m = DuoRec::new(NetConfig {
             max_len: 8,
             dim: 16,
@@ -183,10 +206,20 @@ mod tests {
         // (the same effect the paper reports for large alpha in Fig. 4).
         m.lambda_unsup = 0.02;
         m.lambda_sup = 0.02;
-        let cfg = TrainConfig { epochs: 80, batch_size: 10, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 80,
+            batch_size: 10,
+            ..Default::default()
+        };
         m.fit(&train, &cfg);
         let s = m.score(0, &[2, 3, 4]);
-        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = s
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 5, "scores {s:?}");
     }
 }

@@ -68,8 +68,11 @@ impl SequentialRecommender for Gru4Rec {
                 let logits = h.matmul(&self.item_emb.full(&g).transpose_last2());
                 let (b, n) = (batch.len(), batch.seq_len());
                 let flat = logits.reshape(vec![b * n, self.num_items + 1]);
-                let targets: Vec<usize> =
-                    batch.targets.iter().flat_map(|r| r.iter().copied()).collect();
+                let targets: Vec<usize> = batch
+                    .targets
+                    .iter()
+                    .flat_map(|r| r.iter().copied())
+                    .collect();
                 let loss = flat.cross_entropy_with_logits(&targets);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
@@ -81,7 +84,10 @@ impl SequentialRecommender for Gru4Rec {
                 batches += 1;
             }
             if cfg.verbose {
-                println!("[GRU4Rec] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+                println!(
+                    "[GRU4Rec] epoch {epoch} loss {:.4}",
+                    total / batches.max(1) as f64
+                );
             }
         }
     }
@@ -95,8 +101,12 @@ impl SequentialRecommender for Gru4Rec {
         let x = self.item_emb.forward_batch(&g, &[input]);
         let h = self.gru.forward_sequence(&g, &x);
         let dims = h.dims();
-        let last = h.slice_axis(1, dims[1] - 1, dims[1]).reshape(vec![1, dims[2]]);
-        let logits = last.matmul(&self.item_emb.full(&g).transpose_last2()).value();
+        let last = h
+            .slice_axis(1, dims[1] - 1, dims[1])
+            .reshape(vec![1, dims[2]]);
+        let logits = last
+            .matmul(&self.item_emb.full(&g).transpose_last2())
+            .value();
         let _ = &mut self.rng;
         logits.row(0).to_vec()
     }
@@ -115,13 +125,29 @@ mod tests {
             train.push(vec![3, 4, 3, 4, 3, 4]);
         }
         let mut m = Gru4Rec::new(4, 6, 16, 7);
-        let cfg = TrainConfig { epochs: 30, batch_size: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 8,
+            ..Default::default()
+        };
         m.fit(&train, &cfg);
         let s = m.score(0, &[1, 2, 1]);
-        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = s
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 2, "after 1 expect 2; scores {s:?}");
         let s = m.score(0, &[3, 4, 3]);
-        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = s
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 4);
     }
 

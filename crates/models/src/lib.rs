@@ -40,13 +40,15 @@ pub use backbone::TransformerBackbone;
 pub use bert4rec::Bert4Rec;
 pub use bprmf::BprMf;
 pub use caser::Caser;
-pub use cl4srec::Cl4SRec;
 pub use cl::{info_nce, info_nce_masked, Similarity};
-pub use common::{evaluate_test, evaluate_valid, recommend_top_k, SequentialRecommender, TrainConfig};
+pub use cl4srec::Cl4SRec;
+pub use common::{
+    evaluate_test, evaluate_valid, recommend_top_k, SequentialRecommender, TrainConfig,
+};
+pub use contrastvae::Augmentation;
 pub use contrastvae::ContrastVae;
 pub use duorec::DuoRec;
 pub use gru4rec::Gru4Rec;
 pub use pop::Pop;
 pub use sasrec::{NetConfig, SasRec};
-pub use contrastvae::Augmentation;
 pub use vsan::Vsan;

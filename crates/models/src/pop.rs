@@ -14,7 +14,10 @@ pub struct Pop {
 impl Pop {
     /// Creates an untrained Pop model over `num_items` items.
     pub fn new(num_items: usize) -> Self {
-        Pop { num_items, counts: vec![0.0; num_items + 1] }
+        Pop {
+            num_items,
+            counts: vec![0.0; num_items + 1],
+        }
     }
 }
 

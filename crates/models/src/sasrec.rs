@@ -94,12 +94,17 @@ impl SequentialRecommender for SasRec {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let h = self.backbone.forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
+                let h = self
+                    .backbone
+                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
                 let logits = self.backbone.scores(&g, &h); // [b, n, V]
                 let (b, n) = (batch.len(), batch.seq_len());
                 let flat = logits.reshape(vec![b * n, self.backbone.vocab()]);
-                let targets: Vec<usize> =
-                    batch.targets.iter().flat_map(|row| row.iter().copied()).collect();
+                let targets: Vec<usize> = batch
+                    .targets
+                    .iter()
+                    .flat_map(|row| row.iter().copied())
+                    .collect();
                 let loss = flat.cross_entropy_with_logits(&targets);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
@@ -111,7 +116,10 @@ impl SequentialRecommender for SasRec {
                 batches += 1;
             }
             if cfg.verbose {
-                println!("[SASRec] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+                println!(
+                    "[SASRec] epoch {epoch} loss {:.4}",
+                    total / batches.max(1) as f64
+                );
             }
         }
     }
@@ -122,7 +130,9 @@ impl SequentialRecommender for SasRec {
         }
         let (input, pad) = encode_input_only(seq, self.net.max_len);
         let g = Graph::new();
-        let h = self.backbone.forward(&g, &[input], &[pad], &mut self.rng, false);
+        let h = self
+            .backbone
+            .forward(&g, &[input], &[pad], &mut self.rng, false);
         let last = TransformerBackbone::last_hidden(&h);
         let scores = self.backbone.scores(&g, &last).value();
         scores.row(0)[..self.net.num_items + 1].to_vec()
@@ -150,7 +160,11 @@ mod tests {
             dropout: 0.0,
             ..NetConfig::for_items(8)
         });
-        let cfg = TrainConfig { epochs: 40, batch_size: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 8,
+            ..Default::default()
+        };
         m.fit(&train, &cfg);
         // After item 3, item 4 must be the argmax.
         let scores = m.score(0, &[1, 2, 3]);
@@ -176,7 +190,11 @@ mod tests {
 
     #[test]
     fn score_length_and_empty_seq() {
-        let mut m = SasRec::new(NetConfig { dim: 8, layers: 1, ..NetConfig::for_items(5) });
+        let mut m = SasRec::new(NetConfig {
+            dim: 8,
+            layers: 1,
+            ..NetConfig::for_items(5)
+        });
         assert_eq!(m.score(0, &[1, 2]).len(), 6);
         assert_eq!(m.score(0, &[]).len(), 6);
     }

@@ -64,7 +64,10 @@ impl VaeHead {
     /// Computes `(μ, logvar)` from features `h`.
     pub fn forward(&self, g: &Graph, h: &Var) -> (Var, Var) {
         // Clamp logvar for numerical stability of exp().
-        (self.enc_mu.forward(g, h), self.enc_logvar.forward(g, h).clamp(-8.0, 8.0))
+        (
+            self.enc_mu.forward(g, h),
+            self.enc_logvar.forward(g, h).clamp(-8.0, 8.0),
+        )
     }
 
     /// The `μ` head's parameters.
@@ -128,7 +131,11 @@ mod tests {
         let z = reparameterize(&mu, &logvar, &mut rng, false).value();
         let mean = z.mean_all();
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
-        let var = z.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = z
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / (z.numel() - 1) as f32;
         assert!((var - 0.25).abs() < 0.03, "var {var}");
         // Deterministic mode returns μ.

@@ -40,7 +40,13 @@ impl Vsan {
             true,
         );
         let head = VaeHead::new(&mut rng, "vsan.head", net.dim);
-        Vsan { backbone, head, net, beta, rng }
+        Vsan {
+            backbone,
+            head,
+            net,
+            beta,
+            rng,
+        }
     }
 
     fn all_params(&self) -> Vec<autograd::ParamRef> {
@@ -71,14 +77,19 @@ impl SequentialRecommender for Vsan {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let h = self.backbone.forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
+                let h = self
+                    .backbone
+                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
                 let (mu, logvar) = self.head.forward(&g, &h);
                 let z = reparameterize(&mu, &logvar, &mut rng, false);
                 let logits = self.backbone.scores(&g, &z);
                 let (b, n) = (batch.len(), batch.seq_len());
                 let flat = logits.reshape(vec![b * n, self.backbone.vocab()]);
-                let targets: Vec<usize> =
-                    batch.targets.iter().flat_map(|r| r.iter().copied()).collect();
+                let targets: Vec<usize> = batch
+                    .targets
+                    .iter()
+                    .flat_map(|r| r.iter().copied())
+                    .collect();
                 let rec = flat.cross_entropy_with_logits(&targets);
                 let kl = gaussian_kl(&mu, &logvar);
                 let loss = rec.add(&kl.scale(anneal.beta(step)));
@@ -93,7 +104,10 @@ impl SequentialRecommender for Vsan {
                 step += 1;
             }
             if cfg.verbose {
-                println!("[VSAN] epoch {epoch} loss {:.4}", total / batches.max(1) as f64);
+                println!(
+                    "[VSAN] epoch {epoch} loss {:.4}",
+                    total / batches.max(1) as f64
+                );
             }
         }
     }
@@ -104,7 +118,9 @@ impl SequentialRecommender for Vsan {
         }
         let (input, pad) = encode_input_only(seq, self.net.max_len);
         let g = Graph::new();
-        let h = self.backbone.forward(&g, &[input], &[pad], &mut self.rng, false);
+        let h = self
+            .backbone
+            .forward(&g, &[input], &[pad], &mut self.rng, false);
         let (mu, _logvar) = self.head.forward(&g, &h);
         let last = TransformerBackbone::last_hidden(&mu);
         let scores = self.backbone.scores(&g, &last).value();
@@ -118,17 +134,34 @@ mod tests {
 
     #[test]
     fn trains_and_scores() {
-        let train: Vec<Vec<usize>> =
-            (0..16).map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect()).collect();
+        let train: Vec<Vec<usize>> = (0..16)
+            .map(|u| (0..8).map(|t| 1 + (u + t) % 6).collect())
+            .collect();
         let mut m = Vsan::new(
-            NetConfig { max_len: 8, dim: 16, layers: 1, dropout: 0.0, ..NetConfig::for_items(6) },
+            NetConfig {
+                max_len: 8,
+                dim: 16,
+                layers: 1,
+                dropout: 0.0,
+                ..NetConfig::for_items(6)
+            },
             0.2,
         );
-        let cfg = TrainConfig { epochs: 25, batch_size: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 25,
+            batch_size: 8,
+            ..Default::default()
+        };
         m.fit(&train, &cfg);
         let s = m.score(0, &[1, 2, 3]);
         assert_eq!(s.len(), 7);
-        let best = s.iter().enumerate().skip(1).max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = s
+            .iter()
+            .enumerate()
+            .skip(1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 4, "scores {s:?}");
     }
 }

@@ -2,14 +2,19 @@
 //! contracts, determinism, and graceful handling of degenerate inputs.
 
 use models::{
-    Acvae, Bert4Rec, BprMf, Caser, Cl4SRec, ContrastVae, DuoRec, Gru4Rec, NetConfig, Pop,
-    SasRec, SequentialRecommender, TrainConfig, Vsan,
+    Acvae, Bert4Rec, BprMf, Caser, Cl4SRec, ContrastVae, DuoRec, Gru4Rec, NetConfig, Pop, SasRec,
+    SequentialRecommender, TrainConfig, Vsan,
 };
 
 const ITEMS: usize = 12;
 
 fn net() -> NetConfig {
-    NetConfig { max_len: 6, dim: 8, layers: 1, ..NetConfig::for_items(ITEMS) }
+    NetConfig {
+        max_len: 6,
+        dim: 8,
+        layers: 1,
+        ..NetConfig::for_items(ITEMS)
+    }
 }
 
 fn zoo() -> Vec<Box<dyn SequentialRecommender>> {
@@ -29,7 +34,9 @@ fn zoo() -> Vec<Box<dyn SequentialRecommender>> {
 }
 
 fn tiny_train() -> Vec<Vec<usize>> {
-    (0..12).map(|u| (0..6).map(|t| 1 + (u + t) % ITEMS).collect()).collect()
+    (0..12)
+        .map(|u| (0..6).map(|t| 1 + (u + t) % ITEMS).collect())
+        .collect()
 }
 
 #[test]
@@ -47,7 +54,12 @@ fn names_are_unique_and_stable() {
 #[test]
 fn score_vector_contract_holds_for_all_models() {
     let train = tiny_train();
-    let cfg = TrainConfig { epochs: 1, batch_size: 6, max_len: 6, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 6,
+        max_len: 6,
+        ..Default::default()
+    };
     for mut m in zoo() {
         m.fit(&train, &cfg);
         assert_eq!(m.num_items(), ITEMS, "{}", m.name());
@@ -64,11 +76,21 @@ fn score_vector_contract_holds_for_all_models() {
 #[test]
 fn empty_history_is_handled_everywhere() {
     let train = tiny_train();
-    let cfg = TrainConfig { epochs: 1, batch_size: 6, max_len: 6, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 6,
+        max_len: 6,
+        ..Default::default()
+    };
     for mut m in zoo() {
         m.fit(&train, &cfg);
         let s = m.score(0, &[]);
-        assert_eq!(s.len(), ITEMS + 1, "{} empty-history score length", m.name());
+        assert_eq!(
+            s.len(),
+            ITEMS + 1,
+            "{} empty-history score length",
+            m.name()
+        );
         assert!(s.iter().all(|x| x.is_finite()), "{}", m.name());
     }
 }
@@ -76,7 +98,12 @@ fn empty_history_is_handled_everywhere() {
 #[test]
 fn scoring_is_deterministic_after_training() {
     let train = tiny_train();
-    let cfg = TrainConfig { epochs: 2, batch_size: 6, max_len: 6, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 6,
+        max_len: 6,
+        ..Default::default()
+    };
     for mut m in zoo() {
         m.fit(&train, &cfg);
         let a = m.score(1, &[2, 3, 4]);
@@ -90,7 +117,12 @@ fn training_twice_continues_without_panics() {
     // fit() is documented as restartable; the second call must not panic
     // and the model must stay usable.
     let train = tiny_train();
-    let cfg = TrainConfig { epochs: 1, batch_size: 6, max_len: 6, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 6,
+        max_len: 6,
+        ..Default::default()
+    };
     for mut m in zoo() {
         m.fit(&train, &cfg);
         m.fit(&train, &cfg);
@@ -106,7 +138,12 @@ fn out_of_range_history_items_are_rejected_or_ignored() {
     // tables may panic, which is also a documented contract — we simply
     // check the well-behaved ones here.
     let train = tiny_train();
-    let cfg = TrainConfig { epochs: 1, batch_size: 6, max_len: 6, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 6,
+        max_len: 6,
+        ..Default::default()
+    };
     let mut pop = Pop::new(ITEMS);
     pop.fit(&train, &cfg);
     let s = pop.score(0, &[999]);

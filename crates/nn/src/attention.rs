@@ -60,7 +60,10 @@ pub struct MultiHeadSelfAttention {
 impl MultiHeadSelfAttention {
     /// Creates an attention block. `dim` must be divisible by `heads`.
     pub fn new(rng: &mut StdRng, name: &str, dim: usize, heads: usize, dropout: f32) -> Self {
-        assert!(dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        assert!(
+            dim.is_multiple_of(heads),
+            "dim {dim} not divisible by heads {heads}"
+        );
         MultiHeadSelfAttention {
             wq: Linear::new(rng, &format!("{name}.wq"), dim, dim, false),
             wk: Linear::new(rng, &format!("{name}.wk"), dim, dim, false),
@@ -106,7 +109,9 @@ impl MultiHeadSelfAttention {
         let k = self.split_heads(&self.wk.forward(g, x), b, n);
         let v = self.split_heads(&self.wv.forward(g, x), b, n);
 
-        let mut scores = q.matmul(&k.transpose_last2()).scale(1.0 / (dh as f32).sqrt());
+        let mut scores = q
+            .matmul(&k.transpose_last2())
+            .scale(1.0 / (dh as f32).sqrt());
         if let Some(m) = mask {
             scores = scores.add_const(m);
         }
@@ -177,8 +182,12 @@ mod tests {
         }
         let g = Graph::new();
         let m = causal_mask(4);
-        let y0 = mha.forward(&g, &g.constant(base), Some(&m), &mut rng, false).value();
-        let y1 = mha.forward(&g, &g.constant(altered), Some(&m), &mut rng, false).value();
+        let y0 = mha
+            .forward(&g, &g.constant(base), Some(&m), &mut rng, false)
+            .value();
+        let y1 = mha
+            .forward(&g, &g.constant(altered), Some(&m), &mut rng, false)
+            .value();
         for j in 0..8 {
             assert!((y0.at(&[0, 0, j]) - y1.at(&[0, 0, j])).abs() < 1e-5);
         }

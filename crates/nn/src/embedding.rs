@@ -19,8 +19,10 @@ pub struct Embedding {
 impl Embedding {
     /// New table with `N(0, 0.02²)` entries (SASRec convention).
     pub fn new(rng: &mut StdRng, name: &str, vocab: usize, dim: usize) -> Self {
-        let table =
-            Parameter::shared(format!("{name}.table"), init::embedding_init(rng, vec![vocab, dim]));
+        let table = Parameter::shared(
+            format!("{name}.table"),
+            init::embedding_init(rng, vec![vocab, dim]),
+        );
         Embedding { table, vocab, dim }
     }
 

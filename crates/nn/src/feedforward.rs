@@ -99,7 +99,9 @@ mod tests {
         let params = ffn.parameters();
         assert_grads_close(&params, 1e-2, 3e-2, move |g| {
             let mut r = StdRng::seed_from_u64(0);
-            ffn.forward(g, &g.constant(x.clone()), &mut r, false).square().sum_all()
+            ffn.forward(g, &g.constant(x.clone()), &mut r, false)
+                .square()
+                .sum_all()
         });
     }
 }

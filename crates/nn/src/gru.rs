@@ -48,7 +48,11 @@ impl Gru {
     pub fn step(&self, g: &Graph, x: &Var, h: &Var) -> Var {
         let z = self.wz.forward(g, x).add(&self.uz.forward(g, h)).sigmoid();
         let r = self.wr.forward(g, x).add(&self.ur.forward(g, h)).sigmoid();
-        let h_cand = self.wh.forward(g, x).add(&self.uh.forward(g, &r.mul(h))).tanh();
+        let h_cand = self
+            .wh
+            .forward(g, x)
+            .add(&self.uh.forward(g, &r.mul(h)))
+            .tanh();
         let one_minus_z = z.neg().add_scalar(1.0);
         one_minus_z.mul(h).add(&z.mul(&h_cand))
     }
@@ -140,7 +144,9 @@ mod tests {
         let h0 = init::uniform(&mut rng, vec![2, 3], -0.5, 0.5);
         let params = gru.parameters();
         assert_grads_close(&params, 1e-2, 3e-2, move |g| {
-            gru.step(g, &g.constant(x.clone()), &g.constant(h0.clone())).square().sum_all()
+            gru.step(g, &g.constant(x.clone()), &g.constant(h0.clone()))
+                .square()
+                .sum_all()
         });
     }
 }

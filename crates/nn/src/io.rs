@@ -106,7 +106,10 @@ mod tests {
         let dir = std::env::temp_dir().join("msgc_io_test_rt");
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("ckpt.bin");
-        let a = Parameter::shared("layer.weight", Tensor::arange(6).reshape(vec![2, 3]).unwrap());
+        let a = Parameter::shared(
+            "layer.weight",
+            Tensor::arange(6).reshape(vec![2, 3]).unwrap(),
+        );
         let b = Parameter::shared("layer.bias", Tensor::from_vec(vec![-1.5, 2.5], vec![2]));
         save_parameters(&path, &[a.clone(), b.clone()]).unwrap();
 

@@ -57,6 +57,9 @@ pub trait Module {
 
     /// Total number of scalar parameters.
     fn num_parameters(&self) -> usize {
-        self.parameters().iter().map(|p| p.borrow().value.numel()).sum()
+        self.parameters()
+            .iter()
+            .map(|p| p.borrow().value.numel())
+            .sum()
     }
 }

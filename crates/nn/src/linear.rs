@@ -19,8 +19,8 @@ impl Linear {
             format!("{name}.weight"),
             init::xavier_uniform(rng, vec![in_dim, out_dim]),
         );
-        let bias = bias
-            .then(|| Parameter::shared(format!("{name}.bias"), Tensor::zeros(vec![out_dim])));
+        let bias =
+            bias.then(|| Parameter::shared(format!("{name}.bias"), Tensor::zeros(vec![out_dim])));
         Linear { weight, bias }
     }
 
@@ -94,10 +94,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let l = Linear::new(&mut rng, "l", 3, 2, true);
         let g = Graph::new();
-        let y = l.forward(&g, &g.constant(Tensor::ones(vec![2, 3]))).sum_all();
+        let y = l
+            .forward(&g, &g.constant(Tensor::ones(vec![2, 3])))
+            .sum_all();
         y.backward();
         for p in l.parameters() {
-            assert!(p.borrow().grad.norm() > 0.0, "no grad for {}", p.borrow().name);
+            assert!(
+                p.borrow().grad.norm() > 0.0,
+                "no grad for {}",
+                p.borrow().name
+            );
         }
     }
 }

@@ -51,7 +51,10 @@ mod tests {
     fn output_is_standardized() {
         let ln = LayerNorm::new("ln", 4);
         let g = Graph::new();
-        let x = g.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0], vec![2, 4]));
+        let x = g.constant(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0],
+            vec![2, 4],
+        ));
         let y = ln.forward(&g, &x).value();
         for row in y.data().chunks_exact(4) {
             let mean: f32 = row.iter().sum::<f32>() / 4.0;
@@ -85,7 +88,9 @@ mod tests {
         let params = ln.parameters();
         let w = Tensor::arange(6).reshape(vec![2, 3]).unwrap();
         assert_grads_close(&params, 1e-3, 2e-2, move |g| {
-            ln.forward(g, &g.constant(x.clone())).mul_const(&w).sum_all()
+            ln.forward(g, &g.constant(x.clone()))
+                .mul_const(&w)
+                .sum_all()
         });
     }
 }

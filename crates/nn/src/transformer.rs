@@ -22,7 +22,14 @@ impl TransformerLayer {
     pub fn new(rng: &mut StdRng, name: &str, dim: usize, heads: usize, dropout: f32) -> Self {
         TransformerLayer {
             mha: MultiHeadSelfAttention::new(rng, &format!("{name}.mha"), dim, heads, dropout),
-            ffn: FeedForward::new(rng, &format!("{name}.ffn"), dim, dim, Activation::Relu, dropout),
+            ffn: FeedForward::new(
+                rng,
+                &format!("{name}.ffn"),
+                dim,
+                dim,
+                Activation::Relu,
+                dropout,
+            ),
             ln1: LayerNorm::new(&format!("{name}.ln1"), dim),
             ln2: LayerNorm::new(&format!("{name}.ln2"), dim),
             dropout: Dropout::new(dropout),
@@ -146,7 +153,14 @@ mod tests {
         let mut timeline = Tensor::ones(vec![1, 3, 1]);
         timeline.data_mut()[0] = 0.0; // first position is padding
         let y = enc
-            .forward(&g, &x, Some(&causal_mask(3)), Some(&timeline), &mut rng, false)
+            .forward(
+                &g,
+                &x,
+                Some(&causal_mask(3)),
+                Some(&timeline),
+                &mut rng,
+                false,
+            )
             .value();
         for j in 0..4 {
             assert_eq!(y.at(&[0, 0, j]), 0.0);
@@ -176,8 +190,12 @@ mod tests {
         let e2 = TransformerEncoder::new(&mut rng2, "e", 1, 4, 2, 0.0);
         let g = Graph::new();
         let x = Tensor::ones(vec![1, 2, 4]);
-        let y1 = e1.forward(&g, &g.constant(x.clone()), None, None, &mut rng1, false).value();
-        let y2 = e2.forward(&g, &g.constant(x), None, None, &mut rng2, false).value();
+        let y1 = e1
+            .forward(&g, &g.constant(x.clone()), None, None, &mut rng1, false)
+            .value();
+        let y2 = e2
+            .forward(&g, &g.constant(x), None, None, &mut rng2, false)
+            .value();
         assert_eq!(y1.data(), y2.data());
     }
 }

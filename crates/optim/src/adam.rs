@@ -44,7 +44,17 @@ impl Adam {
             .iter()
             .map(|p| Tensor::zeros(p.borrow().value.dims().to_vec()))
             .collect();
-        Adam { params, lr, beta1, beta2, eps, weight_decay, t: 0, m, v }
+        Adam {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m,
+            v,
+        }
     }
 
     /// Number of steps taken so far.
@@ -58,20 +68,32 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in self
+            .params
+            .iter()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             let mut pb = p.borrow_mut();
             let grad = pb.grad.clone();
             // m ← β₁·m + (1−β₁)·g ; v ← β₂·v + (1−β₂)·g²
-            for ((mi, vi), gi) in
-                m.data_mut().iter_mut().zip(v.data_mut().iter_mut()).zip(grad.data().iter())
+            for ((mi, vi), gi) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(grad.data().iter())
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
             }
             let lr = self.lr;
             let (wd, eps) = (self.weight_decay, self.eps);
-            for ((t, mi), vi) in
-                pb.value.data_mut().iter_mut().zip(m.data().iter()).zip(v.data().iter())
+            for ((t, mi), vi) in pb
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(m.data().iter())
+                .zip(v.data().iter())
             {
                 let mhat = mi / bc1;
                 let vhat = vi / bc2;

@@ -19,7 +19,7 @@ pub use adam::Adam;
 pub use schedule::{KlAnnealing, LrSchedule};
 pub use sgd::Sgd;
 
-use autograd::ParamRef;
+use autograd::{GradientSet, ParamRef};
 
 /// A first-order optimizer over a fixed parameter list.
 pub trait Optimizer {
@@ -36,6 +36,30 @@ pub trait Optimizer {
 
     /// Current learning rate.
     fn lr(&self) -> f32;
+}
+
+/// Applies one optimizer update from a merged [`GradientSet`].
+///
+/// This is the single update path of the data-parallel executor: the caller
+/// merges per-shard gradient sets (mean-reduced, weights summing to one, see
+/// `GradientSet::merge_scaled`), and this function deposits them into the
+/// shared parameter gradients, clips by global norm when `max_norm > 0`, and
+/// steps. Because the merged set is a *mean* over the batch, the update is
+/// agnostic to how many shards (or threads) produced it. Gradients are zeroed
+/// before depositing and after stepping, so stale accumulation can't leak in.
+pub fn apply_step<O: Optimizer + ?Sized>(
+    opt: &mut O,
+    params: &[ParamRef],
+    grads: &GradientSet,
+    max_norm: f32,
+) {
+    opt.zero_grad();
+    grads.apply();
+    if max_norm > 0.0 {
+        clip_grad_norm(params, max_norm);
+    }
+    opt.step();
+    opt.zero_grad();
 }
 
 /// Rescales gradients so their global L2 norm is at most `max_norm`.
@@ -66,7 +90,7 @@ mod tests {
     fn clip_reduces_large_norm() {
         let p = Parameter::shared("p", Tensor::zeros(vec![2]));
         p.borrow_mut().grad = Tensor::from_vec(vec![3.0, 4.0], vec![2]);
-        let before = clip_grad_norm(&[p.clone()], 1.0);
+        let before = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!((before - 5.0).abs() < 1e-6);
         assert!((p.borrow().grad.norm() - 1.0).abs() < 1e-5);
     }
@@ -75,7 +99,7 @@ mod tests {
     fn clip_noop_when_small() {
         let p = Parameter::shared("p", Tensor::zeros(vec![2]));
         p.borrow_mut().grad = Tensor::from_vec(vec![0.3, 0.4], vec![2]);
-        clip_grad_norm(&[p.clone()], 1.0);
+        clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert_eq!(p.borrow().grad.data(), &[0.3, 0.4]);
     }
 }

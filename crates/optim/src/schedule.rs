@@ -58,12 +58,18 @@ pub struct KlAnnealing {
 impl KlAnnealing {
     /// Creates a schedule ramping to `beta_max` over `warmup_steps`.
     pub fn new(beta_max: f32, warmup_steps: u64) -> Self {
-        KlAnnealing { beta_max, warmup_steps }
+        KlAnnealing {
+            beta_max,
+            warmup_steps,
+        }
     }
 
     /// A constant β (annealing disabled).
     pub fn constant(beta: f32) -> Self {
-        KlAnnealing { beta_max: beta, warmup_steps: 0 }
+        KlAnnealing {
+            beta_max: beta,
+            warmup_steps: 0,
+        }
     }
 
     /// β at `step`.
@@ -94,7 +100,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_then_holds() {
-        let s = LrSchedule::LinearWarmup { lr: 1.0, warmup: 10 };
+        let s = LrSchedule::LinearWarmup {
+            lr: 1.0,
+            warmup: 10,
+        };
         assert!((s.at(0) - 0.1).abs() < 1e-6);
         assert!((s.at(4) - 0.5).abs() < 1e-6);
         assert_eq!(s.at(10), 1.0);
@@ -103,7 +112,11 @@ mod tests {
 
     #[test]
     fn step_decay_halves() {
-        let s = LrSchedule::StepDecay { lr: 1.0, every: 10, gamma: 0.5 };
+        let s = LrSchedule::StepDecay {
+            lr: 1.0,
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.at(0), 1.0);
         assert_eq!(s.at(9), 1.0);
         assert_eq!(s.at(10), 0.5);

@@ -21,7 +21,12 @@ impl Sgd {
             .iter()
             .map(|p| Tensor::zeros(p.borrow().value.dims().to_vec()))
             .collect();
-        Sgd { params, lr, momentum, velocity }
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
     }
 }
 

@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use tensor::{init, ops, Tensor};
 
 /// Least squares: find W minimizing ‖X·W − Y‖² for a known W*.
-fn least_squares(opt_name: &str, mut step_fn: impl FnMut(&[autograd::ParamRef]) -> ()) {
+fn least_squares(opt_name: &str, mut step_fn: impl FnMut(&[autograd::ParamRef])) {
     let mut rng = StdRng::seed_from_u64(7);
     let x = init::randn(&mut rng, vec![32, 4], 0.0, 1.0);
     let w_true = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.0, 2.0, 1.5], vec![4, 2]);
@@ -20,7 +20,7 @@ fn least_squares(opt_name: &str, mut step_fn: impl FnMut(&[autograd::ParamRef]) 
         let pred = g.constant(x.clone()).matmul(&g.param(&w));
         let loss = pred.sub(&g.constant(y.clone())).square().mean_all();
         loss.backward();
-        step_fn(&[w.clone()]);
+        step_fn(std::slice::from_ref(&w));
     }
     let mut diff = w.borrow().value.clone();
     diff.axpy(-1.0, &w_true);
@@ -59,7 +59,7 @@ fn gradient_clipping_stabilizes_explosive_start() {
     // update bounded per step.
     let p = Parameter::shared("p", Tensor::from_vec(vec![0.0], vec![1]));
     p.borrow_mut().grad = Tensor::from_vec(vec![1e6], vec![1]);
-    let before = clip_grad_norm(&[p.clone()], 1.0);
+    let before = clip_grad_norm(std::slice::from_ref(&p), 1.0);
     assert!(before > 1e5);
     let mut opt = Sgd::new(vec![p.clone()], 1.0, 0.0);
     opt.step();
@@ -81,7 +81,10 @@ fn lr_schedule_drives_optimizer() {
     }
     // Increments grow during warmup then stay constant at lr=1.
     let inc: Vec<f32> = positions.windows(2).map(|w| w[1] - w[0]).collect();
-    assert!(inc[0] < inc[1] && inc[1] < inc[2], "warmup increments must grow: {inc:?}");
+    assert!(
+        inc[0] < inc[1] && inc[1] < inc[2],
+        "warmup increments must grow: {inc:?}"
+    );
     assert!((inc[4] - 1.0).abs() < 1e-6);
 }
 

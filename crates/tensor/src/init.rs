@@ -67,7 +67,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = randn(&mut rng, vec![20_000], 1.0, 2.0);
         let mean = t.mean_all();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / (t.numel() - 1) as f32;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
@@ -95,6 +99,9 @@ mod tests {
     fn deterministic_per_seed() {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
-        assert_eq!(randn(&mut a, vec![8], 0.0, 1.0), randn(&mut b, vec![8], 0.0, 1.0));
+        assert_eq!(
+            randn(&mut a, vec![8], 0.0, 1.0),
+            randn(&mut b, vec![8], 0.0, 1.0)
+        );
     }
 }

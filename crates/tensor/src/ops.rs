@@ -14,40 +14,103 @@ use crate::{Result, Tensor, TensorError};
 // Elementwise binary ops with broadcasting
 // ---------------------------------------------------------------------------
 
+/// Minimum number of output elements before an elementwise / row-wise kernel
+/// fans out over rayon. Below this, thread-spawn overhead dominates the
+/// arithmetic. Each output element is computed independently of the
+/// partitioning, so the parallel path is bitwise identical to the serial one.
+const PAR_MIN_ELEMS: usize = 32_768;
+
+/// Block size (elements) for parallel elementwise kernels.
+const PAR_BLOCK: usize = 8_192;
+
 fn binary_broadcast(
     op: &'static str,
     a: &Tensor,
     b: &Tensor,
-    f: impl Fn(f32, f32) -> f32,
+    f: impl Fn(f32, f32) -> f32 + Sync,
 ) -> Result<Tensor> {
     if a.dims() == b.dims() {
         // Fast path: identical shapes.
-        let data = a
-            .data()
-            .iter()
-            .zip(b.data().iter())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
+        let (ad, bd) = (a.data(), b.data());
+        let n = ad.len();
+        let mut data = vec![0.0f32; n];
+        if n >= PAR_MIN_ELEMS {
+            data.par_chunks_mut(PAR_BLOCK)
+                .enumerate()
+                .for_each(|(ci, chunk)| {
+                    let s = ci * PAR_BLOCK;
+                    for (i, o) in chunk.iter_mut().enumerate() {
+                        *o = f(ad[s + i], bd[s + i]);
+                    }
+                });
+        } else {
+            for (i, o) in data.iter_mut().enumerate() {
+                *o = f(ad[i], bd[i]);
+            }
+        }
         return Ok(Tensor::from_vec(data, a.dims().to_vec()));
     }
-    let out_dims = broadcast_shapes(a.dims(), b.dims()).map_err(|_| TensorError::ShapeMismatch {
-        op,
-        lhs: a.dims().to_vec(),
-        rhs: b.dims().to_vec(),
-    })?;
+    let out_dims =
+        broadcast_shapes(a.dims(), b.dims()).map_err(|_| TensorError::ShapeMismatch {
+            op,
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        })?;
     let out_shape = Shape::new(out_dims.clone());
     let sa = broadcast_strides(a.dims(), &out_dims);
     let sb = broadcast_strides(b.dims(), &out_dims);
     let n = out_shape.numel();
+    let mut data = vec![0.0f32; n];
+    if n >= PAR_MIN_ELEMS {
+        data.par_chunks_mut(PAR_BLOCK)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                broadcast_fill(
+                    chunk,
+                    ci * PAR_BLOCK,
+                    a.data(),
+                    b.data(),
+                    &sa,
+                    &sb,
+                    &out_dims,
+                    &f,
+                );
+            });
+    } else {
+        broadcast_fill(&mut data, 0, a.data(), b.data(), &sa, &sb, &out_dims, &f);
+    }
+    Ok(Tensor::from_vec(data, out_dims))
+}
+
+/// Fills `out` with `f(a, b)` for the linear output range starting at
+/// `start`, walking both inputs with an odometer over the broadcast strides.
+/// Seeding the odometer from an arbitrary `start` lets parallel blocks begin
+/// mid-tensor.
+#[allow(clippy::too_many_arguments)]
+fn broadcast_fill(
+    out: &mut [f32],
+    start: usize,
+    ad: &[f32],
+    bd: &[f32],
+    sa: &[usize],
+    sb: &[usize],
+    out_dims: &[usize],
+    f: &(impl Fn(f32, f32) -> f32 + Sync),
+) {
     let ndim = out_dims.len();
-    let mut data = Vec::with_capacity(n);
     let mut idx = vec![0usize; ndim];
     let mut off_a = 0usize;
     let mut off_b = 0usize;
-    let ad = a.data();
-    let bd = b.data();
-    for _ in 0..n {
-        data.push(f(ad[off_a], bd[off_b]));
+    let mut rem = start;
+    for axis in (0..ndim).rev() {
+        let d = rem % out_dims[axis];
+        rem /= out_dims[axis];
+        idx[axis] = d;
+        off_a += d * sa[axis];
+        off_b += d * sb[axis];
+    }
+    for o in out.iter_mut() {
+        *o = f(ad[off_a], bd[off_b]);
         // Odometer increment over the output index space, updating the two
         // input offsets incrementally.
         for axis in (0..ndim).rev() {
@@ -62,7 +125,6 @@ fn binary_broadcast(
             idx[axis] = 0;
         }
     }
-    Ok(Tensor::from_vec(data, out_dims))
 }
 
 /// Elementwise `a + b` with broadcasting.
@@ -164,7 +226,13 @@ pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
         });
     } else {
         for i in 0..m {
-            gemm_row(&a[i * k..(i + 1) * k], b, &mut out[i * n..(i + 1) * n], k, n);
+            gemm_row(
+                &a[i * k..(i + 1) * k],
+                b,
+                &mut out[i * n..(i + 1) * n],
+                k,
+                n,
+            );
         }
     }
 }
@@ -271,7 +339,10 @@ pub fn transpose_last2(t: &Tensor) -> Result<Tensor> {
 pub fn permute(t: &Tensor, perm: &[usize]) -> Result<Tensor> {
     let nd = t.ndim();
     if perm.len() != nd {
-        return Err(TensorError::InvalidAxis { axis: perm.len(), ndim: nd });
+        return Err(TensorError::InvalidAxis {
+            axis: perm.len(),
+            ndim: nd,
+        });
     }
     let mut seen = vec![false; nd];
     for &p in perm {
@@ -313,7 +384,7 @@ fn axis_reduce(
     axis: usize,
     keepdim: bool,
     init: f32,
-    f: impl Fn(f32, f32) -> f32,
+    f: impl Fn(f32, f32) -> f32 + Sync,
 ) -> Result<Tensor> {
     let nd = t.ndim();
     if axis >= nd {
@@ -325,13 +396,23 @@ fn axis_reduce(
     let inner: usize = dims[axis + 1..].iter().product();
     let mut out = vec![init; outer * inner];
     let src = t.data();
-    for o in 0..outer {
+    // Each outer slice reduces in the same fixed `r` order regardless of
+    // partitioning, so serial and parallel results are bitwise identical.
+    let reduce_outer = |o: usize, out_chunk: &mut [f32]| {
         for r in 0..red {
             let base = (o * red + r) * inner;
-            let obase = o * inner;
-            for i in 0..inner {
-                out[obase + i] = f(out[obase + i], src[base + i]);
+            for (i, v) in out_chunk.iter_mut().enumerate() {
+                *v = f(*v, src[base + i]);
             }
+        }
+    };
+    if outer >= 2 && inner > 0 && outer * red * inner >= PAR_MIN_ELEMS {
+        out.par_chunks_mut(inner)
+            .enumerate()
+            .for_each(|(o, chunk)| reduce_outer(o, chunk));
+    } else {
+        for o in 0..outer {
+            reduce_outer(o, &mut out[o * inner..(o + 1) * inner]);
         }
     }
     let mut out_dims: Vec<usize> = dims.to_vec();
@@ -382,11 +463,25 @@ pub fn argmax_last(t: &Tensor) -> Vec<usize> {
 // Softmax family (last axis)
 // ---------------------------------------------------------------------------
 
+/// Applies `row_fn` to every `last`-sized row of `out`, in parallel when the
+/// tensor is large enough. Rows never straddle a chunk boundary, so the
+/// result is independent of the partitioning.
+fn for_each_row(out: &mut Tensor, last: usize, row_fn: impl Fn(&mut [f32]) + Sync) {
+    let n = out.numel();
+    if last > 0 && n >= PAR_MIN_ELEMS && n / last >= 2 {
+        out.data_mut().par_chunks_mut(last).for_each(row_fn);
+    } else {
+        for row in out.data_mut().chunks_exact_mut(last) {
+            row_fn(row);
+        }
+    }
+}
+
 /// Numerically stable softmax along the last axis.
 pub fn softmax_last(t: &Tensor) -> Tensor {
     let last = t.dim(t.ndim() - 1);
     let mut out = t.clone();
-    for row in out.data_mut().chunks_exact_mut(last) {
+    for_each_row(&mut out, last, |row| {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
         for x in row.iter_mut() {
@@ -397,7 +492,7 @@ pub fn softmax_last(t: &Tensor) -> Tensor {
         for x in row.iter_mut() {
             *x *= inv;
         }
-    }
+    });
     out
 }
 
@@ -405,13 +500,13 @@ pub fn softmax_last(t: &Tensor) -> Tensor {
 pub fn log_softmax_last(t: &Tensor) -> Tensor {
     let last = t.dim(t.ndim() - 1);
     let mut out = t.clone();
-    for row in out.data_mut().chunks_exact_mut(last) {
+    for_each_row(&mut out, last, |row| {
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
         for x in row.iter_mut() {
             *x -= lse;
         }
-    }
+    });
     out
 }
 
@@ -469,7 +564,10 @@ pub fn slice_axis(t: &Tensor, axis: usize, start: usize, end: usize) -> Result<T
         return Err(TensorError::InvalidAxis { axis, ndim: nd });
     }
     if end > t.dim(axis) || start > end {
-        return Err(TensorError::IndexOutOfRange { index: end, bound: t.dim(axis) });
+        return Err(TensorError::IndexOutOfRange {
+            index: end,
+            bound: t.dim(axis),
+        });
     }
     let dims = t.dims();
     let outer: usize = dims[..axis].iter().product();
@@ -494,7 +592,10 @@ pub fn index_select_rows(t: &Tensor, indices: &[usize]) -> Result<Tensor> {
     let mut data = Vec::with_capacity(indices.len() * cols);
     for &ix in indices {
         if ix >= rows {
-            return Err(TensorError::IndexOutOfRange { index: ix, bound: rows });
+            return Err(TensorError::IndexOutOfRange {
+                index: ix,
+                bound: rows,
+            });
         }
         data.extend_from_slice(t.row(ix));
     }
@@ -699,6 +800,44 @@ mod tests {
         assert_eq!(s.at(&[0, 0, 0]), a.at(&[0, 1, 0]));
         assert_eq!(s.at(&[1, 1, 3]), a.at(&[1, 2, 3]));
         assert!(slice_axis(&a, 1, 2, 4).is_err());
+    }
+
+    #[test]
+    fn parallel_paths_match_serial_reference() {
+        // 64·600 = 38_400 elements crosses PAR_MIN_ELEMS, so these calls
+        // take the rayon paths; spot-check them against scalar arithmetic.
+        let (r, c) = (64usize, 600usize);
+        let a = t(
+            (0..r * c).map(|i| (i % 17) as f32 - 8.0).collect(),
+            vec![r, c],
+        );
+        let row = t((0..c).map(|j| (j % 5) as f32).collect(), vec![c]);
+
+        // Same-shape fast path.
+        let sq = mul(&a, &a).unwrap();
+        for (x, y) in a.data().iter().zip(sq.data().iter()) {
+            assert_eq!(x * x, *y);
+        }
+
+        // Broadcast odometer path (blocks start mid-tensor).
+        let s = add(&a, &row).unwrap();
+        for i in (0..r).step_by(7) {
+            for j in (0..c).step_by(13) {
+                assert_eq!(s.at(&[i, j]), a.at(&[i, j]) + row.at(&[j]));
+            }
+        }
+
+        // Row-parallel softmax.
+        let sm = softmax_last(&a);
+        for srow in sm.data().chunks_exact(c) {
+            assert!((srow.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+
+        // Outer-parallel axis reduction (axis 1: outer = 64 rows).
+        let sums = sum_axis(&a, 1, false).unwrap();
+        for (i, arow) in a.data().chunks_exact(c).enumerate() {
+            assert_eq!(sums.data()[i], arow.iter().fold(0.0f32, |acc, &x| acc + x));
+        }
     }
 
     #[test]

@@ -84,8 +84,16 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Result<Vec<usize>> {
     let ndim = a.len().max(b.len());
     let mut out = vec![0usize; ndim];
     for i in 0..ndim {
-        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
-        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        let da = if i < ndim - a.len() {
+            1
+        } else {
+            a[i - (ndim - a.len())]
+        };
+        let db = if i < ndim - b.len() {
+            1
+        } else {
+            b[i - (ndim - b.len())]
+        };
         out[i] = if da == db {
             da
         } else if da == 1 {
@@ -110,7 +118,11 @@ pub(crate) fn broadcast_strides(from: &[usize], to: &[usize]) -> Vec<usize> {
     let offset = to.len() - from.len();
     let mut out = vec![0usize; to.len()];
     for i in 0..from.len() {
-        out[offset + i] = if from[i] == 1 && to[offset + i] != 1 { 0 } else { base[i] };
+        out[offset + i] = if from[i] == 1 && to[offset + i] != 1 {
+            0
+        } else {
+            base[i]
+        };
     }
     out
 }
@@ -123,7 +135,10 @@ mod tests {
     fn strides_row_major() {
         assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
         assert_eq!(Shape::new(vec![5]).strides(), vec![1]);
-        assert_eq!(Shape::new(Vec::<usize>::new()).strides(), Vec::<usize>::new());
+        assert_eq!(
+            Shape::new(Vec::<usize>::new()).strides(),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]

@@ -31,13 +31,19 @@ impl Tensor {
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { data: vec![value], shape: Shape::new(Vec::new()) }
+        Tensor {
+            data: vec![value],
+            shape: Shape::new(Vec::new()),
+        }
     }
 
     /// All-zeros tensor of the given shape.
     pub fn zeros(dims: impl Into<Vec<usize>>) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![0.0; shape.numel()], shape }
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// All-ones tensor of the given shape.
@@ -48,7 +54,10 @@ impl Tensor {
     /// Tensor of the given shape filled with `value`.
     pub fn full(dims: impl Into<Vec<usize>>, value: f32) -> Self {
         let shape = Shape::new(dims);
-        Tensor { data: vec![value; shape.numel()], shape }
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// `[0, 1, 2, ..., n-1]` as a rank-1 tensor.
@@ -100,7 +109,12 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.data.len()
+        );
         self.data[0]
     }
 
@@ -131,7 +145,10 @@ impl Tensor {
                 rhs: shape.dims().to_vec(),
             });
         }
-        Ok(Tensor { data: self.data.clone(), shape })
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
     }
 
     /// Applies `f` to every element, producing a new tensor.

@@ -4,8 +4,10 @@ use proptest::prelude::*;
 use tensor::{ops, Tensor};
 
 fn vec_tensor(max_len: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-100.0f32..100.0, 1..max_len)
-        .prop_map(|v| { let n = v.len(); Tensor::from_vec(v, vec![n]) })
+    prop::collection::vec(-100.0f32..100.0, 1..max_len).prop_map(|v| {
+        let n = v.len();
+        Tensor::from_vec(v, vec![n])
+    })
 }
 
 fn matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {

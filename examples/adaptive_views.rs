@@ -34,7 +34,10 @@ fn main() {
     println!("training Meta-SGCL for a few epochs…");
     model.fit(
         &split.train_sequences(),
-        &TrainConfig { epochs: 8, ..Default::default() },
+        &TrainConfig {
+            epochs: 8,
+            ..Default::default()
+        },
     );
 
     let mut rng = StdRng::seed_from_u64(7);
@@ -51,8 +54,7 @@ fn main() {
         let masked = item_mask(seq, 0.3, data.num_items, &mut rng);
         let reordered = item_reorder(seq, 0.5, &mut rng);
         // The mask token is out of vocabulary for Meta-SGCL; clamp it back.
-        let masked: Vec<usize> =
-            masked.into_iter().map(|x| x.min(data.num_items)).collect();
+        let masked: Vec<usize> = masked.into_iter().map(|x| x.min(data.num_items)).collect();
 
         let cos_crop = cosine(&original, &model.score_sequence(&cropped));
         let cos_mask = cosine(&original, &model.score_sequence(&masked));

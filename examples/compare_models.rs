@@ -25,7 +25,10 @@ fn main() {
     let train = split.train_sequences();
 
     let net = NetConfig::for_items(data.num_items);
-    let tc = TrainConfig { epochs: 12, ..Default::default() };
+    let tc = TrainConfig {
+        epochs: 12,
+        ..Default::default()
+    };
 
     let mut models: Vec<Box<dyn SequentialRecommender>> = vec![
         Box::new(Pop::new(data.num_items)),

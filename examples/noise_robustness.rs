@@ -17,7 +17,10 @@ fn main() {
     let data = synth::generate(&synth::SynthConfig::toys_like(42));
     let split = LeaveOneOut::split(&data);
     let clean = split.train_sequences();
-    let tc = TrainConfig { epochs: 10, ..Default::default() };
+    let tc = TrainConfig {
+        epochs: 10,
+        ..Default::default()
+    };
 
     println!("noise  SASRec-NDCG@10  Meta-SGCL-NDCG@10");
     for ratio in [0.0f64, 0.2, 0.4] {

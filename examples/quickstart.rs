@@ -22,7 +22,11 @@ fn main() {
 
     // 3. Meta-SGCL with paper-shaped hyper-parameters at reproduction scale.
     let cfg = MetaSgclConfig {
-        net: NetConfig { max_len: 20, dim: 32, ..NetConfig::for_items(data.num_items) },
+        net: NetConfig {
+            max_len: 20,
+            dim: 32,
+            ..NetConfig::for_items(data.num_items)
+        },
         alpha: 0.05,
         beta: 0.2,
         ..MetaSgclConfig::for_items(data.num_items)
@@ -30,7 +34,12 @@ fn main() {
     let mut model = MetaSgcl::new(cfg);
 
     // 4. Train with the meta-optimized two-step strategy.
-    let tc = TrainConfig { epochs: 15, batch_size: 64, verbose: true, ..Default::default() };
+    let tc = TrainConfig {
+        epochs: 15,
+        batch_size: 64,
+        verbose: true,
+        ..Default::default()
+    };
     let t0 = std::time::Instant::now();
     model.fit(&split.train_sequences(), &tc);
     println!("trained in {:.1?}", t0.elapsed());

@@ -46,7 +46,13 @@ fn main() {
         net: NetConfig::for_items(data.num_items),
         ..MetaSgclConfig::for_items(data.num_items)
     });
-    model.fit(&split.train_sequences(), &TrainConfig { epochs: 10, ..Default::default() });
+    model.fit(
+        &split.train_sequences(),
+        &TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
 
     // 4. Checkpoint round trip.
     let ckpt = std::env::temp_dir().join("msgc_demo_model.msgc");
@@ -56,7 +62,10 @@ fn main() {
         ..MetaSgclConfig::for_items(data.num_items)
     });
     served.load(&ckpt).expect("load checkpoint");
-    println!("checkpoint round trip OK ({} bytes)", std::fs::metadata(&ckpt).unwrap().len());
+    println!(
+        "checkpoint round trip OK ({} bytes)",
+        std::fs::metadata(&ckpt).unwrap().len()
+    );
 
     // 5. Evaluate and serve.
     let report = evaluate_test(&mut served, &split, &[5, 10]);

@@ -18,8 +18,7 @@ use std::process::ExitCode;
 
 use meta_sgcl_repro::meta_sgcl::{MetaSgcl, MetaSgclConfig};
 use meta_sgcl_repro::models::{
-    evaluate_test, evaluate_valid, recommend_top_k, NetConfig, SequentialRecommender,
-    TrainConfig,
+    evaluate_test, evaluate_valid, recommend_top_k, NetConfig, SequentialRecommender, TrainConfig,
 };
 use meta_sgcl_repro::recdata::io::{load_interactions_csv, CsvOptions};
 use meta_sgcl_repro::recdata::{synth, Dataset, LeaveOneOut};
@@ -29,7 +28,7 @@ fn usage() -> ExitCode {
         "usage:\n  msgc generate --preset <clothing|toys|ml1m> [--seed N] --out FILE\n  \
          msgc stats --data SPEC\n  \
          msgc train --data SPEC [--epochs N] [--dim N] [--max-len N] [--alpha F] [--beta F] \
-         [--joint] --out MODEL\n  \
+         [--joint] [--threads N] [--shard-size N] --out MODEL\n  \
          msgc evaluate --data SPEC --model MODEL [--dim N] [--max-len N]\n  \
          msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n\n\
          SPEC = path to user,item,rating,timestamp CSV, or synth:<preset>:<seed>"
@@ -37,30 +36,55 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["joint"];
+
+/// Flags that require a value.
+const VALUE_FLAGS: &[&str] = &[
+    "preset",
+    "seed",
+    "out",
+    "data",
+    "epochs",
+    "dim",
+    "max-len",
+    "alpha",
+    "beta",
+    "model",
+    "user",
+    "k",
+    "threads",
+    "shard-size",
+];
+
+#[derive(Debug)]
 struct Args {
     flags: HashMap<String, String>,
 }
 
 impl Args {
-    fn parse(argv: &[String]) -> Option<Args> {
+    fn parse(argv: &[String]) -> Result<Args, String> {
         let mut flags = HashMap::new();
         let mut i = 0;
         while i < argv.len() {
             let a = &argv[i];
-            if let Some(name) = a.strip_prefix("--") {
-                if name == "joint" {
-                    flags.insert(name.to_string(), "true".to_string());
-                    i += 1;
-                } else {
-                    let value = argv.get(i + 1)?;
-                    flags.insert(name.to_string(), value.clone());
-                    i += 2;
-                }
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}' (flags start with --)"));
+            };
+            if BOOL_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else if VALUE_FLAGS.contains(&name) {
+                let Some(value) = argv.get(i + 1) else {
+                    return Err(format!("missing value for --{name}"));
+                };
+                flags.insert(name.to_string(), value.clone());
+                i += 2;
             } else {
-                return None;
+                return Err(format!("unknown flag --{name}"));
             }
         }
-        Some(Args { flags })
+        Ok(Args { flags })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -70,7 +94,9 @@ impl Args {
     fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
         }
     }
 }
@@ -103,7 +129,12 @@ fn build_model(data: &Dataset, args: &Args) -> Result<MetaSgcl, String> {
     let beta: f32 = args.get_or("beta", 0.2)?;
     let seed: u64 = args.get_or("seed", 42)?;
     let mut cfg = MetaSgclConfig {
-        net: NetConfig { dim, max_len, seed, ..NetConfig::for_items(data.num_items) },
+        net: NetConfig {
+            dim,
+            max_len,
+            seed,
+            ..NetConfig::for_items(data.num_items)
+        },
         alpha,
         beta,
         ..MetaSgclConfig::for_items(data.num_items)
@@ -141,17 +172,29 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let data = load_data(args.get("data").ok_or("--data required")?)?;
     let out = args.get("out").ok_or("--out required")?;
     let epochs: usize = args.get_or("epochs", 20)?;
+    let threads: usize = args.get_or("threads", 1)?;
+    let shard_size: usize = args.get_or("shard-size", TrainConfig::default().shard_size)?;
+    if threads == 0 || shard_size == 0 {
+        return Err("--threads and --shard-size must be at least 1".into());
+    }
     let split = LeaveOneOut::split(&data);
     let mut model = build_model(&data, args)?;
     let tc = TrainConfig {
         epochs,
         max_len: model.config().net.max_len,
         verbose: true,
+        threads,
+        shard_size,
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
     model.fit(&split.train_sequences(), &tc);
-    println!("trained {} epochs in {:.1?}", epochs, t0.elapsed());
+    println!(
+        "trained {} epochs in {:.1?} on {} thread(s)",
+        epochs,
+        t0.elapsed(),
+        threads
+    );
     let valid = evaluate_valid(&mut model, &split, &[5, 10]);
     println!("validation: {valid}");
     model.save(out).map_err(|e| e.to_string())?;
@@ -163,7 +206,9 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     let data = load_data(args.get("data").ok_or("--data required")?)?;
     let split = LeaveOneOut::split(&data);
     let mut model = build_model(&data, args)?;
-    model.load(args.get("model").ok_or("--model required")?).map_err(|e| e.to_string())?;
+    model
+        .load(args.get("model").ok_or("--model required")?)
+        .map_err(|e| e.to_string())?;
     let report = evaluate_test(&mut model, &split, &[5, 10]);
     println!("test: {report}");
     Ok(())
@@ -175,14 +220,20 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
     let user: usize = args.get_or("user", 0)?;
     let k: usize = args.get_or("k", 10)?;
     if user >= split.num_users() {
-        return Err(format!("user {user} out of range ({} users)", split.num_users()));
+        return Err(format!(
+            "user {user} out of range ({} users)",
+            split.num_users()
+        ));
     }
     let mut model = build_model(&data, args)?;
-    model.load(args.get("model").ok_or("--model required")?).map_err(|e| e.to_string())?;
+    model
+        .load(args.get("model").ok_or("--model required")?)
+        .map_err(|e| e.to_string())?;
     let history = split.users[user].test_input();
     println!("user {user} history (most recent last): {history:?}");
-    for (rank, (item, score)) in
-        recommend_top_k(&mut model, user, &history, k, true).iter().enumerate()
+    for (rank, (item, score)) in recommend_top_k(&mut model, user, &history, k, true)
+        .iter()
+        .enumerate()
     {
         println!("  {}. item {item} (score {score:.4})", rank + 1);
     }
@@ -191,8 +242,16 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = argv.first() else { return usage() };
-    let Some(args) = Args::parse(&argv[1..]) else { return usage() };
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&args),
         "stats" => cmd_stats(&args),
@@ -207,5 +266,50 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_known_flags() {
+        let args = Args::parse(&argv(&["--data", "d.csv", "--threads", "4", "--joint"])).unwrap();
+        assert_eq!(args.get("data"), Some("d.csv"));
+        assert_eq!(args.get_or::<usize>("threads", 1).unwrap(), 4);
+        assert_eq!(args.get("joint"), Some("true"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flag_by_name() {
+        let err = Args::parse(&argv(&["--data", "d.csv", "--bogus", "1"])).unwrap_err();
+        assert!(err.contains("--bogus"), "error must name the flag: {err}");
+    }
+
+    #[test]
+    fn parse_rejects_bare_value_flag_at_end() {
+        let err = Args::parse(&argv(&["--epochs"])).unwrap_err();
+        assert!(
+            err.contains("missing value") && err.contains("--epochs"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_positional_argument() {
+        let err = Args::parse(&argv(&["stray"])).unwrap_err();
+        assert!(err.contains("stray"), "{err}");
+    }
+
+    #[test]
+    fn get_or_reports_bad_values() {
+        let args = Args::parse(&argv(&["--epochs", "many"])).unwrap();
+        let err = args.get_or::<usize>("epochs", 1).unwrap_err();
+        assert!(err.contains("--epochs") && err.contains("many"), "{err}");
     }
 }

@@ -3,8 +3,8 @@
 
 use meta_sgcl_repro::meta_sgcl::{MetaSgcl, MetaSgclConfig};
 use meta_sgcl_repro::models::{
-    evaluate_test, evaluate_valid, Bert4Rec, BprMf, Caser, DuoRec, Gru4Rec, NetConfig, Pop,
-    SasRec, SequentialRecommender, TrainConfig, Vsan,
+    evaluate_test, evaluate_valid, Bert4Rec, BprMf, Caser, DuoRec, Gru4Rec, NetConfig, Pop, SasRec,
+    SequentialRecommender, TrainConfig, Vsan,
 };
 use meta_sgcl_repro::recdata::{synth, Dataset, LeaveOneOut};
 
@@ -27,11 +27,21 @@ fn tiny_workload() -> (Dataset, LeaveOneOut) {
 }
 
 fn tiny_net(num_items: usize) -> NetConfig {
-    NetConfig { max_len: 12, dim: 16, layers: 1, ..NetConfig::for_items(num_items) }
+    NetConfig {
+        max_len: 12,
+        dim: 16,
+        layers: 1,
+        ..NetConfig::for_items(num_items)
+    }
 }
 
 fn tiny_cfg() -> TrainConfig {
-    TrainConfig { epochs: 16, batch_size: 32, max_len: 12, ..Default::default() }
+    TrainConfig {
+        epochs: 16,
+        batch_size: 32,
+        max_len: 12,
+        ..Default::default()
+    }
 }
 
 /// HR@10 of a uniformly random ranker is ~ 10 / num_items.
@@ -80,7 +90,13 @@ fn pop_and_bpr_learn_something_but_less_than_sasrec() {
     let r_pop = evaluate_test(&mut pop, &split, &[10]);
 
     let mut bpr = BprMf::new(data.num_items, 16);
-    bpr.fit(&train, &TrainConfig { epochs: 20, ..tiny_cfg() });
+    bpr.fit(
+        &train,
+        &TrainConfig {
+            epochs: 20,
+            ..tiny_cfg()
+        },
+    );
     let r_bpr = evaluate_test(&mut bpr, &split, &[10]);
 
     let mut sas = SasRec::new(tiny_net(data.num_items));
@@ -89,8 +105,16 @@ fn pop_and_bpr_learn_something_but_less_than_sasrec() {
 
     // Traditional methods beat pure chance…
     let chance = random_hr10(data.num_items);
-    assert!(r_pop.hr(10) > chance, "Pop {:.4} vs chance {chance:.4}", r_pop.hr(10));
-    assert!(r_bpr.hr(10) > chance, "BPR {:.4} vs chance {chance:.4}", r_bpr.hr(10));
+    assert!(
+        r_pop.hr(10) > chance,
+        "Pop {:.4} vs chance {chance:.4}",
+        r_pop.hr(10)
+    );
+    assert!(
+        r_bpr.hr(10) > chance,
+        "BPR {:.4} vs chance {chance:.4}",
+        r_bpr.hr(10)
+    );
     // …but the sequential model dominates on sequential data (Table II).
     assert!(
         r_sas.ndcg(10) > r_pop.ndcg(10),
@@ -112,7 +136,13 @@ fn training_is_deterministic_per_seed() {
     let train = split.train_sequences();
     let run = || {
         let mut m = SasRec::new(tiny_net(data.num_items));
-        m.fit(&train, &TrainConfig { epochs: 3, ..tiny_cfg() });
+        m.fit(
+            &train,
+            &TrainConfig {
+                epochs: 3,
+                ..tiny_cfg()
+            },
+        );
         let r = evaluate_test(&mut m, &split, &[5, 10]);
         (r.hr(5), r.hr(10), r.ndcg(5), r.ndcg(10))
     };
@@ -124,8 +154,18 @@ fn different_seeds_give_different_models() {
     let (data, split) = tiny_workload();
     let train = split.train_sequences();
     let run = |seed: u64| {
-        let mut m = SasRec::new(NetConfig { seed, ..tiny_net(data.num_items) });
-        m.fit(&train, &TrainConfig { epochs: 2, seed, ..tiny_cfg() });
+        let mut m = SasRec::new(NetConfig {
+            seed,
+            ..tiny_net(data.num_items)
+        });
+        m.fit(
+            &train,
+            &TrainConfig {
+                epochs: 2,
+                seed,
+                ..tiny_cfg()
+            },
+        );
         m.score(0, &split.users[0].test_input())
     };
     assert_ne!(run(1), run(2));
@@ -135,7 +175,13 @@ fn different_seeds_give_different_models() {
 fn validation_and_test_reports_are_both_computable() {
     let (data, split) = tiny_workload();
     let mut m = SasRec::new(tiny_net(data.num_items));
-    m.fit(&split.train_sequences(), &TrainConfig { epochs: 2, ..tiny_cfg() });
+    m.fit(
+        &split.train_sequences(),
+        &TrainConfig {
+            epochs: 2,
+            ..tiny_cfg()
+        },
+    );
     let rv = evaluate_valid(&mut m, &split, &[5, 10]);
     let rt = evaluate_test(&mut m, &split, &[5, 10]);
     assert_eq!(rv.users, split.num_users());
@@ -155,14 +201,26 @@ fn meta_sgcl_improves_over_training() {
         net: tiny_net(data.num_items),
         ..MetaSgclConfig::for_items(data.num_items)
     });
-    short.fit(&train, &TrainConfig { epochs: 1, ..tiny_cfg() });
+    short.fit(
+        &train,
+        &TrainConfig {
+            epochs: 1,
+            ..tiny_cfg()
+        },
+    );
     let r_short = evaluate_test(&mut short, &split, &[10]);
 
     let mut long = MetaSgcl::new(MetaSgclConfig {
         net: tiny_net(data.num_items),
         ..MetaSgclConfig::for_items(data.num_items)
     });
-    long.fit(&train, &TrainConfig { epochs: 10, ..tiny_cfg() });
+    long.fit(
+        &train,
+        &TrainConfig {
+            epochs: 10,
+            ..tiny_cfg()
+        },
+    );
     let r_long = evaluate_test(&mut long, &split, &[10]);
 
     assert!(

@@ -24,13 +24,23 @@ fn workload() -> (usize, LeaveOneOut) {
 
 fn cfg(num_items: usize) -> MetaSgclConfig {
     MetaSgclConfig {
-        net: NetConfig { max_len: 12, dim: 16, layers: 1, ..NetConfig::for_items(num_items) },
+        net: NetConfig {
+            max_len: 12,
+            dim: 16,
+            layers: 1,
+            ..NetConfig::for_items(num_items)
+        },
         ..MetaSgclConfig::for_items(num_items)
     }
 }
 
 fn tc(epochs: usize) -> TrainConfig {
-    TrainConfig { epochs, batch_size: 25, max_len: 12, ..Default::default() }
+    TrainConfig {
+        epochs,
+        batch_size: 25,
+        max_len: 12,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -56,14 +66,22 @@ fn both_strategies_reach_usable_accuracy() {
 fn every_ablation_trains_cleanly() {
     let (num_items, split) = workload();
     let train = split.train_sequences();
-    for ablation in [Ablation::Full, Ablation::NoCl, Ablation::NoKl, Ablation::NoClKl] {
+    for ablation in [
+        Ablation::Full,
+        Ablation::NoCl,
+        Ablation::NoKl,
+        Ablation::NoClKl,
+    ] {
         let mut c = cfg(num_items);
         c.ablation = ablation;
         let mut m = MetaSgcl::new(c);
         m.fit(&train, &tc(4));
         let h = m.history();
         assert_eq!(h.epochs.len(), 4);
-        assert!(h.epochs.iter().all(|e| e.total.is_finite()), "{ablation:?} diverged");
+        assert!(
+            h.epochs.iter().all(|e| e.total.is_finite()),
+            "{ablation:?} diverged"
+        );
         let r = evaluate_test(&mut m, &split, &[10]);
         assert!(r.hr(10) > 0.0, "{ablation:?} produced degenerate rankings");
     }
@@ -118,7 +136,10 @@ fn history_reports_all_loss_components() {
         assert!(e.rec > 0.0, "reconstruction loss should be positive");
         assert!(e.kl >= 0.0, "KL is non-negative");
         assert!(e.cl >= 0.0, "InfoNCE is non-negative");
-        assert!(e.total >= e.rec - 1e-6, "total includes rec plus weighted extras");
+        assert!(
+            e.total >= e.rec - 1e-6,
+            "total includes rec plus weighted extras"
+        );
     }
 }
 
@@ -130,10 +151,16 @@ fn meta_lr_override_is_respected() {
     let mut c = cfg(num_items);
     c.meta_lr = Some(0.0);
     let mut m = MetaSgcl::new(c);
-    let before: Vec<f32> =
-        m.meta_parameters().iter().flat_map(|p| p.borrow().value.data().to_vec()).collect();
+    let before: Vec<f32> = m
+        .meta_parameters()
+        .iter()
+        .flat_map(|p| p.borrow().value.data().to_vec())
+        .collect();
     m.fit(&train, &tc(2));
-    let after: Vec<f32> =
-        m.meta_parameters().iter().flat_map(|p| p.borrow().value.data().to_vec()).collect();
+    let after: Vec<f32> = m
+        .meta_parameters()
+        .iter()
+        .flat_map(|p| p.borrow().value.data().to_vec())
+        .collect();
     assert_eq!(before, after, "meta_lr = 0 must freeze Enc_σ'");
 }

@@ -5,8 +5,9 @@
 use meta_sgcl_repro::autograd::Graph;
 use meta_sgcl_repro::metrics::{rank_of, MetricAccumulator};
 use meta_sgcl_repro::models::{info_nce, Similarity};
-use meta_sgcl_repro::recdata::{encode_input_only, encode_sequence, inject_noise, item_crop,
-    item_mask, item_reorder};
+use meta_sgcl_repro::recdata::{
+    encode_input_only, encode_sequence, inject_noise, item_crop, item_mask, item_reorder,
+};
 use meta_sgcl_repro::tensor::{broadcast_shapes, ops, Tensor};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -108,7 +109,7 @@ proptest! {
         let target = 1 + (target_raw - 1) % (n - 1).max(1);
         if target < n {
             let r = rank_of(&scores, target);
-            prop_assert!(r >= 1 && r <= n - 1, "rank {r} out of [1, {}]", n - 1);
+            prop_assert!(r >= 1 && r < n, "rank {r} out of [1, {}]", n - 1);
         }
     }
 
@@ -182,7 +183,7 @@ proptest! {
         a.sort_unstable();
         b.sort_unstable();
         prop_assert_eq!(a, b);
-        let noisy = inject_noise(&[seq.clone()], 0.25, 50, &mut rng);
+        let noisy = inject_noise(std::slice::from_ref(&seq), 0.25, 50, &mut rng);
         prop_assert!(noisy[0].len() >= seq.len());
     }
 

@@ -1,0 +1,387 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so the workspace points
+//! `rayon` at this local implementation. It provides genuine data
+//! parallelism (not a serial fake) on top of `std::thread::scope`, covering
+//! the surface this workspace uses:
+//!
+//! * [`prelude`]: `par_iter().map(..).collect()`, `par_chunks_mut(..)` with
+//!   `enumerate()` / `for_each(..)`;
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] to bound parallelism
+//!   for a region of code;
+//! * [`current_num_threads`].
+//!
+//! Differences from upstream rayon: threads are spawned per parallel region
+//! rather than pooled (regions in this workspace are coarse — one per batch
+//! shard fan-out or per large kernel — so spawn cost is noise), and nested
+//! parallel regions run serially instead of work-stealing, which also
+//! prevents oversubscription when tensor kernels run inside an already
+//! parallel training executor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread parallelism override installed by [`ThreadPool::install`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set inside worker threads so nested parallel calls degrade to serial.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads parallel regions started from this thread will use.
+pub fn current_num_threads() -> usize {
+    if IN_PARALLEL.with(Cell::get) {
+        return 1;
+    }
+    OVERRIDE.with(Cell::get).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `items` through `f` on up to [`current_num_threads`] worker threads.
+///
+/// Items are assigned round-robin; the function returns once every item has
+/// been processed. Panics in workers propagate to the caller.
+fn run_partitioned<I: Send, F: Fn(I) + Sync>(items: Vec<I>, f: &F) {
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<I>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push(item);
+    }
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                IN_PARALLEL.with(|flag| flag.set(true));
+                for item in bucket {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// As [`run_partitioned`], but collects one output per item, in input order
+/// regardless of which thread computed it (deterministic reassembly).
+fn run_indexed_map<I: Send, R: Send, F: Fn(I) -> R + Sync>(items: Vec<I>, f: &F) -> Vec<R> {
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut buckets: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % threads].push((i, item));
+    }
+    let n: usize = buckets.iter().map(Vec::len).sum();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    IN_PARALLEL.with(|flag| flag.set(true));
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("rayon worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker skipped an item"))
+        .collect()
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps each element; the result is consumed with [`ParMap::collect`]
+    /// or [`ParMap::for_each`].
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator (see [`ParIter::map`]).
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_indexed_map(self.slice.iter().collect(), &|t| (self.f)(t))
+            .into_iter()
+            .collect()
+    }
+
+    /// Runs the map for its side effects.
+    pub fn for_each<R>(self)
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        let _: Vec<R> = self.collect();
+    }
+}
+
+/// Parallel mutable chunks of a slice (see
+/// [`prelude::ParallelSliceMut::par_chunks_mut`]).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    /// Applies `f` to every chunk in parallel.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair in parallel.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        let chunks: Vec<(usize, &mut [T])> = self
+            .inner
+            .slice
+            .chunks_mut(self.inner.chunk)
+            .enumerate()
+            .collect();
+        run_partitioned(chunks, &f);
+    }
+}
+
+/// The traits a `use rayon::prelude::*` import brings into scope.
+pub mod prelude {
+    use super::{ParChunksMut, ParIter};
+
+    /// `par_iter` entry point for shared slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: Sync + 'a;
+
+        /// A parallel iterator over `&self`.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { slice: self }
+        }
+    }
+
+    /// `par_chunks_mut` entry point for mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over non-overlapping mutable chunks of length
+        /// `chunk` (last chunk may be shorter).
+        fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk > 0, "chunk size must be non-zero");
+            ParChunksMut { slice: self, chunk }
+        }
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this shim;
+/// kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a bounded-parallelism [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` threads (`0` = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        });
+        Ok(ThreadPool {
+            num_threads: n.max(1),
+        })
+    }
+}
+
+/// A parallelism bound that can be `install`ed around a region of code.
+///
+/// Unlike upstream rayon this shim does not keep worker threads alive
+/// between regions; `install` only scopes the thread-count used by parallel
+/// calls made from the closure.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing parallel calls.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = OVERRIDE.with(|o| o.replace(Some(self.num_threads)));
+        struct Reset(Option<usize>);
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                OVERRIDE.with(|o| o.set(self.0));
+            }
+        }
+        let _reset = Reset(prev);
+        op()
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let doubled: Vec<usize> = pool.install(|| items.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_chunk_once() {
+        let mut data = vec![0u32; 103];
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x += 1 + i as u32;
+                }
+            });
+        });
+        assert!(data.iter().all(|&x| x >= 1));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[100], 11, "chunk index reaches the tail");
+    }
+
+    #[test]
+    fn parallel_region_uses_multiple_threads_when_allowed() {
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            items
+                .par_iter()
+                .map(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                })
+                .for_each()
+        });
+        // With 4 requested workers at least 2 distinct threads must appear
+        // (the machine may have a single core, but scoped threads still get
+        // distinct ids).
+        assert!(seen.lock().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_to_serial() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inner_counts: Vec<usize> = pool.install(|| {
+            vec![0usize; 4]
+                .par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(
+            inner_counts.iter().all(|&c| c == 1),
+            "nested regions must be serial"
+        );
+    }
+
+    #[test]
+    fn install_restores_outer_thread_count() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| assert_eq!(current_num_threads(), 2));
+        assert_eq!(current_num_threads(), outer);
+    }
+}
