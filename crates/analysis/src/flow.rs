@@ -1,0 +1,210 @@
+//! The gradient-flow pass: walks a tape's `inputs` edges in reverse from
+//! the loss head — the exact traversal the backward pass performs — and
+//! classifies every contracted parameter as reached, frozen, or dead.
+
+use autograd::{NodeInfo, ParamRef};
+use models::audit::StageContract;
+
+/// How gradient flow treats one parameter in one traced stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowClass {
+    /// At least one trainable leaf of the parameter is reachable from the
+    /// loss: the backward pass will deposit gradient.
+    Reached,
+    /// The parameter is on the tape but was entered frozen
+    /// (`requires_grad = false` on every leaf): gradient is blocked by
+    /// design.
+    Frozen,
+    /// The parameter is trainable but gradient can never reach it — it is
+    /// absent from the tape, or every path from the loss is severed (e.g.
+    /// by a `detach`).
+    Dead,
+}
+
+impl std::fmt::Display for FlowClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowClass::Reached => write!(f, "reached"),
+            FlowClass::Frozen => write!(f, "frozen"),
+            FlowClass::Dead => write!(f, "dead"),
+        }
+    }
+}
+
+/// One freeze-contract violation.
+#[derive(Debug, Clone)]
+pub struct FlowViolation {
+    /// The parameter's name.
+    pub param: String,
+    /// What the stage contract declares.
+    pub expected: FlowClass,
+    /// What the traced tape actually does.
+    pub actual: FlowClass,
+}
+
+impl std::fmt::Display for FlowViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "parameter `{}`: contract says {}, tape says {}",
+            self.param, self.expected, self.actual
+        )
+    }
+}
+
+/// Marks every node whose gradient the backward pass would compute,
+/// starting from `root` (the loss head).
+///
+/// This mirrors `backward` exactly: a node participates iff it requires
+/// grad and is connected to the root through inputs that also require
+/// grad.
+pub fn reachable_from(nodes: &[NodeInfo], root: usize) -> Vec<bool> {
+    let mut visited = vec![false; nodes.len()];
+    if root >= nodes.len() || !nodes[root].requires_grad {
+        return visited;
+    }
+    visited[root] = true;
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        for &i in &nodes[id].inputs {
+            if nodes[i].requires_grad && !visited[i] {
+                visited[i] = true;
+                stack.push(i);
+            }
+        }
+    }
+    visited
+}
+
+/// Classifies one parameter (by identity key) against a reachability map.
+pub fn classify(nodes: &[NodeInfo], visited: &[bool], key: usize) -> FlowClass {
+    let mut present = false;
+    let mut any_trainable = false;
+    for n in nodes {
+        if let Some(p) = &n.param {
+            if p.key == key {
+                if visited[n.id] {
+                    return FlowClass::Reached;
+                }
+                present = true;
+                any_trainable |= p.trainable;
+            }
+        }
+    }
+    if present && !any_trainable {
+        FlowClass::Frozen
+    } else {
+        // Trainable-but-unreached and absent-from-tape both mean the
+        // optimizer would silently never update this parameter.
+        FlowClass::Dead
+    }
+}
+
+/// Summary counts of one contract check (for report rendering).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowSummary {
+    /// Contracted parameters the loss reaches.
+    pub reached: usize,
+    /// Contracted parameters correctly frozen.
+    pub frozen: usize,
+}
+
+/// Checks a traced stage against its declared freeze contract.
+///
+/// Returns the violations (empty = contract holds) plus summary counts.
+/// A parameter the contract expects *reached* must classify as
+/// [`FlowClass::Reached`]; a parameter expected *frozen* must not.
+pub fn check_contract(
+    nodes: &[NodeInfo],
+    loss: usize,
+    contract: &StageContract,
+) -> (Vec<FlowViolation>, FlowSummary) {
+    let visited = reachable_from(nodes, loss);
+    let mut violations = Vec::new();
+    let mut summary = FlowSummary::default();
+    let name = |p: &ParamRef| p.borrow().name.clone();
+    for p in &contract.reached {
+        let actual = classify(nodes, &visited, p.key());
+        if actual == FlowClass::Reached {
+            summary.reached += 1;
+        } else {
+            violations.push(FlowViolation {
+                param: name(p),
+                expected: FlowClass::Reached,
+                actual,
+            });
+        }
+    }
+    for p in &contract.frozen {
+        let actual = classify(nodes, &visited, p.key());
+        if actual == FlowClass::Reached {
+            violations.push(FlowViolation {
+                param: name(p),
+                expected: FlowClass::Frozen,
+                actual,
+            });
+        } else {
+            summary.frozen += 1;
+        }
+    }
+    (violations, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::{Graph, Parameter};
+    use models::audit::StageContract;
+    use tensor::Tensor;
+
+    #[test]
+    fn reached_frozen_and_dead_are_distinguished() {
+        let w = Parameter::shared("w", Tensor::ones(vec![2]));
+        let f = Parameter::shared("f", Tensor::ones(vec![2]));
+        f.borrow_mut().trainable = false;
+        let d = Parameter::shared("d", Tensor::ones(vec![2]));
+
+        let g = Graph::new();
+        let loss = g
+            .param(&w)
+            .add(&g.param(&f))
+            .add(&g.param(&d).detach())
+            .sum_all();
+        let snap = g.snapshot();
+        let visited = reachable_from(&snap, loss.node_id());
+        assert_eq!(classify(&snap, &visited, w.key()), FlowClass::Reached);
+        assert_eq!(classify(&snap, &visited, f.key()), FlowClass::Frozen);
+        assert_eq!(classify(&snap, &visited, d.key()), FlowClass::Dead);
+    }
+
+    #[test]
+    fn contract_violations_are_reported_with_names() {
+        let w = Parameter::shared("w", Tensor::ones(vec![2]));
+        let d = Parameter::shared("dead_one", Tensor::ones(vec![2]));
+        let g = Graph::new();
+        // `d` never enters the graph at all.
+        let loss = g.param(&w).sum_all();
+        let contract = StageContract::full(vec![w.clone(), d.clone()]);
+        let (violations, summary) = check_contract(&g.snapshot(), loss.node_id(), &contract);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].param, "dead_one");
+        assert_eq!(violations[0].actual, FlowClass::Dead);
+        assert_eq!(summary.reached, 1);
+    }
+
+    #[test]
+    fn frozen_param_reached_violates_freeze_contract() {
+        let w = Parameter::shared("w", Tensor::ones(vec![2]));
+        let g = Graph::new();
+        let loss = g.param(&w).square().sum_all();
+        let contract = StageContract {
+            stage: "meta".into(),
+            reached: vec![],
+            frozen: vec![w.clone()],
+        };
+        let (violations, _) = check_contract(&g.snapshot(), loss.node_id(), &contract);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].expected, FlowClass::Frozen);
+        assert_eq!(violations[0].actual, FlowClass::Reached);
+    }
+}

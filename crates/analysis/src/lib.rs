@@ -1,0 +1,36 @@
+//! **Static graph auditor** for the Meta-SGCL workspace.
+//!
+//! Training in this repo runs on a define-by-run tape ([`autograd::Graph`]).
+//! Because every op records a declarative [`autograd::ShapeSig`] and its
+//! parameter provenance, a captured tape can be *audited* without re-running
+//! any kernels. This crate implements three passes over such tapes:
+//!
+//! 1. **Shape inference** ([`shape`]) — re-derives every node's output
+//!    shape from its inputs via the op's shape signature and reports any
+//!    disagreement with what the kernel actually produced, blamed on the
+//!    precise op.
+//! 2. **Gradient flow** ([`flow`]) — walks the tape from the loss head the
+//!    way backward does and classifies every parameter as *reached*,
+//!    *frozen*, or *dead*, then checks the model's declared per-stage
+//!    freeze contracts (e.g. Meta-SGCL's meta stage must reach `Enc_σ'`
+//!    and nothing else).
+//! 3. **Numeric sanitation** ([`autograd::numeric`], surfaced through
+//!    [`registry`]) — scans activations and gradients for NaN / Inf /
+//!    exploding norms with per-op blame.
+//!
+//! The [`registry`] builds each model family in the zoo at a small audit
+//! configuration and runs all three passes over every declared training
+//! stage; `msgc check [--model <name> | --all]` is the CLI front end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod registry;
+pub mod shape;
+
+pub use flow::{check_contract, classify, reachable_from, FlowClass, FlowSummary, FlowViolation};
+pub use registry::{
+    audit_all, audit_model, audit_model_with_fault, build, AuditReport, Fault, StageReport, MODELS,
+};
+pub use shape::{check_graph, check_snapshot, ShapeDiagnostic};

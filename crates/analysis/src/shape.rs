@@ -1,0 +1,102 @@
+//! The shape-inference pass: re-derives every tape node's output shape
+//! from its inputs via the declarative [`autograd::ShapeSig`] signatures
+//! and reports any disagreement with what the kernels actually produced.
+
+use autograd::{Graph, NodeInfo};
+
+/// One shape finding, with op-level provenance.
+#[derive(Debug, Clone)]
+pub struct ShapeDiagnostic {
+    /// Tape id of the offending node.
+    pub node: usize,
+    /// Op name of the offending node.
+    pub op: &'static str,
+    /// Tape ids of the op's inputs.
+    pub inputs: Vec<usize>,
+    /// Human-readable description of the disagreement.
+    pub message: String,
+}
+
+impl std::fmt::Display for ShapeDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "op `{}` (node {}, inputs {:?}): {}",
+            self.op, self.node, self.inputs, self.message
+        )
+    }
+}
+
+/// Runs shape inference over an exported tape snapshot.
+///
+/// Every node's output shape is re-derived from its inputs' *recorded*
+/// shapes (not from previously inferred ones), so a single inconsistency
+/// produces a single, precisely blamed diagnostic rather than a cascade.
+pub fn check_snapshot(nodes: &[NodeInfo]) -> Vec<ShapeDiagnostic> {
+    let mut diags = Vec::new();
+    for n in nodes {
+        let in_dims: Vec<&[usize]> = n.inputs.iter().map(|&i| nodes[i].dims.as_slice()).collect();
+        match n.sig.infer(&in_dims) {
+            Ok(None) => {} // leaf: nothing to infer
+            Ok(Some(inferred)) => {
+                if inferred != n.dims {
+                    let owned: Vec<Vec<usize>> = in_dims.iter().map(|d| d.to_vec()).collect();
+                    diags.push(ShapeDiagnostic {
+                        node: n.id,
+                        op: n.op,
+                        inputs: n.inputs.clone(),
+                        message: format!(
+                            "inferred {inferred:?} from input shapes {owned:?}, \
+                             but the recorded output shape is {:?}",
+                            n.dims
+                        ),
+                    });
+                }
+            }
+            Err(e) => diags.push(ShapeDiagnostic {
+                node: n.id,
+                op: n.op,
+                inputs: n.inputs.clone(),
+                message: format!("shape rule rejected the inputs: {e}"),
+            }),
+        }
+    }
+    diags
+}
+
+/// [`check_snapshot`] on a live graph.
+pub fn check_graph(g: &Graph) -> Vec<ShapeDiagnostic> {
+    check_snapshot(&g.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Graph;
+    use tensor::Tensor;
+
+    #[test]
+    fn healthy_graph_is_clean() {
+        let g = Graph::new();
+        let a = g.constant(Tensor::ones(vec![2, 3]));
+        let b = g.constant(Tensor::ones(vec![3, 4]));
+        let _ = a.matmul(&b).relu().sum_all();
+        assert!(check_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_blamed_on_the_right_op() {
+        let g = Graph::new();
+        let a = g.constant(Tensor::ones(vec![2, 3]));
+        let b = g.constant(Tensor::ones(vec![3, 4]));
+        let m = a.matmul(&b);
+        let _ = m.sum_all();
+        let mut snap = g.snapshot();
+        snap[m.node_id()].dims = vec![2, 5]; // inject a mismatch
+        let diags = check_snapshot(&snap);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].node, m.node_id());
+        assert_eq!(diags[0].op, "matmul");
+        assert!(diags[0].message.contains("[2, 4]"), "{}", diags[0].message);
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end audits over the registered model zoo, including the
+//! regression test for a deliberately detached `Enc_σ'`.
+
+use analysis::{audit_all, audit_model, check_contract, FlowClass, MODELS};
+use meta_sgcl::{MetaSgcl, MetaSgclConfig};
+use models::audit::{audit_sequences, Auditable};
+use models::NetConfig;
+
+fn small_meta_sgcl() -> MetaSgcl {
+    MetaSgcl::new(MetaSgclConfig {
+        net: NetConfig {
+            max_len: 8,
+            dim: 8,
+            layers: 1,
+            seed: 7,
+            ..NetConfig::for_items(10)
+        },
+        ..MetaSgclConfig::for_items(10)
+    })
+}
+
+#[test]
+fn every_model_family_audits_clean() {
+    let reports = audit_all();
+    assert_eq!(
+        reports.len(),
+        MODELS.len(),
+        "a registered model failed to build"
+    );
+    for report in reports {
+        assert!(report.is_clean(), "audit failed:\n{report}");
+        assert!(
+            !report.stages.is_empty(),
+            "{}: no stages traced",
+            report.model
+        );
+    }
+}
+
+/// The gradient-flow pass must independently reproduce the training-side
+/// `meta_stage_only_updates_sigma_prime` invariant: in the meta stage the
+/// loss reaches exactly the two `Enc_σ'` parameters and none of the
+/// frozen main modules.
+#[test]
+fn meta_stage_flow_reproduces_sigma_prime_invariant() {
+    let report = audit_model("Meta-SGCL").expect("registered");
+    let meta = report
+        .stages
+        .iter()
+        .find(|s| s.stage == "meta")
+        .expect("Meta-SGCL declares a meta stage");
+    assert!(
+        meta.flow.is_empty(),
+        "freeze contract violated: {:?}",
+        meta.flow
+    );
+    assert_eq!(
+        meta.flow_summary.reached, 2,
+        "Enc_σ' is a weight + bias pair"
+    );
+    assert!(
+        meta.flow_summary.frozen > 10,
+        "all main modules must be frozen"
+    );
+}
+
+/// Regression: a forgotten stop-gradient that detaches `Enc_σ'` from the
+/// contrastive loss must be flagged `Dead` — the meta stage would then
+/// silently train nothing at all.
+#[test]
+fn detached_sigma_prime_is_flagged_dead() {
+    let model = small_meta_sgcl();
+    let contract = model
+        .audit_contracts()
+        .into_iter()
+        .find(|c| c.stage == "meta")
+        .expect("meta contract");
+    let seqs = audit_sequences(10, 6, 8);
+    let trace = model.audit_trace_meta_detached(&seqs, 7);
+    let (violations, summary) =
+        check_contract(&trace.graph.snapshot(), trace.loss.node_id(), &contract);
+    assert_eq!(
+        violations.len(),
+        contract.reached.len(),
+        "every Enc_σ' parameter must be flagged"
+    );
+    for v in &violations {
+        assert_eq!(v.expected, FlowClass::Reached);
+        assert_eq!(v.actual, FlowClass::Dead, "param `{}`", v.param);
+    }
+    // The frozen side of the contract still holds — only σ' is broken.
+    assert_eq!(summary.frozen, contract.frozen.len());
+    assert_eq!(summary.reached, 0);
+}

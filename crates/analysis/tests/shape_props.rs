@@ -1,0 +1,87 @@
+//! Property test for the shape-inference pass: for randomized op
+//! sequences, the shapes the auditor re-derives from `ShapeSig` must
+//! agree with the shapes the kernels actually produced at runtime.
+
+use analysis::check_graph;
+use autograd::{Graph, Var};
+use proptest::prelude::*;
+
+/// Applies one rank-preserving op chosen by `code`, updating the expected
+/// shape alongside the live graph. `k` seeds data-dependent sizes
+/// (matmul inner dim, concat width).
+fn apply_op(g: &Graph, cur: Var, dims: &mut [usize], code: u8, k: usize) -> Var {
+    match code % 8 {
+        0 => cur.relu(),
+        1 => cur.scale(0.5).add_scalar(0.1),
+        2 => cur.add(&g.constant(tensor::Tensor::ones(dims.to_vec()))),
+        // Broadcast against a row vector of the trailing dim.
+        3 => cur.mul(&g.constant(tensor::Tensor::ones(vec![dims[1]]))),
+        4 => {
+            dims.swap(0, 1);
+            cur.transpose_last2()
+        }
+        5 => {
+            let inner = dims[1];
+            dims[1] = k;
+            cur.matmul(&g.constant(tensor::Tensor::ones(vec![inner, k])))
+        }
+        6 => {
+            dims[0] = 1;
+            cur.sum_axis(0, true)
+        }
+        7 => {
+            dims[1] *= 2;
+            Var::concat(&[&cur, &cur], 1)
+        }
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn inferred_shapes_match_runtime_shapes(
+        r in 1usize..5,
+        c in 1usize..5,
+        ops in prop::collection::vec((0u8..8, 1usize..5), 0..10),
+    ) {
+        let g = Graph::new();
+        let mut dims = vec![r, c];
+        let mut cur = g.constant(tensor::Tensor::ones(dims.clone()));
+        for (code, k) in ops {
+            cur = apply_op(&g, cur, &mut dims, code, k);
+        }
+        // The tracked shape must match what the kernels produced...
+        prop_assert_eq!(cur.dims(), dims);
+        // ...and the auditor, re-deriving every node from its ShapeSig,
+        // must agree with the recorded tape end to end.
+        let diags = check_graph(&g);
+        prop_assert!(diags.is_empty(), "unexpected diagnostics: {:?}", diags);
+    }
+
+    #[test]
+    fn corrupted_tape_is_always_caught(
+        r in 1usize..5,
+        c in 1usize..5,
+        ops in prop::collection::vec((0u8..8, 1usize..5), 1..10),
+        extra in 7usize..31,
+    ) {
+        let g = Graph::new();
+        let mut dims = vec![r, c];
+        let mut cur = g.constant(tensor::Tensor::ones(dims.clone()));
+        for (code, k) in ops {
+            cur = apply_op(&g, cur, &mut dims, code, k);
+        }
+        let _ = cur.sum_all();
+        let mut snap = g.snapshot();
+        // Corrupt the final reduction's recorded shape: scalar -> [extra].
+        let last = snap.len() - 1;
+        snap[last].dims = vec![extra];
+        let diags = analysis::check_snapshot(&snap);
+        prop_assert!(
+            diags.iter().any(|d| d.node == last),
+            "corruption at node {} went undetected", last
+        );
+    }
+}

@@ -7,6 +7,7 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use tensor::Tensor;
 
 use crate::accum::GradientSet;
+use crate::meta::ShapeSig;
 
 /// A trainable tensor with an accumulated gradient.
 ///
@@ -100,8 +101,16 @@ pub(crate) struct Node {
     pub requires_grad: bool,
     /// None for leaves (constants and parameters).
     pub backward: Option<BackFn>,
-    /// Set for parameter leaves: where to deposit the final gradient.
+    /// Set for parameter leaves — trainable *or* frozen — so static
+    /// analysis can attribute the leaf to its parameter. The backward pass
+    /// only deposits into it when `requires_grad` is true.
     pub param: Option<ParamRef>,
+    /// Op name for diagnostics (e.g. `"matmul"`).
+    pub op: &'static str,
+    /// Declarative shape signature (see [`crate::meta::ShapeSig`]).
+    pub sig: ShapeSig,
+    /// Tape ids of this op's inputs (empty for leaves).
+    pub inputs: Vec<usize>,
 }
 
 #[derive(Default)]
@@ -161,12 +170,17 @@ impl Graph {
             requires_grad: false,
             backward: None,
             param: None,
+            op: "constant",
+            sig: ShapeSig::Leaf,
+            inputs: Vec::new(),
         })
     }
 
     /// Enters a parameter as a leaf. If the parameter is trainable its
     /// gradient is accumulated by [`Var::backward`]; otherwise it behaves as
-    /// a constant (the freezing mechanism for the meta stage).
+    /// a constant (the freezing mechanism for the meta stage). Either way
+    /// the node keeps a handle to the parameter so static analysis can
+    /// distinguish *frozen* parameters from plain constants.
     pub fn param(&self, p: &ParamRef) -> Var {
         let (value, trainable) = {
             let pb = p.borrow();
@@ -176,7 +190,10 @@ impl Graph {
             value,
             requires_grad: trainable,
             backward: None,
-            param: if trainable { Some(p.clone()) } else { None },
+            param: Some(p.clone()),
+            op: "param",
+            sig: ShapeSig::Leaf,
+            inputs: Vec::new(),
         })
     }
 
@@ -284,15 +301,27 @@ impl Var {
         self.graph.backward_collect(self)
     }
 
-    /// Detaches the value from the tape: returns a constant leaf with the
-    /// same value on the same graph. Gradients do not flow past it.
+    /// Detaches the value from the tape: returns a leaf-like node with the
+    /// same value on the same graph. Gradients do not flow past it, but the
+    /// edge to the source node is recorded so static analysis can see
+    /// *where* the flow was cut.
     pub fn detach(&self) -> Var {
         let v = self.value();
-        self.graph.constant(v)
+        self.graph.push(Node {
+            value: v,
+            requires_grad: false,
+            backward: None,
+            param: None,
+            op: "detach",
+            sig: ShapeSig::Elementwise,
+            inputs: vec![self.id],
+        })
     }
 
     pub(crate) fn unary(
         &self,
+        op: &'static str,
+        sig: ShapeSig,
         value: Tensor,
         back: impl Fn(&Tensor, &mut GradSink) + 'static,
     ) -> Var {
@@ -302,12 +331,17 @@ impl Var {
             requires_grad: requires,
             backward: if requires { Some(Box::new(back)) } else { None },
             param: None,
+            op,
+            sig,
+            inputs: vec![self.id],
         })
     }
 
     pub(crate) fn binary(
         &self,
         other: &Var,
+        op: &'static str,
+        sig: ShapeSig,
         value: Tensor,
         back: impl Fn(&Tensor, &mut GradSink) + 'static,
     ) -> Var {
@@ -321,6 +355,9 @@ impl Var {
             requires_grad: requires,
             backward: if requires { Some(Box::new(back)) } else { None },
             param: None,
+            op,
+            sig,
+            inputs: vec![self.id, other.id],
         })
     }
 }

@@ -43,6 +43,7 @@
 
 mod accum;
 mod graph;
+pub mod meta;
 pub mod numeric;
 mod ops_basic;
 mod ops_matmul;
@@ -51,4 +52,5 @@ mod ops_shape;
 
 pub use accum::GradientSet;
 pub use graph::{Graph, ParamRef, Parameter, Var};
+pub use meta::{NodeInfo, ParamInfo, ShapeSig};
 pub use ops_reduce::IGNORE_INDEX;

@@ -3,6 +3,7 @@
 use tensor::{ops, Tensor};
 
 use crate::graph::Var;
+use crate::meta::ShapeSig;
 
 impl Var {
     // -- binary arithmetic (broadcasting) ---------------------------------
@@ -14,7 +15,7 @@ impl Var {
             .expect("add");
         let (aid, bid) = (self.id, other.id);
         let (ad, bd) = (self.dims(), other.dims());
-        self.binary(other, value, move |g, sink| {
+        self.binary(other, "add", ShapeSig::Broadcast, value, move |g, sink| {
             sink(aid, ops::unbroadcast(g, &ad));
             sink(bid, ops::unbroadcast(g, &bd));
         })
@@ -27,7 +28,7 @@ impl Var {
             .expect("sub");
         let (aid, bid) = (self.id, other.id);
         let (ad, bd) = (self.dims(), other.dims());
-        self.binary(other, value, move |g, sink| {
+        self.binary(other, "sub", ShapeSig::Broadcast, value, move |g, sink| {
             sink(aid, ops::unbroadcast(g, &ad));
             let mut gb = ops::unbroadcast(g, &bd);
             gb.scale_inplace(-1.0);
@@ -41,7 +42,7 @@ impl Var {
         let b_val = other.value();
         let value = ops::mul(&a_val, &b_val).expect("mul");
         let (aid, bid) = (self.id, other.id);
-        self.binary(other, value, move |g, sink| {
+        self.binary(other, "mul", ShapeSig::Broadcast, value, move |g, sink| {
             let ga = ops::mul(g, &b_val).expect("mul-back");
             sink(aid, ops::unbroadcast(&ga, a_val.dims()));
             let gb = ops::mul(g, &a_val).expect("mul-back");
@@ -56,7 +57,7 @@ impl Var {
         let value = ops::div(&a_val, &b_val).expect("div");
         let (aid, bid) = (self.id, other.id);
         let out_val = value.clone();
-        self.binary(other, value, move |g, sink| {
+        self.binary(other, "div", ShapeSig::Broadcast, value, move |g, sink| {
             // d/da (a/b) = 1/b ; d/db (a/b) = -a/b² = -(a/b)/b
             let ga = ops::div(g, &b_val).expect("div-back");
             sink(aid, ops::unbroadcast(&ga, a_val.dims()));
@@ -74,7 +75,7 @@ impl Var {
     pub fn scale(&self, c: f32) -> Var {
         let value = self.with_value(|a| a.map(|x| x * c));
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("scale", ShapeSig::Elementwise, value, move |g, sink| {
             let mut ga = g.clone();
             ga.scale_inplace(c);
             sink(aid, ga);
@@ -85,7 +86,12 @@ impl Var {
     pub fn add_scalar(&self, c: f32) -> Var {
         let value = self.with_value(|a| a.map(|x| x + c));
         let aid = self.id;
-        self.unary(value, move |g, sink| sink(aid, g.clone()))
+        self.unary(
+            "add_scalar",
+            ShapeSig::Elementwise,
+            value,
+            move |g, sink| sink(aid, g.clone()),
+        )
     }
 
     /// `-self`.
@@ -100,7 +106,7 @@ impl Var {
         let value = self.with_value(|a| a.map(f32::exp));
         let out = value.clone();
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("exp", ShapeSig::Elementwise, value, move |g, sink| {
             sink(aid, ops::mul(g, &out).expect("exp-back"));
         })
     }
@@ -110,7 +116,7 @@ impl Var {
         let a_val = self.value();
         let value = a_val.map(f32::ln);
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("log", ShapeSig::Elementwise, value, move |g, sink| {
             sink(aid, ops::div(g, &a_val).expect("log-back"));
         })
     }
@@ -120,7 +126,7 @@ impl Var {
         let value = self.with_value(|a| a.map(f32::sqrt));
         let out = value.clone();
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("sqrt", ShapeSig::Elementwise, value, move |g, sink| {
             // d sqrt(x) = 1/(2 sqrt(x))
             let denom = out.map(|y| 2.0 * y);
             sink(aid, ops::div(g, &denom).expect("sqrt-back"));
@@ -132,7 +138,7 @@ impl Var {
         let a_val = self.value();
         let value = a_val.map(|x| x * x);
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("square", ShapeSig::Elementwise, value, move |g, sink| {
             let two_a = a_val.map(|x| 2.0 * x);
             sink(aid, ops::mul(g, &two_a).expect("square-back"));
         })
@@ -143,7 +149,7 @@ impl Var {
         let a_val = self.value();
         let value = a_val.map(|x| x.max(0.0));
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("relu", ShapeSig::Elementwise, value, move |g, sink| {
             let mask = a_val.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
             sink(aid, ops::mul(g, &mask).expect("relu-back"));
         })
@@ -155,7 +161,7 @@ impl Var {
         let a_val = self.value();
         let value = a_val.map(|x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()));
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("gelu", ShapeSig::Elementwise, value, move |g, sink| {
             let dgelu = a_val.map(|x| {
                 let inner = C * (x + 0.044715 * x * x * x);
                 let t = inner.tanh();
@@ -171,7 +177,7 @@ impl Var {
         let value = self.with_value(|a| a.map(f32::tanh));
         let out = value.clone();
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("tanh", ShapeSig::Elementwise, value, move |g, sink| {
             let d = out.map(|y| 1.0 - y * y);
             sink(aid, ops::mul(g, &d).expect("tanh-back"));
         })
@@ -182,7 +188,7 @@ impl Var {
         let value = self.with_value(|a| a.map(|x| 1.0 / (1.0 + (-x).exp())));
         let out = value.clone();
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("sigmoid", ShapeSig::Elementwise, value, move |g, sink| {
             let d = out.map(|y| y * (1.0 - y));
             sink(aid, ops::mul(g, &d).expect("sigmoid-back"));
         })
@@ -194,7 +200,7 @@ impl Var {
         let a_val = self.value();
         let value = a_val.map(|x| x.clamp(lo, hi));
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("clamp", ShapeSig::Elementwise, value, move |g, sink| {
             let mask = a_val.map(|x| if x > lo && x < hi { 1.0 } else { 0.0 });
             sink(aid, ops::mul(g, &mask).expect("clamp-back"));
         })
@@ -206,9 +212,14 @@ impl Var {
         let value = self.with_value(|a| ops::add(a, c)).expect("add_const");
         let aid = self.id;
         let ad = self.dims();
-        self.unary(value, move |g, sink| {
-            sink(aid, ops::unbroadcast(g, &ad));
-        })
+        self.unary(
+            "add_const",
+            ShapeSig::BroadcastWith(c.dims().to_vec()),
+            value,
+            move |g, sink| {
+                sink(aid, ops::unbroadcast(g, &ad));
+            },
+        )
     }
 
     /// Elementwise product with a constant tensor (broadcasting); the
@@ -218,9 +229,14 @@ impl Var {
         let aid = self.id;
         let ad = self.dims();
         let c = c.clone();
-        self.unary(value, move |g, sink| {
-            let gm = ops::mul(g, &c).expect("mul_const-back");
-            sink(aid, ops::unbroadcast(&gm, &ad));
-        })
+        self.unary(
+            "mul_const",
+            ShapeSig::BroadcastWith(c.dims().to_vec()),
+            value,
+            move |g, sink| {
+                let gm = ops::mul(g, &c).expect("mul_const-back");
+                sink(aid, ops::unbroadcast(&gm, &ad));
+            },
+        )
     }
 }

@@ -3,6 +3,7 @@
 use tensor::ops;
 
 use crate::graph::Var;
+use crate::meta::ShapeSig;
 
 impl Var {
     /// Matrix product. Supports the same operand ranks as
@@ -14,7 +15,7 @@ impl Var {
         let value = ops::matmul(&a_val, &b_val).expect("matmul");
         let (aid, bid) = (self.id, other.id);
         let (a_nd, b_nd) = (a_val.ndim(), b_val.ndim());
-        self.binary(other, value, move |g, sink| {
+        self.binary(other, "matmul", ShapeSig::Matmul, value, move |g, sink| {
             match (a_nd, b_nd) {
                 (2, 2) | (3, 3) => {
                     // gA = g · Bᵀ ; gB = Aᵀ · g (per batch for rank 3).

@@ -3,6 +3,7 @@
 use tensor::{ops, Tensor};
 
 use crate::graph::Var;
+use crate::meta::ShapeSig;
 
 /// Sentinel target meaning "ignore this row" in
 /// [`Var::cross_entropy_with_logits`] (padded positions).
@@ -14,7 +15,7 @@ impl Var {
         let in_dims = self.dims();
         let value = Tensor::scalar(self.with_value(|a| a.sum_all()));
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("sum_all", ShapeSig::Scalar, value, move |g, sink| {
             sink(aid, Tensor::full(in_dims.clone(), g.item()));
         })
     }
@@ -25,7 +26,7 @@ impl Var {
         let n: usize = in_dims.iter().product::<usize>().max(1);
         let value = Tensor::scalar(self.with_value(|a| a.mean_all()));
         let aid = self.id;
-        self.unary(value, move |g, sink| {
+        self.unary("mean_all", ShapeSig::Scalar, value, move |g, sink| {
             sink(aid, Tensor::full(in_dims.clone(), g.item() / n as f32));
         })
     }
@@ -37,13 +38,18 @@ impl Var {
             .with_value(|a| ops::sum_axis(a, axis, keepdim))
             .expect("sum_axis");
         let aid = self.id;
-        self.unary(value, move |g, sink| {
-            let mut kd = in_dims.clone();
-            kd[axis] = 1;
-            let gk = g.reshape(kd).expect("sum_axis-back");
-            let zeros = Tensor::zeros(in_dims.clone());
-            sink(aid, ops::add(&zeros, &gk).expect("sum_axis-back"));
-        })
+        self.unary(
+            "sum_axis",
+            ShapeSig::Reduce { axis, keepdim },
+            value,
+            move |g, sink| {
+                let mut kd = in_dims.clone();
+                kd[axis] = 1;
+                let gk = g.reshape(kd).expect("sum_axis-back");
+                let zeros = Tensor::zeros(in_dims.clone());
+                sink(aid, ops::add(&zeros, &gk).expect("sum_axis-back"));
+            },
+        )
     }
 
     /// Mean along `axis`.
@@ -57,27 +63,37 @@ impl Var {
         let value = self.with_value(ops::softmax_last);
         let y = value.clone();
         let aid = self.id;
-        self.unary(value, move |g, sink| {
-            // dx = (g − Σ_last(g·y)) · y
-            let gy = ops::mul(g, &y).expect("softmax-back");
-            let nd = gy.ndim();
-            let s = ops::sum_axis(&gy, nd - 1, true).expect("softmax-back");
-            let centered = ops::sub(g, &s).expect("softmax-back");
-            sink(aid, ops::mul(&centered, &y).expect("softmax-back"));
-        })
+        self.unary(
+            "softmax_last",
+            ShapeSig::Elementwise,
+            value,
+            move |g, sink| {
+                // dx = (g − Σ_last(g·y)) · y
+                let gy = ops::mul(g, &y).expect("softmax-back");
+                let nd = gy.ndim();
+                let s = ops::sum_axis(&gy, nd - 1, true).expect("softmax-back");
+                let centered = ops::sub(g, &s).expect("softmax-back");
+                sink(aid, ops::mul(&centered, &y).expect("softmax-back"));
+            },
+        )
     }
 
     /// Numerically stable log-softmax along the last axis.
     pub fn log_softmax_last(&self) -> Var {
         let (value, y) = self.with_value(|a| (ops::log_softmax_last(a), ops::softmax_last(a)));
         let aid = self.id;
-        self.unary(value, move |g, sink| {
-            // dx = g − y · Σ_last(g)
-            let nd = g.ndim();
-            let s = ops::sum_axis(g, nd - 1, true).expect("log_softmax-back");
-            let ys = ops::mul(&y, &s).expect("log_softmax-back");
-            sink(aid, ops::sub(g, &ys).expect("log_softmax-back"));
-        })
+        self.unary(
+            "log_softmax_last",
+            ShapeSig::Elementwise,
+            value,
+            move |g, sink| {
+                // dx = g − y · Σ_last(g)
+                let nd = g.ndim();
+                let s = ops::sum_axis(g, nd - 1, true).expect("log_softmax-back");
+                let ys = ops::mul(&y, &s).expect("log_softmax-back");
+                sink(aid, ops::sub(g, &ys).expect("log_softmax-back"));
+            },
+        )
     }
 
     /// Fused mean cross-entropy over rows of a `[rows, classes]` logits
@@ -108,7 +124,7 @@ impl Var {
         let value = Tensor::scalar((loss / n_valid as f64) as f32);
         let aid = self.id;
         let targets = targets.to_vec();
-        self.unary(value, move |g, sink| {
+        self.unary("cross_entropy", ShapeSig::Scalar, value, move |g, sink| {
             let scale = g.item() / n_valid as f32;
             let mut grad = Tensor::zeros(vec![rows, classes]);
             for (i, &t) in targets.iter().enumerate() {

@@ -4,6 +4,7 @@
 use tensor::{ops, Tensor};
 
 use crate::graph::Var;
+use crate::meta::ShapeSig;
 
 impl Var {
     /// Reshape to a new shape of equal element count.
@@ -14,18 +15,28 @@ impl Var {
             .with_value(|a| a.reshape(dims.clone()))
             .expect("reshape");
         let aid = self.id;
-        self.unary(value, move |g, sink| {
-            sink(aid, g.reshape(in_dims.clone()).expect("reshape-back"));
-        })
+        self.unary(
+            "reshape",
+            ShapeSig::Reshape(dims.clone()),
+            value,
+            move |g, sink| {
+                sink(aid, g.reshape(in_dims.clone()).expect("reshape-back"));
+            },
+        )
     }
 
     /// Swaps the last two axes.
     pub fn transpose_last2(&self) -> Var {
         let value = self.with_value(ops::transpose_last2).expect("transpose");
         let aid = self.id;
-        self.unary(value, move |g, sink| {
-            sink(aid, ops::transpose_last2(g).expect("transpose-back"));
-        })
+        self.unary(
+            "transpose_last2",
+            ShapeSig::TransposeLast2,
+            value,
+            move |g, sink| {
+                sink(aid, ops::transpose_last2(g).expect("transpose-back"));
+            },
+        )
     }
 
     /// Reorders axes by `perm`.
@@ -37,9 +48,14 @@ impl Var {
         for (i, &p) in perm.iter().enumerate() {
             inv[p] = i;
         }
-        self.unary(value, move |g, sink| {
-            sink(aid, ops::permute(g, &inv).expect("permute-back"));
-        })
+        self.unary(
+            "permute",
+            ShapeSig::Permute(perm.to_vec()),
+            value,
+            move |g, sink| {
+                sink(aid, ops::permute(g, &inv).expect("permute-back"));
+            },
+        )
     }
 
     /// Concatenates vars along `axis`.
@@ -58,6 +74,7 @@ impl Var {
                 "vars belong to different graphs"
             );
         }
+        let inputs = ids.clone();
         first.graph.push(crate::graph::Node {
             value,
             requires_grad: requires,
@@ -77,6 +94,9 @@ impl Var {
                 None
             },
             param: None,
+            op: "concat",
+            sig: ShapeSig::Concat { axis },
+            inputs,
         })
     }
 
@@ -87,22 +107,27 @@ impl Var {
             .with_value(|a| ops::slice_axis(a, axis, start, end))
             .expect("slice_axis");
         let aid = self.id;
-        self.unary(value, move |g, sink| {
-            // Embed the slice gradient into a zero tensor of the input shape.
-            let mut full = Tensor::zeros(in_dims.clone());
-            let outer: usize = in_dims[..axis].iter().product();
-            let inner: usize = in_dims[axis + 1..].iter().product();
-            let axis_dim = in_dims[axis];
-            let len = end - start;
-            let gd = g.data();
-            let fd = full.data_mut();
-            for o in 0..outer {
-                let src = o * len * inner;
-                let dst = (o * axis_dim + start) * inner;
-                fd[dst..dst + len * inner].copy_from_slice(&gd[src..src + len * inner]);
-            }
-            sink(aid, full);
-        })
+        self.unary(
+            "slice_axis",
+            ShapeSig::SliceAxis { axis, start, end },
+            value,
+            move |g, sink| {
+                // Embed the slice gradient into a zero tensor of the input shape.
+                let mut full = Tensor::zeros(in_dims.clone());
+                let outer: usize = in_dims[..axis].iter().product();
+                let inner: usize = in_dims[axis + 1..].iter().product();
+                let axis_dim = in_dims[axis];
+                let len = end - start;
+                let gd = g.data();
+                let fd = full.data_mut();
+                for o in 0..outer {
+                    let src = o * len * inner;
+                    let dst = (o * axis_dim + start) * inner;
+                    fd[dst..dst + len * inner].copy_from_slice(&gd[src..src + len * inner]);
+                }
+                sink(aid, full);
+            },
+        )
     }
 
     /// Gathers rows of a rank-2 var: `out[i] = self[indices[i]]`.
@@ -116,10 +141,17 @@ impl Var {
             .expect("index_select_rows");
         let aid = self.id;
         let indices = indices.to_vec();
-        self.unary(value, move |g, sink| {
-            let mut full = Tensor::zeros(in_dims.clone());
-            ops::scatter_add_rows(&mut full, &indices, g);
-            sink(aid, full);
-        })
+        self.unary(
+            "index_select_rows",
+            ShapeSig::GatherRows {
+                count: indices.len(),
+            },
+            value,
+            move |g, sink| {
+                let mut full = Tensor::zeros(in_dims.clone());
+                ops::scatter_add_rows(&mut full, &indices, g);
+                sink(aid, full);
+            },
+        )
     }
 }

@@ -51,11 +51,34 @@ impl TrainingHistory {
 }
 
 /// Scalar loss pieces of one batch forward.
-struct BatchLosses {
-    total: Var,
+pub(crate) struct BatchLosses {
+    pub(crate) total: Var,
     rec: f64,
     kl: f64,
     cl: f64,
+}
+
+/// Norm limit used by the opt-in sanitizer (`TrainConfig.sanitize`):
+/// generous enough for healthy training at reproduction scale, small
+/// enough to catch divergence long before overflow.
+const SANITIZE_NORM_LIMIT: f32 = 1e6;
+
+/// Scans the shard's tape and collected gradients, aborting with per-op
+/// blame on the first violation (the `TrainConfig.sanitize` contract).
+fn sanitize_or_panic(stage: &str, g: &Graph, grads: &GradientSet) {
+    let mut issues = autograd::numeric::scan_graph(g, SANITIZE_NORM_LIMIT);
+    issues.extend(autograd::numeric::scan_gradients(
+        grads,
+        SANITIZE_NORM_LIMIT,
+    ));
+    if !issues.is_empty() {
+        let lines: Vec<String> = issues.iter().take(8).map(|i| i.to_string()).collect();
+        panic!(
+            "numeric sanitizer: {} issue(s) in `{stage}` stage: {}",
+            issues.len(),
+            lines.join("; ")
+        );
+    }
 }
 
 impl MetaSgcl {
@@ -64,7 +87,13 @@ impl MetaSgcl {
     /// Both views share the encoder features and the posterior mean; view 1
     /// samples with `Enc_σ`, view 2 (the generated augmentation) with
     /// `Enc_σ'`.
-    fn batch_losses(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> BatchLosses {
+    pub(crate) fn batch_losses(
+        &self,
+        g: &Graph,
+        batch: &Batch,
+        beta: f32,
+        rng: &mut StdRng,
+    ) -> BatchLosses {
         let (b, n) = (batch.len(), batch.seq_len());
         let vocab = self.backbone.vocab();
         let targets: Vec<usize> = batch
@@ -174,7 +203,7 @@ impl MetaSgcl {
 
     /// Stage-2 objective: the contrastive loss alone, recomputed from a
     /// fresh forward pass with everything but `Enc_σ'` frozen.
-    fn meta_stage_loss(&self, g: &Graph, batch: &Batch, rng: &mut StdRng) -> Var {
+    pub(crate) fn meta_stage_loss(&self, g: &Graph, batch: &Batch, rng: &mut StdRng) -> Var {
         let features = self.encode(g, &batch.inputs, &batch.pad, rng, true);
         let v1 = self.view(g, &features, &batch.pad, false, false, rng, true);
         let v2 = self.second_view(g, &features, batch, rng);
@@ -189,11 +218,14 @@ impl MetaSgcl {
 
     /// Stage-1 / joint shard work: full double-ELBO forward + backward on a
     /// private tape, gradients collected locally.
-    fn full_loss_shard(&self, shard: &Batch, beta: f32, seed: u64) -> ShardOutcome {
+    fn full_loss_shard(&self, shard: &Batch, beta: f32, seed: u64, sanitize: bool) -> ShardOutcome {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = Graph::new();
         let losses = self.batch_losses(&g, shard, beta, &mut rng);
         let grads = losses.total.backward_collect();
+        if sanitize {
+            sanitize_or_panic("full", &g, &grads);
+        }
         ShardOutcome {
             grads,
             rec: losses.rec,
@@ -207,14 +239,23 @@ impl MetaSgcl {
     /// Stage-2 shard work: contrastive loss only, with everything but
     /// `Enc_σ'` frozen by the caller. Returns `None` for shards with fewer
     /// than two rows (no in-shard negatives exist).
-    fn contrastive_shard(&self, shard: &Batch, seed: u64) -> Option<(GradientSet, usize)> {
+    fn contrastive_shard(
+        &self,
+        shard: &Batch,
+        seed: u64,
+        sanitize: bool,
+    ) -> Option<(GradientSet, usize)> {
         if shard.len() < 2 {
             return None;
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let g = Graph::new();
         let loss = self.meta_stage_loss(&g, shard, &mut rng);
-        Some((loss.backward_collect(), shard.len()))
+        let grads = loss.backward_collect();
+        if sanitize {
+            sanitize_or_panic("meta", &g, &grads);
+        }
+        Some((grads, shard.len()))
     }
 
     /// Fans the full-loss stage over the shards and reduces to one merged
@@ -225,9 +266,15 @@ impl MetaSgcl {
         shards: &[Batch],
         beta: f32,
         batch_seed: u64,
+        sanitize: bool,
     ) -> (GradientSet, BatchStats) {
         let outcomes = exec.map_shards(shards, |i, shard| {
-            self.full_loss_shard(shard, beta, Executor::shard_seed(batch_seed, 1, i as u64))
+            self.full_loss_shard(
+                shard,
+                beta,
+                Executor::shard_seed(batch_seed, 1, i as u64),
+                sanitize,
+            )
         });
         reduce_outcomes(&outcomes)
     }
@@ -240,9 +287,14 @@ impl MetaSgcl {
         exec: &Executor,
         shards: &[Batch],
         batch_seed: u64,
+        sanitize: bool,
     ) -> Option<GradientSet> {
         let collected = exec.map_shards(shards, |i, shard| {
-            self.contrastive_shard(shard, Executor::shard_seed(batch_seed, 2, i as u64))
+            self.contrastive_shard(
+                shard,
+                Executor::shard_seed(batch_seed, 2, i as u64),
+                sanitize,
+            )
         });
         let eligible: usize = collected.iter().flatten().map(|(_, len)| len).sum();
         if eligible == 0 {
@@ -302,7 +354,8 @@ impl MetaSgcl {
                 let shards = batch.shard(exec.shard_size());
                 match self.cfg.strategy {
                     TrainStrategy::Joint => {
-                        let (grads, stats) = self.full_loss_step(&exec, &shards, beta, batch_seed);
+                        let (grads, stats) =
+                            self.full_loss_step(&exec, &shards, beta, batch_seed, cfg.sanitize);
                         apply_step(&mut opt_all, &all_params, &grads, cfg.grad_clip);
                         sums.rec += stats.rec;
                         sums.kl += stats.kl;
@@ -312,7 +365,8 @@ impl MetaSgcl {
                     TrainStrategy::MetaTwoStep => {
                         // Stage 1: full loss, σ' frozen.
                         self.set_meta_trainable(false);
-                        let (grads, stats) = self.full_loss_step(&exec, &shards, beta, batch_seed);
+                        let (grads, stats) =
+                            self.full_loss_step(&exec, &shards, beta, batch_seed, cfg.sanitize);
                         apply_step(&mut opt_main, &main_params, &grads, cfg.grad_clip);
                         sums.rec += stats.rec;
                         sums.kl += stats.kl;
@@ -323,7 +377,9 @@ impl MetaSgcl {
                         // freeze it, and adapt Enc_σ' to the contrastive
                         // objective (Eq. 26).
                         self.set_main_trainable(false);
-                        if let Some(grads) = self.contrastive_step(&exec, &shards, batch_seed) {
+                        if let Some(grads) =
+                            self.contrastive_step(&exec, &shards, batch_seed, cfg.sanitize)
+                        {
                             apply_step(&mut opt_meta, &meta_params, &grads, cfg.grad_clip);
                         }
                         self.set_main_trainable(true);

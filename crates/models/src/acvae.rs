@@ -16,8 +16,9 @@ use nn::Module;
 use optim::{clip_grad_norm, Adam, KlAnnealing, Optimizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use recdata::{encode_input_only, Batcher, ItemId};
+use recdata::{encode_input_only, Batch, Batcher, ItemId};
 
+use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
 use crate::cl::{info_nce_masked, Similarity};
 use crate::sasrec::NetConfig;
@@ -67,6 +68,65 @@ impl Acvae {
         ps.extend(self.head.parameters());
         ps
     }
+
+    /// ELBO + contrastive input–latent MI loss for one batch. Shared by
+    /// [`SequentialRecommender::fit`] and the static auditor.
+    fn batch_loss(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> autograd::Var {
+        let (b, n) = (batch.len(), batch.seq_len());
+        let h = self
+            .backbone
+            .forward(g, &batch.inputs, &batch.pad, rng, true);
+        let (mu, lv) = self.head.forward(g, &h);
+        let z = reparameterize(&mu, &lv, rng, false);
+        let rec = self
+            .backbone
+            .scores(g, &z)
+            .reshape(vec![b * n, self.backbone.vocab()])
+            .cross_entropy_with_logits(
+                &batch
+                    .targets
+                    .iter()
+                    .flat_map(|r| r.iter().copied())
+                    .collect::<Vec<_>>(),
+            );
+        let kl = gaussian_kl(&mu, &lv);
+        let mut loss = rec.add(&kl.scale(beta));
+        if b >= 2 {
+            // Contrastive MI between latent summary and the mean
+            // input embedding (positive pairs come from the same
+            // sequence).
+            let z_last = TransformerBackbone::last_hidden(&z);
+            let emb = self.backbone.embed(g, &batch.inputs, rng, true);
+            let timeline = TransformerBackbone::timeline_mask(&batch.pad);
+            let seq_repr = emb.mul_const(&timeline).mean_axis(1, false); // [b, d]
+            let cl = info_nce_masked(&z_last, &seq_repr, 1.0, Similarity::Dot, &batch.last_target);
+            loss = loss.add(&cl.scale(self.gamma));
+        }
+        loss
+    }
+}
+
+impl Auditable for Acvae {
+    fn audit_name(&self) -> String {
+        self.name()
+    }
+
+    fn audit_contracts(&self) -> Vec<StageContract> {
+        vec![StageContract::full(self.all_params())]
+    }
+
+    fn trace_stage(&mut self, stage: &str, seqs: &[Vec<ItemId>], seed: u64) -> StageTrace {
+        assert_eq!(stage, "full", "ACVAE has a single `full` stage");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = audit_batch(seqs, self.net.max_len, seed);
+        let g = Graph::new();
+        let loss = self.batch_loss(&g, &batch, self.beta, &mut rng);
+        StageTrace {
+            stage: stage.into(),
+            graph: g,
+            loss,
+        }
+    }
 }
 
 impl SequentialRecommender for Acvae {
@@ -90,42 +150,7 @@ impl SequentialRecommender for Acvae {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let (b, n) = (batch.len(), batch.seq_len());
-                let h = self
-                    .backbone
-                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
-                let (mu, lv) = self.head.forward(&g, &h);
-                let z = reparameterize(&mu, &lv, &mut rng, false);
-                let rec = self
-                    .backbone
-                    .scores(&g, &z)
-                    .reshape(vec![b * n, self.backbone.vocab()])
-                    .cross_entropy_with_logits(
-                        &batch
-                            .targets
-                            .iter()
-                            .flat_map(|r| r.iter().copied())
-                            .collect::<Vec<_>>(),
-                    );
-                let kl = gaussian_kl(&mu, &lv);
-                let mut loss = rec.add(&kl.scale(anneal.beta(step)));
-                if b >= 2 {
-                    // Contrastive MI between latent summary and the mean
-                    // input embedding (positive pairs come from the same
-                    // sequence).
-                    let z_last = TransformerBackbone::last_hidden(&z);
-                    let emb = self.backbone.embed(&g, &batch.inputs, &mut rng, true);
-                    let timeline = TransformerBackbone::timeline_mask(&batch.pad);
-                    let seq_repr = emb.mul_const(&timeline).mean_axis(1, false); // [b, d]
-                    let cl = info_nce_masked(
-                        &z_last,
-                        &seq_repr,
-                        1.0,
-                        Similarity::Dot,
-                        &batch.last_target,
-                    );
-                    loss = loss.add(&cl.scale(self.gamma));
-                }
+                let loss = self.batch_loss(&g, &batch, anneal.beta(step), &mut rng);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

@@ -8,6 +8,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use recdata::{encode_input_only, ItemId};
 
+use crate::audit::{Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
 use crate::sasrec::NetConfig;
 use crate::{SequentialRecommender, TrainConfig};
@@ -48,6 +49,69 @@ impl Bert4Rec {
     fn mask_token(&self) -> ItemId {
         self.net.num_items + 1
     }
+
+    /// Cloze loss over a chunk of sequences: randomly masks positions
+    /// (always at least the final one) and predicts the masked items.
+    /// Shared by [`SequentialRecommender::fit`] and the static auditor.
+    fn cloze_loss(&self, g: &Graph, seqs: &[&Vec<ItemId>], rng: &mut StdRng) -> autograd::Var {
+        let mask_token = self.mask_token();
+        let mut inputs = Vec::with_capacity(seqs.len());
+        let mut pads = Vec::with_capacity(seqs.len());
+        let mut targets: Vec<usize> = Vec::with_capacity(seqs.len() * self.net.max_len);
+        for seq in seqs {
+            let (mut input, pad) = encode_input_only(seq, self.net.max_len);
+            let mut row_targets = vec![IGNORE_INDEX; self.net.max_len];
+            let mut masked_any = false;
+            for (t, is_pad) in pad.iter().enumerate() {
+                if *is_pad {
+                    continue;
+                }
+                if rng.gen::<f64>() < self.mask_prob {
+                    row_targets[t] = input[t];
+                    input[t] = mask_token;
+                    masked_any = true;
+                }
+            }
+            if !masked_any {
+                // Always mask the final position so every sequence
+                // contributes (also matches the inference pattern).
+                let t = self.net.max_len - 1;
+                row_targets[t] = input[t];
+                input[t] = mask_token;
+            }
+            inputs.push(input);
+            pads.push(pad);
+            targets.extend(row_targets);
+        }
+        let h = self.backbone.forward(g, &inputs, &pads, rng, true);
+        let logits = self.backbone.scores(g, &h);
+        let flat = logits.reshape(vec![inputs.len() * self.net.max_len, self.backbone.vocab()]);
+        flat.cross_entropy_with_logits(&targets)
+    }
+}
+
+impl Auditable for Bert4Rec {
+    fn audit_name(&self) -> String {
+        self.name()
+    }
+
+    fn audit_contracts(&self) -> Vec<StageContract> {
+        vec![StageContract::full(self.backbone.parameters())]
+    }
+
+    fn trace_stage(&mut self, stage: &str, seqs: &[Vec<ItemId>], seed: u64) -> StageTrace {
+        assert_eq!(stage, "full", "BERT4Rec has a single `full` stage");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let usable: Vec<&Vec<ItemId>> = seqs.iter().filter(|s| s.len() >= 2).collect();
+        assert!(!usable.is_empty(), "audit sequences too short for BERT4Rec");
+        let g = Graph::new();
+        let loss = self.cloze_loss(&g, &usable, &mut rng);
+        StageTrace {
+            stage: stage.into(),
+            graph: g,
+            loss,
+        }
+    }
 }
 
 impl SequentialRecommender for Bert4Rec {
@@ -61,7 +125,6 @@ impl SequentialRecommender for Bert4Rec {
 
     fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mask_token = self.mask_token();
         let usable: Vec<&Vec<ItemId>> = train.iter().filter(|s| s.len() >= 2).collect();
         if usable.is_empty() {
             return;
@@ -74,40 +137,9 @@ impl SequentialRecommender for Bert4Rec {
             let mut total = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(cfg.batch_size) {
-                let mut inputs = Vec::with_capacity(chunk.len());
-                let mut pads = Vec::with_capacity(chunk.len());
-                let mut targets: Vec<usize> = Vec::with_capacity(chunk.len() * self.net.max_len);
-                for &i in chunk {
-                    let (mut input, pad) = encode_input_only(usable[i], self.net.max_len);
-                    let mut row_targets = vec![IGNORE_INDEX; self.net.max_len];
-                    let mut masked_any = false;
-                    for (t, is_pad) in pad.iter().enumerate() {
-                        if *is_pad {
-                            continue;
-                        }
-                        if rng.gen::<f64>() < self.mask_prob {
-                            row_targets[t] = input[t];
-                            input[t] = mask_token;
-                            masked_any = true;
-                        }
-                    }
-                    if !masked_any {
-                        // Always mask the final position so every sequence
-                        // contributes (also matches the inference pattern).
-                        let t = self.net.max_len - 1;
-                        row_targets[t] = input[t];
-                        input[t] = mask_token;
-                    }
-                    inputs.push(input);
-                    pads.push(pad);
-                    targets.extend(row_targets);
-                }
+                let seqs: Vec<&Vec<ItemId>> = chunk.iter().map(|&i| usable[i]).collect();
                 let g = Graph::new();
-                let h = self.backbone.forward(&g, &inputs, &pads, &mut rng, true);
-                let logits = self.backbone.scores(&g, &h);
-                let flat =
-                    logits.reshape(vec![inputs.len() * self.net.max_len, self.backbone.vocab()]);
-                let loss = flat.cross_entropy_with_logits(&targets);
+                let loss = self.cloze_loss(&g, &seqs, &mut rng);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

@@ -16,6 +16,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use recdata::{ItemId, PAD_ITEM};
 
+use crate::audit::{Auditable, StageContract, StageTrace};
 use crate::{SequentialRecommender, TrainConfig};
 
 /// The Caser model.
@@ -104,6 +105,29 @@ impl Caser {
         self.fc.forward(g, &cat).relu()
     }
 
+    /// Full-catalog cross-entropy over a chunk of `(window, target)`
+    /// examples. Shared by [`SequentialRecommender::fit`] and the static
+    /// auditor.
+    fn chunk_loss(&self, g: &Graph, chunk: &[(Vec<ItemId>, usize)]) -> Var {
+        let windows: Vec<Vec<ItemId>> = chunk.iter().map(|(w, _)| w.clone()).collect();
+        let targets: Vec<usize> = chunk.iter().map(|(_, t)| *t).collect();
+        let z = self.seq_repr(g, &windows);
+        let logits = z.matmul(&self.item_emb.full(g).transpose_last2());
+        logits.cross_entropy_with_logits(&targets)
+    }
+
+    /// Sliding-window training examples for the given sequences.
+    fn examples_of(&self, train: &[Vec<ItemId>]) -> Vec<(Vec<ItemId>, usize)> {
+        let mut examples: Vec<(Vec<ItemId>, usize)> = Vec::new();
+        for seq in train {
+            for t in 0..seq.len().saturating_sub(1) {
+                let window = self.window_of(&seq[..=t]);
+                examples.push((window, seq[t + 1]));
+            }
+        }
+        examples
+    }
+
     /// Last `window` items of `seq`, left-padded to the window size.
     fn window_of(&self, seq: &[ItemId]) -> Vec<ItemId> {
         let keep = if seq.len() > self.window {
@@ -114,6 +138,29 @@ impl Caser {
         let mut w = vec![PAD_ITEM; self.window - keep.len()];
         w.extend_from_slice(keep);
         w
+    }
+}
+
+impl Auditable for Caser {
+    fn audit_name(&self) -> String {
+        self.name()
+    }
+
+    fn audit_contracts(&self) -> Vec<StageContract> {
+        vec![StageContract::full(self.parameters())]
+    }
+
+    fn trace_stage(&mut self, stage: &str, seqs: &[Vec<ItemId>], _seed: u64) -> StageTrace {
+        assert_eq!(stage, "full", "Caser has a single `full` stage");
+        let examples = self.examples_of(seqs);
+        assert!(!examples.is_empty(), "audit sequences too short for Caser");
+        let g = Graph::new();
+        let loss = self.chunk_loss(&g, &examples);
+        StageTrace {
+            stage: stage.into(),
+            graph: g,
+            loss,
+        }
     }
 }
 
@@ -129,13 +176,7 @@ impl SequentialRecommender for Caser {
     fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         // Sliding-window examples: (last-L window ending at t, target t+1).
-        let mut examples: Vec<(Vec<ItemId>, usize)> = Vec::new();
-        for seq in train {
-            for t in 0..seq.len().saturating_sub(1) {
-                let window = self.window_of(&seq[..=t]);
-                examples.push((window, seq[t + 1]));
-            }
-        }
+        let mut examples = self.examples_of(train);
         if examples.is_empty() {
             return;
         }
@@ -147,11 +188,7 @@ impl SequentialRecommender for Caser {
             let mut batches = 0usize;
             for chunk in examples.chunks(cfg.batch_size) {
                 let g = Graph::new();
-                let windows: Vec<Vec<ItemId>> = chunk.iter().map(|(w, _)| w.clone()).collect();
-                let targets: Vec<usize> = chunk.iter().map(|(_, t)| *t).collect();
-                let z = self.seq_repr(&g, &windows);
-                let logits = z.matmul(&self.item_emb.full(&g).transpose_last2());
-                let loss = logits.cross_entropy_with_logits(&targets);
+                let loss = self.chunk_loss(&g, chunk);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

@@ -10,8 +10,9 @@ use autograd::Graph;
 use optim::{clip_grad_norm, Adam, Optimizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use recdata::{encode_input_only, item_crop, item_mask, item_reorder, Batcher, ItemId};
+use recdata::{encode_input_only, item_crop, item_mask, item_reorder, Batch, Batcher, ItemId};
 
+use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
 use crate::cl::{info_nce_masked, Similarity};
 use crate::sasrec::NetConfig;
@@ -85,6 +86,64 @@ impl Cl4SRec {
         }
         (inputs, pads)
     }
+
+    /// Cross-entropy plus augmentation-contrastive loss for one batch.
+    /// Shared by [`SequentialRecommender::fit`] and the static auditor.
+    fn batch_loss(&self, g: &Graph, batch: &Batch, rng: &mut StdRng) -> autograd::Var {
+        let (b, n) = (batch.len(), batch.seq_len());
+        let h = self
+            .backbone
+            .forward(g, &batch.inputs, &batch.pad, rng, true);
+        let logits = self.backbone.scores(g, &h);
+        let targets: Vec<usize> = batch
+            .targets
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect();
+        let mut loss = logits
+            .reshape(vec![b * n, self.backbone.vocab()])
+            .cross_entropy_with_logits(&targets);
+        if b >= 2 && self.lambda > 0.0 {
+            // Two independently augmented views of the raw inputs.
+            let raws: Vec<Vec<ItemId>> = batch
+                .inputs
+                .iter()
+                .map(|inp| inp.iter().copied().filter(|&x| x != 0).collect())
+                .collect();
+            let (in1, pd1) = self.encode_augmented(&raws, rng);
+            let (in2, pd2) = self.encode_augmented(&raws, rng);
+            let h1 = self.backbone.forward(g, &in1, &pd1, rng, true);
+            let h2 = self.backbone.forward(g, &in2, &pd2, rng, true);
+            let z1 = TransformerBackbone::last_hidden(&h1);
+            let z2 = TransformerBackbone::last_hidden(&h2);
+            let cl = info_nce_masked(&z1, &z2, self.tau, Similarity::Dot, &batch.last_target);
+            loss = loss.add(&cl.scale(self.lambda));
+        }
+        loss
+    }
+}
+
+impl Auditable for Cl4SRec {
+    fn audit_name(&self) -> String {
+        self.name()
+    }
+
+    fn audit_contracts(&self) -> Vec<StageContract> {
+        vec![StageContract::full(self.backbone.parameters())]
+    }
+
+    fn trace_stage(&mut self, stage: &str, seqs: &[Vec<ItemId>], seed: u64) -> StageTrace {
+        assert_eq!(stage, "full", "CL4SRec has a single `full` stage");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = audit_batch(seqs, self.net.max_len, seed);
+        let g = Graph::new();
+        let loss = self.batch_loss(&g, &batch, &mut rng);
+        StageTrace {
+            stage: stage.into(),
+            graph: g,
+            loss,
+        }
+    }
 }
 
 impl SequentialRecommender for Cl4SRec {
@@ -106,36 +165,7 @@ impl SequentialRecommender for Cl4SRec {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let (b, n) = (batch.len(), batch.seq_len());
-                let h = self
-                    .backbone
-                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
-                let logits = self.backbone.scores(&g, &h);
-                let targets: Vec<usize> = batch
-                    .targets
-                    .iter()
-                    .flat_map(|r| r.iter().copied())
-                    .collect();
-                let mut loss = logits
-                    .reshape(vec![b * n, self.backbone.vocab()])
-                    .cross_entropy_with_logits(&targets);
-                if b >= 2 && self.lambda > 0.0 {
-                    // Two independently augmented views of the raw inputs.
-                    let raws: Vec<Vec<ItemId>> = batch
-                        .inputs
-                        .iter()
-                        .map(|inp| inp.iter().copied().filter(|&x| x != 0).collect())
-                        .collect();
-                    let (in1, pd1) = self.encode_augmented(&raws, &mut rng);
-                    let (in2, pd2) = self.encode_augmented(&raws, &mut rng);
-                    let h1 = self.backbone.forward(&g, &in1, &pd1, &mut rng, true);
-                    let h2 = self.backbone.forward(&g, &in2, &pd2, &mut rng, true);
-                    let z1 = TransformerBackbone::last_hidden(&h1);
-                    let z2 = TransformerBackbone::last_hidden(&h2);
-                    let cl =
-                        info_nce_masked(&z1, &z2, self.tau, Similarity::Dot, &batch.last_target);
-                    loss = loss.add(&cl.scale(self.lambda));
-                }
+                let loss = self.batch_loss(&g, &batch, &mut rng);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

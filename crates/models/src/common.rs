@@ -35,6 +35,13 @@ pub struct TrainConfig {
     /// are mean-reduced in fixed shard order. Contrastive terms draw
     /// in-batch negatives per shard, so smaller shards mean fewer negatives.
     pub shard_size: usize,
+    /// Opt-in numeric sanitizer (debug mode). When true, every training
+    /// shard's activations and collected gradients are scanned for
+    /// NaN/Inf/exploding norms at stage boundaries, and training aborts
+    /// with per-op blame (op name, tape node, parameter) on the first
+    /// violation. Costs one extra pass over the tape per shard; off by
+    /// default.
+    pub sanitize: bool,
 }
 
 impl Default for TrainConfig {
@@ -49,6 +56,7 @@ impl Default for TrainConfig {
             verbose: false,
             threads: 1,
             shard_size: 16,
+            sanitize: false,
         }
     }
 }

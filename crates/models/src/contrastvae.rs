@@ -10,8 +10,9 @@ use nn::Module;
 use optim::{clip_grad_norm, Adam, KlAnnealing, Optimizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use recdata::{encode_input_only, item_crop, item_mask, item_reorder, Batcher, ItemId};
+use recdata::{encode_input_only, item_crop, item_mask, item_reorder, Batch, Batcher, ItemId};
 
+use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
 use crate::cl::{info_nce_masked, Similarity};
 use crate::sasrec::NetConfig;
@@ -96,6 +97,104 @@ impl ContrastVae {
             _ => item_reorder(seq, 0.3, rng),
         }
     }
+
+    /// Two-view ELBO + InfoNCE loss for one batch with KL weight `beta`.
+    /// Shared by [`SequentialRecommender::fit`] and the static auditor.
+    fn batch_loss(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> autograd::Var {
+        let (b, n) = (batch.len(), batch.seq_len());
+        let vocab = self.backbone.vocab();
+        let targets: Vec<usize> = batch
+            .targets
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect();
+
+        // Branch 1: original input.
+        let h1 = self
+            .backbone
+            .forward(g, &batch.inputs, &batch.pad, rng, true);
+        let (mu1, lv1) = self.head.forward(g, &h1);
+        let z1 = reparameterize(&mu1, &lv1, rng, false);
+        let rec1 = self
+            .backbone
+            .scores(g, &z1)
+            .reshape(vec![b * n, vocab])
+            .cross_entropy_with_logits(&targets);
+        let kl1 = gaussian_kl(&mu1, &lv1);
+
+        // Branch 2: augmented view.
+        let (inputs2, pad2) = match self.augmentation {
+            Augmentation::Model => (batch.inputs.clone(), batch.pad.clone()),
+            Augmentation::Data => {
+                let mut inputs2 = Vec::with_capacity(b);
+                let mut pad2 = Vec::with_capacity(b);
+                for input in &batch.inputs {
+                    let raw: Vec<ItemId> = input.iter().copied().filter(|&x| x != 0).collect();
+                    let aug = self.augment_sequence(&raw, rng);
+                    let (inp, pd) = encode_input_only(&aug, self.net.max_len);
+                    inputs2.push(inp);
+                    pad2.push(pd);
+                }
+                (inputs2, pad2)
+            }
+        };
+        let h2 = self.backbone.forward(g, &inputs2, &pad2, rng, true);
+        let (mu2, lv2) = self.head.forward(g, &h2);
+        let z2 = reparameterize(&mu2, &lv2, rng, false);
+        // The augmented branch reconstructs the *original* targets
+        // (its own positions may be misaligned after crop, so we
+        // follow the original paper and supervise the summary
+        // position only via the contrastive term plus the branch-2
+        // last-position recommendation loss).
+        let z2_last = TransformerBackbone::last_hidden(&z2);
+        let kl2 = gaussian_kl(&mu2, &lv2);
+
+        // Average the two branches' KLs so the effective β matches
+        // the single-branch baselines.
+        let mut loss = rec1.add(&kl1.add(&kl2).scale(beta * 0.5));
+        if self.second_reconstruction {
+            let rec2 = self
+                .backbone
+                .scores(g, &z2_last)
+                .cross_entropy_with_logits(&batch.last_target);
+            loss = loss.add(&rec2);
+        }
+        if b >= 2 {
+            let z1_last = TransformerBackbone::last_hidden(&z1);
+            let cl = info_nce_masked(
+                &z1_last,
+                &z2_last,
+                self.tau,
+                Similarity::Dot,
+                &batch.last_target,
+            );
+            loss = loss.add(&cl.scale(self.alpha));
+        }
+        loss
+    }
+}
+
+impl Auditable for ContrastVae {
+    fn audit_name(&self) -> String {
+        self.name()
+    }
+
+    fn audit_contracts(&self) -> Vec<StageContract> {
+        vec![StageContract::full(self.all_params())]
+    }
+
+    fn trace_stage(&mut self, stage: &str, seqs: &[Vec<ItemId>], seed: u64) -> StageTrace {
+        assert_eq!(stage, "full", "ContrastVAE has a single `full` stage");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = audit_batch(seqs, self.net.max_len, seed);
+        let g = Graph::new();
+        let loss = self.batch_loss(&g, &batch, self.beta, &mut rng);
+        StageTrace {
+            stage: stage.into(),
+            graph: g,
+            loss,
+        }
+    }
 }
 
 impl SequentialRecommender for ContrastVae {
@@ -119,76 +218,7 @@ impl SequentialRecommender for ContrastVae {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let (b, n) = (batch.len(), batch.seq_len());
-                let vocab = self.backbone.vocab();
-                let targets: Vec<usize> = batch
-                    .targets
-                    .iter()
-                    .flat_map(|r| r.iter().copied())
-                    .collect();
-
-                // Branch 1: original input.
-                let h1 = self
-                    .backbone
-                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
-                let (mu1, lv1) = self.head.forward(&g, &h1);
-                let z1 = reparameterize(&mu1, &lv1, &mut rng, false);
-                let rec1 = self
-                    .backbone
-                    .scores(&g, &z1)
-                    .reshape(vec![b * n, vocab])
-                    .cross_entropy_with_logits(&targets);
-                let kl1 = gaussian_kl(&mu1, &lv1);
-
-                // Branch 2: augmented view.
-                let (inputs2, pad2) = match self.augmentation {
-                    Augmentation::Model => (batch.inputs.clone(), batch.pad.clone()),
-                    Augmentation::Data => {
-                        let mut inputs2 = Vec::with_capacity(b);
-                        let mut pad2 = Vec::with_capacity(b);
-                        for input in &batch.inputs {
-                            let raw: Vec<ItemId> =
-                                input.iter().copied().filter(|&x| x != 0).collect();
-                            let aug = self.augment_sequence(&raw, &mut rng);
-                            let (inp, pd) = encode_input_only(&aug, self.net.max_len);
-                            inputs2.push(inp);
-                            pad2.push(pd);
-                        }
-                        (inputs2, pad2)
-                    }
-                };
-                let h2 = self.backbone.forward(&g, &inputs2, &pad2, &mut rng, true);
-                let (mu2, lv2) = self.head.forward(&g, &h2);
-                let z2 = reparameterize(&mu2, &lv2, &mut rng, false);
-                // The augmented branch reconstructs the *original* targets
-                // (its own positions may be misaligned after crop, so we
-                // follow the original paper and supervise the summary
-                // position only via the contrastive term plus the branch-2
-                // last-position recommendation loss).
-                let z2_last = TransformerBackbone::last_hidden(&z2);
-                let kl2 = gaussian_kl(&mu2, &lv2);
-
-                // Average the two branches' KLs so the effective β matches
-                // the single-branch baselines.
-                let mut loss = rec1.add(&kl1.add(&kl2).scale(anneal.beta(step) * 0.5));
-                if self.second_reconstruction {
-                    let rec2 = self
-                        .backbone
-                        .scores(&g, &z2_last)
-                        .cross_entropy_with_logits(&batch.last_target);
-                    loss = loss.add(&rec2);
-                }
-                if b >= 2 {
-                    let z1_last = TransformerBackbone::last_hidden(&z1);
-                    let cl = info_nce_masked(
-                        &z1_last,
-                        &z2_last,
-                        self.tau,
-                        Similarity::Dot,
-                        &batch.last_target,
-                    );
-                    loss = loss.add(&cl.scale(self.alpha));
-                }
+                let loss = self.batch_loss(&g, &batch, anneal.beta(step), &mut rng);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

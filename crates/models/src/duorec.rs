@@ -7,9 +7,10 @@ use autograd::Graph;
 use optim::{clip_grad_norm, Adam, Optimizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use recdata::{encode_input_only, Batcher, ItemId};
+use recdata::{encode_input_only, Batch, Batcher, ItemId};
 use std::collections::HashMap;
 
+use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
 use crate::cl::{info_nce_masked, Similarity};
 use crate::sasrec::NetConfig;
@@ -63,6 +64,110 @@ impl DuoRec {
     pub fn backbone(&self) -> &TransformerBackbone {
         &self.backbone
     }
+
+    /// Supervised positives: sequences grouped by target (last item).
+    fn target_index(train: &[Vec<ItemId>]) -> HashMap<ItemId, Vec<Vec<ItemId>>> {
+        let mut by_target: HashMap<ItemId, Vec<Vec<ItemId>>> = HashMap::new();
+        for s in train.iter().filter(|s| s.len() >= 2) {
+            // The "semantic positive" shares the same next item; its input
+            // is everything before its own last item.
+            let target = *s.last().expect("non-empty");
+            by_target
+                .entry(target)
+                .or_default()
+                .push(s[..s.len() - 1].to_vec());
+        }
+        by_target
+    }
+
+    /// CE + dropout-view + same-target contrastive loss for one batch.
+    /// Shared by [`SequentialRecommender::fit`] and the static auditor.
+    fn batch_loss(
+        &self,
+        g: &Graph,
+        batch: &Batch,
+        by_target: &HashMap<ItemId, Vec<Vec<ItemId>>>,
+        rng: &mut StdRng,
+    ) -> autograd::Var {
+        let b = batch.len();
+        // Recommendation view.
+        let h1 = self
+            .backbone
+            .forward(g, &batch.inputs, &batch.pad, rng, true);
+        let logits = self.backbone.scores(g, &h1);
+        let flat = logits.reshape(vec![b * batch.seq_len(), self.backbone.vocab()]);
+        let targets: Vec<usize> = batch
+            .targets
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect();
+        let mut loss = flat.cross_entropy_with_logits(&targets);
+        if b >= 2 {
+            // Unsupervised view: a second dropout-perturbed pass.
+            let h2 = self
+                .backbone
+                .forward(g, &batch.inputs, &batch.pad, rng, true);
+            let z1 = TransformerBackbone::last_hidden(&h1);
+            let z2 = TransformerBackbone::last_hidden(&h2);
+            let cl_unsup = info_nce_masked(&z1, &z2, self.tau, Similarity::Dot, &batch.last_target);
+            loss = loss.add(&cl_unsup.scale(self.lambda_unsup));
+            // Supervised view: a different sequence with the same
+            // target, where one exists; fall back to the dropout
+            // view otherwise.
+            let mut sup_inputs = Vec::with_capacity(b);
+            let mut sup_pad = Vec::with_capacity(b);
+            for (i, &target) in batch.last_target.iter().enumerate() {
+                let candidates = by_target.get(&target);
+                let choice = candidates.and_then(|c| {
+                    if c.len() > 1 {
+                        Some(c[rng.gen_range(0..c.len())].clone())
+                    } else {
+                        None
+                    }
+                });
+                match choice {
+                    Some(seq) if !seq.is_empty() => {
+                        let (inp, pd) = encode_input_only(&seq, self.net.max_len);
+                        sup_inputs.push(inp);
+                        sup_pad.push(pd);
+                    }
+                    _ => {
+                        sup_inputs.push(batch.inputs[i].clone());
+                        sup_pad.push(batch.pad[i].clone());
+                    }
+                }
+            }
+            let h3 = self.backbone.forward(g, &sup_inputs, &sup_pad, rng, true);
+            let z3 = TransformerBackbone::last_hidden(&h3);
+            let cl_sup = info_nce_masked(&z1, &z3, self.tau, Similarity::Dot, &batch.last_target);
+            loss = loss.add(&cl_sup.scale(self.lambda_sup));
+        }
+        loss
+    }
+}
+
+impl Auditable for DuoRec {
+    fn audit_name(&self) -> String {
+        self.name()
+    }
+
+    fn audit_contracts(&self) -> Vec<StageContract> {
+        vec![StageContract::full(self.backbone.parameters())]
+    }
+
+    fn trace_stage(&mut self, stage: &str, seqs: &[Vec<ItemId>], seed: u64) -> StageTrace {
+        assert_eq!(stage, "full", "DuoRec has a single `full` stage");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let by_target = Self::target_index(seqs);
+        let batch = audit_batch(seqs, self.net.max_len, seed);
+        let g = Graph::new();
+        let loss = self.batch_loss(&g, &batch, &by_target, &mut rng);
+        StageTrace {
+            stage: stage.into(),
+            graph: g,
+            loss,
+        }
+    }
 }
 
 impl SequentialRecommender for DuoRec {
@@ -77,17 +182,7 @@ impl SequentialRecommender for DuoRec {
     fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let batcher = Batcher::new(train.to_vec(), self.net.max_len, cfg.batch_size);
-        // Supervised positives: sequences grouped by target (last item).
-        let mut by_target: HashMap<ItemId, Vec<Vec<ItemId>>> = HashMap::new();
-        for s in train.iter().filter(|s| s.len() >= 2) {
-            // The "semantic positive" shares the same next item; its input
-            // is everything before its own last item.
-            let target = *s.last().expect("non-empty");
-            by_target
-                .entry(target)
-                .or_default()
-                .push(s[..s.len() - 1].to_vec());
-        }
+        let by_target = Self::target_index(train);
         let params = self.backbone.parameters();
         let mut opt = Adam::new(params.clone(), cfg.lr);
         for epoch in 0..cfg.epochs {
@@ -95,63 +190,7 @@ impl SequentialRecommender for DuoRec {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let b = batch.len();
-                // Recommendation view.
-                let h1 = self
-                    .backbone
-                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
-                let logits = self.backbone.scores(&g, &h1);
-                let flat = logits.reshape(vec![b * batch.seq_len(), self.backbone.vocab()]);
-                let targets: Vec<usize> = batch
-                    .targets
-                    .iter()
-                    .flat_map(|r| r.iter().copied())
-                    .collect();
-                let mut loss = flat.cross_entropy_with_logits(&targets);
-                if b >= 2 {
-                    // Unsupervised view: a second dropout-perturbed pass.
-                    let h2 = self
-                        .backbone
-                        .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
-                    let z1 = TransformerBackbone::last_hidden(&h1);
-                    let z2 = TransformerBackbone::last_hidden(&h2);
-                    let cl_unsup =
-                        info_nce_masked(&z1, &z2, self.tau, Similarity::Dot, &batch.last_target);
-                    loss = loss.add(&cl_unsup.scale(self.lambda_unsup));
-                    // Supervised view: a different sequence with the same
-                    // target, where one exists; fall back to the dropout
-                    // view otherwise.
-                    let mut sup_inputs = Vec::with_capacity(b);
-                    let mut sup_pad = Vec::with_capacity(b);
-                    for (i, &target) in batch.last_target.iter().enumerate() {
-                        let candidates = by_target.get(&target);
-                        let choice = candidates.and_then(|c| {
-                            if c.len() > 1 {
-                                Some(c[rng.gen_range(0..c.len())].clone())
-                            } else {
-                                None
-                            }
-                        });
-                        match choice {
-                            Some(seq) if !seq.is_empty() => {
-                                let (inp, pd) = encode_input_only(&seq, self.net.max_len);
-                                sup_inputs.push(inp);
-                                sup_pad.push(pd);
-                            }
-                            _ => {
-                                sup_inputs.push(batch.inputs[i].clone());
-                                sup_pad.push(batch.pad[i].clone());
-                            }
-                        }
-                    }
-                    let h3 = self
-                        .backbone
-                        .forward(&g, &sup_inputs, &sup_pad, &mut rng, true);
-                    let z3 = TransformerBackbone::last_hidden(&h3);
-                    let cl_sup =
-                        info_nce_masked(&z1, &z3, self.tau, Similarity::Dot, &batch.last_target);
-                    loss = loss.add(&cl_sup.scale(self.lambda_sup));
-                }
+                let loss = self.batch_loss(&g, &batch, &by_target, &mut rng);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

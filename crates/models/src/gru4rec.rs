@@ -11,8 +11,9 @@ use nn::{Embedding, Gru, Module};
 use optim::{clip_grad_norm, Adam, Optimizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use recdata::{encode_input_only, Batcher, ItemId};
+use recdata::{encode_input_only, Batch, Batcher, ItemId};
 
+use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::{SequentialRecommender, TrainConfig};
 
 /// The GRU4Rec model.
@@ -42,6 +43,44 @@ impl Gru4Rec {
         ps.extend(self.gru.parameters());
         ps
     }
+
+    /// Tied-softmax next-item loss for one batch. Shared by
+    /// [`SequentialRecommender::fit`] and the static auditor.
+    fn batch_loss(&self, g: &Graph, batch: &Batch) -> autograd::Var {
+        let x = self.item_emb.forward_batch(g, &batch.inputs);
+        let h = self.gru.forward_sequence(g, &x); // [b, n, d]
+        let logits = h.matmul(&self.item_emb.full(g).transpose_last2());
+        let (b, n) = (batch.len(), batch.seq_len());
+        let flat = logits.reshape(vec![b * n, self.num_items + 1]);
+        let targets: Vec<usize> = batch
+            .targets
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect();
+        flat.cross_entropy_with_logits(&targets)
+    }
+}
+
+impl Auditable for Gru4Rec {
+    fn audit_name(&self) -> String {
+        self.name()
+    }
+
+    fn audit_contracts(&self) -> Vec<StageContract> {
+        vec![StageContract::full(self.parameters())]
+    }
+
+    fn trace_stage(&mut self, stage: &str, seqs: &[Vec<ItemId>], seed: u64) -> StageTrace {
+        assert_eq!(stage, "full", "GRU4Rec has a single `full` stage");
+        let batch = audit_batch(seqs, self.max_len, seed);
+        let g = Graph::new();
+        let loss = self.batch_loss(&g, &batch);
+        StageTrace {
+            stage: stage.into(),
+            graph: g,
+            loss,
+        }
+    }
 }
 
 impl SequentialRecommender for Gru4Rec {
@@ -63,17 +102,7 @@ impl SequentialRecommender for Gru4Rec {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let x = self.item_emb.forward_batch(&g, &batch.inputs);
-                let h = self.gru.forward_sequence(&g, &x); // [b, n, d]
-                let logits = h.matmul(&self.item_emb.full(&g).transpose_last2());
-                let (b, n) = (batch.len(), batch.seq_len());
-                let flat = logits.reshape(vec![b * n, self.num_items + 1]);
-                let targets: Vec<usize> = batch
-                    .targets
-                    .iter()
-                    .flat_map(|r| r.iter().copied())
-                    .collect();
-                let loss = flat.cross_entropy_with_logits(&targets);
+                let loss = self.batch_loss(&g, &batch);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

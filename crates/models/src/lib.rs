@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod backbone;
 pub mod cl;
 mod common;
@@ -36,6 +37,7 @@ mod sasrec;
 mod vsan;
 
 pub use acvae::Acvae;
+pub use audit::{audit_batch, audit_sequences, Auditable, StageContract, StageTrace};
 pub use backbone::TransformerBackbone;
 pub use bert4rec::Bert4Rec;
 pub use bprmf::BprMf;

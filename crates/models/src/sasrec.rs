@@ -5,8 +5,9 @@ use autograd::Graph;
 use optim::{clip_grad_norm, Adam, Optimizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use recdata::{encode_input_only, Batcher, ItemId};
+use recdata::{encode_input_only, Batch, Batcher, ItemId};
 
+use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
 use crate::{SequentialRecommender, TrainConfig};
 
@@ -73,6 +74,46 @@ impl SasRec {
     pub fn backbone(&self) -> &TransformerBackbone {
         &self.backbone
     }
+
+    /// Builds the per-position next-item cross-entropy loss for one batch.
+    /// Shared by [`SequentialRecommender::fit`] and the static auditor.
+    fn batch_loss(&self, g: &Graph, batch: &Batch, rng: &mut StdRng) -> autograd::Var {
+        let h = self
+            .backbone
+            .forward(g, &batch.inputs, &batch.pad, rng, true);
+        let logits = self.backbone.scores(g, &h); // [b, n, V]
+        let (b, n) = (batch.len(), batch.seq_len());
+        let flat = logits.reshape(vec![b * n, self.backbone.vocab()]);
+        let targets: Vec<usize> = batch
+            .targets
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .collect();
+        flat.cross_entropy_with_logits(&targets)
+    }
+}
+
+impl Auditable for SasRec {
+    fn audit_name(&self) -> String {
+        self.name()
+    }
+
+    fn audit_contracts(&self) -> Vec<StageContract> {
+        vec![StageContract::full(self.backbone.parameters())]
+    }
+
+    fn trace_stage(&mut self, stage: &str, seqs: &[Vec<ItemId>], seed: u64) -> StageTrace {
+        assert_eq!(stage, "full", "SASRec has a single `full` stage");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = audit_batch(seqs, self.net.max_len, seed);
+        let g = Graph::new();
+        let loss = self.batch_loss(&g, &batch, &mut rng);
+        StageTrace {
+            stage: stage.into(),
+            graph: g,
+            loss,
+        }
+    }
 }
 
 impl SequentialRecommender for SasRec {
@@ -94,18 +135,7 @@ impl SequentialRecommender for SasRec {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let h = self
-                    .backbone
-                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
-                let logits = self.backbone.scores(&g, &h); // [b, n, V]
-                let (b, n) = (batch.len(), batch.seq_len());
-                let flat = logits.reshape(vec![b * n, self.backbone.vocab()]);
-                let targets: Vec<usize> = batch
-                    .targets
-                    .iter()
-                    .flat_map(|row| row.iter().copied())
-                    .collect();
-                let loss = flat.cross_entropy_with_logits(&targets);
+                let loss = self.batch_loss(&g, &batch, &mut rng);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

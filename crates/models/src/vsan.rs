@@ -8,8 +8,9 @@ use nn::Module;
 use optim::{clip_grad_norm, Adam, KlAnnealing, Optimizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use recdata::{encode_input_only, Batcher, ItemId};
+use recdata::{encode_input_only, Batch, Batcher, ItemId};
 
+use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
 use crate::sasrec::NetConfig;
 use crate::vae::{gaussian_kl, reparameterize, VaeHead};
@@ -54,6 +55,50 @@ impl Vsan {
         ps.extend(self.head.parameters());
         ps
     }
+
+    /// Single-view ELBO (reconstruction CE + `beta`·KL) for one batch.
+    /// Shared by [`SequentialRecommender::fit`] and the static auditor.
+    fn batch_loss(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> autograd::Var {
+        let h = self
+            .backbone
+            .forward(g, &batch.inputs, &batch.pad, rng, true);
+        let (mu, logvar) = self.head.forward(g, &h);
+        let z = reparameterize(&mu, &logvar, rng, false);
+        let logits = self.backbone.scores(g, &z);
+        let (b, n) = (batch.len(), batch.seq_len());
+        let flat = logits.reshape(vec![b * n, self.backbone.vocab()]);
+        let targets: Vec<usize> = batch
+            .targets
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .collect();
+        let rec = flat.cross_entropy_with_logits(&targets);
+        let kl = gaussian_kl(&mu, &logvar);
+        rec.add(&kl.scale(beta))
+    }
+}
+
+impl Auditable for Vsan {
+    fn audit_name(&self) -> String {
+        self.name()
+    }
+
+    fn audit_contracts(&self) -> Vec<StageContract> {
+        vec![StageContract::full(self.all_params())]
+    }
+
+    fn trace_stage(&mut self, stage: &str, seqs: &[Vec<ItemId>], seed: u64) -> StageTrace {
+        assert_eq!(stage, "full", "VSAN has a single `full` stage");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = audit_batch(seqs, self.net.max_len, seed);
+        let g = Graph::new();
+        let loss = self.batch_loss(&g, &batch, self.beta, &mut rng);
+        StageTrace {
+            stage: stage.into(),
+            graph: g,
+            loss,
+        }
+    }
 }
 
 impl SequentialRecommender for Vsan {
@@ -77,22 +122,7 @@ impl SequentialRecommender for Vsan {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let h = self
-                    .backbone
-                    .forward(&g, &batch.inputs, &batch.pad, &mut rng, true);
-                let (mu, logvar) = self.head.forward(&g, &h);
-                let z = reparameterize(&mu, &logvar, &mut rng, false);
-                let logits = self.backbone.scores(&g, &z);
-                let (b, n) = (batch.len(), batch.seq_len());
-                let flat = logits.reshape(vec![b * n, self.backbone.vocab()]);
-                let targets: Vec<usize> = batch
-                    .targets
-                    .iter()
-                    .flat_map(|r| r.iter().copied())
-                    .collect();
-                let rec = flat.cross_entropy_with_logits(&targets);
-                let kl = gaussian_kl(&mu, &logvar);
-                let loss = rec.add(&kl.scale(anneal.beta(step)));
+                let loss = self.batch_loss(&g, &batch, anneal.beta(step), &mut rng);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

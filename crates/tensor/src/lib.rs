@@ -20,6 +20,7 @@ mod tensor;
 
 pub mod init;
 pub mod ops;
+pub mod rules;
 
 pub use crate::shape::{broadcast_shapes, Shape};
 pub use crate::tensor::Tensor;

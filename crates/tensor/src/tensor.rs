@@ -118,7 +118,17 @@ impl Tensor {
         self.data[0]
     }
 
-    /// Element at multi-dimensional index (rank must match).
+    /// Element at multi-dimensional index.
+    ///
+    /// # Contract
+    ///
+    /// `index.len()` must equal [`Tensor::ndim`] and every coordinate must be
+    /// in range for its axis. The arity check is a `debug_assert_eq!` only: in
+    /// release builds a short index silently reads a *valid but wrong* offset
+    /// (missing trailing coordinates act as zeros), and a long index may read
+    /// out of bounds or panic on the flat buffer access. Callers that cannot
+    /// statically guarantee the arity (e.g. the graph auditor walking
+    /// user-provided shapes) must use [`Tensor::try_at`] instead.
     pub fn at(&self, index: &[usize]) -> f32 {
         debug_assert_eq!(index.len(), self.ndim());
         let strides = self.shape.strides();
@@ -127,11 +137,46 @@ impl Tensor {
     }
 
     /// Sets the element at a multi-dimensional index.
+    ///
+    /// Same contract as [`Tensor::at`]: arity is only checked in debug
+    /// builds. Use [`Tensor::try_set`] for a fully checked variant.
     pub fn set(&mut self, index: &[usize], value: f32) {
         debug_assert_eq!(index.len(), self.ndim());
         let strides = self.shape.strides();
         let off: usize = index.iter().zip(strides.iter()).map(|(i, s)| i * s).sum();
         self.data[off] = value;
+    }
+
+    /// Validates a multi-dimensional index (arity and per-axis bounds) and
+    /// returns its flat row-major offset.
+    fn checked_offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.ndim() {
+            return Err(TensorError::InvalidAxis {
+                axis: index.len(),
+                ndim: self.ndim(),
+            });
+        }
+        for (&i, &bound) in index.iter().zip(self.dims().iter()) {
+            if i >= bound {
+                return Err(TensorError::IndexOutOfRange { index: i, bound });
+            }
+        }
+        let strides = self.shape.strides();
+        Ok(index.iter().zip(strides.iter()).map(|(i, s)| i * s).sum())
+    }
+
+    /// Fully checked variant of [`Tensor::at`]: verifies index arity *and*
+    /// per-axis bounds in all build profiles.
+    pub fn try_at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.checked_offset(index)?])
+    }
+
+    /// Fully checked variant of [`Tensor::set`]: verifies index arity *and*
+    /// per-axis bounds in all build profiles.
+    pub fn try_set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.checked_offset(index)?;
+        self.data[off] = value;
+        Ok(())
     }
 
     /// Returns a tensor with the same data and a new shape of equal element
@@ -187,19 +232,56 @@ impl Tensor {
     }
 
     /// `self += other` (same shape), the hot path for gradient accumulation.
+    ///
+    /// Panics on shape mismatch; see [`Tensor::try_add_assign`] for the
+    /// non-panicking variant whose error carries both dim vectors.
     pub fn add_assign(&mut self, other: &Tensor) {
-        assert_eq!(self.dims(), other.dims(), "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
+        if let Err(e) = self.try_add_assign(other) {
+            panic!("{e}");
         }
     }
 
+    /// `self += other` (same shape), reporting a structured
+    /// [`TensorError::ShapeMismatch`] (with both dim vectors) instead of
+    /// panicking when shapes differ.
+    pub fn try_add_assign(&mut self, other: &Tensor) -> Result<()> {
+        if self.dims() != other.dims() {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_assign",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
     /// `self += alpha * other` (same shape).
+    ///
+    /// Panics on shape mismatch; see [`Tensor::try_axpy`] for the
+    /// non-panicking variant.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
-        assert_eq!(self.dims(), other.dims(), "axpy shape mismatch");
+        if let Err(e) = self.try_axpy(alpha, other) {
+            panic!("{e}");
+        }
+    }
+
+    /// `self += alpha * other` (same shape), reporting a structured
+    /// [`TensorError::ShapeMismatch`] instead of panicking.
+    pub fn try_axpy(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        if self.dims() != other.dims() {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
+        Ok(())
     }
 
     /// Multiplies every element by `alpha` in place.
@@ -334,6 +416,53 @@ mod tests {
     fn rows() {
         let t = Tensor::arange(6).reshape(vec![2, 3]).unwrap();
         assert_eq!(t.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn structured_shape_errors() {
+        let mut a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![3, 2]);
+        match a.try_add_assign(&b) {
+            Err(TensorError::ShapeMismatch { op, lhs, rhs }) => {
+                assert_eq!(op, "add_assign");
+                assert_eq!(lhs, vec![2, 3]);
+                assert_eq!(rhs, vec![3, 2]);
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        match a.try_axpy(0.5, &b) {
+            Err(TensorError::ShapeMismatch { op, .. }) => assert_eq!(op, "axpy"),
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        // Matching shapes still work through the fallible path.
+        let c = Tensor::ones(vec![2, 3]);
+        a.try_add_assign(&c).unwrap();
+        assert_eq!(a.sum_all(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_assign: incompatible shapes")]
+    fn add_assign_panics_with_dims() {
+        let mut a = Tensor::zeros(vec![2]);
+        a.add_assign(&Tensor::zeros(vec![3]));
+    }
+
+    #[test]
+    fn checked_accessors() {
+        let mut t = Tensor::arange(6).reshape(vec![2, 3]).unwrap();
+        assert_eq!(t.try_at(&[1, 2]).unwrap(), 5.0);
+        t.try_set(&[0, 1], 9.0).unwrap();
+        assert_eq!(t.at(&[0, 1]), 9.0);
+        // Wrong arity is reported in all build profiles, unlike `at`/`set`.
+        assert_eq!(
+            t.try_at(&[1]),
+            Err(TensorError::InvalidAxis { axis: 1, ndim: 2 })
+        );
+        assert_eq!(
+            t.try_at(&[1, 3]),
+            Err(TensorError::IndexOutOfRange { index: 3, bound: 3 })
+        );
+        assert!(t.try_set(&[2, 0], 0.0).is_err());
     }
 
     #[test]

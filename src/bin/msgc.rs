@@ -28,16 +28,17 @@ fn usage() -> ExitCode {
         "usage:\n  msgc generate --preset <clothing|toys|ml1m> [--seed N] --out FILE\n  \
          msgc stats --data SPEC\n  \
          msgc train --data SPEC [--epochs N] [--dim N] [--max-len N] [--alpha F] [--beta F] \
-         [--joint] [--threads N] [--shard-size N] --out MODEL\n  \
+         [--joint] [--threads N] [--shard-size N] [--sanitize] --out MODEL\n  \
          msgc evaluate --data SPEC --model MODEL [--dim N] [--max-len N]\n  \
-         msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n\n\
+         msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n  \
+         msgc check [--model NAME | --all] [--inject-fault <shape|freeze>]\n\n\
          SPEC = path to user,item,rating,timestamp CSV, or synth:<preset>:<seed>"
     );
     ExitCode::from(2)
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["joint"];
+const BOOL_FLAGS: &[&str] = &["joint", "sanitize", "all"];
 
 /// Flags that require a value.
 const VALUE_FLAGS: &[&str] = &[
@@ -55,6 +56,7 @@ const VALUE_FLAGS: &[&str] = &[
     "k",
     "threads",
     "shard-size",
+    "inject-fault",
 ];
 
 #[derive(Debug)]
@@ -185,6 +187,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         verbose: true,
         threads,
         shard_size,
+        sanitize: args.get("sanitize").is_some(),
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -240,6 +243,49 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `msgc check`: run the static graph auditor (shape inference,
+/// gradient-flow/freeze contracts, numeric sanitation) over one model or
+/// the whole registered zoo. Exits non-zero if any audit fails, so it
+/// slots into CI. `--inject-fault <shape|freeze>` deliberately breaks the
+/// traced tape first, to prove the detectors fire.
+fn cmd_check(args: &Args) -> Result<(), String> {
+    use meta_sgcl_repro::analysis::{self, Fault};
+
+    let fault = match args.get("inject-fault") {
+        None => None,
+        Some("shape") => Some(Fault::Shape),
+        Some("freeze") => Some(Fault::Freeze),
+        Some(other) => return Err(format!("unknown fault kind `{other}` (shape|freeze)")),
+    };
+    let names: Vec<&str> = match (args.get("model"), args.get("all")) {
+        (Some(_), Some(_)) => return Err("--model and --all are mutually exclusive".into()),
+        (Some(name), None) => vec![name],
+        _ => analysis::MODELS.to_vec(),
+    };
+    let mut failures = 0usize;
+    for name in names {
+        let report = match fault {
+            None => analysis::audit_model(name),
+            Some(f) => analysis::audit_model_with_fault(name, f),
+        }
+        .ok_or_else(|| {
+            format!(
+                "unknown model `{name}` (registered: {})",
+                analysis::MODELS.join(", ")
+            )
+        })?;
+        print!("{report}");
+        if !report.is_clean() {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} model audit(s) failed"));
+    }
+    println!("all audits clean");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -258,6 +304,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "evaluate" => cmd_evaluate(&args),
         "recommend" => cmd_recommend(&args),
+        "check" => cmd_check(&args),
         _ => return usage(),
     };
     match result {

@@ -11,9 +11,11 @@
 //! * [`metrics`] — HR/NDCG/MRR and embedding analytics.
 //! * [`models`] — the ten baselines from the paper's Table II.
 //! * [`meta_sgcl`] — the paper's model (also re-exported at the root).
+//! * [`analysis`] — the static graph auditor (`msgc check`).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use analysis;
 pub use autograd;
 pub use meta_sgcl;
 pub use metrics;
