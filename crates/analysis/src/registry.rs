@@ -260,6 +260,26 @@ mod tests {
     }
 
     #[test]
+    fn fused_matmul_ops_are_traced_and_audit_clean() {
+        // The tied-softmax logits rewrite routes every full-vocab scoring
+        // matmul through the fused NT kernel; the auditor must know its
+        // shape rule (no UnknownOp) and the tapes must stay clean.
+        let seqs = audit_sequences(AUDIT_ITEMS, AUDIT_USERS, AUDIT_LEN);
+        for name in ["SASRec", "GRU4Rec", "Caser"] {
+            let mut model = build(name).expect("registered");
+            let contract = &model.audit_contracts()[0];
+            let trace = model.trace_stage(&contract.stage, &seqs, AUDIT_SEED);
+            let snap = trace.graph.snapshot();
+            assert!(
+                snap.iter().any(|n| matches!(n.sig, ShapeSig::MatmulTransB)),
+                "{name} tape should contain a fused NT matmul"
+            );
+            let report = audit_model(name).expect("registered");
+            assert!(report.is_clean(), "{report}");
+        }
+    }
+
+    #[test]
     fn shape_fault_is_detected() {
         let report = audit_model_with_fault("SASRec", Fault::Shape).expect("registered");
         assert!(!report.is_clean());

@@ -52,7 +52,9 @@ impl GradientSet {
         match self.index.get(&param.key()) {
             Some(&i) => self.entries[i].1.axpy(weight, grad),
             None => {
-                let mut g = Tensor::zeros(grad.dims().to_vec());
+                // Pooled storage: zeroed on take, so bitwise identical to a
+                // fresh allocation (see `tensor::pool`).
+                let mut g = Tensor::pooled_zeros(grad.dims().to_vec());
                 g.axpy(weight, grad);
                 self.index.insert(param.key(), self.entries.len());
                 self.entries.push((param.clone(), g));

@@ -118,6 +118,18 @@ pub(crate) struct GraphInner {
     pub nodes: Vec<Node>,
 }
 
+impl Drop for GraphInner {
+    fn drop(&mut self) {
+        // A graph is dropped at the end of every training step; its node
+        // values are exactly the activation buffers the next step will
+        // allocate again, so hand them to the tensor pool instead of the
+        // system allocator.
+        for node in self.nodes.drain(..) {
+            tensor::pool::recycle(node.value.into_vec());
+        }
+    }
+}
+
 /// A dynamic computation graph (tape).
 ///
 /// Cheap to clone (shared `Rc`); create one per training step.
@@ -256,6 +268,9 @@ impl Graph {
                     }
                 };
                 back(&grad, &mut sink);
+                // This node's upstream gradient is fully consumed; recycle
+                // its storage for the sink's downstream allocations.
+                grad.recycle();
             } else if let Some(p) = &node.param {
                 deposit(p, grad);
             }

@@ -36,6 +36,12 @@ pub enum ShapeSig {
     BroadcastWith(Vec<usize>),
     /// Matrix product; see [`tensor::rules::matmul`] for supported ranks.
     Matmul,
+    /// Fused `A·Bᵀ`; see [`tensor::rules::matmul_transb`] for supported
+    /// ranks.
+    MatmulTransB,
+    /// Fused `Aᵀ·B`; see [`tensor::rules::matmul_transa`] for supported
+    /// ranks.
+    MatmulTransA,
     /// Scalar (rank-0) output regardless of input shape.
     Scalar,
     /// Reduction along one axis.
@@ -111,6 +117,14 @@ impl ShapeSig {
             ShapeSig::Matmul => {
                 let (a, b) = pair("matmul")?;
                 rules::matmul(a, b).map(Some)
+            }
+            ShapeSig::MatmulTransB => {
+                let (a, b) = pair("matmul_transb")?;
+                rules::matmul_transb(a, b).map(Some)
+            }
+            ShapeSig::MatmulTransA => {
+                let (a, b) = pair("matmul_transa")?;
+                rules::matmul_transa(a, b).map(Some)
             }
             ShapeSig::Scalar => Ok(Some(Vec::new())),
             ShapeSig::Reduce { axis, keepdim } => {

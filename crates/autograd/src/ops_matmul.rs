@@ -1,4 +1,12 @@
 //! Matrix multiplication for [`Var`], with adjoints.
+//!
+//! The three products — `matmul` (NN), [`Var::matmul_transb`] (NT) and
+//! [`Var::matmul_transa`] (TN) — are closed under differentiation: every
+//! adjoint below is itself one of the three, so no transpose is ever
+//! materialized in the forward *or* backward pass. The fused kernels in
+//! [`tensor::ops`] are bitwise identical to their transpose-then-matmul
+//! compositions, so switching a model between the spellings cannot change
+//! its checkpoints.
 
 use tensor::ops;
 
@@ -18,26 +26,96 @@ impl Var {
         self.binary(other, "matmul", ShapeSig::Matmul, value, move |g, sink| {
             match (a_nd, b_nd) {
                 (2, 2) | (3, 3) => {
-                    // gA = g · Bᵀ ; gB = Aᵀ · g (per batch for rank 3).
-                    let bt = ops::transpose_last2(&b_val).expect("matmul-back");
-                    sink(aid, ops::matmul(g, &bt).expect("matmul-back"));
-                    let at = ops::transpose_last2(&a_val).expect("matmul-back");
-                    sink(bid, ops::matmul(&at, g).expect("matmul-back"));
+                    // gA = g · Bᵀ (fused NT); gB = Aᵀ · g (fused TN).
+                    sink(aid, ops::matmul_transb(g, &b_val).expect("matmul-back"));
+                    sink(bid, ops::matmul_transa(&a_val, g).expect("matmul-back"));
                 }
                 (3, 2) => {
                     // A: (b,m,k), B: (k,n), g: (b,m,n).
-                    let bt = ops::transpose_last2(&b_val).expect("matmul-back");
-                    sink(aid, ops::matmul(g, &bt).expect("matmul-back"));
+                    // gA = g · Bᵀ — the shared-B NT rank handles the batch.
+                    sink(aid, ops::matmul_transb(g, &b_val).expect("matmul-back"));
                     // gB = Σ_b Aᵀ_b · g_b = (flatten A)ᵀ · (flatten g).
                     let (b, m, k) = (a_val.dim(0), a_val.dim(1), a_val.dim(2));
                     let n = g.dim(2);
                     let a_flat = a_val.reshape(vec![b * m, k]).expect("matmul-back");
                     let g_flat = g.reshape(vec![b * m, n]).expect("matmul-back");
-                    let at = ops::transpose_last2(&a_flat).expect("matmul-back");
-                    sink(bid, ops::matmul(&at, &g_flat).expect("matmul-back"));
+                    sink(
+                        bid,
+                        ops::matmul_transa(&a_flat, &g_flat).expect("matmul-back"),
+                    );
                 }
                 _ => unreachable!("forward validated operand ranks"),
             }
         })
+    }
+
+    /// Fused `self · otherᵀ` — [`tensor::ops::matmul_transb`] as a tape op.
+    ///
+    /// Supports `(m,k)·(n,k)ᵀ`, `(b,m,k)·(b,n,k)ᵀ` and `(b,m,k)·(n,k)ᵀ`
+    /// (shared right operand, e.g. logits against the embedding table).
+    /// Bitwise identical to `self.matmul(&other.transpose_last2())`, forward
+    /// and backward, without materializing the transpose in either pass.
+    pub fn matmul_transb(&self, other: &Var) -> Var {
+        let a_val = self.value();
+        let b_val = other.value();
+        let value = ops::matmul_transb(&a_val, &b_val).expect("matmul_transb");
+        let (aid, bid) = (self.id, other.id);
+        let (a_nd, b_nd) = (a_val.ndim(), b_val.ndim());
+        self.binary(
+            other,
+            "matmul_transb",
+            ShapeSig::MatmulTransB,
+            value,
+            move |g, sink| match (a_nd, b_nd) {
+                (2, 2) | (3, 3) => {
+                    // out = A·Bᵀ ⇒ gA = g·B (plain NN); gB = gᵀ·A (fused TN).
+                    sink(aid, ops::matmul(g, &b_val).expect("matmul_transb-back"));
+                    sink(
+                        bid,
+                        ops::matmul_transa(g, &a_val).expect("matmul_transb-back"),
+                    );
+                }
+                (3, 2) => {
+                    // A: (b,m,k), B: (n,k), g: (b,m,n).
+                    sink(aid, ops::matmul(g, &b_val).expect("matmul_transb-back"));
+                    // gB = Σ_b gᵀ_b · A_b = (flatten g)ᵀ · (flatten A).
+                    let (b, m, k) = (a_val.dim(0), a_val.dim(1), a_val.dim(2));
+                    let n = g.dim(2);
+                    let a_flat = a_val.reshape(vec![b * m, k]).expect("matmul_transb-back");
+                    let g_flat = g.reshape(vec![b * m, n]).expect("matmul_transb-back");
+                    sink(
+                        bid,
+                        ops::matmul_transa(&g_flat, &a_flat).expect("matmul_transb-back"),
+                    );
+                }
+                _ => unreachable!("forward validated operand ranks"),
+            },
+        )
+    }
+
+    /// Fused `selfᵀ · other` — [`tensor::ops::matmul_transa`] as a tape op.
+    ///
+    /// Supports `(k,m)ᵀ·(k,n)` and `(b,k,m)ᵀ·(b,k,n)`. Bitwise identical to
+    /// `self.transpose_last2().matmul(&other)`, forward and backward,
+    /// without materializing the transpose in either pass.
+    pub fn matmul_transa(&self, other: &Var) -> Var {
+        let a_val = self.value();
+        let b_val = other.value();
+        let value = ops::matmul_transa(&a_val, &b_val).expect("matmul_transa");
+        let (aid, bid) = (self.id, other.id);
+        self.binary(
+            other,
+            "matmul_transa",
+            ShapeSig::MatmulTransA,
+            value,
+            move |g, sink| {
+                // out = Aᵀ·B ⇒ gA = B·gᵀ (fused NT); gB = A·g (plain NN).
+                sink(
+                    aid,
+                    ops::matmul_transb(&b_val, g).expect("matmul_transa-back"),
+                );
+                sink(bid, ops::matmul(&a_val, g).expect("matmul_transa-back"));
+            },
+        )
     }
 }

@@ -164,6 +164,91 @@ fn grad_matmul_broadcast_rhs() {
 }
 
 #[test]
+fn grad_matmul_transb_2d() {
+    let a = p_signed("a", vec![3, 4], 40);
+    let b = p_signed("b", vec![5, 4], 41);
+    assert_grads_close(&[a.clone(), b.clone()], EPS, TOL, |g| {
+        g.param(&a).matmul_transb(&g.param(&b)).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_matmul_transb_batched() {
+    let a = p_signed("a", vec![2, 3, 4], 42);
+    let b = p_signed("b", vec![2, 5, 4], 43);
+    assert_grads_close(&[a.clone(), b.clone()], EPS, TOL, |g| {
+        g.param(&a).matmul_transb(&g.param(&b)).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_matmul_transb_shared_rhs() {
+    // [b, n, d] · [V, d]ᵀ — the tied-softmax logits shape.
+    let a = p_signed("a", vec![2, 3, 4], 44);
+    let b = p_signed("b", vec![6, 4], 45);
+    assert_grads_close(&[a.clone(), b.clone()], EPS, TOL, |g| {
+        g.param(&a).matmul_transb(&g.param(&b)).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_matmul_transa_2d() {
+    let a = p_signed("a", vec![4, 3], 46);
+    let b = p_signed("b", vec![4, 5], 47);
+    assert_grads_close(&[a.clone(), b.clone()], EPS, TOL, |g| {
+        g.param(&a).matmul_transa(&g.param(&b)).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_matmul_transa_batched() {
+    let a = p_signed("a", vec![2, 4, 3], 48);
+    let b = p_signed("b", vec![2, 4, 5], 49);
+    assert_grads_close(&[a.clone(), b.clone()], EPS, TOL, |g| {
+        g.param(&a).matmul_transa(&g.param(&b)).square().sum_all()
+    });
+}
+
+#[test]
+fn fused_matmuls_match_transpose_composition_bitwise() {
+    // Forward values AND gradients of the fused ops must agree bitwise
+    // with the transpose-then-matmul composition: both run the same
+    // strict k-order accumulation chains.
+    let a = p_signed("a", vec![5, 7], 50);
+    let b = p_signed("b", vec![9, 7], 51);
+
+    let fused_out;
+    {
+        let g = Graph::new();
+        let loss = g.param(&a).matmul_transb(&g.param(&b)).square().sum_all();
+        fused_out = loss.value();
+        loss.backward();
+    }
+    let (ga_fused, gb_fused) = (a.borrow().grad.clone(), b.borrow().grad.clone());
+    a.borrow_mut().zero_grad();
+    b.borrow_mut().zero_grad();
+
+    let composed_out;
+    {
+        let g = Graph::new();
+        let loss = g
+            .param(&a)
+            .matmul(&g.param(&b).transpose_last2())
+            .square()
+            .sum_all();
+        composed_out = loss.value();
+        loss.backward();
+    }
+    assert_eq!(fused_out.data(), composed_out.data());
+    assert_eq!(ga_fused.data(), a.borrow().grad.data());
+    // gB of the composition flows through transpose_last2's backward and
+    // lands in the same [n, k] layout as the fused op's direct gradient.
+    let gb_composed = b.borrow().grad.clone();
+    assert_eq!(gb_fused.dims(), gb_composed.dims());
+    assert_eq!(gb_fused.data(), gb_composed.data());
+}
+
+#[test]
 fn grad_reshape_transpose_permute() {
     let a = p_signed("a", vec![2, 3, 4], 22);
     assert_grads_close(std::slice::from_ref(&a), EPS, TOL, |g| {

@@ -1,0 +1,251 @@
+//! GEMM kernel microbenchmark (BENCH_3): fused NT/TN kernels against the
+//! materialize-transpose baseline, the branch-free dense row kernel against
+//! the masked zero-skip path, and one end-to-end training-throughput probe.
+//!
+//! Writes `BENCH_3.json` into the current directory and exits nonzero when
+//! any fused kernel is slower than its baseline (the CI bench-smoke gate).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin gemm_bench
+//! ```
+//!
+//! Iteration counts scale with `META_SGCL_SCALE` (`quick`/`full`).
+
+use std::time::Instant;
+
+use bench::zoo::build;
+use bench::{workload_by_name, Scale};
+use tensor::{ops, Tensor};
+
+/// Best-of-`reps` mean milliseconds per call over `iters` calls.
+fn time_ms(mut f: impl FnMut(), iters: usize, reps: usize) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3 / iters as f64);
+    }
+    best
+}
+
+/// Deterministic pseudo-random fill in roughly [-10, 10).
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 40) as f32 / (1u64 << 24) as f32) * 20.0 - 10.0
+        })
+        .collect()
+}
+
+struct KernelRow {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    fused_ms: f64,
+    baseline_ms: f64,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.baseline_ms / self.fused_ms
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
+             \"fused_ms\": {:.4}, \"baseline_ms\": {:.4}, \"speedup\": {:.3}}}",
+            self.name,
+            self.m,
+            self.k,
+            self.n,
+            self.fused_ms,
+            self.baseline_ms,
+            self.speedup()
+        )
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (iters, reps) = match scale {
+        Scale::Quick => (20, 3),
+        Scale::Full => (100, 5),
+    };
+
+    // Workload shapes: tied-softmax logits at two catalog sizes, an
+    // attention-score block, and the flattened shared-B backward shape.
+    let shapes: &[(&'static str, usize, usize, usize)] = &[
+        ("logits_toys", 32, 32, 361),
+        ("logits_small", 16, 32, 201),
+        ("attention_scores", 40, 20, 20),
+        ("logits_backward_flat", 640, 32, 361),
+    ];
+
+    let mut rows: Vec<KernelRow> = Vec::new();
+    for &(name, m, k, n) in shapes {
+        // NT: A[m,k] · B[n,k]ᵀ — fused kernel vs transpose-then-matmul.
+        let a = Tensor::from_vec(fill(m * k, 11), vec![m, k]);
+        let b = Tensor::from_vec(fill(n * k, 23), vec![n, k]);
+        let fused_ms = time_ms(
+            || {
+                ops::matmul_transb(&a, &b).expect("shapes agree").recycle();
+            },
+            iters,
+            reps,
+        );
+        let baseline_ms = time_ms(
+            || {
+                let bt = ops::transpose_last2(&b).expect("rank 2");
+                drop(ops::matmul(&a, &bt).expect("shapes agree"));
+            },
+            iters,
+            reps,
+        );
+        rows.push(KernelRow {
+            name,
+            m,
+            k,
+            n,
+            fused_ms,
+            baseline_ms,
+        });
+
+        // TN: A[k,m]ᵀ · B[k,n] — the gradient-side kernel at the same shape.
+        let at = Tensor::from_vec(fill(k * m, 31), vec![k, m]);
+        let bt = Tensor::from_vec(fill(k * n, 43), vec![k, n]);
+        let fused_tn_ms = time_ms(
+            || {
+                ops::matmul_transa(&at, &bt)
+                    .expect("shapes agree")
+                    .recycle();
+            },
+            iters,
+            reps,
+        );
+        let baseline_tn_ms = time_ms(
+            || {
+                let att = ops::transpose_last2(&at).expect("rank 2");
+                drop(ops::matmul(&att, &bt).expect("shapes agree"));
+            },
+            iters,
+            reps,
+        );
+        rows.push(KernelRow {
+            name: match name {
+                "logits_toys" => "tn_logits_toys",
+                "logits_small" => "tn_logits_small",
+                "attention_scores" => "tn_attention_scores",
+                _ => "tn_logits_backward_flat",
+            },
+            m,
+            k,
+            n,
+            fused_ms: fused_tn_ms,
+            baseline_ms: baseline_tn_ms,
+        });
+    }
+
+    // Satellite: branch-free dense kernel vs the dedicated zero-skip masked
+    // path, on a dense input and on a 75%-sparse one. These are alternative
+    // kernels, not a fused-vs-baseline pair, so they carry no CI gate.
+    let (m, k, n) = (64, 64, 128);
+    let dense_a = Tensor::from_vec(fill(m * k, 53), vec![m, k]);
+    let mut sparse_v = fill(m * k, 53);
+    for (i, x) in sparse_v.iter_mut().enumerate() {
+        if i % 4 != 0 {
+            *x = 0.0;
+        }
+    }
+    let sparse_a = Tensor::from_vec(sparse_v, vec![m, k]);
+    let b2 = Tensor::from_vec(fill(k * n, 61), vec![k, n]);
+    let masked_json = {
+        let dense_on_dense = time_ms(
+            || drop(ops::matmul2d(&dense_a, &b2).expect("shapes agree")),
+            iters,
+            reps,
+        );
+        let masked_on_dense = time_ms(
+            || drop(ops::matmul2d_masked(&dense_a, &b2).expect("shapes agree")),
+            iters,
+            reps,
+        );
+        let dense_on_sparse = time_ms(
+            || drop(ops::matmul2d(&sparse_a, &b2).expect("shapes agree")),
+            iters,
+            reps,
+        );
+        let masked_on_sparse = time_ms(
+            || drop(ops::matmul2d_masked(&sparse_a, &b2).expect("shapes agree")),
+            iters,
+            reps,
+        );
+        format!(
+            "{{\"m\": {m}, \"k\": {k}, \"n\": {n}, \
+             \"dense_on_dense_ms\": {dense_on_dense:.4}, \
+             \"masked_on_dense_ms\": {masked_on_dense:.4}, \
+             \"dense_on_sparse_ms\": {dense_on_sparse:.4}, \
+             \"masked_on_sparse_ms\": {masked_on_sparse:.4}}}"
+        )
+    };
+
+    // End-to-end throughput probe: a short SASRec fit on the toys-like
+    // workload (training only — the logits matmul dominates the step).
+    let seed = 42u64;
+    let mut w = workload_by_name(scale, seed, "toys-like");
+    w.epochs = match scale {
+        Scale::Quick => 2,
+        Scale::Full => 5,
+    };
+    let train = w.split.train_sequences();
+    let mut model = build("SASRec", &w, seed);
+    let t0 = Instant::now();
+    model.fit(&train, &w.train_cfg(seed));
+    let train_secs = t0.elapsed().as_secs_f64();
+    let seqs_per_s = (train.len() * w.epochs) as f64 / train_secs.max(1e-9);
+
+    let scale_name = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let gemm_json: Vec<String> = rows.iter().map(|r| format!("    {}", r.json())).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_3\",\n  \"scale\": \"{scale_name}\",\n  \"gemm\": [\n{}\n  ],\n  \"masked_vs_dense\": {masked_json},\n  \"end_to_end\": {{\"model\": \"SASRec\", \"dataset\": \"toys-like\", \"epochs\": {}, \"seqs_per_s\": {seqs_per_s:.1}}}\n}}\n",
+        gemm_json.join(",\n"),
+        w.epochs
+    );
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+
+    println!("wrote BENCH_3.json");
+    for r in &rows {
+        println!(
+            "  {:<24} ({:>3}x{:>2}x{:>3})  fused {:.3} ms  baseline {:.3} ms  {:.2}x",
+            r.name,
+            r.m,
+            r.k,
+            r.n,
+            r.fused_ms,
+            r.baseline_ms,
+            r.speedup()
+        );
+    }
+    println!("  end-to-end SASRec: {seqs_per_s:.0} seqs/s");
+
+    let regressions: Vec<&KernelRow> = rows.iter().filter(|r| r.speedup() < 1.0).collect();
+    if !regressions.is_empty() {
+        for r in regressions {
+            eprintln!(
+                "REGRESSION: {} fused {:.3} ms slower than baseline {:.3} ms",
+                r.name, r.fused_ms, r.baseline_ms
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -4,17 +4,91 @@
 //!
 //! ```sh
 //! cargo run --release -p bench --bin tune [-- <dataset>]
+//! cargo run --release -p bench --bin tune -- --sweep-kernels
 //! ```
+//!
+//! `--sweep-kernels` sweeps the [`tensor::tuning`] GEMM cutoffs in-process
+//! (the same knobs the `META_SGCL_GEMM_*` env vars set) and prints the
+//! fused-kernel timing at each point, for picking per-machine defaults.
+
+use std::time::Instant;
 
 use bench::zoo::build;
 use bench::{run_model, workload_by_name, Scale};
 use meta_sgcl::{MetaSgcl, TrainStrategy};
 use models::DuoRec;
+use tensor::{ops, tuning, Tensor};
+
+/// Mean milliseconds per call, best of 3 runs of `iters` calls.
+fn time_ms(mut f: impl FnMut(), iters: usize) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3 / iters as f64);
+    }
+    best
+}
+
+/// Sweeps the GEMM parallel-dispatch cutoffs over a grid and times the
+/// fused NT kernel on the logits and flattened-backward shapes at each
+/// point. Restores the default knob values before returning.
+fn sweep_kernels() {
+    let shapes = [(32usize, 32usize, 361usize), (640, 32, 361)];
+    let tensors: Vec<(Tensor, Tensor)> = shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            let a = Tensor::from_vec(
+                (0..m * k).map(|i| (i % 13) as f32 - 6.0).collect(),
+                vec![m, k],
+            );
+            let b = Tensor::from_vec(
+                (0..n * k).map(|i| (i % 17) as f32 - 8.0).collect(),
+                vec![n, k],
+            );
+            (a, b)
+        })
+        .collect();
+    let (rows0, work0) = (tuning::gemm_par_rows(), tuning::gemm_par_row_work());
+    println!("gemm_par_rows gemm_par_row_work  32x32x361(ms)  640x32x361(ms)");
+    for rows in [8usize, 16, 32, 64, usize::MAX] {
+        for work in [4096usize, 16384, 65536] {
+            tuning::set_gemm_par_rows(rows);
+            tuning::set_gemm_par_row_work(work);
+            let ms: Vec<f64> = tensors
+                .iter()
+                .map(|(a, b)| {
+                    time_ms(
+                        || {
+                            ops::matmul_transb(a, b).expect("shapes agree").recycle();
+                        },
+                        20,
+                    )
+                })
+                .collect();
+            let rows_s = if rows == usize::MAX {
+                "serial".into()
+            } else {
+                rows.to_string()
+            };
+            println!("{rows_s:>13} {work:>17}  {:>12.4}  {:>13.4}", ms[0], ms[1]);
+        }
+    }
+    tuning::set_gemm_par_rows(rows0);
+    tuning::set_gemm_par_row_work(work0);
+}
 
 fn main() {
     let ds = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "toys-like".into());
+    if ds == "--sweep-kernels" {
+        sweep_kernels();
+        return;
+    }
     let seed = 42u64;
     let w = workload_by_name(Scale::from_env(), seed, &ds);
     println!("dataset {} — {}", w.data.name, w.data.stats());

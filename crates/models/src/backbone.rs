@@ -167,8 +167,8 @@ impl TransformerBackbone {
     /// Scores the catalog from hidden states via the tied item table
     /// (Eq. 22: `ŷ = z · Mᵀ`). Accepts `[b, d]` or `[b, n, d]`.
     pub fn scores(&self, g: &Graph, h: &Var) -> Var {
-        let table = self.item_emb.full(g).transpose_last2(); // [d, V]
-        h.matmul(&table)
+        // Fused NT against the [V, d] table — no [d, V] transpose copy.
+        h.matmul_transb(&self.item_emb.full(g))
     }
 
     /// All trainable parameters.

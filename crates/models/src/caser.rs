@@ -112,7 +112,7 @@ impl Caser {
         let windows: Vec<Vec<ItemId>> = chunk.iter().map(|(w, _)| w.clone()).collect();
         let targets: Vec<usize> = chunk.iter().map(|(_, t)| *t).collect();
         let z = self.seq_repr(g, &windows);
-        let logits = z.matmul(&self.item_emb.full(g).transpose_last2());
+        let logits = z.matmul_transb(&self.item_emb.full(g));
         logits.cross_entropy_with_logits(&targets)
     }
 
@@ -214,7 +214,7 @@ impl SequentialRecommender for Caser {
         let window = self.window_of(seq);
         let g = Graph::new();
         let z = self.seq_repr(&g, &[window]);
-        let logits = z.matmul(&self.item_emb.full(&g).transpose_last2()).value();
+        let logits = z.matmul_transb(&self.item_emb.full(&g)).value();
         let _ = &mut self.rng;
         logits.row(0).to_vec()
     }

@@ -60,12 +60,12 @@ fn info_nce_with_mask(
         Similarity::Cosine => (z.l2_normalize_last(1e-8), z_prime.l2_normalize_last(1e-8)),
     };
     // Positive logits: diag(z · z′ᵀ) as a column [B, 1].
-    let cross = za.matmul(&zb.transpose_last2()); // [B, B]
+    let cross = za.matmul_transb(&zb); // [B, B]
     let eye = identity(b);
     let pos = cross.mul_const(&eye).sum_axis(1, true); // [B, 1]
                                                        // Negative logits: z · zᵀ with the diagonal (self-similarity) and any
                                                        // false negatives masked out.
-    let self_sim = za.matmul(&za.transpose_last2());
+    let self_sim = za.matmul_transb(&za);
     let mut mask = neg_inf_diag(b);
     if let Some(t) = targets {
         let md = mask.data_mut();

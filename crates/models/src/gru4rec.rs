@@ -49,7 +49,7 @@ impl Gru4Rec {
     fn batch_loss(&self, g: &Graph, batch: &Batch) -> autograd::Var {
         let x = self.item_emb.forward_batch(g, &batch.inputs);
         let h = self.gru.forward_sequence(g, &x); // [b, n, d]
-        let logits = h.matmul(&self.item_emb.full(g).transpose_last2());
+        let logits = h.matmul_transb(&self.item_emb.full(g));
         let (b, n) = (batch.len(), batch.seq_len());
         let flat = logits.reshape(vec![b * n, self.num_items + 1]);
         let targets: Vec<usize> = batch
@@ -133,9 +133,7 @@ impl SequentialRecommender for Gru4Rec {
         let last = h
             .slice_axis(1, dims[1] - 1, dims[1])
             .reshape(vec![1, dims[2]]);
-        let logits = last
-            .matmul(&self.item_emb.full(&g).transpose_last2())
-            .value();
+        let logits = last.matmul_transb(&self.item_emb.full(&g)).value();
         let _ = &mut self.rng;
         logits.row(0).to_vec()
     }

@@ -109,9 +109,7 @@ impl MultiHeadSelfAttention {
         let k = self.split_heads(&self.wk.forward(g, x), b, n);
         let v = self.split_heads(&self.wv.forward(g, x), b, n);
 
-        let mut scores = q
-            .matmul(&k.transpose_last2())
-            .scale(1.0 / (dh as f32).sqrt());
+        let mut scores = q.matmul_transb(&k).scale(1.0 / (dh as f32).sqrt());
         if let Some(m) = mask {
             scores = scores.add_const(m);
         }

@@ -20,7 +20,9 @@ mod tensor;
 
 pub mod init;
 pub mod ops;
+pub mod pool;
 pub mod rules;
+pub mod tuning;
 
 pub use crate::shape::{broadcast_shapes, Shape};
 pub use crate::tensor::Tensor;

@@ -8,20 +8,15 @@
 use rayon::prelude::*;
 
 use crate::shape::{broadcast_shapes, broadcast_strides, Shape};
-use crate::{Result, Tensor, TensorError};
+use crate::{pool, tuning, Result, Tensor, TensorError};
 
 // ---------------------------------------------------------------------------
 // Elementwise binary ops with broadcasting
 // ---------------------------------------------------------------------------
-
-/// Minimum number of output elements before an elementwise / row-wise kernel
-/// fans out over rayon. Below this, thread-spawn overhead dominates the
-/// arithmetic. Each output element is computed independently of the
-/// partitioning, so the parallel path is bitwise identical to the serial one.
-const PAR_MIN_ELEMS: usize = 32_768;
-
-/// Block size (elements) for parallel elementwise kernels.
-const PAR_BLOCK: usize = 8_192;
+//
+// Serial/parallel dispatch cutoffs live in [`crate::tuning`]. Each output
+// element is computed independently of the partitioning, so the parallel
+// paths are bitwise identical to the serial ones for any cutoff values.
 
 fn binary_broadcast(
     op: &'static str,
@@ -29,16 +24,18 @@ fn binary_broadcast(
     b: &Tensor,
     f: impl Fn(f32, f32) -> f32 + Sync,
 ) -> Result<Tensor> {
+    let par_min = tuning::par_min_elems();
+    let blk = tuning::par_block();
     if a.dims() == b.dims() {
         // Fast path: identical shapes.
         let (ad, bd) = (a.data(), b.data());
         let n = ad.len();
         let mut data = vec![0.0f32; n];
-        if n >= PAR_MIN_ELEMS {
-            data.par_chunks_mut(PAR_BLOCK)
+        if n >= par_min {
+            data.par_chunks_mut(blk)
                 .enumerate()
                 .for_each(|(ci, chunk)| {
-                    let s = ci * PAR_BLOCK;
+                    let s = ci * blk;
                     for (i, o) in chunk.iter_mut().enumerate() {
                         *o = f(ad[s + i], bd[s + i]);
                     }
@@ -61,20 +58,11 @@ fn binary_broadcast(
     let sb = broadcast_strides(b.dims(), &out_dims);
     let n = out_shape.numel();
     let mut data = vec![0.0f32; n];
-    if n >= PAR_MIN_ELEMS {
-        data.par_chunks_mut(PAR_BLOCK)
+    if n >= par_min {
+        data.par_chunks_mut(blk)
             .enumerate()
             .for_each(|(ci, chunk)| {
-                broadcast_fill(
-                    chunk,
-                    ci * PAR_BLOCK,
-                    a.data(),
-                    b.data(),
-                    &sa,
-                    &sb,
-                    &out_dims,
-                    &f,
-                );
+                broadcast_fill(chunk, ci * blk, a.data(), b.data(), &sa, &sb, &out_dims, &f);
             });
     } else {
         broadcast_fill(&mut data, 0, a.data(), b.data(), &sa, &sb, &out_dims, &f);
@@ -216,11 +204,18 @@ pub fn matmul2d(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Ok(out)
 }
 
+/// True when a GEMM with `m` output rows and `k·n` per-row work should take
+/// the row-parallel rayon path (see [`crate::tuning`] for the knobs). Both
+/// paths are bitwise identical — each output row is an independent strict
+/// `k`-order accumulation.
+fn gemm_parallel(m: usize, k: usize, n: usize) -> bool {
+    m >= tuning::gemm_par_rows() && k * n >= tuning::gemm_par_row_work()
+}
+
 /// Dense GEMM kernel: `out[m×n] += a[m×k] · b[k×n]` (out must be zeroed by
 /// the caller for a pure product).
 pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    let row_work = k * n;
-    if m >= 32 && row_work >= 16_384 {
+    if gemm_parallel(m, k, n) {
         out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
             gemm_row(&a[i * k..(i + 1) * k], b, out_row, k, n);
         });
@@ -237,8 +232,29 @@ pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
     }
 }
 
+/// Dense row kernel: unconditional multiply-accumulate over rows of `b`.
+///
+/// Deliberately branch-free: a per-`k`-step `aik == 0.0` test costs a
+/// compare+branch in the hot loop and only pays off when `a` is mostly
+/// zero. Skipping a zero `aik` is bitwise-identical to accumulating it for
+/// finite `b` (the accumulator starts at `+0.0` and IEEE-754 addition can
+/// never turn it into `-0.0`), so sparse callers can use
+/// [`matmul2d_masked`] without changing results.
 #[inline]
 fn gemm_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: usize) {
+    for (kk, &aik) in a_row.iter().enumerate().take(k) {
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+            *o += aik * bv;
+        }
+    }
+}
+
+/// Row kernel that skips exact-zero `a` entries. Only worthwhile when a
+/// large fraction of `a` is exactly zero (padded/masked rows); see
+/// [`gemm_row`] for why both kernels agree bitwise on finite data.
+#[inline]
+fn gemm_row_zskip(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: usize) {
     for (kk, &aik) in a_row.iter().enumerate().take(k) {
         if aik == 0.0 {
             continue;
@@ -248,6 +264,45 @@ fn gemm_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: usize) {
             *o += aik * bv;
         }
     }
+}
+
+/// `A · B` for 2-D matrices where `A` is expected to contain many exact
+/// zeros (padded or masked rows): each zero entry of `A` skips a whole
+/// row-of-`B` multiply-accumulate.
+///
+/// For finite inputs the result is bitwise identical to [`matmul2d`]; on a
+/// dense `A` it is slower (one extra branch per `k` step), which is why the
+/// dense path no longer carries the test. `BENCH_3.json` reports both
+/// kernels on dense and 75 %-zero workloads.
+pub fn matmul2d_masked(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.ndim() != 2 || b.ndim() != 2 || a.dim(1) != b.dim(0) {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul2d_masked",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = b.dim(1);
+    let mut out = Tensor::zeros(vec![m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let od = out.data_mut();
+    if gemm_parallel(m, k, n) {
+        od.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+            gemm_row_zskip(&ad[i * k..(i + 1) * k], bd, out_row, k, n);
+        });
+    } else {
+        for i in 0..m {
+            gemm_row_zskip(
+                &ad[i * k..(i + 1) * k],
+                bd,
+                &mut od[i * n..(i + 1) * n],
+                k,
+                n,
+            );
+        }
+    }
+    Ok(out)
 }
 
 /// Batched matmul.
@@ -304,6 +359,377 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             lhs: a.dims().to_vec(),
             rhs: b.dims().to_vec(),
         }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused transposed GEMM (NT / TN)
+// ---------------------------------------------------------------------------
+//
+// `matmul_transb` (A·Bᵀ) and `matmul_transa` (Aᵀ·B) never materialize a
+// transpose. Both share one register-tiled micro-kernel over packed panels:
+//
+// * B is packed ONCE per call into kk-major, `GEMM_NR`-wide stripes, reused
+//   across every row block (for NT this *is* the transpose, amortised into
+//   the pack; for TN it is a simple column gather).
+// * Each `GEMM_MR`-row block of A is packed kk-major with every value
+//   replicated 4×, so the micro-kernel's broadcast is a plain 4-lane vector
+//   load instead of a scalar splat.
+// * The micro-kernel keeps a `GEMM_MR × GEMM_NR` accumulator block in
+//   registers; `chunks_exact` plus array-ref conversions eliminate bounds
+//   checks without `unsafe`.
+//
+// Bitwise contract: every output element is one strict `k`-order f32
+// accumulation chain starting at +0.0 — exactly the chain the naive
+// transpose-then-[`matmul`] composition produces — and zero-padded dead
+// lanes are never copied out. `tests/proptests.rs` asserts bitwise equality
+// against the composition on randomized shapes.
+
+/// Rows per register micro-tile in the packed NT/TN kernels.
+const GEMM_MR: usize = 4;
+/// Columns per register micro-tile (one packed stripe of B).
+const GEMM_NR: usize = 8;
+/// Below this many output rows the packed kernels fall back to direct
+/// loops: the B pack is O(k·n) and cannot be amortised over few rows.
+const GEMM_MIN_PACK_ROWS: usize = 8;
+
+/// Packs rows `j..j+jb` of `b` (`n×k` row-major, the NT right operand) into
+/// one kk-major stripe: `panel[kk·NR + c] = b[(j+c)·k + kk]`. Dead lanes
+/// (`c >= jb`) are zeroed; they only feed accumulator lanes that are never
+/// copied out.
+fn pack_b_nt(b: &[f32], panel: &mut [f32], j: usize, jb: usize, k: usize) {
+    if jb == GEMM_NR {
+        for kk in 0..k {
+            let dst = &mut panel[kk * GEMM_NR..(kk + 1) * GEMM_NR];
+            for (c, d) in dst.iter_mut().enumerate() {
+                *d = b[(j + c) * k + kk];
+            }
+        }
+    } else {
+        for kk in 0..k {
+            let dst = &mut panel[kk * GEMM_NR..(kk + 1) * GEMM_NR];
+            for (c, d) in dst.iter_mut().enumerate() {
+                *d = if c < jb { b[(j + c) * k + kk] } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Packs columns `j..j+jb` of `b` (`k×n` row-major, the TN right operand)
+/// into one kk-major stripe: `panel[kk·NR + c] = b[kk·n + j + c]`.
+fn pack_b_tn(b: &[f32], panel: &mut [f32], j: usize, jb: usize, k: usize, n: usize) {
+    for kk in 0..k {
+        let src = &b[kk * n..(kk + 1) * n];
+        let dst = &mut panel[kk * GEMM_NR..(kk + 1) * GEMM_NR];
+        for (c, d) in dst.iter_mut().enumerate() {
+            *d = if c < jb { src[j + c] } else { 0.0 };
+        }
+    }
+}
+
+/// Packs one `GEMM_MR`-row block of the effective left operand kk-major with
+/// each value replicated 4× (`get(r, kk)` reads element `(row r, kk)`; dead
+/// rows `r >= ib` are zero). The replication turns the micro-kernel's
+/// row-value broadcast into a contiguous 4-wide load.
+fn pack_a_rep4(apanel: &mut [f32], ib: usize, k: usize, get: impl Fn(usize, usize) -> f32) {
+    for kk in 0..k {
+        let dst = &mut apanel[kk * GEMM_MR * 4..(kk + 1) * GEMM_MR * 4];
+        for r in 0..GEMM_MR {
+            let v = if r < ib { get(r, kk) } else { 0.0 };
+            dst[r * 4] = v;
+            dst[r * 4 + 1] = v;
+            dst[r * 4 + 2] = v;
+            dst[r * 4 + 3] = v;
+        }
+    }
+}
+
+/// Register-tiled micro-kernel: multiplies one packed `GEMM_MR`-row block of
+/// A (`apanel`, kk-major, rep4) against every packed stripe of B (`bstore`),
+/// overwriting `ib` rows of `out_block` (row-major, row stride `n`).
+///
+/// `acc[r][c]` accumulates its products in strict `kk` order, so each output
+/// element is bitwise identical to a scalar dot product over `k`.
+#[allow(clippy::unwrap_used)] // chunks_exact guarantees every slice width
+fn gemm_micro_block(
+    apanel: &[f32],
+    bstore: &[f32],
+    out_block: &mut [f32],
+    ib: usize,
+    k: usize,
+    n: usize,
+) {
+    let nstripes = n.div_ceil(GEMM_NR);
+    for s in 0..nstripes {
+        let j = s * GEMM_NR;
+        let jb = (n - j).min(GEMM_NR);
+        let bpanel = &bstore[s * k * GEMM_NR..(s + 1) * k * GEMM_NR];
+        let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
+        for (prow, arow) in bpanel
+            .chunks_exact(GEMM_NR)
+            .zip(apanel.chunks_exact(GEMM_MR * 4))
+        {
+            let prow: &[f32; GEMM_NR] = prow.try_into().unwrap();
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av: &[f32; 4] = arow[r * 4..(r + 1) * 4].try_into().unwrap();
+                let mut c4 = 0;
+                while c4 < GEMM_NR {
+                    for l in 0..4 {
+                        accr[c4 + l] += av[l] * prow[c4 + l];
+                    }
+                    c4 += 4;
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate().take(ib) {
+            out_block[r * n + j..r * n + j + jb].copy_from_slice(&accr[..jb]);
+        }
+    }
+}
+
+/// Packs all of B for one fused GEMM into pooled scratch, one
+/// [`pack_b_nt`]/[`pack_b_tn`] stripe at a time.
+fn pack_b_stripes(k: usize, n: usize, mut pack: impl FnMut(&mut [f32], usize, usize)) -> Vec<f32> {
+    let nstripes = n.div_ceil(GEMM_NR);
+    let mut bstore = pool::take_raw(nstripes * k * GEMM_NR);
+    for s in 0..nstripes {
+        let j = s * GEMM_NR;
+        let jb = (n - j).min(GEMM_NR);
+        pack(&mut bstore[s * k * GEMM_NR..(s + 1) * k * GEMM_NR], j, jb);
+    }
+    bstore
+}
+
+/// Fused NT fallback for skinny outputs (`m < GEMM_MIN_PACK_ROWS`): both
+/// operand rows are contiguous, so each output element is a plain dot
+/// product; four independent columns run at once for ILP. Overwrites `out`.
+fn gemm_nt_small(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (kk, &av) in arow.iter().enumerate() {
+                s0 += av * b0[kk];
+                s1 += av * b1[kk];
+                s2 += av * b2[kk];
+                s3 += av * b3[kk];
+            }
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += 4;
+        }
+        while j < n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut s = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                s += av * bv;
+            }
+            orow[j] = s;
+            j += 1;
+        }
+    }
+}
+
+/// Fused TN fallback for skinny outputs: per output row, accumulate
+/// `a[kk·m + i] · b_row(kk)` in strict `kk` order. Requires zeroed `out`.
+fn gemm_tn_small(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let orow = &mut out[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let av = a[kk * m + i];
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Fused NT GEMM: `out[m×n] = a[m×k] · b[n×k]ᵀ`, no transpose materialized.
+/// `out` must be zeroed by the caller.
+pub(crate) fn gemm_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m < GEMM_MIN_PACK_ROWS {
+        return gemm_nt_small(a, b, out, m, k, n);
+    }
+    let bstore = pack_b_stripes(k, n, |panel, j, jb| pack_b_nt(b, panel, j, jb, k));
+    if gemm_parallel(m, k, n) {
+        out.par_chunks_mut(GEMM_MR * n)
+            .enumerate()
+            .for_each(|(blk, out_block)| {
+                let i = blk * GEMM_MR;
+                let ib = (m - i).min(GEMM_MR);
+                let mut apanel = vec![0.0f32; k * GEMM_MR * 4];
+                pack_a_rep4(&mut apanel, ib, k, |r, kk| a[(i + r) * k + kk]);
+                gemm_micro_block(&apanel, &bstore, out_block, ib, k, n);
+            });
+    } else {
+        let mut apanel = pool::take_raw(k * GEMM_MR * 4);
+        let mut i = 0;
+        while i < m {
+            let ib = (m - i).min(GEMM_MR);
+            pack_a_rep4(&mut apanel, ib, k, |r, kk| a[(i + r) * k + kk]);
+            gemm_micro_block(&apanel, &bstore, &mut out[i * n..(i + ib) * n], ib, k, n);
+            i += ib;
+        }
+        pool::recycle(apanel);
+    }
+    pool::recycle(bstore);
+}
+
+/// Fused TN GEMM: `out[m×n] = a[k×m]ᵀ · b[k×n]`, no transpose materialized.
+/// `out` must be zeroed by the caller.
+pub(crate) fn gemm_tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m < GEMM_MIN_PACK_ROWS {
+        return gemm_tn_small(a, b, out, m, k, n);
+    }
+    let bstore = pack_b_stripes(k, n, |panel, j, jb| pack_b_tn(b, panel, j, jb, k, n));
+    if gemm_parallel(m, k, n) {
+        out.par_chunks_mut(GEMM_MR * n)
+            .enumerate()
+            .for_each(|(blk, out_block)| {
+                let i = blk * GEMM_MR;
+                let ib = (m - i).min(GEMM_MR);
+                let mut apanel = vec![0.0f32; k * GEMM_MR * 4];
+                pack_a_rep4(&mut apanel, ib, k, |r, kk| a[kk * m + i + r]);
+                gemm_micro_block(&apanel, &bstore, out_block, ib, k, n);
+            });
+    } else {
+        let mut apanel = pool::take_raw(k * GEMM_MR * 4);
+        let mut i = 0;
+        while i < m {
+            let ib = (m - i).min(GEMM_MR);
+            pack_a_rep4(&mut apanel, ib, k, |r, kk| a[kk * m + i + r]);
+            gemm_micro_block(&apanel, &bstore, &mut out[i * n..(i + ib) * n], ib, k, n);
+            i += ib;
+        }
+        pool::recycle(apanel);
+    }
+    pool::recycle(bstore);
+}
+
+/// `A · Bᵀ` without materializing the transpose.
+///
+/// Supported operand ranks (B is always stored "transposed", i.e. its rows
+/// are the columns of the effective right operand):
+/// * `(m,k) · (n,k)ᵀ → (m,n)` — plain 2-D.
+/// * `(b,m,k) · (b,n,k)ᵀ → (b,m,n)` — per-batch product.
+/// * `(b,m,k) · (n,k)ᵀ → (b,m,n)` — shared right operand (e.g. full-vocab
+///   logits against the embedding table).
+///
+/// Bitwise identical to `matmul(a, transpose_last2(b))`.
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mismatch = || TensorError::ShapeMismatch {
+        op: "matmul_transb",
+        lhs: a.dims().to_vec(),
+        rhs: b.dims().to_vec(),
+    };
+    match (a.ndim(), b.ndim()) {
+        (2, 2) => {
+            if a.dim(1) != b.dim(1) {
+                return Err(mismatch());
+            }
+            let (m, k, n) = (a.dim(0), a.dim(1), b.dim(0));
+            let mut out = Tensor::pooled_zeros(vec![m, n]);
+            gemm_nt_into(a.data(), b.data(), out.data_mut(), m, k, n);
+            Ok(out)
+        }
+        (3, 3) => {
+            let (bs, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+            if b.dim(0) != bs || b.dim(2) != k {
+                return Err(mismatch());
+            }
+            let n = b.dim(1);
+            let mut out = Tensor::pooled_zeros(vec![bs, m, n]);
+            let (ad, bd) = (a.data(), b.data());
+            let od = out.data_mut();
+            for i in 0..bs {
+                gemm_nt_into(
+                    &ad[i * m * k..(i + 1) * m * k],
+                    &bd[i * n * k..(i + 1) * n * k],
+                    &mut od[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            Ok(out)
+        }
+        (3, 2) => {
+            let (bs, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+            if b.dim(1) != k {
+                return Err(mismatch());
+            }
+            let n = b.dim(0);
+            // Collapse the batch into rows: (b·m, k) · (n, k)ᵀ. The data is
+            // already contiguous, so no reshape copy is needed.
+            let mut out = Tensor::pooled_zeros(vec![bs, m, n]);
+            gemm_nt_into(a.data(), b.data(), out.data_mut(), bs * m, k, n);
+            Ok(out)
+        }
+        _ => Err(mismatch()),
+    }
+}
+
+/// `Aᵀ · B` without materializing the transpose. The shared inner dimension
+/// is `a.dim(-2) == b.dim(-2)`.
+///
+/// Supported operand ranks:
+/// * `(k,m)ᵀ · (k,n) → (m,n)` — plain 2-D.
+/// * `(b,k,m)ᵀ · (b,k,n) → (b,m,n)` — per-batch product.
+///
+/// Bitwise identical to `matmul(transpose_last2(a), b)`.
+pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let mismatch = || TensorError::ShapeMismatch {
+        op: "matmul_transa",
+        lhs: a.dims().to_vec(),
+        rhs: b.dims().to_vec(),
+    };
+    match (a.ndim(), b.ndim()) {
+        (2, 2) => {
+            if a.dim(0) != b.dim(0) {
+                return Err(mismatch());
+            }
+            let (k, m, n) = (a.dim(0), a.dim(1), b.dim(1));
+            let mut out = Tensor::pooled_zeros(vec![m, n]);
+            gemm_tn_into(a.data(), b.data(), out.data_mut(), m, k, n);
+            Ok(out)
+        }
+        (3, 3) => {
+            let (bs, k, m) = (a.dim(0), a.dim(1), a.dim(2));
+            if b.dim(0) != bs || b.dim(1) != k {
+                return Err(mismatch());
+            }
+            let n = b.dim(2);
+            let mut out = Tensor::pooled_zeros(vec![bs, m, n]);
+            let (ad, bd) = (a.data(), b.data());
+            let od = out.data_mut();
+            for i in 0..bs {
+                gemm_tn_into(
+                    &ad[i * k * m..(i + 1) * k * m],
+                    &bd[i * k * n..(i + 1) * k * n],
+                    &mut od[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            Ok(out)
+        }
+        _ => Err(mismatch()),
     }
 }
 
@@ -406,7 +832,7 @@ fn axis_reduce(
             }
         }
     };
-    if outer >= 2 && inner > 0 && outer * red * inner >= PAR_MIN_ELEMS {
+    if outer >= 2 && inner > 0 && outer * red * inner >= tuning::par_min_elems() {
         out.par_chunks_mut(inner)
             .enumerate()
             .for_each(|(o, chunk)| reduce_outer(o, chunk));
@@ -468,7 +894,7 @@ pub fn argmax_last(t: &Tensor) -> Vec<usize> {
 /// result is independent of the partitioning.
 fn for_each_row(out: &mut Tensor, last: usize, row_fn: impl Fn(&mut [f32]) + Sync) {
     let n = out.numel();
-    if last > 0 && n >= PAR_MIN_ELEMS && n / last >= 2 {
+    if last > 0 && n >= tuning::par_min_elems() && n / last >= 2 {
         out.data_mut().par_chunks_mut(last).for_each(row_fn);
     } else {
         for row in out.data_mut().chunks_exact_mut(last) {
@@ -838,6 +1264,122 @@ mod tests {
         for (i, arow) in a.data().chunks_exact(c).enumerate() {
             assert_eq!(sums.data()[i], arow.iter().fold(0.0f32, |acc, &x| acc + x));
         }
+    }
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matmul_transb_matches_composition_bitwise() {
+        // Cover: packed path (m >= 8), small-m fallback, ragged n (partial
+        // stripe), and the batched / shared-B ranks.
+        for &(m, k, n) in &[
+            (32usize, 32usize, 361usize),
+            (3, 16, 21),
+            (9, 5, 8),
+            (1, 7, 13),
+        ] {
+            let a = t(pseudo(m * k, 1), vec![m, k]);
+            let b = t(pseudo(n * k, 2), vec![n, k]);
+            let fused = matmul_transb(&a, &b).unwrap();
+            let reference = matmul(&a, &transpose_last2(&b).unwrap()).unwrap();
+            assert_eq!(fused.dims(), &[m, n]);
+            assert_eq!(fused.data(), reference.data(), "NT m={m} k={k} n={n}");
+        }
+
+        let a = t(pseudo(2 * 9 * 6, 3), vec![2, 9, 6]);
+        let b = t(pseudo(2 * 11 * 6, 4), vec![2, 11, 6]);
+        let fused = matmul_transb(&a, &b).unwrap();
+        let reference = matmul(&a, &transpose_last2(&b).unwrap()).unwrap();
+        assert_eq!(fused.dims(), &[2, 9, 11]);
+        assert_eq!(fused.data(), reference.data());
+
+        let shared = t(pseudo(11 * 6, 5), vec![11, 6]);
+        let fused = matmul_transb(&a, &shared).unwrap();
+        let reference = matmul(&a, &transpose_last2(&shared).unwrap()).unwrap();
+        assert_eq!(fused.dims(), &[2, 9, 11]);
+        assert_eq!(fused.data(), reference.data());
+
+        assert!(matmul_transb(&t(pseudo(6, 0), vec![2, 3]), &t(pseudo(8, 0), vec![2, 4])).is_err());
+    }
+
+    #[test]
+    fn matmul_transa_matches_composition_bitwise() {
+        for &(m, k, n) in &[(32usize, 24usize, 19usize), (3, 40, 17), (12, 4, 4)] {
+            let a = t(pseudo(k * m, 6), vec![k, m]);
+            let b = t(pseudo(k * n, 7), vec![k, n]);
+            let fused = matmul_transa(&a, &b).unwrap();
+            let reference = matmul(&transpose_last2(&a).unwrap(), &b).unwrap();
+            assert_eq!(fused.dims(), &[m, n]);
+            assert_eq!(fused.data(), reference.data(), "TN m={m} k={k} n={n}");
+        }
+
+        let a = t(pseudo(2 * 5 * 9, 8), vec![2, 5, 9]);
+        let b = t(pseudo(2 * 5 * 7, 9), vec![2, 5, 7]);
+        let fused = matmul_transa(&a, &b).unwrap();
+        let reference = matmul(&transpose_last2(&a).unwrap(), &b).unwrap();
+        assert_eq!(fused.dims(), &[2, 9, 7]);
+        assert_eq!(fused.data(), reference.data());
+
+        assert!(
+            matmul_transa(&t(pseudo(6, 0), vec![2, 3]), &t(pseudo(12, 0), vec![3, 4])).is_err()
+        );
+    }
+
+    #[test]
+    fn fused_parallel_path_matches_serial() {
+        // Force the rayon row-block path and check it against the serial
+        // result (which the composition test already pins down).
+        let (m, k, n) = (48usize, 16usize, 33usize);
+        let a = t(pseudo(m * k, 10), vec![m, k]);
+        let b = t(pseudo(n * k, 11), vec![n, k]);
+        let serial = matmul_transb(&a, &b).unwrap();
+        let (rows, work) = (
+            crate::tuning::gemm_par_rows(),
+            crate::tuning::gemm_par_row_work(),
+        );
+        crate::tuning::set_gemm_par_rows(1);
+        crate::tuning::set_gemm_par_row_work(1);
+        let parallel = matmul_transb(&a, &b).unwrap();
+        let at = t(pseudo(k * m, 12), vec![k, m]);
+        let bt = t(pseudo(k * n, 13), vec![k, n]);
+        crate::tuning::set_gemm_par_rows(rows);
+        crate::tuning::set_gemm_par_row_work(work);
+        let serial_tn = matmul_transa(&at, &bt).unwrap();
+        crate::tuning::set_gemm_par_rows(1);
+        crate::tuning::set_gemm_par_row_work(1);
+        let parallel_tn = matmul_transa(&at, &bt).unwrap();
+        crate::tuning::set_gemm_par_rows(rows);
+        crate::tuning::set_gemm_par_row_work(work);
+        assert_eq!(serial.data(), parallel.data());
+        assert_eq!(serial_tn.data(), parallel_tn.data());
+    }
+
+    #[test]
+    fn masked_matmul_matches_dense_on_padded_input() {
+        let (m, k, n) = (6usize, 10usize, 9usize);
+        let mut av = pseudo(m * k, 14);
+        // Zero out most of `a`, as a padded batch would.
+        for (i, x) in av.iter_mut().enumerate() {
+            if i % 4 != 0 {
+                *x = 0.0;
+            }
+        }
+        let a = t(av, vec![m, k]);
+        let b = t(pseudo(k * n, 15), vec![k, n]);
+        let masked = matmul2d_masked(&a, &b).unwrap();
+        let dense = matmul2d(&a, &b).unwrap();
+        assert_eq!(masked.data(), dense.data());
+        assert!(matmul2d_masked(&a, &t(pseudo(8, 0), vec![2, 4])).is_err());
     }
 
     #[test]

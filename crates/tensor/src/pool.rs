@@ -1,0 +1,162 @@
+//! A process-wide recycling pool for `Vec<f32>` tensor storage.
+//!
+//! Training steps allocate and free the same handful of buffer sizes over and
+//! over (activations, gradients, GEMM pack scratch). The pool keeps freed
+//! buffers keyed by exact length so the next request of that length reuses
+//! the allocation instead of hitting the system allocator.
+//!
+//! Determinism contract: [`take_zeroed`] always returns an all-zero buffer,
+//! so pooled storage is indistinguishable from a fresh `vec![0.0; len]`.
+//! [`take_raw`] returns arbitrary stale contents and is only for scratch
+//! that the caller fully overwrites before reading (GEMM pack panels).
+//!
+//! The pool is opt-in at the call site (`Tensor::pooled_zeros` vs
+//! `Tensor::zeros`) and can be disabled globally with `META_SGCL_POOL=0`,
+//! which turns every call here into a plain allocate/drop.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Buffers shorter than this are never pooled; the allocator is already fast
+/// for small blocks and pooling them would just grow the free map.
+const MIN_POOLED_LEN: usize = 1024;
+
+/// At most this many free buffers are kept per size class; excess buffers
+/// are dropped so the pool cannot grow without bound.
+const PER_CLASS_CAP: usize = 32;
+
+static FREE_LISTS: OnceLock<Mutex<HashMap<usize, Vec<Vec<f32>>>>> = OnceLock::new();
+static HITS: AtomicUsize = AtomicUsize::new(0);
+static MISSES: AtomicUsize = AtomicUsize::new(0);
+
+/// 0 = unknown, 1 = enabled, 2 = disabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var("META_SGCL_POOL")
+                .map(|v| v != "0")
+                .unwrap_or(true);
+            ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Enables or disables the pool for this process (overrides `META_SGCL_POOL`).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+fn free_lists() -> &'static Mutex<HashMap<usize, Vec<Vec<f32>>>> {
+    FREE_LISTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn pop(len: usize) -> Option<Vec<f32>> {
+    if !enabled() || len < MIN_POOLED_LEN {
+        return None;
+    }
+    let popped = match free_lists().lock() {
+        Ok(mut map) => map.get_mut(&len).and_then(|list| list.pop()),
+        Err(_) => None,
+    };
+    match popped {
+        Some(v) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            Some(v)
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Takes a buffer of exactly `len` zeros, reusing a recycled allocation when
+/// one is available. Bitwise-equivalent to `vec![0.0; len]`.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    match pop(len) {
+        Some(mut v) => {
+            v.iter_mut().for_each(|x| *x = 0.0);
+            v
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Takes a buffer of exactly `len` elements with **arbitrary contents**.
+/// Only for scratch space the caller fully overwrites before reading.
+pub fn take_raw(len: usize) -> Vec<f32> {
+    pop(len).unwrap_or_else(|| vec![0.0; len])
+}
+
+/// Returns a buffer to the pool. Small buffers and overflow beyond the
+/// per-size cap are simply dropped.
+pub fn recycle(v: Vec<f32>) {
+    if !enabled() || v.len() < MIN_POOLED_LEN {
+        return;
+    }
+    if let Ok(mut map) = free_lists().lock() {
+        let list = map.entry(v.len()).or_default();
+        if list.len() < PER_CLASS_CAP {
+            list.push(v);
+        }
+    }
+}
+
+/// (hits, misses) counters for pooled-size requests; used by benchmarks and
+/// tests to confirm reuse is actually happening.
+pub fn stats() -> (usize, usize) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_and_zeroes() {
+        set_enabled(true);
+        let len = MIN_POOLED_LEN + 7;
+        let mut v = take_zeroed(len);
+        assert!(v.iter().all(|&x| x == 0.0));
+        v.iter_mut().for_each(|x| *x = 3.5);
+        recycle(v);
+        let v2 = take_zeroed(len);
+        assert_eq!(v2.len(), len);
+        assert!(
+            v2.iter().all(|&x| x == 0.0),
+            "pooled buffer must come back zeroed"
+        );
+    }
+
+    #[test]
+    fn small_buffers_are_not_pooled() {
+        set_enabled(true);
+        let before = stats();
+        let v = take_zeroed(8);
+        recycle(v);
+        let after = stats();
+        assert_eq!(
+            before, after,
+            "sub-threshold sizes bypass the pool entirely"
+        );
+    }
+
+    #[test]
+    fn disabled_pool_is_plain_allocation() {
+        set_enabled(false);
+        let v = take_zeroed(MIN_POOLED_LEN * 2);
+        recycle(v);
+        let (h0, _) = stats();
+        let v2 = take_raw(MIN_POOLED_LEN * 2);
+        assert!(v2.iter().all(|&x| x == 0.0));
+        let (h1, _) = stats();
+        assert_eq!(h0, h1, "disabled pool never records hits");
+        set_enabled(true);
+    }
+}

@@ -54,6 +54,64 @@ pub fn matmul(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
     }
 }
 
+/// Output shape of the fused `matmul_transb` (`A·Bᵀ`). Mirrors
+/// [`crate::ops::matmul_transb`]: supports `(m,k)·(n,k)ᵀ`,
+/// `(b,m,k)·(b,n,k)ᵀ` and `(b,m,k)·(n,k)ᵀ`.
+pub fn matmul_transb(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let err = || TensorError::ShapeMismatch {
+        op: "matmul_transb",
+        lhs: lhs.to_vec(),
+        rhs: rhs.to_vec(),
+    };
+    match (lhs.len(), rhs.len()) {
+        (2, 2) => {
+            if lhs[1] != rhs[1] {
+                return Err(err());
+            }
+            Ok(vec![lhs[0], rhs[0]])
+        }
+        (3, 3) => {
+            if rhs[0] != lhs[0] || rhs[2] != lhs[2] {
+                return Err(err());
+            }
+            Ok(vec![lhs[0], lhs[1], rhs[1]])
+        }
+        (3, 2) => {
+            if rhs[1] != lhs[2] {
+                return Err(err());
+            }
+            Ok(vec![lhs[0], lhs[1], rhs[0]])
+        }
+        _ => Err(err()),
+    }
+}
+
+/// Output shape of the fused `matmul_transa` (`Aᵀ·B`). Mirrors
+/// [`crate::ops::matmul_transa`]: supports `(k,m)ᵀ·(k,n)` and
+/// `(b,k,m)ᵀ·(b,k,n)`.
+pub fn matmul_transa(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let err = || TensorError::ShapeMismatch {
+        op: "matmul_transa",
+        lhs: lhs.to_vec(),
+        rhs: rhs.to_vec(),
+    };
+    match (lhs.len(), rhs.len()) {
+        (2, 2) => {
+            if lhs[0] != rhs[0] {
+                return Err(err());
+            }
+            Ok(vec![lhs[1], rhs[1]])
+        }
+        (3, 3) => {
+            if rhs[0] != lhs[0] || rhs[1] != lhs[1] {
+                return Err(err());
+            }
+            Ok(vec![lhs[0], lhs[2], rhs[2]])
+        }
+        _ => Err(err()),
+    }
+}
+
 /// Output shape of an axis reduction (`sum_axis`, `mean_axis`, `max_axis`).
 pub fn reduce_axis(input: &[usize], axis: usize, keepdim: bool) -> Result<Vec<usize>> {
     if axis >= input.len() {
@@ -200,6 +258,26 @@ mod tests {
         assert_eq!(matmul(&[5, 2, 3], &[3, 4]).unwrap(), vec![5, 2, 4]);
         assert!(matmul(&[2, 3], &[2, 3]).is_err());
         assert!(matmul(&[2], &[2]).is_err());
+    }
+
+    #[test]
+    fn fused_matmul_rules() {
+        assert_eq!(matmul_transb(&[2, 3], &[4, 3]).unwrap(), vec![2, 4]);
+        assert_eq!(
+            matmul_transb(&[5, 2, 3], &[5, 4, 3]).unwrap(),
+            vec![5, 2, 4]
+        );
+        assert_eq!(matmul_transb(&[5, 2, 3], &[4, 3]).unwrap(), vec![5, 2, 4]);
+        assert!(matmul_transb(&[2, 3], &[3, 4]).is_err());
+        assert!(matmul_transb(&[2], &[2]).is_err());
+
+        assert_eq!(matmul_transa(&[3, 2], &[3, 4]).unwrap(), vec![2, 4]);
+        assert_eq!(
+            matmul_transa(&[5, 3, 2], &[5, 3, 4]).unwrap(),
+            vec![5, 2, 4]
+        );
+        assert!(matmul_transa(&[3, 2], &[4, 3]).is_err());
+        assert!(matmul_transa(&[5, 3, 2], &[3, 4]).is_err());
     }
 
     #[test]

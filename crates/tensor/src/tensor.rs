@@ -46,6 +46,26 @@ impl Tensor {
         }
     }
 
+    /// All-zeros tensor whose storage is drawn from the process-wide
+    /// [`crate::pool`] when a recycled buffer of the right size exists.
+    ///
+    /// Bitwise-equivalent to [`Tensor::zeros`]: the buffer is always zeroed
+    /// before it is returned, so callers cannot observe whether the
+    /// allocation was recycled.
+    pub fn pooled_zeros(dims: impl Into<Vec<usize>>) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: crate::pool::take_zeroed(shape.numel()),
+            shape,
+        }
+    }
+
+    /// Consumes the tensor and returns its storage to the [`crate::pool`]
+    /// for reuse by a later [`Tensor::pooled_zeros`].
+    pub fn recycle(self) {
+        crate::pool::recycle(self.data);
+    }
+
     /// All-ones tensor of the given shape.
     pub fn ones(dims: impl Into<Vec<usize>>) -> Self {
         Self::full(dims, 1.0)

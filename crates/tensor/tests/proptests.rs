@@ -98,6 +98,97 @@ proptest! {
         prop_assert_eq!(back.data(), t.data());
     }
 
+    // The fused NT/TN kernels promise *bitwise* agreement with the naive
+    // transpose-then-matmul composition: every output element is the same
+    // strict k-order f32 accumulation chain. Shapes range past the packed
+    // kernel's block sizes (4×8) and below its small-m fallback threshold,
+    // so all code paths (packed, ragged tail stripes, dot fallback) are hit.
+
+    #[test]
+    fn matmul_transb_bitwise_equals_composition(
+        m in 1usize..40, k in 1usize..20, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let fill = |len: usize, s: u64| -> Vec<f32> {
+            let mut x = s.wrapping_mul(6364136223846793005).wrapping_add(seed);
+            (0..len).map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 40) as f32 / (1u64 << 24) as f32) * 20.0 - 10.0
+            }).collect()
+        };
+        let a = Tensor::from_vec(fill(m * k, 1), vec![m, k]);
+        let b = Tensor::from_vec(fill(n * k, 2), vec![n, k]);
+        let fused = ops::matmul_transb(&a, &b).unwrap();
+        let composed = ops::matmul(&a, &ops::transpose_last2(&b).unwrap()).unwrap();
+        prop_assert_eq!(fused.dims(), composed.dims());
+        // Bitwise, not approximate.
+        prop_assert_eq!(fused.data(), composed.data());
+    }
+
+    #[test]
+    fn matmul_transa_bitwise_equals_composition(
+        m in 1usize..40, k in 1usize..20, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let fill = |len: usize, s: u64| -> Vec<f32> {
+            let mut x = s.wrapping_mul(6364136223846793005).wrapping_add(seed);
+            (0..len).map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 40) as f32 / (1u64 << 24) as f32) * 20.0 - 10.0
+            }).collect()
+        };
+        let a = Tensor::from_vec(fill(k * m, 3), vec![k, m]);
+        let b = Tensor::from_vec(fill(k * n, 4), vec![k, n]);
+        let fused = ops::matmul_transa(&a, &b).unwrap();
+        let composed = ops::matmul(&ops::transpose_last2(&a).unwrap(), &b).unwrap();
+        prop_assert_eq!(fused.dims(), composed.dims());
+        prop_assert_eq!(fused.data(), composed.data());
+    }
+
+    #[test]
+    fn batched_fused_matmuls_bitwise_equal_composition(
+        bs in 1usize..4, m in 1usize..12, k in 1usize..10, n in 1usize..12
+    ) {
+        let ramp = |len: usize, off: f32| -> Vec<f32> {
+            (0..len).map(|i| ((i * 7 + 3) % 23) as f32 * 0.37 - 4.0 + off).collect()
+        };
+        let a = Tensor::from_vec(ramp(bs * m * k, 0.25), vec![bs, m, k]);
+        let b = Tensor::from_vec(ramp(bs * n * k, -1.5), vec![bs, n, k]);
+        let nt = ops::matmul_transb(&a, &b).unwrap();
+        let nt_ref = ops::matmul(&a, &ops::transpose_last2(&b).unwrap()).unwrap();
+        prop_assert_eq!(nt.data(), nt_ref.data());
+
+        // Shared right operand: (bs,m,k) · (n,k)ᵀ.
+        let shared = Tensor::from_vec(ramp(n * k, 2.0), vec![n, k]);
+        let nt_s = ops::matmul_transb(&a, &shared).unwrap();
+        let nt_s_ref = ops::matmul(&a, &ops::transpose_last2(&shared).unwrap()).unwrap();
+        prop_assert_eq!(nt_s.data(), nt_s_ref.data());
+
+        let at = Tensor::from_vec(ramp(bs * k * m, 0.5), vec![bs, k, m]);
+        let bt = Tensor::from_vec(ramp(bs * k * n, 1.0), vec![bs, k, n]);
+        let tn = ops::matmul_transa(&at, &bt).unwrap();
+        let tn_ref = ops::matmul(&ops::transpose_last2(&at).unwrap(), &bt).unwrap();
+        prop_assert_eq!(tn.data(), tn_ref.data());
+    }
+
+    #[test]
+    fn masked_matmul_bitwise_equals_dense(a in matrix(10), zero_stride in 2usize..5) {
+        // Sparsify a deterministically, then check the zero-skip kernel
+        // agrees bitwise with the dense one.
+        let mut av = a.data().to_vec();
+        for (i, x) in av.iter_mut().enumerate() {
+            if i % zero_stride != 0 {
+                *x = 0.0;
+            }
+        }
+        let a = Tensor::from_vec(av, a.dims().to_vec());
+        let b = Tensor::from_vec(
+            (0..a.dim(1) * 6).map(|i| (i % 11) as f32 - 5.0).collect::<Vec<_>>(),
+            vec![a.dim(1), 6],
+        );
+        let masked = ops::matmul2d_masked(&a, &b).unwrap();
+        let dense = ops::matmul2d(&a, &b).unwrap();
+        prop_assert_eq!(masked.data(), dense.data());
+    }
+
     #[test]
     fn index_select_then_scatter_is_count_weighted(rows in 2usize..6, cols in 1usize..5) {
         let table = Tensor::ones(vec![rows, cols]);
