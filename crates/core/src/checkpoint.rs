@@ -1,0 +1,465 @@
+//! Durable training state: full MSGC2 training checkpoints.
+//!
+//! A *training* checkpoint extends the parameter-only format with
+//! everything the meta-optimized two-step schedule needs to resume
+//! bitwise-identically after a crash:
+//!
+//! * model parameters (`REC_PARAMS`),
+//! * one `REC_OPTIMIZER` record per Adam slot (`main`/`meta` for the
+//!   two-step strategy, `all` for joint training): step counter `t` plus
+//!   first/second moments keyed by parameter name,
+//! * the epoch-level RNG's word state **as of the start of the epoch being
+//!   trained** (`REC_RNG`) — replaying the epoch's shuffle and per-batch
+//!   seed draws from it reconstructs the exact stream position,
+//! * a `REC_PROGRESS` cursor: strategy tag, epoch index, batches of that
+//!   epoch already applied, global optimizer step, and the KL-annealing
+//!   configuration (the β cursor is the step counter itself).
+//!
+//! Files are written atomically (temp + fsync + rename, see [`nn::io`]) and
+//! named `ckpt-<step, zero-padded>.msgc2`, so lexicographic order equals
+//! step order and retention/pruning is a directory listing away.
+
+use std::io::{self, ErrorKind};
+use std::path::{Path, PathBuf};
+
+use autograd::ParamRef;
+use nn::io::{
+    decode_named_tensors, encode_named_tensors, find_record, read_records, wire, CheckpointWriter,
+    REC_OPTIMIZER, REC_PARAMS, REC_PROGRESS, REC_RNG,
+};
+use optim::{Adam, AdamState};
+use tensor::Tensor;
+
+use crate::config::TrainStrategy;
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+/// Position of a training run when a checkpoint was written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainProgress {
+    /// Epoch index being trained.
+    pub epoch: u64,
+    /// Batches of that epoch fully applied (the next batch to run).
+    pub batch: u64,
+    /// Global optimizer steps taken (KL-annealing / LR-schedule cursor).
+    pub step: u64,
+}
+
+/// One optimizer slot's serialized state.
+#[derive(Debug, Clone)]
+pub struct OptimizerSlot {
+    /// Slot name: `"main"`, `"meta"`, or `"all"`.
+    pub name: String,
+    /// Adam step counter.
+    pub t: u64,
+    /// Per-parameter `(name, m, v)` moment estimates.
+    pub moments: Vec<(String, Tensor, Tensor)>,
+}
+
+/// A fully decoded training checkpoint.
+#[derive(Debug, Clone)]
+pub struct TrainCheckpoint {
+    /// Model parameters by name.
+    pub params: Vec<(String, Tensor)>,
+    /// Optimizer slots present in the file.
+    pub optimizers: Vec<OptimizerSlot>,
+    /// Epoch-start RNG word state.
+    pub rng_words: [u64; 4],
+    /// Strategy tag the checkpoint was written under.
+    pub strategy: String,
+    /// Position cursor.
+    pub progress: TrainProgress,
+    /// KL-annealing β ceiling at save time (config validation on resume).
+    pub beta_max: f32,
+    /// KL-annealing warm-up steps at save time.
+    pub kl_warmup_steps: u64,
+}
+
+/// Wire tag for a strategy.
+pub(crate) fn strategy_tag(s: TrainStrategy) -> &'static str {
+    match s {
+        TrainStrategy::Joint => "joint",
+        TrainStrategy::MetaTwoStep => "meta-two-step",
+    }
+}
+
+impl TrainCheckpoint {
+    /// Serializes and atomically writes the checkpoint to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = CheckpointWriter::new();
+        w.record(REC_PARAMS, encode_named_tensors(&self.params));
+        for slot in &self.optimizers {
+            let mut buf = Vec::new();
+            wire::put_str(&mut buf, &slot.name);
+            wire::put_u64(&mut buf, slot.t);
+            wire::put_u64(&mut buf, slot.moments.len() as u64);
+            for (name, m, v) in &slot.moments {
+                wire::put_str(&mut buf, name);
+                wire::put_tensor(&mut buf, m);
+                wire::put_tensor(&mut buf, v);
+            }
+            w.record(REC_OPTIMIZER, buf);
+        }
+        let mut buf = Vec::new();
+        for word in self.rng_words {
+            wire::put_u64(&mut buf, word);
+        }
+        w.record(REC_RNG, buf);
+        let mut buf = Vec::new();
+        wire::put_str(&mut buf, &self.strategy);
+        wire::put_u64(&mut buf, self.progress.epoch);
+        wire::put_u64(&mut buf, self.progress.batch);
+        wire::put_u64(&mut buf, self.progress.step);
+        wire::put_f32(&mut buf, self.beta_max);
+        wire::put_u64(&mut buf, self.kl_warmup_steps);
+        w.record(REC_PROGRESS, buf);
+        w.commit(path)
+    }
+
+    /// Reads and fully validates a checkpoint written by
+    /// [`TrainCheckpoint::save`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<TrainCheckpoint> {
+        let records = read_records(path)?;
+        let params = decode_named_tensors(find_record(&records, REC_PARAMS)?)?;
+
+        let mut optimizers = Vec::new();
+        for (kind, payload) in &records {
+            if *kind != REC_OPTIMIZER {
+                continue;
+            }
+            let mut c = wire::Cursor::new(payload);
+            let name = c.take_str()?;
+            let t = c.take_u64()?;
+            let count = c.take_u64()? as usize;
+            if count > payload.len() / 16 {
+                return Err(bad(format!(
+                    "optimizer slot {name}: moment count {count} impossible for payload"
+                )));
+            }
+            let mut moments = Vec::with_capacity(count);
+            for _ in 0..count {
+                let pname = c.take_str()?;
+                let m = c.take_tensor()?;
+                let v = c.take_tensor()?;
+                if m.dims() != v.dims() {
+                    return Err(bad(format!(
+                        "optimizer slot {name}: m/v shape mismatch for {pname}"
+                    )));
+                }
+                moments.push((pname, m, v));
+            }
+            c.finish()?;
+            optimizers.push(OptimizerSlot { name, t, moments });
+        }
+
+        let mut c = wire::Cursor::new(find_record(&records, REC_RNG)?);
+        let rng_words = [c.take_u64()?, c.take_u64()?, c.take_u64()?, c.take_u64()?];
+        c.finish()?;
+        if rng_words == [0; 4] {
+            return Err(bad("all-zero RNG state is invalid"));
+        }
+
+        let mut c = wire::Cursor::new(find_record(&records, REC_PROGRESS)?);
+        let strategy = c.take_str()?;
+        let progress = TrainProgress {
+            epoch: c.take_u64()?,
+            batch: c.take_u64()?,
+            step: c.take_u64()?,
+        };
+        let beta_max = c.take_f32()?;
+        let kl_warmup_steps = c.take_u64()?;
+        c.finish()?;
+
+        Ok(TrainCheckpoint {
+            params,
+            optimizers,
+            rng_words,
+            strategy,
+            progress,
+            beta_max,
+            kl_warmup_steps,
+        })
+    }
+
+    /// The slot named `name`, or `InvalidData`.
+    pub fn slot(&self, name: &str) -> io::Result<&OptimizerSlot> {
+        self.optimizers
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| bad(format!("checkpoint has no optimizer slot `{name}`")))
+    }
+}
+
+/// Copies checkpointed tensors into `params`, matching by name with shape
+/// validation. Every parameter must be present; extras in the file are
+/// ignored.
+pub fn apply_named_tensors(entries: &[(String, Tensor)], params: &[ParamRef]) -> io::Result<()> {
+    let by_name: std::collections::HashMap<&str, &Tensor> =
+        entries.iter().map(|(n, t)| (n.as_str(), t)).collect();
+    for p in params {
+        let mut pb = p.borrow_mut();
+        let t = by_name
+            .get(pb.name.as_str())
+            .ok_or_else(|| bad(format!("parameter {} missing from checkpoint", pb.name)))?;
+        if t.dims() != pb.value.dims() {
+            return Err(bad(format!(
+                "shape mismatch for {}: file {:?} vs model {:?}",
+                pb.name,
+                t.dims(),
+                pb.value.dims()
+            )));
+        }
+        pb.value = (*t).clone();
+    }
+    Ok(())
+}
+
+/// Snapshots one Adam into a named slot (moments keyed by parameter name,
+/// in optimizer order).
+pub fn export_slot(name: &str, opt: &Adam) -> OptimizerSlot {
+    let state = opt.export_state();
+    let names = opt.param_names();
+    OptimizerSlot {
+        name: name.to_string(),
+        t: state.t,
+        moments: names
+            .into_iter()
+            .zip(state.m)
+            .zip(state.v)
+            .map(|((n, m), v)| (n, m, v))
+            .collect(),
+    }
+}
+
+/// Restores a serialized slot into `opt`, re-keying moments by parameter
+/// name so on-disk order need not match optimizer order.
+pub fn import_slot(slot: &OptimizerSlot, opt: &mut Adam) -> io::Result<()> {
+    let by_name: std::collections::HashMap<&str, (&Tensor, &Tensor)> = slot
+        .moments
+        .iter()
+        .map(|(n, m, v)| (n.as_str(), (m, v)))
+        .collect();
+    let mut m = Vec::new();
+    let mut v = Vec::new();
+    for name in opt.param_names() {
+        let (mi, vi) = by_name.get(name.as_str()).ok_or_else(|| {
+            bad(format!(
+                "optimizer slot `{}` missing moments for {name}",
+                slot.name
+            ))
+        })?;
+        m.push((*mi).clone());
+        v.push((*vi).clone());
+    }
+    opt.import_state(AdamState { t: slot.t, m, v }).map_err(bad)
+}
+
+/// File name of the periodic checkpoint at `step` (zero-padded so
+/// lexicographic order equals step order).
+pub fn checkpoint_file_name(step: u64) -> String {
+    format!("ckpt-{step:012}.msgc2")
+}
+
+fn is_checkpoint_name(name: &str) -> bool {
+    name.strip_prefix("ckpt-")
+        .and_then(|r| r.strip_suffix(".msgc2"))
+        .is_some_and(|mid| !mid.is_empty() && mid.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// All periodic checkpoints in `dir`, sorted oldest → newest.
+pub fn list_checkpoints(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if name.to_str().is_some_and(is_checkpoint_name) {
+            out.push(entry.path());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Newest periodic checkpoint in `dir`, if any.
+pub fn latest_checkpoint(dir: &Path) -> io::Result<Option<PathBuf>> {
+    Ok(list_checkpoints(dir)?.pop())
+}
+
+/// Deletes all but the newest `keep_last` checkpoints in `dir`
+/// (`keep_last == 0` keeps everything). Returns the deleted paths.
+pub fn prune_checkpoints(dir: &Path, keep_last: usize) -> io::Result<Vec<PathBuf>> {
+    let mut removed = Vec::new();
+    if keep_last == 0 {
+        return Ok(removed);
+    }
+    let ckpts = list_checkpoints(dir)?;
+    if ckpts.len() > keep_last {
+        for path in &ckpts[..ckpts.len() - keep_last] {
+            std::fs::remove_file(path)?;
+            removed.push(path.clone());
+        }
+    }
+    Ok(removed)
+}
+
+/// Resolves a `--resume` spec: a checkpoint file is used as-is, a directory
+/// resolves to its newest checkpoint.
+pub fn resolve_resume(spec: &Path) -> io::Result<PathBuf> {
+    if spec.is_dir() {
+        latest_checkpoint(spec)?.ok_or_else(|| {
+            io::Error::new(
+                ErrorKind::NotFound,
+                format!("no ckpt-*.msgc2 checkpoints in {}", spec.display()),
+            )
+        })
+    } else if spec.is_file() {
+        Ok(spec.to_path_buf())
+    } else {
+        Err(io::Error::new(
+            ErrorKind::NotFound,
+            format!("resume path {} does not exist", spec.display()),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Parameter;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("msgc_ckpt_test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> TrainCheckpoint {
+        TrainCheckpoint {
+            params: vec![
+                ("w".into(), Tensor::from_vec(vec![1.0, 2.0], vec![2])),
+                ("b".into(), Tensor::from_vec(vec![-0.5], vec![1])),
+            ],
+            optimizers: vec![OptimizerSlot {
+                name: "main".into(),
+                t: 7,
+                moments: vec![(
+                    "w".into(),
+                    Tensor::from_vec(vec![0.1, 0.2], vec![2]),
+                    Tensor::from_vec(vec![0.01, 0.02], vec![2]),
+                )],
+            }],
+            rng_words: [1, 2, 3, 4],
+            strategy: "meta-two-step".into(),
+            progress: TrainProgress {
+                epoch: 3,
+                batch: 5,
+                step: 41,
+            },
+            beta_max: 0.2,
+            kl_warmup_steps: 100,
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let dir = tmpdir("rt");
+        let path = dir.join(checkpoint_file_name(41));
+        let ck = sample();
+        ck.save(&path).unwrap();
+        let back = TrainCheckpoint::load(&path).unwrap();
+        assert_eq!(back.rng_words, ck.rng_words);
+        assert_eq!(back.strategy, ck.strategy);
+        assert_eq!(back.progress, ck.progress);
+        assert_eq!(back.beta_max, ck.beta_max);
+        assert_eq!(back.kl_warmup_steps, ck.kl_warmup_steps);
+        assert_eq!(back.params.len(), 2);
+        assert_eq!(back.params[0].1.data(), &[1.0, 2.0]);
+        let slot = back.slot("main").unwrap();
+        assert_eq!(slot.t, 7);
+        assert_eq!(slot.moments[0].1.data(), &[0.1, 0.2]);
+        assert!(back.slot("meta").is_err());
+    }
+
+    #[test]
+    fn saving_twice_is_byte_identical() {
+        let dir = tmpdir("det");
+        let (a, b) = (dir.join("a.msgc2"), dir.join("b.msgc2"));
+        sample().save(&a).unwrap();
+        sample().save(&b).unwrap();
+        assert_eq!(std::fs::read(a).unwrap(), std::fs::read(b).unwrap());
+    }
+
+    #[test]
+    fn retention_prunes_oldest() {
+        let dir = tmpdir("prune");
+        for step in [10u64, 20, 30, 40] {
+            sample().save(dir.join(checkpoint_file_name(step))).unwrap();
+        }
+        // A non-checkpoint file must never be touched.
+        std::fs::write(dir.join("notes.txt"), b"keep me").unwrap();
+        let removed = prune_checkpoints(&dir, 2).unwrap();
+        assert_eq!(removed.len(), 2);
+        let left = list_checkpoints(&dir).unwrap();
+        assert_eq!(
+            left.iter()
+                .map(|p| p.file_name().unwrap().to_str().unwrap().to_string())
+                .collect::<Vec<_>>(),
+            vec![checkpoint_file_name(30), checkpoint_file_name(40)]
+        );
+        assert!(dir.join("notes.txt").exists());
+        assert!(prune_checkpoints(&dir, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn resolve_resume_picks_latest_in_dir() {
+        let dir = tmpdir("resolve");
+        assert!(resolve_resume(&dir).is_err(), "empty dir has no checkpoint");
+        sample().save(dir.join(checkpoint_file_name(5))).unwrap();
+        sample().save(dir.join(checkpoint_file_name(12))).unwrap();
+        let got = resolve_resume(&dir).unwrap();
+        assert!(got.ends_with(checkpoint_file_name(12)));
+        let direct = resolve_resume(&dir.join(checkpoint_file_name(5))).unwrap();
+        assert!(direct.ends_with(checkpoint_file_name(5)));
+        assert!(resolve_resume(&dir.join("nope.msgc2")).is_err());
+    }
+
+    #[test]
+    fn import_slot_rekeys_by_name() {
+        let pw = Parameter::shared("w", Tensor::zeros(vec![2]));
+        let pb = Parameter::shared("b", Tensor::zeros(vec![1]));
+        let mut opt = Adam::new(vec![pw, pb], 0.1);
+        // Moments listed in reverse order on disk.
+        let slot = OptimizerSlot {
+            name: "main".into(),
+            t: 9,
+            moments: vec![
+                (
+                    "b".into(),
+                    Tensor::from_vec(vec![0.5], vec![1]),
+                    Tensor::from_vec(vec![0.25], vec![1]),
+                ),
+                (
+                    "w".into(),
+                    Tensor::from_vec(vec![0.1, 0.2], vec![2]),
+                    Tensor::from_vec(vec![0.01, 0.02], vec![2]),
+                ),
+            ],
+        };
+        import_slot(&slot, &mut opt).unwrap();
+        assert_eq!(opt.steps(), 9);
+        let exported = export_slot("main", &opt);
+        assert_eq!(exported.moments[0].0, "w");
+        assert_eq!(exported.moments[0].1.data(), &[0.1, 0.2]);
+
+        // A slot missing a parameter is rejected.
+        let partial = OptimizerSlot {
+            name: "main".into(),
+            t: 1,
+            moments: slot.moments[..1].to_vec(),
+        };
+        assert!(import_slot(&partial, &mut opt).is_err());
+    }
+}

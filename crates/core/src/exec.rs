@@ -147,6 +147,14 @@ pub trait TrainObserver {
     /// Called after every epoch with the epoch's statistics (loss
     /// components, wall-clock time, throughput).
     fn on_epoch_end(&mut self, _stats: &EpochStats) {}
+
+    /// Called after a periodic training checkpoint has been durably
+    /// committed (temp + fsync + atomic rename) at global step `step`.
+    fn on_checkpoint(&mut self, _path: &std::path::Path, _step: u64) {}
+
+    /// Called once when training resumes from a checkpoint, before any
+    /// batch is processed.
+    fn on_resume(&mut self, _path: &std::path::Path, _epoch: usize, _batch: usize, _step: u64) {}
 }
 
 /// The do-nothing observer.

@@ -49,11 +49,13 @@
 #![warn(missing_docs)]
 
 mod audit;
+pub mod checkpoint;
 mod config;
 mod exec;
 mod model;
 mod train;
 
+pub use checkpoint::{TrainCheckpoint, TrainProgress};
 pub use config::{Ablation, MetaSgclConfig, SecondView, TrainStrategy};
 pub use exec::{Executor, NullObserver, TrainObserver};
 pub use model::MetaSgcl;

@@ -11,6 +11,10 @@ use rand::Rng;
 use rand::SeedableRng;
 use recdata::{encode_input_only, item_crop, item_mask, item_reorder, Batch, Batcher, ItemId};
 
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::{self, strategy_tag, OptimizerSlot, TrainCheckpoint, TrainProgress};
 use crate::config::{SecondView, TrainStrategy};
 use crate::exec::{
     reduce_outcomes, BatchStats, Executor, NullObserver, ShardOutcome, TrainObserver,
@@ -309,19 +313,62 @@ impl MetaSgcl {
 
     /// Trains with the configured strategy, recording per-epoch losses in
     /// [`MetaSgcl::history`].
-    pub fn train_model(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
-        self.train_model_observed(train, cfg, &mut NullObserver);
+    ///
+    /// Fails only on checkpoint I/O (a bad `resume` file, an unwritable
+    /// `ckpt_dir`); training itself is infallible.
+    pub fn train_model(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) -> io::Result<()> {
+        self.train_model_observed(train, cfg, &mut NullObserver)
+    }
+
+    /// Builds the full training state for a periodic checkpoint: parameters,
+    /// the optimizer slots of the active strategy, the epoch-start RNG
+    /// words, and the position cursor.
+    fn build_checkpoint(
+        &self,
+        progress: TrainProgress,
+        rng_words: [u64; 4],
+        slots: Vec<OptimizerSlot>,
+        beta_max: f32,
+    ) -> TrainCheckpoint {
+        let params = self
+            .all_parameters()
+            .iter()
+            .map(|p| {
+                let pb = p.borrow();
+                (pb.name.clone(), pb.value.clone())
+            })
+            .collect();
+        TrainCheckpoint {
+            params,
+            optimizers: slots,
+            rng_words,
+            strategy: strategy_tag(self.cfg.strategy).to_string(),
+            progress,
+            beta_max,
+            kl_warmup_steps: self.cfg.kl_warmup_steps,
+        }
     }
 
     /// [`MetaSgcl::train_model`] with an observer receiving per-epoch
-    /// statistics (loss components, wall-clock, throughput) as they are
-    /// produced.
+    /// statistics (loss components, wall-clock, throughput), checkpoint
+    /// commits, and resume events as they are produced.
+    ///
+    /// # Durability and resume
+    ///
+    /// With `cfg.save_every > 0`, a full [`TrainCheckpoint`] is committed
+    /// atomically to `cfg.ckpt_dir` every `save_every` optimizer steps and
+    /// old checkpoints beyond `cfg.keep_last` are pruned. With
+    /// `cfg.resume`, training restarts from the exact epoch/batch/RNG
+    /// position of the checkpoint; a resumed run takes the same parameter
+    /// trajectory — and writes byte-identical checkpoints — as a run that
+    /// was never interrupted. The loss history of the partially re-run
+    /// epoch covers only its post-resume batches.
     pub fn train_model_observed(
         &mut self,
         train: &[Vec<ItemId>],
         cfg: &TrainConfig,
         observer: &mut dyn TrainObserver,
-    ) {
+    ) -> io::Result<()> {
         let exec = Executor::from_config(cfg);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let batcher = Batcher::new(train.to_vec(), self.cfg.net.max_len, cfg.batch_size);
@@ -341,16 +388,88 @@ impl MetaSgcl {
         let mut step = 0u64;
         self.history.epochs.clear();
 
-        for epoch in 0..cfg.epochs {
+        let ckpt_dir: Option<PathBuf> = if cfg.save_every > 0 {
+            let dir = cfg.ckpt_dir.as_deref().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "save_every > 0 requires ckpt_dir",
+                )
+            })?;
+            let dir = PathBuf::from(dir);
+            std::fs::create_dir_all(&dir)?;
+            Some(dir)
+        } else {
+            None
+        };
+
+        let mut start_epoch = 0usize;
+        let mut resume_skip = 0usize;
+        if let Some(spec) = &cfg.resume {
+            let path = checkpoint::resolve_resume(Path::new(spec))?;
+            let ck = TrainCheckpoint::load(&path)?;
+            let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+            if ck.strategy != strategy_tag(self.cfg.strategy) {
+                return Err(invalid(format!(
+                    "checkpoint was written by strategy `{}`, current strategy is `{}`",
+                    ck.strategy,
+                    strategy_tag(self.cfg.strategy)
+                )));
+            }
+            // The β cursor is the step counter; a different annealing config
+            // would silently break the resume-determinism guarantee.
+            if ck.beta_max.to_bits() != anneal.beta_max().to_bits()
+                || ck.kl_warmup_steps != self.cfg.kl_warmup_steps
+            {
+                return Err(invalid(format!(
+                    "KL-annealing mismatch: checkpoint β_max={}, warmup={} vs config β_max={}, warmup={}",
+                    ck.beta_max,
+                    ck.kl_warmup_steps,
+                    anneal.beta_max(),
+                    self.cfg.kl_warmup_steps
+                )));
+            }
+            checkpoint::apply_named_tensors(&ck.params, &self.all_parameters())?;
+            match self.cfg.strategy {
+                TrainStrategy::MetaTwoStep => {
+                    checkpoint::import_slot(ck.slot("main")?, &mut opt_main)?;
+                    checkpoint::import_slot(ck.slot("meta")?, &mut opt_meta)?;
+                }
+                TrainStrategy::Joint => {
+                    checkpoint::import_slot(ck.slot("all")?, &mut opt_all)?;
+                }
+            }
+            rng = StdRng::from_state_words(ck.rng_words)
+                .ok_or_else(|| invalid("all-zero RNG state in checkpoint".into()))?;
+            start_epoch = usize::try_from(ck.progress.epoch)
+                .map_err(|_| invalid("epoch cursor overflows usize".into()))?;
+            resume_skip = usize::try_from(ck.progress.batch)
+                .map_err(|_| invalid("batch cursor overflows usize".into()))?;
+            step = ck.progress.step;
+            observer.on_resume(&path, start_epoch, resume_skip, step);
+        }
+
+        let mut halted = false;
+        for epoch in start_epoch..cfg.epochs {
             let epoch_start = std::time::Instant::now();
+            // Snapshot the stream at the epoch boundary: a checkpoint inside
+            // this epoch stores these words, and resume replays the shuffle
+            // and the per-batch seed draws from them.
+            let epoch_words = rng.state_words();
             let mut sums = BatchStats::default();
             let mut batches = 0usize;
             let mut seqs = 0usize;
-            for batch in batcher.epoch(&mut rng) {
+            let skip = if epoch == start_epoch { resume_skip } else { 0 };
+            let epoch_batches = batcher.epoch(&mut rng);
+            for (bi, batch) in epoch_batches.iter().enumerate() {
                 let beta = anneal.beta(step);
                 // One seed per batch; each shard derives its own stream from
                 // it, so the arithmetic is independent of the thread count.
+                // Skipped (already-applied) batches still consume their seed
+                // so the resumed stream stays aligned.
                 let batch_seed: u64 = rng.gen();
+                if bi < skip {
+                    continue;
+                }
                 let shards = batch.shard(exec.shard_size());
                 match self.cfg.strategy {
                     TrainStrategy::Joint => {
@@ -388,6 +507,38 @@ impl MetaSgcl {
                 step += 1;
                 batches += 1;
                 seqs += batch.len();
+                if let Some(dir) = ckpt_dir.as_deref() {
+                    if step.is_multiple_of(cfg.save_every) {
+                        let slots = match self.cfg.strategy {
+                            TrainStrategy::MetaTwoStep => vec![
+                                checkpoint::export_slot("main", &opt_main),
+                                checkpoint::export_slot("meta", &opt_meta),
+                            ],
+                            TrainStrategy::Joint => {
+                                vec![checkpoint::export_slot("all", &opt_all)]
+                            }
+                        };
+                        let progress = TrainProgress {
+                            epoch: epoch as u64,
+                            batch: (bi + 1) as u64,
+                            step,
+                        };
+                        let ck =
+                            self.build_checkpoint(progress, epoch_words, slots, anneal.beta_max());
+                        let path = dir.join(checkpoint::checkpoint_file_name(step));
+                        ck.save(&path)?;
+                        checkpoint::prune_checkpoints(dir, cfg.keep_last)?;
+                        observer.on_checkpoint(&path, step);
+                    }
+                }
+                if cfg.max_steps > 0 && step >= cfg.max_steps {
+                    halted = true;
+                    break;
+                }
+            }
+            if halted {
+                // A partial epoch cut short by `max_steps` is not recorded.
+                break;
             }
             let denom = batches.max(1) as f64;
             let wall_ms = epoch_start.elapsed().as_secs_f64() * 1e3;
@@ -416,6 +567,7 @@ impl MetaSgcl {
             self.history.epochs.push(stats);
             observer.on_epoch_end(&stats);
         }
+        Ok(())
     }
 }
 
@@ -432,7 +584,8 @@ impl SequentialRecommender for MetaSgcl {
     }
 
     fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
-        self.train_model(train, cfg);
+        self.train_model(train, cfg)
+            .expect("training checkpoint I/O failed");
     }
 
     fn score(&mut self, _user: usize, seq: &[ItemId]) -> Vec<f32> {

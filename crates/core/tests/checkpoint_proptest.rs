@@ -1,0 +1,205 @@
+//! Property tests for full MSGC2 *training* checkpoints: random
+//! model + optimizer + RNG + progress state round-trips bitwise (load →
+//! re-save reproduces the exact file bytes), and corruption — truncation at
+//! every record boundary, single-byte flips anywhere — always yields
+//! `Err(InvalidData)`, never a panic or a silently different state.
+
+use std::io::{self, ErrorKind};
+use std::path::{Path, PathBuf};
+
+use meta_sgcl::checkpoint::{OptimizerSlot, TrainCheckpoint, TrainProgress};
+use proptest::prelude::*;
+use tensor::Tensor;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("msgc_ckpt_proptest");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name)
+}
+
+/// Loads a checkpoint *and* demands the optimizer slots the training loop
+/// would ask for — the full validation path a resume has to get past.
+fn load_strict(path: &Path, slots: &[String]) -> io::Result<TrainCheckpoint> {
+    let ck = TrainCheckpoint::load(path)?;
+    for name in slots {
+        ck.slot(name)?;
+    }
+    Ok(ck)
+}
+
+/// Byte offsets of every record boundary (after the header and after each
+/// record, excluding EOF itself).
+fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut pos = 9;
+    let mut out = vec![pos];
+    while pos < bytes.len() {
+        let len =
+            u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().expect("8-byte slice")) as usize;
+        pos += 9 + len + 4;
+        out.push(pos);
+    }
+    assert_eq!(
+        pos,
+        bytes.len(),
+        "parsed boundaries disagree with file size"
+    );
+    out.pop();
+    out
+}
+
+fn tensor_bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// A random tensor whose f32 data spans the whole bit space (NaNs,
+/// infinities, subnormals included).
+fn any_tensor() -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(1usize..4, 1..3).prop_flat_map(|dims| {
+        let n: usize = dims.iter().product();
+        (Just(dims), prop::collection::vec(0u64..1 << 32, n..=n)).prop_map(|(dims, bits)| {
+            let data = bits.into_iter().map(|b| f32::from_bits(b as u32)).collect();
+            Tensor::from_vec(data, dims)
+        })
+    })
+}
+
+/// A random full training checkpoint: parameters, one optimizer slot per
+/// strategy-appropriate name with matching moment shapes, nonzero RNG
+/// words, and a progress cursor.
+fn any_checkpoint() -> impl Strategy<Value = TrainCheckpoint> {
+    let params = prop::collection::vec(any_tensor(), 1..4).prop_map(|ts| {
+        ts.into_iter()
+            .enumerate()
+            .map(|(i, t)| (format!("p{i}"), t))
+            .collect::<Vec<_>>()
+    });
+    let meta = (params, 0usize..2, 1u64..u64::MAX, 0u64..1000);
+    let cursor = (
+        0u64..50,
+        0u64..50,
+        0u64..100_000,
+        0u64..1 << 32,
+        0u64..10_000,
+    );
+    (meta, cursor).prop_map(
+        |((params, joint, word0, t0), (epoch, batch, step, beta_bits, kl_warmup_steps))| {
+            let slot_names: &[&str] = if joint == 0 {
+                &["all"]
+            } else {
+                &["main", "meta"]
+            };
+            let optimizers = slot_names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| OptimizerSlot {
+                    name: name.to_string(),
+                    t: t0 + i as u64,
+                    moments: params
+                        .iter()
+                        .map(|(n, t)| {
+                            let numel: usize = t.dims().iter().product();
+                            let m = Tensor::from_vec(vec![0.25; numel], t.dims().to_vec());
+                            let v = Tensor::from_vec(vec![0.5; numel], t.dims().to_vec());
+                            (n.clone(), m, v)
+                        })
+                        .collect(),
+                })
+                .collect();
+            TrainCheckpoint {
+                params,
+                optimizers,
+                rng_words: [word0, word0 ^ 0xABCD, word0.rotate_left(17), !word0],
+                strategy: if joint == 0 { "joint" } else { "meta-two-step" }.to_string(),
+                progress: TrainProgress { epoch, batch, step },
+                beta_max: f32::from_bits(beta_bits as u32),
+                kl_warmup_steps,
+            }
+        },
+    )
+}
+
+fn slot_names(ck: &TrainCheckpoint) -> Vec<String> {
+    ck.optimizers.iter().map(|s| s.name.clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn full_state_round_trips_bitwise(ck in any_checkpoint()) {
+        let path = tmp("round_trip.msgc2");
+        ck.save(&path).unwrap();
+        let back = load_strict(&path, &slot_names(&ck)).unwrap();
+
+        prop_assert_eq!(&back.strategy, &ck.strategy);
+        prop_assert_eq!(back.progress, ck.progress);
+        prop_assert_eq!(back.rng_words, ck.rng_words);
+        prop_assert_eq!(back.beta_max.to_bits(), ck.beta_max.to_bits());
+        prop_assert_eq!(back.kl_warmup_steps, ck.kl_warmup_steps);
+
+        prop_assert_eq!(back.params.len(), ck.params.len());
+        for ((n0, t0), (n1, t1)) in ck.params.iter().zip(&back.params) {
+            prop_assert_eq!(n0, n1);
+            prop_assert_eq!(t0.dims(), t1.dims());
+            prop_assert_eq!(tensor_bits(t0), tensor_bits(t1));
+        }
+        prop_assert_eq!(back.optimizers.len(), ck.optimizers.len());
+        for (s0, s1) in ck.optimizers.iter().zip(&back.optimizers) {
+            prop_assert_eq!(&s0.name, &s1.name);
+            prop_assert_eq!(s0.t, s1.t);
+            prop_assert_eq!(s0.moments.len(), s1.moments.len());
+            for ((n0, m0, v0), (n1, m1, v1)) in s0.moments.iter().zip(&s1.moments) {
+                prop_assert_eq!(n0, n1);
+                prop_assert_eq!(tensor_bits(m0), tensor_bits(m1));
+                prop_assert_eq!(tensor_bits(v0), tensor_bits(v1));
+            }
+        }
+    }
+
+    #[test]
+    fn load_then_save_reproduces_exact_bytes(ck in any_checkpoint()) {
+        // The strongest bitwise statement: deserialize → reserialize is the
+        // identity on the file bytes, so nothing is lost or renormalized.
+        let (a, b) = (tmp("reser_a.msgc2"), tmp("reser_b.msgc2"));
+        ck.save(&a).unwrap();
+        TrainCheckpoint::load(&a).unwrap().save(&b).unwrap();
+        prop_assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+    }
+
+    #[test]
+    fn truncation_at_every_record_boundary_is_invalid_data(ck in any_checkpoint()) {
+        let path = tmp("boundary_trunc.msgc2");
+        ck.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let names = slot_names(&ck);
+        for cut in record_boundaries(&bytes) {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = load_strict(&path, &names).unwrap_err();
+            prop_assert_eq!(
+                err.kind(),
+                ErrorKind::InvalidData,
+                "cut at boundary {}: {}", cut, err
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_flips_are_always_rejected(
+        ck in any_checkpoint(),
+        pos_frac in 0u64..1000,
+        flip in 1u64..256,
+    ) {
+        let path = tmp("byte_flip.msgc2");
+        ck.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = (pos_frac as usize * bytes.len()) / 1000;
+        bytes[pos] ^= flip as u8;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_strict(&path, &slot_names(&ck)).unwrap_err();
+        prop_assert_eq!(
+            err.kind(),
+            ErrorKind::InvalidData,
+            "flip {:#04x} at byte {} of {}: {}", flip, pos, bytes.len(), err
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Resume-determinism contract of MSGC2 training checkpoints: a run killed
+//! mid-training and resumed from its last checkpoint must produce
+//! checkpoints **byte-identical** to an uninterrupted run — across thread
+//! counts (extending the threads=1-vs-4 determinism harness) and for both
+//! training strategies.
+
+use std::path::{Path, PathBuf};
+
+use meta_sgcl::checkpoint::{checkpoint_file_name, list_checkpoints};
+use meta_sgcl::{MetaSgcl, MetaSgclConfig, TrainStrategy};
+use models::{NetConfig, TrainConfig};
+use recdata::ItemId;
+
+fn ring(users: usize, items: usize, len: usize) -> Vec<Vec<ItemId>> {
+    (0..users)
+        .map(|u| (0..len).map(|t| 1 + (u + t) % items).collect())
+        .collect()
+}
+
+fn small_cfg(strategy: TrainStrategy) -> MetaSgclConfig {
+    MetaSgclConfig {
+        net: NetConfig {
+            max_len: 8,
+            dim: 16,
+            layers: 1,
+            ..NetConfig::for_items(6)
+        },
+        alpha: 0.02,
+        beta: 0.05,
+        strategy,
+        ..MetaSgclConfig::for_items(6)
+    }
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("msgc_resume_test").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// Two epochs of 20 sequences in batches of 10 → 2 batches per epoch,
+/// 4 optimizer steps total, checkpoint every step.
+fn train_cfg(dir: &Path, threads: usize, max_steps: u64, resume: Option<&Path>) -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 10,
+        shard_size: 4,
+        threads,
+        save_every: 1,
+        keep_last: 0,
+        ckpt_dir: Some(dir.to_string_lossy().into_owned()),
+        resume: resume.map(|p| p.to_string_lossy().into_owned()),
+        max_steps,
+        ..Default::default()
+    }
+}
+
+fn run(
+    strategy: TrainStrategy,
+    dir: &Path,
+    threads: usize,
+    max_steps: u64,
+    resume: Option<&Path>,
+) -> MetaSgcl {
+    let train = ring(20, 6, 8);
+    let mut m = MetaSgcl::new(small_cfg(strategy));
+    m.train_model(&train, &train_cfg(dir, threads, max_steps, resume))
+        .expect("training failed");
+    m
+}
+
+fn assert_kill_resume_identical(strategy: TrainStrategy, kill_at: u64, resume_threads: usize) {
+    let tag = format!("{strategy:?}-{kill_at}-{resume_threads}");
+    let ref_dir = fresh_dir(&format!("ref-{tag}"));
+    let int_dir = fresh_dir(&format!("int-{tag}"));
+
+    // Uninterrupted reference run (serial).
+    let reference = run(strategy, &ref_dir, 1, 0, None);
+    assert_eq!(
+        list_checkpoints(&ref_dir).expect("list ref").len(),
+        4,
+        "2 epochs × 2 batches at save_every=1"
+    );
+
+    // "Killed" run: halts after `kill_at` steps, leaving its checkpoints.
+    run(strategy, &int_dir, 1, kill_at, None);
+    assert_eq!(
+        list_checkpoints(&int_dir).expect("list int").len(),
+        kill_at as usize
+    );
+
+    // Resume from the directory (newest checkpoint) with a fresh model,
+    // possibly on a different thread count.
+    let resumed = run(strategy, &int_dir, resume_threads, 0, Some(&int_dir));
+
+    // Every checkpoint from the kill point on must match byte-for-byte.
+    for step in kill_at..=4 {
+        let name = checkpoint_file_name(step);
+        let a = std::fs::read(ref_dir.join(&name)).expect("read ref ckpt");
+        let b = std::fs::read(int_dir.join(&name)).expect("read int ckpt");
+        assert_eq!(a, b, "checkpoint {name} differs after kill+resume ({tag})");
+    }
+    // And so must the in-memory parameters.
+    for (p, q) in reference
+        .all_parameters()
+        .iter()
+        .zip(resumed.all_parameters().iter())
+    {
+        assert_eq!(
+            p.borrow().value,
+            q.borrow().value,
+            "parameter {} differs after kill+resume ({tag})",
+            p.borrow().name
+        );
+    }
+}
+
+#[test]
+fn kill_mid_epoch_and_resume_is_bitwise_identical_meta() {
+    // kill_at=3 stops after batch 1 of epoch 1 — a mid-epoch kill.
+    assert_kill_resume_identical(TrainStrategy::MetaTwoStep, 3, 1);
+}
+
+#[test]
+fn kill_at_epoch_boundary_and_resume_is_bitwise_identical_meta() {
+    // kill_at=2 stops exactly at the epoch 0/1 boundary.
+    assert_kill_resume_identical(TrainStrategy::MetaTwoStep, 2, 1);
+}
+
+#[test]
+fn kill_and_resume_is_bitwise_identical_joint() {
+    assert_kill_resume_identical(TrainStrategy::Joint, 3, 1);
+}
+
+#[test]
+fn resume_on_four_threads_matches_serial_reference() {
+    // The PR-1 determinism contract extends through kill+resume: a run
+    // interrupted serially and resumed on 4 threads still produces the
+    // serial reference's bytes.
+    assert_kill_resume_identical(TrainStrategy::MetaTwoStep, 3, 4);
+}
+
+#[test]
+fn keep_last_retention_prunes_during_training() {
+    let dir = fresh_dir("retention");
+    let train = ring(20, 6, 8);
+    let mut m = MetaSgcl::new(small_cfg(TrainStrategy::MetaTwoStep));
+    let mut cfg = train_cfg(&dir, 1, 0, None);
+    cfg.keep_last = 2;
+    m.train_model(&train, &cfg).unwrap();
+    let names: Vec<String> = list_checkpoints(&dir)
+        .unwrap()
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        names,
+        vec![checkpoint_file_name(3), checkpoint_file_name(4)]
+    );
+}
+
+#[test]
+fn resume_rejects_strategy_mismatch() {
+    let dir = fresh_dir("strategy-mismatch");
+    run(TrainStrategy::MetaTwoStep, &dir, 1, 2, None);
+    let train = ring(20, 6, 8);
+    let mut m = MetaSgcl::new(small_cfg(TrainStrategy::Joint));
+    let err = m
+        .train_model(&train, &train_cfg(&dir, 1, 0, Some(&dir)))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("strategy"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn resume_rejects_schedule_mismatch() {
+    let dir = fresh_dir("schedule-mismatch");
+    run(TrainStrategy::MetaTwoStep, &dir, 1, 2, None);
+    let train = ring(20, 6, 8);
+    let mut cfg = small_cfg(TrainStrategy::MetaTwoStep);
+    cfg.kl_warmup_steps += 1;
+    let mut m = MetaSgcl::new(cfg);
+    let err = m
+        .train_model(&train, &train_cfg(&dir, 1, 0, Some(&dir)))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("KL-annealing"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn resume_rejects_corrupted_checkpoint() {
+    let dir = fresh_dir("corrupt");
+    run(TrainStrategy::MetaTwoStep, &dir, 1, 1, None);
+    let path = dir.join(checkpoint_file_name(1));
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+    let train = ring(20, 6, 8);
+    let mut m = MetaSgcl::new(small_cfg(TrainStrategy::MetaTwoStep));
+    let err = m
+        .train_model(&train, &train_cfg(&dir, 1, 0, Some(&path)))
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+}
+
+#[test]
+fn observer_sees_resume_and_checkpoints() {
+    #[derive(Default)]
+    struct Spy {
+        checkpoints: Vec<u64>,
+        resumes: Vec<(usize, usize, u64)>,
+    }
+    impl meta_sgcl::TrainObserver for Spy {
+        fn on_checkpoint(&mut self, path: &Path, step: u64) {
+            assert!(path.exists());
+            self.checkpoints.push(step);
+        }
+        fn on_resume(&mut self, _path: &Path, epoch: usize, batch: usize, step: u64) {
+            self.resumes.push((epoch, batch, step));
+        }
+    }
+
+    let dir = fresh_dir("observer");
+    let train = ring(20, 6, 8);
+    let mut m = MetaSgcl::new(small_cfg(TrainStrategy::MetaTwoStep));
+    let mut spy = Spy::default();
+    m.train_model_observed(&train, &train_cfg(&dir, 1, 3, None), &mut spy)
+        .unwrap();
+    assert_eq!(spy.checkpoints, vec![1, 2, 3]);
+    assert!(spy.resumes.is_empty());
+
+    let mut m2 = MetaSgcl::new(small_cfg(TrainStrategy::MetaTwoStep));
+    let mut spy2 = Spy::default();
+    m2.train_model_observed(&train, &train_cfg(&dir, 1, 0, Some(&dir)), &mut spy2)
+        .unwrap();
+    // Step 3 was batch 1 of epoch 1; resume continues there.
+    assert_eq!(spy2.resumes, vec![(1, 1, 3)]);
+    assert_eq!(spy2.checkpoints, vec![4]);
+}

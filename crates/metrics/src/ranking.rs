@@ -58,6 +58,21 @@ impl EvalReport {
     pub fn mrr(&self, k: usize) -> f64 {
         self.mrr[&k]
     }
+
+    /// HR at cutoff `k`, or `None` if `k` was not requested.
+    pub fn try_hr(&self, k: usize) -> Option<f64> {
+        self.hr.get(&k).copied()
+    }
+
+    /// NDCG at cutoff `k`, or `None` if `k` was not requested.
+    pub fn try_ndcg(&self, k: usize) -> Option<f64> {
+        self.ndcg.get(&k).copied()
+    }
+
+    /// MRR at cutoff `k`, or `None` if `k` was not requested.
+    pub fn try_mrr(&self, k: usize) -> Option<f64> {
+        self.mrr.get(&k).copied()
+    }
 }
 
 impl std::fmt::Display for EvalReport {
@@ -67,6 +82,9 @@ impl std::fmt::Display for EvalReport {
         }
         for (k, v) in &self.ndcg {
             write!(f, "NDCG@{k}={v:.4} ")?;
+        }
+        for (k, v) in &self.mrr {
+            write!(f, "MRR@{k}={v:.4} ")?;
         }
         Ok(())
     }
@@ -179,6 +197,32 @@ mod tests {
         assert!((r.ndcg(10) - ndcg10).abs() < 1e-9);
         let mrr10 = (1.0 + 1.0 / 3.0 + 1.0 / 7.0) / 4.0;
         assert!((r.mrr(10) - mrr10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_all_three_metric_families() {
+        let mut acc = MetricAccumulator::new(&[5, 10]);
+        acc.add_rank(1);
+        acc.add_rank(3);
+        let s = acc.finish().to_string();
+        for needle in [
+            "HR@5=", "HR@10=", "NDCG@5=", "NDCG@10=", "MRR@5=", "MRR@10=",
+        ] {
+            assert!(s.contains(needle), "`{needle}` missing from `{s}`");
+        }
+    }
+
+    #[test]
+    fn try_accessors_mirror_indexing_without_panicking() {
+        let mut acc = MetricAccumulator::new(&[5]);
+        acc.add_rank(2);
+        let r = acc.finish();
+        assert_eq!(r.try_hr(5), Some(r.hr(5)));
+        assert_eq!(r.try_ndcg(5), Some(r.ndcg(5)));
+        assert_eq!(r.try_mrr(5), Some(r.mrr(5)));
+        assert_eq!(r.try_hr(7), None);
+        assert_eq!(r.try_ndcg(7), None);
+        assert_eq!(r.try_mrr(7), None);
     }
 
     #[test]

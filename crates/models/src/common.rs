@@ -42,6 +42,25 @@ pub struct TrainConfig {
     /// violation. Costs one extra pass over the tape per shard; off by
     /// default.
     pub sanitize: bool,
+    /// Write a full training checkpoint (parameters, optimizer moments,
+    /// RNG and schedule cursors) every this many optimizer steps. `0`
+    /// disables periodic checkpointing. Requires [`TrainConfig::ckpt_dir`].
+    pub save_every: u64,
+    /// Retention: keep only the newest this many periodic checkpoints,
+    /// pruning older ones after each save. `0` keeps everything.
+    pub keep_last: usize,
+    /// Directory for periodic checkpoints (`ckpt-<step>.msgc2` files).
+    pub ckpt_dir: Option<String>,
+    /// Resume training from a checkpoint: either a specific `.msgc2` file
+    /// or a checkpoint directory (the newest valid checkpoint is used).
+    /// Training continues from the exact epoch/batch/RNG position and is
+    /// bitwise identical to a run that was never interrupted.
+    pub resume: Option<String>,
+    /// Halt after this many global optimizer steps (`0` = no limit). A
+    /// partial epoch cut short by this limit is not recorded in the
+    /// training history. Used to make "interrupted" runs reproducible in
+    /// tests and the resume-smoke CI job.
+    pub max_steps: u64,
 }
 
 impl Default for TrainConfig {
@@ -57,6 +76,11 @@ impl Default for TrainConfig {
             threads: 1,
             shard_size: 16,
             sanitize: false,
+            save_every: 0,
+            keep_last: 0,
+            ckpt_dir: None,
+            resume: None,
+            max_steps: 0,
         }
     }
 }

@@ -1,6 +1,33 @@
-//! Parameter checkpointing: a tiny self-describing binary format
-//! (`MSGC1` magic, little-endian) for saving and restoring named parameter
-//! sets without external dependencies.
+//! Checkpoint I/O: the versioned **MSGC2** container (length-prefixed,
+//! CRC32-checksummed records, written atomically) plus a hardened read-only
+//! loader for the legacy `MSGC1` parameter format.
+//!
+//! # MSGC2 layout
+//!
+//! ```text
+//! file    := magic "MSGC2" | version u32 | record* | end
+//! record  := kind u8 | len u64 | payload[len] | crc32(payload) u32
+//! end     := kind 0x00 | len 0 | crc32("") (= 0)
+//! ```
+//!
+//! All integers are little-endian. The trailing END record makes truncation
+//! at any record boundary detectable; truncation or corruption inside a
+//! record is caught by the length prefix (validated against the bytes
+//! actually remaining in the file *before* any allocation) and the CRC.
+//! Files are written to a `.tmp` sibling, flushed, fsynced, and atomically
+//! renamed into place, so a crash mid-write never clobbers the previous
+//! checkpoint.
+//!
+//! Record kinds used by this workspace (unknown kinds are skipped on read,
+//! so the format is forward-extensible):
+//!
+//! | kind | meaning | payload |
+//! |------|---------|---------|
+//! | `0x00` | END marker | empty |
+//! | `0x01` | model parameters | named tensor list |
+//! | `0x02` | optimizer slot | slot name, step `t`, per-param `(m, v)` moments |
+//! | `0x03` | RNG state | 4 × u64 xoshiro words |
+//! | `0x04` | training progress | epoch, batch, step, KL-annealing config |
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -9,91 +36,515 @@ use std::path::Path;
 use autograd::ParamRef;
 use tensor::Tensor;
 
-const MAGIC: &[u8; 5] = b"MSGC1";
+/// Legacy parameter-only format magic (read-only support).
+pub const MAGIC_V1: &[u8; 5] = b"MSGC1";
+/// Current container magic.
+pub const MAGIC_V2: &[u8; 5] = b"MSGC2";
+/// Current container version.
+pub const VERSION: u32 = 1;
 
-/// Serializes parameters (name, shape, f32 data) to `path`.
-///
-/// The gradient and trainability flag are not persisted — checkpoints store
-/// model state, not optimizer state.
-pub fn save_parameters(path: impl AsRef<Path>, params: &[ParamRef]) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&(params.len() as u64).to_le_bytes())?;
-    for p in params {
-        let pb = p.borrow();
-        let name = pb.name.as_bytes();
-        w.write_all(&(name.len() as u64).to_le_bytes())?;
-        w.write_all(name)?;
-        let dims = pb.value.dims();
-        w.write_all(&(dims.len() as u64).to_le_bytes())?;
-        for &d in dims {
-            w.write_all(&(d as u64).to_le_bytes())?;
-        }
-        for &x in pb.value.data() {
-            w.write_all(&x.to_le_bytes())?;
+/// END marker record (always last).
+pub const REC_END: u8 = 0x00;
+/// Model parameters as a named tensor list.
+pub const REC_PARAMS: u8 = 0x01;
+/// One optimizer slot (Adam moments + step counter).
+pub const REC_OPTIMIZER: u8 = 0x02;
+/// RNG word state.
+pub const REC_RNG: u8 = 0x03;
+/// Training progress (epoch / batch / step cursors + schedule config).
+pub const REC_PROGRESS: u8 = 0x04;
+
+/// Largest tensor rank a checkpoint may declare. Real models use ≤ 4; the
+/// cap stops a corrupted `ndim` field from driving a huge dims loop.
+const MAX_NDIM: usize = 16;
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the same
+/// polynomial as zip/zlib, computed bytewise without a table. Checkpoint
+/// payloads are megabytes at most, so table-free is plenty fast.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
         }
     }
-    w.flush()
+    !crc
 }
 
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+// ---------------------------------------------------------------------------
+// Wire helpers: append-only encoding and a bounds-checked decoding cursor.
+// ---------------------------------------------------------------------------
+
+/// Payload encoding helpers (little-endian, length-prefixed strings).
+pub mod wire {
+    use super::{bad, Tensor, MAX_NDIM};
+    use std::io;
+
+    /// Appends a `u64` (LE).
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` (LE).
+    pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+        put_u64(buf, s.len() as u64);
+        buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a tensor: rank, dims, then raw f32 data.
+    pub fn put_tensor(buf: &mut Vec<u8>, t: &Tensor) {
+        put_u64(buf, t.dims().len() as u64);
+        for &d in t.dims() {
+            put_u64(buf, d as u64);
+        }
+        for &x in t.data() {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Bounds-checked reader over an in-memory payload. Every accessor
+    /// returns `InvalidData` instead of panicking when the payload is too
+    /// short or a declared length is inconsistent.
+    pub struct Cursor<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Cursor<'a> {
+        /// Wraps a payload slice.
+        pub fn new(buf: &'a [u8]) -> Self {
+            Cursor { buf, pos: 0 }
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.buf.len() - self.pos
+        }
+
+        /// Fails unless the whole payload was consumed.
+        pub fn finish(&self) -> io::Result<()> {
+            if self.remaining() == 0 {
+                Ok(())
+            } else {
+                Err(bad(format!(
+                    "{} trailing bytes in record",
+                    self.remaining()
+                )))
+            }
+        }
+
+        fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+            if n > self.remaining() {
+                return Err(bad(format!(
+                    "record truncated: need {n} bytes, {} remain",
+                    self.remaining()
+                )));
+            }
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        /// Reads a `u64` (LE).
+        pub fn take_u64(&mut self) -> io::Result<u64> {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(self.take(8)?);
+            Ok(u64::from_le_bytes(b))
+        }
+
+        /// Reads a `u64` and validates it fits a `usize` no larger than the
+        /// remaining payload (for use as an element/byte count).
+        pub fn take_len(&mut self) -> io::Result<usize> {
+            let v = self.take_u64()?;
+            let v = usize::try_from(v).map_err(|_| bad("length field overflows usize"))?;
+            if v > self.remaining() {
+                return Err(bad(format!(
+                    "declared length {v} exceeds {} remaining bytes",
+                    self.remaining()
+                )));
+            }
+            Ok(v)
+        }
+
+        /// Reads an `f32` (LE).
+        pub fn take_f32(&mut self) -> io::Result<f32> {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(self.take(4)?);
+            Ok(f32::from_le_bytes(b))
+        }
+
+        /// Reads a length-prefixed UTF-8 string.
+        pub fn take_str(&mut self) -> io::Result<String> {
+            let n = self.take_len()?;
+            String::from_utf8(self.take(n)?.to_vec()).map_err(|_| bad("invalid UTF-8 in name"))
+        }
+
+        /// Reads a tensor written by [`put_tensor`]: validates the rank cap,
+        /// computes `numel` with overflow checks, and bulk-decodes the f32
+        /// payload.
+        pub fn take_tensor(&mut self) -> io::Result<Tensor> {
+            let ndim = self.take_u64()? as usize;
+            if ndim > MAX_NDIM {
+                return Err(bad(format!("tensor rank {ndim} exceeds cap {MAX_NDIM}")));
+            }
+            let mut dims = Vec::with_capacity(ndim);
+            let mut numel = 1usize;
+            for _ in 0..ndim {
+                let d = usize::try_from(self.take_u64()?)
+                    .map_err(|_| bad("dimension overflows usize"))?;
+                numel = numel
+                    .checked_mul(d)
+                    .ok_or_else(|| bad("tensor element count overflows"))?;
+                dims.push(d);
+            }
+            let nbytes = numel
+                .checked_mul(4)
+                .ok_or_else(|| bad("tensor byte count overflows"))?;
+            let raw = self.take(nbytes)?;
+            let data = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            Ok(Tensor::from_vec(data, dims))
+        }
+    }
 }
 
-/// Restores parameters saved by [`save_parameters`] into `params`,
-/// matching by name. Every parameter in `params` must be present in the
-/// file with an identical shape; extra entries in the file are ignored.
-pub fn load_parameters(path: impl AsRef<Path>, params: &[ParamRef]) -> io::Result<()> {
-    let mut r = BufReader::new(File::open(path)?);
+// ---------------------------------------------------------------------------
+// Container writer / reader.
+// ---------------------------------------------------------------------------
+
+/// Accumulates records in memory, then commits them to disk atomically:
+/// temp file in the destination directory → flush → fsync → rename →
+/// best-effort directory fsync.
+#[derive(Default)]
+pub struct CheckpointWriter {
+    records: Vec<(u8, Vec<u8>)>,
+}
+
+impl CheckpointWriter {
+    /// An empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one record.
+    pub fn record(&mut self, kind: u8, payload: Vec<u8>) -> &mut Self {
+        debug_assert_ne!(kind, REC_END, "END is written by commit()");
+        self.records.push((kind, payload));
+        self
+    }
+
+    /// Writes magic, version, every record, and the END marker to `path`
+    /// via a temp file + fsync + atomic rename.
+    pub fn commit(self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        {
+            let file = File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            w.write_all(MAGIC_V2)?;
+            w.write_all(&VERSION.to_le_bytes())?;
+            for (kind, payload) in &self.records {
+                w.write_all(&[*kind])?;
+                w.write_all(&(payload.len() as u64).to_le_bytes())?;
+                w.write_all(payload)?;
+                w.write_all(&crc32(payload).to_le_bytes())?;
+            }
+            // END marker: empty payload, whose CRC is 0.
+            w.write_all(&[REC_END])?;
+            w.write_all(&0u64.to_le_bytes())?;
+            w.write_all(&crc32(&[]).to_le_bytes())?;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself. Directory fsync is not available on
+        // every platform; failure here cannot corrupt the checkpoint.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads and fully validates an MSGC2 container: magic, version, every
+/// record's length (against the bytes actually remaining) and CRC, and the
+/// trailing END marker. Returns `(kind, payload)` pairs excluding END.
+pub fn read_records(path: impl AsRef<Path>) -> io::Result<Vec<(u8, Vec<u8>)>> {
+    let file = File::open(path)?;
+    let total = file.metadata()?.len();
+    let mut r = BufReader::new(file);
     let mut magic = [0u8; 5];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(bad("not a MSGC1 checkpoint"));
+    if &magic != MAGIC_V2 {
+        return Err(bad("not an MSGC2 checkpoint"));
     }
-    let count = read_u64(&mut r)? as usize;
-    let mut loaded: std::collections::HashMap<String, Tensor> =
-        std::collections::HashMap::with_capacity(count);
+    let mut vbuf = [0u8; 4];
+    r.read_exact(&mut vbuf)?;
+    let version = u32::from_le_bytes(vbuf);
+    if version != VERSION {
+        return Err(bad(format!("unsupported MSGC2 version {version}")));
+    }
+    let mut consumed = 9u64; // magic + version
+    let mut records = Vec::new();
+    loop {
+        let mut kind = [0u8; 1];
+        if r.read_exact(&mut kind).is_err() {
+            return Err(bad("checkpoint truncated: missing END record"));
+        }
+        let mut lbuf = [0u8; 8];
+        r.read_exact(&mut lbuf)
+            .map_err(|_| bad("checkpoint truncated in record header"))?;
+        let len = u64::from_le_bytes(lbuf);
+        consumed += 9;
+        // Validate the declared length against what the file can still hold
+        // (payload + 4-byte CRC) before allocating anything.
+        if len > total.saturating_sub(consumed + 4) {
+            return Err(bad(format!(
+                "record length {len} exceeds remaining file size"
+            )));
+        }
+        let len = usize::try_from(len).map_err(|_| bad("record length overflows usize"))?;
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)
+            .map_err(|_| bad("checkpoint truncated in record payload"))?;
+        let mut cbuf = [0u8; 4];
+        r.read_exact(&mut cbuf)
+            .map_err(|_| bad("checkpoint truncated before record CRC"))?;
+        let stored = u32::from_le_bytes(cbuf);
+        let actual = crc32(&payload);
+        if stored != actual {
+            return Err(bad(format!(
+                "CRC mismatch in record kind {:#04x}: stored {stored:#010x}, computed {actual:#010x}",
+                kind[0]
+            )));
+        }
+        consumed += len as u64 + 4;
+        if kind[0] == REC_END {
+            if len != 0 {
+                return Err(bad("END record must be empty"));
+            }
+            // Anything after END is garbage appended to the file.
+            let mut extra = [0u8; 1];
+            if r.read_exact(&mut extra).is_ok() {
+                return Err(bad("trailing bytes after END record"));
+            }
+            return Ok(records);
+        }
+        records.push((kind[0], payload));
+    }
+}
+
+/// Returns the first record of `kind`, or `InvalidData` if absent.
+pub fn find_record(records: &[(u8, Vec<u8>)], kind: u8) -> io::Result<&[u8]> {
+    records
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map(|(_, p)| p.as_slice())
+        .ok_or_else(|| bad(format!("checkpoint has no record of kind {kind:#04x}")))
+}
+
+// ---------------------------------------------------------------------------
+// Named-tensor payloads (the PARAMS record, shared with optimizer slots).
+// ---------------------------------------------------------------------------
+
+/// Encodes a named tensor list: count, then `(name, tensor)` entries.
+pub fn encode_named_tensors(entries: &[(String, Tensor)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    wire::put_u64(&mut buf, entries.len() as u64);
+    for (name, t) in entries {
+        wire::put_str(&mut buf, name);
+        wire::put_tensor(&mut buf, t);
+    }
+    buf
+}
+
+/// Decodes a payload written by [`encode_named_tensors`].
+pub fn decode_named_tensors(payload: &[u8]) -> io::Result<Vec<(String, Tensor)>> {
+    let mut c = wire::Cursor::new(payload);
+    let count = c.take_u64()? as usize;
+    // Each entry needs ≥ 24 bytes (name len + rank + data would follow);
+    // reject counts the payload cannot possibly hold before reserving.
+    if count > payload.len() / 16 {
+        return Err(bad(format!(
+            "entry count {count} impossible for {}-byte payload",
+            payload.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let name_len = read_u64(&mut r)? as usize;
-        let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name = String::from_utf8(name).map_err(|_| bad("invalid parameter name"))?;
-        let ndim = read_u64(&mut r)? as usize;
-        let mut dims = Vec::with_capacity(ndim);
-        for _ in 0..ndim {
-            dims.push(read_u64(&mut r)? as usize);
-        }
-        let numel: usize = dims.iter().product();
-        let mut data = vec![0f32; numel];
-        let mut buf = [0u8; 4];
-        for x in &mut data {
-            r.read_exact(&mut buf)?;
-            *x = f32::from_le_bytes(buf);
-        }
-        loaded.insert(name, Tensor::from_vec(data, dims));
+        let name = c.take_str()?;
+        let t = c.take_tensor()?;
+        out.push((name, t));
     }
+    c.finish()?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parameter save / load (public API used by the models).
+// ---------------------------------------------------------------------------
+
+/// Serializes parameters (name, shape, f32 data) to `path` as an MSGC2
+/// container with a single PARAMS record, written atomically.
+///
+/// The gradient and trainability flag are not persisted — parameter
+/// checkpoints store model state, not optimizer state (full training state
+/// goes through the TrainCheckpoint layer in `meta-sgcl`).
+pub fn save_parameters(path: impl AsRef<Path>, params: &[ParamRef]) -> io::Result<()> {
+    let entries: Vec<(String, Tensor)> = params
+        .iter()
+        .map(|p| {
+            let pb = p.borrow();
+            (pb.name.clone(), pb.value.clone())
+        })
+        .collect();
+    let mut w = CheckpointWriter::new();
+    w.record(REC_PARAMS, encode_named_tensors(&entries));
+    w.commit(path)
+}
+
+/// Restores parameters saved by [`save_parameters`] into `params`, matching
+/// by name. Every parameter in `params` must be present in the file with an
+/// identical shape; extra entries in the file are ignored.
+///
+/// Both the current `MSGC2` container and the legacy `MSGC1` flat format
+/// are accepted (MSGC1 read-only, with every header field validated against
+/// the file size before allocation).
+pub fn load_parameters(path: impl AsRef<Path>, params: &[ParamRef]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut magic = [0u8; 5];
+    File::open(path)?.read_exact(&mut magic)?;
+    let loaded = if &magic == MAGIC_V2 {
+        let records = read_records(path)?;
+        decode_named_tensors(find_record(&records, REC_PARAMS)?)?
+    } else if &magic == MAGIC_V1 {
+        load_parameters_v1(path)?
+    } else {
+        return Err(bad("not an MSGC1/MSGC2 checkpoint"));
+    };
+    let by_name: std::collections::HashMap<&str, &Tensor> =
+        loaded.iter().map(|(n, t)| (n.as_str(), t)).collect();
     for p in params {
         let mut pb = p.borrow_mut();
-        let t = loaded
-            .get(&pb.name)
-            .ok_or_else(|| bad(&format!("parameter {} missing from checkpoint", pb.name)))?;
+        let t = by_name
+            .get(pb.name.as_str())
+            .ok_or_else(|| bad(format!("parameter {} missing from checkpoint", pb.name)))?;
         if t.dims() != pb.value.dims() {
-            return Err(bad(&format!(
+            return Err(bad(format!(
                 "shape mismatch for {}: file {:?} vs model {:?}",
                 pb.name,
                 t.dims(),
                 pb.value.dims()
             )));
         }
-        pb.value = t.clone();
+        pb.value = (*t).clone();
     }
     Ok(())
+}
+
+/// Bulk-reads `numel` little-endian f32s in large chunks (one syscall per
+/// chunk instead of one per value).
+fn read_f32s(r: &mut impl Read, numel: usize) -> io::Result<Vec<f32>> {
+    const CHUNK: usize = 1 << 16; // 64 KiB of bytes per read
+    let mut data = Vec::with_capacity(numel);
+    let mut buf = vec![0u8; CHUNK.min(numel.saturating_mul(4).max(4))];
+    let mut left = numel * 4;
+    while left > 0 {
+        let take = left.min(buf.len());
+        r.read_exact(&mut buf[..take])?;
+        data.extend(
+            buf[..take]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        left -= take;
+    }
+    Ok(data)
+}
+
+/// Legacy MSGC1 reader. Every length/count field is validated against the
+/// bytes actually remaining in the file before any allocation, so a
+/// truncated or bit-flipped file yields `InvalidData` instead of an
+/// OOM-abort.
+fn load_parameters_v1(path: &Path) -> io::Result<Vec<(String, Tensor)>> {
+    let file = File::open(path)?;
+    let total = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    debug_assert_eq!(&magic, MAGIC_V1);
+    let mut consumed = 5u64;
+
+    let read_u64 = |r: &mut BufReader<File>, consumed: &mut u64| -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        *consumed += 8;
+        Ok(u64::from_le_bytes(b))
+    };
+    // A count/length can never exceed the bytes left in the file.
+    let checked = |v: u64, consumed: u64, what: &str| -> io::Result<usize> {
+        if v > total.saturating_sub(consumed) {
+            return Err(bad(format!(
+                "{what} {v} exceeds remaining file size ({} bytes left)",
+                total.saturating_sub(consumed)
+            )));
+        }
+        usize::try_from(v).map_err(|_| bad(format!("{what} overflows usize")))
+    };
+
+    let count = read_u64(&mut r, &mut consumed)?;
+    // Each parameter record is ≥ 24 bytes of headers.
+    let count = checked(count, consumed, "parameter count")?;
+    let mut loaded = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let name_len = read_u64(&mut r, &mut consumed)?;
+        let name_len = checked(name_len, consumed, "name length")?;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        consumed += name_len as u64;
+        let name = String::from_utf8(name).map_err(|_| bad("invalid parameter name"))?;
+        let ndim = read_u64(&mut r, &mut consumed)?;
+        if ndim > MAX_NDIM as u64 {
+            return Err(bad(format!("tensor rank {ndim} exceeds cap {MAX_NDIM}")));
+        }
+        let mut dims = Vec::with_capacity(ndim as usize);
+        let mut numel = 1usize;
+        for _ in 0..ndim {
+            let d = read_u64(&mut r, &mut consumed)?;
+            let d = usize::try_from(d).map_err(|_| bad("dimension overflows usize"))?;
+            numel = numel
+                .checked_mul(d)
+                .ok_or_else(|| bad("tensor element count overflows"))?;
+            dims.push(d);
+        }
+        let nbytes = numel
+            .checked_mul(4)
+            .ok_or_else(|| bad("tensor byte count overflows"))? as u64;
+        if nbytes > total.saturating_sub(consumed) {
+            return Err(bad(format!(
+                "tensor data ({nbytes} bytes) exceeds remaining file size"
+            )));
+        }
+        let data = read_f32s(&mut r, numel)?;
+        consumed += nbytes;
+        loaded.push((name, Tensor::from_vec(data, dims)));
+    }
+    Ok(loaded)
 }
 
 #[cfg(test)]
@@ -101,11 +552,48 @@ mod tests {
     use super::*;
     use autograd::Parameter;
 
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("msgc_io_test");
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join(name)
+    }
+
+    /// Writes a legacy MSGC1 file the way the pre-MSGC2 code did.
+    fn write_v1(path: &Path, params: &[ParamRef]) {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC_V1);
+        buf.extend_from_slice(&(params.len() as u64).to_le_bytes());
+        for p in params {
+            let pb = p.borrow();
+            let name = pb.name.as_bytes();
+            buf.extend_from_slice(&(name.len() as u64).to_le_bytes());
+            buf.extend_from_slice(name);
+            let dims = pb.value.dims();
+            buf.extend_from_slice(&(dims.len() as u64).to_le_bytes());
+            for &d in dims {
+                buf.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            for &x in pb.value.data() {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        std::fs::write(path, buf).unwrap();
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
     #[test]
     fn round_trip_preserves_values() {
-        let dir = std::env::temp_dir().join("msgc_io_test_rt");
-        let _ = std::fs::create_dir_all(&dir);
-        let path = dir.join("ckpt.bin");
+        let path = tmp("rt.msgc2");
         let a = Parameter::shared(
             "layer.weight",
             Tensor::arange(6).reshape(vec![2, 3]).unwrap(),
@@ -122,10 +610,55 @@ mod tests {
     }
 
     #[test]
+    fn save_is_atomic_leaves_no_tmp() {
+        let path = tmp("atomic.msgc2");
+        let a = Parameter::shared("a", Tensor::ones(vec![4]));
+        save_parameters(&path, &[a]).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists());
+        // First 5 bytes are the new magic.
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..5], MAGIC_V2);
+        assert_eq!(*bytes.last().unwrap_or(&1), 0, "CRC of empty END is 0");
+    }
+
+    #[test]
+    fn legacy_v1_files_stay_loadable() {
+        let path = tmp("legacy.msgc1");
+        let a = Parameter::shared("w", Tensor::from_vec(vec![1.0, -2.0, 3.5], vec![3]));
+        write_v1(&path, std::slice::from_ref(&a));
+        a.borrow_mut().value = Tensor::zeros(vec![3]);
+        load_parameters(&path, std::slice::from_ref(&a)).unwrap();
+        assert_eq!(a.borrow().value.data(), &[1.0, -2.0, 3.5]);
+    }
+
+    #[test]
+    fn legacy_v1_truncation_is_invalid_data_not_oom() {
+        let path = tmp("legacy_trunc.msgc1");
+        let a = Parameter::shared("w", Tensor::ones(vec![64]));
+        write_v1(&path, std::slice::from_ref(&a));
+        let full = std::fs::read(&path).unwrap();
+        // A huge declared count must not trigger a huge allocation.
+        let mut evil = full.clone();
+        evil[5..13].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &evil).unwrap();
+        let err = load_parameters(&path, std::slice::from_ref(&a)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        // Same for a huge dimension.
+        let mut evil = full.clone();
+        // count(8) + name_len(8) + "w"(1) + ndim(8) → dims[0] at offset 5+25.
+        evil[30..38].copy_from_slice(&(u64::MAX / 8).to_le_bytes());
+        std::fs::write(&path, &evil).unwrap();
+        let err = load_parameters(&path, std::slice::from_ref(&a)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        // Truncation mid-data.
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        assert!(load_parameters(&path, &[a]).is_err());
+    }
+
+    #[test]
     fn missing_parameter_is_an_error() {
-        let dir = std::env::temp_dir().join("msgc_io_test_missing");
-        let _ = std::fs::create_dir_all(&dir);
-        let path = dir.join("ckpt.bin");
+        let path = tmp("missing.msgc2");
         let a = Parameter::shared("a", Tensor::ones(vec![2]));
         save_parameters(&path, &[a]).unwrap();
         let c = Parameter::shared("c", Tensor::ones(vec![2]));
@@ -135,9 +668,7 @@ mod tests {
 
     #[test]
     fn shape_mismatch_is_an_error() {
-        let dir = std::env::temp_dir().join("msgc_io_test_shape");
-        let _ = std::fs::create_dir_all(&dir);
-        let path = dir.join("ckpt.bin");
+        let path = tmp("shape.msgc2");
         let a = Parameter::shared("a", Tensor::ones(vec![2]));
         save_parameters(&path, &[a]).unwrap();
         let a2 = Parameter::shared("a", Tensor::ones(vec![3]));
@@ -147,11 +678,52 @@ mod tests {
 
     #[test]
     fn rejects_garbage_files() {
-        let dir = std::env::temp_dir().join("msgc_io_test_bad");
-        let _ = std::fs::create_dir_all(&dir);
-        let path = dir.join("garbage.bin");
+        let path = tmp("garbage.bin");
         std::fs::write(&path, b"hello world").unwrap();
         let a = Parameter::shared("a", Tensor::ones(vec![1]));
         assert!(load_parameters(&path, &[a]).is_err());
+    }
+
+    #[test]
+    fn corrupted_record_crc_is_rejected() {
+        let path = tmp("crc.msgc2");
+        let a = Parameter::shared("a", Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![4]));
+        save_parameters(&path, std::slice::from_ref(&a)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit in the middle of the PARAMS payload.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_parameters(&path, &[a]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+    }
+
+    #[test]
+    fn truncated_container_is_rejected() {
+        let path = tmp("trunc.msgc2");
+        let a = Parameter::shared("a", Tensor::ones(vec![8]));
+        save_parameters(&path, std::slice::from_ref(&a)).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [bytes.len() - 1, bytes.len() - 13, 9, 5, 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = load_parameters(&path, std::slice::from_ref(&a)).unwrap_err();
+            assert!(
+                err.kind() == io::ErrorKind::InvalidData
+                    || err.kind() == io::ErrorKind::UnexpectedEof,
+                "cut at {cut}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_record_kinds_are_skipped() {
+        let path = tmp("forward.msgc2");
+        let a = Parameter::shared("a", Tensor::ones(vec![2]));
+        let entries = vec![("a".to_string(), Tensor::ones(vec![2]))];
+        let mut w = CheckpointWriter::new();
+        w.record(0x7F, vec![1, 2, 3]); // future record kind
+        w.record(REC_PARAMS, encode_named_tensors(&entries));
+        w.commit(&path).unwrap();
+        load_parameters(&path, &[a]).unwrap();
     }
 }

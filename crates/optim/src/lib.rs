@@ -15,7 +15,7 @@ mod adam;
 mod schedule;
 mod sgd;
 
-pub use adam::Adam;
+pub use adam::{Adam, AdamState};
 pub use schedule::{KlAnnealing, LrSchedule};
 pub use sgd::Sgd;
 

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 
 use meta_sgcl_repro::meta_sgcl::{MetaSgcl, MetaSgclConfig};
 use meta_sgcl_repro::models::{
-    evaluate_test, evaluate_valid, recommend_top_k, NetConfig, SequentialRecommender, TrainConfig,
+    evaluate_test, evaluate_valid, recommend_top_k, NetConfig, TrainConfig,
 };
 use meta_sgcl_repro::recdata::io::{load_interactions_csv, CsvOptions};
 use meta_sgcl_repro::recdata::{synth, Dataset, LeaveOneOut};
@@ -28,7 +28,9 @@ fn usage() -> ExitCode {
         "usage:\n  msgc generate --preset <clothing|toys|ml1m> [--seed N] --out FILE\n  \
          msgc stats --data SPEC\n  \
          msgc train --data SPEC [--epochs N] [--dim N] [--max-len N] [--alpha F] [--beta F] \
-         [--joint] [--threads N] [--shard-size N] [--sanitize] --out MODEL\n  \
+         [--joint] [--threads N] [--shard-size N] [--sanitize] \
+         [--save-every N] [--keep-last K] [--ckpt-dir DIR] [--resume PATH] [--max-steps N] \
+         --out MODEL\n  \
          msgc evaluate --data SPEC --model MODEL [--dim N] [--max-len N]\n  \
          msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n  \
          msgc check [--model NAME | --all] [--inject-fault <shape|freeze>]\n\n\
@@ -57,6 +59,11 @@ const VALUE_FLAGS: &[&str] = &[
     "threads",
     "shard-size",
     "inject-fault",
+    "save-every",
+    "keep-last",
+    "ckpt-dir",
+    "resume",
+    "max-steps",
 ];
 
 #[derive(Debug)]
@@ -170,6 +177,22 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints checkpoint commits and resume events as training progresses.
+struct CkptReporter;
+
+impl meta_sgcl_repro::meta_sgcl::TrainObserver for CkptReporter {
+    fn on_checkpoint(&mut self, path: &std::path::Path, step: u64) {
+        println!("checkpoint: {} (step {step})", path.display());
+    }
+
+    fn on_resume(&mut self, path: &std::path::Path, epoch: usize, batch: usize, step: u64) {
+        println!(
+            "resuming from {} at epoch {epoch}, batch {batch}, step {step}",
+            path.display()
+        );
+    }
+}
+
 fn cmd_train(args: &Args) -> Result<(), String> {
     let data = load_data(args.get("data").ok_or("--data required")?)?;
     let out = args.get("out").ok_or("--out required")?;
@@ -179,6 +202,15 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     if threads == 0 || shard_size == 0 {
         return Err("--threads and --shard-size must be at least 1".into());
     }
+    let save_every: u64 = args.get_or("save-every", 0)?;
+    let keep_last: usize = args.get_or("keep-last", 0)?;
+    let max_steps: u64 = args.get_or("max-steps", 0)?;
+    // Periodic checkpoints default to a sibling directory of the model file.
+    let ckpt_dir = match (args.get("ckpt-dir"), save_every) {
+        (Some(dir), _) => Some(dir.to_string()),
+        (None, 0) => None,
+        (None, _) => Some(format!("{out}.ckpts")),
+    };
     let split = LeaveOneOut::split(&data);
     let mut model = build_model(&data, args)?;
     let tc = TrainConfig {
@@ -188,10 +220,17 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         threads,
         shard_size,
         sanitize: args.get("sanitize").is_some(),
+        save_every,
+        keep_last,
+        ckpt_dir,
+        resume: args.get("resume").map(str::to_string),
+        max_steps,
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
-    model.fit(&split.train_sequences(), &tc);
+    model
+        .train_model_observed(&split.train_sequences(), &tc, &mut CkptReporter)
+        .map_err(|e| format!("training failed: {e}"))?;
     println!(
         "trained {} epochs in {:.1?} on {} thread(s)",
         epochs,

@@ -184,6 +184,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** word state, for checkpointing. Feeding the
+        /// returned words back through [`StdRng::from_state_words`] yields a
+        /// generator that continues the exact same stream.
+        pub fn state_words(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Reconstructs a generator from [`StdRng::state_words`] output.
+        ///
+        /// Returns `None` for the all-zero state, which is not a valid
+        /// xoshiro256** state (the generator would emit zeros forever).
+        pub fn from_state_words(s: [u64; 4]) -> Option<Self> {
+            if s == [0, 0, 0, 0] {
+                None
+            } else {
+                Some(StdRng { s })
+            }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
@@ -295,6 +316,19 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+
+    #[test]
+    fn state_words_round_trip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state_words(a.state_words()).expect("valid state");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert!(StdRng::from_state_words([0; 4]).is_none());
     }
 
     #[test]
