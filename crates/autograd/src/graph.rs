@@ -230,9 +230,30 @@ impl Graph {
 
     /// Backward-pass core: walks the tape in reverse and hands each trainable
     /// parameter leaf's gradient to `deposit`.
+    ///
+    /// Telemetry: counts backward invocations and traversed tape nodes
+    /// (deterministic — the tape a shard builds is a pure function of its
+    /// slice of the batch), and records wall time into a nondeterministic
+    /// histogram. The clock is only read when telemetry is enabled.
     fn backward_with(&self, root: &Var, deposit: &mut dyn FnMut(&ParamRef, Tensor)) {
+        use std::sync::OnceLock;
+        static CALLS: OnceLock<&'static telemetry::Counter> = OnceLock::new();
+        static NODES: OnceLock<&'static telemetry::Counter> = OnceLock::new();
+        static WALL: OnceLock<&'static telemetry::Histogram> = OnceLock::new();
+        let timer = if telemetry::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+
         let inner = self.inner.borrow();
         let n = inner.nodes.len();
+        CALLS
+            .get_or_init(|| telemetry::metrics::counter("autograd.backward.calls", true))
+            .inc();
+        NODES
+            .get_or_init(|| telemetry::metrics::counter("autograd.tape.nodes", true))
+            .add((root.id + 1) as u64);
         assert!(root.id < n);
         assert_eq!(
             inner.nodes[root.id].value.numel(),
@@ -274,6 +295,10 @@ impl Graph {
             } else if let Some(p) = &node.param {
                 deposit(p, grad);
             }
+        }
+        if let Some(t) = timer {
+            WALL.get_or_init(|| telemetry::metrics::histogram("autograd.backward.wall_ns", false))
+                .record(t.elapsed().as_nanos() as u64);
         }
     }
 }

@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 use autograd::ParamRef;
 use nn::io::{
     decode_named_tensors, encode_named_tensors, find_record, read_records, wire, CheckpointWriter,
-    REC_OPTIMIZER, REC_PARAMS, REC_PROGRESS, REC_RNG,
+    REC_OPTIMIZER, REC_PARAMS, REC_PROGRESS, REC_RNG, REC_TELEMETRY,
 };
 use optim::{Adam, AdamState};
 use tensor::Tensor;
@@ -75,6 +75,11 @@ pub struct TrainCheckpoint {
     pub beta_max: f32,
     /// KL-annealing warm-up steps at save time.
     pub kl_warmup_steps: u64,
+    /// Deterministic telemetry counter values at save time, so a resumed
+    /// run continues its counts monotonically. Empty when the run had
+    /// telemetry off; the record is then omitted entirely, and readers
+    /// that predate `REC_TELEMETRY` skip it when present.
+    pub telemetry: Vec<(String, u64)>,
 }
 
 /// Wire tag for a strategy.
@@ -115,6 +120,15 @@ impl TrainCheckpoint {
         wire::put_f32(&mut buf, self.beta_max);
         wire::put_u64(&mut buf, self.kl_warmup_steps);
         w.record(REC_PROGRESS, buf);
+        if !self.telemetry.is_empty() {
+            let mut buf = Vec::new();
+            wire::put_u64(&mut buf, self.telemetry.len() as u64);
+            for (name, value) in &self.telemetry {
+                wire::put_str(&mut buf, name);
+                wire::put_u64(&mut buf, *value);
+            }
+            w.record(REC_TELEMETRY, buf);
+        }
         w.commit(path)
     }
 
@@ -172,6 +186,27 @@ impl TrainCheckpoint {
         let kl_warmup_steps = c.take_u64()?;
         c.finish()?;
 
+        // Optional (newer writers only): telemetry counter values.
+        let mut telemetry = Vec::new();
+        for (kind, payload) in &records {
+            if *kind != REC_TELEMETRY {
+                continue;
+            }
+            let mut c = wire::Cursor::new(payload);
+            let count = c.take_u64()? as usize;
+            if count > payload.len() / 8 {
+                return Err(bad(format!(
+                    "telemetry record: counter count {count} impossible for payload"
+                )));
+            }
+            for _ in 0..count {
+                let name = c.take_str()?;
+                let value = c.take_u64()?;
+                telemetry.push((name, value));
+            }
+            c.finish()?;
+        }
+
         Ok(TrainCheckpoint {
             params,
             optimizers,
@@ -180,6 +215,7 @@ impl TrainCheckpoint {
             progress,
             beta_max,
             kl_warmup_steps,
+            telemetry,
         })
     }
 
@@ -360,6 +396,10 @@ mod tests {
             },
             beta_max: 0.2,
             kl_warmup_steps: 100,
+            telemetry: vec![
+                ("autograd.backward.calls".into(), 82),
+                ("tensor.gemm.calls".into(), 4100),
+            ],
         }
     }
 
@@ -381,6 +421,24 @@ mod tests {
         assert_eq!(slot.t, 7);
         assert_eq!(slot.moments[0].1.data(), &[0.1, 0.2]);
         assert!(back.slot("meta").is_err());
+        assert_eq!(back.telemetry, ck.telemetry);
+    }
+
+    #[test]
+    fn telemetry_record_is_optional() {
+        let dir = tmpdir("telem_opt");
+        let path = dir.join("no_telem.msgc2");
+        let mut ck = sample();
+        ck.telemetry.clear();
+        ck.save(&path).unwrap();
+        let back = TrainCheckpoint::load(&path).unwrap();
+        assert!(back.telemetry.is_empty());
+        // A telemetry-free checkpoint is byte-identical to the pre-0x05
+        // format: the record is omitted, not written empty.
+        let bytes = std::fs::read(&path).unwrap();
+        let with = dir.join("with_telem.msgc2");
+        sample().save(&with).unwrap();
+        assert_ne!(bytes, std::fs::read(&with).unwrap());
     }
 
     #[test]

@@ -104,8 +104,11 @@ pub(crate) struct ShardOutcome {
     pub grads: GradientSet,
     /// Unweighted reconstruction loss of the shard.
     pub rec: f64,
-    /// Unweighted KL loss of the shard.
-    pub kl: f64,
+    /// Unweighted KL of the first latent view (`Enc_σ`).
+    pub kl_a: f64,
+    /// Unweighted KL of the second latent view (`Enc_σ'` / dropout / data
+    /// augmentation), zero when the ablation removes the second view.
+    pub kl_b: f64,
     /// Unweighted contrastive loss of the shard.
     pub cl: f64,
     /// Weighted total loss of the shard.
@@ -114,13 +117,37 @@ pub(crate) struct ShardOutcome {
     pub len: usize,
 }
 
-/// Loss components averaged over a batch (weighted by shard size).
-#[derive(Default, Clone, Copy)]
-pub(crate) struct BatchStats {
-    pub rec: f64,
-    pub kl: f64,
-    pub cl: f64,
+/// One mini-batch's decomposed losses and step diagnostics.
+///
+/// Loss terms are averaged over the batch's shards (weighted by shard size,
+/// reduced in fixed shard order — see the determinism contract above);
+/// position and step fields are filled in by the training loop afterwards.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BatchStats {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Batch index within the epoch.
+    pub batch: u64,
+    /// Global optimizer step *after* this batch was applied.
+    pub step: u64,
+    /// KL-annealing β in effect for this batch.
+    pub beta: f64,
+    /// Unweighted reconstruction cross-entropy.
+    pub recon: f64,
+    /// Unweighted KL of the first latent view.
+    pub kl_a: f64,
+    /// Unweighted KL of the second latent view (zero if absent).
+    pub kl_b: f64,
+    /// Unweighted InfoNCE contrastive term.
+    pub info_nce: f64,
+    /// Weighted total objective.
     pub total: f64,
+    /// Global gradient norm before clipping, when measured (clipping on or
+    /// telemetry enabled).
+    pub grad_norm: Option<f64>,
+    /// Norm of the stage-2 (meta `Enc_σ'`) parameter update, when the
+    /// meta-two-step strategy ran a stage-2 step for this batch.
+    pub meta_update_norm: Option<f64>,
 }
 
 /// Merges shard outcomes in fixed shard order: gradients are mean-reduced
@@ -133,9 +160,10 @@ pub(crate) fn reduce_outcomes(outcomes: &[ShardOutcome]) -> (GradientSet, BatchS
     for o in outcomes {
         let w = o.len as f64 / batch_len.max(1) as f64;
         merged.merge_scaled(&o.grads, w as f32);
-        stats.rec += w * o.rec;
-        stats.kl += w * o.kl;
-        stats.cl += w * o.cl;
+        stats.recon += w * o.rec;
+        stats.kl_a += w * o.kl_a;
+        stats.kl_b += w * o.kl_b;
+        stats.info_nce += w * o.cl;
         stats.total += w * o.total;
     }
     (merged, stats)
@@ -144,6 +172,14 @@ pub(crate) fn reduce_outcomes(outcomes: &[ShardOutcome]) -> (GradientSet, BatchS
 /// Observer of training progress, called by the executor-driven training
 /// loop. All hooks have no-op defaults; implement only what you need.
 pub trait TrainObserver {
+    /// Called after every batch with its decomposed losses and step
+    /// diagnostics.
+    fn on_batch_end(&mut self, _stats: &BatchStats) {}
+
+    /// Called when a training-health detector fires (posterior collapse,
+    /// dead meta-σ', non-finite or exploding loss).
+    fn on_health(&mut self, _warning: &telemetry::HealthWarning) {}
+
     /// Called after every epoch with the epoch's statistics (loss
     /// components, wall-clock time, throughput).
     fn on_epoch_end(&mut self, _stats: &EpochStats) {}

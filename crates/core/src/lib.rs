@@ -53,10 +53,11 @@ pub mod checkpoint;
 mod config;
 mod exec;
 mod model;
+mod obs;
 mod train;
 
 pub use checkpoint::{TrainCheckpoint, TrainProgress};
 pub use config::{Ablation, MetaSgclConfig, SecondView, TrainStrategy};
-pub use exec::{Executor, NullObserver, TrainObserver};
+pub use exec::{BatchStats, Executor, NullObserver, TrainObserver};
 pub use model::MetaSgcl;
 pub use train::{EpochStats, TrainingHistory};

@@ -1,0 +1,303 @@
+//! Run-scoped telemetry plumbing for the training loop.
+//!
+//! [`RunTelemetry`] owns everything `--metrics-out` / `--trace-out` /
+//! `--strict-health` need for one training run: the metrics JSONL writer,
+//! the optional [`Tracer`], and the [`HealthMonitor`]. The training loop
+//! calls into it at run start, per batch, per epoch, and at checkpoint /
+//! resume boundaries; with no outputs configured every call degenerates to
+//! a handful of float comparisons (the health detectors always run, so
+//! `--strict-health` works without a metrics file).
+//!
+//! # Determinism contract of the two streams
+//!
+//! The **metrics** stream contains only thread-count-invariant data: the
+//! per-batch/per-epoch loss decomposition (reduced in fixed shard order),
+//! health events derived from it, checkpoint/resume markers, and the
+//! deterministic (`det = true`) slice of the metric registry. Epoch events
+//! deliberately exclude wall-clock and throughput, and the stream's `run`
+//! header records `threads` as `0` ("invariant by contract"): the file is
+//! **byte-identical** between `--threads 1` and `--threads N` runs of the
+//! same configuration. The **trace** stream is where timing lives — spans,
+//! wall-clock histograms, pool hit rates, and the real worker count.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use models::TrainConfig;
+use telemetry::trace::{json_escape, json_f64};
+use telemetry::{
+    ActiveSpan, BatchHealth, Field, HealthConfig, HealthMonitor, HealthWarning, MetricValue,
+    SpanId, Tracer,
+};
+
+use crate::exec::BatchStats;
+use crate::train::EpochStats;
+
+/// Version stamped into every `run` event.
+const SCHEMA_VERSION: u64 = 1;
+
+/// The `run` header line shared by both streams (see module docs for why
+/// the metrics stream reports `threads = 0`).
+fn run_line(strategy: &str, threads: usize, shard_size: usize, seed: u64) -> String {
+    format!(
+        "{{\"ev\":\"run\",\"schema\":{SCHEMA_VERSION},\"strategy\":\"{}\",\"threads\":{threads},\
+         \"shard_size\":{shard_size},\"seed\":{seed}}}",
+        json_escape(strategy)
+    )
+}
+
+/// JSON value for an optional float: `null` when absent or non-finite.
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".into(), json_f64)
+}
+
+/// All telemetry state of one training run.
+pub(crate) struct RunTelemetry {
+    metrics: Option<BufWriter<File>>,
+    tracer: Option<Tracer>,
+    health: HealthMonitor,
+    strict: bool,
+}
+
+impl RunTelemetry {
+    /// Opens the configured output streams, resets and enables the global
+    /// metric registry when any stream is requested, and writes the `run`
+    /// headers.
+    pub(crate) fn from_config(cfg: &TrainConfig, strategy: &str) -> io::Result<RunTelemetry> {
+        let active = cfg.metrics_out.is_some() || cfg.trace_out.is_some();
+        if active {
+            // Reset before enabling so per-run snapshots are not polluted
+            // by earlier work in the same process (tests, warm-up passes).
+            telemetry::metrics::reset();
+            telemetry::set_enabled(true);
+        }
+        let mut metrics = match &cfg.metrics_out {
+            Some(path) => Some(BufWriter::new(File::create(path)?)),
+            None => None,
+        };
+        if let Some(w) = metrics.as_mut() {
+            let line = run_line(strategy, 0, cfg.shard_size, cfg.seed);
+            let _ = writeln!(w, "{line}");
+        }
+        let tracer = match &cfg.trace_out {
+            Some(path) => {
+                let t = Tracer::to_file(path)?;
+                t.write_line(&run_line(strategy, cfg.threads, cfg.shard_size, cfg.seed));
+                Some(t)
+            }
+            None => None,
+        };
+        Ok(RunTelemetry {
+            metrics,
+            tracer,
+            health: HealthMonitor::new(HealthConfig::default()),
+            strict: cfg.strict_health,
+        })
+    }
+
+    /// `(tracer, parent)` context for shard closures, when tracing.
+    pub(crate) fn trace_ctx(&self, parent: SpanId) -> Option<(&Tracer, SpanId)> {
+        self.tracer.as_ref().map(|t| (t, parent))
+    }
+
+    /// Starts a span, or does nothing without a tracer.
+    pub(crate) fn span(&self, name: &'static str, parent: SpanId) -> Option<ActiveSpan> {
+        self.tracer.as_ref().map(|t| t.begin(name, parent))
+    }
+
+    /// Ends a span started by [`RunTelemetry::span`].
+    pub(crate) fn end_span(&self, span: Option<ActiveSpan>, fields: &[(&str, Field<'_>)]) {
+        if let (Some(t), Some(s)) = (self.tracer.as_ref(), span) {
+            t.end(s, fields);
+        }
+    }
+
+    /// The id of an optional span ([`SpanId::ROOT`] when absent).
+    pub(crate) fn span_id(span: &Option<ActiveSpan>) -> SpanId {
+        span.as_ref().map_or(SpanId::ROOT, |s| s.id)
+    }
+
+    fn metrics_line(&mut self, line: &str) {
+        if let Some(w) = self.metrics.as_mut() {
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    /// Records one finished batch: emits the `batch` event, feeds the
+    /// health detectors, and emits any `health` events. Returns the newly
+    /// fired warnings so the caller can forward them to its observer.
+    pub(crate) fn on_batch(&mut self, s: &BatchStats) -> Vec<HealthWarning> {
+        if self.metrics.is_some() {
+            let line = format!(
+                "{{\"ev\":\"batch\",\"epoch\":{},\"batch\":{},\"step\":{},\"beta\":{},\
+                 \"recon\":{},\"kl_a\":{},\"kl_b\":{},\"info_nce\":{},\"total\":{},\
+                 \"grad_norm\":{},\"meta_update_norm\":{}}}",
+                s.epoch,
+                s.batch,
+                s.step,
+                json_f64(s.beta),
+                json_f64(s.recon),
+                json_f64(s.kl_a),
+                json_f64(s.kl_b),
+                json_f64(s.info_nce),
+                json_f64(s.total),
+                json_opt_f64(s.grad_norm),
+                json_opt_f64(s.meta_update_norm),
+            );
+            self.metrics_line(&line);
+        }
+        let warnings = self.health.observe(&BatchHealth {
+            epoch: s.epoch as usize,
+            batch: s.batch as usize,
+            step: s.step,
+            kl_a: s.kl_a,
+            kl_b: s.kl_b,
+            total: s.total,
+            meta_update_norm: s.meta_update_norm,
+        });
+        for w in &warnings {
+            eprintln!("{w}");
+            let line = format!(
+                "{{\"ev\":\"health\",\"detector\":\"{}\",\"epoch\":{},\"batch\":{},\
+                 \"step\":{},\"value\":{},\"message\":\"{}\"}}",
+                w.detector.wire_name(),
+                w.epoch,
+                w.batch,
+                w.step,
+                json_f64(w.value),
+                json_escape(&w.message),
+            );
+            self.metrics_line(&line);
+            if let Some(t) = self.tracer.as_ref() {
+                t.event(
+                    "health",
+                    &[
+                        ("detector", Field::Str(w.detector.wire_name())),
+                        ("epoch", Field::U64(w.epoch as u64)),
+                        ("batch", Field::U64(w.batch as u64)),
+                        ("step", Field::U64(w.step)),
+                        ("value", Field::F64(w.value)),
+                        ("message", Field::Str(&w.message)),
+                    ],
+                );
+            }
+        }
+        warnings
+    }
+
+    /// Emits the `epoch` event (loss decomposition only — wall-clock and
+    /// throughput stay out of the metrics stream by the determinism
+    /// contract; the epoch *span* in the trace stream carries the timing).
+    pub(crate) fn on_epoch(&mut self, s: &EpochStats, batches: usize) {
+        if self.metrics.is_some() {
+            let line = format!(
+                "{{\"ev\":\"epoch\",\"epoch\":{},\"batches\":{batches},\"recon\":{},\
+                 \"kl_a\":{},\"kl_b\":{},\"info_nce\":{},\"total\":{}}}",
+                s.epoch,
+                json_f64(s.rec),
+                json_f64(s.kl_a),
+                json_f64(s.kl_b),
+                json_f64(s.cl),
+                json_f64(s.total),
+            );
+            self.metrics_line(&line);
+        }
+    }
+
+    /// Emits `checkpoint` markers to both streams.
+    pub(crate) fn on_checkpoint(&mut self, path: &Path, step: u64) {
+        let p = path.display().to_string();
+        if self.metrics.is_some() {
+            let line = format!(
+                "{{\"ev\":\"checkpoint\",\"step\":{step},\"path\":\"{}\"}}",
+                json_escape(&p)
+            );
+            self.metrics_line(&line);
+        }
+        if let Some(t) = self.tracer.as_ref() {
+            t.event(
+                "checkpoint",
+                &[("step", Field::U64(step)), ("path", Field::Str(&p))],
+            );
+        }
+    }
+
+    /// Emits `resume` markers to both streams and restores deterministic
+    /// counters from the checkpoint so counts continue monotonically.
+    pub(crate) fn on_resume(
+        &mut self,
+        path: &Path,
+        epoch: usize,
+        batch: usize,
+        step: u64,
+        counters: &[(String, u64)],
+    ) {
+        if telemetry::enabled() {
+            telemetry::metrics::restore_counters(counters);
+        }
+        let p = path.display().to_string();
+        if self.metrics.is_some() {
+            let line = format!(
+                "{{\"ev\":\"resume\",\"epoch\":{epoch},\"batch\":{batch},\"step\":{step},\
+                 \"path\":\"{}\"}}",
+                json_escape(&p)
+            );
+            self.metrics_line(&line);
+        }
+        if let Some(t) = self.tracer.as_ref() {
+            t.event(
+                "resume",
+                &[
+                    ("epoch", Field::U64(epoch as u64)),
+                    ("batch", Field::U64(batch as u64)),
+                    ("step", Field::U64(step)),
+                    ("path", Field::Str(&p)),
+                ],
+            );
+        }
+    }
+
+    /// Deterministic counter values to persist in a training checkpoint
+    /// (empty when telemetry is off, which suppresses the record).
+    pub(crate) fn checkpoint_counters(&self) -> Vec<(String, u64)> {
+        if self.metrics.is_none() && self.tracer.is_none() {
+            return Vec::new();
+        }
+        telemetry::metrics::snapshot_deterministic()
+            .into_iter()
+            .filter_map(|m| match m.value {
+                MetricValue::Counter(v) => Some((m.name.to_string(), v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Final snapshots and stream flush; fails when `--strict-health` is on
+    /// and any detector fired during the run.
+    pub(crate) fn finish(&mut self) -> io::Result<()> {
+        if self.metrics.is_some() {
+            for m in telemetry::metrics::snapshot_deterministic() {
+                let line = m.to_jsonl();
+                self.metrics_line(&line);
+            }
+        }
+        if let Some(t) = self.tracer.as_ref() {
+            for m in telemetry::metrics::snapshot() {
+                t.write_line(&m.to_jsonl());
+            }
+            t.flush();
+        }
+        if let Some(w) = self.metrics.as_mut() {
+            w.flush()?;
+        }
+        if self.strict && !self.health.fired().is_empty() {
+            let names: Vec<&str> = self.health.fired().iter().map(|d| d.wire_name()).collect();
+            return Err(io::Error::other(format!(
+                "strict-health: detector(s) fired during training: {}",
+                names.join(", ")
+            )));
+        }
+        Ok(())
+    }
+}

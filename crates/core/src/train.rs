@@ -11,8 +11,11 @@ use rand::Rng;
 use rand::SeedableRng;
 use recdata::{encode_input_only, item_crop, item_mask, item_reorder, Batch, Batcher, ItemId};
 
+use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use telemetry::{Field, SpanId, Tracer};
 
 use crate::checkpoint::{self, strategy_tag, OptimizerSlot, TrainCheckpoint, TrainProgress};
 use crate::config::{SecondView, TrainStrategy};
@@ -20,6 +23,7 @@ use crate::exec::{
     reduce_outcomes, BatchStats, Executor, NullObserver, ShardOutcome, TrainObserver,
 };
 use crate::model::MetaSgcl;
+use crate::obs::RunTelemetry;
 
 /// Loss components of one epoch (averaged over batches).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,7 +32,11 @@ pub struct EpochStats {
     pub epoch: usize,
     /// Reconstruction loss `L_rs = L_rs1 + L_rs2` (Eq. 23).
     pub rec: f64,
-    /// KL loss `L_kl = L_kl1 + L_kl2` (Eqs. 24–25), unweighted.
+    /// KL of the first latent view (`Enc_σ`, Eq. 24), unweighted.
+    pub kl_a: f64,
+    /// KL of the second latent view (`Enc_σ'`, Eq. 25), unweighted.
+    pub kl_b: f64,
+    /// Combined KL loss `L_kl = L_kl1 + L_kl2` (Eqs. 24–25), unweighted.
     pub kl: f64,
     /// Contrastive loss `L_cl` (Eq. 26), unweighted.
     pub cl: f64,
@@ -38,6 +46,29 @@ pub struct EpochStats {
     pub wall_ms: f64,
     /// Training throughput: sequences processed per second.
     pub seqs_per_sec: f64,
+}
+
+/// The one formatting of epoch statistics, shared by `msgc train`'s verbose
+/// log and `msgc report`. Timing is appended only when wall-clock was
+/// actually measured (finite and positive), so stats re-aggregated from a
+/// metrics file — which carries no timing by the determinism contract —
+/// print without it.
+impl fmt::Display for EpochStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch {} rec {:.4} kl_a {:.4} kl_b {:.4} cl {:.4} total {:.4}",
+            self.epoch, self.rec, self.kl_a, self.kl_b, self.cl, self.total
+        )?;
+        if self.wall_ms.is_finite() && self.wall_ms > 0.0 {
+            write!(
+                f,
+                " ({:.0} ms, {:.0} seqs/s)",
+                self.wall_ms, self.seqs_per_sec
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// Per-epoch loss history.
@@ -58,7 +89,8 @@ impl TrainingHistory {
 pub(crate) struct BatchLosses {
     pub(crate) total: Var,
     rec: f64,
-    kl: f64,
+    kl_a: f64,
+    kl_b: f64,
     cl: f64,
 }
 
@@ -155,7 +187,8 @@ impl MetaSgcl {
         }
         BatchLosses {
             rec: rec.item() as f64,
-            kl: kl.item() as f64,
+            kl_a: kl1.item() as f64,
+            kl_b: kl2.item() as f64,
             cl: cl.item() as f64,
             total,
         }
@@ -221,19 +254,39 @@ impl MetaSgcl {
     }
 
     /// Stage-1 / joint shard work: full double-ELBO forward + backward on a
-    /// private tape, gradients collected locally.
-    fn full_loss_shard(&self, shard: &Batch, beta: f32, seed: u64, sanitize: bool) -> ShardOutcome {
+    /// private tape, gradients collected locally. With `trace`, emits
+    /// `forward` and `backward` spans under the given parent, tagged with
+    /// the shard index (span ids are allocated in completion order, which
+    /// is thread-dependent — timing data lives in the trace stream only).
+    fn full_loss_shard(
+        &self,
+        shard: &Batch,
+        beta: f32,
+        seed: u64,
+        sanitize: bool,
+        shard_idx: usize,
+        trace: Option<(&Tracer, SpanId)>,
+    ) -> ShardOutcome {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = Graph::new();
+        let fwd = trace.map(|(t, parent)| t.begin("forward", parent));
         let losses = self.batch_losses(&g, shard, beta, &mut rng);
+        if let (Some((t, _)), Some(span)) = (trace, fwd) {
+            t.end(span, &[("shard", Field::U64(shard_idx as u64))]);
+        }
+        let bwd = trace.map(|(t, parent)| t.begin("backward", parent));
         let grads = losses.total.backward_collect();
+        if let (Some((t, _)), Some(span)) = (trace, bwd) {
+            t.end(span, &[("shard", Field::U64(shard_idx as u64))]);
+        }
         if sanitize {
             sanitize_or_panic("full", &g, &grads);
         }
         ShardOutcome {
             grads,
             rec: losses.rec,
-            kl: losses.kl,
+            kl_a: losses.kl_a,
+            kl_b: losses.kl_b,
             cl: losses.cl,
             total: losses.total.item() as f64,
             len: shard.len(),
@@ -248,14 +301,24 @@ impl MetaSgcl {
         shard: &Batch,
         seed: u64,
         sanitize: bool,
+        shard_idx: usize,
+        trace: Option<(&Tracer, SpanId)>,
     ) -> Option<(GradientSet, usize)> {
         if shard.len() < 2 {
             return None;
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let g = Graph::new();
+        let fwd = trace.map(|(t, parent)| t.begin("forward", parent));
         let loss = self.meta_stage_loss(&g, shard, &mut rng);
+        if let (Some((t, _)), Some(span)) = (trace, fwd) {
+            t.end(span, &[("shard", Field::U64(shard_idx as u64))]);
+        }
+        let bwd = trace.map(|(t, parent)| t.begin("backward", parent));
         let grads = loss.backward_collect();
+        if let (Some((t, _)), Some(span)) = (trace, bwd) {
+            t.end(span, &[("shard", Field::U64(shard_idx as u64))]);
+        }
         if sanitize {
             sanitize_or_panic("meta", &g, &grads);
         }
@@ -271,6 +334,7 @@ impl MetaSgcl {
         beta: f32,
         batch_seed: u64,
         sanitize: bool,
+        trace: Option<(&Tracer, SpanId)>,
     ) -> (GradientSet, BatchStats) {
         let outcomes = exec.map_shards(shards, |i, shard| {
             self.full_loss_shard(
@@ -278,6 +342,8 @@ impl MetaSgcl {
                 beta,
                 Executor::shard_seed(batch_seed, 1, i as u64),
                 sanitize,
+                i,
+                trace,
             )
         });
         reduce_outcomes(&outcomes)
@@ -292,12 +358,15 @@ impl MetaSgcl {
         shards: &[Batch],
         batch_seed: u64,
         sanitize: bool,
+        trace: Option<(&Tracer, SpanId)>,
     ) -> Option<GradientSet> {
         let collected = exec.map_shards(shards, |i, shard| {
             self.contrastive_shard(
                 shard,
                 Executor::shard_seed(batch_seed, 2, i as u64),
                 sanitize,
+                i,
+                trace,
             )
         });
         let eligible: usize = collected.iter().flatten().map(|(_, len)| len).sum();
@@ -329,6 +398,7 @@ impl MetaSgcl {
         rng_words: [u64; 4],
         slots: Vec<OptimizerSlot>,
         beta_max: f32,
+        telemetry: Vec<(String, u64)>,
     ) -> TrainCheckpoint {
         let params = self
             .all_parameters()
@@ -346,6 +416,7 @@ impl MetaSgcl {
             progress,
             beta_max,
             kl_warmup_steps: self.cfg.kl_warmup_steps,
+            telemetry,
         }
     }
 
@@ -387,6 +458,7 @@ impl MetaSgcl {
         };
         let mut step = 0u64;
         self.history.epochs.clear();
+        let mut telem = RunTelemetry::from_config(cfg, strategy_tag(self.cfg.strategy))?;
 
         let ckpt_dir: Option<PathBuf> = if cfg.save_every > 0 {
             let dir = cfg.ckpt_dir.as_deref().ok_or_else(|| {
@@ -445,12 +517,15 @@ impl MetaSgcl {
             resume_skip = usize::try_from(ck.progress.batch)
                 .map_err(|_| invalid("batch cursor overflows usize".into()))?;
             step = ck.progress.step;
+            telem.on_resume(&path, start_epoch, resume_skip, step, &ck.telemetry);
             observer.on_resume(&path, start_epoch, resume_skip, step);
         }
 
         let mut halted = false;
         for epoch in start_epoch..cfg.epochs {
             let epoch_start = std::time::Instant::now();
+            let epoch_span = telem.span("epoch", SpanId::ROOT);
+            let epoch_sid = RunTelemetry::span_id(&epoch_span);
             // Snapshot the stream at the epoch boundary: a checkpoint inside
             // this epoch stores these words, and resume replays the shuffle
             // and the per-batch seed draws from them.
@@ -470,43 +545,92 @@ impl MetaSgcl {
                 if bi < skip {
                     continue;
                 }
+                let batch_span = telem.span("batch", epoch_sid);
+                let batch_sid = RunTelemetry::span_id(&batch_span);
                 let shards = batch.shard(exec.shard_size());
-                match self.cfg.strategy {
+                let mut stats = match self.cfg.strategy {
                     TrainStrategy::Joint => {
-                        let (grads, stats) =
-                            self.full_loss_step(&exec, &shards, beta, batch_seed, cfg.sanitize);
-                        apply_step(&mut opt_all, &all_params, &grads, cfg.grad_clip);
-                        sums.rec += stats.rec;
-                        sums.kl += stats.kl;
-                        sums.cl += stats.cl;
-                        sums.total += stats.total;
+                        let (grads, mut stats) = self.full_loss_step(
+                            &exec,
+                            &shards,
+                            beta,
+                            batch_seed,
+                            cfg.sanitize,
+                            telem.trace_ctx(batch_sid),
+                        );
+                        let opt_span = telem.span("opt_step", batch_sid);
+                        let applied = apply_step(&mut opt_all, &all_params, &grads, cfg.grad_clip);
+                        telem.end_span(opt_span, &[]);
+                        stats.grad_norm = applied.grad_norm.map(f64::from);
+                        stats
                     }
                     TrainStrategy::MetaTwoStep => {
                         // Stage 1: full loss, σ' frozen.
                         self.set_meta_trainable(false);
-                        let (grads, stats) =
-                            self.full_loss_step(&exec, &shards, beta, batch_seed, cfg.sanitize);
-                        apply_step(&mut opt_main, &main_params, &grads, cfg.grad_clip);
-                        sums.rec += stats.rec;
-                        sums.kl += stats.kl;
-                        sums.cl += stats.cl;
-                        sums.total += stats.total;
+                        let stage1 = telem.span("stage1", batch_sid);
+                        let stage1_sid = RunTelemetry::span_id(&stage1);
+                        let (grads, mut stats) = self.full_loss_step(
+                            &exec,
+                            &shards,
+                            beta,
+                            batch_seed,
+                            cfg.sanitize,
+                            telem.trace_ctx(stage1_sid),
+                        );
+                        let opt_span = telem.span("opt_step", stage1_sid);
+                        let applied =
+                            apply_step(&mut opt_main, &main_params, &grads, cfg.grad_clip);
+                        telem.end_span(opt_span, &[]);
+                        telem.end_span(stage1, &[]);
+                        stats.grad_norm = applied.grad_norm.map(f64::from);
                         self.set_meta_trainable(true);
                         // Stage 2: re-encode with the just-updated encoder,
                         // freeze it, and adapt Enc_σ' to the contrastive
                         // objective (Eq. 26).
                         self.set_main_trainable(false);
-                        if let Some(grads) =
-                            self.contrastive_step(&exec, &shards, batch_seed, cfg.sanitize)
-                        {
-                            apply_step(&mut opt_meta, &meta_params, &grads, cfg.grad_clip);
+                        let stage2 = telem.span("stage2", batch_sid);
+                        let stage2_sid = RunTelemetry::span_id(&stage2);
+                        if let Some(grads) = self.contrastive_step(
+                            &exec,
+                            &shards,
+                            batch_seed,
+                            cfg.sanitize,
+                            telem.trace_ctx(stage2_sid),
+                        ) {
+                            let opt_span = telem.span("opt_step", stage2_sid);
+                            let applied =
+                                apply_step(&mut opt_meta, &meta_params, &grads, cfg.grad_clip);
+                            telem.end_span(opt_span, &[]);
+                            stats.meta_update_norm = applied.update_norm;
                         }
+                        telem.end_span(stage2, &[]);
                         self.set_main_trainable(true);
+                        stats
                     }
-                }
+                };
                 step += 1;
                 batches += 1;
                 seqs += batch.len();
+                stats.epoch = epoch as u64;
+                stats.batch = bi as u64;
+                stats.step = step;
+                stats.beta = f64::from(beta);
+                sums.recon += stats.recon;
+                sums.kl_a += stats.kl_a;
+                sums.kl_b += stats.kl_b;
+                sums.info_nce += stats.info_nce;
+                sums.total += stats.total;
+                for warning in telem.on_batch(&stats) {
+                    observer.on_health(&warning);
+                }
+                observer.on_batch_end(&stats);
+                telem.end_span(
+                    batch_span,
+                    &[
+                        ("epoch", Field::U64(epoch as u64)),
+                        ("batch", Field::U64(bi as u64)),
+                    ],
+                );
                 if let Some(dir) = ckpt_dir.as_deref() {
                     if step.is_multiple_of(cfg.save_every) {
                         let slots = match self.cfg.strategy {
@@ -523,11 +647,17 @@ impl MetaSgcl {
                             batch: (bi + 1) as u64,
                             step,
                         };
-                        let ck =
-                            self.build_checkpoint(progress, epoch_words, slots, anneal.beta_max());
+                        let ck = self.build_checkpoint(
+                            progress,
+                            epoch_words,
+                            slots,
+                            anneal.beta_max(),
+                            telem.checkpoint_counters(),
+                        );
                         let path = dir.join(checkpoint::checkpoint_file_name(step));
                         ck.save(&path)?;
                         checkpoint::prune_checkpoints(dir, cfg.keep_last)?;
+                        telem.on_checkpoint(&path, step);
                         observer.on_checkpoint(&path, step);
                     }
                 }
@@ -538,36 +668,31 @@ impl MetaSgcl {
             }
             if halted {
                 // A partial epoch cut short by `max_steps` is not recorded.
+                telem.end_span(epoch_span, &[("epoch", Field::U64(epoch as u64))]);
                 break;
             }
             let denom = batches.max(1) as f64;
             let wall_ms = epoch_start.elapsed().as_secs_f64() * 1e3;
             let stats = EpochStats {
                 epoch,
-                rec: sums.rec / denom,
-                kl: sums.kl / denom,
-                cl: sums.cl / denom,
+                rec: sums.recon / denom,
+                kl_a: sums.kl_a / denom,
+                kl_b: sums.kl_b / denom,
+                kl: (sums.kl_a + sums.kl_b) / denom,
+                cl: sums.info_nce / denom,
                 total: sums.total / denom,
                 wall_ms,
                 seqs_per_sec: seqs as f64 / (wall_ms / 1e3).max(1e-9),
             };
             if cfg.verbose {
-                println!(
-                    "[Meta-SGCL/{:?}] epoch {epoch} rec {:.4} kl {:.4} cl {:.4} total {:.4} \
-                     ({:.0} ms, {:.0} seqs/s)",
-                    self.cfg.strategy,
-                    stats.rec,
-                    stats.kl,
-                    stats.cl,
-                    stats.total,
-                    stats.wall_ms,
-                    stats.seqs_per_sec
-                );
+                println!("[Meta-SGCL/{:?}] {stats}", self.cfg.strategy);
             }
+            telem.on_epoch(&stats, batches);
+            telem.end_span(epoch_span, &[("epoch", Field::U64(epoch as u64))]);
             self.history.epochs.push(stats);
             observer.on_epoch_end(&stats);
         }
-        Ok(())
+        telem.finish()
     }
 }
 

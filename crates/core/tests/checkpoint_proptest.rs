@@ -73,7 +73,13 @@ fn any_checkpoint() -> impl Strategy<Value = TrainCheckpoint> {
             .map(|(i, t)| (format!("p{i}"), t))
             .collect::<Vec<_>>()
     });
-    let meta = (params, 0usize..2, 1u64..u64::MAX, 0u64..1000);
+    let telemetry = prop::collection::vec(0u64..u64::MAX, 0..4).prop_map(|vs| {
+        vs.into_iter()
+            .enumerate()
+            .map(|(i, v)| (format!("telemetry.counter.{i}"), v))
+            .collect::<Vec<_>>()
+    });
+    let meta = (params, 0usize..2, 1u64..u64::MAX, 0u64..1000, telemetry);
     let cursor = (
         0u64..50,
         0u64..50,
@@ -82,7 +88,10 @@ fn any_checkpoint() -> impl Strategy<Value = TrainCheckpoint> {
         0u64..10_000,
     );
     (meta, cursor).prop_map(
-        |((params, joint, word0, t0), (epoch, batch, step, beta_bits, kl_warmup_steps))| {
+        |(
+            (params, joint, word0, t0, telemetry),
+            (epoch, batch, step, beta_bits, kl_warmup_steps),
+        )| {
             let slot_names: &[&str] = if joint == 0 {
                 &["all"]
             } else {
@@ -113,6 +122,7 @@ fn any_checkpoint() -> impl Strategy<Value = TrainCheckpoint> {
                 progress: TrainProgress { epoch, batch, step },
                 beta_max: f32::from_bits(beta_bits as u32),
                 kl_warmup_steps,
+                telemetry,
             }
         },
     )
@@ -136,6 +146,7 @@ proptest! {
         prop_assert_eq!(back.rng_words, ck.rng_words);
         prop_assert_eq!(back.beta_max.to_bits(), ck.beta_max.to_bits());
         prop_assert_eq!(back.kl_warmup_steps, ck.kl_warmup_steps);
+        prop_assert_eq!(&back.telemetry, &ck.telemetry);
 
         prop_assert_eq!(back.params.len(), ck.params.len());
         for ((n0, t0), (n1, t1)) in ck.params.iter().zip(&back.params) {

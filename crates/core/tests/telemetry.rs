@@ -1,0 +1,260 @@
+//! Integration contract of the training telemetry: the metrics stream is
+//! byte-identical across thread counts (the registry snapshot included),
+//! every emitted line validates against the documented schema, per-batch
+//! loss decomposition reaches observers, a healthy run passes
+//! `--strict-health`, and deterministic counters persist through
+//! checkpoint/resume monotonically.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+use meta_sgcl::{BatchStats, MetaSgcl, MetaSgclConfig, TrainStrategy};
+use models::{NetConfig, TrainConfig};
+use proptest::prelude::*;
+use recdata::ItemId;
+use telemetry::json::{self, Json};
+use telemetry::schema;
+
+/// The metric registry and enabled flag are process-global; every test
+/// that turns telemetry on serializes here.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    match TELEMETRY_LOCK.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn ring(users: usize, items: usize, len: usize) -> Vec<Vec<ItemId>> {
+    (0..users)
+        .map(|u| (0..len).map(|t| 1 + (u + t) % items).collect())
+        .collect()
+}
+
+fn small_cfg(seed: u64, strategy: TrainStrategy) -> MetaSgclConfig {
+    MetaSgclConfig {
+        net: NetConfig {
+            max_len: 8,
+            dim: 16,
+            layers: 1,
+            seed,
+            ..NetConfig::for_items(6)
+        },
+        alpha: 0.02,
+        beta: 0.05,
+        strategy,
+        ..MetaSgclConfig::for_items(6)
+    }
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("msgc_telemetry_test").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+/// Trains 2 epochs × 2 batches with the metrics stream on; returns the
+/// metrics file path.
+fn train_with_metrics(dir: &Path, seed: u64, threads: usize, cfg_extra: &TrainConfig) -> PathBuf {
+    let metrics = dir.join(format!("metrics-t{threads}.jsonl"));
+    let train = ring(20, 6, 8);
+    let mut m = MetaSgcl::new(small_cfg(seed, TrainStrategy::MetaTwoStep));
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 10,
+        shard_size: 4,
+        threads,
+        metrics_out: Some(metrics.to_string_lossy().into_owned()),
+        save_every: cfg_extra.save_every,
+        keep_last: cfg_extra.keep_last,
+        ckpt_dir: cfg_extra.ckpt_dir.clone(),
+        resume: cfg_extra.resume.clone(),
+        max_steps: cfg_extra.max_steps,
+        ..Default::default()
+    };
+    m.train_model(&train, &tc).expect("training failed");
+    metrics
+}
+
+/// The final deterministic counter lines of a metrics stream.
+fn counters_from(path: &Path) -> Vec<(String, u64)> {
+    let text = std::fs::read_to_string(path).expect("read metrics");
+    let mut out = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let obj = json::parse(line).expect("parse metrics line");
+        if obj.get("ev").and_then(Json::as_str) == Some("metric")
+            && obj.get("kind").and_then(Json::as_str) == Some("counter")
+        {
+            let name = obj.get("name").and_then(Json::as_str).expect("name");
+            let value = obj.get("value").and_then(Json::as_num).expect("value");
+            out.push((name.to_string(), value as u64));
+        }
+    }
+    out
+}
+
+proptest! {
+    // Each case trains twice; keep the count small but the seeds varied.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The whole metrics stream — per-batch decomposition, per-epoch
+    /// reductions, and the final deterministic registry snapshot — is
+    /// byte-identical between a serial and a 4-thread run of the same
+    /// seeded configuration.
+    #[test]
+    fn metrics_stream_is_bitwise_identical_across_thread_counts(seed in 1u64..1_000_000) {
+        let _g = lock();
+        let dir = fresh_dir(&format!("threads-{seed}"));
+        let serial = train_with_metrics(&dir, seed, 1, &TrainConfig::default());
+        let parallel = train_with_metrics(&dir, seed, 4, &TrainConfig::default());
+        let a = std::fs::read(&serial).expect("read serial metrics");
+        let b = std::fs::read(&parallel).expect("read parallel metrics");
+        prop_assert_eq!(a, b, "metrics stream differs between threads=1 and threads=4");
+    }
+}
+
+#[test]
+fn metrics_stream_validates_and_carries_the_decomposition() {
+    let _g = lock();
+    let dir = fresh_dir("schema");
+    let path = train_with_metrics(&dir, 7, 2, &TrainConfig::default());
+    let text = std::fs::read_to_string(&path).expect("read metrics");
+    let counts = schema::validate_stream(&text).expect("stream validates");
+    let count = |kind: &str| {
+        counts
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map_or(0, |(_, n)| *n)
+    };
+    assert_eq!(count("run"), 1);
+    assert_eq!(count("batch"), 4, "2 epochs x 2 batches");
+    assert_eq!(count("epoch"), 2);
+    assert!(count("metric") >= 4, "final registry snapshot present");
+
+    // Every batch line decomposes the double ELBO into finite terms.
+    for line in text.lines().filter(|l| l.contains("\"ev\":\"batch\"")) {
+        let obj = json::parse(line).expect("parse batch line");
+        for key in ["recon", "kl_a", "kl_b", "info_nce", "total"] {
+            let v = obj.get(key).and_then(Json::as_num).expect(key);
+            assert!(v.is_finite(), "{key} is not finite: {v}");
+        }
+        assert!(
+            obj.get("kl_a").and_then(Json::as_num).expect("kl_a") > 0.0,
+            "healthy KL must be positive"
+        );
+    }
+}
+
+#[test]
+fn observer_receives_per_batch_decomposition() {
+    #[derive(Default)]
+    struct Collect(Vec<BatchStats>);
+    impl meta_sgcl::TrainObserver for Collect {
+        fn on_batch_end(&mut self, stats: &BatchStats) {
+            self.0.push(*stats);
+        }
+    }
+
+    // Lock even without output files: a concurrently running telemetry
+    // test would otherwise record this run's kernel calls too.
+    let _g = lock();
+    let train = ring(20, 6, 8);
+    let mut m = MetaSgcl::new(small_cfg(3, TrainStrategy::MetaTwoStep));
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 10,
+        shard_size: 4,
+        ..Default::default()
+    };
+    let mut seen = Collect::default();
+    m.train_model_observed(&train, &tc, &mut seen)
+        .expect("train");
+    assert_eq!(seen.0.len(), 4, "one BatchStats per batch");
+    for (i, s) in seen.0.iter().enumerate() {
+        assert_eq!(s.step, i as u64 + 1);
+        assert!(s.total.is_finite() && s.recon > 0.0, "batch {i}: {s:?}");
+        assert!(s.kl_a > 0.0 && s.kl_b > 0.0, "batch {i}: {s:?}");
+        assert!(
+            s.grad_norm.is_some(),
+            "stage-1 gradient norm missing on batch {i}"
+        );
+        assert!(
+            s.meta_update_norm.is_some(),
+            "meta stage-2 update norm missing on batch {i}"
+        );
+    }
+}
+
+#[test]
+fn healthy_run_passes_strict_health() {
+    let _g = lock();
+    let train = ring(20, 6, 8);
+    let mut m = MetaSgcl::new(small_cfg(11, TrainStrategy::MetaTwoStep));
+    let tc = TrainConfig {
+        epochs: 2,
+        batch_size: 10,
+        shard_size: 4,
+        strict_health: true,
+        ..Default::default()
+    };
+    m.train_model(&train, &tc)
+        .expect("healthy run must pass --strict-health");
+}
+
+/// Counters restored from a checkpoint continue monotonically: an
+/// interrupted-then-resumed run finishes with exactly the counter values
+/// of an uninterrupted reference run.
+#[test]
+fn resume_restores_counters_and_stays_monotonic() {
+    let _g = lock();
+    let ref_dir = fresh_dir("resume-ref");
+    let int_dir = fresh_dir("resume-int");
+    let ckpt = |dir: &Path| TrainConfig {
+        save_every: 1,
+        ckpt_dir: Some(dir.to_string_lossy().into_owned()),
+        ..Default::default()
+    };
+
+    let reference = train_with_metrics(&ref_dir, 5, 1, &ckpt(&ref_dir));
+    let ref_counters = counters_from(&reference);
+    assert!(
+        ref_counters
+            .iter()
+            .any(|(n, v)| n == "autograd.backward.calls" && *v > 0),
+        "reference run must count backward passes: {ref_counters:?}"
+    );
+
+    // Interrupted run: halts after step 2 of 4, checkpoints every step.
+    let mut halted_cfg = ckpt(&int_dir);
+    halted_cfg.max_steps = 2;
+    train_with_metrics(&int_dir, 5, 1, &halted_cfg);
+
+    // The checkpoint it left behind carries a non-empty telemetry record
+    // whose counts are strictly below the reference's final values.
+    let step2 = int_dir.join(meta_sgcl::checkpoint::checkpoint_file_name(2));
+    let ck = meta_sgcl::TrainCheckpoint::load(&step2).expect("load checkpoint");
+    assert!(
+        !ck.telemetry.is_empty(),
+        "checkpoint telemetry record missing"
+    );
+    for (name, value) in &ck.telemetry {
+        if let Some((_, full)) = ref_counters.iter().find(|(n, _)| n == name) {
+            assert!(
+                value < full,
+                "{name}: checkpointed {value} not below final {full}"
+            );
+        }
+    }
+
+    // Resumed run: fresh process state, restores counters, runs to the end.
+    let mut resume_cfg = ckpt(&int_dir);
+    resume_cfg.resume = Some(int_dir.to_string_lossy().into_owned());
+    let resumed = train_with_metrics(&int_dir, 5, 1, &resume_cfg);
+    let resumed_counters = counters_from(&resumed);
+    assert_eq!(
+        resumed_counters, ref_counters,
+        "interrupted+resumed counters must equal the uninterrupted run's"
+    );
+}

@@ -22,7 +22,7 @@ use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
 use crate::cl::{info_nce_masked, Similarity};
 use crate::sasrec::NetConfig;
-use crate::vae::{gaussian_kl, reparameterize, VaeHead};
+use crate::vae::{gaussian_kl, reparameterize, LossTerms, VaeHead};
 use crate::{SequentialRecommender, TrainConfig};
 
 /// The (simplified) ACVAE model.
@@ -69,9 +69,9 @@ impl Acvae {
         ps
     }
 
-    /// ELBO + contrastive input–latent MI loss for one batch. Shared by
-    /// [`SequentialRecommender::fit`] and the static auditor.
-    fn batch_loss(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> autograd::Var {
+    /// ELBO + contrastive input–latent MI loss for one batch, decomposed per
+    /// term. Shared by [`SequentialRecommender::fit`] and the static auditor.
+    fn batch_loss(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> LossTerms {
         let (b, n) = (batch.len(), batch.seq_len());
         let h = self
             .backbone
@@ -91,6 +91,7 @@ impl Acvae {
             );
         let kl = gaussian_kl(&mu, &lv);
         let mut loss = rec.add(&kl.scale(beta));
+        let mut info_nce = None;
         if b >= 2 {
             // Contrastive MI between latent summary and the mean
             // input embedding (positive pairs come from the same
@@ -100,9 +101,16 @@ impl Acvae {
             let timeline = TransformerBackbone::timeline_mask(&batch.pad);
             let seq_repr = emb.mul_const(&timeline).mean_axis(1, false); // [b, d]
             let cl = info_nce_masked(&z_last, &seq_repr, 1.0, Similarity::Dot, &batch.last_target);
+            info_nce = Some(f64::from(cl.item()));
             loss = loss.add(&cl.scale(self.gamma));
         }
-        loss
+        LossTerms {
+            recon: f64::from(rec.item()),
+            kl_a: f64::from(kl.item()),
+            kl_b: None,
+            info_nce,
+            total: loss,
+        }
     }
 }
 
@@ -120,7 +128,7 @@ impl Auditable for Acvae {
         let mut rng = StdRng::seed_from_u64(seed);
         let batch = audit_batch(seqs, self.net.max_len, seed);
         let g = Graph::new();
-        let loss = self.batch_loss(&g, &batch, self.beta, &mut rng);
+        let loss = self.batch_loss(&g, &batch, self.beta, &mut rng).total;
         StageTrace {
             stage: stage.into(),
             graph: g,
@@ -147,24 +155,32 @@ impl SequentialRecommender for Acvae {
         let mut step = 0u64;
         for epoch in 0..cfg.epochs {
             let mut total = 0.0f64;
+            let (mut rec_sum, mut kl_sum, mut cl_sum) = (0.0f64, 0.0f64, 0.0f64);
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let loss = self.batch_loss(&g, &batch, anneal.beta(step), &mut rng);
-                loss.backward();
+                let terms = self.batch_loss(&g, &batch, anneal.beta(step), &mut rng);
+                terms.total.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);
                 }
                 opt.step();
                 opt.zero_grad();
-                total += loss.item() as f64;
+                total += terms.total.item() as f64;
+                rec_sum += terms.recon;
+                kl_sum += terms.kl_a;
+                cl_sum += terms.info_nce.unwrap_or(0.0);
                 batches += 1;
                 step += 1;
             }
             if cfg.verbose {
+                let n = batches.max(1) as f64;
                 println!(
-                    "[ACVAE] epoch {epoch} loss {:.4}",
-                    total / batches.max(1) as f64
+                    "[ACVAE] epoch {epoch} loss {:.4} (rec {:.4} kl {:.4} cl {:.4})",
+                    total / n,
+                    rec_sum / n,
+                    kl_sum / n,
+                    cl_sum / n
                 );
             }
         }

@@ -61,6 +61,19 @@ pub struct TrainConfig {
     /// training history. Used to make "interrupted" runs reproducible in
     /// tests and the resume-smoke CI job.
     pub max_steps: u64,
+    /// Write deterministic telemetry (per-batch/epoch loss decomposition,
+    /// health events, deterministic metric snapshot) as JSONL to this path.
+    /// The file is bitwise identical across `threads` values. `None`
+    /// disables the stream (and, together with `trace_out`, leaves the
+    /// telemetry registry disabled entirely — zero hot-loop overhead).
+    pub metrics_out: Option<String>,
+    /// Write tracing spans (epoch > batch > stage/forward/backward),
+    /// wall-clock timings, and the full metric snapshot (including
+    /// nondeterministic counters) as JSONL to this path.
+    pub trace_out: Option<String>,
+    /// Treat any fired health detector (KL collapse, dead σ', non-finite or
+    /// exploding loss) as a training error after the run completes.
+    pub strict_health: bool,
 }
 
 impl Default for TrainConfig {
@@ -81,6 +94,9 @@ impl Default for TrainConfig {
             ckpt_dir: None,
             resume: None,
             max_steps: 0,
+            metrics_out: None,
+            trace_out: None,
+            strict_health: false,
         }
     }
 }

@@ -16,7 +16,7 @@ use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
 use crate::cl::{info_nce_masked, Similarity};
 use crate::sasrec::NetConfig;
-use crate::vae::{gaussian_kl, reparameterize, VaeHead};
+use crate::vae::{gaussian_kl, reparameterize, LossTerms, VaeHead};
 use crate::{SequentialRecommender, TrainConfig};
 
 /// Which augmentation produces the second view.
@@ -98,9 +98,10 @@ impl ContrastVae {
         }
     }
 
-    /// Two-view ELBO + InfoNCE loss for one batch with KL weight `beta`.
-    /// Shared by [`SequentialRecommender::fit`] and the static auditor.
-    fn batch_loss(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> autograd::Var {
+    /// Two-view ELBO + InfoNCE loss for one batch with KL weight `beta`,
+    /// decomposed per term. Shared by [`SequentialRecommender::fit`] and the
+    /// static auditor.
+    fn batch_loss(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> LossTerms {
         let (b, n) = (batch.len(), batch.seq_len());
         let vocab = self.backbone.vocab();
         let targets: Vec<usize> = batch
@@ -159,6 +160,7 @@ impl ContrastVae {
                 .cross_entropy_with_logits(&batch.last_target);
             loss = loss.add(&rec2);
         }
+        let mut info_nce = None;
         if b >= 2 {
             let z1_last = TransformerBackbone::last_hidden(&z1);
             let cl = info_nce_masked(
@@ -168,9 +170,16 @@ impl ContrastVae {
                 Similarity::Dot,
                 &batch.last_target,
             );
+            info_nce = Some(f64::from(cl.item()));
             loss = loss.add(&cl.scale(self.alpha));
         }
-        loss
+        LossTerms {
+            recon: f64::from(rec1.item()),
+            kl_a: f64::from(kl1.item()),
+            kl_b: Some(f64::from(kl2.item())),
+            info_nce,
+            total: loss,
+        }
     }
 }
 
@@ -188,7 +197,7 @@ impl Auditable for ContrastVae {
         let mut rng = StdRng::seed_from_u64(seed);
         let batch = audit_batch(seqs, self.net.max_len, seed);
         let g = Graph::new();
-        let loss = self.batch_loss(&g, &batch, self.beta, &mut rng);
+        let loss = self.batch_loss(&g, &batch, self.beta, &mut rng).total;
         StageTrace {
             stage: stage.into(),
             graph: g,
@@ -215,24 +224,35 @@ impl SequentialRecommender for ContrastVae {
         let mut step = 0u64;
         for epoch in 0..cfg.epochs {
             let mut total = 0.0f64;
+            let (mut rec_sum, mut kl_a_sum, mut kl_b_sum, mut cl_sum) =
+                (0.0f64, 0.0f64, 0.0f64, 0.0f64);
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let loss = self.batch_loss(&g, &batch, anneal.beta(step), &mut rng);
-                loss.backward();
+                let terms = self.batch_loss(&g, &batch, anneal.beta(step), &mut rng);
+                terms.total.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);
                 }
                 opt.step();
                 opt.zero_grad();
-                total += loss.item() as f64;
+                total += terms.total.item() as f64;
+                rec_sum += terms.recon;
+                kl_a_sum += terms.kl_a;
+                kl_b_sum += terms.kl_b.unwrap_or(0.0);
+                cl_sum += terms.info_nce.unwrap_or(0.0);
                 batches += 1;
                 step += 1;
             }
             if cfg.verbose {
+                let n = batches.max(1) as f64;
                 println!(
-                    "[ContrastVAE] epoch {epoch} loss {:.4}",
-                    total / batches.max(1) as f64
+                    "[ContrastVAE] epoch {epoch} loss {:.4} (rec {:.4} kl_a {:.4} kl_b {:.4} cl {:.4})",
+                    total / n,
+                    rec_sum / n,
+                    kl_a_sum / n,
+                    kl_b_sum / n,
+                    cl_sum / n
                 );
             }
         }

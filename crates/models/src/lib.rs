@@ -53,4 +53,5 @@ pub use duorec::DuoRec;
 pub use gru4rec::Gru4Rec;
 pub use pop::Pop;
 pub use sasrec::{NetConfig, SasRec};
+pub use vae::LossTerms;
 pub use vsan::Vsan;

@@ -39,6 +39,27 @@ pub fn gaussian_kl(mu: &Var, logvar: &Var) -> Var {
     term.scale(0.5).mean_all()
 }
 
+/// Per-term decomposition of one batch's VAE-family objective.
+///
+/// `total` stays on the tape and is what callers backpropagate through; the
+/// per-term scalars are plain `item()` reads of already-computed forward
+/// values, recorded *unweighted* (before β/α scaling) so telemetry shows the
+/// raw magnitude of each term. Terms a model does not have — a second-view
+/// KL for single-view models, InfoNCE when the batch is too small for
+/// in-batch negatives — are `None`.
+pub struct LossTerms {
+    /// The full weighted objective, on the tape.
+    pub total: Var,
+    /// Reconstruction cross-entropy.
+    pub recon: f64,
+    /// KL of the first latent view (`Enc_σ`).
+    pub kl_a: f64,
+    /// KL of the second latent view, when the model has one.
+    pub kl_b: Option<f64>,
+    /// Unweighted InfoNCE contrastive term, when present.
+    pub info_nce: Option<f64>,
+}
+
 /// A Gaussian posterior head: two linear maps producing `μ` and `log σ²`
 /// from encoder features (the paper's `Enc_μ` and `Enc_σ`, Eq. 11).
 pub struct VaeHead {

@@ -13,7 +13,7 @@ use recdata::{encode_input_only, Batch, Batcher, ItemId};
 use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
 use crate::sasrec::NetConfig;
-use crate::vae::{gaussian_kl, reparameterize, VaeHead};
+use crate::vae::{gaussian_kl, reparameterize, LossTerms, VaeHead};
 use crate::{SequentialRecommender, TrainConfig};
 
 /// The VSAN model.
@@ -56,9 +56,10 @@ impl Vsan {
         ps
     }
 
-    /// Single-view ELBO (reconstruction CE + `beta`·KL) for one batch.
-    /// Shared by [`SequentialRecommender::fit`] and the static auditor.
-    fn batch_loss(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> autograd::Var {
+    /// Single-view ELBO (reconstruction CE + `beta`·KL) for one batch,
+    /// decomposed per term. Shared by [`SequentialRecommender::fit`] and the
+    /// static auditor.
+    fn batch_loss(&self, g: &Graph, batch: &Batch, beta: f32, rng: &mut StdRng) -> LossTerms {
         let h = self
             .backbone
             .forward(g, &batch.inputs, &batch.pad, rng, true);
@@ -74,7 +75,13 @@ impl Vsan {
             .collect();
         let rec = flat.cross_entropy_with_logits(&targets);
         let kl = gaussian_kl(&mu, &logvar);
-        rec.add(&kl.scale(beta))
+        LossTerms {
+            recon: f64::from(rec.item()),
+            kl_a: f64::from(kl.item()),
+            kl_b: None,
+            info_nce: None,
+            total: rec.add(&kl.scale(beta)),
+        }
     }
 }
 
@@ -92,7 +99,7 @@ impl Auditable for Vsan {
         let mut rng = StdRng::seed_from_u64(seed);
         let batch = audit_batch(seqs, self.net.max_len, seed);
         let g = Graph::new();
-        let loss = self.batch_loss(&g, &batch, self.beta, &mut rng);
+        let loss = self.batch_loss(&g, &batch, self.beta, &mut rng).total;
         StageTrace {
             stage: stage.into(),
             graph: g,
@@ -119,24 +126,30 @@ impl SequentialRecommender for Vsan {
         let mut step = 0u64;
         for epoch in 0..cfg.epochs {
             let mut total = 0.0f64;
+            let (mut rec_sum, mut kl_sum) = (0.0f64, 0.0f64);
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let loss = self.batch_loss(&g, &batch, anneal.beta(step), &mut rng);
-                loss.backward();
+                let terms = self.batch_loss(&g, &batch, anneal.beta(step), &mut rng);
+                terms.total.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);
                 }
                 opt.step();
                 opt.zero_grad();
-                total += loss.item() as f64;
+                total += terms.total.item() as f64;
+                rec_sum += terms.recon;
+                kl_sum += terms.kl_a;
                 batches += 1;
                 step += 1;
             }
             if cfg.verbose {
+                let n = batches.max(1) as f64;
                 println!(
-                    "[VSAN] epoch {epoch} loss {:.4}",
-                    total / batches.max(1) as f64
+                    "[VSAN] epoch {epoch} loss {:.4} (rec {:.4} kl {:.4})",
+                    total / n,
+                    rec_sum / n,
+                    kl_sum / n
                 );
             }
         }

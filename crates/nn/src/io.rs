@@ -53,6 +53,9 @@ pub const REC_OPTIMIZER: u8 = 0x02;
 pub const REC_RNG: u8 = 0x03;
 /// Training progress (epoch / batch / step cursors + schedule config).
 pub const REC_PROGRESS: u8 = 0x04;
+/// Telemetry snapshot: deterministic counter values at save time (optional;
+/// readers that predate it skip the record).
+pub const REC_TELEMETRY: u8 = 0x05;
 
 /// Largest tensor rank a checkpoint may declare. Real models use ≤ 4; the
 /// cap stops a corrupted `ndim` field from driving a huge dims loop.

@@ -19,6 +19,7 @@ pub struct Adam {
     t: u64,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
+    last_update_norm: Option<f64>,
 }
 
 impl Adam {
@@ -54,6 +55,7 @@ impl Adam {
             t: 0,
             m,
             v,
+            last_update_norm: None,
         }
     }
 
@@ -129,6 +131,10 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // Applied-delta norm, accumulated in f64 in fixed parameter order so
+        // the value is deterministic whenever the gradients are. Feeds the
+        // dead-σ' health detector via `Optimizer::last_update_norm`.
+        let mut delta_sq = 0.0f64;
         for ((p, m), v) in self
             .params
             .iter()
@@ -162,9 +168,12 @@ impl Optimizer for Adam {
                 if wd > 0.0 {
                     update += wd * *t; // decoupled weight decay (AdamW)
                 }
-                *t -= lr * update;
+                let delta = lr * update;
+                delta_sq += f64::from(delta) * f64::from(delta);
+                *t -= delta;
             }
         }
+        self.last_update_norm = Some(delta_sq.sqrt());
     }
 
     fn zero_grad(&mut self) {
@@ -179,6 +188,10 @@ impl Optimizer for Adam {
 
     fn lr(&self) -> f32 {
         self.lr
+    }
+
+    fn last_update_norm(&self) -> Option<f64> {
+        self.last_update_norm
     }
 }
 
@@ -270,6 +283,23 @@ mod tests {
         st.m[0] = Tensor::zeros(vec![3]);
         assert!(opt.import_state(st).is_err());
         assert_eq!(opt.steps(), 0);
+    }
+
+    #[test]
+    fn update_norm_tracks_applied_delta() {
+        let p = Parameter::shared("p", Tensor::from_vec(vec![0.0, 0.0], vec![2]));
+        let mut opt = Adam::new(vec![p.clone()], 0.01);
+        assert_eq!(opt.last_update_norm(), None, "no step taken yet");
+        p.borrow_mut().grad = Tensor::from_vec(vec![10.0, -10.0], vec![2]);
+        opt.step();
+        // First bias-corrected step moves each coordinate by ≈ lr.
+        let norm = opt.last_update_norm().expect("tracked after step");
+        assert!((norm - 0.01 * 2f64.sqrt()).abs() < 1e-4, "norm {norm}");
+        // A zero gradient with zero momentum history applies ~no update.
+        let q = Parameter::shared("q", Tensor::from_vec(vec![1.0], vec![1]));
+        let mut frozen = Adam::new(vec![q], 0.01);
+        frozen.step();
+        assert!(frozen.last_update_norm().unwrap() < 1e-9);
     }
 
     #[test]

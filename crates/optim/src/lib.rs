@@ -19,6 +19,8 @@ pub use adam::{Adam, AdamState};
 pub use schedule::{KlAnnealing, LrSchedule};
 pub use sgd::Sgd;
 
+use std::sync::OnceLock;
+
 use autograd::{GradientSet, ParamRef};
 
 /// A first-order optimizer over a fixed parameter list.
@@ -36,6 +38,26 @@ pub trait Optimizer {
 
     /// Current learning rate.
     fn lr(&self) -> f32;
+
+    /// Global L2 norm of the parameter delta applied by the most recent
+    /// [`Optimizer::step`], if the implementation tracks it. The dead-σ'
+    /// health detector keys off this: a meta stage whose update norm sits at
+    /// ~0 means `Enc_σ'` has stopped adapting. Defaults to `None`.
+    fn last_update_norm(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Diagnostics from one [`apply_step`] update.
+#[derive(Debug, Clone, Copy)]
+pub struct StepStats {
+    /// Global L2 gradient norm before clipping. `None` when clipping is off
+    /// and telemetry is disabled (the measurement pass is skipped entirely,
+    /// keeping the disabled-telemetry hot path unchanged).
+    pub grad_norm: Option<f32>,
+    /// L2 norm of the applied parameter delta, when the optimizer tracks it
+    /// (see [`Optimizer::last_update_norm`]).
+    pub update_norm: Option<f64>,
 }
 
 /// Applies one optimizer update from a merged [`GradientSet`].
@@ -47,19 +69,46 @@ pub trait Optimizer {
 /// steps. Because the merged set is a *mean* over the batch, the update is
 /// agnostic to how many shards (or threads) produced it. Gradients are zeroed
 /// before depositing and after stepping, so stale accumulation can't leak in.
+///
+/// Returns [`StepStats`] and mirrors them into the `optim.grad_norm` /
+/// `optim.update_norm` telemetry gauges. Both are pure functions of the
+/// merged gradient set, which the executor's fixed-order reduction makes
+/// bitwise identical across thread counts, so the gauges are deterministic.
 pub fn apply_step<O: Optimizer + ?Sized>(
     opt: &mut O,
     params: &[ParamRef],
     grads: &GradientSet,
     max_norm: f32,
-) {
+) -> StepStats {
     opt.zero_grad();
     grads.apply();
-    if max_norm > 0.0 {
-        clip_grad_norm(params, max_norm);
-    }
+    let grad_norm = if max_norm > 0.0 {
+        Some(clip_grad_norm(params, max_norm))
+    } else if telemetry::enabled() {
+        // Clipping is off; measure the norm without rescaling.
+        Some(clip_grad_norm(params, f32::INFINITY))
+    } else {
+        None
+    };
     opt.step();
     opt.zero_grad();
+    let update_norm = opt.last_update_norm();
+    if telemetry::enabled() {
+        static GRAD: OnceLock<&'static telemetry::Gauge> = OnceLock::new();
+        static UPD: OnceLock<&'static telemetry::Gauge> = OnceLock::new();
+        if let Some(n) = grad_norm {
+            GRAD.get_or_init(|| telemetry::metrics::gauge("optim.grad_norm", true))
+                .set(f64::from(n));
+        }
+        if let Some(n) = update_norm {
+            UPD.get_or_init(|| telemetry::metrics::gauge("optim.update_norm", true))
+                .set(n);
+        }
+    }
+    StepStats {
+        grad_norm,
+        update_norm,
+    }
 }
 
 /// Rescales gradients so their global L2 norm is at most `max_norm`.

@@ -1,0 +1,360 @@
+//! Online training-health detectors over the per-batch loss decomposition.
+//!
+//! Meta-SGCL's objective couples reconstruction, two KL terms (one per
+//! latent view), and an InfoNCE term under a two-stage meta schedule; its
+//! characteristic failure modes are invisible in a single loss number:
+//!
+//! * **KL collapse** — a latent view's KL term sits at ~0, meaning the
+//!   posterior has collapsed onto the prior and the view carries no
+//!   sequence information (the classic VAE pathology the paper's β/KL
+//!   annealing fights).
+//! * **Dead `Enc_σ'`** — the meta stage's update norm is ~0, so the learned
+//!   view generator has stopped adapting and the second view is frozen.
+//! * **Non-finite / exploding loss** — divergence.
+//!
+//! [`HealthMonitor`] consumes one [`BatchHealth`] per batch and returns
+//! structured [`HealthWarning`]s. Each detector latches: it fires once per
+//! run, when its condition has held for the configured patience.
+
+use std::fmt;
+
+/// Detector identifiers (stable strings for the JSONL stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detector {
+    /// KL of view 1 (`Enc_σ`) below the floor for `kl_patience` batches.
+    KlCollapseA,
+    /// KL of view 2 (`Enc_σ'`) below the floor for `kl_patience` batches.
+    KlCollapseB,
+    /// Meta-stage (σ'-only) update norm ≈ 0 for `dead_patience` batches.
+    DeadMetaSigma,
+    /// Total loss became NaN or infinite.
+    NonFiniteLoss,
+    /// Total loss exceeded the explosion limit.
+    ExplodingLoss,
+}
+
+impl Detector {
+    /// Stable wire name used in JSONL `health` events.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Detector::KlCollapseA => "kl_collapse_a",
+            Detector::KlCollapseB => "kl_collapse_b",
+            Detector::DeadMetaSigma => "dead_meta_sigma",
+            Detector::NonFiniteLoss => "non_finite_loss",
+            Detector::ExplodingLoss => "exploding_loss",
+        }
+    }
+}
+
+impl fmt::Display for Detector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+/// Per-batch observations the monitor consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchHealth {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Batch index within the epoch.
+    pub batch: usize,
+    /// Global optimizer step.
+    pub step: u64,
+    /// Unweighted KL of view 1 (`Enc_σ`).
+    pub kl_a: f64,
+    /// Unweighted KL of view 2 (`Enc_σ'` or the configured generator).
+    pub kl_b: f64,
+    /// Weighted total loss.
+    pub total: f64,
+    /// Update norm of the meta (σ'-only) stage, when that stage ran.
+    pub meta_update_norm: Option<f64>,
+}
+
+/// Detector thresholds. Defaults are generous: healthy runs at
+/// reproduction scale stay far above the floors (the log-variance heads
+/// initialize near KL ≈ 1, and Adam updates are ≥ 1e-6 while gradients
+/// flow at all).
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// A view's KL below this value counts toward collapse.
+    pub kl_floor: f64,
+    /// Consecutive below-floor batches before the collapse detector fires.
+    pub kl_patience: usize,
+    /// Meta-stage update norm below this value counts as dead.
+    pub dead_update_norm: f64,
+    /// Consecutive dead batches before the dead-σ' detector fires.
+    pub dead_patience: usize,
+    /// Total loss above this value fires the explosion detector.
+    pub explode_limit: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            kl_floor: 1e-4,
+            kl_patience: 25,
+            dead_update_norm: 1e-9,
+            dead_patience: 25,
+            explode_limit: 1e6,
+        }
+    }
+}
+
+/// A structured warning emitted by a detector.
+#[derive(Debug, Clone)]
+pub struct HealthWarning {
+    /// Which detector fired.
+    pub detector: Detector,
+    /// Epoch of the triggering batch.
+    pub epoch: usize,
+    /// Batch index of the triggering batch.
+    pub batch: usize,
+    /// Global step of the triggering batch.
+    pub step: u64,
+    /// The offending value (KL, update norm, or loss).
+    pub value: f64,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+impl fmt::Display for HealthWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[health:{}] epoch {} batch {} step {}: {} (value {:.3e})",
+            self.detector, self.epoch, self.batch, self.step, self.message, self.value
+        )
+    }
+}
+
+/// Streaming state of all detectors for one training run.
+#[derive(Debug, Default)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    below_a: usize,
+    below_b: usize,
+    dead_meta: usize,
+    fired: Vec<Detector>,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor with the given thresholds.
+    pub fn new(cfg: HealthConfig) -> HealthMonitor {
+        HealthMonitor {
+            cfg,
+            below_a: 0,
+            below_b: 0,
+            dead_meta: 0,
+            fired: Vec::new(),
+        }
+    }
+
+    /// True if `d` has already fired in this run.
+    pub fn has_fired(&self, d: Detector) -> bool {
+        self.fired.contains(&d)
+    }
+
+    /// All detectors that fired so far, in firing order.
+    pub fn fired(&self) -> &[Detector] {
+        &self.fired
+    }
+
+    fn fire(
+        &mut self,
+        out: &mut Vec<HealthWarning>,
+        b: &BatchHealth,
+        d: Detector,
+        value: f64,
+        message: String,
+    ) {
+        if self.has_fired(d) {
+            return;
+        }
+        self.fired.push(d);
+        out.push(HealthWarning {
+            detector: d,
+            epoch: b.epoch,
+            batch: b.batch,
+            step: b.step,
+            value,
+            message,
+        });
+    }
+
+    /// Feeds one batch; returns any newly fired warnings.
+    pub fn observe(&mut self, b: &BatchHealth) -> Vec<HealthWarning> {
+        let mut out = Vec::new();
+        let cfg = self.cfg;
+
+        if !b.total.is_finite() {
+            self.fire(
+                &mut out,
+                b,
+                Detector::NonFiniteLoss,
+                b.total,
+                "total loss is NaN or infinite".into(),
+            );
+        } else if b.total.abs() > cfg.explode_limit {
+            self.fire(
+                &mut out,
+                b,
+                Detector::ExplodingLoss,
+                b.total,
+                format!("total loss exceeds {:.1e}", cfg.explode_limit),
+            );
+        }
+
+        // NaN KLs never count as "below floor" — the non-finite detector
+        // owns that case via the total.
+        self.below_a = if b.kl_a < cfg.kl_floor {
+            self.below_a + 1
+        } else {
+            0
+        };
+        self.below_b = if b.kl_b < cfg.kl_floor {
+            self.below_b + 1
+        } else {
+            0
+        };
+        if self.below_a >= cfg.kl_patience {
+            self.fire(
+                &mut out,
+                b,
+                Detector::KlCollapseA,
+                b.kl_a,
+                format!(
+                    "view-1 KL below {:.1e} for {} consecutive batches (posterior collapse)",
+                    cfg.kl_floor, cfg.kl_patience
+                ),
+            );
+        }
+        if self.below_b >= cfg.kl_patience {
+            self.fire(
+                &mut out,
+                b,
+                Detector::KlCollapseB,
+                b.kl_b,
+                format!(
+                    "view-2 KL below {:.1e} for {} consecutive batches (posterior collapse)",
+                    cfg.kl_floor, cfg.kl_patience
+                ),
+            );
+        }
+
+        if let Some(norm) = b.meta_update_norm {
+            self.dead_meta = if norm < cfg.dead_update_norm {
+                self.dead_meta + 1
+            } else {
+                0
+            };
+            if self.dead_meta >= cfg.dead_patience {
+                self.fire(
+                    &mut out,
+                    b,
+                    Detector::DeadMetaSigma,
+                    norm,
+                    format!(
+                        "meta-stage (Enc_σ') update norm below {:.1e} for {} consecutive batches",
+                        cfg.dead_update_norm, cfg.dead_patience
+                    ),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(i: usize, kl_a: f64, kl_b: f64, total: f64, meta: Option<f64>) -> BatchHealth {
+        BatchHealth {
+            epoch: 0,
+            batch: i,
+            step: i as u64,
+            kl_a,
+            kl_b,
+            total,
+            meta_update_norm: meta,
+        }
+    }
+
+    #[test]
+    fn collapsed_kl_trips_detector_healthy_does_not() {
+        let cfg = HealthConfig {
+            kl_patience: 5,
+            ..HealthConfig::default()
+        };
+        // Healthy run: KLs well above the floor.
+        let mut healthy = HealthMonitor::new(cfg);
+        for i in 0..200 {
+            let w = healthy.observe(&batch(i, 0.8, 1.1, 5.0, Some(1e-3)));
+            assert!(w.is_empty(), "healthy run fired {:?}", w[0].detector);
+        }
+        // Collapsed view 2: kl_b pinned at ~0.
+        let mut collapsed = HealthMonitor::new(cfg);
+        let mut fired = Vec::new();
+        for i in 0..20 {
+            fired.extend(collapsed.observe(&batch(i, 0.8, 1e-7, 5.0, Some(1e-3))));
+        }
+        assert_eq!(fired.len(), 1, "detector must latch after firing once");
+        assert_eq!(fired[0].detector, Detector::KlCollapseB);
+        assert_eq!(fired[0].batch, 4, "fires exactly at the patience limit");
+    }
+
+    #[test]
+    fn recovery_resets_the_streak() {
+        let cfg = HealthConfig {
+            kl_patience: 3,
+            ..HealthConfig::default()
+        };
+        let mut m = HealthMonitor::new(cfg);
+        assert!(m.observe(&batch(0, 1e-9, 1.0, 5.0, None)).is_empty());
+        assert!(m.observe(&batch(1, 1e-9, 1.0, 5.0, None)).is_empty());
+        // One healthy batch resets the counter.
+        assert!(m.observe(&batch(2, 0.5, 1.0, 5.0, None)).is_empty());
+        assert!(m.observe(&batch(3, 1e-9, 1.0, 5.0, None)).is_empty());
+        assert!(m.observe(&batch(4, 1e-9, 1.0, 5.0, None)).is_empty());
+        let fired = m.observe(&batch(5, 1e-9, 1.0, 5.0, None));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].detector, Detector::KlCollapseA);
+    }
+
+    #[test]
+    fn dead_meta_sigma_fires_only_with_meta_stage() {
+        let cfg = HealthConfig {
+            dead_patience: 4,
+            ..HealthConfig::default()
+        };
+        // Joint training never reports a meta update norm: no firing.
+        let mut joint = HealthMonitor::new(cfg);
+        for i in 0..50 {
+            assert!(joint.observe(&batch(i, 1.0, 1.0, 5.0, None)).is_empty());
+        }
+        // Two-step training with a frozen σ'.
+        let mut dead = HealthMonitor::new(cfg);
+        let mut fired = Vec::new();
+        for i in 0..10 {
+            fired.extend(dead.observe(&batch(i, 1.0, 1.0, 5.0, Some(0.0))));
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].detector, Detector::DeadMetaSigma);
+    }
+
+    #[test]
+    fn nan_and_explosion_fire_immediately() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        let w = m.observe(&batch(0, 1.0, 1.0, f64::NAN, None));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].detector, Detector::NonFiniteLoss);
+
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        let w = m.observe(&batch(0, 1.0, 1.0, 1e9, None));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].detector, Detector::ExplodingLoss);
+        // Latched: a second exploding batch stays quiet.
+        assert!(m.observe(&batch(1, 1.0, 1.0, 1e9, None)).is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Training telemetry for the Meta-SGCL reproduction.
+//!
+//! Three cooperating pieces, all dependency-free and usable from every
+//! layer of the stack (`tensor` up to the `msgc` CLI):
+//!
+//! * [`metrics`] — a process-wide, lock-cheap registry of counters, gauges
+//!   and log2-bucketed histograms. Hot-path updates are a single relaxed
+//!   atomic op guarded by a global enabled flag; with telemetry disabled
+//!   (the default) an update is one atomic load and **zero allocations**.
+//!   Snapshots are returned in deterministic (name-sorted) order, and every
+//!   metric is tagged with a determinism class so thread-count-invariant
+//!   values can be separated from timing noise.
+//! * [`trace`] — structured tracing spans around the training loop's
+//!   semantic stages (epoch, batch, forward, backward, optimizer step,
+//!   the meta two-step's stage-1/stage-2), emitted as JSONL events with
+//!   monotonic timestamps and process-unique span ids.
+//! * [`health`] — online detectors over the per-batch loss decomposition:
+//!   KL collapse of either latent view, a dead `Enc_σ'` meta stage, and
+//!   non-finite / exploding losses.
+//!
+//! [`json`] is a minimal JSON reader (the build is fully offline, so no
+//! serde) and [`schema`] validates emitted JSONL lines against the
+//! documented event schema (see `DESIGN.md` §10); both back the
+//! `telemetry_check` CLI and `msgc report`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod json;
+pub mod metrics;
+pub mod schema;
+pub mod trace;
+
+pub use health::{BatchHealth, Detector, HealthConfig, HealthMonitor, HealthWarning};
+pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, MetricValue};
+pub use trace::{ActiveSpan, Field, SpanId, Tracer};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Globally enables or disables metric collection.
+///
+/// Disabled (the default), every counter/gauge/histogram update is a single
+/// relaxed atomic load — no stores, no locks, no allocations on any hot
+/// path. Tracing is independently opt-in per [`Tracer`].
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when metric collection is globally enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}

@@ -1,0 +1,540 @@
+//! The lock-cheap metrics registry.
+//!
+//! Metrics are interned once per call site (cache the returned `&'static`
+//! reference in a `OnceLock` if the lookup is on a hot path) and updated
+//! with single relaxed atomic operations. The registry itself is only
+//! locked at registration, snapshot, reset, and restore time — never on
+//! the update path.
+//!
+//! # Determinism classes
+//!
+//! Every metric declares whether its value is *deterministic*: a pure
+//! function of the work performed, identical across thread counts and
+//! re-runs (op counts, tape lengths, loss-derived gauges). Wall-clock
+//! histograms and allocator-pool hit rates are not. Deterministic metrics
+//! are what `--metrics-out` snapshots, what training checkpoints persist,
+//! and what the threads=1-vs-4 bitwise tests compare; nondeterministic
+//! ones ride along in the trace stream only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`, so bucket 64 tops out the `u64` range.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A monotonically increasing `u64` counter.
+pub struct Counter {
+    name: &'static str,
+    det: bool,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` when telemetry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments by one when telemetry is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the value (checkpoint restore path).
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bits in an atomic).
+pub struct Gauge {
+    name: &'static str,
+    det: bool,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge when telemetry is enabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A histogram over `u64` values with fixed log2 buckets.
+pub struct Histogram {
+    name: &'static str,
+    det: bool,
+    count: AtomicU64,
+    sum: AtomicU64,
+    invalid: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// Bucket index for a recorded value: 0 for 0, else `64 - leading_zeros`
+/// (so bucket `i ≥ 1` covers `[2^(i-1), 2^i)`).
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// Records one value when telemetry is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an `f64` observation.
+    ///
+    /// NaN is counted as *invalid* and recorded in no bucket. Everything
+    /// else saturates into the `u64` domain: negatives, zero, and
+    /// subnormals land in bucket 0; `+∞` and values beyond `u64::MAX` land
+    /// in the top bucket.
+    #[inline]
+    pub fn record_f64(&self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        if v.is_nan() {
+            self.invalid.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // `as` saturates: -x → 0, +∞ / huge → u64::MAX.
+        self.record(v as u64);
+    }
+
+    /// `(count, sum, invalid)` totals.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            self.invalid.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Occupied buckets as `(bucket index, count)` pairs in index order.
+    pub fn occupied_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i, c))
+            })
+            .collect()
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+enum MetricRef {
+    C(&'static Counter),
+    G(&'static Gauge),
+    H(&'static Histogram),
+}
+
+impl MetricRef {
+    fn name(&self) -> &'static str {
+        match self {
+            MetricRef::C(c) => c.name,
+            MetricRef::G(g) => g.name,
+            MetricRef::H(h) => h.name,
+        }
+    }
+}
+
+struct Registry {
+    metrics: Vec<MetricRef>,
+    /// Counter values restored from a checkpoint before the corresponding
+    /// call site has registered its counter; applied at registration.
+    pending_counters: Vec<(String, u64)>,
+}
+
+static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+fn registry() -> MutexGuard<'static, Registry> {
+    let m = REGISTRY.get_or_init(|| {
+        Mutex::new(Registry {
+            metrics: Vec::new(),
+            pending_counters: Vec::new(),
+        })
+    });
+    // A panic while holding this lock is already fatal to telemetry;
+    // clearing the poison keeps the rest of the process usable.
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Interns (or returns the existing) counter `name`. `det` declares the
+/// determinism class; it must be consistent across call sites.
+pub fn counter(name: &'static str, det: bool) -> &'static Counter {
+    let mut reg = registry();
+    for m in &reg.metrics {
+        if let MetricRef::C(c) = m {
+            if c.name == name {
+                return c;
+            }
+        }
+    }
+    let leaked: &'static Counter = Box::leak(Box::new(Counter {
+        name,
+        det,
+        value: AtomicU64::new(0),
+    }));
+    if let Some(pos) = reg.pending_counters.iter().position(|(n, _)| n == name) {
+        let (_, v) = reg.pending_counters.swap_remove(pos);
+        leaked.value.store(v, Ordering::Relaxed);
+    }
+    reg.metrics.push(MetricRef::C(leaked));
+    leaked
+}
+
+/// Interns (or returns the existing) gauge `name`.
+pub fn gauge(name: &'static str, det: bool) -> &'static Gauge {
+    let mut reg = registry();
+    for m in &reg.metrics {
+        if let MetricRef::G(g) = m {
+            if g.name == name {
+                return g;
+            }
+        }
+    }
+    let leaked: &'static Gauge = Box::leak(Box::new(Gauge {
+        name,
+        det,
+        bits: AtomicU64::new(0.0f64.to_bits()),
+    }));
+    reg.metrics.push(MetricRef::G(leaked));
+    leaked
+}
+
+/// Interns (or returns the existing) histogram `name`.
+pub fn histogram(name: &'static str, det: bool) -> &'static Histogram {
+    let mut reg = registry();
+    for m in &reg.metrics {
+        if let MetricRef::H(h) = m {
+            if h.name == name {
+                return h;
+            }
+        }
+    }
+    let leaked: &'static Histogram = Box::leak(Box::new(Histogram {
+        name,
+        det,
+        count: AtomicU64::new(0),
+        sum: AtomicU64::new(0),
+        invalid: AtomicU64::new(0),
+        buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+    }));
+    reg.metrics.push(MetricRef::H(leaked));
+    leaked
+}
+
+/// Snapshot value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Last gauge value.
+    Gauge(f64),
+    /// Histogram totals plus occupied `(bucket, count)` pairs.
+    Histogram {
+        /// Number of recorded observations (excluding invalid ones).
+        count: u64,
+        /// Saturating sum of recorded values.
+        sum: u64,
+        /// NaN observations rejected by [`Histogram::record_f64`].
+        invalid: u64,
+        /// Non-empty buckets in index order.
+        buckets: Vec<(usize, u64)>,
+    },
+}
+
+/// One metric's state at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Registered name.
+    pub name: &'static str,
+    /// Determinism class (see module docs).
+    pub det: bool,
+    /// Value at snapshot time.
+    pub value: MetricValue,
+}
+
+impl MetricSnapshot {
+    /// Serializes this snapshot as one JSONL `metric` event.
+    pub fn to_jsonl(&self) -> String {
+        let det = self.det;
+        let name = self.name;
+        match &self.value {
+            MetricValue::Counter(v) => format!(
+                "{{\"ev\":\"metric\",\"name\":\"{name}\",\"kind\":\"counter\",\"det\":{det},\"value\":{v}}}"
+            ),
+            MetricValue::Gauge(v) => format!(
+                "{{\"ev\":\"metric\",\"name\":\"{name}\",\"kind\":\"gauge\",\"det\":{det},\"value\":{}}}",
+                crate::trace::json_f64(*v)
+            ),
+            MetricValue::Histogram {
+                count,
+                sum,
+                invalid,
+                buckets,
+            } => {
+                let b: Vec<String> = buckets.iter().map(|(i, c)| format!("[{i},{c}]")).collect();
+                format!(
+                    "{{\"ev\":\"metric\",\"name\":\"{name}\",\"kind\":\"histogram\",\"det\":{det},\
+                     \"count\":{count},\"sum\":{sum},\"invalid\":{invalid},\"buckets\":[{}]}}",
+                    b.join(",")
+                )
+            }
+        }
+    }
+}
+
+/// Snapshots every registered metric in deterministic (name-sorted) order.
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let reg = registry();
+    let mut out: Vec<MetricSnapshot> = reg
+        .metrics
+        .iter()
+        .map(|m| match m {
+            MetricRef::C(c) => MetricSnapshot {
+                name: c.name,
+                det: c.det,
+                value: MetricValue::Counter(c.get()),
+            },
+            MetricRef::G(g) => MetricSnapshot {
+                name: g.name,
+                det: g.det,
+                value: MetricValue::Gauge(g.get()),
+            },
+            MetricRef::H(h) => {
+                let (count, sum, invalid) = h.totals();
+                MetricSnapshot {
+                    name: h.name,
+                    det: h.det,
+                    value: MetricValue::Histogram {
+                        count,
+                        sum,
+                        invalid,
+                        buckets: h.occupied_buckets(),
+                    },
+                }
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(b.name));
+    out
+}
+
+/// [`snapshot`] restricted to deterministic metrics.
+pub fn snapshot_deterministic() -> Vec<MetricSnapshot> {
+    let mut all = snapshot();
+    all.retain(|m| m.det);
+    all
+}
+
+/// Zeroes every registered metric and clears pending restores. Call at the
+/// start of a training run so per-run snapshots are not polluted by earlier
+/// work in the same process.
+pub fn reset() {
+    let mut reg = registry();
+    reg.pending_counters.clear();
+    for m in &reg.metrics {
+        match m {
+            MetricRef::C(c) => c.value.store(0, Ordering::Relaxed),
+            MetricRef::G(g) => g.bits.store(0.0f64.to_bits(), Ordering::Relaxed),
+            MetricRef::H(h) => {
+                h.count.store(0, Ordering::Relaxed);
+                h.sum.store(0, Ordering::Relaxed);
+                h.invalid.store(0, Ordering::Relaxed);
+                for b in &h.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Restores counter values from a checkpoint so counts continue
+/// monotonically across a resume instead of restarting from zero.
+///
+/// Counters whose call sites have not yet run (and therefore are not
+/// registered yet) are held pending and applied at registration time.
+pub fn restore_counters(entries: &[(String, u64)]) {
+    let mut reg = registry();
+    for (name, v) in entries {
+        let existing = reg.metrics.iter().find_map(|m| match m {
+            MetricRef::C(c) if c.name == *name => Some(*c),
+            _ => None,
+        });
+        match existing {
+            Some(c) => c.value.store(*v, Ordering::Relaxed),
+            None => reg.pending_counters.push((name.clone(), *v)),
+        }
+    }
+}
+
+/// Names every registered metric (sorted), for diagnostics.
+pub fn metric_names() -> Vec<&'static str> {
+    let reg = registry();
+    let mut names: Vec<&'static str> = reg.metrics.iter().map(MetricRef::name).collect();
+    names.sort_unstable();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry and the enabled flag are process-global; every test in
+    // this module serializes on this lock and resets before use.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> MutexGuard<'static, ()> {
+        let g = match TEST_LOCK.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        crate::set_enabled(true);
+        reset();
+        g
+    }
+
+    #[test]
+    fn counter_round_trip_and_disabled_noop() {
+        let _g = guard();
+        let c = counter("test.counter.rt", true);
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        crate::set_enabled(false);
+        c.add(100);
+        assert_eq!(c.get(), 4, "disabled counter must not move");
+        crate::set_enabled(true);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let _g = guard();
+        // Exact zero → bucket 0.
+        assert_eq!(bucket_of(0), 0);
+        // Powers of two land at the bottom of their bucket.
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+
+        let h = histogram("test.hist.edges", true);
+        h.record_f64(0.0);
+        h.record_f64(f64::MIN_POSITIVE / 2.0); // subnormal → bucket 0
+        h.record_f64(-5.0); // negative saturates to 0
+        h.record_f64(f64::INFINITY); // top bucket
+        h.record_f64(f64::NAN); // invalid, no bucket
+        let (count, _sum, invalid) = h.totals();
+        assert_eq!(count, 4);
+        assert_eq!(invalid, 1);
+        let buckets = h.occupied_buckets();
+        assert_eq!(buckets, vec![(0, 3), (64, 1)]);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_det_filtered() {
+        let _g = guard();
+        counter("test.zz.last", true).add(1);
+        counter("test.aa.first", false).add(2);
+        gauge("test.mm.mid", true).set(1.5);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.iter().map(|m| m.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert!(snapshot_deterministic()
+            .iter()
+            .all(|m| m.det && m.name != "test.aa.first"));
+    }
+
+    #[test]
+    fn restore_applies_to_existing_and_pending_counters() {
+        let _g = guard();
+        let c = counter("test.restore.existing", true);
+        c.add(5);
+        restore_counters(&[
+            ("test.restore.existing".into(), 40),
+            ("test.restore.later".into(), 7),
+        ]);
+        assert_eq!(c.get(), 40);
+        // Registered after the restore: picks up the pending value.
+        let later = counter("test.restore.later", true);
+        assert_eq!(later.get(), 7);
+        later.add(1);
+        assert_eq!(later.get(), 8, "restored counter continues monotonically");
+    }
+
+    #[test]
+    fn interning_returns_the_same_metric() {
+        let _g = guard();
+        let a = counter("test.intern.once", true);
+        let b = counter("test.intern.once", true);
+        assert!(std::ptr::eq(a, b));
+        a.add(2);
+        assert_eq!(b.get(), 2);
+    }
+
+    #[test]
+    fn metric_jsonl_lines_validate() {
+        let _g = guard();
+        counter("test.jsonl.c", true).add(9);
+        gauge("test.jsonl.g", false).set(-0.25);
+        let h = histogram("test.jsonl.h", false);
+        h.record(0);
+        h.record(1000);
+        for m in snapshot() {
+            let line = m.to_jsonl();
+            crate::schema::validate_line(&line)
+                .unwrap_or_else(|e| panic!("line {line} failed schema: {e}"));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Structured tracing spans emitted as JSONL.
+//!
+//! A [`Tracer`] owns one output stream (usually the `--trace-out` file) and
+//! hands out process-unique span ids from an atomic counter. Timestamps are
+//! nanoseconds on a monotonic clock anchored at tracer creation, so events
+//! order correctly even across worker threads. Workers share the tracer
+//! behind an `Arc`; the write path takes one short mutex per emitted line
+//! (spans are emitted at *end*, so the lock is held outside the traced
+//! region).
+//!
+//! Event shape (see `DESIGN.md` §10 for the full schema):
+//!
+//! ```json
+//! {"ev":"span","id":7,"parent":3,"name":"backward","start_ns":1234,"dur_ns":567,"shard":1}
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Identifier of an emitted span; `SpanId::ROOT` (0) means "no parent".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The no-parent sentinel.
+    pub const ROOT: SpanId = SpanId(0);
+}
+
+/// A started-but-not-yet-emitted span. Pass it back to [`Tracer::end`].
+#[derive(Debug)]
+pub struct ActiveSpan {
+    /// Id allocated at start (children may reference it as their parent).
+    pub id: SpanId,
+    name: &'static str,
+    parent: SpanId,
+    start_ns: u64,
+}
+
+/// An extra field attached to a span or event.
+#[derive(Debug, Clone, Copy)]
+pub enum Field<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values serialize as `null`).
+    F64(f64),
+    /// String (JSON-escaped).
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// Serializes an `f64` as a JSON value: finite floats use Rust's shortest
+/// round-trip formatting (deterministic for a deterministic value);
+/// non-finite values become `null`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` omits the ".0" on integral floats; keep it so readers see a
+        // float, and so the value survives a parse → format round trip.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".into()
+    }
+}
+
+/// JSON string escaping for the small character set that can appear in
+/// paths, messages, and metric names.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_fields(line: &mut String, fields: &[(&str, Field<'_>)]) {
+    for (k, v) in fields {
+        line.push_str(",\"");
+        line.push_str(&json_escape(k));
+        line.push_str("\":");
+        match v {
+            Field::U64(x) => line.push_str(&x.to_string()),
+            Field::I64(x) => line.push_str(&x.to_string()),
+            Field::F64(x) => line.push_str(&json_f64(*x)),
+            Field::Bool(x) => line.push_str(if *x { "true" } else { "false" }),
+            Field::Str(s) => {
+                line.push('"');
+                line.push_str(&json_escape(s));
+                line.push('"');
+            }
+        }
+    }
+}
+
+/// A JSONL span/event writer with monotonic timestamps.
+pub struct Tracer {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    origin: Instant,
+    next_id: AtomicU64,
+}
+
+impl Tracer {
+    /// Creates a tracer writing to `path` (truncating an existing file).
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Tracer> {
+        let f = File::create(path)?;
+        Ok(Tracer::to_writer(Box::new(f)))
+    }
+
+    /// Creates a tracer over an arbitrary writer (tests use a buffer).
+    pub fn to_writer(w: Box<dyn Write + Send>) -> Tracer {
+        Tracer {
+            out: Mutex::new(BufWriter::new(w)),
+            origin: Instant::now(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Nanoseconds since tracer creation on the monotonic clock.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Starts a span. Cheap: allocates an id and records the start time; no
+    /// I/O happens until [`Tracer::end`].
+    pub fn begin(&self, name: &'static str, parent: SpanId) -> ActiveSpan {
+        ActiveSpan {
+            id: SpanId(self.next_id.fetch_add(1, Ordering::Relaxed)),
+            name,
+            parent,
+            start_ns: self.now_ns(),
+        }
+    }
+
+    /// Ends a span, emitting its JSONL event with optional extra fields.
+    pub fn end(&self, span: ActiveSpan, fields: &[(&str, Field<'_>)]) {
+        let dur = self.now_ns().saturating_sub(span.start_ns);
+        let mut line = format!(
+            "{{\"ev\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{}",
+            span.id.0,
+            span.parent.0,
+            json_escape(span.name),
+            span.start_ns,
+            dur
+        );
+        push_fields(&mut line, fields);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    /// Emits an instant event (`{"ev":"<name>", "t_ns":..., fields}`); the
+    /// name must be one of the schema's event kinds.
+    pub fn event(&self, ev: &str, fields: &[(&str, Field<'_>)]) {
+        let mut line = format!(
+            "{{\"ev\":\"{}\",\"t_ns\":{}",
+            json_escape(ev),
+            self.now_ns()
+        );
+        push_fields(&mut line, fields);
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    /// Writes one pre-formatted JSONL line (no trailing newline required).
+    pub fn write_line(&self, line: &str) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.write_all(b"\n");
+        }
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    pub fn flush(&self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A writer that appends into a shared buffer so tests can inspect
+    /// emitted lines after the tracer flushes.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_validate() {
+        let buf = Shared::default();
+        let t = Tracer::to_writer(Box::new(buf.clone()));
+        let epoch = t.begin("epoch", SpanId::ROOT);
+        let batch = t.begin("batch", epoch.id);
+        let (epoch_id, batch_id) = (epoch.id.0, batch.id.0);
+        t.end(batch, &[("batch", Field::U64(3))]);
+        t.end(epoch, &[("epoch", Field::U64(0))]);
+        t.event(
+            "health",
+            &[
+                ("detector", Field::Str("kl_collapse_a")),
+                ("epoch", Field::U64(0)),
+                ("batch", Field::U64(3)),
+                ("step", Field::U64(12)),
+                ("value", Field::F64(1e-9)),
+                ("message", Field::Str("kl_a below floor")),
+            ],
+        );
+        t.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            crate::schema::validate_line(line)
+                .unwrap_or_else(|e| panic!("line {line} failed schema: {e}"));
+        }
+        // The batch span names the epoch span as its parent.
+        assert!(lines[0].contains(&format!("\"parent\":{epoch_id}")));
+        assert!(lines[0].contains(&format!("\"id\":{batch_id}")));
+    }
+
+    #[test]
+    fn json_f64_round_trips_and_nulls_nonfinite() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(-0.0), "-0.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        let tiny = 1e-300;
+        let s = json_f64(tiny);
+        assert_eq!(s.parse::<f64>().unwrap(), tiny);
+    }
+
+    #[test]
+    fn escape_covers_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

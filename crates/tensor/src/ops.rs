@@ -7,8 +7,27 @@
 
 use rayon::prelude::*;
 
+use std::sync::OnceLock;
+
 use crate::shape::{broadcast_shapes, broadcast_strides, Shape};
 use crate::{pool, tuning, Result, Tensor, TensorError};
+
+/// Telemetry: one call + one output-cell count per GEMM-family entry point
+/// (batched products count once with their total output size). Both are pure
+/// functions of the executed work (shard partitioning never changes *what*
+/// is multiplied), so they are deterministic across thread counts. Handles
+/// are interned once and the hot-path cost is a relaxed atomic load when
+/// telemetry is disabled.
+pub(crate) fn gemm_telemetry(out_cells: u64) {
+    static CALLS: OnceLock<&'static telemetry::Counter> = OnceLock::new();
+    static CELLS: OnceLock<&'static telemetry::Counter> = OnceLock::new();
+    CALLS
+        .get_or_init(|| telemetry::metrics::counter("tensor.gemm.calls", true))
+        .inc();
+    CELLS
+        .get_or_init(|| telemetry::metrics::counter("tensor.gemm.cells", true))
+        .add(out_cells);
+}
 
 // ---------------------------------------------------------------------------
 // Elementwise binary ops with broadcasting
@@ -199,6 +218,7 @@ pub fn matmul2d(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let (m, k) = (a.dim(0), a.dim(1));
     let n = b.dim(1);
+    gemm_telemetry((m * n) as u64);
     let mut out = Tensor::zeros(vec![m, n]);
     gemm_into(a.data(), b.data(), out.data_mut(), m, k, n);
     Ok(out)
@@ -284,6 +304,7 @@ pub fn matmul2d_masked(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let (m, k) = (a.dim(0), a.dim(1));
     let n = b.dim(1);
+    gemm_telemetry((m * n) as u64);
     let mut out = Tensor::zeros(vec![m, n]);
     let (ad, bd) = (a.data(), b.data());
     let od = out.data_mut();
@@ -324,6 +345,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
                 });
             }
             let n = b.dim(2);
+            gemm_telemetry((bs * m * n) as u64);
             let mut out = Tensor::zeros(vec![bs, m, n]);
             let (ad, bd) = (a.data(), b.data());
             let od = out.data_mut();
@@ -643,6 +665,7 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
                 return Err(mismatch());
             }
             let (m, k, n) = (a.dim(0), a.dim(1), b.dim(0));
+            gemm_telemetry((m * n) as u64);
             let mut out = Tensor::pooled_zeros(vec![m, n]);
             gemm_nt_into(a.data(), b.data(), out.data_mut(), m, k, n);
             Ok(out)
@@ -653,6 +676,7 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
                 return Err(mismatch());
             }
             let n = b.dim(1);
+            gemm_telemetry((bs * m * n) as u64);
             let mut out = Tensor::pooled_zeros(vec![bs, m, n]);
             let (ad, bd) = (a.data(), b.data());
             let od = out.data_mut();
@@ -676,6 +700,7 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             let n = b.dim(0);
             // Collapse the batch into rows: (b·m, k) · (n, k)ᵀ. The data is
             // already contiguous, so no reshape copy is needed.
+            gemm_telemetry((bs * m * n) as u64);
             let mut out = Tensor::pooled_zeros(vec![bs, m, n]);
             gemm_nt_into(a.data(), b.data(), out.data_mut(), bs * m, k, n);
             Ok(out)
@@ -704,6 +729,7 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Result<Tensor> {
                 return Err(mismatch());
             }
             let (k, m, n) = (a.dim(0), a.dim(1), b.dim(1));
+            gemm_telemetry((m * n) as u64);
             let mut out = Tensor::pooled_zeros(vec![m, n]);
             gemm_tn_into(a.data(), b.data(), out.data_mut(), m, k, n);
             Ok(out)
@@ -714,6 +740,7 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Result<Tensor> {
                 return Err(mismatch());
             }
             let n = b.dim(2);
+            gemm_telemetry((bs * m * n) as u64);
             let mut out = Tensor::pooled_zeros(vec![bs, m, n]);
             let (ad, bd) = (a.data(), b.data());
             let od = out.data_mut();

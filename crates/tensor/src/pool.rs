@@ -56,6 +56,20 @@ fn free_lists() -> &'static Mutex<HashMap<usize, Vec<Vec<f32>>>> {
     FREE_LISTS.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Pool traffic mirrored into the telemetry registry. Hit/miss ratios depend
+/// on allocation interleaving across worker threads, so all three counters
+/// are registered nondeterministic (`det = false`): they show up in traces
+/// and reports but never in determinism-checked metric snapshots.
+fn pool_counter(which: &'static OnceLock<&'static telemetry::Counter>, name: &'static str) {
+    which
+        .get_or_init(|| telemetry::metrics::counter(name, false))
+        .inc();
+}
+
+static HIT_CTR: OnceLock<&'static telemetry::Counter> = OnceLock::new();
+static MISS_CTR: OnceLock<&'static telemetry::Counter> = OnceLock::new();
+static RECYCLE_CTR: OnceLock<&'static telemetry::Counter> = OnceLock::new();
+
 fn pop(len: usize) -> Option<Vec<f32>> {
     if !enabled() || len < MIN_POOLED_LEN {
         return None;
@@ -67,10 +81,12 @@ fn pop(len: usize) -> Option<Vec<f32>> {
     match popped {
         Some(v) => {
             HITS.fetch_add(1, Ordering::Relaxed);
+            pool_counter(&HIT_CTR, "tensor.pool.hit");
             Some(v)
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
+            pool_counter(&MISS_CTR, "tensor.pool.miss");
             None
         }
     }
@@ -104,6 +120,7 @@ pub fn recycle(v: Vec<f32>) {
         let list = map.entry(v.len()).or_default();
         if list.len() < PER_CLASS_CAP {
             list.push(v);
+            pool_counter(&RECYCLE_CTR, "tensor.pool.recycle");
         }
     }
 }

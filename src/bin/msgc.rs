@@ -3,9 +3,11 @@
 //! ```text
 //! msgc generate --preset toys --seed 42 --out data.csv
 //! msgc stats    --data data.csv
-//! msgc train    --data data.csv --epochs 20 --out model.msgc
+//! msgc train    --data data.csv --epochs 20 --out model.msgc \
+//!               --metrics-out metrics.jsonl --trace-out trace.jsonl
 //! msgc evaluate --data data.csv --model model.msgc
 //! msgc recommend --data data.csv --model model.msgc --user 3 --k 10
+//! msgc report   metrics.jsonl --trace trace.jsonl
 //! ```
 //!
 //! `--data` accepts either a CSV of `user,item,rating,timestamp` rows or
@@ -30,17 +32,19 @@ fn usage() -> ExitCode {
          msgc train --data SPEC [--epochs N] [--dim N] [--max-len N] [--alpha F] [--beta F] \
          [--joint] [--threads N] [--shard-size N] [--sanitize] \
          [--save-every N] [--keep-last K] [--ckpt-dir DIR] [--resume PATH] [--max-steps N] \
+         [--metrics-out FILE] [--trace-out FILE] [--strict-health] \
          --out MODEL\n  \
          msgc evaluate --data SPEC --model MODEL [--dim N] [--max-len N]\n  \
          msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n  \
-         msgc check [--model NAME | --all] [--inject-fault <shape|freeze>]\n\n\
+         msgc check [--model NAME | --all] [--inject-fault <shape|freeze>]\n  \
+         msgc report METRICS.jsonl [--trace TRACE.jsonl]\n\n\
          SPEC = path to user,item,rating,timestamp CSV, or synth:<preset>:<seed>"
     );
     ExitCode::from(2)
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["joint", "sanitize", "all"];
+const BOOL_FLAGS: &[&str] = &["joint", "sanitize", "all", "strict-health"];
 
 /// Flags that require a value.
 const VALUE_FLAGS: &[&str] = &[
@@ -64,6 +68,9 @@ const VALUE_FLAGS: &[&str] = &[
     "ckpt-dir",
     "resume",
     "max-steps",
+    "metrics-out",
+    "trace-out",
+    "trace",
 ];
 
 #[derive(Debug)]
@@ -225,6 +232,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         ckpt_dir,
         resume: args.get("resume").map(str::to_string),
         max_steps,
+        metrics_out: args.get("metrics-out").map(str::to_string),
+        trace_out: args.get("trace-out").map(str::to_string),
+        strict_health: args.get("strict-health").is_some(),
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -282,6 +292,140 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// A required numeric field of a validated telemetry event (defaulting to
+/// NaN covers `null`, which stands in for non-finite floats on the wire).
+fn num(obj: &telemetry::json::Json, key: &str) -> f64 {
+    use telemetry::json::Json;
+    obj.get(key).and_then(Json::as_num).unwrap_or(f64::NAN)
+}
+
+/// `msgc report`: re-aggregate a metrics JSONL stream (and optionally a
+/// trace stream) into the per-term loss curves, health events, final
+/// deterministic counters, and — with `--trace` — the top wall-clock
+/// sinks by span name.
+fn cmd_report(metrics_path: &str, args: &Args) -> Result<(), String> {
+    use meta_sgcl_repro::meta_sgcl::EpochStats;
+    use telemetry::json::{self, Json};
+    use telemetry::schema;
+
+    let text = std::fs::read_to_string(metrics_path).map_err(|e| format!("{metrics_path}: {e}"))?;
+    let mut epochs: Vec<(EpochStats, usize)> = Vec::new();
+    let mut batches = 0usize;
+    let mut health: Vec<String> = Vec::new();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut checkpoints = 0usize;
+    let mut resumes = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        schema::validate_line(line).map_err(|e| format!("{metrics_path}:{}: {e}", i + 1))?;
+        let obj = json::parse(line).map_err(|e| e.to_string())?;
+        match obj.get("ev").and_then(Json::as_str) {
+            Some("run") => {
+                println!(
+                    "run: strategy {} seed {} shard_size {}",
+                    obj.get("strategy").and_then(Json::as_str).unwrap_or("?"),
+                    num(&obj, "seed"),
+                    num(&obj, "shard_size"),
+                );
+            }
+            Some("batch") => batches += 1,
+            Some("epoch") => {
+                let kl_a = num(&obj, "kl_a");
+                let kl_b = num(&obj, "kl_b");
+                let stats = EpochStats {
+                    epoch: num(&obj, "epoch") as usize,
+                    rec: num(&obj, "recon"),
+                    kl_a,
+                    kl_b,
+                    kl: kl_a + kl_b,
+                    cl: num(&obj, "info_nce"),
+                    total: num(&obj, "total"),
+                    // No timing in the metrics stream (determinism
+                    // contract); Display omits the throughput suffix.
+                    wall_ms: 0.0,
+                    seqs_per_sec: 0.0,
+                };
+                epochs.push((stats, num(&obj, "batches") as usize));
+            }
+            Some("health") => health.push(format!(
+                "epoch {} batch {} step {}: [{}] {}",
+                num(&obj, "epoch"),
+                num(&obj, "batch"),
+                num(&obj, "step"),
+                obj.get("detector").and_then(Json::as_str).unwrap_or("?"),
+                obj.get("message").and_then(Json::as_str).unwrap_or(""),
+            )),
+            Some("metric") => {
+                if let (Some(name), Some("counter")) = (
+                    obj.get("name").and_then(Json::as_str),
+                    obj.get("kind").and_then(Json::as_str),
+                ) {
+                    counters.push((name.to_string(), num(&obj, "value") as u64));
+                }
+            }
+            Some("checkpoint") => checkpoints += 1,
+            Some("resume") => resumes += 1,
+            _ => {}
+        }
+    }
+
+    println!(
+        "\nloss curves ({} epochs, {batches} batch events):",
+        epochs.len()
+    );
+    for (stats, n) in &epochs {
+        println!("  {stats} [{n} batches]");
+    }
+    if checkpoints + resumes > 0 {
+        println!("\ncheckpoints committed: {checkpoints}, resumes: {resumes}");
+    }
+    if health.is_empty() {
+        println!("\nhealth: no detector fired");
+    } else {
+        println!("\nhealth events:");
+        for h in &health {
+            println!("  {h}");
+        }
+    }
+    if !counters.is_empty() {
+        println!("\nfinal counters (deterministic):");
+        for (name, value) in &counters {
+            println!("  {name} = {value}");
+        }
+    }
+
+    if let Some(trace_path) = args.get("trace") {
+        let text = std::fs::read_to_string(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+        // name -> (total ns, span count)
+        let mut sinks: HashMap<String, (u64, u64)> = HashMap::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            schema::validate_line(line).map_err(|e| format!("{trace_path}:{}: {e}", i + 1))?;
+            let obj = json::parse(line).map_err(|e| e.to_string())?;
+            if obj.get("ev").and_then(Json::as_str) == Some("span") {
+                let name = obj.get("name").and_then(Json::as_str).unwrap_or("?");
+                let e = sinks.entry(name.to_string()).or_insert((0, 0));
+                e.0 += num(&obj, "dur_ns") as u64;
+                e.1 += 1;
+            }
+        }
+        let mut sinks: Vec<(String, (u64, u64))> = sinks.into_iter().collect();
+        sinks.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+        println!("\ntop time sinks (by total span wall-clock):");
+        for (name, (total_ns, count)) in sinks.iter().take(10) {
+            println!(
+                "  {name:<12} {:>10.2} ms across {count} span(s)",
+                *total_ns as f64 / 1e6
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `msgc check`: run the static graph auditor (shape inference,
 /// gradient-flow/freeze contracts, numeric sanitation) over one model or
 /// the whole registered zoo. Exits non-zero if any audit fails, so it
@@ -330,7 +474,17 @@ fn main() -> ExitCode {
     let Some(cmd) = argv.first() else {
         return usage();
     };
-    let args = match Args::parse(&argv[1..]) {
+    // `report` takes its input file as the one positional argument the CLI
+    // accepts: `msgc report metrics.jsonl [--trace trace.jsonl]`.
+    let (positional, rest) = match (cmd.as_str(), argv.get(1)) {
+        ("report", Some(a)) if !a.starts_with("--") => (Some(a.as_str()), &argv[2..]),
+        ("report", _) => {
+            eprintln!("error: report requires a metrics JSONL file");
+            return usage();
+        }
+        _ => (None, &argv[1..]),
+    };
+    let args = match Args::parse(rest) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");
@@ -344,6 +498,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&args),
         "recommend" => cmd_recommend(&args),
         "check" => cmd_check(&args),
+        "report" => cmd_report(positional.unwrap_or_default(), &args),
         _ => return usage(),
     };
     match result {
@@ -390,6 +545,21 @@ mod tests {
     fn parse_rejects_positional_argument() {
         let err = Args::parse(&argv(&["stray"])).unwrap_err();
         assert!(err.contains("stray"), "{err}");
+    }
+
+    #[test]
+    fn parse_accepts_telemetry_flags() {
+        let args = Args::parse(&argv(&[
+            "--metrics-out",
+            "m.jsonl",
+            "--trace-out",
+            "t.jsonl",
+            "--strict-health",
+        ]))
+        .unwrap();
+        assert_eq!(args.get("metrics-out"), Some("m.jsonl"));
+        assert_eq!(args.get("trace-out"), Some("t.jsonl"));
+        assert_eq!(args.get("strict-health"), Some("true"));
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! `telemetry_check` — JSONL schema validator for telemetry streams.
+//!
+//! ```text
+//! telemetry_check metrics.jsonl trace.jsonl
+//! ```
+//!
+//! Validates every line of each file against the documented event schema
+//! (DESIGN.md §10) via [`telemetry::schema::validate_stream`], prints
+//! per-kind event counts, and exits non-zero on the first malformed line —
+//! the CI `telemetry-smoke` job runs it over freshly produced streams.
+
+use std::process::ExitCode;
+
+use meta_sgcl_repro::telemetry::schema::validate_stream;
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let counts = validate_stream(&text).map_err(|e| format!("{path}: {e}"))?;
+    let total: usize = counts.iter().map(|(_, n)| n).sum();
+    println!("{path}: {total} event(s) OK");
+    for (kind, n) in &counts {
+        println!("  {kind:<12} {n}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: telemetry_check FILE.jsonl [FILE.jsonl ...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        if let Err(e) = check_file(path) {
+            eprintln!("error: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

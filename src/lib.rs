@@ -12,6 +12,7 @@
 //! * [`models`] — the ten baselines from the paper's Table II.
 //! * [`meta_sgcl`] — the paper's model (also re-exported at the root).
 //! * [`analysis`] — the static graph auditor (`msgc check`).
+//! * [`telemetry`] — metrics registry, tracing spans, health detectors.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -23,6 +24,7 @@ pub use models;
 pub use nn;
 pub use optim;
 pub use recdata;
+pub use telemetry;
 pub use tensor;
 
 pub use meta_sgcl::{Ablation, MetaSgcl, MetaSgclConfig, TrainStrategy};
