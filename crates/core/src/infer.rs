@@ -1,0 +1,175 @@
+//! Tape-free frozen inference for Meta-SGCL.
+//!
+//! [`FrozenMetaSgcl`] is a weight snapshot of a trained [`MetaSgcl`]: plain
+//! contiguous tensors, no autograd graph, no parameter locks in the hot
+//! loop. Deterministic eval uses `z = μ`, so only the backbone, `Enc_μ`,
+//! and the optional decoder are snapshotted — the variance heads never
+//! influence served scores.
+//!
+//! Two scoring paths, both gated bitwise against autograd references:
+//!
+//! * [`FrozenMetaSgcl::score_padded`] mirrors
+//!   [`MetaSgcl::score_sequence`] (right-anchored padded window) and must
+//!   agree with it `==` — this is the offline-parity contract served by
+//!   default.
+//! * [`FrozenMetaSgcl::begin_incremental`] /
+//!   [`append_incremental`](FrozenMetaSgcl::append_incremental) keep a
+//!   per-user K/V cache under left-aligned semantics (reference:
+//!   [`MetaSgcl::score_left_aligned`]); appending one interaction is a
+//!   single-row attention step per layer instead of a full re-encode. When
+//!   a cache reaches `max_len` the caller re-begins from the last
+//!   `max_len` items (a slide, counted as one re-encode).
+
+use models::{BackboneState, FrozenTransformerBackbone, TransformerBackbone};
+use nn::{causal_mask, EncoderKv, Freeze, FrozenLinear, FrozenTransformerEncoder, InferModule};
+use recdata::{encode_input_only, ItemId};
+use tensor::Tensor;
+
+use crate::model::MetaSgcl;
+
+/// Frozen Meta-SGCL inference model.
+pub struct FrozenMetaSgcl {
+    backbone: FrozenTransformerBackbone,
+    enc_mu: FrozenLinear,
+    decoder: Option<FrozenTransformerEncoder>,
+    num_items: usize,
+    max_len: usize,
+}
+
+/// Incremental per-user state: backbone K/V cache plus (when the model has
+/// an explicit decoder) the decoder's own K/V cache over the latent
+/// sequence.
+pub struct State {
+    bb: BackboneState,
+    dec: Option<EncoderKv>,
+}
+
+impl State {
+    /// Number of interactions absorbed into the cache.
+    pub fn len(&self) -> usize {
+        self.bb.len()
+    }
+
+    /// True when nothing has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.bb.is_empty()
+    }
+}
+
+impl FrozenMetaSgcl {
+    /// Catalog size (excluding padding index 0).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Maximum window length; incremental caches slide past this.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    fn last_scores(&self, h_last: &Tensor) -> Vec<f32> {
+        let logits = self.backbone.scores(h_last);
+        logits.row(0)[..self.num_items + 1].to_vec()
+    }
+
+    /// Catalog scores mirroring [`MetaSgcl::score_sequence`] bitwise:
+    /// right-anchored padded window, deterministic `z = μ`.
+    ///
+    /// Only the final position is projected against the catalog — GEMM
+    /// rows are independent accumulation chains, so this equals the last
+    /// row of the training path's all-position projection.
+    pub fn score_padded(&self, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.num_items + 1];
+        }
+        let (input, pad) = encode_input_only(seq, self.max_len);
+        let features = self
+            .backbone
+            .forward_padded(std::slice::from_ref(&input), std::slice::from_ref(&pad));
+        let mu = self.enc_mu.forward(&features);
+        let h = match &self.decoder {
+            Some(dec) => {
+                let mask = self.backbone.attention_mask(std::slice::from_ref(&pad));
+                let timeline = TransformerBackbone::timeline_mask(std::slice::from_ref(&pad));
+                dec.forward(&mu, Some(&mask), Some(&timeline))
+            }
+            None => mu,
+        };
+        self.last_scores(&FrozenTransformerBackbone::last_hidden(&h))
+    }
+
+    /// Encodes a window (at most `max_len` items, left-aligned) into a
+    /// fresh incremental state and returns the catalog scores. Bitwise
+    /// equal to [`MetaSgcl::score_left_aligned`] on the same window.
+    pub fn begin_incremental(&self, window: &[ItemId]) -> (State, Vec<f32>) {
+        assert!(
+            !window.is_empty() && window.len() <= self.max_len,
+            "window must hold 1..=max_len items"
+        );
+        let (bb, h) = self.backbone.begin_incremental(window);
+        let mu = self.enc_mu.forward(&h);
+        let (dec_state, last) = match &self.decoder {
+            Some(dec) => {
+                let mut kv = EncoderKv::new(dec.n_layers(), dec.heads());
+                let dh = dec.encode_collect(&mu, Some(&causal_mask(window.len())), &mut kv);
+                (Some(kv), FrozenTransformerBackbone::last_hidden(&dh))
+            }
+            None => (None, FrozenTransformerBackbone::last_hidden(&mu)),
+        };
+        let scores = self.last_scores(&last);
+        (State { bb, dec: dec_state }, scores)
+    }
+
+    /// Appends one interaction per user in a single batch and returns each
+    /// user's catalog scores. Every per-row op is an independent
+    /// accumulation chain, so batching users is bitwise-identical to
+    /// appending them one at a time.
+    ///
+    /// Panics if any state is full (`len() == max_len`) — the caller
+    /// slides by re-beginning from the last `max_len` items of the
+    /// history.
+    pub fn append_incremental(&self, items: &[ItemId], states: &mut [&mut State]) -> Vec<Vec<f32>> {
+        assert_eq!(items.len(), states.len(), "one item per state");
+        let h = {
+            let mut bb: Vec<&mut BackboneState> = states.iter_mut().map(|s| &mut s.bb).collect();
+            self.backbone.append_incremental(items, &mut bb)
+        };
+        let mu = self.enc_mu.forward(&h);
+        let hfinal = match &self.decoder {
+            Some(dec) => {
+                let mut kvs: Vec<&mut EncoderKv> = states
+                    .iter_mut()
+                    .map(|s| s.dec.as_mut().expect("decoder state present"))
+                    .collect();
+                dec.append_batch(&mu, &mut kvs)
+            }
+            None => mu,
+        };
+        let logits = self.backbone.scores(&hfinal);
+        (0..states.len())
+            .map(|i| logits.row(i)[..self.num_items + 1].to_vec())
+            .collect()
+    }
+}
+
+impl InferModule for FrozenMetaSgcl {
+    fn num_weights(&self) -> usize {
+        self.backbone.num_weights()
+            + self.enc_mu.num_weights()
+            + self.decoder.as_ref().map_or(0, InferModule::num_weights)
+    }
+}
+
+impl Freeze for MetaSgcl {
+    type Frozen = FrozenMetaSgcl;
+
+    fn freeze(&self) -> FrozenMetaSgcl {
+        FrozenMetaSgcl {
+            backbone: self.backbone.freeze(),
+            enc_mu: self.enc_mu.freeze(),
+            decoder: self.decoder.as_ref().map(Freeze::freeze),
+            num_items: self.cfg.net.num_items,
+            max_len: self.cfg.net.max_len,
+        }
+    }
+}

@@ -52,6 +52,7 @@ mod audit;
 pub mod checkpoint;
 mod config;
 mod exec;
+pub mod infer;
 mod model;
 mod obs;
 mod train;
@@ -59,5 +60,6 @@ mod train;
 pub use checkpoint::{TrainCheckpoint, TrainProgress};
 pub use config::{Ablation, MetaSgclConfig, SecondView, TrainStrategy};
 pub use exec::{BatchStats, Executor, NullObserver, TrainObserver};
+pub use infer::FrozenMetaSgcl;
 pub use model::MetaSgcl;
 pub use train::{EpochStats, TrainingHistory};

@@ -228,7 +228,10 @@ impl MetaSgcl {
     }
 
     /// Deterministic catalog scores for one interaction history.
-    pub fn score_sequence(&mut self, seq: &[ItemId]) -> Vec<f32> {
+    ///
+    /// Takes `&self`: parameters are only read (through their `RwLock`
+    /// read guards), so any number of threads may score concurrently.
+    pub fn score_sequence(&self, seq: &[ItemId]) -> Vec<f32> {
         if seq.is_empty() {
             return vec![0.0; self.cfg.net.num_items + 1];
         }
@@ -245,6 +248,39 @@ impl MetaSgcl {
             .reshape(vec![1, v])
             .value();
         last.row(0)[..self.cfg.net.num_items + 1].to_vec()
+    }
+
+    /// Deterministic catalog scores under *left-aligned* (incremental
+    /// serving) semantics: the window is the last `max_len` items with
+    /// positions `0..len` and no padding, encoded via
+    /// [`TransformerBackbone::forward_left_aligned`]. This is the autograd
+    /// reference the frozen incremental path is gated against bitwise.
+    ///
+    /// Note this is a *different* (equally valid) windowing than
+    /// [`MetaSgcl::score_sequence`]'s right-anchored padded positions; the
+    /// two agree only when `seq.len() == max_len` exactly fills the window.
+    pub fn score_left_aligned(&self, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.cfg.net.num_items + 1];
+        }
+        let window = &seq[seq.len().saturating_sub(self.cfg.net.max_len)..];
+        let g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(0); // unused: no dropout/noise at eval
+        let features = self
+            .backbone
+            .forward_left_aligned(&g, window, &mut rng, false);
+        let mu = self.enc_mu.forward(&g, &features);
+        let h = match &self.decoder {
+            Some(dec) => {
+                let mask = nn::causal_mask(window.len());
+                dec.forward(&g, &mu, Some(&mask), None, &mut rng, false)
+            }
+            None => mu,
+        };
+        let logits = self
+            .backbone
+            .scores(&g, &TransformerBackbone::last_hidden(&h));
+        logits.value().row(0)[..self.cfg.net.num_items + 1].to_vec()
     }
 }
 
@@ -316,7 +352,7 @@ mod tests {
 
     #[test]
     fn deterministic_scoring_is_stable() {
-        let mut m = small();
+        let m = small();
         let a = m.score_sequence(&[1, 2, 3]);
         let b = m.score_sequence(&[1, 2, 3]);
         assert_eq!(a, b);

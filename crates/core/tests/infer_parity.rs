@@ -1,0 +1,125 @@
+//! Frozen-forward parity gates for Meta-SGCL: padded scores vs
+//! `score_sequence`, incremental state vs `score_left_aligned`, batched vs
+//! single appends, and concurrent `&self` scoring.
+
+use meta_sgcl::{MetaSgcl, MetaSgclConfig};
+use models::NetConfig;
+use nn::Freeze;
+
+fn model(decoder_layers: usize) -> MetaSgcl {
+    MetaSgcl::new(MetaSgclConfig {
+        net: NetConfig {
+            max_len: 6,
+            dim: 8,
+            layers: 2,
+            ..NetConfig::for_items(12)
+        },
+        decoder_layers,
+        ..MetaSgclConfig::for_items(12)
+    })
+}
+
+#[test]
+fn padded_scores_match_score_sequence_bitwise() {
+    for dec in [0, 1] {
+        let m = model(dec);
+        let f = m.freeze();
+        for seq in [
+            vec![1usize, 2, 3],
+            vec![5],
+            vec![4, 4, 4, 4, 4, 4, 4, 4, 4], // longer than max_len
+            vec![9, 2, 7, 1, 12, 6],
+        ] {
+            assert_eq!(
+                f.score_padded(&seq),
+                m.score_sequence(&seq),
+                "decoder_layers={dec} seq={seq:?}"
+            );
+        }
+        assert_eq!(f.score_padded(&[]), m.score_sequence(&[]));
+    }
+}
+
+#[test]
+fn incremental_begin_matches_left_aligned_reference() {
+    for dec in [0, 1] {
+        let m = model(dec);
+        let f = m.freeze();
+        for seq in [vec![1usize, 2, 3], vec![8], vec![3, 9, 1, 7, 2, 11]] {
+            let (state, scores) = f.begin_incremental(&seq);
+            assert_eq!(scores, m.score_left_aligned(&seq), "decoder_layers={dec}");
+            assert_eq!(state.len(), seq.len());
+        }
+    }
+}
+
+#[test]
+fn incremental_appends_match_left_aligned_reference() {
+    for dec in [0, 1] {
+        let m = model(dec);
+        let f = m.freeze();
+        let history: Vec<usize> = vec![2, 9, 4, 7, 1, 6];
+        let (mut state, _) = f.begin_incremental(&history[..2]);
+        for t in 2..history.len() {
+            let scores = f.append_incremental(&[history[t]], &mut [&mut state]);
+            assert_eq!(
+                scores[0],
+                m.score_left_aligned(&history[..=t]),
+                "decoder_layers={dec} len={}",
+                t + 1
+            );
+        }
+        assert_eq!(state.len(), history.len());
+    }
+}
+
+#[test]
+fn slide_on_overflow_re_begins_exactly() {
+    let m = model(1);
+    let f = m.freeze();
+    let history: Vec<usize> = vec![2, 9, 4, 7, 1, 6, 3, 8, 5];
+    let max_len = f.max_len();
+    let (mut state, _) = f.begin_incremental(&history[..max_len]);
+    assert_eq!(state.len(), max_len);
+    // Full cache: slide by re-beginning from the last max_len items.
+    let window = &history[history.len() - max_len..];
+    let (state2, scores) = f.begin_incremental(window);
+    assert_eq!(scores, m.score_left_aligned(&history));
+    assert_eq!(state2.len(), max_len);
+    let _ = &mut state;
+}
+
+#[test]
+fn batched_append_matches_single_appends() {
+    let m = model(1);
+    let f = m.freeze();
+    let (mut sa, _) = f.begin_incremental(&[1, 2, 3]);
+    let (mut sb, _) = f.begin_incremental(&[4, 5]);
+    let (mut sa2, _) = f.begin_incremental(&[1, 2, 3]);
+    let (mut sb2, _) = f.begin_incremental(&[4, 5]);
+
+    let ra = f.append_incremental(&[6], &mut [&mut sa]);
+    let rb = f.append_incremental(&[7], &mut [&mut sb]);
+    let both = f.append_incremental(&[6, 7], &mut [&mut sa2, &mut sb2]);
+
+    assert_eq!(both[0], ra[0]);
+    assert_eq!(both[1], rb[0]);
+}
+
+/// Satellite 1: `score_sequence` takes `&self`, so concurrent readers can
+/// score the same model simultaneously and agree with the single-threaded
+/// result.
+#[test]
+fn concurrent_readers_score_through_shared_ref() {
+    let m = model(0);
+    let want = m.score_sequence(&[1, 2, 3]);
+    let results: Vec<Vec<f32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| s.spawn(|| m.score_sequence(&[1, 2, 3])))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in results {
+        assert_eq!(r, want);
+    }
+}

@@ -17,14 +17,14 @@ use tensor::{ops, Tensor};
 
 /// Item+position embedding and Transformer encoder stack.
 pub struct TransformerBackbone {
-    item_emb: Embedding,
-    pos_emb: Embedding,
-    emb_ln: LayerNorm,
+    pub(crate) item_emb: Embedding,
+    pub(crate) pos_emb: Embedding,
+    pub(crate) emb_ln: LayerNorm,
     emb_dropout: Dropout,
-    encoder: TransformerEncoder,
+    pub(crate) encoder: TransformerEncoder,
     dim: usize,
-    heads: usize,
-    causal: bool,
+    pub(crate) heads: usize,
+    pub(crate) causal: bool,
 }
 
 impl TransformerBackbone {
@@ -137,6 +137,35 @@ impl TransformerBackbone {
         let timeline = Self::timeline_mask(pad);
         self.encoder
             .forward(g, &x, Some(&mask), Some(&timeline), rng, training)
+    }
+
+    /// Left-aligned, unpadded forward for one sequence: positions are
+    /// `0..seq.len()` (anchored at the *start*, not the right edge), the
+    /// mask is causal only, and there is no timeline mask because nothing
+    /// is padding. These are the semantics the incremental serving path
+    /// caches under — appending an item leaves every earlier position's
+    /// embedding (and, by causality, hidden state) unchanged.
+    ///
+    /// Requires `seq.len() <= max_len` (the position table has `max_len`
+    /// rows).
+    pub fn forward_left_aligned(
+        &self,
+        g: &Graph,
+        seq: &[ItemId],
+        rng: &mut StdRng,
+        training: bool,
+    ) -> Var {
+        let n = seq.len();
+        let e = self
+            .item_emb
+            .forward_batch(g, std::slice::from_ref(&seq.to_vec()));
+        let pos: Vec<usize> = (0..n).collect();
+        let p = self.pos_emb.forward_flat(g, &pos);
+        let x = self.emb_ln.forward(g, &e.add(&p));
+        let x = self.emb_dropout.forward(&x, rng, training);
+        let mask = causal_mask(n);
+        self.encoder
+            .forward(g, &x, Some(&mask), None, rng, training)
     }
 
     /// Runs the encoder on a pre-built embedding var (used by models that

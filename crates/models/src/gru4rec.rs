@@ -18,10 +18,10 @@ use crate::{SequentialRecommender, TrainConfig};
 
 /// The GRU4Rec model.
 pub struct Gru4Rec {
-    item_emb: Embedding,
-    gru: Gru,
-    num_items: usize,
-    max_len: usize,
+    pub(crate) item_emb: Embedding,
+    pub(crate) gru: Gru,
+    pub(crate) num_items: usize,
+    pub(crate) max_len: usize,
     rng: StdRng,
 }
 
@@ -42,6 +42,29 @@ impl Gru4Rec {
         let mut ps = self.item_emb.parameters();
         ps.extend(self.gru.parameters());
         ps
+    }
+
+    /// Catalog scores over the *unpadded* sequence: the recurrence starts
+    /// from `h = 0` at the first real item, with no left-pad prefix steps.
+    /// These are the semantics the incremental serving path caches under —
+    /// appending an item is exactly one more GRU step — and unlike the
+    /// padded [`SequentialRecommender::score`] they work through `&self`
+    /// and have no length cap.
+    pub fn score_unpadded(&self, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.num_items + 1];
+        }
+        let g = Graph::new();
+        let x = self
+            .item_emb
+            .forward_batch(&g, std::slice::from_ref(&seq.to_vec()));
+        let h = self.gru.forward_sequence(&g, &x);
+        let dims = h.dims();
+        let last = h
+            .slice_axis(1, dims[1] - 1, dims[1])
+            .reshape(vec![1, dims[2]]);
+        let logits = last.matmul_transb(&self.item_emb.full(&g)).value();
+        logits.row(0).to_vec()
     }
 
     /// Tied-softmax next-item loss for one batch. Shared by

@@ -1,0 +1,364 @@
+//! Tape-free frozen forwards for the model layer: the shared Transformer
+//! backbone and GRU4Rec, in both padded (training-equivalent) and
+//! left-aligned incremental semantics.
+//!
+//! Two serving semantics, both bitwise-exact against their autograd
+//! references:
+//!
+//! * **Padded** ([`FrozenTransformerBackbone::forward_padded`],
+//!   [`FrozenGru4Rec::score_padded`]) mirrors the training-time windows:
+//!   the last `max_len` items, left-padded, positions anchored at the right
+//!   edge. This is what offline evaluation computes, so served scores can
+//!   be compared `==` against `score_sequence`/`score`. Padded windows are
+//!   *not* cacheable across appends — every append shifts all previous
+//!   items' position embeddings (and changes the GRU pad prefix).
+//! * **Left-aligned incremental** ([`FrozenTransformerBackbone::begin_incremental`]
+//!   / [`append_incremental`](FrozenTransformerBackbone::append_incremental),
+//!   [`FrozenGru4Rec`]'s [`GruState`]) anchors positions at the *start*
+//!   (`0..len`). Under a causal mask, appending an item leaves every
+//!   cached key/value row bitwise-unchanged, so one append is one
+//!   single-row attention step. The autograd references are
+//!   [`TransformerBackbone::forward_left_aligned`] and
+//!   [`Gru4Rec::score_unpadded`].
+
+use nn::{
+    causal_mask, padding_additive_mask, EncoderKv, Freeze, FrozenEmbedding, FrozenGru,
+    FrozenLayerNorm, FrozenTransformerEncoder, InferModule,
+};
+use recdata::{encode_input_only, ItemId};
+use tensor::{ops, Tensor};
+
+use crate::{Gru4Rec, TransformerBackbone};
+
+// ---------------------------------------------------------------------------
+// Transformer backbone
+// ---------------------------------------------------------------------------
+
+/// Frozen snapshot of a [`TransformerBackbone`]: plain contiguous weight
+/// tensors, no graph, no tape, no interior mutability.
+pub struct FrozenTransformerBackbone {
+    pub(crate) item_emb: FrozenEmbedding,
+    pub(crate) pos_emb: FrozenEmbedding,
+    pub(crate) emb_ln: FrozenLayerNorm,
+    pub(crate) encoder: FrozenTransformerEncoder,
+    dim: usize,
+    heads: usize,
+    causal: bool,
+}
+
+/// Incremental per-user cache for one backbone: the encoder K/V stack plus
+/// the number of items absorbed so far (= the next item's position index).
+pub struct BackboneState {
+    pub(crate) enc: EncoderKv,
+    len: usize,
+}
+
+impl BackboneState {
+    /// Number of items absorbed into the cache.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl FrozenTransformerBackbone {
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size (including padding).
+    pub fn vocab(&self) -> usize {
+        self.item_emb.vocab()
+    }
+
+    /// Maximum sequence length (rows in the position table).
+    pub fn max_len(&self) -> usize {
+        self.pos_emb.vocab()
+    }
+
+    /// Mirror of [`TransformerBackbone::attention_mask`] (also used by the
+    /// Meta-SGCL decoder, which shares the encoder's masks).
+    pub fn attention_mask(&self, pad: &[Vec<bool>]) -> Tensor {
+        let n = pad.first().map_or(0, Vec::len);
+        let pad_mask = padding_additive_mask(pad, self.heads);
+        if self.causal {
+            ops::add(&pad_mask, &causal_mask(n)).expect("mask broadcast")
+        } else {
+            pad_mask
+        }
+    }
+
+    /// Embeds a padded batch exactly as the training path does (Eq. 4 plus
+    /// LayerNorm; dropout is identity at eval).
+    fn embed_padded(&self, inputs: &[Vec<ItemId>]) -> Tensor {
+        let n = inputs.first().map_or(0, Vec::len);
+        let e = self.item_emb.lookup_batch(inputs);
+        let pos: Vec<usize> = (0..n).collect();
+        let p = self.pos_emb.lookup_flat(&pos);
+        self.emb_ln
+            .forward(&ops::add(&e, &p).expect("pos broadcast"))
+    }
+
+    /// Full padded forward, bitwise-identical to
+    /// [`TransformerBackbone::forward`] at eval: hidden states `[b, n, d]`.
+    pub fn forward_padded(&self, inputs: &[Vec<ItemId>], pad: &[Vec<bool>]) -> Tensor {
+        let x = self.embed_padded(inputs);
+        let mask = self.attention_mask(pad);
+        let timeline = TransformerBackbone::timeline_mask(pad);
+        self.encoder.forward(&x, Some(&mask), Some(&timeline))
+    }
+
+    /// Left-aligned embedding for one sequence: positions `0..len`, no
+    /// padding, `[1, len, d]`.
+    fn embed_left_aligned(&self, seq: &[ItemId]) -> Tensor {
+        let n = seq.len();
+        assert!(
+            n <= self.max_len(),
+            "sequence length {n} exceeds position table ({})",
+            self.max_len()
+        );
+        let e = self
+            .item_emb
+            .lookup_batch(std::slice::from_ref(&seq.to_vec()));
+        let pos: Vec<usize> = (0..n).collect();
+        let p = self.pos_emb.lookup_flat(&pos);
+        self.emb_ln
+            .forward(&ops::add(&e, &p).expect("pos broadcast"))
+    }
+
+    /// Encodes a full sequence under left-aligned semantics while filling a
+    /// fresh incremental cache. Returns the state and the hidden states
+    /// `[1, len, d]`. Bitwise-identical to
+    /// [`TransformerBackbone::forward_left_aligned`] at eval.
+    pub fn begin_incremental(&self, seq: &[ItemId]) -> (BackboneState, Tensor) {
+        let x = self.embed_left_aligned(seq);
+        let mut enc = EncoderKv::new(self.encoder.n_layers(), self.encoder.heads());
+        let h = self
+            .encoder
+            .encode_collect(&x, Some(&causal_mask(seq.len())), &mut enc);
+        (
+            BackboneState {
+                enc,
+                len: seq.len(),
+            },
+            h,
+        )
+    }
+
+    /// Appends one item per user in a single GEMM-friendly batch. Row `i`
+    /// of the result `[users.len(), d]` is the new hidden state for
+    /// `states[i]`, bitwise-identical to the last row of a full
+    /// left-aligned re-encode of that user's extended sequence.
+    ///
+    /// Panics if any state is already at `max_len` (the caller slides the
+    /// window by re-beginning from the last `max_len` items).
+    pub fn append_incremental(
+        &self,
+        items: &[ItemId],
+        states: &mut [&mut BackboneState],
+    ) -> Tensor {
+        assert_eq!(items.len(), states.len(), "one item per state");
+        let positions: Vec<usize> = states
+            .iter()
+            .map(|s| {
+                assert!(
+                    s.len < self.max_len(),
+                    "state at max_len {}; slide the window first",
+                    self.max_len()
+                );
+                s.len
+            })
+            .collect();
+        let e = self.item_emb.lookup_flat(items);
+        let p = self.pos_emb.lookup_flat(&positions);
+        let x = self
+            .emb_ln
+            .forward(&ops::add(&e, &p).expect("pos broadcast"));
+        let mut kv: Vec<&mut EncoderKv> = states.iter_mut().map(|s| &mut s.enc).collect();
+        let h = self.encoder.append_batch(&x, &mut kv);
+        for s in states.iter_mut() {
+            s.len += 1;
+        }
+        h
+    }
+
+    /// Extracts the last position: `[1, n, d] → [1, d]`.
+    pub fn last_hidden(h: &Tensor) -> Tensor {
+        let dims = h.dims();
+        let (n, d) = (dims[1], dims[2]);
+        ops::slice_axis(h, 1, n - 1, n)
+            .expect("slice last")
+            .reshape(vec![1, d])
+            .expect("reshape last")
+    }
+
+    /// Catalog scores via the tied item table (`ŷ = h · Mᵀ`). Accepts
+    /// `[b, d]` or `[b, n, d]`; rows are independent accumulation chains,
+    /// so batch scoring equals single-row scoring bitwise.
+    pub fn scores(&self, h: &Tensor) -> Tensor {
+        ops::matmul_transb(h, self.item_emb.table()).expect("score gemm")
+    }
+}
+
+impl InferModule for FrozenTransformerBackbone {
+    fn num_weights(&self) -> usize {
+        self.item_emb.num_weights()
+            + self.pos_emb.num_weights()
+            + self.emb_ln.num_weights()
+            + self.encoder.num_weights()
+    }
+}
+
+impl Freeze for TransformerBackbone {
+    type Frozen = FrozenTransformerBackbone;
+
+    fn freeze(&self) -> FrozenTransformerBackbone {
+        FrozenTransformerBackbone {
+            item_emb: self.item_emb.freeze(),
+            pos_emb: self.pos_emb.freeze(),
+            emb_ln: self.emb_ln.freeze(),
+            encoder: self.encoder.freeze(),
+            dim: self.dim(),
+            heads: self.heads,
+            causal: self.causal,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GRU4Rec
+// ---------------------------------------------------------------------------
+
+/// Frozen snapshot of a [`Gru4Rec`].
+pub struct FrozenGru4Rec {
+    item_emb: FrozenEmbedding,
+    gru: FrozenGru,
+    num_items: usize,
+    max_len: usize,
+}
+
+/// Incremental per-user GRU cache: the running hidden state. Unlike the
+/// attention cache this is O(d) and never slides — the unpadded recurrence
+/// is position-free, so appends stay exact at any history length.
+pub struct GruState {
+    h: Tensor,
+    len: usize,
+}
+
+impl GruState {
+    /// Number of items absorbed into the recurrence.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl FrozenGru4Rec {
+    /// Catalog size (excluding padding index 0).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Training window length (used only by the padded path).
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Padded scores, bitwise-identical to
+    /// [`crate::SequentialRecommender::score`] on [`Gru4Rec`]: the last
+    /// `max_len` items left-padded, the recurrence including the pad
+    /// prefix steps.
+    pub fn score_padded(&self, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.num_items + 1];
+        }
+        let (input, _pad) = encode_input_only(seq, self.max_len);
+        let x = self.item_emb.lookup_batch(std::slice::from_ref(&input));
+        let last = self.gru.forward_sequence_last(&x);
+        let logits = ops::matmul_transb(&last, self.item_emb.table()).expect("score gemm");
+        logits.row(0).to_vec()
+    }
+
+    /// Begins an incremental recurrence over `seq` (unpadded; mirrors
+    /// [`Gru4Rec::score_unpadded`] semantics).
+    pub fn begin_incremental(&self, seq: &[ItemId]) -> GruState {
+        let mut state = GruState {
+            h: Tensor::zeros(vec![1, self.gru.dim()]),
+            len: 0,
+        };
+        for &item in seq {
+            self.append_incremental(&[item], &mut [&mut state]);
+        }
+        state
+    }
+
+    /// Appends one item per user in a single batched GRU step. Row `i` of
+    /// the result `[users.len(), d]` is the new hidden state for
+    /// `states[i]`; GRU gates are row-independent, so the batched step is
+    /// bitwise-identical to stepping each user alone.
+    pub fn append_incremental(&self, items: &[ItemId], states: &mut [&mut GruState]) -> Tensor {
+        assert_eq!(items.len(), states.len(), "one item per state");
+        let d = self.gru.dim();
+        let x = self.item_emb.lookup_flat(items);
+        let mut hdata: Vec<f32> = Vec::with_capacity(states.len() * d);
+        for s in states.iter() {
+            hdata.extend_from_slice(s.h.row(0));
+        }
+        let h = Tensor::from_vec(hdata, vec![states.len(), d]);
+        let h_new = self.gru.step(&x, &h);
+        for (i, s) in states.iter_mut().enumerate() {
+            s.h = Tensor::from_vec(h_new.row(i).to_vec(), vec![1, d]);
+            s.len += 1;
+        }
+        h_new
+    }
+
+    /// Current hidden state `[1, d]` of an incremental recurrence.
+    pub fn hidden(&self, state: &GruState) -> Tensor {
+        state.h.clone()
+    }
+
+    /// Catalog scores from hidden states `[b, d]` via the tied table.
+    pub fn scores(&self, h: &Tensor) -> Tensor {
+        ops::matmul_transb(h, self.item_emb.table()).expect("score gemm")
+    }
+
+    /// Unpadded scores via a fresh full recurrence, bitwise-identical to
+    /// [`Gru4Rec::score_unpadded`].
+    pub fn score_unpadded(&self, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.num_items + 1];
+        }
+        let state = self.begin_incremental(seq);
+        let logits = self.scores(&state.h);
+        logits.row(0).to_vec()
+    }
+}
+
+impl InferModule for FrozenGru4Rec {
+    fn num_weights(&self) -> usize {
+        self.item_emb.num_weights() + self.gru.num_weights()
+    }
+}
+
+impl Freeze for Gru4Rec {
+    type Frozen = FrozenGru4Rec;
+
+    fn freeze(&self) -> FrozenGru4Rec {
+        FrozenGru4Rec {
+            item_emb: self.item_emb.freeze(),
+            gru: self.gru.freeze(),
+            num_items: self.num_items,
+            max_len: self.max_len,
+        }
+    }
+}

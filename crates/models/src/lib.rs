@@ -22,6 +22,7 @@ pub mod audit;
 pub mod backbone;
 pub mod cl;
 mod common;
+pub mod infer;
 pub mod vae;
 
 mod acvae;
@@ -51,6 +52,7 @@ pub use contrastvae::Augmentation;
 pub use contrastvae::ContrastVae;
 pub use duorec::DuoRec;
 pub use gru4rec::Gru4Rec;
+pub use infer::{BackboneState, FrozenGru4Rec, FrozenTransformerBackbone, GruState};
 pub use pop::Pop;
 pub use sasrec::{NetConfig, SasRec};
 pub use vae::LossTerms;

@@ -48,12 +48,12 @@ pub fn padding_additive_mask(pad: &[Vec<bool>], heads: usize) -> Tensor {
 /// query/key/value projections (equivalent to the paper's per-head
 /// `d × d/h` matrices `W_i^Q, W_i^K, W_i^V`) and an output projection.
 pub struct MultiHeadSelfAttention {
-    wq: Linear,
-    wk: Linear,
-    wv: Linear,
-    wo: Linear,
-    heads: usize,
-    dim: usize,
+    pub(crate) wq: Linear,
+    pub(crate) wk: Linear,
+    pub(crate) wv: Linear,
+    pub(crate) wo: Linear,
+    pub(crate) heads: usize,
+    pub(crate) dim: usize,
     dropout: Dropout,
 }
 

@@ -11,9 +11,9 @@ use crate::Module;
 /// Index 0 is conventionally the padding item; models typically multiply
 /// padded positions by a timeline mask, and evaluation never ranks item 0.
 pub struct Embedding {
-    table: ParamRef,
-    vocab: usize,
-    dim: usize,
+    pub(crate) table: ParamRef,
+    pub(crate) vocab: usize,
+    pub(crate) dim: usize,
 }
 
 impl Embedding {

@@ -16,9 +16,9 @@ pub enum Activation {
 
 /// `FFN(x) = act(x·W₁ + b₁)·W₂ + b₂` applied position-wise.
 pub struct FeedForward {
-    l1: Linear,
-    l2: Linear,
-    activation: Activation,
+    pub(crate) l1: Linear,
+    pub(crate) l2: Linear,
+    pub(crate) activation: Activation,
     dropout: Dropout,
 }
 

@@ -16,13 +16,13 @@ use crate::{Linear, Module};
 /// h' = (1−z)⊙h + z⊙h̃
 /// ```
 pub struct Gru {
-    wz: Linear,
-    uz: Linear,
-    wr: Linear,
-    ur: Linear,
-    wh: Linear,
-    uh: Linear,
-    dim: usize,
+    pub(crate) wz: Linear,
+    pub(crate) uz: Linear,
+    pub(crate) wr: Linear,
+    pub(crate) ur: Linear,
+    pub(crate) wh: Linear,
+    pub(crate) uh: Linear,
+    pub(crate) dim: usize,
 }
 
 impl Gru {

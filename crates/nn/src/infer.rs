@@ -1,0 +1,691 @@
+//! Tape-free inference counterparts of the training modules.
+//!
+//! Every training module in this crate holds its weights as
+//! [`autograd::ParamRef`] (`Arc<RwLock<Parameter>>`) and runs its forward
+//! through the autograd `Var` graph, which records a tape node, clones
+//! shape metadata, and takes a lock per parameter read. None of that is
+//! needed at serving time. [`Freeze`] converts a trained module into a
+//! frozen twin holding plain contiguous [`Tensor`]s; the frozen forwards
+//! run straight on `tensor::ops` with no graph, no locks, and no gradient
+//! bookkeeping.
+//!
+//! # Bitwise parity contract
+//!
+//! The frozen forwards are **bitwise identical** to the autograd forwards
+//! on the same weights, by construction: each one composes the exact same
+//! `tensor::ops` calls (and `Tensor::map` closures) in the exact same
+//! order as the corresponding `Var` op chain. The speedup comes from
+//! skipping tape/lock/grad overhead and from incremental state reuse —
+//! never from reordering float arithmetic. Ops that merely move data
+//! (`reshape`, `slice_axis`, `concat`, `permute`) may be elided where the
+//! moved values are not read, since copies cannot change bits.
+//!
+//! # Incremental attention state
+//!
+//! [`AttnKv`] caches per-head key/value rows so that extending a sequence
+//! by one position costs one row of projections plus one attention row,
+//! instead of a full re-encode. This is exact (not approximate) because
+//! every GEMM output element in `tensor::ops` is a single strict k-order
+//! accumulation chain starting at `+0.0`, independent of how many rows are
+//! computed alongside it, and softmax/LayerNorm/elementwise ops are
+//! row-independent. A causally-masked position therefore has a hidden
+//! state that never changes as later positions are appended — provided
+//! position indices are stable under append (left-aligned positions
+//! `0..len`, no left padding). The incremental entry points below assume
+//! exactly that convention; callers that need the training-time
+//! left-padded convention must use the full forwards.
+
+use tensor::{ops, Tensor};
+
+use crate::{
+    Activation, Embedding, FeedForward, Gru, LayerNorm, Linear, MultiHeadSelfAttention,
+    TransformerEncoder, TransformerLayer,
+};
+
+/// Common surface of all frozen inference modules.
+pub trait InferModule {
+    /// Total number of weight scalars held by this module.
+    fn num_weights(&self) -> usize;
+}
+
+/// Conversion from the trained `ParamRef` form into the frozen form.
+///
+/// Freezing clones the current parameter values out of their locks; the
+/// frozen module is fully detached from subsequent training updates.
+pub trait Freeze {
+    /// The frozen twin type.
+    type Frozen: InferModule;
+    /// Snapshots current weights into a tape-free module.
+    fn freeze(&self) -> Self::Frozen;
+}
+
+fn frozen_value(p: &autograd::ParamRef) -> Tensor {
+    p.borrow().value.clone()
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// Frozen [`Linear`]: `y = x · W (+ b)`.
+pub struct FrozenLinear {
+    weight: Tensor,
+    bias: Option<Tensor>,
+}
+
+impl FrozenLinear {
+    /// Applies the layer to `x: [.., in_dim]` (rank 2 or 3).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let y = ops::matmul(x, &self.weight).expect("frozen linear matmul");
+        match &self.bias {
+            Some(b) => ops::add(&y, b).expect("frozen linear bias"),
+            None => y,
+        }
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.dims()[1]
+    }
+}
+
+impl InferModule for FrozenLinear {
+    fn num_weights(&self) -> usize {
+        self.weight.data().len() + self.bias.as_ref().map_or(0, |b| b.data().len())
+    }
+}
+
+impl Freeze for Linear {
+    type Frozen = FrozenLinear;
+    fn freeze(&self) -> FrozenLinear {
+        FrozenLinear {
+            weight: frozen_value(&self.weight),
+            bias: self.bias.as_ref().map(frozen_value),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Embedding
+// ---------------------------------------------------------------------------
+
+/// Frozen [`Embedding`]: a plain `[vocab, dim]` lookup table.
+pub struct FrozenEmbedding {
+    table: Tensor,
+    vocab: usize,
+    dim: usize,
+}
+
+impl FrozenEmbedding {
+    /// Looks up a flat index list, returning `[indices.len(), dim]`.
+    pub fn lookup_flat(&self, indices: &[usize]) -> Tensor {
+        ops::index_select_rows(&self.table, indices).expect("frozen embedding lookup")
+    }
+
+    /// Looks up a batch of equal-length sequences: `[batch, seq_len, dim]`.
+    pub fn lookup_batch(&self, batch: &[Vec<usize>]) -> Tensor {
+        let b = batch.len();
+        let n = batch.first().map_or(0, Vec::len);
+        let flat: Vec<usize> = batch
+            .iter()
+            .flat_map(|s| {
+                assert_eq!(s.len(), n, "all sequences in a batch must be padded equal");
+                s.iter().copied()
+            })
+            .collect();
+        self.lookup_flat(&flat)
+            .reshape(vec![b, n, self.dim])
+            .expect("frozen embedding reshape")
+    }
+
+    /// The full table (tied output projection).
+    pub fn table(&self) -> &Tensor {
+        &self.table
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl InferModule for FrozenEmbedding {
+    fn num_weights(&self) -> usize {
+        self.table.data().len()
+    }
+}
+
+impl Freeze for Embedding {
+    type Frozen = FrozenEmbedding;
+    fn freeze(&self) -> FrozenEmbedding {
+        FrozenEmbedding {
+            table: frozen_value(&self.table),
+            vocab: self.vocab,
+            dim: self.dim,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+/// Frozen [`LayerNorm`].
+pub struct FrozenLayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f32,
+}
+
+impl FrozenLayerNorm {
+    /// Normalizes the last axis of `x` and applies the affine transform.
+    /// Mirrors `LayerNorm::forward` op-for-op.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let last = x.dims().len() - 1;
+        let mean = ops::mean_axis(x, last, true).expect("ln mean");
+        let centered = ops::sub(x, &mean).expect("ln center");
+        let sq = centered.map(|v| v * v);
+        let var = ops::mean_axis(&sq, last, true).expect("ln var");
+        let eps = self.eps;
+        let inv_std = var.map(|v| v + eps).map(f32::sqrt);
+        let normed = ops::div(&centered, &inv_std).expect("ln div");
+        let scaled = ops::mul(&normed, &self.gamma).expect("ln gamma");
+        ops::add(&scaled, &self.beta).expect("ln beta")
+    }
+}
+
+impl InferModule for FrozenLayerNorm {
+    fn num_weights(&self) -> usize {
+        self.gamma.data().len() + self.beta.data().len()
+    }
+}
+
+impl Freeze for LayerNorm {
+    type Frozen = FrozenLayerNorm;
+    fn freeze(&self) -> FrozenLayerNorm {
+        FrozenLayerNorm {
+            gamma: frozen_value(&self.gamma),
+            beta: frozen_value(&self.beta),
+            eps: self.eps,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FeedForward
+// ---------------------------------------------------------------------------
+
+/// Frozen [`FeedForward`] (dropout is identity at inference).
+pub struct FrozenFeedForward {
+    l1: FrozenLinear,
+    l2: FrozenLinear,
+    activation: Activation,
+}
+
+impl FrozenFeedForward {
+    /// Applies the FFN position-wise (no residual; caller adds it).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let h = self.l1.forward(x);
+        let h = match self.activation {
+            Activation::Relu => h.map(|v| v.max(0.0)),
+            Activation::Gelu => {
+                const C: f32 = 0.797_884_6; // sqrt(2/pi), as in Var::gelu
+                h.map(|v| 0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh()))
+            }
+        };
+        self.l2.forward(&h)
+    }
+}
+
+impl InferModule for FrozenFeedForward {
+    fn num_weights(&self) -> usize {
+        self.l1.num_weights() + self.l2.num_weights()
+    }
+}
+
+impl Freeze for FeedForward {
+    type Frozen = FrozenFeedForward;
+    fn freeze(&self) -> FrozenFeedForward {
+        FrozenFeedForward {
+            l1: self.l1.freeze(),
+            l2: self.l2.freeze(),
+            activation: self.activation,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-head self-attention
+// ---------------------------------------------------------------------------
+
+/// Cached key/value rows for one attention block of one sequence.
+///
+/// Layout: per head, a flat row-major `[len, head_dim]` buffer. Rows are
+/// append-only; cached rows are never recomputed (see the module-level
+/// exactness argument).
+pub struct AttnKv {
+    k: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    len: usize,
+}
+
+impl AttnKv {
+    /// Empty cache for `heads` attention heads.
+    pub fn new(heads: usize) -> Self {
+        AttnKv {
+            k: vec![Vec::new(); heads],
+            v: vec![Vec::new(); heads],
+            len: 0,
+        }
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no positions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Frozen [`MultiHeadSelfAttention`].
+pub struct FrozenMultiHeadSelfAttention {
+    wq: FrozenLinear,
+    wk: FrozenLinear,
+    wv: FrozenLinear,
+    wo: FrozenLinear,
+    heads: usize,
+    dim: usize,
+}
+
+impl FrozenMultiHeadSelfAttention {
+    fn split_heads(&self, x: &Tensor, b: usize, n: usize) -> Tensor {
+        let dh = self.dim / self.heads;
+        let r = x
+            .reshape(vec![b, n, self.heads, dh])
+            .expect("split reshape");
+        let p = ops::permute(&r, &[0, 2, 1, 3]).expect("split permute");
+        p.reshape(vec![b * self.heads, n, dh]).expect("split merge")
+    }
+
+    /// Full self-attention over `x: [b, n, dim]` with an optional additive
+    /// mask broadcastable to `[b·heads, n, n]`. Mirrors
+    /// `MultiHeadSelfAttention::forward` (eval mode) op-for-op.
+    pub fn forward(&self, x: &Tensor, mask: Option<&Tensor>) -> Tensor {
+        self.forward_collect(x, mask, None)
+    }
+
+    /// As [`FrozenMultiHeadSelfAttention::forward`], additionally filling
+    /// `collect` with this block's per-head K/V rows (requires `b == 1`).
+    pub fn forward_collect(
+        &self,
+        x: &Tensor,
+        mask: Option<&Tensor>,
+        collect: Option<&mut AttnKv>,
+    ) -> Tensor {
+        let dims = x.dims();
+        let (b, n) = (dims[0], dims[1]);
+        debug_assert_eq!(dims[2], self.dim);
+        let dh = self.dim / self.heads;
+
+        let q = self.split_heads(&self.wq.forward(x), b, n);
+        let k = self.split_heads(&self.wk.forward(x), b, n);
+        let v = self.split_heads(&self.wv.forward(x), b, n);
+
+        if let Some(kv) = collect {
+            assert_eq!(b, 1, "K/V collection is per-sequence");
+            for h in 0..self.heads {
+                let span = h * n * dh..(h + 1) * n * dh;
+                kv.k[h] = k.data()[span.clone()].to_vec();
+                kv.v[h] = v.data()[span].to_vec();
+            }
+            kv.len = n;
+        }
+
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut scores = ops::matmul_transb(&q, &k)
+            .expect("attn scores")
+            .map(|s| s * scale);
+        if let Some(m) = mask {
+            scores = ops::add(&scores, m).expect("attn mask");
+        }
+        let attn = ops::softmax_last(&scores);
+        let ctx = ops::matmul(&attn, &v).expect("attn ctx");
+        scores.recycle();
+        let ctx = ctx
+            .reshape(vec![b, self.heads, n, dh])
+            .expect("merge reshape");
+        let ctx = ops::permute(&ctx, &[0, 2, 1, 3]).expect("merge permute");
+        let ctx = ctx.reshape(vec![b, n, self.dim]).expect("merge flatten");
+        self.wo.forward(&ctx)
+    }
+
+    /// Appends one position per sequence: `x: [b, dim]` holds the new
+    /// position's input row for `b` independent sequences whose caches are
+    /// `kvs`. Returns the new positions' outputs `[b, dim]`.
+    ///
+    /// Bitwise-identical to the last row of
+    /// [`FrozenMultiHeadSelfAttention::forward`] over the full (causally
+    /// masked, unpadded) sequence: the projections are row-independent
+    /// GEMMs, the causal mask contributes exactly `+0.0` to the final row
+    /// (mirrored below so `-0.0` scores normalize identically), and
+    /// softmax/context are per-row chains.
+    pub fn step_append(&self, x: &Tensor, kvs: &mut [&mut AttnKv]) -> Tensor {
+        let b = x.dims()[0];
+        debug_assert_eq!(kvs.len(), b);
+        let dh = self.dim / self.heads;
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut ctx = Tensor::zeros(vec![b, self.dim]);
+        for (bi, kv) in kvs.iter_mut().enumerate() {
+            for h in 0..self.heads {
+                let span = h * dh..(h + 1) * dh;
+                kv.k[h].extend_from_slice(&k.row(bi)[span.clone()]);
+                kv.v[h].extend_from_slice(&v.row(bi)[span.clone()]);
+                let len = kv.k[h].len() / dh;
+                let qt = Tensor::from_vec(q.row(bi)[span.clone()].to_vec(), vec![1, dh]);
+                let kt = Tensor::from_vec(std::mem::take(&mut kv.k[h]), vec![len, dh]);
+                let scores = ops::matmul_transb(&qt, &kt)
+                    .expect("attn step scores")
+                    .map(|s| s * scale)
+                    // The causal-mask row for the newest position is all
+                    // zeros; `s + 0.0` reproduces the full path's additive
+                    // mask bit-for-bit (it maps -0.0 to +0.0).
+                    .map(|s| s + 0.0);
+                kv.k[h] = kt.into_vec();
+                let attn = ops::softmax_last(&scores);
+                let vt = Tensor::from_vec(std::mem::take(&mut kv.v[h]), vec![len, dh]);
+                let c = ops::matmul(&attn, &vt).expect("attn step ctx");
+                kv.v[h] = vt.into_vec();
+                ctx.row_mut(bi)[span].copy_from_slice(c.row(0));
+            }
+            kv.len += 1;
+        }
+        self.wo.forward(&ctx)
+    }
+
+    /// Number of attention heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+}
+
+impl InferModule for FrozenMultiHeadSelfAttention {
+    fn num_weights(&self) -> usize {
+        self.wq.num_weights()
+            + self.wk.num_weights()
+            + self.wv.num_weights()
+            + self.wo.num_weights()
+    }
+}
+
+impl Freeze for MultiHeadSelfAttention {
+    type Frozen = FrozenMultiHeadSelfAttention;
+    fn freeze(&self) -> FrozenMultiHeadSelfAttention {
+        FrozenMultiHeadSelfAttention {
+            wq: self.wq.freeze(),
+            wk: self.wk.freeze(),
+            wv: self.wv.freeze(),
+            wo: self.wo.freeze(),
+            heads: self.heads,
+            dim: self.dim,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transformer layer / encoder
+// ---------------------------------------------------------------------------
+
+/// Frozen [`TransformerLayer`] (post-norm, SASRec style).
+pub struct FrozenTransformerLayer {
+    mha: FrozenMultiHeadSelfAttention,
+    ffn: FrozenFeedForward,
+    ln1: FrozenLayerNorm,
+    ln2: FrozenLayerNorm,
+}
+
+impl FrozenTransformerLayer {
+    /// Applies the block to `x: [b, n, dim]`.
+    pub fn forward(&self, x: &Tensor, mask: Option<&Tensor>) -> Tensor {
+        self.forward_collect(x, mask, None)
+    }
+
+    /// As [`FrozenTransformerLayer::forward`], collecting this layer's K/V
+    /// cache (requires `b == 1`).
+    pub fn forward_collect(
+        &self,
+        x: &Tensor,
+        mask: Option<&Tensor>,
+        collect: Option<&mut AttnKv>,
+    ) -> Tensor {
+        let attn = self.mha.forward_collect(x, mask, collect);
+        let h = self.ln1.forward(&ops::add(x, &attn).expect("resid1"));
+        let ff = self.ffn.forward(&h);
+        self.ln2.forward(&ops::add(&h, &ff).expect("resid2"))
+    }
+
+    /// One-position append for `b` independent sequences (`x: [b, dim]`).
+    pub fn step_append(&self, x: &Tensor, kvs: &mut [&mut AttnKv]) -> Tensor {
+        let attn = self.mha.step_append(x, kvs);
+        let h = self.ln1.forward(&ops::add(x, &attn).expect("resid1"));
+        let ff = self.ffn.forward(&h);
+        self.ln2.forward(&ops::add(&h, &ff).expect("resid2"))
+    }
+}
+
+impl InferModule for FrozenTransformerLayer {
+    fn num_weights(&self) -> usize {
+        self.mha.num_weights()
+            + self.ffn.num_weights()
+            + self.ln1.num_weights()
+            + self.ln2.num_weights()
+    }
+}
+
+impl Freeze for TransformerLayer {
+    type Frozen = FrozenTransformerLayer;
+    fn freeze(&self) -> FrozenTransformerLayer {
+        FrozenTransformerLayer {
+            mha: self.mha.freeze(),
+            ffn: self.ffn.freeze(),
+            ln1: self.ln1.freeze(),
+            ln2: self.ln2.freeze(),
+        }
+    }
+}
+
+/// Per-layer K/V caches for one sequence through a frozen encoder stack.
+pub struct EncoderKv {
+    layers: Vec<AttnKv>,
+}
+
+impl EncoderKv {
+    /// Empty caches for an `n_layers`-deep stack with `heads` heads.
+    pub fn new(n_layers: usize, heads: usize) -> Self {
+        EncoderKv {
+            layers: (0..n_layers).map(|_| AttnKv::new(heads)).collect(),
+        }
+    }
+
+    /// Number of cached positions (0 when empty).
+    pub fn len(&self) -> usize {
+        self.layers.first().map_or(0, AttnKv::len)
+    }
+
+    /// True when no positions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Frozen [`TransformerEncoder`].
+pub struct FrozenTransformerEncoder {
+    layers: Vec<FrozenTransformerLayer>,
+}
+
+impl FrozenTransformerEncoder {
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Attention heads per layer (stacks are homogeneous).
+    pub fn heads(&self) -> usize {
+        self.layers.first().map_or(1, |l| l.mha.heads)
+    }
+
+    /// Runs the stack over `x: [b, n, dim]`, mirroring
+    /// `TransformerEncoder::forward` (eval mode) op-for-op, including the
+    /// multiplicative timeline mask before the stack and after each layer.
+    pub fn forward(&self, x: &Tensor, mask: Option<&Tensor>, timeline: Option<&Tensor>) -> Tensor {
+        let mut h = x.clone();
+        if let Some(t) = timeline {
+            h = ops::mul(&h, t).expect("timeline");
+        }
+        for layer in &self.layers {
+            h = layer.forward(&h, mask);
+            if let Some(t) = timeline {
+                h = ops::mul(&h, t).expect("timeline");
+            }
+        }
+        h
+    }
+
+    /// Encodes one unpadded sequence `x: [1, n, dim]` under `mask`,
+    /// filling `state` with every layer's K/V cache. No timeline mask:
+    /// incremental sequences contain no padding.
+    pub fn encode_collect(
+        &self,
+        x: &Tensor,
+        mask: Option<&Tensor>,
+        state: &mut EncoderKv,
+    ) -> Tensor {
+        debug_assert_eq!(state.layers.len(), self.layers.len());
+        let mut h = x.clone();
+        for (layer, kv) in self.layers.iter().zip(state.layers.iter_mut()) {
+            h = layer.forward_collect(&h, mask, Some(kv));
+        }
+        h
+    }
+
+    /// Appends one position to each of `b` independent sequences.
+    /// `x: [b, dim]` holds the new embedded input rows; `states[i]` is the
+    /// i-th sequence's cache. Returns the new top-layer rows `[b, dim]`.
+    ///
+    /// The per-layer projections and FFN/LayerNorm run as one `[b, ..]`
+    /// GEMM-friendly batch; only the attention mixing is per-sequence.
+    pub fn append_batch(&self, x: &Tensor, states: &mut [&mut EncoderKv]) -> Tensor {
+        let mut h = x.clone();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut kvs: Vec<&mut AttnKv> = states.iter_mut().map(|s| &mut s.layers[li]).collect();
+            h = layer.step_append(&h, &mut kvs);
+        }
+        h
+    }
+}
+
+impl InferModule for FrozenTransformerEncoder {
+    fn num_weights(&self) -> usize {
+        self.layers.iter().map(InferModule::num_weights).sum()
+    }
+}
+
+impl Freeze for TransformerEncoder {
+    type Frozen = FrozenTransformerEncoder;
+    fn freeze(&self) -> FrozenTransformerEncoder {
+        FrozenTransformerEncoder {
+            layers: self.layers.iter().map(Freeze::freeze).collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GRU
+// ---------------------------------------------------------------------------
+
+/// Frozen [`Gru`].
+pub struct FrozenGru {
+    wz: FrozenLinear,
+    uz: FrozenLinear,
+    wr: FrozenLinear,
+    ur: FrozenLinear,
+    wh: FrozenLinear,
+    uh: FrozenLinear,
+    dim: usize,
+}
+
+impl FrozenGru {
+    /// Hidden size.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// One step for `b` independent sequences: `x: [b, dim]`,
+    /// `h: [b, dim]` → `[b, dim]`. Mirrors `Gru::step` op-for-op.
+    pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
+        let sigmoid = |t: Tensor| t.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let z = sigmoid(ops::add(&self.wz.forward(x), &self.uz.forward(h)).expect("gru z"));
+        let r = sigmoid(ops::add(&self.wr.forward(x), &self.ur.forward(h)).expect("gru r"));
+        let rh = ops::mul(&r, h).expect("gru rh");
+        let h_cand = ops::add(&self.wh.forward(x), &self.uh.forward(&rh))
+            .expect("gru cand")
+            .map(f32::tanh);
+        let one_minus_z = z.map(|v| -v).map(|v| v + 1.0);
+        let a = ops::mul(&one_minus_z, h).expect("gru keep");
+        let b = ops::mul(&z, &h_cand).expect("gru update");
+        ops::add(&a, &b).expect("gru mix")
+    }
+
+    /// Runs the GRU over `x: [b, n, dim]` (initial hidden zero) and
+    /// returns the **last** hidden state `[b, dim]`.
+    ///
+    /// Matches the last row of `Gru::forward_sequence` bitwise: the
+    /// training path's concat/slice merely move values.
+    pub fn forward_sequence_last(&self, x: &Tensor) -> Tensor {
+        let dims = x.dims();
+        let (b, n) = (dims[0], dims[1]);
+        let mut h = Tensor::zeros(vec![b, self.dim]);
+        for t in 0..n {
+            let xt = ops::slice_axis(x, 1, t, t + 1)
+                .expect("gru slice")
+                .reshape(vec![b, self.dim])
+                .expect("gru reshape");
+            h = self.step(&xt, &h);
+        }
+        h
+    }
+}
+
+impl InferModule for FrozenGru {
+    fn num_weights(&self) -> usize {
+        [&self.wz, &self.uz, &self.wr, &self.ur, &self.wh, &self.uh]
+            .iter()
+            .map(|l| l.num_weights())
+            .sum()
+    }
+}
+
+impl Freeze for Gru {
+    type Frozen = FrozenGru;
+    fn freeze(&self) -> FrozenGru {
+        FrozenGru {
+            wz: self.wz.freeze(),
+            uz: self.uz.freeze(),
+            wr: self.wr.freeze(),
+            ur: self.ur.freeze(),
+            wh: self.wh.freeze(),
+            uh: self.uh.freeze(),
+            dim: self.dim,
+        }
+    }
+}

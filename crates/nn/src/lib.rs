@@ -19,6 +19,7 @@ mod dropout;
 mod embedding;
 mod feedforward;
 mod gru;
+pub mod infer;
 pub mod io;
 mod linear;
 mod norm;
@@ -29,6 +30,11 @@ pub use dropout::Dropout;
 pub use embedding::Embedding;
 pub use feedforward::{Activation, FeedForward};
 pub use gru::Gru;
+pub use infer::{
+    AttnKv, EncoderKv, Freeze, FrozenEmbedding, FrozenFeedForward, FrozenGru, FrozenLayerNorm,
+    FrozenLinear, FrozenMultiHeadSelfAttention, FrozenTransformerEncoder, FrozenTransformerLayer,
+    InferModule,
+};
 pub use linear::Linear;
 pub use norm::LayerNorm;
 pub use transformer::{TransformerEncoder, TransformerLayer};

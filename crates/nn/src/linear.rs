@@ -8,8 +8,8 @@ use crate::Module;
 
 /// `y = x · W (+ b)` for inputs of shape `[.., in_dim]` (rank 2 or 3).
 pub struct Linear {
-    weight: ParamRef,
-    bias: Option<ParamRef>,
+    pub(crate) weight: ParamRef,
+    pub(crate) bias: Option<ParamRef>,
 }
 
 impl Linear {

@@ -10,9 +10,9 @@ use crate::Module;
 /// Composed from autograd primitives, so its gradient is exact by
 /// construction (covered by the composite gradient checks).
 pub struct LayerNorm {
-    gamma: ParamRef,
-    beta: ParamRef,
-    eps: f32,
+    pub(crate) gamma: ParamRef,
+    pub(crate) beta: ParamRef,
+    pub(crate) eps: f32,
 }
 
 impl LayerNorm {

@@ -9,10 +9,10 @@ use crate::{Activation, Dropout, FeedForward, LayerNorm, Module, MultiHeadSelfAt
 /// One SAN block: attention + residual + LayerNorm, FFN + residual +
 /// LayerNorm (post-norm, SASRec style).
 pub struct TransformerLayer {
-    mha: MultiHeadSelfAttention,
-    ffn: FeedForward,
-    ln1: LayerNorm,
-    ln2: LayerNorm,
+    pub(crate) mha: MultiHeadSelfAttention,
+    pub(crate) ffn: FeedForward,
+    pub(crate) ln1: LayerNorm,
+    pub(crate) ln2: LayerNorm,
     dropout: Dropout,
 }
 
@@ -66,7 +66,7 @@ impl Module for TransformerLayer {
 
 /// A stack of [`TransformerLayer`]s: `F^(l) = SAN(F^(l−1))` (Eq. 10).
 pub struct TransformerEncoder {
-    layers: Vec<TransformerLayer>,
+    pub(crate) layers: Vec<TransformerLayer>,
 }
 
 impl TransformerEncoder {

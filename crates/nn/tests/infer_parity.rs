@@ -1,0 +1,238 @@
+//! Bitwise parity gates: every frozen module must reproduce its autograd
+//! twin's eval-mode forward exactly (`==` on the raw f32 data), and the
+//! incremental attention/GRU paths must reproduce the full re-encode
+//! exactly at every prefix length.
+
+use autograd::Graph;
+use nn::{
+    causal_mask, Activation, AttnKv, EncoderKv, FeedForward, Freeze, Gru, LayerNorm, Linear,
+    Module, MultiHeadSelfAttention, TransformerEncoder,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{init, ops, Tensor};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn linear_parity() {
+    let mut r = rng(1);
+    for bias in [true, false] {
+        let l = Linear::new(&mut r, "l", 6, 4, bias);
+        let fl = l.freeze();
+        let x = init::randn(&mut r, vec![3, 6], 0.0, 1.0);
+        let g = Graph::new();
+        let want = l.forward(&g, &g.constant(x.clone())).value();
+        assert_eq!(fl.forward(&x).data(), want.data());
+        // Rank-3 inputs too.
+        let x3 = init::randn(&mut r, vec![2, 5, 6], 0.0, 1.0);
+        let want3 = l.forward(&g, &g.constant(x3.clone())).value();
+        assert_eq!(fl.forward(&x3).data(), want3.data());
+    }
+}
+
+#[test]
+fn layernorm_parity() {
+    let mut r = rng(2);
+    let ln = LayerNorm::new("ln", 5);
+    // Non-trivial affine params.
+    ln.parameters()[0].borrow_mut().value = init::randn(&mut r, vec![5], 1.0, 0.3);
+    ln.parameters()[1].borrow_mut().value = init::randn(&mut r, vec![5], 0.0, 0.2);
+    let fln = ln.freeze();
+    let x = init::randn(&mut r, vec![2, 3, 5], 0.0, 2.0);
+    let g = Graph::new();
+    let want = ln.forward(&g, &g.constant(x.clone())).value();
+    assert_eq!(fln.forward(&x).data(), want.data());
+}
+
+#[test]
+fn feedforward_parity_both_activations() {
+    let mut r = rng(3);
+    for act in [Activation::Relu, Activation::Gelu] {
+        let ffn = FeedForward::new(&mut r, "ffn", 6, 9, act, 0.3);
+        let f = ffn.freeze();
+        let x = init::randn(&mut r, vec![2, 4, 6], 0.0, 1.0);
+        let g = Graph::new();
+        let want = ffn
+            .forward(&g, &g.constant(x.clone()), &mut rng(0), false)
+            .value();
+        assert_eq!(f.forward(&x).data(), want.data());
+    }
+}
+
+#[test]
+fn attention_parity_with_mask() {
+    let mut r = rng(4);
+    let mha = MultiHeadSelfAttention::new(&mut r, "mha", 8, 2, 0.2);
+    let f = mha.freeze();
+    let x = init::randn(&mut r, vec![3, 5, 8], 0.0, 1.0);
+    let m = causal_mask(5);
+    let g = Graph::new();
+    let want = mha
+        .forward(&g, &g.constant(x.clone()), Some(&m), &mut rng(0), false)
+        .value();
+    assert_eq!(f.forward(&x, Some(&m)).data(), want.data());
+    let want_nomask = mha
+        .forward(&g, &g.constant(x.clone()), None, &mut rng(0), false)
+        .value();
+    assert_eq!(f.forward(&x, None).data(), want_nomask.data());
+}
+
+#[test]
+fn encoder_parity_with_timeline() {
+    let mut r = rng(5);
+    let enc = TransformerEncoder::new(&mut r, "enc", 2, 8, 2, 0.1);
+    let f = enc.freeze();
+    let x = init::randn(&mut r, vec![2, 4, 8], 0.0, 1.0);
+    let m = causal_mask(4);
+    let mut timeline = Tensor::ones(vec![2, 4, 1]);
+    timeline.data_mut()[0] = 0.0;
+    let g = Graph::new();
+    let want = enc
+        .forward(
+            &g,
+            &g.constant(x.clone()),
+            Some(&m),
+            Some(&timeline),
+            &mut rng(0),
+            false,
+        )
+        .value();
+    assert_eq!(f.forward(&x, Some(&m), Some(&timeline)).data(), want.data());
+}
+
+/// The incremental K/V path must equal the full causal re-encode at every
+/// prefix length: appending never recomputes (or changes) cached rows.
+#[test]
+fn incremental_attention_equals_full_reencode() {
+    let mut r = rng(6);
+    let enc = TransformerEncoder::new(&mut r, "enc", 2, 8, 2, 0.0);
+    let f = enc.freeze();
+    let n = 7;
+    let rows = init::randn(&mut r, vec![n, 8], 0.0, 1.0);
+
+    // Build incrementally: encode the first 3 rows in one shot (collecting
+    // K/V), then append the rest one at a time.
+    let seed_len = 3;
+    let x0 = Tensor::from_vec(rows.data()[..seed_len * 8].to_vec(), vec![1, seed_len, 8]);
+    let mut state = EncoderKv::new(f.n_layers(), f.heads());
+    let h0 = f.encode_collect(&x0, Some(&causal_mask(seed_len)), &mut state);
+    let mut incr_last = h0
+        .reshape(vec![seed_len, 8])
+        .unwrap()
+        .row(seed_len - 1)
+        .to_vec();
+
+    for t in seed_len..n {
+        // Full re-encode of the prefix 0..=t (the oracle).
+        let xt = Tensor::from_vec(rows.data()[..(t + 1) * 8].to_vec(), vec![1, t + 1, 8]);
+        let mut fresh = EncoderKv::new(f.n_layers(), f.heads());
+        let full = f.encode_collect(&xt, Some(&causal_mask(t + 1)), &mut fresh);
+        let full_last = full.reshape(vec![t + 1, 8]).unwrap().row(t).to_vec();
+
+        // Incremental append of row t.
+        let xrow = Tensor::from_vec(rows.row(t).to_vec(), vec![1, 8]);
+        let mut states = [&mut state];
+        let out = f.append_batch(&xrow, &mut states);
+        incr_last = out.row(0).to_vec();
+
+        assert_eq!(incr_last, full_last, "prefix len {} diverged", t + 1);
+        assert_eq!(state.len(), t + 1);
+    }
+    assert_eq!(incr_last.len(), 8);
+}
+
+/// Batched appends across independent sequences must match one-at-a-time
+/// appends bitwise (GEMM row chains are independent of batch size).
+#[test]
+fn batched_append_equals_single_appends() {
+    let mut r = rng(7);
+    let enc = TransformerEncoder::new(&mut r, "enc", 1, 8, 2, 0.0);
+    let f = enc.freeze();
+
+    // Two sequences with different cached lengths.
+    let a_rows = init::randn(&mut r, vec![4, 8], 0.0, 1.0);
+    let b_rows = init::randn(&mut r, vec![2, 8], 0.0, 1.0);
+    let mk = |rows: &Tensor, n: usize| {
+        let x = Tensor::from_vec(rows.data()[..n * 8].to_vec(), vec![1, n, 8]);
+        let mut s = EncoderKv::new(f.n_layers(), f.heads());
+        f.encode_collect(&x, Some(&causal_mask(n)), &mut s);
+        s
+    };
+    let (mut sa, mut sb) = (mk(&a_rows, 4), mk(&b_rows, 2));
+    let (mut sa2, mut sb2) = (mk(&a_rows, 4), mk(&b_rows, 2));
+
+    let new_a = init::randn(&mut r, vec![1, 8], 0.0, 1.0);
+    let new_b = init::randn(&mut r, vec![1, 8], 0.0, 1.0);
+
+    // One at a time.
+    let oa = f.append_batch(&new_a, &mut [&mut sa]);
+    let ob = f.append_batch(&new_b, &mut [&mut sb]);
+
+    // Batched.
+    let stacked = ops::concat(&[&new_a, &new_b], 0).unwrap();
+    let both = f.append_batch(&stacked, &mut [&mut sa2, &mut sb2]);
+
+    assert_eq!(both.row(0), oa.row(0));
+    assert_eq!(both.row(1), ob.row(0));
+}
+
+#[test]
+fn gru_parity_and_incremental() {
+    let mut r = rng(8);
+    let gru = Gru::new(&mut r, "gru", 6);
+    let f = gru.freeze();
+    let x = init::randn(&mut r, vec![2, 5, 6], 0.0, 1.0);
+    let g = Graph::new();
+
+    // step parity
+    let x1 = init::randn(&mut r, vec![3, 6], 0.0, 1.0);
+    let h1 = init::randn(&mut r, vec![3, 6], 0.0, 0.5);
+    let want = gru
+        .step(&g, &g.constant(x1.clone()), &g.constant(h1.clone()))
+        .value();
+    assert_eq!(f.step(&x1, &h1).data(), want.data());
+
+    // last-hidden parity vs the training sequence loop
+    let hs = gru.forward_sequence(&g, &g.constant(x.clone())).value();
+    let mut want_last: Vec<f32> = Vec::new();
+    for b in 0..2 {
+        for j in 0..6 {
+            want_last.push(hs.at(&[b, 4, j]));
+        }
+    }
+    assert_eq!(f.forward_sequence_last(&x).data(), &want_last[..]);
+
+    // incremental recurrence equals the full loop at every prefix
+    let mut h = Tensor::zeros(vec![1, 6]);
+    for t in 0..5 {
+        let xt = Tensor::from_vec(x.data()[t * 6..(t + 1) * 6].to_vec(), vec![1, 6]);
+        h = f.step(&xt, &h);
+        let prefix = Tensor::from_vec(x.data()[..(t + 1) * 6].to_vec(), vec![1, t + 1, 6]);
+        assert_eq!(h.data(), f.forward_sequence_last(&prefix).data());
+    }
+}
+
+#[test]
+fn freeze_snapshots_are_detached_from_training() {
+    let mut r = rng(9);
+    let l = Linear::new(&mut r, "l", 3, 3, false);
+    let frozen = l.freeze();
+    let before = frozen.forward(&Tensor::ones(vec![1, 3]));
+    l.parameters()[0].borrow_mut().value = Tensor::zeros(vec![3, 3]);
+    let after = frozen.forward(&Tensor::ones(vec![1, 3]));
+    assert_eq!(
+        before.data(),
+        after.data(),
+        "frozen weights must not track updates"
+    );
+}
+
+#[test]
+fn attn_kv_reports_len() {
+    let kv = AttnKv::new(2);
+    assert!(kv.is_empty());
+    assert_eq!(kv.len(), 0);
+}

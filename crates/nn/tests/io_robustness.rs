@@ -1,0 +1,116 @@
+//! Corruption robustness for checkpoint loading: every truncation and
+//! every single-byte flip of a valid checkpoint must surface as a
+//! structured `io::Error` — never a panic, never a silent partial load.
+//!
+//! This pins down the load-path error-handling audit: all `unwrap()`s in
+//! `nn::io` live in its `#[cfg(test)]` module; the production read path
+//! reports `InvalidData` for malformed input, which these fuzz loops
+//! exercise byte by byte.
+
+use autograd::{ParamRef, Parameter};
+use nn::io::{load_parameters, save_parameters};
+use tensor::Tensor;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("msgc_io_robustness");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name)
+}
+
+fn fixture_params() -> Vec<ParamRef> {
+    vec![
+        Parameter::shared(
+            "enc.weight",
+            Tensor::arange(12).reshape(vec![3, 4]).expect("3x4"),
+        ),
+        Parameter::shared("enc.bias", Tensor::from_vec(vec![0.5, -1.25, 3.0], vec![3])),
+    ]
+}
+
+#[test]
+fn every_truncation_of_msgc2_is_a_structured_error() {
+    let path = tmp("trunc.msgc2");
+    save_parameters(&path, &fixture_params()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    assert!(bytes.len() > 32, "fixture checkpoint unexpectedly small");
+
+    let cut_path = tmp("trunc_cut.msgc2");
+    for cut in 0..bytes.len() {
+        std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+        let target = fixture_params();
+        let res = load_parameters(&cut_path, &target);
+        assert!(
+            res.is_err(),
+            "truncation at byte {cut}/{} was accepted",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_byte_flip_of_msgc2_is_a_structured_error() {
+    let path = tmp("flip.msgc2");
+    save_parameters(&path, &fixture_params()).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    let flip_path = tmp("flip_cut.msgc2");
+    for i in 0..bytes.len() {
+        for bit in [0x01u8, 0x80u8] {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= bit;
+            std::fs::write(&flip_path, &mutated).unwrap();
+            let target = fixture_params();
+            let res = load_parameters(&flip_path, &target);
+            assert!(
+                res.is_err(),
+                "flipping bit {bit:#04x} of byte {i} was accepted"
+            );
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_after_end_record_is_rejected() {
+    let path = tmp("tail.msgc2");
+    save_parameters(&path, &fixture_params()).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.push(0u8);
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(load_parameters(&path, &fixture_params()).is_err());
+}
+
+/// Legacy MSGC1 flat files get the same treatment: the read-only loader
+/// validates every header field against the remaining file size, so any
+/// truncation must fail cleanly.
+#[test]
+fn every_truncation_of_legacy_msgc1_is_a_structured_error() {
+    let params = fixture_params();
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(nn::io::MAGIC_V1);
+    buf.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    for p in &params {
+        let pb = p.borrow();
+        let name = pb.name.as_bytes();
+        buf.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        buf.extend_from_slice(name);
+        let dims = pb.value.dims();
+        buf.extend_from_slice(&(dims.len() as u64).to_le_bytes());
+        for &d in dims {
+            buf.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &x in pb.value.data() {
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    let path = tmp("trunc.msgc1");
+    std::fs::write(&path, &buf).unwrap();
+    load_parameters(&path, &fixture_params()).expect("intact v1 file loads");
+
+    let cut_path = tmp("trunc_cut.msgc1");
+    for cut in 0..buf.len() {
+        std::fs::write(&cut_path, &buf[..cut]).unwrap();
+        let res = load_parameters(&cut_path, &fixture_params());
+        assert!(res.is_err(), "v1 truncation at byte {cut} was accepted");
+    }
+}

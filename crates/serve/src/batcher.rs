@@ -1,0 +1,82 @@
+//! Micro-batching: a single worker drains a request queue, coalescing
+//! whatever arrives within a bounded wait into one [`Engine::handle_batch`]
+//! call, so concurrent users share GEMM work.
+
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::{Engine, FrozenScorer, Request, Response};
+
+struct Job {
+    req: Request,
+    reply: mpsc::SyncSender<Response>,
+}
+
+/// Hands requests from any number of threads to a single batching worker.
+///
+/// The worker blocks for the first request, then keeps collecting until
+/// either `batch_max` requests are queued or `batch_wait` has elapsed —
+/// the standard latency/throughput trade.
+pub struct Batcher<M: FrozenScorer> {
+    tx: Option<mpsc::Sender<Job>>,
+    worker: Option<JoinHandle<()>>,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: FrozenScorer> Batcher<M> {
+    /// Starts the worker thread.
+    pub fn new(engine: Arc<Engine<M>>, batch_max: usize, batch_wait: Duration) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let worker = std::thread::spawn(move || {
+            while let Ok(first) = rx.recv() {
+                let mut jobs = vec![first];
+                let deadline = Instant::now() + batch_wait;
+                while jobs.len() < batch_max.max(1) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(job) => jobs.push(job),
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                let reqs: Vec<Request> = jobs.iter().map(|j| j.req.clone()).collect();
+                let responses = engine.handle_batch(&reqs);
+                for (job, resp) in jobs.into_iter().zip(responses) {
+                    // A caller that gave up is not an error for the batch.
+                    let _ = job.reply.send(resp);
+                }
+            }
+        });
+        Batcher {
+            tx: Some(tx),
+            worker: Some(worker),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Submits one request and blocks until its response is scored
+    /// (possibly alongside other users' requests in the same batch).
+    pub fn submit(&self, req: Request) -> Response {
+        let (rtx, rrx) = mpsc::sync_channel(1);
+        self.tx
+            .as_ref()
+            .expect("batcher running")
+            .send(Job { req, reply: rtx })
+            .expect("batch worker alive");
+        rrx.recv().expect("batch worker replies before exiting")
+    }
+}
+
+impl<M: FrozenScorer> Drop for Batcher<M> {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // disconnect the queue so the worker exits
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Serving benchmark and parity client (BENCH_6).
+//!
+//! Two modes:
+//!
+//! * **Bench** (default): in-process load generation against the batching
+//!   engine. Reports p50/p99 request latency and sustained throughput, and
+//!   gates on the incremental append being at least 5× faster than a full
+//!   re-encode of the same window on the transformer backbone. Writes
+//!   `BENCH_6.json` into the current directory and exits nonzero when the
+//!   gate fails.
+//!
+//!   ```sh
+//!   cargo run --release -p serve --bin serve_bench
+//!   ```
+//!
+//!   Geometry scales with `META_SGCL_SCALE` (`quick`/`full`).
+//!
+//! * **Check** (`--connect ADDR`): connects to a running `msgc serve`,
+//!   replays user histories from `--data`, and asserts the served top-k
+//!   (items *and* scores) is bitwise-identical to the offline autograd
+//!   `score_sequence` on the same checkpoint. Exits nonzero on any
+//!   mismatch. Used by the CI `serve-smoke` job.
+//!
+//!   ```sh
+//!   serve_bench --connect 127.0.0.1:7878 --data synth:toys:42 \
+//!       --model model.msgc --dim 16 --max-len 10 --users 20 --k 10
+//!   ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use meta_sgcl::{MetaSgcl, MetaSgclConfig};
+use models::NetConfig;
+use nn::Freeze;
+use serve::{proto, top_k, Batcher, Engine, Mode, Request};
+
+fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn parse_args() -> std::collections::HashMap<String, String> {
+    let mut out = std::collections::HashMap::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let v = args.next().unwrap_or_default();
+            out.insert(name.to_string(), v);
+        }
+    }
+    out
+}
+
+fn get_or<T: std::str::FromStr>(
+    args: &std::collections::HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> T {
+    args.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args = parse_args();
+    let code = if args.contains_key("connect") {
+        run_check(&args)
+    } else {
+        run_bench(&args)
+    };
+    std::process::exit(code);
+}
+
+// ---------------------------------------------------------------------------
+// Bench mode
+// ---------------------------------------------------------------------------
+
+fn run_bench(args: &std::collections::HashMap<String, String>) -> i32 {
+    let scale = std::env::var("META_SGCL_SCALE").unwrap_or_else(|_| "quick".into());
+    let full_scale = scale == "full";
+    // Transformer-backbone geometry: long enough that a full window
+    // re-encode dwarfs a single-row append.
+    let max_len = if full_scale { 128 } else { 64 };
+    let dim = 32;
+    let num_items = 500;
+    let appends = get_or(args, "requests", if full_scale { 400 } else { 120 });
+    let loadgen_threads = 8usize;
+    let loadgen_per_thread = if full_scale { 200 } else { 60 };
+
+    let model = MetaSgcl::new(MetaSgclConfig {
+        net: NetConfig {
+            max_len,
+            dim,
+            layers: 2,
+            ..NetConfig::for_items(num_items)
+        },
+        ..MetaSgclConfig::for_items(num_items)
+    });
+    let frozen = model.freeze();
+    let history: Vec<usize> = (0..max_len - 1).map(|i| 1 + (i * 7) % num_items).collect();
+
+    // --- single-request speedup gate: full window re-encode vs one append.
+    let window = &history[..max_len - 1];
+    let mut full_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let iters = 10;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let (_state, scores) = frozen.begin_incremental(window);
+            assert_eq!(scores.len(), num_items + 1);
+        }
+        full_ms = full_ms.min(t0.elapsed().as_secs_f64() * 1e3 / iters as f64);
+    }
+
+    let mut incr_samples: Vec<f64> = Vec::with_capacity(appends);
+    let mut done = 0usize;
+    'outer: loop {
+        // Re-begin with room to append without sliding.
+        let (mut state, _) = frozen.begin_incremental(&history[..max_len / 2]);
+        while state.len() < max_len {
+            let item = 1 + (state.len() * 13) % num_items;
+            let t0 = Instant::now();
+            let scores = frozen.append_incremental(&[item], &mut [&mut state]);
+            incr_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(scores[0].len(), num_items + 1);
+            done += 1;
+            if done >= appends {
+                break 'outer;
+            }
+        }
+    }
+    incr_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let incr_p50 = quantile_ms(&incr_samples, 0.5);
+    let speedup = full_ms / incr_p50;
+
+    // --- load generator: concurrent users through the micro-batcher.
+    let engine = Arc::new(Engine::new(frozen, Mode::Incremental));
+    let batcher = Arc::new(Batcher::new(
+        Arc::clone(&engine),
+        16,
+        Duration::from_micros(200),
+    ));
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..loadgen_threads)
+            .map(|t| {
+                let b = Arc::clone(&batcher);
+                let seed_history: Vec<usize> = (0..max_len / 2)
+                    .map(|i| 1 + (i * 3 + t) % num_items)
+                    .collect();
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(loadgen_per_thread + 1);
+                    let user = t as u64;
+                    let t1 = Instant::now();
+                    b.submit(Request::Score {
+                        user,
+                        history: seed_history,
+                        k: 10,
+                    });
+                    lats.push(t1.elapsed().as_secs_f64() * 1e3);
+                    for i in 0..loadgen_per_thread {
+                        let item = 1 + (i * 11 + t) % num_items;
+                        let t1 = Instant::now();
+                        b.submit(Request::Append { user, item, k: 10 });
+                        lats.push(t1.elapsed().as_secs_f64() * 1e3);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("loadgen thread"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let total_requests = latencies.len();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let p50 = quantile_ms(&latencies, 0.5);
+    let p99 = quantile_ms(&latencies, 0.99);
+    let rps = total_requests as f64 / wall_s;
+
+    const GATE: f64 = 5.0;
+    let pass = speedup >= GATE;
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_6\",\n  \"scale\": \"{scale}\",\n  \
+         \"geometry\": {{\"dim\": {dim}, \"layers\": 2, \"max_len\": {max_len}, \"num_items\": {num_items}}},\n  \
+         \"loadgen\": {{\"threads\": {loadgen_threads}, \"requests\": {total_requests}, \
+         \"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}, \"throughput_rps\": {rps:.1}}},\n  \
+         \"incremental_vs_full\": {{\"full_reencode_ms\": {full_ms:.4}, \
+         \"incremental_append_ms\": {incr_p50:.4}, \"speedup\": {speedup:.2}, \
+         \"gate\": {GATE:.1}, \"pass\": {pass}}}\n}}\n"
+    );
+    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    print!("{json}");
+    if pass {
+        0
+    } else {
+        eprintln!("GATE FAILED: incremental speedup {speedup:.2}x < {GATE}x");
+        1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Check mode
+// ---------------------------------------------------------------------------
+
+fn load_data(spec: &str) -> recdata::Dataset {
+    let rest = spec
+        .strip_prefix("synth:")
+        .expect("check mode supports synth:<preset>:<seed> specs");
+    let mut parts = rest.split(':');
+    let preset = parts.next().unwrap_or("toys");
+    let seed: u64 = parts.next().unwrap_or("42").parse().expect("seed");
+    let cfg = match preset {
+        "clothing" => recdata::synth::SynthConfig::clothing_like(seed),
+        "ml1m" => recdata::synth::SynthConfig::ml1m_like(seed),
+        _ => recdata::synth::SynthConfig::toys_like(seed),
+    };
+    recdata::synth::generate(&cfg)
+}
+
+fn run_check(args: &std::collections::HashMap<String, String>) -> i32 {
+    let addr = args.get("connect").expect("--connect set").clone();
+    let data_spec = args.get("data").expect("--data required");
+    let model_path = args.get("model").expect("--model required");
+    let dim: usize = get_or(args, "dim", 32);
+    let max_len: usize = get_or(args, "max-len", 20);
+    let seed: u64 = get_or(args, "seed", 42);
+    let users: usize = get_or(args, "users", 20);
+    let k: usize = get_or(args, "k", 10);
+
+    let data = load_data(data_spec);
+    let mut model = MetaSgcl::new(MetaSgclConfig {
+        net: NetConfig {
+            dim,
+            max_len,
+            seed,
+            ..NetConfig::for_items(data.num_items)
+        },
+        ..MetaSgclConfig::for_items(data.num_items)
+    });
+    model.load(model_path).expect("load checkpoint");
+
+    let mut stream = TcpStream::connect(&addr).expect("connect to msgc serve");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+
+    let mut send = |line: &str| -> String {
+        stream.write_all(line.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send");
+        stream.flush().expect("flush");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv");
+        resp.trim().to_string()
+    };
+
+    assert_eq!(send(r#"{"op":"ping"}"#), proto::PONG, "server not ready");
+
+    let mut checked = 0usize;
+    let mut mismatches = 0usize;
+    for (u, seq) in data.sequences.iter().enumerate() {
+        if seq.len() < 2 {
+            continue;
+        }
+        if checked >= users {
+            break;
+        }
+        checked += 1;
+
+        // Parity 1: full-history score request vs offline score_sequence.
+        let prefix = &seq[..seq.len() - 1];
+        let history_json: Vec<String> = prefix.iter().map(|i| i.to_string()).collect();
+        let line = format!(
+            "{{\"op\":\"score\",\"user\":{u},\"history\":[{}],\"k\":{k}}}",
+            history_json.join(",")
+        );
+        let served = proto::parse_response(&send(&line)).expect("parse response");
+        let (want_items, want_scores) = top_k(&model.score_sequence(prefix), k);
+        if served.items != want_items || served.scores != want_scores {
+            eprintln!(
+                "MISMATCH user {u} (score): served {:?} want {:?}",
+                (&served.items, &served.scores),
+                (&want_items, &want_scores)
+            );
+            mismatches += 1;
+            continue;
+        }
+
+        // Parity 2: append the held-out item vs offline on the full seq.
+        let last = seq[seq.len() - 1];
+        let line = format!("{{\"op\":\"append\",\"user\":{u},\"item\":{last},\"k\":{k}}}");
+        let served = proto::parse_response(&send(&line)).expect("parse response");
+        let (want_items, want_scores) = top_k(&model.score_sequence(seq), k);
+        if served.items != want_items || served.scores != want_scores {
+            eprintln!("MISMATCH user {u} (append)");
+            mismatches += 1;
+        }
+    }
+    println!(
+        "serve check: {checked} users, {} score+append round-trips, {mismatches} mismatches",
+        checked * 2
+    );
+    if mismatches == 0 && checked > 0 {
+        0
+    } else {
+        1
+    }
+}

@@ -1,0 +1,407 @@
+//! The serving engine: frozen-model contract, per-user sessions, and the
+//! batched scoring dispatch.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use meta_sgcl::infer::{FrozenMetaSgcl, State as MetaState};
+use models::{FrozenGru4Rec, GruState};
+use recdata::ItemId;
+use telemetry::metrics;
+
+/// The contract a frozen model implements to be served.
+///
+/// Both paths must be bitwise-exact:
+///
+/// * [`score_full`](FrozenScorer::score_full) reproduces the offline
+///   autograd scoring path (padded window) exactly — served responses in
+///   [`Mode::Full`] can be compared `==` against `score_sequence`.
+/// * [`begin`](FrozenScorer::begin) / [`append_batch`](FrozenScorer::append_batch)
+///   maintain left-aligned incremental state whose scores reproduce a full
+///   left-aligned re-encode of the same window exactly.
+pub trait FrozenScorer: Send + Sync + 'static {
+    /// Per-user incremental cache.
+    type State: Send;
+
+    /// Catalog size (excluding padding index 0); scores have
+    /// `num_items + 1` entries.
+    fn num_items(&self) -> usize;
+
+    /// Maximum window length for incremental state; `0` means unbounded
+    /// (e.g. a GRU recurrence, which has no position table to outgrow).
+    fn window_cap(&self) -> usize;
+
+    /// Full-history scores under offline (padded) semantics.
+    fn score_full(&self, seq: &[ItemId]) -> Vec<f32>;
+
+    /// Encodes a window into fresh incremental state, returning the state
+    /// and the catalog scores. `window` is non-empty and at most
+    /// [`window_cap`](FrozenScorer::window_cap) items (when capped).
+    fn begin(&self, window: &[ItemId]) -> (Self::State, Vec<f32>);
+
+    /// Items absorbed into a state.
+    fn state_len(&self, state: &Self::State) -> usize;
+
+    /// Appends one item per user in a single batch; returns each user's
+    /// catalog scores in order.
+    fn append_batch(&self, items: &[ItemId], states: &mut [&mut Self::State]) -> Vec<Vec<f32>>;
+}
+
+impl FrozenScorer for FrozenMetaSgcl {
+    type State = MetaState;
+
+    fn num_items(&self) -> usize {
+        FrozenMetaSgcl::num_items(self)
+    }
+
+    fn window_cap(&self) -> usize {
+        self.max_len()
+    }
+
+    fn score_full(&self, seq: &[ItemId]) -> Vec<f32> {
+        self.score_padded(seq)
+    }
+
+    fn begin(&self, window: &[ItemId]) -> (MetaState, Vec<f32>) {
+        self.begin_incremental(window)
+    }
+
+    fn state_len(&self, state: &MetaState) -> usize {
+        state.len()
+    }
+
+    fn append_batch(&self, items: &[ItemId], states: &mut [&mut MetaState]) -> Vec<Vec<f32>> {
+        self.append_incremental(items, states)
+    }
+}
+
+impl FrozenScorer for FrozenGru4Rec {
+    type State = GruState;
+
+    fn num_items(&self) -> usize {
+        FrozenGru4Rec::num_items(self)
+    }
+
+    fn window_cap(&self) -> usize {
+        0 // position-free recurrence: exact at any history length
+    }
+
+    fn score_full(&self, seq: &[ItemId]) -> Vec<f32> {
+        self.score_padded(seq)
+    }
+
+    fn begin(&self, window: &[ItemId]) -> (GruState, Vec<f32>) {
+        let state = self.begin_incremental(window);
+        let scores = self.scores(&self.hidden(&state)).row(0).to_vec();
+        (state, scores)
+    }
+
+    fn state_len(&self, state: &GruState) -> usize {
+        state.len()
+    }
+
+    fn append_batch(&self, items: &[ItemId], states: &mut [&mut GruState]) -> Vec<Vec<f32>> {
+        let h = self.append_incremental(items, states);
+        (0..states.len())
+            .map(|i| {
+                let row = tensor::Tensor::from_vec(h.row(i).to_vec(), vec![1, h.dims()[1]]);
+                self.scores(&row).row(0).to_vec()
+            })
+            .collect()
+    }
+}
+
+/// How the engine turns a request into scores.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Re-encode the padded window on every request. Bitwise-identical to
+    /// the offline autograd scoring path; this is the default and what the
+    /// CI parity gate checks.
+    Full,
+    /// Keep per-user incremental state under left-aligned semantics; an
+    /// append is a single-step cache extension. Slides (full re-encodes of
+    /// the last `window_cap` items) happen only on cache overflow.
+    Incremental,
+}
+
+/// A scoring request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// (Re)set a user's history and score it.
+    Score {
+        /// User/session key.
+        user: u64,
+        /// Full interaction history, oldest first.
+        history: Vec<ItemId>,
+        /// Number of recommendations to return.
+        k: usize,
+    },
+    /// Record one new interaction for a known user and re-score.
+    Append {
+        /// User/session key.
+        user: u64,
+        /// The new interaction.
+        item: ItemId,
+        /// Number of recommendations to return.
+        k: usize,
+    },
+}
+
+impl Request {
+    fn user(&self) -> u64 {
+        match self {
+            Request::Score { user, .. } | Request::Append { user, .. } => *user,
+        }
+    }
+
+    fn k(&self) -> usize {
+        match self {
+            Request::Score { k, .. } | Request::Append { k, .. } => *k,
+        }
+    }
+}
+
+/// Top-k recommendations for one request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Echoed user key.
+    pub user: u64,
+    /// Recommended item ids, best first.
+    pub items: Vec<ItemId>,
+    /// Raw scores aligned with `items`.
+    pub scores: Vec<f32>,
+}
+
+/// Ranks catalog scores exactly like `models::recommend_top_k` with
+/// `exclude_seen = false`: skip padding index 0, stable descending sort,
+/// truncate to `k`.
+pub fn top_k(scores: &[f32], k: usize) -> (Vec<ItemId>, Vec<f32>) {
+    let mut ranked: Vec<(ItemId, f32)> = scores
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(i, &s)| (i, s))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.truncate(k);
+    ranked.into_iter().unzip()
+}
+
+struct Session<S> {
+    history: Vec<ItemId>,
+    state: Option<S>,
+}
+
+/// Per-user sessions plus the scoring dispatch over a frozen model.
+pub struct Engine<M: FrozenScorer> {
+    model: M,
+    mode: Mode,
+    sessions: Mutex<HashMap<u64, Session<M::State>>>,
+}
+
+impl<M: FrozenScorer> Engine<M> {
+    /// Wraps a frozen model.
+    pub fn new(model: M, mode: Mode) -> Self {
+        Engine {
+            model,
+            mode,
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The serving mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The frozen model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Number of live sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.lock_sessions().len()
+    }
+
+    fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Session<M::State>>> {
+        self.sessions.lock().expect("sessions lock poisoned")
+    }
+
+    /// The incremental window for a history: the last `window_cap` items
+    /// (or everything, when uncapped).
+    fn window<'a>(&self, history: &'a [ItemId]) -> &'a [ItemId] {
+        let cap = self.model.window_cap();
+        if cap == 0 {
+            history
+        } else {
+            &history[history.len().saturating_sub(cap)..]
+        }
+    }
+
+    /// Scores a batch of requests, returning responses in request order.
+    ///
+    /// In [`Mode::Incremental`], runs of appendable requests for distinct
+    /// users are coalesced into single batched cache-extension steps.
+    pub fn handle_batch(&self, requests: &[Request]) -> Vec<Response> {
+        metrics::counter("serve.requests", false).add(requests.len() as u64);
+        metrics::histogram("serve.batch.size", false).record(requests.len() as u64);
+        let mut out: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
+        match self.mode {
+            Mode::Full => {
+                for (i, req) in requests.iter().enumerate() {
+                    out[i] = Some(self.handle_full(req));
+                }
+            }
+            Mode::Incremental => {
+                // Coalesce appendable requests (distinct users with live,
+                // non-full state) into one batched step; everything else
+                // flushes the group and runs alone.
+                let mut group: Vec<(usize, u64, ItemId, usize)> = Vec::new();
+                for (i, req) in requests.iter().enumerate() {
+                    let fast = match req {
+                        Request::Append { user, item, k } => {
+                            if self.can_fast_append(*user) && !group.iter().any(|g| g.1 == *user) {
+                                group.push((i, *user, *item, *k));
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        Request::Score { .. } => false,
+                    };
+                    if !fast {
+                        self.flush_appends(&mut group, &mut out);
+                        out[i] = Some(self.handle_slow(req));
+                    }
+                }
+                self.flush_appends(&mut group, &mut out);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
+    /// Full mode: every request re-encodes its padded window.
+    fn handle_full(&self, req: &Request) -> Response {
+        let user = req.user();
+        let history = {
+            let mut sessions = self.lock_sessions();
+            let session = sessions.entry(user).or_insert_with(|| Session {
+                history: Vec::new(),
+                state: None,
+            });
+            match req {
+                Request::Score { history, .. } => session.history = history.clone(),
+                Request::Append { item, .. } => session.history.push(*item),
+            }
+            session.history.clone()
+        };
+        metrics::counter("serve.cache.miss", false).inc();
+        metrics::counter("serve.reencode", false).inc();
+        let scores = self.model.score_full(&history);
+        let (items, scores) = top_k(&scores, req.k());
+        Response {
+            user,
+            items,
+            scores,
+        }
+    }
+
+    /// True when an append can extend cached state without a re-encode.
+    fn can_fast_append(&self, user: u64) -> bool {
+        let cap = self.model.window_cap();
+        let sessions = self.lock_sessions();
+        sessions.get(&user).is_some_and(|s| {
+            s.state
+                .as_ref()
+                .is_some_and(|st| cap == 0 || self.model.state_len(st) < cap)
+        })
+    }
+
+    /// Runs one batched append over the grouped requests.
+    fn flush_appends(
+        &self,
+        group: &mut Vec<(usize, u64, ItemId, usize)>,
+        out: &mut [Option<Response>],
+    ) {
+        if group.is_empty() {
+            return;
+        }
+        let mut taken: Vec<(u64, Session<M::State>)> = {
+            let mut sessions = self.lock_sessions();
+            group
+                .iter()
+                .map(|&(_, user, _, _)| {
+                    let s = sessions
+                        .remove(&user)
+                        .expect("session checked in can_fast_append");
+                    (user, s)
+                })
+                .collect()
+        };
+        let items: Vec<ItemId> = group.iter().map(|&(_, _, item, _)| item).collect();
+        let scores = {
+            let mut states: Vec<&mut M::State> = taken
+                .iter_mut()
+                .map(|(_, s)| s.state.as_mut().expect("state checked in can_fast_append"))
+                .collect();
+            self.model.append_batch(&items, &mut states)
+        };
+        metrics::counter("serve.cache.hit", false).add(group.len() as u64);
+        for (((idx, user, item, k), (_, session)), user_scores) in
+            group.iter().zip(taken.iter_mut()).zip(scores)
+        {
+            session.history.push(*item);
+            let (items, scores) = top_k(&user_scores, *k);
+            out[*idx] = Some(Response {
+                user: *user,
+                items,
+                scores,
+            });
+        }
+        let mut sessions = self.lock_sessions();
+        for (user, session) in taken {
+            sessions.insert(user, session);
+        }
+        group.clear();
+    }
+
+    /// Incremental mode, slow path: (re)encode the window from scratch —
+    /// new histories, unknown users, and cache overflow (the slide).
+    fn handle_slow(&self, req: &Request) -> Response {
+        let user = req.user();
+        let history = {
+            let mut sessions = self.lock_sessions();
+            let session = sessions.entry(user).or_insert_with(|| Session {
+                history: Vec::new(),
+                state: None,
+            });
+            match req {
+                Request::Score { history, .. } => session.history = history.clone(),
+                Request::Append { item, .. } => session.history.push(*item),
+            }
+            session.history.clone()
+        };
+        metrics::counter("serve.cache.miss", false).inc();
+        let window = self.window(&history);
+        let (state, scores) = if window.is_empty() {
+            (None, vec![0.0; self.model.num_items() + 1])
+        } else {
+            metrics::counter("serve.reencode", false).inc();
+            let (state, scores) = self.model.begin(window);
+            (Some(state), scores)
+        };
+        self.lock_sessions()
+            .get_mut(&user)
+            .expect("session inserted above")
+            .state = state;
+        let (items, scores) = top_k(&scores, req.k());
+        Response {
+            user,
+            items,
+            scores,
+        }
+    }
+}

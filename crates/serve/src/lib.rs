@@ -1,0 +1,30 @@
+//! Tape-free inference serving for the Meta-SGCL reproduction.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`FrozenScorer`] — the serving contract a frozen model implements:
+//!   padded full-history scoring (bitwise-identical to the offline
+//!   autograd path) and left-aligned incremental state (`begin` + batched
+//!   `append`).
+//! * [`Engine`] — per-user sessions and the scoring dispatch. In
+//!   [`Mode::Full`] every request re-encodes its padded window, matching
+//!   `score_sequence` bitwise; in [`Mode::Incremental`] appends are
+//!   single-step K/V-cache extensions with slide-on-overflow.
+//! * [`Batcher`] — a single worker that coalesces concurrent requests
+//!   into one GEMM-friendly batch (micro-batching with a bounded wait).
+//! * [`server`] — a line-delimited-JSON TCP front end (`msgc serve`).
+//!
+//! Serving metrics flow through the [`telemetry`] registry:
+//! `serve.requests`, `serve.batch.size`, `serve.cache.hit`,
+//! `serve.cache.miss`, `serve.reencode`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+mod engine;
+pub mod proto;
+pub mod server;
+
+pub use batcher::Batcher;
+pub use engine::{top_k, Engine, FrozenScorer, Mode, Request, Response};

@@ -1,0 +1,52 @@
+//! TCP front end: line-delimited JSON over per-connection threads, all
+//! funneled through one [`Batcher`] so concurrent connections share
+//! batches.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use crate::batcher::Batcher;
+use crate::engine::FrozenScorer;
+use crate::proto::{format_error, format_response, parse_request, Incoming, PONG};
+
+/// Accepts connections forever, one thread per connection.
+///
+/// Returns only when the listener errors (e.g. the socket is closed).
+pub fn run<M: FrozenScorer>(
+    listener: TcpListener,
+    batcher: Arc<Batcher<M>>,
+) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let batcher = Arc::clone(&batcher);
+        std::thread::spawn(move || {
+            // A dropped connection mid-request is the client's problem.
+            let _ = handle_connection(stream, &batcher);
+        });
+    }
+    Ok(())
+}
+
+fn handle_connection<M: FrozenScorer>(
+    stream: TcpStream,
+    batcher: &Batcher<M>,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_request(&line) {
+            Ok(Incoming::Ping) => PONG.to_string(),
+            Ok(Incoming::Req(req)) => format_response(&batcher.submit(req)),
+            Err(e) => format_error(&e),
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}

@@ -7,6 +7,7 @@
 //!               --metrics-out metrics.jsonl --trace-out trace.jsonl
 //! msgc evaluate --data data.csv --model model.msgc
 //! msgc recommend --data data.csv --model model.msgc --user 3 --k 10
+//! msgc serve    --data data.csv --model model.msgc --addr 127.0.0.1:7878
 //! msgc report   metrics.jsonl --trace trace.jsonl
 //! ```
 //!
@@ -36,6 +37,8 @@ fn usage() -> ExitCode {
          --out MODEL\n  \
          msgc evaluate --data SPEC --model MODEL [--dim N] [--max-len N]\n  \
          msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n  \
+         msgc serve --data SPEC --model MODEL [--addr HOST:PORT] [--mode full|incremental] \
+         [--batch-max N] [--batch-wait-us N] [--dim N] [--max-len N]\n  \
          msgc check [--model NAME | --all] [--inject-fault <shape|freeze>]\n  \
          msgc report METRICS.jsonl [--trace TRACE.jsonl]\n\n\
          SPEC = path to user,item,rating,timestamp CSV, or synth:<preset>:<seed>"
@@ -71,6 +74,10 @@ const VALUE_FLAGS: &[&str] = &[
     "metrics-out",
     "trace-out",
     "trace",
+    "addr",
+    "mode",
+    "batch-max",
+    "batch-wait-us",
 ];
 
 #[derive(Debug)]
@@ -292,6 +299,47 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `msgc serve`: load a trained checkpoint, freeze it into the tape-free
+/// inference engine, and serve line-delimited JSON scoring requests over
+/// TCP with micro-batching across connections.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use meta_sgcl_repro::nn::Freeze;
+    use meta_sgcl_repro::serve::{server, Batcher, Engine, Mode};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let data = load_data(args.get("data").ok_or("--data required")?)?;
+    let mut model = build_model(&data, args)?;
+    model
+        .load(args.get("model").ok_or("--model required")?)
+        .map_err(|e| e.to_string())?;
+    let mode = match args.get("mode").unwrap_or("full") {
+        "full" => Mode::Full,
+        "incremental" => Mode::Incremental,
+        other => return Err(format!("unknown --mode {other} (full|incremental)")),
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let batch_max: usize = args.get_or("batch-max", 16)?;
+    let batch_wait_us: u64 = args.get_or("batch-wait-us", 200)?;
+    if batch_max == 0 {
+        return Err("--batch-max must be at least 1".into());
+    }
+
+    meta_sgcl_repro::telemetry::set_enabled(true);
+    let engine = Arc::new(Engine::new(model.freeze(), mode));
+    let batcher = Arc::new(Batcher::new(
+        Arc::clone(&engine),
+        batch_max,
+        Duration::from_micros(batch_wait_us),
+    ));
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "serving {} items on {addr} (mode {mode:?}, batch-max {batch_max}, batch-wait {batch_wait_us}us)",
+        data.num_items
+    );
+    server::run(listener, batcher).map_err(|e| e.to_string())
+}
+
 /// A required numeric field of a validated telemetry event (defaulting to
 /// NaN covers `null`, which stands in for non-finite floats on the wire).
 fn num(obj: &telemetry::json::Json, key: &str) -> f64 {
@@ -497,6 +545,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "evaluate" => cmd_evaluate(&args),
         "recommend" => cmd_recommend(&args),
+        "serve" => cmd_serve(&args),
         "check" => cmd_check(&args),
         "report" => cmd_report(positional.unwrap_or_default(), &args),
         _ => return usage(),

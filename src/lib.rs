@@ -13,6 +13,7 @@
 //! * [`meta_sgcl`] — the paper's model (also re-exported at the root).
 //! * [`analysis`] — the static graph auditor (`msgc check`).
 //! * [`telemetry`] — metrics registry, tracing spans, health detectors.
+//! * [`serve`] — tape-free inference engine and `msgc serve` front end.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -24,6 +25,7 @@ pub use models;
 pub use nn;
 pub use optim;
 pub use recdata;
+pub use serve;
 pub use telemetry;
 pub use tensor;
 
