@@ -1,0 +1,139 @@
+//! The determinism pass: statically verifies that every op on an audited
+//! tape carries a reassociation class ([`tensor::determinism`]) and that
+//! every parallel-reduced path — GEMM accumulation chains, the executor's
+//! mean reduction, InfoNCE / softmax / logsumexp denominators,
+//! cross-entropy row sums — is composed only of
+//! [`ReassocClass::FixedOrder`] ops.
+//!
+//! This is the contract the upcoming SIMD micro-kernels (ROADMAP item 3)
+//! must satisfy: a kernel may vectorise a `ReassocSafe` op freely, but a
+//! `FixedOrder` op's accumulation order is bitwise-contractual. Flipping a
+//! reduction's class (the `--inject-fault reassoc` hook, via `overrides`)
+//! must trip this pass.
+
+use autograd::NodeInfo;
+use tensor::determinism::{is_reduction, reassoc_class};
+use tensor::ReassocClass;
+
+/// One determinism finding on one tape node.
+#[derive(Debug, Clone)]
+pub struct DeterminismFinding {
+    /// Tape id of the offending node.
+    pub node: usize,
+    /// Op name of the offending node.
+    pub op: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DeterminismFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op `{}` (node {}): {}", self.op, self.node, self.message)
+    }
+}
+
+/// Class tallies over one tape (for report rendering).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeterminismSummary {
+    /// Nodes classified fixed-order (reduction-bearing).
+    pub fixed_order: usize,
+    /// Nodes classified reassociation-safe.
+    pub reassoc_safe: usize,
+}
+
+/// Runs the determinism pass with per-op class overrides (fault injection
+/// and what-if analysis). An override replaces the registry class for
+/// every node with that op name.
+pub fn check_snapshot_with(
+    nodes: &[NodeInfo],
+    overrides: &[(&str, ReassocClass)],
+) -> (Vec<DeterminismFinding>, DeterminismSummary) {
+    let mut findings = Vec::new();
+    let mut summary = DeterminismSummary::default();
+    for n in nodes {
+        let class = overrides
+            .iter()
+            .find(|(op, _)| *op == n.op)
+            .map(|&(_, c)| c)
+            .or_else(|| reassoc_class(n.op));
+        match class {
+            None => findings.push(DeterminismFinding {
+                node: n.id,
+                op: n.op,
+                message: "op has no reassociation class in the registry \
+                          (tensor::determinism::CLASSIFIED_OPS)"
+                    .into(),
+            }),
+            Some(ReassocClass::FixedOrder) => summary.fixed_order += 1,
+            Some(ReassocClass::ReassocSafe) => {
+                summary.reassoc_safe += 1;
+                if is_reduction(n.op) {
+                    findings.push(DeterminismFinding {
+                        node: n.id,
+                        op: n.op,
+                        message: "parallel-reduced op is classified reassoc-safe; \
+                                  its accumulation order must stay fixed for \
+                                  bitwise reproducibility"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    (findings, summary)
+}
+
+/// Runs the determinism pass with the registry classes as-is.
+pub fn check_snapshot(nodes: &[NodeInfo]) -> (Vec<DeterminismFinding>, DeterminismSummary) {
+    check_snapshot_with(nodes, &[])
+}
+
+/// The op name of the first reduction-bearing node on the tape, if any —
+/// the fault-injection target for `--inject-fault reassoc`.
+pub fn first_reduction_op(nodes: &[NodeInfo]) -> Option<&'static str> {
+    nodes.iter().map(|n| n.op).find(|op| is_reduction(op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autograd::Graph;
+    use tensor::Tensor;
+
+    fn softmax_tape() -> Graph {
+        let g = Graph::new();
+        let a = g.constant(Tensor::ones(vec![2, 3]));
+        let b = g.constant(Tensor::ones(vec![3, 4]));
+        let _ = a.matmul(&b).softmax_last().sum_all();
+        g
+    }
+
+    #[test]
+    fn healthy_tape_is_clean_and_tallied() {
+        let g = softmax_tape();
+        let (findings, summary) = check_snapshot(&g.snapshot());
+        assert!(findings.is_empty(), "{findings:?}");
+        // matmul + softmax_last + sum_all are the reductions.
+        assert_eq!(summary.fixed_order, 3);
+        assert_eq!(summary.reassoc_safe, 2); // the two constant leaves
+    }
+
+    #[test]
+    fn flipped_reduction_class_is_detected() {
+        let g = softmax_tape();
+        let snap = g.snapshot();
+        let target = first_reduction_op(&snap).expect("tape has reductions");
+        let (findings, _) = check_snapshot_with(&snap, &[(target, ReassocClass::ReassocSafe)]);
+        assert!(!findings.is_empty());
+        assert_eq!(findings[0].op, target);
+        assert!(findings[0].message.contains("reassoc-safe"));
+    }
+
+    #[test]
+    fn override_to_fixed_order_is_harmless() {
+        let g = softmax_tape();
+        let (findings, _) =
+            check_snapshot_with(&g.snapshot(), &[("constant", ReassocClass::FixedOrder)]);
+        assert!(findings.is_empty());
+    }
+}

@@ -17,20 +17,42 @@
 //! 3. **Numeric sanitation** ([`autograd::numeric`], surfaced through
 //!    [`registry`]) — scans activations and gradients for NaN / Inf /
 //!    exploding norms with per-op blame.
+//! 4. **Cost / liveness** ([`cost`]) — prices every node in FLOPs and
+//!    bytes from its shape signature, replays the backward pass's
+//!    allocation schedule, and predicts the peak live bytes of one
+//!    forward+backward step plus the `tensor::pool` size classes it
+//!    exercises. A counting-allocator integration test pins the
+//!    prediction against reality.
+//! 5. **Determinism** ([`determinism`]) — checks that every op carries a
+//!    reassociation class ([`tensor::determinism`]) and that every
+//!    parallel-reduced path is composed only of fixed-order ops — the
+//!    contract future SIMD kernels must preserve for bitwise
+//!    reproducibility.
+//! 6. **Frozen parity** ([`parity`]) — statically diffs the op sequence
+//!    of each autograd scoring forward against the declared trace of its
+//!    tape-free `Frozen*` twin, so editing either side fails the audit.
 //!
 //! The [`registry`] builds each model family in the zoo at a small audit
-//! configuration and runs all three passes over every declared training
-//! stage; `msgc check [--model <name> | --all]` is the CLI front end.
+//! configuration and runs every pass over every declared training stage;
+//! `msgc check [--model <name> | --all]` is the CLI front end and
+//! [`report::to_json`] renders the machine-readable `audit.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost;
+pub mod determinism;
 pub mod flow;
+pub mod parity;
 pub mod registry;
+pub mod report;
 pub mod shape;
 
+pub use cost::{CostDiagnostic, CostReport, PoolClass};
+pub use determinism::{DeterminismFinding, DeterminismSummary};
 pub use flow::{check_contract, classify, reachable_from, FlowClass, FlowSummary, FlowViolation};
+pub use parity::{ParityDiagnostic, ParityReport};
 pub use registry::{
     audit_all, audit_model, audit_model_with_fault, build, AuditReport, Fault, StageReport, MODELS,
 };
-pub use shape::{check_graph, check_snapshot, ShapeDiagnostic};
+pub use shape::{check_graph, check_snapshot, check_snapshot_in, ShapeDiagnostic};

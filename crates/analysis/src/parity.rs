@@ -1,0 +1,187 @@
+//! The frozen-parity pass: statically diffs the op sequence an autograd
+//! scoring forward actually records against the declared trace of its
+//! tape-free `Frozen*` twin.
+//!
+//! PR 6's inference engine proves `score_padded` parity *numerically*
+//! (bitwise-equal outputs on sampled inputs). This pass turns that into a
+//! *structural* guarantee: each frozen model declares, composed from its
+//! submodules' `op_trace` methods, the exact op-name sequence its autograd
+//! reference produces (see [`models::audit::ParityCheck`]). Editing either
+//! side — a new op in the training forward, a skipped op in the frozen
+//! path — desynchronises the sequences and fails the audit without
+//! running either forward's kernels to completion.
+
+use models::audit::ParityCheck;
+
+/// How many ops of context to show around the first divergence.
+const CONTEXT: usize = 3;
+
+/// One declared-vs-actual divergence.
+#[derive(Debug, Clone)]
+pub struct ParityDiagnostic {
+    /// Index into the op sequences where they first disagree.
+    pub index: usize,
+    /// Declared op at that index (`None` = declared trace ended early).
+    pub declared: Option<&'static str>,
+    /// Actual tape op at that index (`None` = tape ended early).
+    pub actual: Option<&'static str>,
+    /// A window of both sequences around the divergence.
+    pub context: String,
+}
+
+impl std::fmt::Display for ParityDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let show = |op: Option<&str>| op.unwrap_or("<end of sequence>").to_string();
+        write!(
+            f,
+            "first divergence at op {}: declared `{}`, tape recorded `{}` ({})",
+            self.index,
+            show(self.declared),
+            show(self.actual),
+            self.context
+        )
+    }
+}
+
+/// The frozen-parity verdict for one model's scoring path.
+#[derive(Debug, Clone)]
+pub struct ParityReport {
+    /// Which frozen entry point was checked (e.g. `score_padded`).
+    pub path: String,
+    /// Length of the declared op sequence.
+    pub declared_len: usize,
+    /// Length of the tape's actual op sequence.
+    pub actual_len: usize,
+    /// Empty when the sequences match exactly.
+    pub diagnostics: Vec<ParityDiagnostic>,
+}
+
+impl ParityReport {
+    /// True when declared and actual op sequences are identical.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl std::fmt::Display for ParityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "`{}`: {} ops, declared trace matches the tape",
+                self.path, self.actual_len
+            )
+        } else {
+            write!(
+                f,
+                "`{}`: declared {} ops, tape recorded {}; {}",
+                self.path, self.declared_len, self.actual_len, self.diagnostics[0]
+            )
+        }
+    }
+}
+
+fn window(ops: &[&'static str], at: usize) -> String {
+    let lo = at.saturating_sub(CONTEXT);
+    let hi = (at + CONTEXT + 1).min(ops.len());
+    ops[lo..hi].join(" ")
+}
+
+/// Diffs a [`ParityCheck`]'s declared trace against the recorded tape.
+///
+/// Reports only the *first* divergence: once the sequences desynchronise,
+/// every later position disagrees trivially and would drown the signal.
+pub fn diff(check: &ParityCheck) -> ParityReport {
+    let declared = &check.declared;
+    let actual = &check.actual;
+    let mut diagnostics = Vec::new();
+    let n = declared.len().max(actual.len());
+    for i in 0..n {
+        let d = declared.get(i).copied();
+        let a = actual.get(i).copied();
+        if d != a {
+            diagnostics.push(ParityDiagnostic {
+                index: i,
+                declared: d,
+                actual: a,
+                context: format!(
+                    "declared ...{}..., tape ...{}...",
+                    window(declared, i),
+                    window(actual, i)
+                ),
+            });
+            break;
+        }
+    }
+    ParityReport {
+        path: check.path.clone(),
+        declared_len: declared.len(),
+        actual_len: actual.len(),
+        diagnostics,
+    }
+}
+
+/// Desynchronises a parity check's declared trace — the fault-injection
+/// hook for `--inject-fault parity`: drops the first declared op, which
+/// [`diff`] must flag at or before that position.
+pub fn inject_parity_fault(check: &mut ParityCheck) {
+    if check.declared.is_empty() {
+        check.declared.push("bogus_op");
+    } else {
+        check.declared.remove(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(declared: &[&'static str], actual: &[&'static str]) -> ParityCheck {
+        ParityCheck {
+            path: "score_padded".into(),
+            declared: declared.to_vec(),
+            actual: actual.to_vec(),
+        }
+    }
+
+    #[test]
+    fn identical_sequences_are_clean() {
+        let r = diff(&check(
+            &["matmul", "add", "relu"],
+            &["matmul", "add", "relu"],
+        ));
+        assert!(r.is_clean());
+        assert_eq!(r.declared_len, 3);
+        assert_eq!(r.actual_len, 3);
+    }
+
+    #[test]
+    fn first_divergence_is_located() {
+        let r = diff(&check(
+            &["matmul", "add", "relu", "matmul"],
+            &["matmul", "add", "gelu", "matmul"],
+        ));
+        assert_eq!(r.diagnostics.len(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.index, 2);
+        assert_eq!(d.declared, Some("relu"));
+        assert_eq!(d.actual, Some("gelu"));
+        assert!(d.context.contains("relu") && d.context.contains("gelu"));
+    }
+
+    #[test]
+    fn length_mismatch_is_a_divergence() {
+        let r = diff(&check(&["matmul", "add"], &["matmul", "add", "relu"]));
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].index, 2);
+        assert_eq!(r.diagnostics[0].declared, None);
+        assert_eq!(r.diagnostics[0].actual, Some("relu"));
+    }
+
+    #[test]
+    fn injected_fault_desynchronises() {
+        let mut c = check(&["matmul", "add"], &["matmul", "add"]);
+        inject_parity_fault(&mut c);
+        assert!(!diff(&c).is_clean());
+    }
+}

@@ -1,7 +1,7 @@
 //! The model zoo registry and the audit driver: builds each model family
 //! at a small audit-sized configuration, traces every declared training
-//! stage, and runs the three passes (shape, gradient-flow, numeric) over
-//! the captured tapes.
+//! stage, and runs the static passes (shape, gradient-flow, numeric,
+//! cost/liveness, determinism, frozen-parity) over the captured tapes.
 
 use autograd::numeric::{scan_gradients, scan_graph, NumericIssue};
 use autograd::ShapeSig;
@@ -10,9 +10,14 @@ use models::audit::{audit_sequences, Auditable};
 use models::{
     Acvae, Bert4Rec, Caser, Cl4SRec, ContrastVae, DuoRec, Gru4Rec, NetConfig, SasRec, Vsan,
 };
+use tensor::bug::OrBug;
+use tensor::ReassocClass;
 
+use crate::cost::{self, CostReport};
+use crate::determinism::{self, DeterminismFinding, DeterminismSummary};
 use crate::flow::{check_contract, FlowSummary, FlowViolation};
-use crate::shape::{check_snapshot, ShapeDiagnostic};
+use crate::parity::{self, ParityReport};
+use crate::shape::{check_snapshot_in, ShapeDiagnostic};
 
 /// Norm ceiling for the numeric pass — matches the training sanitizer.
 pub const NORM_LIMIT: f32 = 1e6;
@@ -80,9 +85,18 @@ pub enum Fault {
     /// Skip the stage-2 freeze (Meta-SGCL only): the meta stage then
     /// wrongly reaches the main parameters.
     Freeze,
+    /// Flip the first reduction op's reassociation class to
+    /// reassoc-safe — the determinism pass must refuse it.
+    Reassoc,
+    /// Corrupt a recorded output shape so the cost pass refuses to price
+    /// the tape.
+    Cost,
+    /// Desynchronise the declared frozen-forward op trace from the tape
+    /// (models with a frozen twin only).
+    Parity,
 }
 
-/// The three passes' findings for one traced stage.
+/// The static passes' findings for one traced stage.
 #[derive(Debug)]
 pub struct StageReport {
     /// Stage name (`full`, `meta`, ...).
@@ -97,12 +111,22 @@ pub struct StageReport {
     pub flow_summary: FlowSummary,
     /// NaN / Inf / exploding-norm findings in activations and gradients.
     pub numeric: Vec<NumericIssue>,
+    /// FLOP / byte pricing and the peak-liveness prediction.
+    pub cost: CostReport,
+    /// Determinism findings (unclassified ops, reassociable reductions).
+    pub determinism: Vec<DeterminismFinding>,
+    /// Reassociation-class tallies for the determinism pass.
+    pub determinism_summary: DeterminismSummary,
 }
 
 impl StageReport {
     /// True when every pass came back empty.
     pub fn is_clean(&self) -> bool {
-        self.shape.is_empty() && self.flow.is_empty() && self.numeric.is_empty()
+        self.shape.is_empty()
+            && self.flow.is_empty()
+            && self.numeric.is_empty()
+            && self.cost.is_clean()
+            && self.determinism.is_empty()
     }
 }
 
@@ -113,12 +137,17 @@ pub struct AuditReport {
     pub model: String,
     /// One report per declared training stage.
     pub stages: Vec<StageReport>,
+    /// Frozen-forward op-sequence parity, for models with a tape-free
+    /// frozen twin (`None` = the family declares no frozen scoring path).
+    pub parity: Option<ParityReport>,
 }
 
 impl AuditReport {
-    /// True when every stage is clean.
+    /// True when every stage is clean and the parity check (if declared)
+    /// holds.
     pub fn is_clean(&self) -> bool {
         self.stages.iter().all(StageReport::is_clean)
+            && self.parity.as_ref().is_none_or(ParityReport::is_clean)
     }
 }
 
@@ -132,6 +161,16 @@ impl std::fmt::Display for AuditReport {
                 "  stage `{}`: {} nodes, {} reached / {} frozen per contract",
                 s.stage, s.nodes, s.flow_summary.reached, s.flow_summary.frozen
             )?;
+            writeln!(
+                f,
+                "    cost: {} flops, tape {} B (+{} B in closures), predicted peak {} B",
+                s.cost.flops, s.cost.tape_bytes, s.cost.closure_bytes, s.cost.predicted_peak_bytes
+            )?;
+            writeln!(
+                f,
+                "    determinism: {} fixed-order / {} reassoc-safe nodes",
+                s.determinism_summary.fixed_order, s.determinism_summary.reassoc_safe
+            )?;
             for d in &s.shape {
                 writeln!(f, "    shape: {d}")?;
             }
@@ -141,6 +180,15 @@ impl std::fmt::Display for AuditReport {
             for n in &s.numeric {
                 writeln!(f, "    numeric: {n}")?;
             }
+            for d in &s.cost.diagnostics {
+                writeln!(f, "    cost: {d}")?;
+            }
+            for d in &s.determinism {
+                writeln!(f, "    determinism: {d}")?;
+            }
+        }
+        if let Some(p) = &self.parity {
+            writeln!(f, "  frozen-parity {p}")?;
         }
         Ok(())
     }
@@ -148,20 +196,26 @@ impl std::fmt::Display for AuditReport {
 
 fn run_passes(model: &mut dyn Auditable, fault: Option<Fault>) -> AuditReport {
     let seqs = audit_sequences(AUDIT_ITEMS, AUDIT_USERS, AUDIT_LEN);
+    let name = model.audit_name();
     let contracts = model.audit_contracts();
     let mut stages = Vec::new();
     for contract in &contracts {
         let trace = model.trace_stage(&contract.stage, &seqs, AUDIT_SEED);
         let mut snap = trace.graph.snapshot();
-        if fault == Some(Fault::Shape) {
+        if matches!(fault, Some(Fault::Shape | Fault::Cost)) {
             inject_shape_fault(&mut snap);
         }
-        let shape = check_snapshot(&snap);
+        let origin = format!("{name}/{}", contract.stage);
+        let shape = check_snapshot_in(&snap, &origin);
         let (flow, flow_summary) = check_contract(&snap, trace.loss.node_id(), contract);
         let mut numeric = scan_graph(&trace.graph, NORM_LIMIT);
         if trace.loss.requires_grad() {
             numeric.extend(scan_gradients(&trace.loss.backward_collect(), NORM_LIMIT));
         }
+        let cost = cost::analyze(&snap, trace.loss.node_id());
+        let overrides = reassoc_overrides(&snap, fault);
+        let (determinism, determinism_summary) =
+            determinism::check_snapshot_with(&snap, &overrides);
         stages.push(StageReport {
             stage: contract.stage.clone(),
             nodes: snap.len(),
@@ -169,12 +223,36 @@ fn run_passes(model: &mut dyn Auditable, fault: Option<Fault>) -> AuditReport {
             flow,
             flow_summary,
             numeric,
+            cost,
+            determinism,
+            determinism_summary,
         });
     }
+    let parity = model.frozen_parity(&seqs).map(|mut check| {
+        if fault == Some(Fault::Parity) {
+            parity::inject_parity_fault(&mut check);
+        }
+        parity::diff(&check)
+    });
     AuditReport {
-        model: model.audit_name(),
+        model: name,
         stages,
+        parity,
     }
+}
+
+/// The determinism pass's class overrides for a fault run: flip the first
+/// reduction op found on the tape to reassoc-safe.
+fn reassoc_overrides(
+    snap: &[autograd::NodeInfo],
+    fault: Option<Fault>,
+) -> Vec<(&'static str, ReassocClass)> {
+    if fault != Some(Fault::Reassoc) {
+        return Vec::new();
+    }
+    determinism::first_reduction_op(snap)
+        .map(|op| vec![(op, ReassocClass::ReassocSafe)])
+        .unwrap_or_default()
 }
 
 /// Corrupts the recorded output shape of the last non-leaf tape node,
@@ -199,7 +277,8 @@ pub fn audit_model(name: &str) -> Option<AuditReport> {
 /// name is unknown.
 ///
 /// [`Fault::Freeze`] only applies to Meta-SGCL (the one multi-stage
-/// family); other models fall back to a normal audit.
+/// family) and [`Fault::Parity`] to families with a frozen twin; other
+/// models fall back to a normal audit.
 pub fn audit_model_with_fault(name: &str, fault: Fault) -> Option<AuditReport> {
     if fault == Fault::Freeze {
         if !name.eq_ignore_ascii_case("Meta-SGCL") {
@@ -214,12 +293,15 @@ pub fn audit_model_with_fault(name: &str, fault: Fault) -> Option<AuditReport> {
             .audit_contracts()
             .into_iter()
             .find(|c| c.stage == "meta")
-            .expect("Meta-SGCL declares a meta stage");
+            .or_bug("Meta-SGCL declares a meta stage");
         let trace = model.audit_trace_meta_unfrozen(&seqs, AUDIT_SEED);
         let snap = trace.graph.snapshot();
-        let shape = check_snapshot(&snap);
+        let shape = check_snapshot_in(&snap, "Meta-SGCL/meta");
         let (flow, flow_summary) = check_contract(&snap, trace.loss.node_id(), &contract);
         let numeric = scan_graph(&trace.graph, NORM_LIMIT);
+        let cost = cost::analyze(&snap, trace.loss.node_id());
+        let (determinism, determinism_summary) = determinism::check_snapshot(&snap);
+        let parity = model.frozen_parity(&seqs).map(|c| parity::diff(&c));
         return Some(AuditReport {
             model: "Meta-SGCL".into(),
             stages: vec![StageReport {
@@ -229,7 +311,11 @@ pub fn audit_model_with_fault(name: &str, fault: Fault) -> Option<AuditReport> {
                 flow,
                 flow_summary,
                 numeric,
+                cost,
+                determinism,
+                determinism_summary,
             }],
+            parity,
         });
     }
     let mut model = build(name)?;
@@ -244,6 +330,7 @@ pub fn audit_all() -> Vec<AuditReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tensor::determinism::reassoc_class;
 
     #[test]
     fn every_registered_model_builds() {
@@ -279,11 +366,86 @@ mod tests {
         }
     }
 
+    /// Registry completeness, derived from the tapes themselves: every op
+    /// any audited stage records must carry a reassociation class and a
+    /// shape signature that reproduces the recorded output shape. No
+    /// hardcoded op list — adding a new `Var` op and forgetting either
+    /// piece of metadata fails here.
+    #[test]
+    fn every_audited_op_is_fully_registered() {
+        let seqs = audit_sequences(AUDIT_ITEMS, AUDIT_USERS, AUDIT_LEN);
+        for name in MODELS {
+            let mut model = build(name).expect("registered");
+            for contract in model.audit_contracts() {
+                let trace = model.trace_stage(&contract.stage, &seqs, AUDIT_SEED);
+                let snap = trace.graph.snapshot();
+                for n in &snap {
+                    assert!(
+                        reassoc_class(n.op).is_some(),
+                        "{name}/{}: op `{}` (node {}) has no reassociation class",
+                        contract.stage,
+                        n.op,
+                        n.id
+                    );
+                    let in_dims: Vec<&[usize]> =
+                        n.inputs.iter().map(|&i| snap[i].dims.as_slice()).collect();
+                    let inferred = n.sig.infer(&in_dims).unwrap_or_else(|e| {
+                        panic!(
+                            "{name}/{}: op `{}` (node {}) shape rule rejected \
+                             its own recorded inputs: {e}",
+                            contract.stage, n.op, n.id
+                        )
+                    });
+                    if let Some(inferred) = inferred {
+                        assert_eq!(
+                            inferred, n.dims,
+                            "{name}/{}: op `{}` (node {}) signature does not \
+                             reproduce the recorded output shape",
+                            contract.stage, n.op, n.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_reports_are_populated() {
+        let report = audit_model("SASRec").expect("registered");
+        let s = &report.stages[0];
+        assert!(s.cost.is_clean());
+        assert!(s.cost.flops > 0);
+        assert!(s.cost.tape_bytes > 0);
+        assert!(s.cost.predicted_peak_bytes > s.cost.tape_bytes);
+        assert!(s.determinism_summary.fixed_order > 0);
+    }
+
+    #[test]
+    fn frozen_parity_is_declared_and_clean() {
+        for name in ["GRU4Rec", "Meta-SGCL"] {
+            let report = audit_model(name).expect("registered");
+            let parity = report
+                .parity
+                .as_ref()
+                .unwrap_or_else(|| panic!("{name} must declare a frozen-parity check"));
+            assert!(parity.is_clean(), "{name}: {parity}");
+            assert!(parity.actual_len > 0);
+        }
+    }
+
     #[test]
     fn shape_fault_is_detected() {
         let report = audit_model_with_fault("SASRec", Fault::Shape).expect("registered");
         assert!(!report.is_clean());
         assert!(report.stages.iter().any(|s| !s.shape.is_empty()));
+        // The blame carries the model/stage origin label.
+        let d = report
+            .stages
+            .iter()
+            .flat_map(|s| &s.shape)
+            .next()
+            .expect("a diagnostic");
+        assert_eq!(d.origin, "SASRec/full");
     }
 
     #[test]
@@ -296,5 +458,33 @@ mod tests {
             !meta.flow.is_empty(),
             "unfrozen meta stage must violate the freeze contract"
         );
+    }
+
+    #[test]
+    fn reassoc_fault_is_detected() {
+        let report = audit_model_with_fault("SASRec", Fault::Reassoc).expect("registered");
+        assert!(!report.is_clean());
+        assert!(
+            report.stages.iter().any(|s| !s.determinism.is_empty()),
+            "flipped reduction class must trip the determinism pass"
+        );
+    }
+
+    #[test]
+    fn cost_fault_is_detected() {
+        let report = audit_model_with_fault("GRU4Rec", Fault::Cost).expect("registered");
+        assert!(!report.is_clean());
+        assert!(
+            report.stages.iter().any(|s| !s.cost.diagnostics.is_empty()),
+            "corrupted shapes must make the cost pass refuse to price"
+        );
+    }
+
+    #[test]
+    fn parity_fault_is_detected() {
+        let report = audit_model_with_fault("Meta-SGCL", Fault::Parity).expect("registered");
+        assert!(!report.is_clean());
+        let parity = report.parity.as_ref().expect("Meta-SGCL declares parity");
+        assert!(!parity.is_clean());
     }
 }

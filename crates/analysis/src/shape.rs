@@ -13,26 +13,38 @@ pub struct ShapeDiagnostic {
     pub op: &'static str,
     /// Tape ids of the op's inputs.
     pub inputs: Vec<usize>,
+    /// Where the tape came from — a `model/stage` label when the audit
+    /// driver supplied one, empty for ad-hoc graphs.
+    pub origin: String,
     /// Human-readable description of the disagreement.
     pub message: String,
 }
 
 impl std::fmt::Display for ShapeDiagnostic {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "op `{}` (node {}, inputs {:?}): {}",
-            self.op, self.node, self.inputs, self.message
-        )
+        if self.origin.is_empty() {
+            write!(
+                f,
+                "op `{}` (node {}, inputs {:?}): {}",
+                self.op, self.node, self.inputs, self.message
+            )
+        } else {
+            write!(
+                f,
+                "op `{}` (node {} of `{}`, inputs {:?}): {}",
+                self.op, self.node, self.origin, self.inputs, self.message
+            )
+        }
     }
 }
 
-/// Runs shape inference over an exported tape snapshot.
+/// Runs shape inference over an exported tape snapshot, blaming findings
+/// on `origin` (a `model/stage` label) in addition to the node index.
 ///
 /// Every node's output shape is re-derived from its inputs' *recorded*
 /// shapes (not from previously inferred ones), so a single inconsistency
 /// produces a single, precisely blamed diagnostic rather than a cascade.
-pub fn check_snapshot(nodes: &[NodeInfo]) -> Vec<ShapeDiagnostic> {
+pub fn check_snapshot_in(nodes: &[NodeInfo], origin: &str) -> Vec<ShapeDiagnostic> {
     let mut diags = Vec::new();
     for n in nodes {
         let in_dims: Vec<&[usize]> = n.inputs.iter().map(|&i| nodes[i].dims.as_slice()).collect();
@@ -45,6 +57,7 @@ pub fn check_snapshot(nodes: &[NodeInfo]) -> Vec<ShapeDiagnostic> {
                         node: n.id,
                         op: n.op,
                         inputs: n.inputs.clone(),
+                        origin: origin.into(),
                         message: format!(
                             "inferred {inferred:?} from input shapes {owned:?}, \
                              but the recorded output shape is {:?}",
@@ -57,11 +70,17 @@ pub fn check_snapshot(nodes: &[NodeInfo]) -> Vec<ShapeDiagnostic> {
                 node: n.id,
                 op: n.op,
                 inputs: n.inputs.clone(),
+                origin: origin.into(),
                 message: format!("shape rule rejected the inputs: {e}"),
             }),
         }
     }
     diags
+}
+
+/// [`check_snapshot_in`] with no origin label (ad-hoc graphs).
+pub fn check_snapshot(nodes: &[NodeInfo]) -> Vec<ShapeDiagnostic> {
+    check_snapshot_in(nodes, "")
 }
 
 /// [`check_snapshot`] on a live graph.
@@ -98,5 +117,23 @@ mod tests {
         assert_eq!(diags[0].node, m.node_id());
         assert_eq!(diags[0].op, "matmul");
         assert!(diags[0].message.contains("[2, 4]"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn origin_label_blames_model_and_stage() {
+        let g = Graph::new();
+        let a = g.constant(Tensor::ones(vec![2, 3]));
+        let m = a.relu();
+        let _ = m.sum_all();
+        let mut snap = g.snapshot();
+        snap[m.node_id()].dims = vec![9];
+        let diags = check_snapshot_in(&snap, "SASRec/full");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].origin, "SASRec/full");
+        let shown = diags[0].to_string();
+        assert!(
+            shown.contains("SASRec/full") && shown.contains(&format!("node {}", m.node_id())),
+            "{shown}"
+        );
     }
 }

@@ -1,0 +1,55 @@
+//! Property tests for the cost/liveness model: the predicted peak of a
+//! real model's training step must be monotone non-decreasing in both
+//! batch size (number of users) and padded sequence length — growing the
+//! workload can never shrink the predicted footprint.
+
+use analysis::cost;
+use models::audit::{audit_sequences, Auditable};
+use models::{NetConfig, SasRec};
+use proptest::prelude::*;
+
+const ITEMS: usize = 10;
+
+/// Predicted peak bytes of one SASRec training step at the given batch
+/// geometry.
+fn predicted_peak(users: usize, max_len: usize) -> u64 {
+    let net = NetConfig {
+        max_len,
+        dim: 8,
+        layers: 1,
+        seed: 7,
+        ..NetConfig::for_items(ITEMS)
+    };
+    let mut model = SasRec::new(net);
+    let seqs = audit_sequences(ITEMS, users, max_len);
+    let trace = model.trace_stage("full", &seqs, 7);
+    let report = cost::analyze(&trace.graph.snapshot(), trace.loss.node_id());
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+    report.predicted_peak_bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn predicted_peak_is_monotone_in_batch_and_length(
+        users in 1usize..5,
+        max_len in 2usize..7,
+    ) {
+        let base = predicted_peak(users, max_len);
+        let more_users = predicted_peak(users + 1, max_len);
+        let longer = predicted_peak(users, max_len + 1);
+        prop_assert!(
+            more_users >= base,
+            "peak shrank when batch grew: {base} -> {more_users} \
+             (users {users}->{}, len {max_len})",
+            users + 1
+        );
+        prop_assert!(
+            longer >= base,
+            "peak shrank when sequences grew: {base} -> {longer} \
+             (users {users}, len {max_len}->{})",
+            max_len + 1
+        );
+    }
+}

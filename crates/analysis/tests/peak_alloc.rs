@@ -1,0 +1,129 @@
+//! Validates the static peak-memory model against reality: runs a real
+//! model's forward+backward under a counting global allocator and gates
+//! `measured_peak <= predicted_peak <= SLACK * measured_peak`.
+//!
+//! This file is its own test binary on purpose — a process-global
+//! allocator counter cannot coexist with unrelated tests allocating
+//! concurrently, so the single `#[test]` below owns the whole process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use analysis::cost;
+use models::audit::{audit_sequences, Auditable};
+use models::{NetConfig, SasRec};
+use tensor::pool;
+
+/// The prediction is allowed to overshoot reality by at most this factor
+/// (it budgets closure transients and persistent grad buffers the
+/// measured run may not touch).
+const SLACK: u64 = 4;
+
+/// A byte-counting wrapper around the system allocator tracking the
+/// live-bytes high-water mark.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn on_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::SeqCst) + size;
+    PEAK.fetch_max(live, Ordering::SeqCst);
+}
+
+fn on_dealloc(size: usize) {
+    LIVE.fetch_sub(size, Ordering::SeqCst);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn live() -> usize {
+    LIVE.load(Ordering::SeqCst)
+}
+
+/// Forgets past peaks: the high-water mark restarts from the current
+/// live-byte count.
+fn reset_peak() {
+    PEAK.store(live(), Ordering::SeqCst);
+}
+
+#[test]
+fn measured_peak_is_bounded_by_the_predicted_peak() {
+    // Recycling into the tensor pool would keep "freed" buffers live from
+    // the allocator's point of view; measure against the raw allocator.
+    pool::set_enabled(false);
+
+    // A geometry big enough that tensor traffic dwarfs bookkeeping noise
+    // (Vecs of indices, node metadata): the tape holds several MB.
+    let net = NetConfig {
+        max_len: 32,
+        dim: 32,
+        layers: 2,
+        seed: 7,
+        ..NetConfig::for_items(60)
+    };
+    let mut model = SasRec::new(net);
+    let seqs = audit_sequences(60, 16, 32);
+
+    // Warm up lazy one-time state (telemetry registries, rng tables) so
+    // the measured window sees only per-step traffic.
+    {
+        let warm = model.trace_stage("full", &seqs, 7);
+        warm.loss.backward();
+    }
+
+    let baseline = live();
+    reset_peak();
+    let trace = model.trace_stage("full", &seqs, 7);
+    trace.loss.backward();
+    let measured = (PEAK.load(Ordering::SeqCst) - baseline) as u64;
+
+    // Price the tape only after the measured window closes — the snapshot
+    // itself allocates metadata the model deliberately excludes.
+    let snap = trace.graph.snapshot();
+    let report = cost::analyze(&snap, trace.loss.node_id());
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+
+    assert!(
+        measured <= report.predicted_peak_bytes,
+        "measured peak {measured} B exceeds predicted {} B \
+         (tape {} + closures {} + backward {} + grads {} + transient {})",
+        report.predicted_peak_bytes,
+        report.tape_bytes,
+        report.closure_bytes,
+        report.backward_peak_bytes,
+        report.param_grad_bytes,
+        report.transient_bytes,
+    );
+    assert!(
+        report.predicted_peak_bytes <= SLACK * measured,
+        "predicted peak {} B is more than {SLACK}x the measured {measured} B — \
+         the model has drifted loose",
+        report.predicted_peak_bytes,
+    );
+}

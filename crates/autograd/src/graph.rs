@@ -4,6 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use tensor::bug::OrBug;
 use tensor::Tensor;
 
 use crate::accum::GradientSet;
@@ -48,12 +49,12 @@ impl ParamRef {
 
     /// Read access. Multiple simultaneous reads are fine; blocks on a writer.
     pub fn borrow(&self) -> RwLockReadGuard<'_, Parameter> {
-        self.0.read().expect("parameter lock poisoned")
+        self.0.read().or_bug("parameter lock poisoned")
     }
 
     /// Exclusive write access.
     pub fn borrow_mut(&self) -> RwLockWriteGuard<'_, Parameter> {
-        self.0.write().expect("parameter lock poisoned")
+        self.0.write().or_bug("parameter lock poisoned")
     }
 
     /// True if both handles refer to the same parameter allocation.

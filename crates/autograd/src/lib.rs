@@ -52,5 +52,5 @@ mod ops_shape;
 
 pub use accum::GradientSet;
 pub use graph::{Graph, ParamRef, Parameter, Var};
-pub use meta::{NodeInfo, ParamInfo, ShapeSig};
+pub use meta::{capture_bytes, NodeInfo, ParamInfo, ShapeSig};
 pub use ops_reduce::IGNORE_INDEX;

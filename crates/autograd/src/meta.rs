@@ -144,6 +144,89 @@ impl ShapeSig {
     }
 }
 
+impl ShapeSig {
+    /// Estimated floating-point operations to produce `out` from `inputs`
+    /// (a fused multiply-add counts as 2 FLOPs, the HPC convention).
+    ///
+    /// The estimate is *signature-driven*: matmul families charge
+    /// `2·(output elements)·k`, reductions and scalar heads charge one op
+    /// per reduced input element, elementwise/broadcast ops charge one op
+    /// per output element, and pure data movement (reshape, permute,
+    /// slice, concat, gather) charges zero — copies move bytes, covered by
+    /// [`ShapeSig::out_bytes`], not arithmetic.
+    pub fn flops(&self, inputs: &[&[usize]], out: &[usize]) -> u64 {
+        let numel = |d: &[usize]| d.iter().product::<usize>() as u64;
+        let in_numel = |i: usize| inputs.get(i).map_or(0, |d| numel(d));
+        match self {
+            ShapeSig::Leaf => 0,
+            ShapeSig::Elementwise | ShapeSig::Broadcast | ShapeSig::BroadcastWith(_) => numel(out),
+            // k is the contracted dimension: the last axis of A for NN/NT
+            // layouts, the first axis of A for the TN layout.
+            ShapeSig::Matmul | ShapeSig::MatmulTransB => {
+                let k = inputs.first().and_then(|a| a.last()).copied().unwrap_or(0) as u64;
+                2 * numel(out) * k
+            }
+            ShapeSig::MatmulTransA => {
+                let k = inputs.first().and_then(|a| a.first()).copied().unwrap_or(0) as u64;
+                2 * numel(out) * k
+            }
+            // Global/axis reductions and the fused loss heads touch every
+            // input element once.
+            ShapeSig::Scalar | ShapeSig::Reduce { .. } => in_numel(0),
+            ShapeSig::Reshape(_)
+            | ShapeSig::TransposeLast2
+            | ShapeSig::Permute(_)
+            | ShapeSig::Concat { .. }
+            | ShapeSig::SliceAxis { .. }
+            | ShapeSig::GatherRows { .. } => 0,
+        }
+    }
+
+    /// Bytes of the output buffer a kernel with this signature allocates
+    /// for the recorded output shape (`f32` storage).
+    pub fn out_bytes(out: &[usize]) -> u64 {
+        out.iter().product::<usize>() as u64 * std::mem::size_of::<f32>() as u64
+    }
+}
+
+/// Bytes a node's backward closure *retains* for the lifetime of the tape
+/// (beyond the output buffer itself): the tensor clones each `Var` op
+/// moves into its adjoint closure. `None` means the op has no declared
+/// capture model — the cost pass refuses to price such a tape.
+///
+/// This table is contractual with the closures in the `ops_*` modules:
+/// change what an op captures and this entry must change with it (the
+/// `peak_alloc` counting-allocator test pins the sum against reality).
+/// Captures only exist when the node requires grad — recording drops the
+/// closure (and its captures) otherwise.
+pub fn capture_bytes(op: &str, sig: &ShapeSig, inputs: &[&[usize]], out: &[usize]) -> Option<u64> {
+    let bytes = |d: &[usize]| ShapeSig::out_bytes(d);
+    let in0 = inputs.first().map_or(0, |d| bytes(d));
+    let in1 = inputs.get(1).map_or(0, |d| bytes(d));
+    Some(match op {
+        // Leaves, gradient markers, pass-through adjoints, data movement,
+        // and plain sums capture shapes only (usize vectors, not priced).
+        "constant" | "param" | "detach" | "add" | "sub" | "scale" | "add_scalar" | "add_const"
+        | "reshape" | "transpose_last2" | "permute" | "concat" | "slice_axis"
+        | "index_select_rows" | "sum_all" | "mean_all" | "sum_axis" => 0,
+        // Product rules keep both operand values.
+        "mul" | "matmul" | "matmul_transb" | "matmul_transa" => in0 + in1,
+        // The quotient rule keeps both operands plus the output.
+        "div" => in0 + in1 + bytes(out),
+        // Output-form derivatives keep a clone of the output.
+        "exp" | "sqrt" | "tanh" | "sigmoid" | "softmax_last" | "log_softmax_last" => bytes(out),
+        // Input-form derivatives keep a clone of the input; the fused
+        // cross-entropy keeps the softmax probabilities (input-shaped).
+        "log" | "square" | "relu" | "gelu" | "clamp" | "cross_entropy" => in0,
+        // The masked product keeps its constant operand (shape in the sig).
+        "mul_const" => match sig {
+            ShapeSig::BroadcastWith(c) => bytes(c),
+            _ => return None,
+        },
+        _ => return None,
+    })
+}
+
 /// Identity of a parameter leaf in a [`NodeInfo`].
 #[derive(Debug, Clone)]
 pub struct ParamInfo {
@@ -205,6 +288,24 @@ impl Graph {
                     }
                 }),
             })
+            .collect()
+    }
+
+    /// The tape's *compute* op names in recording order: every non-leaf
+    /// node's `op`, with `constant`/`param` leaves elided (they read
+    /// inputs into the graph, they don't compute).
+    ///
+    /// This is the autograd side of the frozen-parity contract: a
+    /// `Frozen*` module declares the op sequence its twin's forward must
+    /// record, and the static parity pass diffs that declaration against
+    /// this trace.
+    pub fn op_trace(&self) -> Vec<&'static str> {
+        let inner = self.inner.borrow();
+        inner
+            .nodes
+            .iter()
+            .filter(|n| !matches!(n.sig, ShapeSig::Leaf))
+            .map(|n| n.op)
             .collect()
     }
 }

@@ -1,5 +1,6 @@
 //! Elementwise arithmetic and unary math ops for [`Var`].
 
+use tensor::bug::OrBug;
 use tensor::{ops, Tensor};
 
 use crate::graph::Var;
@@ -12,7 +13,7 @@ impl Var {
     pub fn add(&self, other: &Var) -> Var {
         let value = self
             .with_value(|a| other.with_value(|b| ops::add(a, b)))
-            .expect("add");
+            .or_bug("add");
         let (aid, bid) = (self.id, other.id);
         let (ad, bd) = (self.dims(), other.dims());
         self.binary(other, "add", ShapeSig::Broadcast, value, move |g, sink| {
@@ -25,7 +26,7 @@ impl Var {
     pub fn sub(&self, other: &Var) -> Var {
         let value = self
             .with_value(|a| other.with_value(|b| ops::sub(a, b)))
-            .expect("sub");
+            .or_bug("sub");
         let (aid, bid) = (self.id, other.id);
         let (ad, bd) = (self.dims(), other.dims());
         self.binary(other, "sub", ShapeSig::Broadcast, value, move |g, sink| {
@@ -40,12 +41,12 @@ impl Var {
     pub fn mul(&self, other: &Var) -> Var {
         let a_val = self.value();
         let b_val = other.value();
-        let value = ops::mul(&a_val, &b_val).expect("mul");
+        let value = ops::mul(&a_val, &b_val).or_bug("mul");
         let (aid, bid) = (self.id, other.id);
         self.binary(other, "mul", ShapeSig::Broadcast, value, move |g, sink| {
-            let ga = ops::mul(g, &b_val).expect("mul-back");
+            let ga = ops::mul(g, &b_val).or_bug("mul-back");
             sink(aid, ops::unbroadcast(&ga, a_val.dims()));
-            let gb = ops::mul(g, &a_val).expect("mul-back");
+            let gb = ops::mul(g, &a_val).or_bug("mul-back");
             sink(bid, ops::unbroadcast(&gb, b_val.dims()));
         })
     }
@@ -54,15 +55,15 @@ impl Var {
     pub fn div(&self, other: &Var) -> Var {
         let a_val = self.value();
         let b_val = other.value();
-        let value = ops::div(&a_val, &b_val).expect("div");
+        let value = ops::div(&a_val, &b_val).or_bug("div");
         let (aid, bid) = (self.id, other.id);
         let out_val = value.clone();
         self.binary(other, "div", ShapeSig::Broadcast, value, move |g, sink| {
             // d/da (a/b) = 1/b ; d/db (a/b) = -a/b² = -(a/b)/b
-            let ga = ops::div(g, &b_val).expect("div-back");
+            let ga = ops::div(g, &b_val).or_bug("div-back");
             sink(aid, ops::unbroadcast(&ga, a_val.dims()));
             let gb_full =
-                ops::div(&ops::mul(g, &out_val).expect("div-back"), &b_val).expect("div-back");
+                ops::div(&ops::mul(g, &out_val).or_bug("div-back"), &b_val).or_bug("div-back");
             let mut gb = ops::unbroadcast(&gb_full, b_val.dims());
             gb.scale_inplace(-1.0);
             sink(bid, gb);
@@ -107,7 +108,7 @@ impl Var {
         let out = value.clone();
         let aid = self.id;
         self.unary("exp", ShapeSig::Elementwise, value, move |g, sink| {
-            sink(aid, ops::mul(g, &out).expect("exp-back"));
+            sink(aid, ops::mul(g, &out).or_bug("exp-back"));
         })
     }
 
@@ -117,7 +118,7 @@ impl Var {
         let value = a_val.map(f32::ln);
         let aid = self.id;
         self.unary("log", ShapeSig::Elementwise, value, move |g, sink| {
-            sink(aid, ops::div(g, &a_val).expect("log-back"));
+            sink(aid, ops::div(g, &a_val).or_bug("log-back"));
         })
     }
 
@@ -129,7 +130,7 @@ impl Var {
         self.unary("sqrt", ShapeSig::Elementwise, value, move |g, sink| {
             // d sqrt(x) = 1/(2 sqrt(x))
             let denom = out.map(|y| 2.0 * y);
-            sink(aid, ops::div(g, &denom).expect("sqrt-back"));
+            sink(aid, ops::div(g, &denom).or_bug("sqrt-back"));
         })
     }
 
@@ -140,7 +141,7 @@ impl Var {
         let aid = self.id;
         self.unary("square", ShapeSig::Elementwise, value, move |g, sink| {
             let two_a = a_val.map(|x| 2.0 * x);
-            sink(aid, ops::mul(g, &two_a).expect("square-back"));
+            sink(aid, ops::mul(g, &two_a).or_bug("square-back"));
         })
     }
 
@@ -151,7 +152,7 @@ impl Var {
         let aid = self.id;
         self.unary("relu", ShapeSig::Elementwise, value, move |g, sink| {
             let mask = a_val.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-            sink(aid, ops::mul(g, &mask).expect("relu-back"));
+            sink(aid, ops::mul(g, &mask).or_bug("relu-back"));
         })
     }
 
@@ -168,7 +169,7 @@ impl Var {
                 let dt = (1.0 - t * t) * C * (1.0 + 3.0 * 0.044715 * x * x);
                 0.5 * (1.0 + t) + 0.5 * x * dt
             });
-            sink(aid, ops::mul(g, &dgelu).expect("gelu-back"));
+            sink(aid, ops::mul(g, &dgelu).or_bug("gelu-back"));
         })
     }
 
@@ -179,7 +180,7 @@ impl Var {
         let aid = self.id;
         self.unary("tanh", ShapeSig::Elementwise, value, move |g, sink| {
             let d = out.map(|y| 1.0 - y * y);
-            sink(aid, ops::mul(g, &d).expect("tanh-back"));
+            sink(aid, ops::mul(g, &d).or_bug("tanh-back"));
         })
     }
 
@@ -190,7 +191,7 @@ impl Var {
         let aid = self.id;
         self.unary("sigmoid", ShapeSig::Elementwise, value, move |g, sink| {
             let d = out.map(|y| y * (1.0 - y));
-            sink(aid, ops::mul(g, &d).expect("sigmoid-back"));
+            sink(aid, ops::mul(g, &d).or_bug("sigmoid-back"));
         })
     }
 
@@ -202,14 +203,14 @@ impl Var {
         let aid = self.id;
         self.unary("clamp", ShapeSig::Elementwise, value, move |g, sink| {
             let mask = a_val.map(|x| if x > lo && x < hi { 1.0 } else { 0.0 });
-            sink(aid, ops::mul(g, &mask).expect("clamp-back"));
+            sink(aid, ops::mul(g, &mask).or_bug("clamp-back"));
         })
     }
 
     /// Adds a constant tensor (no gradient for the constant), broadcasting.
     /// Convenience for additive attention masks.
     pub fn add_const(&self, c: &Tensor) -> Var {
-        let value = self.with_value(|a| ops::add(a, c)).expect("add_const");
+        let value = self.with_value(|a| ops::add(a, c)).or_bug("add_const");
         let aid = self.id;
         let ad = self.dims();
         self.unary(
@@ -225,7 +226,7 @@ impl Var {
     /// Elementwise product with a constant tensor (broadcasting); the
     /// constant receives no gradient. Used for padding masks and dropout.
     pub fn mul_const(&self, c: &Tensor) -> Var {
-        let value = self.with_value(|a| ops::mul(a, c)).expect("mul_const");
+        let value = self.with_value(|a| ops::mul(a, c)).or_bug("mul_const");
         let aid = self.id;
         let ad = self.dims();
         let c = c.clone();
@@ -234,7 +235,7 @@ impl Var {
             ShapeSig::BroadcastWith(c.dims().to_vec()),
             value,
             move |g, sink| {
-                let gm = ops::mul(g, &c).expect("mul_const-back");
+                let gm = ops::mul(g, &c).or_bug("mul_const-back");
                 sink(aid, ops::unbroadcast(&gm, &ad));
             },
         )

@@ -8,6 +8,7 @@
 //! compositions, so switching a model between the spellings cannot change
 //! its checkpoints.
 
+use tensor::bug::OrBug;
 use tensor::ops;
 
 use crate::graph::Var;
@@ -20,28 +21,28 @@ impl Var {
     pub fn matmul(&self, other: &Var) -> Var {
         let a_val = self.value();
         let b_val = other.value();
-        let value = ops::matmul(&a_val, &b_val).expect("matmul");
+        let value = ops::matmul(&a_val, &b_val).or_bug("matmul");
         let (aid, bid) = (self.id, other.id);
         let (a_nd, b_nd) = (a_val.ndim(), b_val.ndim());
         self.binary(other, "matmul", ShapeSig::Matmul, value, move |g, sink| {
             match (a_nd, b_nd) {
                 (2, 2) | (3, 3) => {
                     // gA = g · Bᵀ (fused NT); gB = Aᵀ · g (fused TN).
-                    sink(aid, ops::matmul_transb(g, &b_val).expect("matmul-back"));
-                    sink(bid, ops::matmul_transa(&a_val, g).expect("matmul-back"));
+                    sink(aid, ops::matmul_transb(g, &b_val).or_bug("matmul-back"));
+                    sink(bid, ops::matmul_transa(&a_val, g).or_bug("matmul-back"));
                 }
                 (3, 2) => {
                     // A: (b,m,k), B: (k,n), g: (b,m,n).
                     // gA = g · Bᵀ — the shared-B NT rank handles the batch.
-                    sink(aid, ops::matmul_transb(g, &b_val).expect("matmul-back"));
+                    sink(aid, ops::matmul_transb(g, &b_val).or_bug("matmul-back"));
                     // gB = Σ_b Aᵀ_b · g_b = (flatten A)ᵀ · (flatten g).
                     let (b, m, k) = (a_val.dim(0), a_val.dim(1), a_val.dim(2));
                     let n = g.dim(2);
-                    let a_flat = a_val.reshape(vec![b * m, k]).expect("matmul-back");
-                    let g_flat = g.reshape(vec![b * m, n]).expect("matmul-back");
+                    let a_flat = a_val.reshape(vec![b * m, k]).or_bug("matmul-back");
+                    let g_flat = g.reshape(vec![b * m, n]).or_bug("matmul-back");
                     sink(
                         bid,
-                        ops::matmul_transa(&a_flat, &g_flat).expect("matmul-back"),
+                        ops::matmul_transa(&a_flat, &g_flat).or_bug("matmul-back"),
                     );
                 }
                 _ => unreachable!("forward validated operand ranks"),
@@ -58,7 +59,7 @@ impl Var {
     pub fn matmul_transb(&self, other: &Var) -> Var {
         let a_val = self.value();
         let b_val = other.value();
-        let value = ops::matmul_transb(&a_val, &b_val).expect("matmul_transb");
+        let value = ops::matmul_transb(&a_val, &b_val).or_bug("matmul_transb");
         let (aid, bid) = (self.id, other.id);
         let (a_nd, b_nd) = (a_val.ndim(), b_val.ndim());
         self.binary(
@@ -69,23 +70,23 @@ impl Var {
             move |g, sink| match (a_nd, b_nd) {
                 (2, 2) | (3, 3) => {
                     // out = A·Bᵀ ⇒ gA = g·B (plain NN); gB = gᵀ·A (fused TN).
-                    sink(aid, ops::matmul(g, &b_val).expect("matmul_transb-back"));
+                    sink(aid, ops::matmul(g, &b_val).or_bug("matmul_transb-back"));
                     sink(
                         bid,
-                        ops::matmul_transa(g, &a_val).expect("matmul_transb-back"),
+                        ops::matmul_transa(g, &a_val).or_bug("matmul_transb-back"),
                     );
                 }
                 (3, 2) => {
                     // A: (b,m,k), B: (n,k), g: (b,m,n).
-                    sink(aid, ops::matmul(g, &b_val).expect("matmul_transb-back"));
+                    sink(aid, ops::matmul(g, &b_val).or_bug("matmul_transb-back"));
                     // gB = Σ_b gᵀ_b · A_b = (flatten g)ᵀ · (flatten A).
                     let (b, m, k) = (a_val.dim(0), a_val.dim(1), a_val.dim(2));
                     let n = g.dim(2);
-                    let a_flat = a_val.reshape(vec![b * m, k]).expect("matmul_transb-back");
-                    let g_flat = g.reshape(vec![b * m, n]).expect("matmul_transb-back");
+                    let a_flat = a_val.reshape(vec![b * m, k]).or_bug("matmul_transb-back");
+                    let g_flat = g.reshape(vec![b * m, n]).or_bug("matmul_transb-back");
                     sink(
                         bid,
-                        ops::matmul_transa(&g_flat, &a_flat).expect("matmul_transb-back"),
+                        ops::matmul_transa(&g_flat, &a_flat).or_bug("matmul_transb-back"),
                     );
                 }
                 _ => unreachable!("forward validated operand ranks"),
@@ -101,7 +102,7 @@ impl Var {
     pub fn matmul_transa(&self, other: &Var) -> Var {
         let a_val = self.value();
         let b_val = other.value();
-        let value = ops::matmul_transa(&a_val, &b_val).expect("matmul_transa");
+        let value = ops::matmul_transa(&a_val, &b_val).or_bug("matmul_transa");
         let (aid, bid) = (self.id, other.id);
         self.binary(
             other,
@@ -112,9 +113,9 @@ impl Var {
                 // out = Aᵀ·B ⇒ gA = B·gᵀ (fused NT); gB = A·g (plain NN).
                 sink(
                     aid,
-                    ops::matmul_transb(&b_val, g).expect("matmul_transa-back"),
+                    ops::matmul_transb(&b_val, g).or_bug("matmul_transa-back"),
                 );
-                sink(bid, ops::matmul(&a_val, g).expect("matmul_transa-back"));
+                sink(bid, ops::matmul(&a_val, g).or_bug("matmul_transa-back"));
             },
         )
     }

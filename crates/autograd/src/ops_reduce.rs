@@ -1,5 +1,6 @@
 //! Reductions, softmax, and the fused cross-entropy loss for [`Var`].
 
+use tensor::bug::OrBug;
 use tensor::{ops, Tensor};
 
 use crate::graph::Var;
@@ -36,7 +37,7 @@ impl Var {
         let in_dims = self.dims();
         let value = self
             .with_value(|a| ops::sum_axis(a, axis, keepdim))
-            .expect("sum_axis");
+            .or_bug("sum_axis");
         let aid = self.id;
         self.unary(
             "sum_axis",
@@ -45,9 +46,9 @@ impl Var {
             move |g, sink| {
                 let mut kd = in_dims.clone();
                 kd[axis] = 1;
-                let gk = g.reshape(kd).expect("sum_axis-back");
+                let gk = g.reshape(kd).or_bug("sum_axis-back");
                 let zeros = Tensor::zeros(in_dims.clone());
-                sink(aid, ops::add(&zeros, &gk).expect("sum_axis-back"));
+                sink(aid, ops::add(&zeros, &gk).or_bug("sum_axis-back"));
             },
         )
     }
@@ -69,11 +70,11 @@ impl Var {
             value,
             move |g, sink| {
                 // dx = (g − Σ_last(g·y)) · y
-                let gy = ops::mul(g, &y).expect("softmax-back");
+                let gy = ops::mul(g, &y).or_bug("softmax-back");
                 let nd = gy.ndim();
-                let s = ops::sum_axis(&gy, nd - 1, true).expect("softmax-back");
-                let centered = ops::sub(g, &s).expect("softmax-back");
-                sink(aid, ops::mul(&centered, &y).expect("softmax-back"));
+                let s = ops::sum_axis(&gy, nd - 1, true).or_bug("softmax-back");
+                let centered = ops::sub(g, &s).or_bug("softmax-back");
+                sink(aid, ops::mul(&centered, &y).or_bug("softmax-back"));
             },
         )
     }
@@ -89,9 +90,9 @@ impl Var {
             move |g, sink| {
                 // dx = g − y · Σ_last(g)
                 let nd = g.ndim();
-                let s = ops::sum_axis(g, nd - 1, true).expect("log_softmax-back");
-                let ys = ops::mul(&y, &s).expect("log_softmax-back");
-                sink(aid, ops::sub(g, &ys).expect("log_softmax-back"));
+                let s = ops::sum_axis(g, nd - 1, true).or_bug("log_softmax-back");
+                let ys = ops::mul(&y, &s).or_bug("log_softmax-back");
+                sink(aid, ops::sub(g, &ys).or_bug("log_softmax-back"));
             },
         )
     }

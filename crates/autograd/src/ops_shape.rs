@@ -1,6 +1,7 @@
 //! Shape-manipulation ops for [`Var`]: reshape, transpose, permute, concat,
 //! slice, and row gathering (embedding lookup).
 
+use tensor::bug::OrBug;
 use tensor::{ops, Tensor};
 
 use crate::graph::Var;
@@ -13,35 +14,35 @@ impl Var {
         let in_dims = self.dims();
         let value = self
             .with_value(|a| a.reshape(dims.clone()))
-            .expect("reshape");
+            .or_bug("reshape");
         let aid = self.id;
         self.unary(
             "reshape",
             ShapeSig::Reshape(dims.clone()),
             value,
             move |g, sink| {
-                sink(aid, g.reshape(in_dims.clone()).expect("reshape-back"));
+                sink(aid, g.reshape(in_dims.clone()).or_bug("reshape-back"));
             },
         )
     }
 
     /// Swaps the last two axes.
     pub fn transpose_last2(&self) -> Var {
-        let value = self.with_value(ops::transpose_last2).expect("transpose");
+        let value = self.with_value(ops::transpose_last2).or_bug("transpose");
         let aid = self.id;
         self.unary(
             "transpose_last2",
             ShapeSig::TransposeLast2,
             value,
             move |g, sink| {
-                sink(aid, ops::transpose_last2(g).expect("transpose-back"));
+                sink(aid, ops::transpose_last2(g).or_bug("transpose-back"));
             },
         )
     }
 
     /// Reorders axes by `perm`.
     pub fn permute(&self, perm: &[usize]) -> Var {
-        let value = self.with_value(|a| ops::permute(a, perm)).expect("permute");
+        let value = self.with_value(|a| ops::permute(a, perm)).or_bug("permute");
         let aid = self.id;
         // Inverse permutation: inv[perm[i]] = i.
         let mut inv = vec![0usize; perm.len()];
@@ -53,7 +54,7 @@ impl Var {
             ShapeSig::Permute(perm.to_vec()),
             value,
             move |g, sink| {
-                sink(aid, ops::permute(g, &inv).expect("permute-back"));
+                sink(aid, ops::permute(g, &inv).or_bug("permute-back"));
             },
         )
     }
@@ -63,7 +64,7 @@ impl Var {
         assert!(!parts.is_empty());
         let values: Vec<Tensor> = parts.iter().map(|v| v.value()).collect();
         let refs: Vec<&Tensor> = values.iter().collect();
-        let value = ops::concat(&refs, axis).expect("concat");
+        let value = ops::concat(&refs, axis).or_bug("concat");
         let ids: Vec<usize> = parts.iter().map(|v| v.id).collect();
         let sizes: Vec<usize> = values.iter().map(|t| t.dim(axis)).collect();
         let first = parts[0];
@@ -84,7 +85,7 @@ impl Var {
                         let mut start = 0usize;
                         for (pid, &len) in ids.iter().zip(sizes.iter()) {
                             let part =
-                                ops::slice_axis(g, axis, start, start + len).expect("concat-back");
+                                ops::slice_axis(g, axis, start, start + len).or_bug("concat-back");
                             sink(*pid, part);
                             start += len;
                         }
@@ -105,7 +106,7 @@ impl Var {
         let in_dims = self.dims();
         let value = self
             .with_value(|a| ops::slice_axis(a, axis, start, end))
-            .expect("slice_axis");
+            .or_bug("slice_axis");
         let aid = self.id;
         self.unary(
             "slice_axis",
@@ -138,7 +139,7 @@ impl Var {
         let in_dims = self.dims();
         let value = self
             .with_value(|a| ops::index_select_rows(a, indices))
-            .expect("index_select_rows");
+            .or_bug("index_select_rows");
         let aid = self.id;
         let indices = indices.to_vec();
         self.unary(

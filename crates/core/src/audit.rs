@@ -15,7 +15,7 @@
 //! `meta_stage_only_updates_sigma_prime` invariant statically.
 
 use autograd::Graph;
-use models::audit::{audit_batch, Auditable, StageContract, StageTrace};
+use models::audit::{audit_batch, Auditable, ParityCheck, StageContract, StageTrace};
 use models::backbone::TransformerBackbone;
 use models::cl::info_nce_masked;
 use models::vae::standard_normal_like;
@@ -68,6 +68,17 @@ impl Auditable for MetaSgcl {
             graph: g,
             loss,
         }
+    }
+
+    fn frozen_parity(&self, seqs: &[Vec<ItemId>]) -> Option<ParityCheck> {
+        use nn::Freeze;
+        let seq = seqs.first()?;
+        let (g, _last) = self.score_graph(seq);
+        Some(ParityCheck {
+            path: "score_padded".into(),
+            declared: self.freeze().declared_score_trace(),
+            actual: g.op_trace(),
+        })
     }
 }
 

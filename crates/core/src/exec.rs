@@ -22,6 +22,7 @@
 
 use autograd::GradientSet;
 use recdata::Batch;
+use tensor::bug::OrBug;
 
 use crate::train::EpochStats;
 
@@ -41,7 +42,7 @@ impl Executor {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(threads)
                 .build()
-                .expect("failed to build training thread pool")
+                .or_bug("failed to build training thread pool")
         });
         Executor {
             pool,

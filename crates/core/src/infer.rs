@@ -23,6 +23,7 @@
 use models::{BackboneState, FrozenTransformerBackbone, TransformerBackbone};
 use nn::{causal_mask, EncoderKv, Freeze, FrozenLinear, FrozenTransformerEncoder, InferModule};
 use recdata::{encode_input_only, ItemId};
+use tensor::bug::OrBug;
 use tensor::Tensor;
 
 use crate::model::MetaSgcl;
@@ -70,6 +71,33 @@ impl FrozenMetaSgcl {
     fn last_scores(&self, h_last: &Tensor) -> Vec<f32> {
         let logits = self.backbone.scores(h_last);
         logits.row(0)[..self.num_items + 1].to_vec()
+    }
+
+    /// Declares the op sequence of the autograd reference for
+    /// [`FrozenMetaSgcl::score_padded`] ([`MetaSgcl::score_sequence`]):
+    /// backbone forward, `Enc_μ`, optional decoder, tied-table scores,
+    /// final last-position slice. Entries marked autograd-only are values
+    /// the training-path `view` materialises but deterministic serving
+    /// provably never reads.
+    pub fn declared_score_trace(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        self.backbone.forward_padded_trace(&mut out);
+        self.enc_mu.op_trace(&mut out);
+        // autograd-only: `view` always evaluates the Enc_σ logvar head
+        // (bias + clamp) even with deterministic z = μ; its output feeds
+        // only the KL/contrastive terms, never the served scores.
+        out.extend(["matmul", "add", "clamp"]);
+        if let Some(dec) = &self.decoder {
+            dec.op_trace(true, true, &mut out);
+        }
+        // Per-position logits over the full window (the frozen path
+        // projects only the last row — GEMM rows are independent chains).
+        FrozenTransformerBackbone::scores_trace(&mut out);
+        // autograd-only: `view` extracts z_last for the contrastive heads.
+        out.extend(["slice_axis", "reshape"]);
+        // Final slice of the last position's logits out of [1, n, V].
+        FrozenTransformerBackbone::last_hidden_trace(&mut out);
+        out
     }
 
     /// Catalog scores mirroring [`MetaSgcl::score_sequence`] bitwise:
@@ -139,7 +167,7 @@ impl FrozenMetaSgcl {
             Some(dec) => {
                 let mut kvs: Vec<&mut EncoderKv> = states
                     .iter_mut()
-                    .map(|s| s.dec.as_mut().expect("decoder state present"))
+                    .map(|s| s.dec.as_mut().or_bug("decoder state present"))
                     .collect();
                 dec.append_batch(&mu, &mut kvs)
             }

@@ -235,6 +235,15 @@ impl MetaSgcl {
         if seq.is_empty() {
             return vec![0.0; self.cfg.net.num_items + 1];
         }
+        let (_g, last) = self.score_graph(seq);
+        last.value().row(0)[..self.cfg.net.num_items + 1].to_vec()
+    }
+
+    /// Builds the deterministic padded scoring graph and returns the tape
+    /// plus the last-position logits head (`[1, V]`). Shared by
+    /// [`MetaSgcl::score_sequence`] and the frozen-parity audit, so the
+    /// audited tape is the real serving-reference forward.
+    pub(crate) fn score_graph(&self, seq: &[ItemId]) -> (Graph, Var) {
         let (input, pad) = encode_input_only(seq, self.cfg.net.max_len);
         let g = Graph::new();
         let mut rng = StdRng::seed_from_u64(0); // unused: no dropout/noise at eval
@@ -242,12 +251,8 @@ impl MetaSgcl {
         let view = self.view(&g, &features, &[pad], false, true, &mut rng, false);
         let dims = view.logits.dims();
         let (n, v) = (dims[1], dims[2]);
-        let last = view
-            .logits
-            .slice_axis(1, n - 1, n)
-            .reshape(vec![1, v])
-            .value();
-        last.row(0)[..self.cfg.net.num_items + 1].to_vec()
+        let last = view.logits.slice_axis(1, n - 1, n).reshape(vec![1, v]);
+        (g, last)
     }
 
     /// Deterministic catalog scores under *left-aligned* (incremental

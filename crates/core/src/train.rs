@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 use recdata::{encode_input_only, item_crop, item_mask, item_reorder, Batch, Batcher, ItemId};
+use tensor::bug::OrBug;
 
 use std::fmt;
 use std::io;
@@ -710,7 +711,7 @@ impl SequentialRecommender for MetaSgcl {
 
     fn fit(&mut self, train: &[Vec<ItemId>], cfg: &TrainConfig) {
         self.train_model(train, cfg)
-            .expect("training checkpoint I/O failed");
+            .or_bug("training checkpoint I/O failed");
     }
 
     fn score(&mut self, _user: usize, seq: &[ItemId]) -> Vec<f32> {

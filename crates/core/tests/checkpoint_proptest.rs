@@ -4,6 +4,8 @@
 //! every record boundary, single-byte flips anywhere — always yields
 //! `Err(InvalidData)`, never a panic or a silently different state.
 
+#![allow(clippy::expect_used)] // test helpers outside #[test] fns
+
 use std::io::{self, ErrorKind};
 use std::path::{Path, PathBuf};
 

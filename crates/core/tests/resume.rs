@@ -4,6 +4,8 @@
 //! counts (extending the threads=1-vs-4 determinism harness) and for both
 //! training strategies.
 
+#![allow(clippy::expect_used)] // test helpers outside #[test] fns
+
 use std::path::{Path, PathBuf};
 
 use meta_sgcl::checkpoint::{checkpoint_file_name, list_checkpoints};

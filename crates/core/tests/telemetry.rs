@@ -5,6 +5,8 @@
 //! `--strict-health`, and deterministic counters persist through
 //! checkpoint/resume monotonically.
 
+#![allow(clippy::expect_used)] // test helpers outside #[test] fns
+
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, MutexGuard};
 

@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use tensor::bug::OrBug;
 
 use crate::{ItemId, PAD_ITEM};
 
@@ -148,7 +149,7 @@ impl Batcher {
                 let mut pad = Vec::with_capacity(chunk.len());
                 for &i in chunk {
                     let (inp, tgt, pd) = encode_sequence(&self.sequences[i], self.max_len);
-                    last_target.push(*self.sequences[i].last().expect("len >= 2"));
+                    last_target.push(*self.sequences[i].last().or_bug("len >= 2"));
                     inputs.push(inp);
                     targets.push(tgt);
                     pad.push(pd);

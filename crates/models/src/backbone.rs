@@ -13,6 +13,7 @@ use nn::{
 };
 use rand::rngs::StdRng;
 use recdata::ItemId;
+use tensor::bug::OrBug;
 use tensor::{ops, Tensor};
 
 /// Item+position embedding and Transformer encoder stack.
@@ -85,7 +86,7 @@ impl TransformerBackbone {
         let n = pad.first().map_or(0, Vec::len);
         let pad_mask = padding_additive_mask(pad, self.heads);
         if self.causal {
-            ops::add(&pad_mask, &causal_mask(n)).expect("mask broadcast")
+            ops::add(&pad_mask, &causal_mask(n)).or_bug("mask broadcast")
         } else {
             pad_mask
         }

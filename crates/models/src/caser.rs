@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use recdata::{ItemId, PAD_ITEM};
+use tensor::bug::OrBug;
 
 use crate::audit::{Auditable, StageContract, StageTrace};
 use crate::{SequentialRecommender, TrainConfig};
@@ -94,7 +95,7 @@ impl Caser {
                     None => act,
                 });
             }
-            feats.push(pooled.expect("window >= h").scale(1.0 / positions as f32));
+            feats.push(pooled.or_bug("window >= h").scale(1.0 / positions as f32));
         }
         // Vertical convolution: weighted sums over rows.
         let et = e.permute(&[0, 2, 1]); // [b, d, L]

@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use recdata::{encode_input_only, Batch, Batcher, ItemId};
 use std::collections::HashMap;
+use tensor::bug::OrBug;
 
 use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
@@ -71,7 +72,7 @@ impl DuoRec {
         for s in train.iter().filter(|s| s.len() >= 2) {
             // The "semantic positive" shares the same next item; its input
             // is everything before its own last item.
-            let target = *s.last().expect("non-empty");
+            let target = *s.last().or_bug("non-empty");
             by_target
                 .entry(target)
                 .or_default()

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recdata::{encode_input_only, Batch, Batcher, ItemId};
 
-use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
+use crate::audit::{audit_batch, Auditable, ParityCheck, StageContract, StageTrace};
 use crate::{SequentialRecommender, TrainConfig};
 
 /// The GRU4Rec model.
@@ -67,6 +67,24 @@ impl Gru4Rec {
         logits.row(0).to_vec()
     }
 
+    /// Builds the padded scoring graph (the trait `score` semantics: last
+    /// `max_len` items, left-padded) and returns the tape plus the
+    /// last-position logits head. Shared by [`SequentialRecommender::score`]
+    /// and the frozen-parity audit, so the audited tape is the real
+    /// serving-reference forward.
+    fn score_graph(&self, seq: &[ItemId]) -> (Graph, autograd::Var) {
+        let (input, _pad) = encode_input_only(seq, self.max_len);
+        let g = Graph::new();
+        let x = self.item_emb.forward_batch(&g, &[input]);
+        let h = self.gru.forward_sequence(&g, &x);
+        let dims = h.dims();
+        let last = h
+            .slice_axis(1, dims[1] - 1, dims[1])
+            .reshape(vec![1, dims[2]]);
+        let logits = last.matmul_transb(&self.item_emb.full(&g));
+        (g, logits)
+    }
+
     /// Tied-softmax next-item loss for one batch. Shared by
     /// [`SequentialRecommender::fit`] and the static auditor.
     fn batch_loss(&self, g: &Graph, batch: &Batch) -> autograd::Var {
@@ -103,6 +121,17 @@ impl Auditable for Gru4Rec {
             graph: g,
             loss,
         }
+    }
+
+    fn frozen_parity(&self, seqs: &[Vec<ItemId>]) -> Option<ParityCheck> {
+        use nn::Freeze;
+        let seq = seqs.first()?;
+        let (g, _logits) = self.score_graph(seq);
+        Some(ParityCheck {
+            path: "score_padded".into(),
+            declared: self.freeze().declared_score_trace(),
+            actual: g.op_trace(),
+        })
     }
 }
 
@@ -148,17 +177,9 @@ impl SequentialRecommender for Gru4Rec {
         if seq.is_empty() {
             return vec![0.0; self.num_items + 1];
         }
-        let (input, _pad) = encode_input_only(seq, self.max_len);
-        let g = Graph::new();
-        let x = self.item_emb.forward_batch(&g, &[input]);
-        let h = self.gru.forward_sequence(&g, &x);
-        let dims = h.dims();
-        let last = h
-            .slice_axis(1, dims[1] - 1, dims[1])
-            .reshape(vec![1, dims[2]]);
-        let logits = last.matmul_transb(&self.item_emb.full(&g)).value();
+        let (_g, logits) = self.score_graph(seq);
         let _ = &mut self.rng;
-        logits.row(0).to_vec()
+        logits.value().row(0).to_vec()
     }
 }
 

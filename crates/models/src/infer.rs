@@ -26,6 +26,7 @@ use nn::{
     FrozenLayerNorm, FrozenTransformerEncoder, InferModule,
 };
 use recdata::{encode_input_only, ItemId};
+use tensor::bug::OrBug;
 use tensor::{ops, Tensor};
 
 use crate::{Gru4Rec, TransformerBackbone};
@@ -87,7 +88,7 @@ impl FrozenTransformerBackbone {
         let n = pad.first().map_or(0, Vec::len);
         let pad_mask = padding_additive_mask(pad, self.heads);
         if self.causal {
-            ops::add(&pad_mask, &causal_mask(n)).expect("mask broadcast")
+            ops::add(&pad_mask, &causal_mask(n)).or_bug("mask broadcast")
         } else {
             pad_mask
         }
@@ -101,7 +102,7 @@ impl FrozenTransformerBackbone {
         let pos: Vec<usize> = (0..n).collect();
         let p = self.pos_emb.lookup_flat(&pos);
         self.emb_ln
-            .forward(&ops::add(&e, &p).expect("pos broadcast"))
+            .forward(&ops::add(&e, &p).or_bug("pos broadcast"))
     }
 
     /// Full padded forward, bitwise-identical to
@@ -128,7 +129,7 @@ impl FrozenTransformerBackbone {
         let pos: Vec<usize> = (0..n).collect();
         let p = self.pos_emb.lookup_flat(&pos);
         self.emb_ln
-            .forward(&ops::add(&e, &p).expect("pos broadcast"))
+            .forward(&ops::add(&e, &p).or_bug("pos broadcast"))
     }
 
     /// Encodes a full sequence under left-aligned semantics while filling a
@@ -178,7 +179,7 @@ impl FrozenTransformerBackbone {
         let p = self.pos_emb.lookup_flat(&positions);
         let x = self
             .emb_ln
-            .forward(&ops::add(&e, &p).expect("pos broadcast"));
+            .forward(&ops::add(&e, &p).or_bug("pos broadcast"));
         let mut kv: Vec<&mut EncoderKv> = states.iter_mut().map(|s| &mut s.enc).collect();
         let h = self.encoder.append_batch(&x, &mut kv);
         for s in states.iter_mut() {
@@ -192,16 +193,39 @@ impl FrozenTransformerBackbone {
         let dims = h.dims();
         let (n, d) = (dims[1], dims[2]);
         ops::slice_axis(h, 1, n - 1, n)
-            .expect("slice last")
+            .or_bug("slice last")
             .reshape(vec![1, d])
-            .expect("reshape last")
+            .or_bug("reshape last")
     }
 
     /// Catalog scores via the tied item table (`ŷ = h · Mᵀ`). Accepts
     /// `[b, d]` or `[b, n, d]`; rows are independent accumulation chains,
     /// so batch scoring equals single-row scoring bitwise.
     pub fn scores(&self, h: &Tensor) -> Tensor {
-        ops::matmul_transb(h, self.item_emb.table()).expect("score gemm")
+        ops::matmul_transb(h, self.item_emb.table()).or_bug("score gemm")
+    }
+
+    /// Declares the tape ops of `TransformerBackbone::forward` at eval:
+    /// item lookup, position lookup, `Ê = E + P`, embedding LayerNorm
+    /// (dropout records nothing at eval), then the masked + timeline
+    /// encoder stack.
+    pub fn forward_padded_trace(&self, out: &mut Vec<&'static str>) {
+        FrozenEmbedding::lookup_batch_trace(out);
+        FrozenEmbedding::lookup_flat_trace(out);
+        out.push("add"); // Ê = E + P
+        FrozenLayerNorm::op_trace(out);
+        self.encoder.op_trace(true, true, out);
+    }
+
+    /// Declares the tape ops of `TransformerBackbone::last_hidden`.
+    pub fn last_hidden_trace(out: &mut Vec<&'static str>) {
+        out.extend(["slice_axis", "reshape"]);
+    }
+
+    /// Declares the tape ops of `TransformerBackbone::scores` (fused NT
+    /// GEMM against the tied item table).
+    pub fn scores_trace(out: &mut Vec<&'static str>) {
+        out.push("matmul_transb");
     }
 }
 
@@ -284,7 +308,7 @@ impl FrozenGru4Rec {
         let (input, _pad) = encode_input_only(seq, self.max_len);
         let x = self.item_emb.lookup_batch(std::slice::from_ref(&input));
         let last = self.gru.forward_sequence_last(&x);
-        let logits = ops::matmul_transb(&last, self.item_emb.table()).expect("score gemm");
+        let logits = ops::matmul_transb(&last, self.item_emb.table()).or_bug("score gemm");
         logits.row(0).to_vec()
     }
 
@@ -329,7 +353,30 @@ impl FrozenGru4Rec {
 
     /// Catalog scores from hidden states `[b, d]` via the tied table.
     pub fn scores(&self, h: &Tensor) -> Tensor {
-        ops::matmul_transb(h, self.item_emb.table()).expect("score gemm")
+        ops::matmul_transb(h, self.item_emb.table()).or_bug("score gemm")
+    }
+
+    /// Declares the op sequence of the autograd reference for
+    /// [`FrozenGru4Rec::score_padded`] (`Gru4Rec`'s trait `score`): the
+    /// padded window embedding, `max_len` GRU steps, and the tied-table
+    /// projection. Entries marked autograd-only are values the training
+    /// path materialises but the frozen path provably never reads —
+    /// `forward_sequence` stacks every hidden state (per-step `reshape` +
+    /// final `concat`) and then slices the last one back out, while
+    /// `forward_sequence_last` keeps only the running hidden; the elided
+    /// ops are pure data movement, so bits are unaffected.
+    pub fn declared_score_trace(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        FrozenEmbedding::lookup_batch_trace(&mut out);
+        for _ in 0..self.max_len {
+            out.extend(["slice_axis", "reshape"]); // x_t from [b, n, d]
+            self.gru.step_op_trace(&mut out);
+            out.push("reshape"); // autograd-only: stack h_t as [b, 1, d]
+        }
+        out.push("concat"); // autograd-only: [b, n, d] of all hiddens
+        out.extend(["slice_axis", "reshape"]); // autograd-only: take last
+        out.push("matmul_transb"); // tied-table projection
+        out
     }
 
     /// Unpadded scores via a fresh full recurrence, bitwise-identical to

@@ -35,6 +35,7 @@
 //! exactly that convention; callers that need the training-time
 //! left-padded convention must use the full forwards.
 
+use tensor::bug::OrBug;
 use tensor::{ops, Tensor};
 
 use crate::{
@@ -76,10 +77,18 @@ pub struct FrozenLinear {
 impl FrozenLinear {
     /// Applies the layer to `x: [.., in_dim]` (rank 2 or 3).
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let y = ops::matmul(x, &self.weight).expect("frozen linear matmul");
+        let y = ops::matmul(x, &self.weight).or_bug("frozen linear matmul");
         match &self.bias {
-            Some(b) => ops::add(&y, b).expect("frozen linear bias"),
+            Some(b) => ops::add(&y, b).or_bug("frozen linear bias"),
             None => y,
+        }
+    }
+
+    /// Declares the tape ops of `Linear::forward` (the autograd twin).
+    pub fn op_trace(&self, out: &mut Vec<&'static str>) {
+        out.push("matmul");
+        if self.bias.is_some() {
+            out.push("add");
         }
     }
 
@@ -119,7 +128,7 @@ pub struct FrozenEmbedding {
 impl FrozenEmbedding {
     /// Looks up a flat index list, returning `[indices.len(), dim]`.
     pub fn lookup_flat(&self, indices: &[usize]) -> Tensor {
-        ops::index_select_rows(&self.table, indices).expect("frozen embedding lookup")
+        ops::index_select_rows(&self.table, indices).or_bug("frozen embedding lookup")
     }
 
     /// Looks up a batch of equal-length sequences: `[batch, seq_len, dim]`.
@@ -135,7 +144,18 @@ impl FrozenEmbedding {
             .collect();
         self.lookup_flat(&flat)
             .reshape(vec![b, n, self.dim])
-            .expect("frozen embedding reshape")
+            .or_bug("frozen embedding reshape")
+    }
+
+    /// Declares the tape ops of `Embedding::forward_flat`.
+    pub fn lookup_flat_trace(out: &mut Vec<&'static str>) {
+        out.push("index_select_rows");
+    }
+
+    /// Declares the tape ops of `Embedding::forward_batch`.
+    pub fn lookup_batch_trace(out: &mut Vec<&'static str>) {
+        out.push("index_select_rows");
+        out.push("reshape");
     }
 
     /// The full table (tied output projection).
@@ -187,15 +207,34 @@ impl FrozenLayerNorm {
     /// Mirrors `LayerNorm::forward` op-for-op.
     pub fn forward(&self, x: &Tensor) -> Tensor {
         let last = x.dims().len() - 1;
-        let mean = ops::mean_axis(x, last, true).expect("ln mean");
-        let centered = ops::sub(x, &mean).expect("ln center");
+        let mean = ops::mean_axis(x, last, true).or_bug("ln mean");
+        let centered = ops::sub(x, &mean).or_bug("ln center");
         let sq = centered.map(|v| v * v);
-        let var = ops::mean_axis(&sq, last, true).expect("ln var");
+        let var = ops::mean_axis(&sq, last, true).or_bug("ln var");
         let eps = self.eps;
         let inv_std = var.map(|v| v + eps).map(f32::sqrt);
-        let normed = ops::div(&centered, &inv_std).expect("ln div");
-        let scaled = ops::mul(&normed, &self.gamma).expect("ln gamma");
-        ops::add(&scaled, &self.beta).expect("ln beta")
+        let normed = ops::div(&centered, &inv_std).or_bug("ln div");
+        let scaled = ops::mul(&normed, &self.gamma).or_bug("ln gamma");
+        ops::add(&scaled, &self.beta).or_bug("ln beta")
+    }
+
+    /// Declares the tape ops of `LayerNorm::forward`. On tape,
+    /// `mean_axis` is the composite `sum_axis`+`scale`, and the
+    /// `map` closures here mirror `square`/`add_scalar`/`sqrt` ops.
+    pub fn op_trace(out: &mut Vec<&'static str>) {
+        out.extend([
+            "sum_axis",
+            "scale", // mean
+            "sub",
+            "square",
+            "sum_axis",
+            "scale", // variance
+            "add_scalar",
+            "sqrt",
+            "div",
+            "mul", // gamma
+            "add", // beta
+        ]);
     }
 }
 
@@ -239,6 +278,17 @@ impl FrozenFeedForward {
             }
         };
         self.l2.forward(&h)
+    }
+
+    /// Declares the tape ops of `FeedForward::forward` at eval (dropout
+    /// records nothing when not training).
+    pub fn op_trace(&self, out: &mut Vec<&'static str>) {
+        self.l1.op_trace(out);
+        out.push(match self.activation {
+            Activation::Relu => "relu",
+            Activation::Gelu => "gelu",
+        });
+        self.l2.op_trace(out);
     }
 }
 
@@ -310,9 +360,9 @@ impl FrozenMultiHeadSelfAttention {
         let dh = self.dim / self.heads;
         let r = x
             .reshape(vec![b, n, self.heads, dh])
-            .expect("split reshape");
-        let p = ops::permute(&r, &[0, 2, 1, 3]).expect("split permute");
-        p.reshape(vec![b * self.heads, n, dh]).expect("split merge")
+            .or_bug("split reshape");
+        let p = ops::permute(&r, &[0, 2, 1, 3]).or_bug("split permute");
+        p.reshape(vec![b * self.heads, n, dh]).or_bug("split merge")
     }
 
     /// Full self-attention over `x: [b, n, dim]` with an optional additive
@@ -351,19 +401,19 @@ impl FrozenMultiHeadSelfAttention {
 
         let scale = 1.0 / (dh as f32).sqrt();
         let mut scores = ops::matmul_transb(&q, &k)
-            .expect("attn scores")
+            .or_bug("attn scores")
             .map(|s| s * scale);
         if let Some(m) = mask {
-            scores = ops::add(&scores, m).expect("attn mask");
+            scores = ops::add(&scores, m).or_bug("attn mask");
         }
         let attn = ops::softmax_last(&scores);
-        let ctx = ops::matmul(&attn, &v).expect("attn ctx");
+        let ctx = ops::matmul(&attn, &v).or_bug("attn ctx");
         scores.recycle();
         let ctx = ctx
             .reshape(vec![b, self.heads, n, dh])
-            .expect("merge reshape");
-        let ctx = ops::permute(&ctx, &[0, 2, 1, 3]).expect("merge permute");
-        let ctx = ctx.reshape(vec![b, n, self.dim]).expect("merge flatten");
+            .or_bug("merge reshape");
+        let ctx = ops::permute(&ctx, &[0, 2, 1, 3]).or_bug("merge permute");
+        let ctx = ctx.reshape(vec![b, n, self.dim]).or_bug("merge flatten");
         self.wo.forward(&ctx)
     }
 
@@ -395,7 +445,7 @@ impl FrozenMultiHeadSelfAttention {
                 let qt = Tensor::from_vec(q.row(bi)[span.clone()].to_vec(), vec![1, dh]);
                 let kt = Tensor::from_vec(std::mem::take(&mut kv.k[h]), vec![len, dh]);
                 let scores = ops::matmul_transb(&qt, &kt)
-                    .expect("attn step scores")
+                    .or_bug("attn step scores")
                     .map(|s| s * scale)
                     // The causal-mask row for the newest position is all
                     // zeros; `s + 0.0` reproduces the full path's additive
@@ -404,7 +454,7 @@ impl FrozenMultiHeadSelfAttention {
                 kv.k[h] = kt.into_vec();
                 let attn = ops::softmax_last(&scores);
                 let vt = Tensor::from_vec(std::mem::take(&mut kv.v[h]), vec![len, dh]);
-                let c = ops::matmul(&attn, &vt).expect("attn step ctx");
+                let c = ops::matmul(&attn, &vt).or_bug("attn step ctx");
                 kv.v[h] = vt.into_vec();
                 ctx.row_mut(bi)[span].copy_from_slice(c.row(0));
             }
@@ -416,6 +466,30 @@ impl FrozenMultiHeadSelfAttention {
     /// Number of attention heads.
     pub fn heads(&self) -> usize {
         self.heads
+    }
+
+    /// Declares the tape ops of `MultiHeadSelfAttention::forward` at eval.
+    /// `masked` states whether an additive mask was supplied (it always is
+    /// in the backbone paths; bidirectional unmasked use drops `add_const`).
+    pub fn op_trace(&self, masked: bool, out: &mut Vec<&'static str>) {
+        for _ in 0..3 {
+            // wq/wk/wv projection + split_heads (reshape/permute/reshape).
+            out.extend(["matmul", "reshape", "permute", "reshape"]);
+        }
+        out.extend(["matmul_transb", "scale"]);
+        if masked {
+            out.push("add_const");
+        }
+        // softmax, context mix, merge_heads, output projection. Attention
+        // dropout records nothing at eval.
+        out.extend([
+            "softmax_last",
+            "matmul",
+            "reshape",
+            "permute",
+            "reshape",
+            "matmul",
+        ]);
     }
 }
 
@@ -469,17 +543,27 @@ impl FrozenTransformerLayer {
         collect: Option<&mut AttnKv>,
     ) -> Tensor {
         let attn = self.mha.forward_collect(x, mask, collect);
-        let h = self.ln1.forward(&ops::add(x, &attn).expect("resid1"));
+        let h = self.ln1.forward(&ops::add(x, &attn).or_bug("resid1"));
         let ff = self.ffn.forward(&h);
-        self.ln2.forward(&ops::add(&h, &ff).expect("resid2"))
+        self.ln2.forward(&ops::add(&h, &ff).or_bug("resid2"))
     }
 
     /// One-position append for `b` independent sequences (`x: [b, dim]`).
     pub fn step_append(&self, x: &Tensor, kvs: &mut [&mut AttnKv]) -> Tensor {
         let attn = self.mha.step_append(x, kvs);
-        let h = self.ln1.forward(&ops::add(x, &attn).expect("resid1"));
+        let h = self.ln1.forward(&ops::add(x, &attn).or_bug("resid1"));
         let ff = self.ffn.forward(&h);
-        self.ln2.forward(&ops::add(&h, &ff).expect("resid2"))
+        self.ln2.forward(&ops::add(&h, &ff).or_bug("resid2"))
+    }
+
+    /// Declares the tape ops of `TransformerLayer::forward` at eval.
+    pub fn op_trace(&self, masked: bool, out: &mut Vec<&'static str>) {
+        self.mha.op_trace(masked, out);
+        out.push("add"); // attention residual
+        FrozenLayerNorm::op_trace(out);
+        self.ffn.op_trace(out);
+        out.push("add"); // FFN residual
+        FrozenLayerNorm::op_trace(out);
     }
 }
 
@@ -550,12 +634,12 @@ impl FrozenTransformerEncoder {
     pub fn forward(&self, x: &Tensor, mask: Option<&Tensor>, timeline: Option<&Tensor>) -> Tensor {
         let mut h = x.clone();
         if let Some(t) = timeline {
-            h = ops::mul(&h, t).expect("timeline");
+            h = ops::mul(&h, t).or_bug("timeline");
         }
         for layer in &self.layers {
             h = layer.forward(&h, mask);
             if let Some(t) = timeline {
-                h = ops::mul(&h, t).expect("timeline");
+                h = ops::mul(&h, t).or_bug("timeline");
             }
         }
         h
@@ -591,6 +675,21 @@ impl FrozenTransformerEncoder {
             h = layer.step_append(&h, &mut kvs);
         }
         h
+    }
+
+    /// Declares the tape ops of `TransformerEncoder::forward` at eval:
+    /// `timeline` applies the multiplicative mask before the stack and
+    /// after every layer, exactly as the training forward does.
+    pub fn op_trace(&self, masked: bool, timeline: bool, out: &mut Vec<&'static str>) {
+        if timeline {
+            out.push("mul_const");
+        }
+        for layer in &self.layers {
+            layer.op_trace(masked, out);
+            if timeline {
+                out.push("mul_const");
+            }
+        }
     }
 }
 
@@ -634,16 +733,36 @@ impl FrozenGru {
     /// `h: [b, dim]` → `[b, dim]`. Mirrors `Gru::step` op-for-op.
     pub fn step(&self, x: &Tensor, h: &Tensor) -> Tensor {
         let sigmoid = |t: Tensor| t.map(|v| 1.0 / (1.0 + (-v).exp()));
-        let z = sigmoid(ops::add(&self.wz.forward(x), &self.uz.forward(h)).expect("gru z"));
-        let r = sigmoid(ops::add(&self.wr.forward(x), &self.ur.forward(h)).expect("gru r"));
-        let rh = ops::mul(&r, h).expect("gru rh");
+        let z = sigmoid(ops::add(&self.wz.forward(x), &self.uz.forward(h)).or_bug("gru z"));
+        let r = sigmoid(ops::add(&self.wr.forward(x), &self.ur.forward(h)).or_bug("gru r"));
+        let rh = ops::mul(&r, h).or_bug("gru rh");
         let h_cand = ops::add(&self.wh.forward(x), &self.uh.forward(&rh))
-            .expect("gru cand")
+            .or_bug("gru cand")
             .map(f32::tanh);
         let one_minus_z = z.map(|v| -v).map(|v| v + 1.0);
-        let a = ops::mul(&one_minus_z, h).expect("gru keep");
-        let b = ops::mul(&z, &h_cand).expect("gru update");
-        ops::add(&a, &b).expect("gru mix")
+        let a = ops::mul(&one_minus_z, h).or_bug("gru keep");
+        let b = ops::mul(&z, &h_cand).or_bug("gru update");
+        ops::add(&a, &b).or_bug("gru mix")
+    }
+
+    /// Declares the tape ops of one `Gru::step`. `wz`/`wr`/`wh` carry a
+    /// bias, `uz`/`ur`/`uh` do not, and the `map` closures in
+    /// [`FrozenGru::step`] mirror `sigmoid`/`tanh`/`neg`(= `scale`)/
+    /// `add_scalar` ops.
+    pub fn step_op_trace(&self, out: &mut Vec<&'static str>) {
+        for (w, u) in [(&self.wz, &self.uz), (&self.wr, &self.ur)] {
+            // z and r gates: Wx (+bias), Uh, add, sigmoid.
+            w.op_trace(out);
+            u.op_trace(out);
+            out.extend(["add", "sigmoid"]);
+        }
+        // candidate: Wx (+bias), r⊙h, Uh, add, tanh.
+        self.wh.op_trace(out);
+        out.push("mul");
+        self.uh.op_trace(out);
+        out.extend(["add", "tanh"]);
+        // h' = (1−z)⊙h + z⊙h̃.
+        out.extend(["scale", "add_scalar", "mul", "mul", "add"]);
     }
 
     /// Runs the GRU over `x: [b, n, dim]` (initial hidden zero) and
@@ -657,9 +776,9 @@ impl FrozenGru {
         let mut h = Tensor::zeros(vec![b, self.dim]);
         for t in 0..n {
             let xt = ops::slice_axis(x, 1, t, t + 1)
-                .expect("gru slice")
+                .or_bug("gru slice")
                 .reshape(vec![b, self.dim])
-                .expect("gru reshape");
+                .or_bug("gru reshape");
             h = self.step(&xt, &h);
         }
         h

@@ -5,6 +5,8 @@
 //! `InvalidData` error, never a panic, OOM-sized allocation, or silently
 //! wrong tensor.
 
+#![allow(clippy::expect_used)] // test helpers outside #[test] fns
+
 use std::io::{self, ErrorKind};
 use std::path::{Path, PathBuf};
 

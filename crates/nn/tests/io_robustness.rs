@@ -7,6 +7,8 @@
 //! reports `InvalidData` for malformed input, which these fuzz loops
 //! exercise byte by byte.
 
+#![allow(clippy::expect_used)] // test helpers outside #[test] fns
+
 use autograd::{ParamRef, Parameter};
 use nn::io::{load_parameters, save_parameters};
 use tensor::Tensor;

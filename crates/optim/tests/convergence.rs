@@ -12,7 +12,7 @@ fn least_squares(opt_name: &str, mut step_fn: impl FnMut(&[autograd::ParamRef]))
     let mut rng = StdRng::seed_from_u64(7);
     let x = init::randn(&mut rng, vec![32, 4], 0.0, 1.0);
     let w_true = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0, -1.0, 0.0, 2.0, 1.5], vec![4, 2]);
-    let y = ops::matmul(&x, &w_true).expect("fixture shapes are compatible");
+    let y = ops::matmul(&x, &w_true).unwrap_or_else(|e| panic!("fixture shapes: {e}"));
     let w = Parameter::shared("w", init::randn(&mut rng, vec![4, 2], 0.0, 0.1));
 
     for _ in 0..400 {

@@ -7,6 +7,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use tensor::bug::OrBug;
+
 use crate::engine::{Engine, FrozenScorer, Request, Response};
 
 struct Job {
@@ -65,10 +67,10 @@ impl<M: FrozenScorer> Batcher<M> {
         let (rtx, rrx) = mpsc::sync_channel(1);
         self.tx
             .as_ref()
-            .expect("batcher running")
+            .or_bug("batcher running")
             .send(Job { req, reply: rtx })
-            .expect("batch worker alive");
-        rrx.recv().expect("batch worker replies before exiting")
+            .or_bug("batch worker alive");
+        rrx.recv().or_bug("batch worker replies before exiting")
     }
 }
 

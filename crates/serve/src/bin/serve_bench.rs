@@ -26,6 +26,8 @@
 //!       --model model.msgc --dim 16 --max-len 10 --users 20 --k 10
 //!   ```
 
+#![allow(clippy::expect_used)] // CI smoke binary: panicking with context IS the failure path
+
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;

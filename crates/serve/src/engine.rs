@@ -8,6 +8,7 @@ use meta_sgcl::infer::{FrozenMetaSgcl, State as MetaState};
 use models::{FrozenGru4Rec, GruState};
 use recdata::ItemId;
 use telemetry::metrics;
+use tensor::bug::OrBug;
 
 /// The contract a frozen model implements to be served.
 ///
@@ -225,7 +226,7 @@ impl<M: FrozenScorer> Engine<M> {
     }
 
     fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Session<M::State>>> {
-        self.sessions.lock().expect("sessions lock poisoned")
+        self.sessions.lock().or_bug("sessions lock poisoned")
     }
 
     /// The incremental window for a history: the last `window_cap` items
@@ -279,7 +280,7 @@ impl<M: FrozenScorer> Engine<M> {
             }
         }
         out.into_iter()
-            .map(|r| r.expect("every request answered"))
+            .map(|r| r.or_bug("every request answered"))
             .collect()
     }
 
@@ -336,7 +337,7 @@ impl<M: FrozenScorer> Engine<M> {
                 .map(|&(_, user, _, _)| {
                     let s = sessions
                         .remove(&user)
-                        .expect("session checked in can_fast_append");
+                        .or_bug("session checked in can_fast_append");
                     (user, s)
                 })
                 .collect()
@@ -345,7 +346,7 @@ impl<M: FrozenScorer> Engine<M> {
         let scores = {
             let mut states: Vec<&mut M::State> = taken
                 .iter_mut()
-                .map(|(_, s)| s.state.as_mut().expect("state checked in can_fast_append"))
+                .map(|(_, s)| s.state.as_mut().or_bug("state checked in can_fast_append"))
                 .collect();
             self.model.append_batch(&items, &mut states)
         };
@@ -395,7 +396,7 @@ impl<M: FrozenScorer> Engine<M> {
         };
         self.lock_sessions()
             .get_mut(&user)
-            .expect("session inserted above")
+            .or_bug("session inserted above")
             .state = state;
         let (items, scores) = top_k(&scores, req.k());
         Response {

@@ -1,0 +1,62 @@
+//! Unwrapping for invariants, not for errors.
+//!
+//! The workspace denies `clippy::unwrap_used` and `clippy::expect_used`
+//! in library code: fallible results must either propagate or be
+//! *deliberately* declared infallible. [`OrBug`] is that declaration. It
+//! is reserved for `Result`/`Option` values that are impossible to hit by
+//! construction — shapes already validated when an op was recorded, locks
+//! whose poisoning would mean a panicked trainer thread, indices produced
+//! by the same code that sized the container. Reaching the panic is a bug
+//! in this codebase, never a caller or data error; real failure paths must
+//! use `?` and typed errors instead.
+
+/// Extension trait: unwrap a value whose failure would be an internal bug.
+pub trait OrBug<T> {
+    /// Returns the contained value, panicking with `ctx` (and the error,
+    /// when there is one) if the invariant it names has been violated.
+    fn or_bug(self, ctx: &str) -> T;
+}
+
+impl<T, E: std::fmt::Display> OrBug<T> for Result<T, E> {
+    fn or_bug(self, ctx: &str) -> T {
+        match self {
+            Ok(v) => v,
+            Err(e) => panic!("invariant violated ({ctx}): {e}"),
+        }
+    }
+}
+
+impl<T> OrBug<T> for Option<T> {
+    fn or_bug(self, ctx: &str) -> T {
+        match self {
+            Some(v) => v,
+            None => panic!("invariant violated ({ctx}): value absent"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_and_some_pass_through() {
+        let r: Result<i32, String> = Ok(3);
+        assert_eq!(r.or_bug("ok"), 3);
+        assert_eq!(Some(7).or_bug("some"), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated (ctx): boom")]
+    fn err_panics_with_context() {
+        let r: Result<i32, String> = Err("boom".into());
+        let _ = r.or_bug("ctx");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated (none): value absent")]
+    fn none_panics_with_context() {
+        let v: Option<i32> = None;
+        let _ = v.or_bug("none");
+    }
+}

@@ -18,12 +18,16 @@
 mod shape;
 mod tensor;
 
+pub mod bug;
+pub mod determinism;
 pub mod init;
 pub mod ops;
 pub mod pool;
 pub mod rules;
 pub mod tuning;
 
+pub use crate::bug::OrBug;
+pub use crate::determinism::{reassoc_class, ReassocClass};
 pub use crate::shape::{broadcast_shapes, Shape};
 pub use crate::tensor::Tensor;
 

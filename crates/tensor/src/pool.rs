@@ -20,11 +20,14 @@ use std::sync::{Mutex, OnceLock};
 
 /// Buffers shorter than this are never pooled; the allocator is already fast
 /// for small blocks and pooling them would just grow the free map.
-const MIN_POOLED_LEN: usize = 1024;
+/// Public so the static cost model in `crates/analysis` can predict which
+/// tape buffers will land in pool size classes.
+pub const MIN_POOLED_LEN: usize = 1024;
 
 /// At most this many free buffers are kept per size class; excess buffers
-/// are dropped so the pool cannot grow without bound.
-const PER_CLASS_CAP: usize = 32;
+/// are dropped so the pool cannot grow without bound. Public for the same
+/// reason as [`MIN_POOLED_LEN`].
+pub const PER_CLASS_CAP: usize = 32;
 
 static FREE_LISTS: OnceLock<Mutex<HashMap<usize, Vec<Vec<f32>>>>> = OnceLock::new();
 static HITS: AtomicUsize = AtomicUsize::new(0);

@@ -39,7 +39,8 @@ fn usage() -> ExitCode {
          msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n  \
          msgc serve --data SPEC --model MODEL [--addr HOST:PORT] [--mode full|incremental] \
          [--batch-max N] [--batch-wait-us N] [--dim N] [--max-len N]\n  \
-         msgc check [--model NAME | --all] [--inject-fault <shape|freeze>]\n  \
+         msgc check [--model NAME | --all] [--cost] [--determinism] [--frozen-parity] \
+         [--audit-json FILE] [--inject-fault <shape|freeze|reassoc|cost|parity>]\n  \
          msgc report METRICS.jsonl [--trace TRACE.jsonl]\n\n\
          SPEC = path to user,item,rating,timestamp CSV, or synth:<preset>:<seed>"
     );
@@ -47,7 +48,15 @@ fn usage() -> ExitCode {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["joint", "sanitize", "all", "strict-health"];
+const BOOL_FLAGS: &[&str] = &[
+    "joint",
+    "sanitize",
+    "all",
+    "strict-health",
+    "cost",
+    "determinism",
+    "frozen-parity",
+];
 
 /// Flags that require a value.
 const VALUE_FLAGS: &[&str] = &[
@@ -78,6 +87,7 @@ const VALUE_FLAGS: &[&str] = &[
     "mode",
     "batch-max",
     "batch-wait-us",
+    "audit-json",
 ];
 
 #[derive(Debug)]
@@ -475,10 +485,14 @@ fn cmd_report(metrics_path: &str, args: &Args) -> Result<(), String> {
 }
 
 /// `msgc check`: run the static graph auditor (shape inference,
-/// gradient-flow/freeze contracts, numeric sanitation) over one model or
-/// the whole registered zoo. Exits non-zero if any audit fails, so it
-/// slots into CI. `--inject-fault <shape|freeze>` deliberately breaks the
-/// traced tape first, to prove the detectors fire.
+/// gradient-flow/freeze contracts, numeric sanitation, cost/liveness,
+/// reassociation-safety, frozen-forward parity) over one model or the
+/// whole registered zoo. Exits non-zero if any audit fails, so it slots
+/// into CI. All six passes always run and gate cleanliness; `--cost`,
+/// `--determinism`, and `--frozen-parity` print extra per-stage detail.
+/// `--audit-json FILE` writes the machine-readable report. `--inject-fault
+/// <shape|freeze|reassoc|cost|parity>` deliberately breaks the traced
+/// tape first, to prove the detectors fire.
 fn cmd_check(args: &Args) -> Result<(), String> {
     use meta_sgcl_repro::analysis::{self, Fault};
 
@@ -486,7 +500,14 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         None => None,
         Some("shape") => Some(Fault::Shape),
         Some("freeze") => Some(Fault::Freeze),
-        Some(other) => return Err(format!("unknown fault kind `{other}` (shape|freeze)")),
+        Some("reassoc") => Some(Fault::Reassoc),
+        Some("cost") => Some(Fault::Cost),
+        Some("parity") => Some(Fault::Parity),
+        Some(other) => {
+            return Err(format!(
+                "unknown fault kind `{other}` (shape|freeze|reassoc|cost|parity)"
+            ))
+        }
     };
     let names: Vec<&str> = match (args.get("model"), args.get("all")) {
         (Some(_), Some(_)) => return Err("--model and --all are mutually exclusive".into()),
@@ -494,6 +515,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         _ => analysis::MODELS.to_vec(),
     };
     let mut failures = 0usize;
+    let mut reports = Vec::new();
     for name in names {
         let report = match fault {
             None => analysis::audit_model(name),
@@ -506,9 +528,69 @@ fn cmd_check(args: &Args) -> Result<(), String> {
             )
         })?;
         print!("{report}");
+        if args.get("cost").is_some() {
+            for s in &report.stages {
+                println!(
+                    "    [cost] {}/{}: {} flops, tape {} B, closures {} B, \
+                     backward peak {} B, grads {} B, transient {} B => predicted peak {} B",
+                    report.model,
+                    s.stage,
+                    s.cost.flops,
+                    s.cost.tape_bytes,
+                    s.cost.closure_bytes,
+                    s.cost.backward_peak_bytes,
+                    s.cost.param_grad_bytes,
+                    s.cost.transient_bytes,
+                    s.cost.predicted_peak_bytes,
+                );
+                for c in &s.cost.pool_classes {
+                    println!(
+                        "      pool class numel {}: {} allocation(s), overflow {}",
+                        c.numel,
+                        c.allocations,
+                        c.overflow()
+                    );
+                }
+            }
+        }
+        if args.get("determinism").is_some() {
+            for s in &report.stages {
+                println!(
+                    "    [determinism] {}/{}: {} fixed-order node(s), {} reassoc-safe node(s), \
+                     {} finding(s)",
+                    report.model,
+                    s.stage,
+                    s.determinism_summary.fixed_order,
+                    s.determinism_summary.reassoc_safe,
+                    s.determinism.len(),
+                );
+            }
+        }
+        if args.get("frozen-parity").is_some() {
+            match &report.parity {
+                None => println!(
+                    "    [frozen-parity] {}: no frozen twin declared",
+                    report.model
+                ),
+                Some(p) => println!(
+                    "    [frozen-parity] {}: {} declared op(s) vs {} taped op(s) at `{}` — {}",
+                    report.model,
+                    p.declared_len,
+                    p.actual_len,
+                    p.path,
+                    if p.is_clean() { "match" } else { "DIVERGED" },
+                ),
+            }
+        }
         if !report.is_clean() {
             failures += 1;
         }
+        reports.push(report);
+    }
+    if let Some(path) = args.get("audit-json") {
+        std::fs::write(path, analysis::report::to_json(&reports))
+            .map_err(|e| format!("writing audit JSON to {path}: {e}"))?;
+        println!("wrote audit JSON to {path}");
     }
     if failures > 0 {
         return Err(format!("{failures} model audit(s) failed"));
@@ -609,6 +691,26 @@ mod tests {
         assert_eq!(args.get("metrics-out"), Some("m.jsonl"));
         assert_eq!(args.get("trace-out"), Some("t.jsonl"));
         assert_eq!(args.get("strict-health"), Some("true"));
+    }
+
+    #[test]
+    fn parse_accepts_auditor_flags() {
+        let args = Args::parse(&argv(&[
+            "--all",
+            "--cost",
+            "--determinism",
+            "--frozen-parity",
+            "--audit-json",
+            "audit.json",
+            "--inject-fault",
+            "reassoc",
+        ]))
+        .unwrap();
+        assert_eq!(args.get("cost"), Some("true"));
+        assert_eq!(args.get("determinism"), Some("true"));
+        assert_eq!(args.get("frozen-parity"), Some("true"));
+        assert_eq!(args.get("audit-json"), Some("audit.json"));
+        assert_eq!(args.get("inject-fault"), Some("reassoc"));
     }
 
     #[test]
