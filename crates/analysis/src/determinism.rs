@@ -5,15 +5,17 @@
 //! cross-entropy row sums — is composed only of
 //! [`ReassocClass::FixedOrder`] ops.
 //!
-//! This is the contract the upcoming SIMD micro-kernels (ROADMAP item 3)
-//! must satisfy: a kernel may vectorise a `ReassocSafe` op freely, but a
-//! `FixedOrder` op's accumulation order is bitwise-contractual. Flipping a
-//! reduction's class (the `--inject-fault reassoc` hook, via `overrides`)
-//! must trip this pass.
+//! This is the contract the SIMD micro-kernels ([`tensor::simd`]) satisfy:
+//! a kernel may vectorise a `ReassocSafe` op freely, but a `FixedOrder`
+//! op's accumulation order is bitwise-contractual. Flipping a reduction's
+//! class (the `--inject-fault reassoc` hook, via `overrides`) must trip
+//! this pass. The companion [`check_simd_registry`] audit cross-checks the
+//! SIMD kernel registry itself: every vectorised op must carry a class,
+//! and fixed-order ops may only ship order-preserving kernels.
 
 use autograd::NodeInfo;
-use tensor::determinism::{is_reduction, reassoc_class};
-use tensor::ReassocClass;
+use tensor::determinism::{is_reduction, reassoc_class, SIMD_OPS};
+use tensor::{ReassocClass, SimdPath};
 
 /// One determinism finding on one tape node.
 #[derive(Debug, Clone)]
@@ -94,6 +96,97 @@ pub fn first_reduction_op(nodes: &[NodeInfo]) -> Option<&'static str> {
     nodes.iter().map(|n| n.op).find(|op| is_reduction(op))
 }
 
+/// One finding from the SIMD kernel-registry audit (table-level, not
+/// tied to a tape node).
+#[derive(Debug, Clone)]
+pub struct SimdRegistryFinding {
+    /// The offending op name.
+    pub op: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SimdRegistryFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SIMD op `{}`: {}", self.op, self.message)
+    }
+}
+
+/// Tallies over the SIMD kernel registry (for report rendering).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdRegistrySummary {
+    /// Ops with an order-preserving SIMD path (bitwise-equal to scalar).
+    pub order_preserving: usize,
+    /// Ops with a reassociating SIMD path (only legal on reassoc-safe ops).
+    pub reassociating: usize,
+}
+
+impl SimdRegistrySummary {
+    /// Total number of ops with a SIMD kernel.
+    pub fn total(&self) -> usize {
+        self.order_preserving + self.reassociating
+    }
+}
+
+/// Audits the SIMD kernel registry ([`tensor::determinism::SIMD_OPS`])
+/// against the reassociation-class registry, with injection hooks:
+/// `extra_simd` simulates ops gaining a SIMD kernel (what-if / fault
+/// injection), `class_overrides` replaces registry classes as in
+/// [`check_snapshot_with`]. Two invariants are enforced:
+///
+/// 1. every op with a SIMD kernel must carry a reassociation class —
+///    a kernel added without deciding its class fails the audit;
+/// 2. a [`ReassocClass::FixedOrder`] op may only use a
+///    [`SimdPath::OrderPreserving`] kernel — a reassociating kernel on a
+///    fixed-order reduction would change bits across dispatch levels.
+pub fn check_simd_registry_with(
+    extra_simd: &[(&str, SimdPath)],
+    class_overrides: &[(&str, ReassocClass)],
+) -> (Vec<SimdRegistryFinding>, SimdRegistrySummary) {
+    let mut findings = Vec::new();
+    let mut summary = SimdRegistrySummary::default();
+    let entries = SIMD_OPS
+        .iter()
+        .map(|&(op, path)| (op, path))
+        .chain(extra_simd.iter().copied());
+    for (op, path) in entries {
+        match path {
+            SimdPath::OrderPreserving => summary.order_preserving += 1,
+            SimdPath::Reassociating => summary.reassociating += 1,
+        }
+        let class = class_overrides
+            .iter()
+            .find(|(name, _)| *name == op)
+            .map(|&(_, c)| c)
+            .or_else(|| reassoc_class(op));
+        match class {
+            None => findings.push(SimdRegistryFinding {
+                op: op.to_string(),
+                message: "op has a SIMD kernel but no reassociation class \
+                          (tensor::determinism::CLASSIFIED_OPS); declare its \
+                          class before vectorising it"
+                    .into(),
+            }),
+            Some(ReassocClass::FixedOrder) if path == SimdPath::Reassociating => {
+                findings.push(SimdRegistryFinding {
+                    op: op.to_string(),
+                    message: "fixed-order op declares a reassociating SIMD path; \
+                              its accumulation order is bitwise-contractual, so \
+                              only an order-preserving kernel is legal"
+                        .into(),
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    (findings, summary)
+}
+
+/// Audits the SIMD kernel registry as shipped (no injection).
+pub fn check_simd_registry() -> (Vec<SimdRegistryFinding>, SimdRegistrySummary) {
+    check_simd_registry_with(&[], &[])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +228,56 @@ mod tests {
         let (findings, _) =
             check_snapshot_with(&g.snapshot(), &[("constant", ReassocClass::FixedOrder)]);
         assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn shipped_simd_registry_is_clean() {
+        let (findings, summary) = check_simd_registry();
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(summary.total() >= 7, "GEMM family + elementwise expected");
+        assert_eq!(
+            summary.reassociating, 0,
+            "all shipped kernels preserve order"
+        );
+    }
+
+    #[test]
+    fn unclassified_simd_op_is_detected() {
+        let (findings, _) =
+            check_simd_registry_with(&[("warp_reduce", SimdPath::OrderPreserving)], &[]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].op, "warp_reduce");
+        assert!(findings[0].message.contains("no reassociation class"));
+    }
+
+    #[test]
+    fn reassociating_kernel_on_fixed_order_op_is_detected() {
+        // Simulate matmul's kernel being rewritten with wide accumulators.
+        let (findings, _) = check_simd_registry_with(&[("matmul", SimdPath::Reassociating)], &[]);
+        assert!(findings
+            .iter()
+            .any(|f| f.op == "matmul" && f.message.contains("reassociating")));
+    }
+
+    #[test]
+    fn reassociating_kernel_on_reassoc_safe_op_is_legal() {
+        let (findings, summary) =
+            check_simd_registry_with(&[("relu", SimdPath::Reassociating)], &[]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(summary.reassociating, 1);
+    }
+
+    #[test]
+    fn class_override_flips_simd_verdict() {
+        // Flipping add to FixedOrder makes its (order-preserving) kernel
+        // still legal; flipping it while injecting a reassociating path
+        // must trip the audit.
+        let (clean, _) = check_simd_registry_with(&[], &[("add", ReassocClass::FixedOrder)]);
+        assert!(clean.is_empty());
+        let (findings, _) = check_simd_registry_with(
+            &[("gelu", SimdPath::Reassociating)],
+            &[("gelu", ReassocClass::FixedOrder)],
+        );
+        assert!(findings.iter().any(|f| f.op == "gelu"));
     }
 }

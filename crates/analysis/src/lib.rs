@@ -25,9 +25,10 @@
 //!    prediction against reality.
 //! 5. **Determinism** ([`determinism`]) — checks that every op carries a
 //!    reassociation class ([`tensor::determinism`]) and that every
-//!    parallel-reduced path is composed only of fixed-order ops — the
-//!    contract future SIMD kernels must preserve for bitwise
-//!    reproducibility.
+//!    parallel-reduced path is composed only of fixed-order ops, and
+//!    audits the SIMD kernel registry: an op that gains a SIMD kernel
+//!    without a declared class — or a fixed-order op whose kernel
+//!    reassociates — fails the audit.
 //! 6. **Frozen parity** ([`parity`]) — statically diffs the op sequence
 //!    of each autograd scoring forward against the declared trace of its
 //!    tape-free `Frozen*` twin, so editing either side fails the audit.
@@ -49,7 +50,10 @@ pub mod report;
 pub mod shape;
 
 pub use cost::{CostDiagnostic, CostReport, PoolClass};
-pub use determinism::{DeterminismFinding, DeterminismSummary};
+pub use determinism::{
+    check_simd_registry, check_simd_registry_with, DeterminismFinding, DeterminismSummary,
+    SimdRegistryFinding, SimdRegistrySummary,
+};
 pub use flow::{check_contract, classify, reachable_from, FlowClass, FlowSummary, FlowViolation};
 pub use parity::{ParityDiagnostic, ParityReport};
 pub use registry::{

@@ -410,3 +410,28 @@ fn detach_stops_gradient_flow() {
     loss.backward();
     assert_eq!(a.borrow().grad.data(), &[2.0, 3.0]);
 }
+
+#[test]
+fn backward_is_bitwise_identical_across_simd_dispatch() {
+    // The backward pass runs the same FixedOrder GEMM and elementwise
+    // kernels as the forward; the SIMD kill switch must not change a
+    // single gradient bit. Shapes cover the packed stripe kernel, the
+    // small-m row kernel, and ragged tails.
+    let run = |simd: bool| -> Vec<Vec<f32>> {
+        let was = tensor::tuning::simd_enabled();
+        tensor::tuning::set_simd_enabled(simd);
+        let a = p_signed("a", vec![5, 19], 60);
+        let b = p_signed("b", vec![33, 19], 61);
+        let g = Graph::new();
+        let loss = g.param(&a).matmul_transb(&g.param(&b)).square().sum_all();
+        loss.backward();
+        tensor::tuning::set_simd_enabled(was);
+        let out = vec![
+            loss.value().data().to_vec(),
+            a.borrow().grad.data().to_vec(),
+            b.borrow().grad.data().to_vec(),
+        ];
+        out
+    };
+    assert_eq!(run(true), run(false));
+}

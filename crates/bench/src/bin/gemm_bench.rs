@@ -1,9 +1,14 @@
-//! GEMM kernel microbenchmark (BENCH_3): fused NT/TN kernels against the
-//! materialize-transpose baseline, the branch-free dense row kernel against
-//! the masked zero-skip path, and one end-to-end training-throughput probe.
+//! GEMM kernel microbenchmark (BENCH_8): SIMD vs scalar dispatch on the
+//! workload shape classes, the fused NT/TN kernels against the
+//! materialize-transpose baseline, quantized-weight GEMM storage/timing,
+//! and one end-to-end training-throughput probe.
 //!
-//! Writes `BENCH_3.json` into the current directory and exits nonzero when
-//! any fused kernel is slower than its baseline (the CI bench-smoke gate).
+//! Writes `BENCH_8.json` into the current directory and exits nonzero when
+//! any gate fails (the CI bench-smoke gate):
+//!
+//! * every shape class must show SIMD ≥ 1.0× over scalar;
+//! * the geometric mean over the logits shape classes must be ≥ 1.5×;
+//! * every fused kernel must beat its materialize-transpose baseline.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin gemm_bench
@@ -15,7 +20,7 @@ use std::time::Instant;
 
 use bench::zoo::build;
 use bench::{workload_by_name, Scale};
-use tensor::{ops, Tensor};
+use tensor::{ops, tuning, QuantMatrix, QuantMode, Tensor};
 
 /// Best-of-`reps` mean milliseconds per call over `iters` calls.
 fn time_ms(mut f: impl FnMut(), iters: usize, reps: usize) -> f64 {
@@ -44,33 +49,91 @@ fn fill(len: usize, seed: u64) -> Vec<f32> {
         .collect()
 }
 
+/// Workload shape classes: tied-softmax logits at two catalog sizes, an
+/// attention-score block, and the flattened shared-B backward shape.
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("logits_toys", 32, 32, 361),
+    ("logits_small", 16, 32, 201),
+    ("attention_scores", 40, 20, 20),
+    ("logits_backward_flat", 640, 32, 361),
+];
+
+/// Pre-runs every kernel on every shape so `tensor::pool` holds each size
+/// class before any measured loop starts. Without this, whichever
+/// configuration is timed first also pays the pool's first-touch
+/// allocations, skewing A-vs-B comparisons by measurement order.
+fn warm_pool() {
+    for &(_, m, k, n) in SHAPES {
+        let a = Tensor::from_vec(fill(m * k, 11), vec![m, k]);
+        let b = Tensor::from_vec(fill(n * k, 23), vec![n, k]);
+        ops::matmul_transb(&a, &b).expect("shapes agree").recycle();
+        let at = Tensor::from_vec(fill(k * m, 31), vec![k, m]);
+        let bt = Tensor::from_vec(fill(k * n, 43), vec![k, n]);
+        ops::matmul_transa(&at, &bt)
+            .expect("shapes agree")
+            .recycle();
+        let btt = ops::transpose_last2(&b).expect("rank 2");
+        ops::matmul(&a, &btt).expect("shapes agree").recycle();
+        btt.recycle();
+    }
+}
+
 struct KernelRow {
-    name: &'static str,
+    name: String,
     m: usize,
     k: usize,
     n: usize,
-    fused_ms: f64,
-    baseline_ms: f64,
+    fast_ms: f64,
+    slow_ms: f64,
 }
 
 impl KernelRow {
     fn speedup(&self) -> f64 {
-        self.baseline_ms / self.fused_ms
+        self.slow_ms / self.fast_ms
     }
 
-    fn json(&self) -> String {
+    fn json(&self, fast: &str, slow: &str) -> String {
         format!(
             "{{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
-             \"fused_ms\": {:.4}, \"baseline_ms\": {:.4}, \"speedup\": {:.3}}}",
+             \"{fast}_ms\": {:.4}, \"{slow}_ms\": {:.4}, \"speedup\": {:.3}}}",
             self.name,
             self.m,
             self.k,
             self.n,
-            self.fused_ms,
-            self.baseline_ms,
+            self.fast_ms,
+            self.slow_ms,
             self.speedup()
         )
     }
+}
+
+/// Times the fused NT kernel on one shape under the current dispatch
+/// settings.
+fn nt_ms(a: &Tensor, b: &Tensor, iters: usize, reps: usize) -> f64 {
+    time_ms(
+        || {
+            ops::matmul_transb(a, b).expect("shapes agree").recycle();
+        },
+        iters,
+        reps,
+    )
+}
+
+/// Times the fused NT kernel with SIMD on and off, **interleaving** the
+/// two configurations rep by rep so ambient load (this is a one-core
+/// box) perturbs both sides alike instead of whichever phase it lands
+/// on. Returns `(simd_ms, scalar_ms)` as best-of over the reps.
+fn nt_simd_pair_ms(a: &Tensor, b: &Tensor, iters: usize, reps: usize) -> (f64, f64) {
+    let run = |simd: bool| {
+        tuning::set_simd_enabled(simd);
+        nt_ms(a, b, iters, 1)
+    };
+    let (mut simd_ms, mut scalar_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        simd_ms = simd_ms.min(run(true));
+        scalar_ms = scalar_ms.min(run(false));
+    }
+    (simd_ms, scalar_ms)
 }
 
 fn main() {
@@ -80,42 +143,64 @@ fn main() {
         Scale::Full => (100, 5),
     };
 
-    // Workload shapes: tied-softmax logits at two catalog sizes, an
-    // attention-score block, and the flattened shared-B backward shape.
-    let shapes: &[(&'static str, usize, usize, usize)] = &[
-        ("logits_toys", 32, 32, 361),
-        ("logits_small", 16, 32, 201),
-        ("attention_scores", 40, 20, 20),
-        ("logits_backward_flat", 640, 32, 361),
-    ];
+    warm_pool();
 
-    let mut rows: Vec<KernelRow> = Vec::new();
-    for &(name, m, k, n) in shapes {
-        // NT: A[m,k] · B[n,k]ᵀ — fused kernel vs transpose-then-matmul.
+    // Tiny shapes run in well under a microsecond; scale their iteration
+    // counts up so each timed block is long enough for stable best-of
+    // measurements (a noisy sub-microsecond row must not flap a gate).
+    let iters_for = |m: usize, k: usize, n: usize| -> usize { iters * (1 + 400_000 / (m * k * n)) };
+
+    // --- SIMD vs scalar on every shape class (the tentpole gate). Both
+    // sides run the identical fused NT path; only the dispatch level
+    // differs, and FixedOrder ops are bitwise-identical across levels.
+    let simd_was = tuning::simd_enabled();
+    let mut simd_rows: Vec<KernelRow> = Vec::new();
+    for &(name, m, k, n) in SHAPES {
         let a = Tensor::from_vec(fill(m * k, 11), vec![m, k]);
         let b = Tensor::from_vec(fill(n * k, 23), vec![n, k]);
-        let fused_ms = time_ms(
-            || {
-                ops::matmul_transb(&a, &b).expect("shapes agree").recycle();
-            },
-            iters,
-            reps,
-        );
+        let it = iters_for(m, k, n);
+        let (simd_ms, scalar_ms) = nt_simd_pair_ms(&a, &b, it, reps + 2);
+        tuning::set_simd_enabled(simd_was);
+        simd_rows.push(KernelRow {
+            name: name.to_string(),
+            m,
+            k,
+            n,
+            fast_ms: simd_ms,
+            slow_ms: scalar_ms,
+        });
+    }
+    let logits_speedups: Vec<f64> = simd_rows
+        .iter()
+        .filter(|r| r.name.starts_with("logits"))
+        .map(KernelRow::speedup)
+        .collect();
+    let geomean = (logits_speedups.iter().map(|s| s.ln()).sum::<f64>()
+        / logits_speedups.len().max(1) as f64)
+        .exp();
+
+    // --- fused NT/TN vs materialize-transpose baseline (BENCH_3 lineage).
+    let mut fused_rows: Vec<KernelRow> = Vec::new();
+    for &(name, m, k, n) in SHAPES {
+        let a = Tensor::from_vec(fill(m * k, 11), vec![m, k]);
+        let b = Tensor::from_vec(fill(n * k, 23), vec![n, k]);
+        let it = iters_for(m, k, n);
+        let fused_ms = nt_ms(&a, &b, it, reps);
         let baseline_ms = time_ms(
             || {
                 let bt = ops::transpose_last2(&b).expect("rank 2");
                 drop(ops::matmul(&a, &bt).expect("shapes agree"));
             },
-            iters,
+            it,
             reps,
         );
-        rows.push(KernelRow {
-            name,
+        fused_rows.push(KernelRow {
+            name: name.to_string(),
             m,
             k,
             n,
-            fused_ms,
-            baseline_ms,
+            fast_ms: fused_ms,
+            slow_ms: baseline_ms,
         });
 
         // TN: A[k,m]ᵀ · B[k,n] — the gradient-side kernel at the same shape.
@@ -127,7 +212,7 @@ fn main() {
                     .expect("shapes agree")
                     .recycle();
             },
-            iters,
+            it,
             reps,
         );
         let baseline_tn_ms = time_ms(
@@ -135,38 +220,70 @@ fn main() {
                 let att = ops::transpose_last2(&at).expect("rank 2");
                 drop(ops::matmul(&att, &bt).expect("shapes agree"));
             },
-            iters,
+            it,
             reps,
         );
-        rows.push(KernelRow {
-            name: match name {
-                "logits_toys" => "tn_logits_toys",
-                "logits_small" => "tn_logits_small",
-                "attention_scores" => "tn_attention_scores",
-                _ => "tn_logits_backward_flat",
-            },
+        fused_rows.push(KernelRow {
+            name: format!("tn_{name}"),
             m,
             k,
             n,
-            fused_ms: fused_tn_ms,
-            baseline_ms: baseline_tn_ms,
+            fast_ms: fused_tn_ms,
+            slow_ms: baseline_tn_ms,
         });
     }
+
+    // --- quantized frozen-weight GEMM: resident bytes and NT timing on
+    // the serving logits shape (dequantize-in-pack vs plain f32).
+    let quant_json = {
+        let (m, k, n) = (32usize, 32usize, 361usize);
+        let h = Tensor::from_vec(fill(m * k, 71), vec![m, k]);
+        let table = Tensor::from_vec(fill(n * k, 73), vec![n, k]);
+        let qf32 = QuantMatrix::from_tensor(table.clone(), QuantMode::F32).expect("rank 2");
+        let qbf16 = QuantMatrix::from_tensor(table.clone(), QuantMode::Bf16).expect("rank 2");
+        let qint8 = QuantMatrix::from_tensor(table, QuantMode::Int8).expect("rank 2");
+        let f32_ms = time_ms(
+            || {
+                ops::matmul_transb_q(&h, &qf32)
+                    .expect("shapes agree")
+                    .recycle();
+            },
+            iters,
+            reps,
+        );
+        let bf16_ms = time_ms(
+            || {
+                ops::matmul_transb_q(&h, &qbf16)
+                    .expect("shapes agree")
+                    .recycle();
+            },
+            iters,
+            reps,
+        );
+        format!(
+            "{{\"m\": {m}, \"k\": {k}, \"n\": {n}, \
+             \"f32_bytes\": {}, \"bf16_bytes\": {}, \"int8_bytes\": {}, \
+             \"f32_ms\": {f32_ms:.4}, \"bf16_ms\": {bf16_ms:.4}}}",
+            qf32.resident_bytes(),
+            qbf16.resident_bytes(),
+            qint8.resident_bytes(),
+        )
+    };
 
     // Satellite: branch-free dense kernel vs the dedicated zero-skip masked
     // path, on a dense input and on a 75%-sparse one. These are alternative
     // kernels, not a fused-vs-baseline pair, so they carry no CI gate.
-    let (m, k, n) = (64, 64, 128);
-    let dense_a = Tensor::from_vec(fill(m * k, 53), vec![m, k]);
-    let mut sparse_v = fill(m * k, 53);
-    for (i, x) in sparse_v.iter_mut().enumerate() {
-        if i % 4 != 0 {
-            *x = 0.0;
-        }
-    }
-    let sparse_a = Tensor::from_vec(sparse_v, vec![m, k]);
-    let b2 = Tensor::from_vec(fill(k * n, 61), vec![k, n]);
     let masked_json = {
+        let (m, k, n) = (64usize, 64usize, 128usize);
+        let dense_a = Tensor::from_vec(fill(m * k, 53), vec![m, k]);
+        let mut sparse_v = fill(m * k, 53);
+        for (i, x) in sparse_v.iter_mut().enumerate() {
+            if i % 4 != 0 {
+                *x = 0.0;
+            }
+        }
+        let sparse_a = Tensor::from_vec(sparse_v, vec![m, k]);
+        let b2 = Tensor::from_vec(fill(k * n, 61), vec![k, n]);
         let dense_on_dense = time_ms(
             || drop(ops::matmul2d(&dense_a, &b2).expect("shapes agree")),
             iters,
@@ -215,37 +332,84 @@ fn main() {
         Scale::Quick => "quick",
         Scale::Full => "full",
     };
-    let gemm_json: Vec<String> = rows.iter().map(|r| format!("    {}", r.json())).collect();
+    const LOGITS_GEOMEAN_GATE: f64 = 1.5;
+    let simd_json: Vec<String> = simd_rows
+        .iter()
+        .map(|r| format!("    {}", r.json("simd", "scalar")))
+        .collect();
+    let fused_json: Vec<String> = fused_rows
+        .iter()
+        .map(|r| format!("    {}", r.json("fused", "baseline")))
+        .collect();
     let json = format!(
-        "{{\n  \"bench\": \"BENCH_3\",\n  \"scale\": \"{scale_name}\",\n  \"gemm\": [\n{}\n  ],\n  \"masked_vs_dense\": {masked_json},\n  \"end_to_end\": {{\"model\": \"SASRec\", \"dataset\": \"toys-like\", \"epochs\": {}, \"seqs_per_s\": {seqs_per_s:.1}}}\n}}\n",
-        gemm_json.join(",\n"),
+        "{{\n  \"bench\": \"BENCH_8\",\n  \"scale\": \"{scale_name}\",\n  \
+         \"simd_vs_scalar\": [\n{}\n  ],\n  \
+         \"logits_geomean_speedup\": {geomean:.3},\n  \
+         \"logits_geomean_gate\": {LOGITS_GEOMEAN_GATE},\n  \
+         \"gemm\": [\n{}\n  ],\n  \"quantized_nt\": {quant_json},\n  \
+         \"masked_vs_dense\": {masked_json},\n  \
+         \"end_to_end\": {{\"model\": \"SASRec\", \"dataset\": \"toys-like\", \
+         \"epochs\": {}, \"seqs_per_s\": {seqs_per_s:.1}}}\n}}\n",
+        simd_json.join(",\n"),
+        fused_json.join(",\n"),
         w.epochs
     );
-    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
 
-    println!("wrote BENCH_3.json");
-    for r in &rows {
+    println!("wrote BENCH_8.json");
+    for r in &simd_rows {
         println!(
-            "  {:<24} ({:>3}x{:>2}x{:>3})  fused {:.3} ms  baseline {:.3} ms  {:.2}x",
+            "  simd  {:<24} ({:>3}x{:>2}x{:>3})  simd {:.3} ms  scalar {:.3} ms  {:.2}x",
             r.name,
             r.m,
             r.k,
             r.n,
-            r.fused_ms,
-            r.baseline_ms,
+            r.fast_ms,
+            r.slow_ms,
+            r.speedup()
+        );
+    }
+    println!("  logits geomean SIMD speedup: {geomean:.2}x (gate {LOGITS_GEOMEAN_GATE}x)");
+    for r in &fused_rows {
+        println!(
+            "  fused {:<24} ({:>3}x{:>2}x{:>3})  fused {:.3} ms  baseline {:.3} ms  {:.2}x",
+            r.name,
+            r.m,
+            r.k,
+            r.n,
+            r.fast_ms,
+            r.slow_ms,
             r.speedup()
         );
     }
     println!("  end-to-end SASRec: {seqs_per_s:.0} seqs/s");
 
-    let regressions: Vec<&KernelRow> = rows.iter().filter(|r| r.speedup() < 1.0).collect();
-    if !regressions.is_empty() {
-        for r in regressions {
+    let mut failed = false;
+    for r in &simd_rows {
+        if r.speedup() < 1.0 {
+            eprintln!(
+                "GATE FAILED: {} SIMD {:.3} ms slower than scalar {:.3} ms",
+                r.name, r.fast_ms, r.slow_ms
+            );
+            failed = true;
+        }
+    }
+    if geomean < LOGITS_GEOMEAN_GATE {
+        eprintln!(
+            "GATE FAILED: logits geomean SIMD speedup {geomean:.2}x < {LOGITS_GEOMEAN_GATE}x"
+        );
+        failed = true;
+    }
+    for r in &fused_rows {
+        if r.speedup() < 1.0 {
             eprintln!(
                 "REGRESSION: {} fused {:.3} ms slower than baseline {:.3} ms",
-                r.name, r.fused_ms, r.baseline_ms
+                r.name, r.fast_ms, r.slow_ms
             );
+            failed = true;
         }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

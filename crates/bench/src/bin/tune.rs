@@ -10,6 +10,9 @@
 //! `--sweep-kernels` sweeps the [`tensor::tuning`] GEMM cutoffs in-process
 //! (the same knobs the `META_SGCL_GEMM_*` env vars set) and prints the
 //! fused-kernel timing at each point, for picking per-machine defaults.
+//! It then sweeps the SIMD dispatch knobs (`META_SGCL_SIMD`,
+//! `META_SGCL_SIMD_MIN_N`) over the packed, small-m, and elementwise
+//! paths, so the scalar/SIMD crossover can be read off per machine.
 
 use std::time::Instant;
 
@@ -79,6 +82,66 @@ fn sweep_kernels() {
     }
     tuning::set_gemm_par_rows(rows0);
     tuning::set_gemm_par_row_work(work0);
+
+    // SIMD dispatch sweep: the kill switch crossed with the gemm_row /
+    // elementwise width threshold. The packed shapes show the stripe
+    // kernel (threshold-exempt: its width is fixed); the m=2 shape runs
+    // the small-m row kernel and `add` the elementwise path, both of
+    // which sit behind `simd_min_n`.
+    let (simd0, min0) = (tuning::simd_enabled(), tuning::simd_min_n());
+    let (a2, b2) = {
+        let a = Tensor::from_vec(
+            (0..2 * 32).map(|i| (i % 13) as f32 - 6.0).collect(),
+            vec![2, 32],
+        );
+        let b = Tensor::from_vec(
+            (0..361 * 32).map(|i| (i % 17) as f32 - 8.0).collect(),
+            vec![361, 32],
+        );
+        (a, b)
+    };
+    let ew = Tensor::from_vec((0..65536).map(|i| (i % 29) as f32).collect(), vec![65536]);
+    println!();
+    println!("simd  simd_min_n  2x32x361(ms)  32x32x361(ms)  640x32x361(ms)  add64k(ms)");
+    for on in [false, true] {
+        for min_n in [1usize, 8, 64, 512] {
+            tuning::set_simd_enabled(on);
+            tuning::set_simd_min_n(min_n);
+            let small_ms = time_ms(
+                || {
+                    ops::matmul_transb(&a2, &b2)
+                        .expect("shapes agree")
+                        .recycle();
+                },
+                20,
+            );
+            let packed: Vec<f64> = tensors
+                .iter()
+                .map(|(a, b)| {
+                    time_ms(
+                        || {
+                            ops::matmul_transb(a, b).expect("shapes agree").recycle();
+                        },
+                        20,
+                    )
+                })
+                .collect();
+            let add_ms = time_ms(
+                || {
+                    ops::add(&ew, &ew).expect("same shape").recycle();
+                },
+                20,
+            );
+            println!(
+                "{:>4} {min_n:>11}  {small_ms:>12.4}  {:>13.4}  {:>14.4}  {add_ms:>10.4}",
+                if on { "on" } else { "off" },
+                packed[0],
+                packed[1],
+            );
+        }
+    }
+    tuning::set_simd_enabled(simd0);
+    tuning::set_simd_min_n(min0);
 }
 
 fn main() {

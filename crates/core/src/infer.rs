@@ -21,10 +21,12 @@
 //!   `max_len` items (a slide, counted as one re-encode).
 
 use models::{BackboneState, FrozenTransformerBackbone, TransformerBackbone};
-use nn::{causal_mask, EncoderKv, Freeze, FrozenLinear, FrozenTransformerEncoder, InferModule};
+use nn::{
+    causal_mask, EncoderKv, Freeze, FrozenLinear, FrozenTransformerEncoder, InferModule, Quantize,
+};
 use recdata::{encode_input_only, ItemId};
 use tensor::bug::OrBug;
-use tensor::Tensor;
+use tensor::{QuantMode, Tensor};
 
 use crate::model::MetaSgcl;
 
@@ -185,6 +187,22 @@ impl InferModule for FrozenMetaSgcl {
         self.backbone.num_weights()
             + self.enc_mu.num_weights()
             + self.decoder.as_ref().map_or(0, InferModule::num_weights)
+    }
+
+    fn weight_bytes(&self) -> usize {
+        self.backbone.weight_bytes()
+            + self.enc_mu.weight_bytes()
+            + self.decoder.as_ref().map_or(0, InferModule::weight_bytes)
+    }
+}
+
+impl Quantize for FrozenMetaSgcl {
+    fn quantize(&mut self, mode: QuantMode) {
+        self.backbone.quantize(mode);
+        self.enc_mu.quantize(mode);
+        if let Some(dec) = &mut self.decoder {
+            dec.quantize(mode);
+        }
     }
 }
 

@@ -23,11 +23,11 @@
 
 use nn::{
     causal_mask, padding_additive_mask, EncoderKv, Freeze, FrozenEmbedding, FrozenGru,
-    FrozenLayerNorm, FrozenTransformerEncoder, InferModule,
+    FrozenLayerNorm, FrozenTransformerEncoder, InferModule, Quantize,
 };
 use recdata::{encode_input_only, ItemId};
 use tensor::bug::OrBug;
-use tensor::{ops, Tensor};
+use tensor::{ops, QuantMode, Tensor};
 
 use crate::{Gru4Rec, TransformerBackbone};
 
@@ -200,9 +200,11 @@ impl FrozenTransformerBackbone {
 
     /// Catalog scores via the tied item table (`ŷ = h · Mᵀ`). Accepts
     /// `[b, d]` or `[b, n, d]`; rows are independent accumulation chains,
-    /// so batch scoring equals single-row scoring bitwise.
+    /// so batch scoring equals single-row scoring bitwise. With a
+    /// quantised table, rows are dequantised inside the GEMM's packing
+    /// step (`matmul_transb_q`); in f32 mode this is the plain NT GEMM.
     pub fn scores(&self, h: &Tensor) -> Tensor {
-        ops::matmul_transb(h, self.item_emb.table()).or_bug("score gemm")
+        ops::matmul_transb_q(h, self.item_emb.table_q()).or_bug("score gemm")
     }
 
     /// Declares the tape ops of `TransformerBackbone::forward` at eval:
@@ -235,6 +237,21 @@ impl InferModule for FrozenTransformerBackbone {
             + self.pos_emb.num_weights()
             + self.emb_ln.num_weights()
             + self.encoder.num_weights()
+    }
+
+    fn weight_bytes(&self) -> usize {
+        self.item_emb.weight_bytes()
+            + self.pos_emb.weight_bytes()
+            + self.emb_ln.weight_bytes()
+            + self.encoder.weight_bytes()
+    }
+}
+
+impl Quantize for FrozenTransformerBackbone {
+    fn quantize(&mut self, mode: QuantMode) {
+        self.item_emb.quantize(mode);
+        self.pos_emb.quantize(mode);
+        self.encoder.quantize(mode);
     }
 }
 
@@ -308,7 +325,7 @@ impl FrozenGru4Rec {
         let (input, _pad) = encode_input_only(seq, self.max_len);
         let x = self.item_emb.lookup_batch(std::slice::from_ref(&input));
         let last = self.gru.forward_sequence_last(&x);
-        let logits = ops::matmul_transb(&last, self.item_emb.table()).or_bug("score gemm");
+        let logits = ops::matmul_transb_q(&last, self.item_emb.table_q()).or_bug("score gemm");
         logits.row(0).to_vec()
     }
 
@@ -353,7 +370,7 @@ impl FrozenGru4Rec {
 
     /// Catalog scores from hidden states `[b, d]` via the tied table.
     pub fn scores(&self, h: &Tensor) -> Tensor {
-        ops::matmul_transb(h, self.item_emb.table()).or_bug("score gemm")
+        ops::matmul_transb_q(h, self.item_emb.table_q()).or_bug("score gemm")
     }
 
     /// Declares the op sequence of the autograd reference for
@@ -394,6 +411,17 @@ impl FrozenGru4Rec {
 impl InferModule for FrozenGru4Rec {
     fn num_weights(&self) -> usize {
         self.item_emb.num_weights() + self.gru.num_weights()
+    }
+
+    fn weight_bytes(&self) -> usize {
+        self.item_emb.weight_bytes() + self.gru.weight_bytes()
+    }
+}
+
+impl Quantize for FrozenGru4Rec {
+    fn quantize(&mut self, mode: QuantMode) {
+        self.item_emb.quantize(mode);
+        self.gru.quantize(mode);
     }
 }
 

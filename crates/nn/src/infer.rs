@@ -36,7 +36,7 @@
 //! left-padded convention must use the full forwards.
 
 use tensor::bug::OrBug;
-use tensor::{ops, Tensor};
+use tensor::{ops, QuantMatrix, QuantMode, Tensor};
 
 use crate::{
     Activation, Embedding, FeedForward, Gru, LayerNorm, Linear, MultiHeadSelfAttention,
@@ -47,6 +47,25 @@ use crate::{
 pub trait InferModule {
     /// Total number of weight scalars held by this module.
     fn num_weights(&self) -> usize;
+
+    /// Resident bytes of this module's weight storage. The default assumes
+    /// dense f32; modules whose matrices live in a [`QuantMatrix`]
+    /// override this to report the quantised footprint.
+    fn weight_bytes(&self) -> usize {
+        self.num_weights() * 4
+    }
+}
+
+/// In-place weight quantisation of a frozen module for serving.
+///
+/// Freezing always produces f32 storage (the bitwise-parity default);
+/// `quantize` re-encodes each weight **matrix** to the requested mode.
+/// Vectors that are cheap and precision-critical — biases, LayerNorm
+/// gamma/beta — always stay f32. Quantising to [`QuantMode::F32`] is an
+/// exact no-op, so the mode can be threaded unconditionally from config.
+pub trait Quantize {
+    /// Re-encodes this module's weight matrices to `mode`.
+    fn quantize(&mut self, mode: QuantMode);
 }
 
 /// Conversion from the trained `ParamRef` form into the frozen form.
@@ -69,15 +88,20 @@ fn frozen_value(p: &autograd::ParamRef) -> Tensor {
 // ---------------------------------------------------------------------------
 
 /// Frozen [`Linear`]: `y = x · W (+ b)`.
+///
+/// The weight matrix lives in a [`QuantMatrix`]; in the default
+/// [`QuantMode::F32`] mode the forward is bitwise-identical to the
+/// autograd twin (`matmul_q` passes the stored tensor straight to
+/// `matmul`). The bias stays f32 in every mode.
 pub struct FrozenLinear {
-    weight: Tensor,
+    weight: QuantMatrix,
     bias: Option<Tensor>,
 }
 
 impl FrozenLinear {
     /// Applies the layer to `x: [.., in_dim]` (rank 2 or 3).
     pub fn forward(&self, x: &Tensor) -> Tensor {
-        let y = ops::matmul(x, &self.weight).or_bug("frozen linear matmul");
+        let y = ops::matmul_q(x, &self.weight).or_bug("frozen linear matmul");
         match &self.bias {
             Some(b) => ops::add(&y, b).or_bug("frozen linear bias"),
             None => y,
@@ -94,13 +118,23 @@ impl FrozenLinear {
 
     /// Output feature dimension.
     pub fn out_dim(&self) -> usize {
-        self.weight.dims()[1]
+        self.weight.cols()
     }
 }
 
 impl InferModule for FrozenLinear {
     fn num_weights(&self) -> usize {
-        self.weight.data().len() + self.bias.as_ref().map_or(0, |b| b.data().len())
+        self.weight.rows() * self.weight.cols() + self.bias.as_ref().map_or(0, |b| b.data().len())
+    }
+
+    fn weight_bytes(&self) -> usize {
+        self.weight.resident_bytes() + self.bias.as_ref().map_or(0, |b| b.data().len() * 4)
+    }
+}
+
+impl Quantize for FrozenLinear {
+    fn quantize(&mut self, mode: QuantMode) {
+        self.weight.requantize(mode);
     }
 }
 
@@ -108,7 +142,8 @@ impl Freeze for Linear {
     type Frozen = FrozenLinear;
     fn freeze(&self) -> FrozenLinear {
         FrozenLinear {
-            weight: frozen_value(&self.weight),
+            weight: QuantMatrix::from_tensor(frozen_value(&self.weight), QuantMode::F32)
+                .or_bug("linear weight is rank 2"),
             bias: self.bias.as_ref().map(frozen_value),
         }
     }
@@ -118,9 +153,13 @@ impl Freeze for Linear {
 // Embedding
 // ---------------------------------------------------------------------------
 
-/// Frozen [`Embedding`]: a plain `[vocab, dim]` lookup table.
+/// Frozen [`Embedding`]: a `[vocab, dim]` lookup table, stored in a
+/// [`QuantMatrix`]. In the default f32 mode lookups and the tied scoring
+/// GEMM are bitwise-identical to the autograd twin; in bf16/int8 modes
+/// rows are dequantised on the fly and the table is the dominant share of
+/// the serving footprint reduction.
 pub struct FrozenEmbedding {
-    table: Tensor,
+    table: QuantMatrix,
     vocab: usize,
     dim: usize,
 }
@@ -128,7 +167,9 @@ pub struct FrozenEmbedding {
 impl FrozenEmbedding {
     /// Looks up a flat index list, returning `[indices.len(), dim]`.
     pub fn lookup_flat(&self, indices: &[usize]) -> Tensor {
-        ops::index_select_rows(&self.table, indices).or_bug("frozen embedding lookup")
+        self.table
+            .select_rows(indices)
+            .or_bug("frozen embedding lookup")
     }
 
     /// Looks up a batch of equal-length sequences: `[batch, seq_len, dim]`.
@@ -158,8 +199,9 @@ impl FrozenEmbedding {
         out.push("reshape");
     }
 
-    /// The full table (tied output projection).
-    pub fn table(&self) -> &Tensor {
+    /// The full table (tied output projection), in its stored encoding —
+    /// feed it to `ops::matmul_transb_q` for the scoring GEMM.
+    pub fn table_q(&self) -> &QuantMatrix {
         &self.table
     }
 
@@ -176,7 +218,17 @@ impl FrozenEmbedding {
 
 impl InferModule for FrozenEmbedding {
     fn num_weights(&self) -> usize {
-        self.table.data().len()
+        self.table.rows() * self.table.cols()
+    }
+
+    fn weight_bytes(&self) -> usize {
+        self.table.resident_bytes()
+    }
+}
+
+impl Quantize for FrozenEmbedding {
+    fn quantize(&mut self, mode: QuantMode) {
+        self.table.requantize(mode);
     }
 }
 
@@ -184,7 +236,8 @@ impl Freeze for Embedding {
     type Frozen = FrozenEmbedding;
     fn freeze(&self) -> FrozenEmbedding {
         FrozenEmbedding {
-            table: frozen_value(&self.table),
+            table: QuantMatrix::from_tensor(frozen_value(&self.table), QuantMode::F32)
+                .or_bug("embedding table is rank 2"),
             vocab: self.vocab,
             dim: self.dim,
         }
@@ -295,6 +348,17 @@ impl FrozenFeedForward {
 impl InferModule for FrozenFeedForward {
     fn num_weights(&self) -> usize {
         self.l1.num_weights() + self.l2.num_weights()
+    }
+
+    fn weight_bytes(&self) -> usize {
+        self.l1.weight_bytes() + self.l2.weight_bytes()
+    }
+}
+
+impl Quantize for FrozenFeedForward {
+    fn quantize(&mut self, mode: QuantMode) {
+        self.l1.quantize(mode);
+        self.l2.quantize(mode);
     }
 }
 
@@ -500,6 +564,22 @@ impl InferModule for FrozenMultiHeadSelfAttention {
             + self.wv.num_weights()
             + self.wo.num_weights()
     }
+
+    fn weight_bytes(&self) -> usize {
+        self.wq.weight_bytes()
+            + self.wk.weight_bytes()
+            + self.wv.weight_bytes()
+            + self.wo.weight_bytes()
+    }
+}
+
+impl Quantize for FrozenMultiHeadSelfAttention {
+    fn quantize(&mut self, mode: QuantMode) {
+        self.wq.quantize(mode);
+        self.wk.quantize(mode);
+        self.wv.quantize(mode);
+        self.wo.quantize(mode);
+    }
 }
 
 impl Freeze for MultiHeadSelfAttention {
@@ -573,6 +653,21 @@ impl InferModule for FrozenTransformerLayer {
             + self.ffn.num_weights()
             + self.ln1.num_weights()
             + self.ln2.num_weights()
+    }
+
+    fn weight_bytes(&self) -> usize {
+        // LayerNorm vectors stay f32 in every mode.
+        self.mha.weight_bytes()
+            + self.ffn.weight_bytes()
+            + self.ln1.weight_bytes()
+            + self.ln2.weight_bytes()
+    }
+}
+
+impl Quantize for FrozenTransformerLayer {
+    fn quantize(&mut self, mode: QuantMode) {
+        self.mha.quantize(mode);
+        self.ffn.quantize(mode);
     }
 }
 
@@ -697,6 +792,18 @@ impl InferModule for FrozenTransformerEncoder {
     fn num_weights(&self) -> usize {
         self.layers.iter().map(InferModule::num_weights).sum()
     }
+
+    fn weight_bytes(&self) -> usize {
+        self.layers.iter().map(InferModule::weight_bytes).sum()
+    }
+}
+
+impl Quantize for FrozenTransformerEncoder {
+    fn quantize(&mut self, mode: QuantMode) {
+        for layer in &mut self.layers {
+            layer.quantize(mode);
+        }
+    }
 }
 
 impl Freeze for TransformerEncoder {
@@ -791,6 +898,28 @@ impl InferModule for FrozenGru {
             .iter()
             .map(|l| l.num_weights())
             .sum()
+    }
+
+    fn weight_bytes(&self) -> usize {
+        [&self.wz, &self.uz, &self.wr, &self.ur, &self.wh, &self.uh]
+            .iter()
+            .map(|l| l.weight_bytes())
+            .sum()
+    }
+}
+
+impl Quantize for FrozenGru {
+    fn quantize(&mut self, mode: QuantMode) {
+        for l in [
+            &mut self.wz,
+            &mut self.uz,
+            &mut self.wr,
+            &mut self.ur,
+            &mut self.wh,
+            &mut self.uh,
+        ] {
+            l.quantize(mode);
+        }
     }
 }
 

@@ -33,7 +33,7 @@ pub use gru::Gru;
 pub use infer::{
     AttnKv, EncoderKv, Freeze, FrozenEmbedding, FrozenFeedForward, FrozenGru, FrozenLayerNorm,
     FrozenLinear, FrozenMultiHeadSelfAttention, FrozenTransformerEncoder, FrozenTransformerLayer,
-    InferModule,
+    InferModule, Quantize,
 };
 pub use linear::Linear;
 pub use norm::LayerNorm;

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use telemetry::metrics;
 use tensor::bug::OrBug;
 
 use crate::engine::{Engine, FrozenScorer, Request, Response};
@@ -33,8 +34,9 @@ impl<M: FrozenScorer> Batcher<M> {
         let (tx, rx) = mpsc::channel::<Job>();
         let worker = std::thread::spawn(move || {
             while let Ok(first) = rx.recv() {
+                let received = Instant::now();
                 let mut jobs = vec![first];
-                let deadline = Instant::now() + batch_wait;
+                let deadline = received + batch_wait;
                 while jobs.len() < batch_max.max(1) {
                     let now = Instant::now();
                     if now >= deadline {
@@ -46,6 +48,11 @@ impl<M: FrozenScorer> Batcher<M> {
                         Err(RecvTimeoutError::Disconnected) => break,
                     }
                 }
+                // Queueing delay the coalescing wait added on top of the
+                // scoring work itself: first-job receipt → batch dispatch.
+                // Wall-clock, so non-deterministic by nature.
+                metrics::histogram("serve.batch.wait_us", false)
+                    .record(received.elapsed().as_micros() as u64);
                 let reqs: Vec<Request> = jobs.iter().map(|j| j.req.clone()).collect();
                 let responses = engine.handle_batch(&reqs);
                 for (job, resp) in jobs.into_iter().zip(responses) {

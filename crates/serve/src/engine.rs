@@ -225,6 +225,34 @@ impl<M: FrozenScorer> Engine<M> {
         self.lock_sessions().len()
     }
 
+    /// Runs one synthetic scoring pass through every serving path before
+    /// real traffic, so first-request latency doesn't pay the cold-path
+    /// costs (populating `tensor::pool` size classes, faulting in frozen
+    /// weights, one-time SIMD feature detection). No session is created
+    /// and no metrics are recorded; results are discarded.
+    ///
+    /// This exists because the BENCH_6 load phase showed a ~50× p99/p50
+    /// ratio traced entirely to the first requests hitting empty pools.
+    pub fn warm_up(&self) {
+        let n = self.model.num_items();
+        if n == 0 {
+            return;
+        }
+        let cap = self.model.window_cap();
+        let len = if cap == 0 { 8 } else { cap.min(8) };
+        let history: Vec<ItemId> = (0..len).map(|i| 1 + i % n).collect();
+        // Full path: pads to the model's window internally, so this
+        // exercises the same shapes as any production Score request.
+        let scores = self.model.score_full(&history);
+        debug_assert_eq!(scores.len(), n + 1);
+        if self.mode == Mode::Incremental {
+            let (mut state, _) = self.model.begin(&history);
+            if cap == 0 || self.model.state_len(&state) < cap {
+                let _ = self.model.append_batch(&[1 + len % n], &mut [&mut state]);
+            }
+        }
+    }
+
     fn lock_sessions(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Session<M::State>>> {
         self.sessions.lock().or_bug("sessions lock poisoned")
     }

@@ -15,8 +15,14 @@
 //! * [`server`] — a line-delimited-JSON TCP front end (`msgc serve`).
 //!
 //! Serving metrics flow through the [`telemetry`] registry:
-//! `serve.requests`, `serve.batch.size`, `serve.cache.hit`,
-//! `serve.cache.miss`, `serve.reencode`.
+//! `serve.requests`, `serve.batch.size`, `serve.batch.wait_us`,
+//! `serve.cache.hit`, `serve.cache.miss`, `serve.reencode`.
+//!
+//! Optional weight quantisation for serving lives in [`quant`]:
+//! `msgc serve --quantize bf16|int8` halves (or quarters) the resident
+//! frozen-weight bytes behind a measured top-k parity gate against the
+//! f32 checkpoint. The default f32 mode stays bitwise-identical to the
+//! offline scoring path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,7 +30,9 @@
 mod batcher;
 mod engine;
 pub mod proto;
+pub mod quant;
 pub mod server;
 
 pub use batcher::Batcher;
 pub use engine::{top_k, Engine, FrozenScorer, Mode, Request, Response};
+pub use quant::{quantize_gated, QuantReport};

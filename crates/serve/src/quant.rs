@@ -1,0 +1,201 @@
+//! Load-time weight quantisation with a measured parity gate.
+//!
+//! `msgc serve --quantize bf16|int8` shrinks the resident frozen-weight
+//! bytes (the item table dominates) by re-encoding every weight matrix.
+//! Quantisation changes served score bits, so it is **never** silent:
+//! [`quantize_gated`] first records the f32 top-k rankings on a set of
+//! probe histories, re-encodes, re-scores, and refuses to serve unless
+//! the quantised rankings pass the mode's gate:
+//!
+//! * **bf16** — every probe must return the *exact* f32 top-k item set,
+//!   in the f32 order except across bf16-precision ties (f32 score gaps
+//!   under [`BF16_TIE_REL_TOL`], which one re-encoding ulp can
+//!   legitimately flip). bf16 keeps f32's exponent range and ~3
+//!   significant decimal digits, which preserves every trained ranking
+//!   margin wider than that.
+//! * **int8** — per-row symmetric scaling is coarser; the gate requires
+//!   at least [`INT8_MIN_OVERLAP`] mean top-k overlap per probe.
+//!
+//! Both modes must also actually deliver the footprint: at least
+//! [`MIN_BYTES_REDUCTION`] of the f32 resident weight bytes saved.
+
+use recdata::ItemId;
+use tensor::QuantMode;
+
+use crate::engine::{top_k, FrozenScorer};
+use nn::{InferModule, Quantize};
+
+/// Ranking depth the parity gate checks.
+pub const GATE_TOP_K: usize = 10;
+
+/// Minimum fraction of resident weight bytes a non-f32 mode must save.
+pub const MIN_BYTES_REDUCTION: f64 = 0.40;
+
+/// Minimum top-k overlap (as a fraction) any single probe may show
+/// under int8.
+pub const INT8_MIN_OVERLAP: f64 = 0.8;
+
+/// Relative f32 score gap below which two items count as *tied at bf16
+/// precision*: one bf16 ulp is 2⁻⁸ of the magnitude and both GEMM
+/// operands are rounded, so items closer than ~2⁻⁷ can legitimately
+/// swap order after re-encoding. The bf16 gate demands the top-k **set**
+/// match exactly on every probe and that any order difference involve
+/// only such ties — a swap across a wider margin means real ranking
+/// damage and is refused.
+pub const BF16_TIE_REL_TOL: f32 = 1.0 / 128.0;
+
+/// Outcome of a gated quantisation, for operator-facing logging.
+#[derive(Debug, Clone)]
+pub struct QuantReport {
+    /// The encoding that was applied.
+    pub mode: QuantMode,
+    /// Resident weight bytes before (dense f32).
+    pub f32_bytes: usize,
+    /// Resident weight bytes after re-encoding.
+    pub quant_bytes: usize,
+    /// Number of probe histories scored on both sides.
+    pub probes: usize,
+    /// Probes whose top-k item ranking matched f32 exactly.
+    pub exact_topk: usize,
+    /// Smallest top-k overlap fraction across probes (1.0 when all exact).
+    pub min_overlap: f64,
+}
+
+impl QuantReport {
+    /// Fraction of resident weight bytes saved.
+    pub fn bytes_saved(&self) -> f64 {
+        if self.f32_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.quant_bytes as f64 / self.f32_bytes as f64
+        }
+    }
+}
+
+impl std::fmt::Display for QuantReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "quantize {}: {} -> {} weight bytes ({:.1}% saved), \
+             {}/{} probes exact top-{}, min overlap {:.2}",
+            self.mode,
+            self.f32_bytes,
+            self.quant_bytes,
+            self.bytes_saved() * 100.0,
+            self.exact_topk,
+            self.probes,
+            GATE_TOP_K,
+            self.min_overlap,
+        )
+    }
+}
+
+/// True when `got` differs from the f32 ranking `want` by more than
+/// bf16-precision ties: a missing item, or a position swap between two
+/// items whose f32 scores are further apart than [`BF16_TIE_REL_TOL`].
+fn has_untied_reorder(want: &[ItemId], want_scores: &[f32], got: &[ItemId]) -> bool {
+    let score_of = |item: ItemId| -> Option<f32> {
+        want.iter().position(|&w| w == item).map(|i| want_scores[i])
+    };
+    for (i, &g) in got.iter().enumerate() {
+        if g == want[i] {
+            continue;
+        }
+        let (Some(a), Some(b)) = (score_of(g), score_of(want[i])) else {
+            return true; // item fell out of the top-k entirely
+        };
+        if (a - b).abs() > BF16_TIE_REL_TOL * a.abs().max(b.abs()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Fraction of `a`'s items also present in `b` (order-insensitive).
+fn overlap(a: &[ItemId], b: &[ItemId]) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let hits = a.iter().filter(|i| b.contains(i)).count();
+    hits as f64 / a.len() as f64
+}
+
+/// Re-encodes a frozen model's weights to `mode`, gating on ranking
+/// parity against the f32 original over `probes` (real user histories).
+///
+/// [`QuantMode::F32`] is an exact no-op and always succeeds. For bf16 and
+/// int8 the model is scored on every probe before and after re-encoding;
+/// a gate failure returns `Err` with the model already re-encoded — the
+/// caller must treat that as fatal for serving (the engine would serve
+/// rankings that measurably diverge from the checkpoint).
+pub fn quantize_gated<M>(
+    model: &mut M,
+    mode: QuantMode,
+    probes: &[Vec<ItemId>],
+) -> Result<QuantReport, String>
+where
+    M: FrozenScorer + Quantize + InferModule,
+{
+    let f32_bytes = model.weight_bytes();
+    if mode == QuantMode::F32 {
+        return Ok(QuantReport {
+            mode,
+            f32_bytes,
+            quant_bytes: f32_bytes,
+            probes: 0,
+            exact_topk: 0,
+            min_overlap: 1.0,
+        });
+    }
+    if probes.is_empty() {
+        return Err(format!(
+            "quantize {mode}: no probe histories available for the parity gate"
+        ));
+    }
+    let baseline: Vec<(Vec<ItemId>, Vec<f32>)> = probes
+        .iter()
+        .map(|h| top_k(&model.score_full(h), GATE_TOP_K))
+        .collect();
+    model.quantize(mode);
+    let quant_bytes = model.weight_bytes();
+
+    let mut exact_topk = 0usize;
+    let mut min_overlap = 1.0f64;
+    let mut untied_reorder = false;
+    for (history, (want, want_scores)) in probes.iter().zip(&baseline) {
+        let (got, _) = top_k(&model.score_full(history), GATE_TOP_K);
+        if got == *want {
+            exact_topk += 1;
+        } else {
+            untied_reorder |= has_untied_reorder(want, want_scores, &got);
+        }
+        min_overlap = min_overlap.min(overlap(want, &got));
+    }
+    let report = QuantReport {
+        mode,
+        f32_bytes,
+        quant_bytes,
+        probes: probes.len(),
+        exact_topk,
+        min_overlap,
+    };
+
+    if report.bytes_saved() < MIN_BYTES_REDUCTION {
+        return Err(format!(
+            "{report} — FAILED bytes gate: saved {:.1}% < required {:.0}%",
+            report.bytes_saved() * 100.0,
+            MIN_BYTES_REDUCTION * 100.0
+        ));
+    }
+    match mode {
+        QuantMode::Bf16 if report.min_overlap < 1.0 || untied_reorder => Err(format!(
+            "{report} — FAILED parity gate: bf16 requires the exact top-{GATE_TOP_K} set on \
+             every probe, reordered only across bf16-precision ties"
+        )),
+        QuantMode::Int8 if report.min_overlap < INT8_MIN_OVERLAP => Err(format!(
+            "{report} — FAILED parity gate: int8 requires ≥{INT8_MIN_OVERLAP} top-{GATE_TOP_K} \
+             overlap on every probe"
+        )),
+        _ => Ok(report),
+    }
+}

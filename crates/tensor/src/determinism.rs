@@ -97,6 +97,57 @@ pub fn reassoc_class(op: &str) -> Option<ReassocClass> {
         .map(|(_, c)| *c)
 }
 
+/// How a SIMD kernel vectorises an op, relative to the scalar reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdPath {
+    /// One vector lane carries one output element's full strict-order
+    /// accumulation chain (vectorised *across* outputs, never across the
+    /// reduction axis; separate mul/add, no FMA). Bitwise-identical to
+    /// scalar — legal for any class, and the only path legal for
+    /// [`ReassocClass::FixedOrder`] ops.
+    OrderPreserving,
+    /// Wide accumulators that reassociate the reduction. Only legal for
+    /// [`ReassocClass::ReassocSafe`] ops.
+    Reassociating,
+}
+
+impl std::fmt::Display for SimdPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimdPath::OrderPreserving => write!(f, "order-preserving"),
+            SimdPath::Reassociating => write!(f, "reassociating"),
+        }
+    }
+}
+
+/// Every tape op that has a SIMD kernel (`crate::simd`), with the path
+/// shape that kernel uses. The determinism audit enforces two invariants
+/// over this table: every listed op must also appear in
+/// [`CLASSIFIED_OPS`], and a `FixedOrder` op may only use an
+/// [`SimdPath::OrderPreserving`] path. An op that gains a SIMD kernel
+/// without being declared here (and classified there) fails `msgc check`.
+pub const SIMD_OPS: &[(&str, SimdPath)] = &[
+    // GEMM family: the 4×8 stripe kernel and the dense axpy row vectorise
+    // across output columns; each lane is one scalar accumulation chain.
+    ("matmul", SimdPath::OrderPreserving),
+    ("matmul_transb", SimdPath::OrderPreserving),
+    ("matmul_transa", SimdPath::OrderPreserving),
+    // Same-shape elementwise fast path: lane-pure, no reduction at all.
+    ("add", SimdPath::OrderPreserving),
+    ("sub", SimdPath::OrderPreserving),
+    ("mul", SimdPath::OrderPreserving),
+    ("div", SimdPath::OrderPreserving),
+];
+
+/// Looks up an op's declared SIMD path; `None` means the op has no SIMD
+/// kernel (scalar-only, which is always legal).
+pub fn simd_path(op: &str) -> Option<SimdPath> {
+    SIMD_OPS
+        .iter()
+        .find(|(name, _)| *name == op)
+        .map(|(_, p)| *p)
+}
+
 /// True when the op's kernel accumulates across elements (max/sum style
 /// folds or dot-product chains). Every such op must be
 /// [`ReassocClass::FixedOrder`]; the audit cross-checks this against
@@ -158,6 +209,31 @@ mod tests {
             assert!(
                 !CLASSIFIED_OPS[i + 1..].iter().any(|(b, _)| a == b),
                 "duplicate op {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_simd_op_is_classified() {
+        for (op, path) in SIMD_OPS {
+            let class = reassoc_class(op);
+            assert!(class.is_some(), "SIMD op {op} missing from CLASSIFIED_OPS");
+            if class == Some(ReassocClass::FixedOrder) {
+                assert_eq!(
+                    *path,
+                    SimdPath::OrderPreserving,
+                    "FixedOrder op {op} must keep a lane-order-preserving SIMD path"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_table_has_no_duplicates() {
+        for (i, (a, _)) in SIMD_OPS.iter().enumerate() {
+            assert!(
+                !SIMD_OPS[i + 1..].iter().any(|(b, _)| a == b),
+                "duplicate SIMD op {a}"
             );
         }
     }

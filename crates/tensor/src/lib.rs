@@ -8,11 +8,13 @@
 //!   (2-D and batched 3-D), reductions, softmax, concat/slice/gather.
 //! * [`init`] — seeded random initialisation (normal, uniform, Xavier).
 //!
-//! The crate is `#![forbid(unsafe_code)]`; hot loops are written so the
-//! compiler can auto-vectorise (slice iteration, no bounds checks in the
-//! inner loop thanks to `chunks_exact`).
+//! The crate is `#![deny(unsafe_code)]`; the only exemption is the [`simd`]
+//! module, which wraps `std::arch` intrinsics behind runtime feature
+//! detection with a documented bitwise-parity contract. Everywhere else,
+//! hot loops are written so the compiler can auto-vectorise (slice
+//! iteration, no bounds checks in the inner loop thanks to `chunks_exact`).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod shape;
@@ -23,11 +25,14 @@ pub mod determinism;
 pub mod init;
 pub mod ops;
 pub mod pool;
+pub mod qmat;
 pub mod rules;
+pub mod simd;
 pub mod tuning;
 
 pub use crate::bug::OrBug;
-pub use crate::determinism::{reassoc_class, ReassocClass};
+pub use crate::determinism::{reassoc_class, simd_path, ReassocClass, SimdPath};
+pub use crate::qmat::{QuantMatrix, QuantMode};
 pub use crate::shape::{broadcast_shapes, Shape};
 pub use crate::tensor::Tensor;
 

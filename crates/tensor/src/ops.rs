@@ -10,7 +10,7 @@ use rayon::prelude::*;
 use std::sync::OnceLock;
 
 use crate::shape::{broadcast_shapes, broadcast_strides, Shape};
-use crate::{pool, tuning, Result, Tensor, TensorError};
+use crate::{pool, simd, tuning, Result, Tensor, TensorError};
 
 /// Telemetry: one call + one output-cell count per GEMM-family entry point
 /// (batched products count once with their total output size). Both are pure
@@ -41,27 +41,55 @@ fn binary_broadcast(
     op: &'static str,
     a: &Tensor,
     b: &Tensor,
+    simd_kind: Option<simd::BinKind>,
     f: impl Fn(f32, f32) -> f32 + Sync,
 ) -> Result<Tensor> {
     let par_min = tuning::par_min_elems();
     let blk = tuning::par_block();
     if a.dims() == b.dims() {
-        // Fast path: identical shapes.
+        // Fast path: identical shapes. Ops declared in
+        // `determinism::SIMD_OPS` take the explicit SIMD kernel here; it is
+        // lane-pure (one lane = one output element), so serial, parallel,
+        // and SIMD variants all agree bitwise for any cutoffs.
         let (ad, bd) = (a.data(), b.data());
         let n = ad.len();
         let mut data = vec![0.0f32; n];
+        let level = match simd_kind {
+            Some(_) if n >= tuning::simd_min_n() => simd::active(),
+            _ => simd::Level::Scalar,
+        };
         if n >= par_min {
             data.par_chunks_mut(blk)
                 .enumerate()
                 .for_each(|(ci, chunk)| {
                     let s = ci * blk;
-                    for (i, o) in chunk.iter_mut().enumerate() {
-                        *o = f(ad[s + i], bd[s + i]);
+                    match simd_kind {
+                        Some(kind) if level != simd::Level::Scalar => {
+                            simd::binary(
+                                level,
+                                kind,
+                                &ad[s..s + chunk.len()],
+                                &bd[s..s + chunk.len()],
+                                chunk,
+                            );
+                        }
+                        _ => {
+                            for (i, o) in chunk.iter_mut().enumerate() {
+                                *o = f(ad[s + i], bd[s + i]);
+                            }
+                        }
                     }
                 });
         } else {
-            for (i, o) in data.iter_mut().enumerate() {
-                *o = f(ad[i], bd[i]);
+            match simd_kind {
+                Some(kind) if level != simd::Level::Scalar => {
+                    simd::binary(level, kind, ad, bd, &mut data);
+                }
+                _ => {
+                    for (i, o) in data.iter_mut().enumerate() {
+                        *o = f(ad[i], bd[i]);
+                    }
+                }
             }
         }
         return Ok(Tensor::from_vec(data, a.dims().to_vec()));
@@ -136,27 +164,28 @@ fn broadcast_fill(
 
 /// Elementwise `a + b` with broadcasting.
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    binary_broadcast("add", a, b, |x, y| x + y)
+    binary_broadcast("add", a, b, Some(simd::BinKind::Add), |x, y| x + y)
 }
 
 /// Elementwise `a - b` with broadcasting.
 pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    binary_broadcast("sub", a, b, |x, y| x - y)
+    binary_broadcast("sub", a, b, Some(simd::BinKind::Sub), |x, y| x - y)
 }
 
 /// Elementwise `a * b` with broadcasting.
 pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    binary_broadcast("mul", a, b, |x, y| x * y)
+    binary_broadcast("mul", a, b, Some(simd::BinKind::Mul), |x, y| x * y)
 }
 
 /// Elementwise `a / b` with broadcasting.
 pub fn div(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    binary_broadcast("div", a, b, |x, y| x / y)
+    binary_broadcast("div", a, b, Some(simd::BinKind::Div), |x, y| x / y)
 }
 
-/// Elementwise maximum with broadcasting.
+/// Elementwise maximum with broadcasting (no SIMD path declared — scalar
+/// only until it earns an entry in `determinism::SIMD_OPS`).
 pub fn maximum(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    binary_broadcast("maximum", a, b, f32::max)
+    binary_broadcast("maximum", a, b, None, f32::max)
 }
 
 /// Reduces `grad` (shaped like the broadcast output) back to `target_dims`
@@ -260,8 +289,18 @@ pub(crate) fn gemm_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usiz
 /// finite `b` (the accumulator starts at `+0.0` and IEEE-754 addition can
 /// never turn it into `-0.0`), so sparse callers can use
 /// [`matmul2d_masked`] without changing results.
+///
+/// Wide enough rows dispatch to the SIMD axpy kernel, which keeps the same
+/// strict `kk`-outer order with one lane per output column — bitwise
+/// identical to the scalar loop (see `crate::simd`).
 #[inline]
 fn gemm_row(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: usize) {
+    if n >= tuning::simd_min_n() {
+        let level = simd::active();
+        if level != simd::Level::Scalar {
+            return simd::gemm_row(level, a_row, b, out_row, k, n);
+        }
+    }
     for (kk, &aik) in a_row.iter().enumerate().take(k) {
         let b_row = &b[kk * n..(kk + 1) * n];
         for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
@@ -292,7 +331,7 @@ fn gemm_row_zskip(a_row: &[f32], b: &[f32], out_row: &mut [f32], k: usize, n: us
 ///
 /// For finite inputs the result is bitwise identical to [`matmul2d`]; on a
 /// dense `A` it is slower (one extra branch per `k` step), which is why the
-/// dense path no longer carries the test. `BENCH_3.json` reports both
+/// dense path no longer carries the test. `BENCH_8.json` reports both
 /// kernels on dense and 75 %-zero workloads.
 pub fn matmul2d_masked(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if a.ndim() != 2 || b.ndim() != 2 || a.dim(1) != b.dim(0) {
@@ -394,12 +433,12 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 // * B is packed ONCE per call into kk-major, `GEMM_NR`-wide stripes, reused
 //   across every row block (for NT this *is* the transpose, amortised into
 //   the pack; for TN it is a simple column gather).
-// * Each `GEMM_MR`-row block of A is packed kk-major with every value
-//   replicated 4×, so the micro-kernel's broadcast is a plain 4-lane vector
-//   load instead of a scalar splat.
+// * Each `GEMM_MR`-row block of A is packed kk-major and compact
+//   (`apanel[kk·MR + r]`), so each micro-kernel step broadcasts one A value
+//   per row from a contiguous 4-float group.
 // * The micro-kernel keeps a `GEMM_MR × GEMM_NR` accumulator block in
-//   registers; `chunks_exact` plus array-ref conversions eliminate bounds
-//   checks without `unsafe`.
+//   registers and dispatches per stripe pair to `crate::simd` (AVX2 /
+//   NEON / scalar — all bitwise-identical by construction).
 //
 // Bitwise contract: every output element is one strict `k`-order f32
 // accumulation chain starting at +0.0 — exactly the chain the naive
@@ -449,30 +488,31 @@ fn pack_b_tn(b: &[f32], panel: &mut [f32], j: usize, jb: usize, k: usize, n: usi
     }
 }
 
-/// Packs one `GEMM_MR`-row block of the effective left operand kk-major with
-/// each value replicated 4× (`get(r, kk)` reads element `(row r, kk)`; dead
-/// rows `r >= ib` are zero). The replication turns the micro-kernel's
-/// row-value broadcast into a contiguous 4-wide load.
-fn pack_a_rep4(apanel: &mut [f32], ib: usize, k: usize, get: impl Fn(usize, usize) -> f32) {
+/// Packs one `GEMM_MR`-row block of the effective left operand kk-major and
+/// compact: `apanel[kk·MR + r] = get(r, kk)` (dead rows `r >= ib` are
+/// zero). Every micro-kernel level broadcasts one value per row, so no
+/// replication is needed and the pack moves 4× less data than the old rep4
+/// layout.
+fn pack_a_quad(apanel: &mut [f32], ib: usize, k: usize, get: impl Fn(usize, usize) -> f32) {
     for kk in 0..k {
-        let dst = &mut apanel[kk * GEMM_MR * 4..(kk + 1) * GEMM_MR * 4];
-        for r in 0..GEMM_MR {
-            let v = if r < ib { get(r, kk) } else { 0.0 };
-            dst[r * 4] = v;
-            dst[r * 4 + 1] = v;
-            dst[r * 4 + 2] = v;
-            dst[r * 4 + 3] = v;
+        let dst = &mut apanel[kk * GEMM_MR..(kk + 1) * GEMM_MR];
+        for (r, d) in dst.iter_mut().enumerate() {
+            *d = if r < ib { get(r, kk) } else { 0.0 };
         }
     }
 }
 
 /// Register-tiled micro-kernel: multiplies one packed `GEMM_MR`-row block of
-/// A (`apanel`, kk-major, rep4) against every packed stripe of B (`bstore`),
+/// A (`apanel`, kk-major, compact) against every packed stripe of B (`bstore`),
 /// overwriting `ib` rows of `out_block` (row-major, row stride `n`).
 ///
 /// `acc[r][c]` accumulates its products in strict `kk` order, so each output
 /// element is bitwise identical to a scalar dot product over `k`.
-#[allow(clippy::unwrap_used)] // chunks_exact guarantees every slice width
+///
+/// The per-stripe accumulation dispatches to `crate::simd::stripe_acc`
+/// (AVX2: one 8-lane vector per row; NEON: two 4-lane vectors per row;
+/// scalar otherwise). Every level keeps one lane per output column with
+/// separate multiply/add, so the dispatch level never changes output bits.
 fn gemm_micro_block(
     apanel: &[f32],
     bstore: &[f32],
@@ -482,30 +522,34 @@ fn gemm_micro_block(
     n: usize,
 ) {
     let nstripes = n.div_ceil(GEMM_NR);
-    for s in 0..nstripes {
+    let level = simd::active();
+    let ap = &apanel[..k * GEMM_MR];
+    let copy_out = |acc: &[[f32; GEMM_NR]; GEMM_MR], s: usize, out_block: &mut [f32]| {
         let j = s * GEMM_NR;
         let jb = (n - j).min(GEMM_NR);
-        let bpanel = &bstore[s * k * GEMM_NR..(s + 1) * k * GEMM_NR];
-        let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
-        for (prow, arow) in bpanel
-            .chunks_exact(GEMM_NR)
-            .zip(apanel.chunks_exact(GEMM_MR * 4))
-        {
-            let prow: &[f32; GEMM_NR] = prow.try_into().unwrap();
-            for (r, accr) in acc.iter_mut().enumerate() {
-                let av: &[f32; 4] = arow[r * 4..(r + 1) * 4].try_into().unwrap();
-                let mut c4 = 0;
-                while c4 < GEMM_NR {
-                    for l in 0..4 {
-                        accr[c4 + l] += av[l] * prow[c4 + l];
-                    }
-                    c4 += 4;
-                }
-            }
-        }
         for (r, accr) in acc.iter().enumerate().take(ib) {
             out_block[r * n + j..r * n + j + jb].copy_from_slice(&accr[..jb]);
         }
+    };
+    let mut s = 0;
+    // Stripe pairs share the A broadcasts (dual-stripe kernel); the odd
+    // remainder stripe runs the single-stripe kernel. Pairing never changes
+    // bits — each output element's chain is per-stripe-independent.
+    while s + 2 <= nstripes {
+        let b0 = &bstore[s * k * GEMM_NR..(s + 1) * k * GEMM_NR];
+        let b1 = &bstore[(s + 1) * k * GEMM_NR..(s + 2) * k * GEMM_NR];
+        let mut acc0 = [[0.0f32; GEMM_NR]; GEMM_MR];
+        let mut acc1 = [[0.0f32; GEMM_NR]; GEMM_MR];
+        simd::stripe_acc2(level, ap, b0, b1, &mut acc0, &mut acc1);
+        copy_out(&acc0, s, out_block);
+        copy_out(&acc1, s + 1, out_block);
+        s += 2;
+    }
+    if s < nstripes {
+        let bpanel = &bstore[s * k * GEMM_NR..(s + 1) * k * GEMM_NR];
+        let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
+        simd::stripe_acc(level, ap, bpanel, &mut acc);
+        copy_out(&acc, s, out_block);
     }
 }
 
@@ -591,16 +635,16 @@ pub(crate) fn gemm_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: u
             .for_each(|(blk, out_block)| {
                 let i = blk * GEMM_MR;
                 let ib = (m - i).min(GEMM_MR);
-                let mut apanel = vec![0.0f32; k * GEMM_MR * 4];
-                pack_a_rep4(&mut apanel, ib, k, |r, kk| a[(i + r) * k + kk]);
+                let mut apanel = vec![0.0f32; k * GEMM_MR];
+                pack_a_quad(&mut apanel, ib, k, |r, kk| a[(i + r) * k + kk]);
                 gemm_micro_block(&apanel, &bstore, out_block, ib, k, n);
             });
     } else {
-        let mut apanel = pool::take_raw(k * GEMM_MR * 4);
+        let mut apanel = pool::take_raw(k * GEMM_MR);
         let mut i = 0;
         while i < m {
             let ib = (m - i).min(GEMM_MR);
-            pack_a_rep4(&mut apanel, ib, k, |r, kk| a[(i + r) * k + kk]);
+            pack_a_quad(&mut apanel, ib, k, |r, kk| a[(i + r) * k + kk]);
             gemm_micro_block(&apanel, &bstore, &mut out[i * n..(i + ib) * n], ib, k, n);
             i += ib;
         }
@@ -625,16 +669,16 @@ pub(crate) fn gemm_tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: u
             .for_each(|(blk, out_block)| {
                 let i = blk * GEMM_MR;
                 let ib = (m - i).min(GEMM_MR);
-                let mut apanel = vec![0.0f32; k * GEMM_MR * 4];
-                pack_a_rep4(&mut apanel, ib, k, |r, kk| a[kk * m + i + r]);
+                let mut apanel = vec![0.0f32; k * GEMM_MR];
+                pack_a_quad(&mut apanel, ib, k, |r, kk| a[kk * m + i + r]);
                 gemm_micro_block(&apanel, &bstore, out_block, ib, k, n);
             });
     } else {
-        let mut apanel = pool::take_raw(k * GEMM_MR * 4);
+        let mut apanel = pool::take_raw(k * GEMM_MR);
         let mut i = 0;
         while i < m {
             let ib = (m - i).min(GEMM_MR);
-            pack_a_rep4(&mut apanel, ib, k, |r, kk| a[kk * m + i + r]);
+            pack_a_quad(&mut apanel, ib, k, |r, kk| a[kk * m + i + r]);
             gemm_micro_block(&apanel, &bstore, &mut out[i * n..(i + ib) * n], ib, k, n);
             i += ib;
         }
@@ -758,6 +802,179 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         }
         _ => Err(mismatch()),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized-weight GEMM (frozen serving path)
+// ---------------------------------------------------------------------------
+//
+// `matmul_transb_q` / `matmul_q` accept a [`QuantMatrix`] right operand.
+// With f32 storage they delegate to the exact dense kernels above (the
+// bitwise default). With bf16/int8 storage the compressed rows are decoded
+// *inside the packing step* — the stripe pack and the small-m dot-product
+// fallback both read through a per-call decode scratch, so a full f32 copy
+// of a quantised weight matrix is never materialised for the NT path.
+
+use crate::qmat::QuantMatrix;
+
+/// Packs rows `j..j+jb` of a quantised NT right operand into one kk-major
+/// stripe, decoding each compressed row into `scratch` (`GEMM_NR · k`) on
+/// the way. Mirrors [`pack_b_nt`].
+fn pack_b_nt_q(b: &QuantMatrix, panel: &mut [f32], scratch: &mut [f32], j: usize, jb: usize) {
+    let k = b.cols();
+    for c in 0..jb {
+        b.write_row_segment(j + c, 0, &mut scratch[c * k..(c + 1) * k]);
+    }
+    for kk in 0..k {
+        let dst = &mut panel[kk * GEMM_NR..(kk + 1) * GEMM_NR];
+        for (c, d) in dst.iter_mut().enumerate() {
+            *d = if c < jb { scratch[c * k + kk] } else { 0.0 };
+        }
+    }
+}
+
+/// Small-`m` NT fallback over a quantised right operand: decodes four
+/// compressed rows at a time into `scratch` and runs the same strict
+/// `k`-order dot products as [`gemm_nt_small`].
+fn gemm_nt_small_q(a: &[f32], b: &QuantMatrix, out: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut scratch = pool::take_raw(4 * k);
+    let mut j = 0;
+    while j < n {
+        let jb = (n - j).min(4);
+        for c in 0..jb {
+            b.write_row_segment(j + c, 0, &mut scratch[c * k..(c + 1) * k]);
+        }
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for c in 0..jb {
+                let brow = &scratch[c * k..(c + 1) * k];
+                let mut s = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    s += av * bv;
+                }
+                orow[j + c] = s;
+            }
+        }
+        j += jb;
+    }
+    pool::recycle(scratch);
+}
+
+/// Fused NT GEMM over a quantised right operand:
+/// `out[m×n] = a[m×k] · deq(b)[n×k]ᵀ`. `out` must be zeroed by the caller.
+fn gemm_nt_into_q(a: &[f32], b: &QuantMatrix, out: &mut [f32], m: usize, k: usize, n: usize) {
+    if let Some(t) = b.as_f32() {
+        return gemm_nt_into(a, t.data(), out, m, k, n);
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m < GEMM_MIN_PACK_ROWS {
+        return gemm_nt_small_q(a, b, out, m, k, n);
+    }
+    let mut scratch = pool::take_raw(GEMM_NR * k);
+    let bstore = pack_b_stripes(k, n, |panel, j, jb| {
+        pack_b_nt_q(b, panel, &mut scratch, j, jb)
+    });
+    pool::recycle(scratch);
+    if gemm_parallel(m, k, n) {
+        out.par_chunks_mut(GEMM_MR * n)
+            .enumerate()
+            .for_each(|(blk, out_block)| {
+                let i = blk * GEMM_MR;
+                let ib = (m - i).min(GEMM_MR);
+                let mut apanel = vec![0.0f32; k * GEMM_MR];
+                pack_a_quad(&mut apanel, ib, k, |r, kk| a[(i + r) * k + kk]);
+                gemm_micro_block(&apanel, &bstore, out_block, ib, k, n);
+            });
+    } else {
+        let mut apanel = pool::take_raw(k * GEMM_MR);
+        let mut i = 0;
+        while i < m {
+            let ib = (m - i).min(GEMM_MR);
+            pack_a_quad(&mut apanel, ib, k, |r, kk| a[(i + r) * k + kk]);
+            gemm_micro_block(&apanel, &bstore, &mut out[i * n..(i + ib) * n], ib, k, n);
+            i += ib;
+        }
+        pool::recycle(apanel);
+    }
+    pool::recycle(bstore);
+}
+
+/// `A · Bᵀ` where `B` is a (possibly quantised) frozen weight matrix of
+/// shape `[n, k]`. With f32 storage this is exactly [`matmul_transb`]
+/// (bitwise); with bf16/int8 storage the rows are decoded inside the pack.
+///
+/// Supported `A` ranks: `(m,k)` and `(b,m,k)` (batch collapsed into rows,
+/// like the shared-right-operand [`matmul_transb`] arm).
+pub fn matmul_transb_q(a: &Tensor, b: &QuantMatrix) -> Result<Tensor> {
+    let mismatch = || TensorError::ShapeMismatch {
+        op: "matmul_transb",
+        lhs: a.dims().to_vec(),
+        rhs: vec![b.rows(), b.cols()],
+    };
+    match a.ndim() {
+        2 => {
+            if a.dim(1) != b.cols() {
+                return Err(mismatch());
+            }
+            let (m, k, n) = (a.dim(0), a.dim(1), b.rows());
+            gemm_telemetry((m * n) as u64);
+            let mut out = Tensor::pooled_zeros(vec![m, n]);
+            gemm_nt_into_q(a.data(), b, out.data_mut(), m, k, n);
+            Ok(out)
+        }
+        3 => {
+            let (bs, m, k) = (a.dim(0), a.dim(1), a.dim(2));
+            if k != b.cols() {
+                return Err(mismatch());
+            }
+            let n = b.rows();
+            gemm_telemetry((bs * m * n) as u64);
+            let mut out = Tensor::pooled_zeros(vec![bs, m, n]);
+            gemm_nt_into_q(a.data(), b, out.data_mut(), bs * m, k, n);
+            Ok(out)
+        }
+        _ => Err(mismatch()),
+    }
+}
+
+/// `A · W` where `W` is a (possibly quantised) frozen weight matrix of
+/// shape `[k, n]`. With f32 storage this is exactly [`matmul`] (bitwise);
+/// quantised storage is decoded once per call into pooled scratch (the
+/// dense k×n layout has no row-local pack to fuse into, and frozen linear
+/// weights are small next to the embedding table served via
+/// [`matmul_transb_q`]).
+///
+/// Supported `A` ranks: `(m,k)` and `(b,m,k)`.
+pub fn matmul_q(a: &Tensor, w: &QuantMatrix) -> Result<Tensor> {
+    let mismatch = || TensorError::ShapeMismatch {
+        op: "matmul",
+        lhs: a.dims().to_vec(),
+        rhs: vec![w.rows(), w.cols()],
+    };
+    if a.ndim() != 2 && a.ndim() != 3 {
+        return Err(mismatch());
+    }
+    let k = a.dim(a.ndim() - 1);
+    if k != w.rows() {
+        return Err(mismatch());
+    }
+    if let Some(t) = w.as_f32() {
+        return matmul(a, t);
+    }
+    let n = w.cols();
+    let mut wd = pool::take_raw(k * n);
+    w.decode_into(&mut wd);
+    let m: usize = a.dims()[..a.ndim() - 1].iter().product();
+    gemm_telemetry((m * n) as u64);
+    let mut out_dims = a.dims().to_vec();
+    out_dims[a.ndim() - 1] = n;
+    let mut out = Tensor::zeros(out_dims);
+    gemm_into(a.data(), &wd, out.data_mut(), m, k, n);
+    pool::recycle(wd);
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------

@@ -73,6 +73,20 @@ static GEMM_PAR_ROWS: Knob = Knob::new("META_SGCL_GEMM_PAR_ROWS", 32);
 /// must hold for the parallel path to engage.
 static GEMM_PAR_ROW_WORK: Knob = Knob::new("META_SGCL_GEMM_CUTOFF", 16_384);
 
+/// SIMD kill switch (`META_SGCL_SIMD`, default 1). Any value other than 0
+/// enables runtime-dispatched SIMD kernels; `META_SGCL_SIMD=0` restores the
+/// exact scalar micro-kernel behaviour (`simd::Level::Scalar` everywhere).
+/// Safe to flip at any time: the FixedOrder SIMD kernels are
+/// bitwise-identical to scalar by construction (see `simd` module docs).
+static SIMD: Knob = Knob::new("META_SGCL_SIMD", 1);
+
+/// Minimum inner width (`n` for axpy rows, element count for elementwise
+/// kernels) before dispatching to a SIMD kernel
+/// (`META_SGCL_SIMD_MIN_N`, default 8 — one full AVX2 vector). Below this
+/// the dispatch overhead cannot pay for itself; the 4×8 stripe kernel is
+/// exempt because its width is fixed. Swept by `tune --sweep-kernels`.
+static SIMD_MIN_N: Knob = Knob::new("META_SGCL_SIMD_MIN_N", 8);
+
 /// Current elementwise-parallelism element cutoff.
 pub fn par_min_elems() -> usize {
     PAR_MIN_ELEMS.get()
@@ -113,6 +127,26 @@ pub fn set_gemm_par_row_work(v: usize) {
     GEMM_PAR_ROW_WORK.set(v);
 }
 
+/// Whether SIMD dispatch is enabled (`META_SGCL_SIMD`, default on).
+pub fn simd_enabled() -> bool {
+    SIMD.get() != 0
+}
+
+/// Overrides [`simd_enabled`] for this process (kill switch).
+pub fn set_simd_enabled(on: bool) {
+    SIMD.set(usize::from(on));
+}
+
+/// Current minimum inner width for SIMD dispatch, at least 1.
+pub fn simd_min_n() -> usize {
+    SIMD_MIN_N.get().max(1)
+}
+
+/// Overrides [`simd_min_n`] for this process.
+pub fn set_simd_min_n(v: usize) {
+    SIMD_MIN_N.set(v.max(1));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +171,22 @@ mod tests {
         assert_eq!(gemm_par_row_work(), 100);
         set_gemm_par_rows(32);
         set_gemm_par_row_work(16_384);
+    }
+
+    #[test]
+    fn simd_knobs_round_trip() {
+        // The kill switch and threshold round-trip through set_*; the
+        // FixedOrder SIMD kernels are bitwise-identical to scalar, so
+        // flipping them here cannot perturb concurrently-running tests.
+        let _ = simd_enabled();
+        set_simd_enabled(false);
+        assert!(!simd_enabled());
+        set_simd_enabled(true);
+        assert!(simd_enabled());
+
+        set_simd_min_n(0);
+        assert_eq!(simd_min_n(), 1, "threshold is clamped to >= 1");
+        set_simd_min_n(8);
+        assert_eq!(simd_min_n(), 8);
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for tensor algebra.
 
 use proptest::prelude::*;
-use tensor::{ops, Tensor};
+use tensor::{ops, tuning, Tensor};
 
 fn vec_tensor(max_len: usize) -> impl Strategy<Value = Tensor> {
     prop::collection::vec(-100.0f32..100.0, 1..max_len).prop_map(|v| {
@@ -187,6 +187,88 @@ proptest! {
         let masked = ops::matmul2d_masked(&a, &b).unwrap();
         let dense = ops::matmul2d(&a, &b).unwrap();
         prop_assert_eq!(masked.data(), dense.data());
+    }
+
+    // SIMD dispatch parity: every vectorised op is declared
+    // `SimdPath::OrderPreserving`, so flipping the kill switch must never
+    // change a single bit — the vector kernels keep one accumulation
+    // chain per output element in the same k-order as the scalar loop.
+    // (No ReassocSafe op currently has a SIMD path; if one gains a
+    // reassociating kernel the registry audit in `analysis` fires and a
+    // ULP-bounded variant of these tests is the right follow-up.)
+
+    #[test]
+    fn simd_gemms_bitwise_equal_scalar(
+        m in 1usize..48, k in 1usize..24, n in 1usize..48, seed in 0u64..1000
+    ) {
+        let fill = |len: usize, s: u64| -> Vec<f32> {
+            let mut x = s.wrapping_mul(6364136223846793005).wrapping_add(seed);
+            (0..len).map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 40) as f32 / (1u64 << 24) as f32) * 20.0 - 10.0
+            }).collect()
+        };
+        let a = Tensor::from_vec(fill(m * k, 1), vec![m, k]);
+        let b = Tensor::from_vec(fill(n * k, 2), vec![n, k]);
+        let bt = ops::transpose_last2(&b).unwrap();
+        let at = ops::transpose_last2(&a).unwrap();
+        let was = tuning::simd_enabled();
+        tuning::set_simd_enabled(true);
+        let nt_simd = ops::matmul_transb(&a, &b).unwrap();
+        let nn_simd = ops::matmul(&a, &bt).unwrap();
+        let tn_simd = ops::matmul_transa(&at, &bt).unwrap();
+        tuning::set_simd_enabled(false);
+        let nt_scalar = ops::matmul_transb(&a, &b).unwrap();
+        let nn_scalar = ops::matmul(&a, &bt).unwrap();
+        let tn_scalar = ops::matmul_transa(&at, &bt).unwrap();
+        tuning::set_simd_enabled(was);
+        prop_assert_eq!(nt_simd.data(), nt_scalar.data());
+        prop_assert_eq!(nn_simd.data(), nn_scalar.data());
+        prop_assert_eq!(tn_simd.data(), tn_scalar.data());
+    }
+
+    #[test]
+    fn simd_elementwise_bitwise_equals_scalar(a in vec_tensor(600)) {
+        // Lengths past the vector width force the SIMD main loop plus a
+        // ragged tail; tiny lengths exercise the scalar-only fallback.
+        let b = a.map(|x| x * 0.75 - 2.0);
+        let was = tuning::simd_enabled();
+        tuning::set_simd_enabled(true);
+        let simd: Vec<Tensor> = [ops::add, ops::sub, ops::mul, ops::div]
+            .iter()
+            .map(|op| op(&a, &b).unwrap())
+            .collect();
+        tuning::set_simd_enabled(false);
+        let scalar: Vec<Tensor> = [ops::add, ops::sub, ops::mul, ops::div]
+            .iter()
+            .map(|op| op(&a, &b).unwrap())
+            .collect();
+        tuning::set_simd_enabled(was);
+        for (s, c) in simd.iter().zip(scalar.iter()) {
+            prop_assert_eq!(s.data(), c.data());
+        }
+    }
+
+    #[test]
+    fn simd_min_n_threshold_does_not_change_bits(
+        m in 1usize..6, k in 1usize..24, n in 1usize..48
+    ) {
+        // `simd_min_n` gates the small-m row kernel; any threshold must
+        // produce identical bits since both sides are order-preserving.
+        let ramp = |len: usize, off: f32| -> Vec<f32> {
+            (0..len).map(|i| ((i * 13 + 5) % 31) as f32 * 0.21 - 3.0 + off).collect()
+        };
+        let a = Tensor::from_vec(ramp(m * k, 0.5), vec![m, k]);
+        let b = Tensor::from_vec(ramp(n * k, -1.25), vec![n, k]);
+        let (was, min0) = (tuning::simd_enabled(), tuning::simd_min_n());
+        tuning::set_simd_enabled(true);
+        tuning::set_simd_min_n(1);
+        let lo = ops::matmul_transb(&a, &b).unwrap();
+        tuning::set_simd_min_n(usize::MAX);
+        let hi = ops::matmul_transb(&a, &b).unwrap();
+        tuning::set_simd_enabled(was);
+        tuning::set_simd_min_n(min0);
+        prop_assert_eq!(lo.data(), hi.data());
     }
 
     #[test]

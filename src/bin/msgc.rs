@@ -38,7 +38,7 @@ fn usage() -> ExitCode {
          msgc evaluate --data SPEC --model MODEL [--dim N] [--max-len N]\n  \
          msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n  \
          msgc serve --data SPEC --model MODEL [--addr HOST:PORT] [--mode full|incremental] \
-         [--batch-max N] [--batch-wait-us N] [--dim N] [--max-len N]\n  \
+         [--batch-max N] [--batch-wait-us N] [--quantize none|bf16|int8] [--dim N] [--max-len N]\n  \
          msgc check [--model NAME | --all] [--cost] [--determinism] [--frozen-parity] \
          [--audit-json FILE] [--inject-fault <shape|freeze|reassoc|cost|parity>]\n  \
          msgc report METRICS.jsonl [--trace TRACE.jsonl]\n\n\
@@ -87,6 +87,7 @@ const VALUE_FLAGS: &[&str] = &[
     "mode",
     "batch-max",
     "batch-wait-us",
+    "quantize",
     "audit-json",
 ];
 
@@ -314,7 +315,8 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
 /// TCP with micro-batching across connections.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use meta_sgcl_repro::nn::Freeze;
-    use meta_sgcl_repro::serve::{server, Batcher, Engine, Mode};
+    use meta_sgcl_repro::serve::{quantize_gated, server, Batcher, Engine, Mode};
+    use meta_sgcl_repro::tensor::QuantMode;
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -334,9 +336,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if batch_max == 0 {
         return Err("--batch-max must be at least 1".into());
     }
+    let quant = QuantMode::parse(args.get("quantize").unwrap_or("none"))
+        .ok_or("unknown --quantize (none|bf16|int8)")?;
 
     meta_sgcl_repro::telemetry::set_enabled(true);
-    let engine = Arc::new(Engine::new(model.freeze(), mode));
+    let mut frozen = model.freeze();
+    if quant != QuantMode::F32 {
+        // Gate ranking parity on real histories from the served dataset.
+        let probes: Vec<Vec<usize>> = data
+            .sequences
+            .iter()
+            .filter(|s| s.len() >= 2)
+            .take(16)
+            .cloned()
+            .collect();
+        let report = quantize_gated(&mut frozen, quant, &probes)?;
+        println!("{report}");
+    }
+    let engine = Arc::new(Engine::new(frozen, mode));
+    // One synthetic pass through every scoring path so the first real
+    // request doesn't pay pool-population and dispatch-probe cold costs.
+    engine.warm_up();
     let batcher = Arc::new(Batcher::new(
         Arc::clone(&engine),
         batch_max,
@@ -344,7 +364,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     ));
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "serving {} items on {addr} (mode {mode:?}, batch-max {batch_max}, batch-wait {batch_wait_us}us)",
+        "serving {} items on {addr} (mode {mode:?}, batch-max {batch_max}, batch-wait {batch_wait_us}us, quantize {quant})",
         data.num_items
     );
     server::run(listener, batcher).map_err(|e| e.to_string())
@@ -514,7 +534,25 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         (Some(name), None) => vec![name],
         _ => analysis::MODELS.to_vec(),
     };
+    // Table-level pass first: the SIMD kernel registry must be internally
+    // consistent (every vectorised op classified, fixed-order ops only on
+    // order-preserving kernels) before any per-model tape is worth auditing.
     let mut failures = 0usize;
+    let (simd_findings, simd_summary) = analysis::check_simd_registry();
+    for f in &simd_findings {
+        println!("simd-registry: {f}");
+    }
+    if !simd_findings.is_empty() {
+        failures += 1;
+    } else if args.get("determinism").is_some() {
+        println!(
+            "    [determinism] SIMD kernel registry: {} op(s) \
+             ({} order-preserving, {} reassociating), all classified",
+            simd_summary.total(),
+            simd_summary.order_preserving,
+            simd_summary.reassociating,
+        );
+    }
     let mut reports = Vec::new();
     for name in names {
         let report = match fault {
@@ -593,7 +631,7 @@ fn cmd_check(args: &Args) -> Result<(), String> {
         println!("wrote audit JSON to {path}");
     }
     if failures > 0 {
-        return Err(format!("{failures} model audit(s) failed"));
+        return Err(format!("{failures} audit(s) failed"));
     }
     println!("all audits clean");
     Ok(())
