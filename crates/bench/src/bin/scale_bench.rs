@@ -1,0 +1,235 @@
+//! Catalog-scale benchmark (BENCH_9): sampled softmax vs the full-catalog
+//! objective, and HNSW approximate top-k recall.
+//!
+//! Three gated measurements, written to `BENCH_9.json` in the current
+//! directory (nonzero exit when any gate fails):
+//!
+//! 1. **Epoch-time gate** — one SASRec training epoch on a synthetic
+//!    100 000-item catalog, full softmax vs sampled softmax. The sampled
+//!    objective must be at least 5× faster per epoch: this is the claim
+//!    that sampling breaks the `O(|items|)` logits wall, measured, not
+//!    asserted.
+//! 2. **Convergence gate** — on the toys-scale catalog (280 items) where
+//!    the full objective is affordable, both objectives train to
+//!    completion and sampled HR@10 must stay within a tolerance of full
+//!    HR@10 (`sampled >= full - max(0.05, 0.25·full)`), so the speedup is
+//!    not bought with ranking quality.
+//! 3. **ANN recall curve** — an HNSW index over a frozen model's item
+//!    table, recall@10 vs the exact inner-product top-k across
+//!    `ef ∈ {8, 16, 32, 64, 128}`. The gate (recall@10 ≥ 0.95 at the
+//!    serving default `ef = 64`) is the same bar the CI serve-smoke job
+//!    holds a live server to.
+//!
+//! Geometry scales with `META_SGCL_SCALE` (`quick`/`full`).
+
+#![allow(clippy::expect_used)] // CI smoke binary: panicking with context IS the failure path
+
+use std::time::Instant;
+
+use models::{
+    evaluate_valid, NegativeSampler, NetConfig, SasRec, SequentialRecommender, SoftmaxMode,
+    TrainConfig,
+};
+use nn::Freeze;
+use recdata::{synth, LeaveOneOut};
+use serve::{HnswConfig, HnswIndex};
+
+/// Synthetic catalog big enough that full-softmax logits dominate the
+/// step: the paper-scale regime the sampled objective exists for.
+const BIG_CATALOG: usize = 100_000;
+
+fn big_catalog_config(num_users: usize) -> synth::SynthConfig {
+    synth::SynthConfig {
+        name: "scale-100k".into(),
+        num_users,
+        num_items: BIG_CATALOG,
+        num_clusters: 64,
+        mean_len: 12.0,
+        min_len: 5,
+        max_len: 20,
+        markov_weight: 0.35,
+        pop_weight: 0.15,
+        zipf_exponent: 0.6,
+        user_interests: 3,
+        seed: 42,
+    }
+}
+
+fn net(num_items: usize, dim: usize, layers: usize) -> NetConfig {
+    NetConfig {
+        dim,
+        layers,
+        ..NetConfig::for_items(num_items)
+    }
+}
+
+/// Wall-clock seconds for `epochs` passes of `fit` under `softmax`.
+fn time_fit(train: &[Vec<usize>], num_items: usize, softmax: SoftmaxMode, epochs: usize) -> f64 {
+    let mut model = SasRec::new(net(num_items, 32, 1));
+    let cfg = TrainConfig {
+        epochs,
+        softmax,
+        ..TrainConfig::default()
+    };
+    let t0 = Instant::now();
+    model.fit(train, &cfg);
+    t0.elapsed().as_secs_f64() / epochs as f64
+}
+
+fn main() {
+    let scale = std::env::var("META_SGCL_SCALE").unwrap_or_else(|_| "quick".into());
+    let full_scale = scale == "full";
+
+    // --- 1. epoch time at catalog scale -----------------------------------
+    let users = if full_scale { 48 } else { 12 };
+    let big = synth::generate(&big_catalog_config(users));
+    let train = LeaveOneOut::split(&big).train_sequences();
+    let sampled_mode = SoftmaxMode::Sampled {
+        negatives: 512,
+        sampler: NegativeSampler::Uniform,
+    };
+    println!("timing full softmax epoch over {BIG_CATALOG} items ({users} users)…");
+    let full_epoch_s = time_fit(&train, big.num_items, SoftmaxMode::Full, 1);
+    println!("  full: {full_epoch_s:.2}s/epoch; timing sampled (512 negatives)…");
+    let sampled_epoch_s = time_fit(&train, big.num_items, sampled_mode, 1);
+    let speedup = full_epoch_s / sampled_epoch_s;
+    println!("  sampled: {sampled_epoch_s:.2}s/epoch ({speedup:.1}x)");
+    const SPEEDUP_GATE: f64 = 5.0;
+    let speedup_pass = speedup >= SPEEDUP_GATE;
+
+    // --- 2. convergence at a scale where full softmax is affordable -------
+    let toys = synth::generate(&synth::SynthConfig::toys_like(42));
+    let split = LeaveOneOut::split(&toys);
+    let toys_train = split.train_sequences();
+    let epochs = if full_scale { 10 } else { 3 };
+    let hr_of = |softmax: SoftmaxMode| -> f64 {
+        let mut model = SasRec::new(net(toys.num_items, 32, 2));
+        let cfg = TrainConfig {
+            epochs,
+            softmax,
+            ..TrainConfig::default()
+        };
+        model.fit(&toys_train, &cfg);
+        evaluate_valid(&mut model, &split, &[10]).hr(10)
+    };
+    println!(
+        "convergence check on {} items, {epochs} epochs…",
+        toys.num_items
+    );
+    let full_hr = hr_of(SoftmaxMode::Full);
+    let sampled_hr = hr_of(SoftmaxMode::Sampled {
+        negatives: 128,
+        sampler: NegativeSampler::Uniform,
+    });
+    let hr_tolerance = (0.25 * full_hr).max(0.05);
+    let converge_pass = sampled_hr >= full_hr - hr_tolerance;
+    println!("  HR@10 full {full_hr:.4} vs sampled {sampled_hr:.4} (tolerance {hr_tolerance:.4})");
+
+    // --- 3. HNSW recall@10 vs beam width ----------------------------------
+    let ann_items = if full_scale { 5_000 } else { 2_000 };
+    let ann_model = meta_sgcl::MetaSgcl::new(meta_sgcl::MetaSgclConfig::for_items(ann_items));
+    let frozen = ann_model.freeze();
+    let table = frozen.item_embeddings();
+    let dim = table.shape().dim(1);
+    let t0 = Instant::now();
+    let index = HnswIndex::build(&table, ann_items, &HnswConfig::default());
+    let build_s = t0.elapsed().as_secs_f64();
+    println!("built HNSW over {ann_items} items (d={dim}) in {build_s:.2}s");
+
+    // Query with real serving queries: last-position hidden states of
+    // synthetic histories, the vectors the engine actually searches with.
+    let queries: Vec<Vec<f32>> = (0..50u64)
+        .map(|u| {
+            let history: Vec<usize> = (0..8)
+                .map(|i| 1 + ((u as usize * 131 + i * 17) % ann_items))
+                .collect();
+            frozen
+                .query_embedding(&history)
+                .expect("non-empty history has a query embedding")
+        })
+        .collect();
+    let exact: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| {
+            let mut ranked: Vec<(usize, f32)> = (1..=ann_items)
+                .map(|item| {
+                    let row = table.row(item);
+                    (item, row.iter().zip(q).map(|(a, b)| a * b).sum())
+                })
+                .collect();
+            ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            ranked.truncate(10);
+            ranked.into_iter().map(|(i, _)| i).collect()
+        })
+        .collect();
+    let ef_sweep = [8usize, 16, 32, 64, 128];
+    let mut curve = Vec::new();
+    for &ef in &ef_sweep {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (q, want) in queries.iter().zip(&exact) {
+            let got: Vec<usize> = index
+                .search(q, 10, ef)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            assert!(!got.contains(&0), "padding id retrieved at ef={ef}");
+            total += want.len();
+            hits += want.iter().filter(|i| got.contains(i)).count();
+        }
+        let recall = hits as f64 / total as f64;
+        println!("  ef {ef:>3}: recall@10 {recall:.4}");
+        curve.push((ef, recall));
+    }
+    const RECALL_GATE: f64 = 0.95;
+    const DEFAULT_EF: usize = 64;
+    let recall_at_default = curve
+        .iter()
+        .find(|(ef, _)| *ef == DEFAULT_EF)
+        .map(|(_, r)| *r)
+        .expect("default ef in sweep");
+    let recall_pass = recall_at_default >= RECALL_GATE;
+
+    // --- report ------------------------------------------------------------
+    let pass = speedup_pass && converge_pass && recall_pass;
+    let curve_json: Vec<String> = curve
+        .iter()
+        .map(|(ef, r)| format!("{{\"ef\": {ef}, \"recall_at_10\": {r:.4}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_9\",\n  \"scale\": \"{scale}\",\n  \
+         \"sampled_softmax\": {{\"num_items\": {BIG_CATALOG}, \"users\": {users}, \
+         \"negatives\": 512, \"full_epoch_s\": {full_epoch_s:.3}, \
+         \"sampled_epoch_s\": {sampled_epoch_s:.3}, \"speedup\": {speedup:.2}, \
+         \"gate\": {SPEEDUP_GATE:.1}, \"pass\": {speedup_pass}}},\n  \
+         \"convergence\": {{\"num_items\": {}, \"epochs\": {epochs}, \
+         \"hr10_full\": {full_hr:.4}, \"hr10_sampled\": {sampled_hr:.4}, \
+         \"tolerance\": {hr_tolerance:.4}, \"pass\": {converge_pass}}},\n  \
+         \"ann\": {{\"num_items\": {ann_items}, \"dim\": {dim}, \"build_s\": {build_s:.3}, \
+         \"queries\": {}, \"curve\": [{}], \
+         \"default_ef\": {DEFAULT_EF}, \"recall_gate\": {RECALL_GATE}, \"pass\": {recall_pass}}},\n  \
+         \"pass\": {pass}\n}}\n",
+        toys.num_items,
+        queries.len(),
+        curve_json.join(", "),
+    );
+    std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
+    print!("{json}");
+    if pass {
+        std::process::exit(0);
+    }
+    if !speedup_pass {
+        eprintln!("GATE FAILED: sampled-softmax speedup {speedup:.2}x < {SPEEDUP_GATE}x");
+    }
+    if !converge_pass {
+        eprintln!(
+            "GATE FAILED: sampled HR@10 {sampled_hr:.4} below full {full_hr:.4} - {hr_tolerance:.4}"
+        );
+    }
+    if !recall_pass {
+        eprintln!(
+            "GATE FAILED: recall@10 {recall_at_default:.4} < {RECALL_GATE} at ef {DEFAULT_EF}"
+        );
+    }
+    std::process::exit(1);
+}

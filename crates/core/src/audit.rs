@@ -49,7 +49,8 @@ impl Auditable for MetaSgcl {
         let loss = match stage {
             "full" => {
                 let beta = self.cfg.effective_beta().max(0.05);
-                self.batch_losses(&g, &batch, beta, &mut rng).total
+                self.batch_losses(&g, &batch, beta, &models::SoftmaxMode::Full, &mut rng)
+                    .total
             }
             "meta" => {
                 // Exactly training stage 2: freeze everything but Enc_σ',
@@ -109,7 +110,9 @@ impl MetaSgcl {
         let batch = audit_batch(seqs, self.cfg.net.max_len, seed);
         let g = Graph::new();
         let features = self.encode(&g, &batch.inputs, &batch.pad, &mut rng, true);
-        let v1 = self.view(&g, &features, &batch.pad, false, false, &mut rng, true);
+        let v1 = self.view(
+            &g, &features, &batch.pad, false, false, false, &mut rng, true,
+        );
         // Deliberately broken second view (Eq. 15): σ' is computed but
         // detached, mirroring a forgotten stop-gradient bug.
         let mu = self.enc_mu.forward(&g, &features);

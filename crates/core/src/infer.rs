@@ -102,16 +102,10 @@ impl FrozenMetaSgcl {
         out
     }
 
-    /// Catalog scores mirroring [`MetaSgcl::score_sequence`] bitwise:
-    /// right-anchored padded window, deterministic `z = μ`.
-    ///
-    /// Only the final position is projected against the catalog — GEMM
-    /// rows are independent accumulation chains, so this equals the last
-    /// row of the training path's all-position projection.
-    pub fn score_padded(&self, seq: &[ItemId]) -> Vec<f32> {
-        if seq.is_empty() {
-            return vec![0.0; self.num_items + 1];
-        }
+    /// The padded forward up to the last-position hidden state `[1, d]` —
+    /// the query side of the tied-table projection. `seq` must be
+    /// non-empty.
+    fn padded_last_hidden(&self, seq: &[ItemId]) -> Tensor {
         let (input, pad) = encode_input_only(seq, self.max_len);
         let features = self
             .backbone
@@ -125,7 +119,38 @@ impl FrozenMetaSgcl {
             }
             None => mu,
         };
-        self.last_scores(&FrozenTransformerBackbone::last_hidden(&h))
+        FrozenTransformerBackbone::last_hidden(&h)
+    }
+
+    /// Catalog scores mirroring [`MetaSgcl::score_sequence`] bitwise:
+    /// right-anchored padded window, deterministic `z = μ`.
+    ///
+    /// Only the final position is projected against the catalog — GEMM
+    /// rows are independent accumulation chains, so this equals the last
+    /// row of the training path's all-position projection.
+    pub fn score_padded(&self, seq: &[ItemId]) -> Vec<f32> {
+        if seq.is_empty() {
+            return vec![0.0; self.num_items + 1];
+        }
+        self.last_scores(&self.padded_last_hidden(seq))
+    }
+
+    /// Query vector for maximum-inner-product retrieval: the same
+    /// last-position hidden state [`score_padded`](Self::score_padded)
+    /// projects against the tied item table, as a plain `d`-vector.
+    /// `None` on an empty history (cold start has no hidden state).
+    pub fn query_embedding(&self, seq: &[ItemId]) -> Option<Vec<f32>> {
+        if seq.is_empty() {
+            return None;
+        }
+        Some(self.padded_last_hidden(seq).row(0).to_vec())
+    }
+
+    /// Dense f32 copy of the tied item-embedding table
+    /// (`[num_items + 1, d]`, row 0 = padding) — the corpus side of the
+    /// inner product, e.g. for building an ANN index.
+    pub fn item_embeddings(&self) -> Tensor {
+        self.backbone.item_table_f32()
     }
 
     /// Encodes a window (at most `max_len` items, left-aligned) into a

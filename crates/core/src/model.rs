@@ -8,6 +8,7 @@ use nn::{Linear, Module, TransformerEncoder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use recdata::{encode_input_only, ItemId};
+use tensor::bug::OrBug;
 
 use crate::config::MetaSgclConfig;
 use crate::train::TrainingHistory;
@@ -20,8 +21,14 @@ pub(crate) struct View {
     pub z: Var,
     /// Sequence summary: the latent at the last position (`[b, d]`).
     pub z_last: Var,
+    /// Decoder output (`[b, n, d]`) — the hidden states the catalog logits
+    /// are scored from. The sampled-softmax path scores these against a
+    /// candidate subset instead of materializing `logits`.
+    pub h: Var,
     /// Per-position catalog logits from the decoder (`[b, n, V]`).
-    pub logits: Var,
+    /// `None` when the caller asked for `with_logits = false` (meta stage,
+    /// sampled-softmax training), skipping the `O(|V|)` GEMM entirely.
+    pub logits: Option<Var>,
     /// Posterior mean (shared across views).
     pub mu: Var,
     /// Posterior log-variance of this view.
@@ -168,7 +175,10 @@ impl MetaSgcl {
 
     /// Builds one latent view from encoder features (Eqs. 11–15) and runs
     /// the Seq2Seq decoder (Eq. 13). `meta_sigma` selects `Enc_σ'` instead
-    /// of `Enc_σ`. `deterministic` (inference) uses `z = μ`.
+    /// of `Enc_σ`. `deterministic` (inference) uses `z = μ`. `with_logits`
+    /// controls whether the full-catalog scores (Eq. 22) are materialized;
+    /// callers that never read them (contrastive-only meta stage,
+    /// sampled-softmax training) pass `false` and skip the `O(|V|)` GEMM.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn view(
         &self,
@@ -177,6 +187,7 @@ impl MetaSgcl {
         pad: &[Vec<bool>],
         meta_sigma: bool,
         deterministic: bool,
+        with_logits: bool,
         rng: &mut StdRng,
         training: bool,
     ) -> View {
@@ -205,11 +216,12 @@ impl MetaSgcl {
             }
             None => z.clone(),
         };
-        let logits = self.backbone.scores(g, &h);
+        let logits = with_logits.then(|| self.backbone.scores(g, &h));
         let z_last = TransformerBackbone::last_hidden(&z);
         View {
             z,
             z_last,
+            h,
             logits,
             mu,
             logvar,
@@ -248,10 +260,11 @@ impl MetaSgcl {
         let g = Graph::new();
         let mut rng = StdRng::seed_from_u64(0); // unused: no dropout/noise at eval
         let features = self.encode(&g, &[input], std::slice::from_ref(&pad), &mut rng, false);
-        let view = self.view(&g, &features, &[pad], false, true, &mut rng, false);
-        let dims = view.logits.dims();
+        let view = self.view(&g, &features, &[pad], false, true, true, &mut rng, false);
+        let logits = view.logits.or_bug("score_graph requested logits");
+        let dims = logits.dims();
         let (n, v) = (dims[1], dims[2]);
-        let last = view.logits.slice_axis(1, n - 1, n).reshape(vec![1, v]);
+        let last = logits.slice_axis(1, n - 1, n).reshape(vec![1, v]);
         (g, last)
     }
 
@@ -344,8 +357,8 @@ mod tests {
         let inputs = vec![vec![0, 0, 1, 2, 3, 4]];
         let pad = vec![vec![true, true, false, false, false, false]];
         let f = m.encode(&g, &inputs, &pad, &mut rng, false);
-        let v1 = m.view(&g, &f, &pad, false, false, &mut rng, false);
-        let v2 = m.view(&g, &f, &pad, true, false, &mut rng, false);
+        let v1 = m.view(&g, &f, &pad, false, false, false, &mut rng, false);
+        let v2 = m.view(&g, &f, &pad, true, false, false, &mut rng, false);
         assert_eq!(v1.mu.value().data(), v2.mu.value().data(), "μ is shared");
         assert_ne!(
             v1.logvar.value().data(),
@@ -373,8 +386,8 @@ mod tests {
         let inputs = vec![vec![1, 2, 3, 4, 5, 6]];
         let pad = vec![vec![false; 6]];
         let f = m.encode(&g, &inputs, &pad, &mut rng, false);
-        let v1 = m.view(&g, &f, &pad, false, false, &mut rng, false);
-        let v2 = m.view(&g, &f, &pad, false, false, &mut rng, false);
+        let v1 = m.view(&g, &f, &pad, false, false, false, &mut rng, false);
+        let v2 = m.view(&g, &f, &pad, false, false, false, &mut rng, false);
         assert_ne!(v1.z.value().data(), v2.z.value().data());
         let _ = &mut m;
     }

@@ -3,6 +3,7 @@
 
 use autograd::{GradientSet, Graph, Var};
 use models::cl::info_nce_masked;
+use models::sampled::{self, SoftmaxMode};
 use models::vae::gaussian_kl;
 use models::{SequentialRecommender, TrainConfig};
 use optim::{apply_step, Adam, KlAnnealing};
@@ -129,30 +130,51 @@ impl MetaSgcl {
         g: &Graph,
         batch: &Batch,
         beta: f32,
+        softmax: &SoftmaxMode,
         rng: &mut StdRng,
     ) -> BatchLosses {
         let (b, n) = (batch.len(), batch.seq_len());
         let vocab = self.backbone.vocab();
-        let targets: Vec<usize> = batch
-            .targets
-            .iter()
-            .flat_map(|r| r.iter().copied())
-            .collect();
+        let targets = sampled::flat_targets(batch);
+        let with_logits = !softmax.is_sampled();
 
         let features = self.encode(g, &batch.inputs, &batch.pad, rng, true);
-        let v1 = self.view(g, &features, &batch.pad, false, false, rng, true);
-        let v2 = self.second_view(g, &features, batch, rng);
+        let v1 = self.view(
+            g,
+            &features,
+            &batch.pad,
+            false,
+            false,
+            with_logits,
+            rng,
+            true,
+        );
+        let v2 = self.second_view(g, &features, batch, with_logits, rng);
 
-        // L_rs1 + L_rs2 (Eq. 23).
-        let rec1 = v1
-            .logits
-            .reshape(vec![b * n, vocab])
-            .cross_entropy_with_logits(&targets);
-        let rec2 = v2
-            .logits
-            .reshape(vec![b * n, vocab])
-            .cross_entropy_with_logits(&targets);
-        let rec = rec1.add(&rec2);
+        // L_rs1 + L_rs2 (Eq. 23). Candidates (sampled mode) are drawn once
+        // per shard, after both views consumed their dropout/noise draws,
+        // and shared by the two reconstruction terms.
+        let rec = match sampled::draw_candidates(&targets, vocab - 1, softmax, rng) {
+            Some(cands) => {
+                let table = self.backbone.item_table_var(g);
+                let rec1 = sampled::sampled_ce(&v1.h, &table, &targets, &cands);
+                let rec2 = sampled::sampled_ce(&v2.h, &table, &targets, &cands);
+                rec1.add(&rec2)
+            }
+            None => {
+                let rec1 = v1
+                    .logits
+                    .or_bug("full-softmax view logits")
+                    .reshape(vec![b * n, vocab])
+                    .cross_entropy_with_logits(&targets);
+                let rec2 = v2
+                    .logits
+                    .or_bug("full-softmax view logits")
+                    .reshape(vec![b * n, vocab])
+                    .cross_entropy_with_logits(&targets);
+                rec1.add(&rec2)
+            }
+        };
 
         // L_kl1 + L_kl2 (Eqs. 24–25) — same μ, different variances.
         let kl1 = gaussian_kl(&v1.mu, &v1.logvar);
@@ -201,15 +223,18 @@ impl MetaSgcl {
         g: &Graph,
         features: &Var,
         batch: &Batch,
+        with_logits: bool,
         rng: &mut StdRng,
     ) -> crate::model::View {
         match self.cfg.second_view {
-            SecondView::MetaSigma => self.view(g, features, &batch.pad, true, false, rng, true),
+            SecondView::MetaSigma => {
+                self.view(g, features, &batch.pad, true, false, with_logits, rng, true)
+            }
             SecondView::Dropout => {
                 // Model augmentation: a fresh dropout-perturbed encoder pass
                 // feeding the primary (Enc_σ) posterior.
                 let f2 = self.encode(g, &batch.inputs, &batch.pad, rng, true);
-                self.view(g, &f2, &batch.pad, false, false, rng, true)
+                self.view(g, &f2, &batch.pad, false, false, with_logits, rng, true)
             }
             SecondView::DataAugmentation => {
                 // Hand-crafted augmentation of the raw inputs. The mask
@@ -234,7 +259,7 @@ impl MetaSgcl {
                     pads.push(pd);
                 }
                 let f2 = self.encode(g, &inputs, &pads, rng, true);
-                self.view(g, &f2, &pads, false, false, rng, true)
+                self.view(g, &f2, &pads, false, false, with_logits, rng, true)
             }
         }
     }
@@ -242,9 +267,11 @@ impl MetaSgcl {
     /// Stage-2 objective: the contrastive loss alone, recomputed from a
     /// fresh forward pass with everything but `Enc_σ'` frozen.
     pub(crate) fn meta_stage_loss(&self, g: &Graph, batch: &Batch, rng: &mut StdRng) -> Var {
+        // Contrastive-only objective: neither view's catalog logits are
+        // read, so neither is materialized (`with_logits = false`).
         let features = self.encode(g, &batch.inputs, &batch.pad, rng, true);
-        let v1 = self.view(g, &features, &batch.pad, false, false, rng, true);
-        let v2 = self.second_view(g, &features, batch, rng);
+        let v1 = self.view(g, &features, &batch.pad, false, false, false, rng, true);
+        let v2 = self.second_view(g, &features, batch, false, rng);
         info_nce_masked(
             &v1.z_last,
             &v2.z_last,
@@ -259,10 +286,12 @@ impl MetaSgcl {
     /// `forward` and `backward` spans under the given parent, tagged with
     /// the shard index (span ids are allocated in completion order, which
     /// is thread-dependent — timing data lives in the trace stream only).
+    #[allow(clippy::too_many_arguments)]
     fn full_loss_shard(
         &self,
         shard: &Batch,
         beta: f32,
+        softmax: &SoftmaxMode,
         seed: u64,
         sanitize: bool,
         shard_idx: usize,
@@ -271,7 +300,7 @@ impl MetaSgcl {
         let mut rng = StdRng::seed_from_u64(seed);
         let g = Graph::new();
         let fwd = trace.map(|(t, parent)| t.begin("forward", parent));
-        let losses = self.batch_losses(&g, shard, beta, &mut rng);
+        let losses = self.batch_losses(&g, shard, beta, softmax, &mut rng);
         if let (Some((t, _)), Some(span)) = (trace, fwd) {
             t.end(span, &[("shard", Field::U64(shard_idx as u64))]);
         }
@@ -328,11 +357,13 @@ impl MetaSgcl {
 
     /// Fans the full-loss stage over the shards and reduces to one merged
     /// gradient set plus shard-weighted loss statistics.
+    #[allow(clippy::too_many_arguments)]
     fn full_loss_step(
         &self,
         exec: &Executor,
         shards: &[Batch],
         beta: f32,
+        softmax: &SoftmaxMode,
         batch_seed: u64,
         sanitize: bool,
         trace: Option<(&Tracer, SpanId)>,
@@ -341,6 +372,7 @@ impl MetaSgcl {
             self.full_loss_shard(
                 shard,
                 beta,
+                softmax,
                 Executor::shard_seed(batch_seed, 1, i as u64),
                 sanitize,
                 i,
@@ -555,6 +587,7 @@ impl MetaSgcl {
                             &exec,
                             &shards,
                             beta,
+                            &cfg.softmax,
                             batch_seed,
                             cfg.sanitize,
                             telem.trace_ctx(batch_sid),
@@ -574,6 +607,7 @@ impl MetaSgcl {
                             &exec,
                             &shards,
                             beta,
+                            &cfg.softmax,
                             batch_seed,
                             cfg.sanitize,
                             telem.trace_ctx(stage1_sid),

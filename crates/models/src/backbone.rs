@@ -201,6 +201,12 @@ impl TransformerBackbone {
         h.matmul_transb(&self.item_emb.full(g))
     }
 
+    /// The tied item-embedding table as a graph var (`[vocab, d]`), for
+    /// candidate-subset scoring (sampled softmax).
+    pub fn item_table_var(&self, g: &Graph) -> Var {
+        self.item_emb.full(g)
+    }
+
     /// All trainable parameters.
     pub fn parameters(&self) -> Vec<ParamRef> {
         let mut ps = self.item_emb.parameters();

@@ -4,6 +4,8 @@
 use metrics::{EvalReport, MetricAccumulator};
 use recdata::{ItemId, LeaveOneOut};
 
+use crate::sampled::SoftmaxMode;
+
 /// Shared training hyper-parameters.
 ///
 /// Defaults follow the paper's implementation details (Adam, lr 1e-3,
@@ -74,6 +76,12 @@ pub struct TrainConfig {
     /// Treat any fired health detector (KL collapse, dead σ', non-finite or
     /// exploding loss) as a training error after the run completes.
     pub strict_health: bool,
+    /// How the next-item softmax denominator is built during training:
+    /// full-catalog cross-entropy (default) or sampled softmax over a
+    /// shared per-shard candidate list (see [`crate::sampled`]). Models
+    /// without a tied-softmax objective ignore this. Evaluation and serving
+    /// always score the full catalog regardless of the training mode.
+    pub softmax: SoftmaxMode,
 }
 
 impl Default for TrainConfig {
@@ -97,6 +105,7 @@ impl Default for TrainConfig {
             metrics_out: None,
             trace_out: None,
             strict_health: false,
+            softmax: SoftmaxMode::Full,
         }
     }
 }

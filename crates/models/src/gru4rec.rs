@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use recdata::{encode_input_only, Batch, Batcher, ItemId};
 
 use crate::audit::{audit_batch, Auditable, ParityCheck, StageContract, StageTrace};
+use crate::sampled::{self, SoftmaxMode};
 use crate::{SequentialRecommender, TrainConfig};
 
 /// The GRU4Rec model.
@@ -85,20 +86,28 @@ impl Gru4Rec {
         (g, logits)
     }
 
-    /// Tied-softmax next-item loss for one batch. Shared by
+    /// Tied-softmax next-item loss for one batch — full-catalog or
+    /// sampled-softmax according to `softmax`. Shared by
     /// [`SequentialRecommender::fit`] and the static auditor.
-    fn batch_loss(&self, g: &Graph, batch: &Batch) -> autograd::Var {
+    fn batch_loss(
+        &self,
+        g: &Graph,
+        batch: &Batch,
+        softmax: &SoftmaxMode,
+        rng: &mut StdRng,
+    ) -> autograd::Var {
         let x = self.item_emb.forward_batch(g, &batch.inputs);
         let h = self.gru.forward_sequence(g, &x); // [b, n, d]
-        let logits = h.matmul_transb(&self.item_emb.full(g));
-        let (b, n) = (batch.len(), batch.seq_len());
-        let flat = logits.reshape(vec![b * n, self.num_items + 1]);
-        let targets: Vec<usize> = batch
-            .targets
-            .iter()
-            .flat_map(|r| r.iter().copied())
-            .collect();
-        flat.cross_entropy_with_logits(&targets)
+        let targets = sampled::flat_targets(batch);
+        match sampled::draw_candidates(&targets, self.num_items, softmax, rng) {
+            Some(cands) => sampled::sampled_ce(&h, &self.item_emb.full(g), &targets, &cands),
+            None => {
+                let logits = h.matmul_transb(&self.item_emb.full(g));
+                let (b, n) = (batch.len(), batch.seq_len());
+                let flat = logits.reshape(vec![b * n, self.num_items + 1]);
+                flat.cross_entropy_with_logits(&targets)
+            }
+        }
     }
 }
 
@@ -115,7 +124,8 @@ impl Auditable for Gru4Rec {
         assert_eq!(stage, "full", "GRU4Rec has a single `full` stage");
         let batch = audit_batch(seqs, self.max_len, seed);
         let g = Graph::new();
-        let loss = self.batch_loss(&g, &batch);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let loss = self.batch_loss(&g, &batch, &SoftmaxMode::Full, &mut rng);
         StageTrace {
             stage: stage.into(),
             graph: g,
@@ -154,7 +164,7 @@ impl SequentialRecommender for Gru4Rec {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let loss = self.batch_loss(&g, &batch);
+                let loss = self.batch_loss(&g, &batch, &cfg.softmax, &mut rng);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

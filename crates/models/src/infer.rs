@@ -207,6 +207,13 @@ impl FrozenTransformerBackbone {
         ops::matmul_transb_q(h, self.item_emb.table_q()).or_bug("score gemm")
     }
 
+    /// Dense f32 copy of the tied item table (`[vocab, d]`), dequantising
+    /// when the serving weights are bf16/int8. Corpus side of the
+    /// maximum-inner-product retrieval an ANN index answers.
+    pub fn item_table_f32(&self) -> Tensor {
+        self.item_emb.table_q().dequantize()
+    }
+
     /// Declares the tape ops of `TransformerBackbone::forward` at eval:
     /// item lookup, position lookup, `Ê = E + P`, embedding LayerNorm
     /// (dropout records nothing at eval), then the masked + timeline
@@ -394,6 +401,23 @@ impl FrozenGru4Rec {
         out.extend(["slice_axis", "reshape"]); // autograd-only: take last
         out.push("matmul_transb"); // tied-table projection
         out
+    }
+
+    /// Query vector for maximum-inner-product retrieval: the final GRU
+    /// hidden state under the same padded semantics as
+    /// [`score_padded`](Self::score_padded). `None` on an empty history.
+    pub fn query_embedding(&self, seq: &[ItemId]) -> Option<Vec<f32>> {
+        if seq.is_empty() {
+            return None;
+        }
+        let (input, _pad) = encode_input_only(seq, self.max_len);
+        let x = self.item_emb.lookup_batch(std::slice::from_ref(&input));
+        Some(self.gru.forward_sequence_last(&x).row(0).to_vec())
+    }
+
+    /// Dense f32 copy of the tied item table (`[num_items + 1, d]`).
+    pub fn item_table_f32(&self) -> Tensor {
+        self.item_emb.table_q().dequantize()
     }
 
     /// Unpadded scores via a fresh full recurrence, bitwise-identical to

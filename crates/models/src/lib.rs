@@ -23,6 +23,7 @@ pub mod backbone;
 pub mod cl;
 mod common;
 pub mod infer;
+pub mod sampled;
 pub mod vae;
 
 mod acvae;
@@ -54,6 +55,7 @@ pub use duorec::DuoRec;
 pub use gru4rec::Gru4Rec;
 pub use infer::{BackboneState, FrozenGru4Rec, FrozenTransformerBackbone, GruState};
 pub use pop::Pop;
+pub use sampled::{NegativeSampler, SoftmaxMode};
 pub use sasrec::{NetConfig, SasRec};
 pub use vae::LossTerms;
 pub use vsan::Vsan;

@@ -9,6 +9,7 @@ use recdata::{encode_input_only, Batch, Batcher, ItemId};
 
 use crate::audit::{audit_batch, Auditable, StageContract, StageTrace};
 use crate::backbone::TransformerBackbone;
+use crate::sampled::{self, NegativeSampler, SoftmaxMode};
 use crate::{SequentialRecommender, TrainConfig};
 
 /// Architecture hyper-parameters shared by the attention-based models.
@@ -75,21 +76,35 @@ impl SasRec {
         &self.backbone
     }
 
-    /// Builds the per-position next-item cross-entropy loss for one batch.
-    /// Shared by [`SequentialRecommender::fit`] and the static auditor.
-    fn batch_loss(&self, g: &Graph, batch: &Batch, rng: &mut StdRng) -> autograd::Var {
+    /// Builds the per-position next-item cross-entropy loss for one batch —
+    /// full-catalog or sampled-softmax according to `softmax`. Shared by
+    /// [`SequentialRecommender::fit`] and the static auditor.
+    ///
+    /// Negative candidates (sampled mode) are drawn from `rng` *after* the
+    /// forward pass consumed its dropout draws, keeping the stream layout
+    /// of full-softmax runs as a prefix.
+    fn batch_loss(
+        &self,
+        g: &Graph,
+        batch: &Batch,
+        softmax: &SoftmaxMode,
+        rng: &mut StdRng,
+    ) -> autograd::Var {
         let h = self
             .backbone
             .forward(g, &batch.inputs, &batch.pad, rng, true);
-        let logits = self.backbone.scores(g, &h); // [b, n, V]
-        let (b, n) = (batch.len(), batch.seq_len());
-        let flat = logits.reshape(vec![b * n, self.backbone.vocab()]);
-        let targets: Vec<usize> = batch
-            .targets
-            .iter()
-            .flat_map(|row| row.iter().copied())
-            .collect();
-        flat.cross_entropy_with_logits(&targets)
+        let targets = sampled::flat_targets(batch);
+        match sampled::draw_candidates(&targets, self.net.num_items, softmax, rng) {
+            Some(cands) => {
+                sampled::sampled_ce(&h, &self.backbone.item_table_var(g), &targets, &cands)
+            }
+            None => {
+                let logits = self.backbone.scores(g, &h); // [b, n, V]
+                let (b, n) = (batch.len(), batch.seq_len());
+                let flat = logits.reshape(vec![b * n, self.backbone.vocab()]);
+                flat.cross_entropy_with_logits(&targets)
+            }
+        }
     }
 }
 
@@ -99,15 +114,32 @@ impl Auditable for SasRec {
     }
 
     fn audit_contracts(&self) -> Vec<StageContract> {
-        vec![StageContract::full(self.backbone.parameters())]
+        // The `sampled` stage audits the sampled-softmax graph (gather +
+        // candidate-subset GEMM): same reach contract — every parameter
+        // still receives gradient through the candidate rows.
+        vec![
+            StageContract::full(self.backbone.parameters()),
+            StageContract {
+                stage: "sampled".into(),
+                reached: self.backbone.parameters(),
+                frozen: Vec::new(),
+            },
+        ]
     }
 
     fn trace_stage(&mut self, stage: &str, seqs: &[Vec<ItemId>], seed: u64) -> StageTrace {
-        assert_eq!(stage, "full", "SASRec has a single `full` stage");
+        let softmax = match stage {
+            "full" => SoftmaxMode::Full,
+            "sampled" => SoftmaxMode::Sampled {
+                negatives: 4,
+                sampler: NegativeSampler::Uniform,
+            },
+            other => panic!("SASRec has stages `full` and `sampled`, not `{other}`"),
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         let batch = audit_batch(seqs, self.net.max_len, seed);
         let g = Graph::new();
-        let loss = self.batch_loss(&g, &batch, &mut rng);
+        let loss = self.batch_loss(&g, &batch, &softmax, &mut rng);
         StageTrace {
             stage: stage.into(),
             graph: g,
@@ -135,7 +167,7 @@ impl SequentialRecommender for SasRec {
             let mut batches = 0usize;
             for batch in batcher.epoch(&mut rng) {
                 let g = Graph::new();
-                let loss = self.batch_loss(&g, &batch, &mut rng);
+                let loss = self.batch_loss(&g, &batch, &cfg.softmax, &mut rng);
                 loss.backward();
                 if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip);

@@ -48,6 +48,18 @@ impl<M: FrozenScorer> Batcher<M> {
                         Err(RecvTimeoutError::Disconnected) => break,
                     }
                 }
+                // The deadline bounds how long we *wait*, not how much we
+                // take: requests already queued (e.g. while the previous
+                // batch was scoring, or with `batch_wait = 0`) coalesce
+                // for free. Without this drain they would each dispatch
+                // as a batch of one — head-of-line serialisation at the
+                // flush boundary.
+                while jobs.len() < batch_max.max(1) {
+                    match rx.try_recv() {
+                        Ok(job) => jobs.push(job),
+                        Err(_) => break,
+                    }
+                }
                 // Queueing delay the coalescing wait added on top of the
                 // scoring work itself: first-job receipt → batch dispatch.
                 // Wall-clock, so non-deterministic by nature.

@@ -25,6 +25,12 @@
 //!   serve_bench --connect 127.0.0.1:7878 --data synth:toys:42 \
 //!       --model model.msgc --dim 16 --max-len 10 --users 20 --k 10
 //!   ```
+//!
+//!   With `--ann-recall MIN` the check additionally replays every user's
+//!   history as a `"topk":"ann"` request and gates mean recall@k of the
+//!   served ANN top-k against the offline exact top-k (set overlap, not
+//!   scores — ANN is recall-gated, not bitwise). Requires the server to
+//!   have been started with `--ann`.
 
 #![allow(clippy::expect_used)] // CI smoke binary: panicking with context IS the failure path
 
@@ -168,12 +174,18 @@ fn run_bench(args: &std::collections::HashMap<String, String>) -> i32 {
                         user,
                         history: seed_history,
                         k: 10,
+                        topk: None,
                     });
                     lats.push(t1.elapsed().as_secs_f64() * 1e3);
                     for i in 0..loadgen_per_thread {
                         let item = 1 + (i * 11 + t) % num_items;
                         let t1 = Instant::now();
-                        b.submit(Request::Append { user, item, k: 10 });
+                        b.submit(Request::Append {
+                            user,
+                            item,
+                            k: 10,
+                            topk: None,
+                        });
                         lats.push(t1.elapsed().as_secs_f64() * 1e3);
                     }
                     lats
@@ -252,6 +264,9 @@ fn run_check(args: &std::collections::HashMap<String, String>) -> i32 {
     let seed: u64 = get_or(args, "seed", 42);
     let users: usize = get_or(args, "users", 20);
     let k: usize = get_or(args, "k", 10);
+    let ann_recall_min: Option<f64> = args
+        .get("ann-recall")
+        .map(|v| v.parse().expect("--ann-recall is a fraction"));
 
     let data = load_data(data_spec);
     let mut model = MetaSgcl::new(MetaSgclConfig {
@@ -323,9 +338,55 @@ fn run_check(args: &std::collections::HashMap<String, String>) -> i32 {
         "serve check: {checked} users, {} score+append round-trips, {mismatches} mismatches",
         checked * 2
     );
-    if mismatches == 0 && checked > 0 {
-        0
-    } else {
-        1
+    if mismatches != 0 || checked == 0 {
+        return 1;
     }
+
+    // --- optional ANN recall gate: served approximate top-k vs offline
+    // exact top-k, as set overlap. Appends above already mutated server
+    // state, so replay full histories through stateless score requests.
+    if let Some(min_recall) = ann_recall_min {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        let mut ann_users = 0usize;
+        for (u, seq) in data.sequences.iter().enumerate() {
+            if seq.len() < 2 {
+                continue;
+            }
+            if ann_users >= users {
+                break;
+            }
+            ann_users += 1;
+            let prefix = &seq[..seq.len() - 1];
+            let history_json: Vec<String> = prefix.iter().map(|i| i.to_string()).collect();
+            let line = format!(
+                "{{\"op\":\"score\",\"user\":{u},\"history\":[{}],\"k\":{k},\"topk\":\"ann\"}}",
+                history_json.join(",")
+            );
+            let served = proto::parse_response(&send(&line)).expect("parse ann response");
+            let (want_items, _) = top_k(&model.score_sequence(prefix), k);
+            assert!(
+                !served.items.contains(&0),
+                "user {u}: ANN ranking contains padding id 0"
+            );
+            total += want_items.len();
+            hits += want_items
+                .iter()
+                .filter(|i| served.items.contains(i))
+                .count();
+        }
+        let recall = if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        };
+        println!(
+            "serve check: ANN recall@{k} = {recall:.4} over {ann_users} users (gate {min_recall})"
+        );
+        if recall < min_recall {
+            eprintln!("GATE FAILED: ANN recall@{k} {recall:.4} < {min_recall}");
+            return 1;
+        }
+    }
+    0
 }

@@ -9,6 +9,9 @@ use models::{FrozenGru4Rec, GruState};
 use recdata::ItemId;
 use telemetry::metrics;
 use tensor::bug::OrBug;
+use tensor::Tensor;
+
+use crate::ann::HnswIndex;
 
 /// The contract a frozen model implements to be served.
 ///
@@ -46,6 +49,22 @@ pub trait FrozenScorer: Send + Sync + 'static {
     /// Appends one item per user in a single batch; returns each user's
     /// catalog scores in order.
     fn append_batch(&self, items: &[ItemId], states: &mut [&mut Self::State]) -> Vec<Vec<f32>>;
+
+    /// Query vector for approximate top-k retrieval: the hidden state
+    /// [`score_full`](FrozenScorer::score_full) projects against the tied
+    /// item table, under the same padded semantics. `None` when the model
+    /// does not support ANN retrieval (the engine then falls back to the
+    /// exact path) or the history is empty.
+    fn query_embedding(&self, seq: &[ItemId]) -> Option<Vec<f32>> {
+        let _ = seq;
+        None
+    }
+
+    /// Dense f32 item-embedding table (`[num_items + 1, d]`, row 0 =
+    /// padding) for building an ANN index. `None` when unsupported.
+    fn item_embeddings(&self) -> Option<Tensor> {
+        None
+    }
 }
 
 impl FrozenScorer for FrozenMetaSgcl {
@@ -73,6 +92,14 @@ impl FrozenScorer for FrozenMetaSgcl {
 
     fn append_batch(&self, items: &[ItemId], states: &mut [&mut MetaState]) -> Vec<Vec<f32>> {
         self.append_incremental(items, states)
+    }
+
+    fn query_embedding(&self, seq: &[ItemId]) -> Option<Vec<f32>> {
+        FrozenMetaSgcl::query_embedding(self, seq)
+    }
+
+    fn item_embeddings(&self) -> Option<Tensor> {
+        Some(FrozenMetaSgcl::item_embeddings(self))
     }
 }
 
@@ -105,10 +132,18 @@ impl FrozenScorer for FrozenGru4Rec {
         let h = self.append_incremental(items, states);
         (0..states.len())
             .map(|i| {
-                let row = tensor::Tensor::from_vec(h.row(i).to_vec(), vec![1, h.dims()[1]]);
+                let row = Tensor::from_vec(h.row(i).to_vec(), vec![1, h.dims()[1]]);
                 self.scores(&row).row(0).to_vec()
             })
             .collect()
+    }
+
+    fn query_embedding(&self, seq: &[ItemId]) -> Option<Vec<f32>> {
+        FrozenGru4Rec::query_embedding(self, seq)
+    }
+
+    fn item_embeddings(&self) -> Option<Tensor> {
+        Some(self.item_table_f32())
     }
 }
 
@@ -125,6 +160,32 @@ pub enum Mode {
     Incremental,
 }
 
+/// How a request's top-k is retrieved in [`Mode::Full`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TopK {
+    /// Score the full catalog (`h · Mᵀ`); bitwise-identical to the offline
+    /// autograd path. The default.
+    #[default]
+    Exact,
+    /// Approximate maximum-inner-product retrieval through the HNSW index
+    /// ([`crate::ann`]). Sub-linear in the catalog size; gated by a
+    /// measured recall curve, not the bitwise parity contract. Requires an
+    /// index ([`Engine::with_ann`]) — the engine falls back to
+    /// [`TopK::Exact`] otherwise.
+    Ann,
+}
+
+impl TopK {
+    /// Parses the wire spelling (`"exact"` / `"ann"`).
+    pub fn parse(s: &str) -> Option<TopK> {
+        match s {
+            "exact" => Some(TopK::Exact),
+            "ann" => Some(TopK::Ann),
+            _ => None,
+        }
+    }
+}
+
 /// A scoring request.
 #[derive(Clone, Debug)]
 pub enum Request {
@@ -136,6 +197,8 @@ pub enum Request {
         history: Vec<ItemId>,
         /// Number of recommendations to return.
         k: usize,
+        /// Retrieval preference; `None` uses the engine default.
+        topk: Option<TopK>,
     },
     /// Record one new interaction for a known user and re-score.
     Append {
@@ -145,6 +208,8 @@ pub enum Request {
         item: ItemId,
         /// Number of recommendations to return.
         k: usize,
+        /// Retrieval preference; `None` uses the engine default.
+        topk: Option<TopK>,
     },
 }
 
@@ -158,6 +223,12 @@ impl Request {
     fn k(&self) -> usize {
         match self {
             Request::Score { k, .. } | Request::Append { k, .. } => *k,
+        }
+    }
+
+    fn topk(&self) -> Option<TopK> {
+        match self {
+            Request::Score { topk, .. } | Request::Append { topk, .. } => *topk,
         }
     }
 }
@@ -198,6 +269,14 @@ pub struct Engine<M: FrozenScorer> {
     model: M,
     mode: Mode,
     sessions: Mutex<HashMap<u64, Session<M::State>>>,
+    /// Optional ANN index for [`TopK::Ann`] requests in [`Mode::Full`].
+    ann: Option<HnswIndex>,
+    /// Default retrieval when a request carries no preference.
+    default_topk: TopK,
+    /// Cold-start ranking `(item, score)`, best first, for empty
+    /// histories. `None` falls back to fixed item-id order with zero
+    /// scores.
+    popularity: Option<Vec<(ItemId, f32)>>,
 }
 
 impl<M: FrozenScorer> Engine<M> {
@@ -207,7 +286,57 @@ impl<M: FrozenScorer> Engine<M> {
             model,
             mode,
             sessions: Mutex::new(HashMap::new()),
+            ann: None,
+            default_topk: TopK::Exact,
+            popularity: None,
         }
+    }
+
+    /// Attaches an ANN index over the model's item embeddings, enabling
+    /// [`TopK::Ann`] retrieval in [`Mode::Full`].
+    pub fn with_ann(mut self, index: HnswIndex) -> Self {
+        self.ann = Some(index);
+        self
+    }
+
+    /// Sets the retrieval used when a request carries no preference.
+    pub fn with_default_topk(mut self, topk: TopK) -> Self {
+        self.default_topk = topk;
+        self
+    }
+
+    /// Installs the cold-start ranking from per-item interaction counts
+    /// (indexed by item id; index 0 = padding, ignored). Ties break
+    /// towards the lower item id; scores are the popularity fractions.
+    /// Without this, cold-start responses rank by fixed item-id order
+    /// with zero scores — deterministic either way.
+    pub fn with_popularity(mut self, counts: &[u64]) -> Self {
+        let total: u64 = counts.iter().skip(1).sum();
+        let mut ranked: Vec<(ItemId, f32)> = counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(item, &c)| {
+                let score = if total == 0 {
+                    0.0
+                } else {
+                    c as f32 / total as f32
+                };
+                (item, score)
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        self.popularity = Some(ranked);
+        self
+    }
+
+    /// The attached ANN index, if any.
+    pub fn ann(&self) -> Option<&HnswIndex> {
+        self.ann.as_ref()
     }
 
     /// The serving mode.
@@ -218,6 +347,21 @@ impl<M: FrozenScorer> Engine<M> {
     /// The frozen model.
     pub fn model(&self) -> &M {
         &self.model
+    }
+
+    /// The deterministic cold-start top-k for an empty history: the
+    /// popularity ranking when installed, otherwise fixed item-id order
+    /// (`1, 2, …`) with zero scores. Padding id 0 is never included.
+    pub fn cold_start_top_k(&self, k: usize) -> (Vec<ItemId>, Vec<f32>) {
+        match &self.popularity {
+            Some(ranked) => ranked.iter().take(k).copied().unzip(),
+            None => {
+                let n = self.model.num_items();
+                let items: Vec<ItemId> = (1..=n).take(k).collect();
+                let scores = vec![0.0; items.len()];
+                (items, scores)
+            }
+        }
     }
 
     /// Number of live sessions.
@@ -245,6 +389,9 @@ impl<M: FrozenScorer> Engine<M> {
         // exercises the same shapes as any production Score request.
         let scores = self.model.score_full(&history);
         debug_assert_eq!(scores.len(), n + 1);
+        if let (Some(index), Some(q)) = (&self.ann, self.model.query_embedding(&history)) {
+            let _ = index.search(&q, 10, 0);
+        }
         if self.mode == Mode::Incremental {
             let (mut state, _) = self.model.begin(&history);
             if cap == 0 || self.model.state_len(&state) < cap {
@@ -289,7 +436,7 @@ impl<M: FrozenScorer> Engine<M> {
                 let mut group: Vec<(usize, u64, ItemId, usize)> = Vec::new();
                 for (i, req) in requests.iter().enumerate() {
                     let fast = match req {
-                        Request::Append { user, item, k } => {
+                        Request::Append { user, item, k, .. } => {
                             if self.can_fast_append(*user) && !group.iter().any(|g| g.1 == *user) {
                                 group.push((i, *user, *item, *k));
                                 true
@@ -312,7 +459,10 @@ impl<M: FrozenScorer> Engine<M> {
             .collect()
     }
 
-    /// Full mode: every request re-encodes its padded window.
+    /// Full mode: every request re-encodes its padded window. Requests
+    /// preferring [`TopK::Ann`] retrieve through the HNSW index instead of
+    /// the full-catalog projection (falling back to exact when no index or
+    /// query embedding is available).
     fn handle_full(&self, req: &Request) -> Response {
         let user = req.user();
         let history = {
@@ -327,6 +477,21 @@ impl<M: FrozenScorer> Engine<M> {
             }
             session.history.clone()
         };
+        if history.is_empty() {
+            metrics::counter("serve.cold_start", false).inc();
+            let (items, scores) = self.cold_start_top_k(req.k());
+            return Response {
+                user,
+                items,
+                scores,
+            };
+        }
+        if req.topk().unwrap_or(self.default_topk) == TopK::Ann {
+            if let Some(resp) = self.handle_ann(user, &history, req.k()) {
+                return resp;
+            }
+            metrics::counter("serve.ann.fallback", false).inc();
+        }
         metrics::counter("serve.cache.miss", false).inc();
         metrics::counter("serve.reencode", false).inc();
         let scores = self.model.score_full(&history);
@@ -336,6 +501,22 @@ impl<M: FrozenScorer> Engine<M> {
             items,
             scores,
         }
+    }
+
+    /// ANN retrieval: encode the window to its query embedding, then
+    /// search the index. `None` when the engine has no index or the model
+    /// does not expose query embeddings.
+    fn handle_ann(&self, user: u64, history: &[ItemId], k: usize) -> Option<Response> {
+        let index = self.ann.as_ref()?;
+        let q = self.model.query_embedding(history)?;
+        metrics::counter("serve.ann.query", false).inc();
+        metrics::counter("serve.reencode", false).inc();
+        let (items, scores) = index.search(&q, k, 0).into_iter().unzip();
+        Some(Response {
+            user,
+            items,
+            scores,
+        })
     }
 
     /// True when an append can extend cached state without a re-encode.
@@ -415,17 +596,24 @@ impl<M: FrozenScorer> Engine<M> {
         };
         metrics::counter("serve.cache.miss", false).inc();
         let window = self.window(&history);
-        let (state, scores) = if window.is_empty() {
-            (None, vec![0.0; self.model.num_items() + 1])
-        } else {
-            metrics::counter("serve.reencode", false).inc();
-            let (state, scores) = self.model.begin(window);
-            (Some(state), scores)
-        };
+        if window.is_empty() {
+            // An empty history has no hidden state to score from; serve
+            // the deterministic cold-start ranking instead of the
+            // meaningless all-zero catalog the encoder would produce.
+            metrics::counter("serve.cold_start", false).inc();
+            let (items, scores) = self.cold_start_top_k(req.k());
+            return Response {
+                user,
+                items,
+                scores,
+            };
+        }
+        metrics::counter("serve.reencode", false).inc();
+        let (state, scores) = self.model.begin(window);
         self.lock_sessions()
             .get_mut(&user)
             .or_bug("session inserted above")
-            .state = state;
+            .state = Some(state);
         let (items, scores) = top_k(&scores, req.k());
         Response {
             user,

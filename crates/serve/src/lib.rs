@@ -23,16 +23,25 @@
 //! frozen-weight bytes behind a measured top-k parity gate against the
 //! f32 checkpoint. The default f32 mode stays bitwise-identical to the
 //! offline scoring path.
+//!
+//! Optional approximate top-k retrieval lives in [`ann`]: a from-scratch
+//! HNSW index over the frozen item embeddings (`msgc serve --ann`),
+//! answering `TopK::Ann` requests in O(ef · d · log n) instead of the
+//! O(|items| · d) full-catalog projection, behind a measured recall gate
+//! (BENCH_9). Empty histories are served a deterministic cold-start
+//! ranking (dataset popularity, or fixed item-id order).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ann;
 mod batcher;
 mod engine;
 pub mod proto;
 pub mod quant;
 pub mod server;
 
+pub use ann::{HnswConfig, HnswIndex};
 pub use batcher::Batcher;
-pub use engine::{top_k, Engine, FrozenScorer, Mode, Request, Response};
+pub use engine::{top_k, Engine, FrozenScorer, Mode, Request, Response, TopK};
 pub use quant::{quantize_gated, QuantReport};

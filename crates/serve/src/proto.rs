@@ -5,8 +5,13 @@
 //! ```json
 //! {"op":"ping"}
 //! {"op":"score","user":3,"history":[1,2,3],"k":10}
+//! {"op":"score","user":3,"history":[1,2,3],"k":10,"topk":"ann"}
 //! {"op":"append","user":3,"item":4,"k":10}
 //! ```
+//!
+//! The optional `"topk"` field selects the retrieval path: `"exact"`
+//! (full-catalog projection, bitwise-identical to offline scoring) or
+//! `"ann"` (HNSW approximate top-k). Omitted → the server's default.
 //!
 //! Responses:
 //!
@@ -24,7 +29,7 @@
 use recdata::ItemId;
 use telemetry::json::{parse, Json};
 
-use crate::engine::{Request, Response};
+use crate::engine::{Request, Response, TopK};
 
 /// A parsed inbound line.
 #[derive(Clone, Debug)]
@@ -44,6 +49,18 @@ fn get_u64(obj: &Json, key: &str) -> Result<u64, String> {
         .filter(|v| *v >= 0.0 && v.fract() == 0.0)
         .map(|v| v as u64)
         .ok_or_else(|| format!("missing or invalid \"{key}\""))
+}
+
+fn get_topk(obj: &Json) -> Result<Option<TopK>, String> {
+    match obj.get("topk") {
+        None => Ok(None),
+        Some(j) => {
+            let s = j.as_str().ok_or("non-string \"topk\"")?;
+            TopK::parse(s)
+                .map(Some)
+                .ok_or_else(|| format!("unknown \"topk\" value \"{s}\" (exact|ann)"))
+        }
+    }
 }
 
 /// Parses one request line.
@@ -70,13 +87,25 @@ pub fn parse_request(line: &str) -> Result<Incoming, String> {
                 })
                 .collect::<Result<_, _>>()?;
             let k = obj.get("k").map_or(Ok(10), |_| get_u64(&obj, "k"))? as usize;
-            Ok(Incoming::Req(Request::Score { user, history, k }))
+            let topk = get_topk(&obj)?;
+            Ok(Incoming::Req(Request::Score {
+                user,
+                history,
+                k,
+                topk,
+            }))
         }
         "append" => {
             let user = get_u64(&obj, "user")?;
             let item = get_u64(&obj, "item")? as ItemId;
             let k = obj.get("k").map_or(Ok(10), |_| get_u64(&obj, "k"))? as usize;
-            Ok(Incoming::Req(Request::Append { user, item, k }))
+            let topk = get_topk(&obj)?;
+            Ok(Incoming::Req(Request::Append {
+                user,
+                item,
+                k,
+                topk,
+            }))
         }
         other => Err(format!("unknown op \"{other}\"")),
     }

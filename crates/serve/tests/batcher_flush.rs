@@ -1,0 +1,115 @@
+//! Regression: requests already queued when the batching worker frees up
+//! must coalesce into one batch even at the flush boundary (`batch_wait`
+//! elapsed or zero). Before the fix the deadline check fired *before* any
+//! non-blocking drain, so backlogged requests dispatched as batches of
+//! one — head-of-line serialisation that turned a shared-GEMM design into
+//! sequential scoring.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use serve::{Batcher, Engine, FrozenScorer, Mode, Request};
+use telemetry::metrics;
+
+/// Minimal scorer whose full-history path is slow, so the worker is
+/// reliably busy while follow-up requests pile into the queue.
+struct SlowScorer;
+
+impl FrozenScorer for SlowScorer {
+    type State = ();
+
+    fn num_items(&self) -> usize {
+        4
+    }
+
+    fn window_cap(&self) -> usize {
+        8
+    }
+
+    fn score_full(&self, seq: &[usize]) -> Vec<f32> {
+        std::thread::sleep(Duration::from_millis(150));
+        let mut scores = vec![0.0; self.num_items() + 1];
+        for (i, s) in scores.iter_mut().enumerate() {
+            *s = (i + seq.len()) as f32;
+        }
+        scores
+    }
+
+    fn begin(&self, window: &[usize]) -> ((), Vec<f32>) {
+        ((), self.score_full(window))
+    }
+
+    fn state_len(&self, _state: &()) -> usize {
+        1
+    }
+
+    fn append_batch(&self, items: &[usize], _states: &mut [&mut ()]) -> Vec<Vec<f32>> {
+        items
+            .iter()
+            .map(|_| vec![0.0; self.num_items() + 1])
+            .collect()
+    }
+}
+
+#[test]
+fn queued_requests_coalesce_at_the_flush_boundary() {
+    telemetry::set_enabled(true);
+    let engine = Arc::new(Engine::new(SlowScorer, Mode::Full));
+    // batch_wait = 0: the worker never *waits* for company, so before the
+    // try_recv drain every request was its own batch by construction.
+    let batcher = Arc::new(Batcher::new(engine, 8, Duration::ZERO));
+
+    // Occupy the worker, then queue four requests while it is scoring.
+    let first = {
+        let b = Arc::clone(&batcher);
+        std::thread::spawn(move || {
+            b.submit(Request::Score {
+                user: 0,
+                history: vec![1],
+                k: 2,
+                topk: None,
+            })
+        })
+    };
+    std::thread::sleep(Duration::from_millis(40)); // worker is now inside score_full
+    let (done_tx, done_rx) = mpsc::channel();
+    for user in 1..=4u64 {
+        let b = Arc::clone(&batcher);
+        let done = done_tx.clone();
+        std::thread::spawn(move || {
+            let resp = b.submit(Request::Score {
+                user,
+                history: vec![1, 2],
+                k: 2,
+                topk: None,
+            });
+            done.send(resp).ok();
+        });
+    }
+    // Queued submits need to be sitting in the channel before the worker
+    // returns from the first batch.
+    std::thread::sleep(Duration::from_millis(60));
+
+    let first = first.join().expect("first submit");
+    assert_eq!(first.user, 0);
+    let mut late: Vec<u64> = (0..4)
+        .map(|_| done_rx.recv().expect("reply").user)
+        .collect();
+    late.sort_unstable();
+    assert_eq!(late, vec![1, 2, 3, 4]);
+
+    drop(done_tx);
+    drop(batcher);
+
+    // The four backlogged requests must have shared a single dispatch
+    // even though batch_wait is zero: five requests, at most two batches
+    // (the opener, then the drained backlog). Before the fix this was
+    // five batches of one.
+    let (batches, dispatched, _) = metrics::histogram("serve.batch.size", false).totals();
+    assert_eq!(dispatched, 5, "all five requests scored");
+    assert!(
+        batches <= 2,
+        "5 requests took {batches} dispatches — flush-boundary stall"
+    );
+}

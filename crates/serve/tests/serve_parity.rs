@@ -39,6 +39,7 @@ fn full_mode_matches_offline_score_sequence_bitwise() {
             user: u as u64,
             history: h.clone(),
             k: 5,
+            topk: None,
         })
         .collect();
     let responses = engine.handle_batch(&reqs);
@@ -54,6 +55,7 @@ fn full_mode_matches_offline_score_sequence_bitwise() {
         user: 0,
         item: 7,
         k: 5,
+        topk: None,
     }]);
     let (want_items, want_scores) = top_k(&m.score_sequence(&[1, 2, 3, 7]), 5);
     assert_eq!(r[0].items, want_items);
@@ -69,6 +71,7 @@ fn incremental_mode_matches_left_aligned_reference() {
         user: 7,
         history: history.clone(),
         k: 4,
+        topk: None,
     }]);
     // Appends extend cached state; each response must equal the autograd
     // left-aligned reference on the growing history — including past the
@@ -79,6 +82,7 @@ fn incremental_mode_matches_left_aligned_reference() {
             user: 7,
             item,
             k: 4,
+            topk: None,
         }]);
         let window = &history[history.len().saturating_sub(6)..];
         let (want_items, want_scores) = top_k(&m.score_left_aligned(window), 4);
@@ -97,6 +101,7 @@ fn mixed_batch_coalesces_and_stays_exact() {
             user: u,
             history: vec![1 + u as usize, 2 + u as usize],
             k: 3,
+            topk: None,
         }]);
     }
     // One batch: two fast appends, one fresh score, another append.
@@ -105,21 +110,25 @@ fn mixed_batch_coalesces_and_stays_exact() {
             user: 0,
             item: 5,
             k: 3,
+            topk: None,
         },
         Request::Append {
             user: 1,
             item: 6,
             k: 3,
+            topk: None,
         },
         Request::Score {
             user: 9,
             history: vec![4, 5],
             k: 3,
+            topk: None,
         },
         Request::Append {
             user: 2,
             item: 7,
             k: 3,
+            topk: None,
         },
     ];
     let responses = engine.handle_batch(&reqs);
@@ -145,6 +154,7 @@ fn gru4rec_served_matches_offline() {
         user: 1,
         history: vec![1, 2, 3, 4],
         k: 5,
+        topk: None,
     }]);
     let (want_items, want_scores) = top_k(&m.score(1, &[1, 2, 3, 4]), 5);
     assert_eq!(r[0].items, want_items);
@@ -158,6 +168,7 @@ fn gru4rec_served_matches_offline() {
         user: 1,
         history: history.clone(),
         k: 5,
+        topk: None,
     }]);
     for item in [5usize, 6, 7, 8, 9, 10, 11, 12] {
         history.push(item);
@@ -165,6 +176,7 @@ fn gru4rec_served_matches_offline() {
             user: 1,
             item,
             k: 5,
+            topk: None,
         }]);
         let (want_items, want_scores) = top_k(&m2.score_unpadded(&history), 5);
         assert_eq!(r[0].items, want_items, "history {history:?}");
@@ -190,6 +202,7 @@ fn batcher_coalesces_concurrent_submissions() {
                         user: u,
                         history: vec![1 + u as usize % 10, 2],
                         k: 3,
+                        topk: None,
                     })
                 })
             })
@@ -217,13 +230,15 @@ fn protocol_round_trips_scores_bitwise() {
 
     // Request parsing.
     match proto::parse_request(r#"{"op":"score","user":3,"history":[1,2],"k":4}"#).unwrap() {
-        proto::Incoming::Req(Request::Score { user, history, k }) => {
+        proto::Incoming::Req(Request::Score {
+            user, history, k, ..
+        }) => {
             assert_eq!((user, history, k), (3, vec![1, 2], 4));
         }
         other => panic!("unexpected parse {other:?}"),
     }
     match proto::parse_request(r#"{"op":"append","user":3,"item":9}"#).unwrap() {
-        proto::Incoming::Req(Request::Append { user, item, k }) => {
+        proto::Incoming::Req(Request::Append { user, item, k, .. }) => {
             assert_eq!((user, item, k), (3, 9, 10));
         }
         other => panic!("unexpected parse {other:?}"),
@@ -247,11 +262,13 @@ fn serve_metrics_flow_through_registry() {
         user: 1,
         history: vec![1, 2],
         k: 3,
+        topk: None,
     }]);
     engine.handle_batch(&[Request::Append {
         user: 1,
         item: 3,
         k: 3,
+        topk: None,
     }]);
     assert!(telemetry::metrics::counter("serve.cache.miss", false).get() > miss0);
     assert!(telemetry::metrics::counter("serve.cache.hit", false).get() > hit0);
@@ -267,6 +284,7 @@ fn empty_history_scores_zeros() {
             user: 1,
             history: vec![],
             k: 3,
+            topk: None,
         }]);
         assert_eq!(r[0].scores, vec![0.0; 3]);
     }

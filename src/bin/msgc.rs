@@ -34,11 +34,13 @@ fn usage() -> ExitCode {
          [--joint] [--threads N] [--shard-size N] [--sanitize] \
          [--save-every N] [--keep-last K] [--ckpt-dir DIR] [--resume PATH] [--max-steps N] \
          [--metrics-out FILE] [--trace-out FILE] [--strict-health] \
+         [--sampled-softmax N] [--sampler uniform|log-uniform] \
          --out MODEL\n  \
          msgc evaluate --data SPEC --model MODEL [--dim N] [--max-len N]\n  \
          msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n  \
          msgc serve --data SPEC --model MODEL [--addr HOST:PORT] [--mode full|incremental] \
-         [--batch-max N] [--batch-wait-us N] [--quantize none|bf16|int8] [--dim N] [--max-len N]\n  \
+         [--batch-max N] [--batch-wait-us N] [--quantize none|bf16|int8] \
+         [--ann] [--ann-ef N] [--topk exact|ann] [--dim N] [--max-len N]\n  \
          msgc check [--model NAME | --all] [--cost] [--determinism] [--frozen-parity] \
          [--audit-json FILE] [--inject-fault <shape|freeze|reassoc|cost|parity>]\n  \
          msgc report METRICS.jsonl [--trace TRACE.jsonl]\n\n\
@@ -56,6 +58,7 @@ const BOOL_FLAGS: &[&str] = &[
     "cost",
     "determinism",
     "frozen-parity",
+    "ann",
 ];
 
 /// Flags that require a value.
@@ -89,6 +92,10 @@ const VALUE_FLAGS: &[&str] = &[
     "batch-wait-us",
     "quantize",
     "audit-json",
+    "sampled-softmax",
+    "sampler",
+    "ann-ef",
+    "topk",
 ];
 
 #[derive(Debug)]
@@ -236,10 +243,24 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         (None, 0) => None,
         (None, _) => Some(format!("{out}.ckpts")),
     };
+    // Sampled-softmax objective: `--sampled-softmax N` draws N negative
+    // candidates per training shard (0 = full-catalog cross-entropy).
+    let negatives: usize = args.get_or("sampled-softmax", 0)?;
+    let sampler = match args.get("sampler") {
+        None => meta_sgcl_repro::models::NegativeSampler::Uniform,
+        Some(s) => meta_sgcl_repro::models::NegativeSampler::parse(s)
+            .ok_or_else(|| format!("invalid --sampler {s} (uniform|log-uniform)"))?,
+    };
+    let softmax = if negatives > 0 {
+        meta_sgcl_repro::models::SoftmaxMode::Sampled { negatives, sampler }
+    } else {
+        meta_sgcl_repro::models::SoftmaxMode::Full
+    };
     let split = LeaveOneOut::split(&data);
     let mut model = build_model(&data, args)?;
     let tc = TrainConfig {
         epochs,
+        softmax,
         max_len: model.config().net.max_len,
         verbose: true,
         threads,
@@ -315,7 +336,9 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
 /// TCP with micro-batching across connections.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use meta_sgcl_repro::nn::Freeze;
-    use meta_sgcl_repro::serve::{quantize_gated, server, Batcher, Engine, Mode};
+    use meta_sgcl_repro::serve::{
+        quantize_gated, server, Batcher, Engine, HnswConfig, HnswIndex, Mode, TopK,
+    };
     use meta_sgcl_repro::tensor::QuantMode;
     use std::sync::Arc;
     use std::time::Duration;
@@ -338,6 +361,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     let quant = QuantMode::parse(args.get("quantize").unwrap_or("none"))
         .ok_or("unknown --quantize (none|bf16|int8)")?;
+    let default_topk = match args.get("topk").unwrap_or("exact") {
+        "exact" => TopK::Exact,
+        "ann" => TopK::Ann,
+        other => return Err(format!("unknown --topk {other} (exact|ann)")),
+    };
+    // `--ann` builds the index; a default of `ann` implies it.
+    let want_ann = args.get("ann").is_some() || default_topk == TopK::Ann;
+    let ann_ef: usize = args.get_or("ann-ef", 64)?;
 
     meta_sgcl_repro::telemetry::set_enabled(true);
     let mut frozen = model.freeze();
@@ -353,7 +384,58 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         let report = quantize_gated(&mut frozen, quant, &probes)?;
         println!("{report}");
     }
-    let engine = Arc::new(Engine::new(frozen, mode));
+
+    // Deterministic cold-start ranking: dataset popularity (empty
+    // histories would otherwise rank an all-zero catalog).
+    let mut counts = vec![0u64; data.num_items + 1];
+    for seq in &data.sequences {
+        for &item in seq {
+            if let Some(c) = counts.get_mut(item) {
+                *c += 1;
+            }
+        }
+    }
+    let mut engine = Engine::new(frozen, mode)
+        .with_popularity(&counts)
+        .with_default_topk(default_topk);
+
+    if want_ann {
+        let table = engine.model().item_embeddings();
+        let ann_cfg = HnswConfig {
+            ef_search: ann_ef,
+            ..HnswConfig::default()
+        };
+        // The index persists alongside the checkpoint; a sidecar built
+        // from different embedding bytes or parameters is rebuilt.
+        let sidecar =
+            std::path::PathBuf::from(format!("{}.hnsw", args.get("model").unwrap_or("model")));
+        let index = match HnswIndex::load(&sidecar, &table, data.num_items, &ann_cfg) {
+            Some(index) => {
+                println!("loaded ANN index from {}", sidecar.display());
+                index
+            }
+            None => {
+                let t0 = std::time::Instant::now();
+                let index = HnswIndex::build(&table, data.num_items, &ann_cfg);
+                match index.save(&sidecar) {
+                    Ok(()) => println!(
+                        "built ANN index over {} items in {:.1?} (saved to {})",
+                        data.num_items,
+                        t0.elapsed(),
+                        sidecar.display()
+                    ),
+                    Err(e) => println!(
+                        "built ANN index over {} items in {:.1?} (sidecar not saved: {e})",
+                        data.num_items,
+                        t0.elapsed()
+                    ),
+                }
+                index
+            }
+        };
+        engine = engine.with_ann(index);
+    }
+    let engine = Arc::new(engine);
     // One synthetic pass through every scoring path so the first real
     // request doesn't pay pool-population and dispatch-probe cold costs.
     engine.warm_up();
@@ -364,8 +446,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     ));
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "serving {} items on {addr} (mode {mode:?}, batch-max {batch_max}, batch-wait {batch_wait_us}us, quantize {quant})",
-        data.num_items
+        "serving {} items on {addr} (mode {mode:?}, batch-max {batch_max}, batch-wait {batch_wait_us}us, \
+         quantize {quant}, topk {default_topk:?}{})",
+        data.num_items,
+        if want_ann {
+            format!(", ann ef {ann_ef}")
+        } else {
+            String::new()
+        }
     );
     server::run(listener, batcher).map_err(|e| e.to_string())
 }
