@@ -10,11 +10,26 @@ use std::time::{Duration, Instant};
 use telemetry::metrics;
 use tensor::bug::OrBug;
 
-use crate::engine::{Engine, FrozenScorer, Request, Response};
+use crate::engine::{Engine, FrozenScorer, ReqObs, Request, Response};
+
+/// Batching-layer timings and engine flags for one request, returned by
+/// [`Batcher::submit_obs`] alongside the response.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobReport {
+    /// Queue wait: submit → batch dispatch (includes the coalescing wait).
+    pub enqueue_ns: u64,
+    /// Batch assembly: first-job pickup → dispatch (same for every request
+    /// in the batch).
+    pub assemble_ns: u64,
+    /// Engine-side flags and phase timings.
+    pub obs: ReqObs,
+}
 
 struct Job {
     req: Request,
-    reply: mpsc::SyncSender<Response>,
+    sampled: bool,
+    submitted: Instant,
+    reply: mpsc::SyncSender<(Response, JobReport)>,
 }
 
 /// Hands requests from any number of threads to a single batching worker.
@@ -63,13 +78,24 @@ impl<M: FrozenScorer> Batcher<M> {
                 // Queueing delay the coalescing wait added on top of the
                 // scoring work itself: first-job receipt → batch dispatch.
                 // Wall-clock, so non-deterministic by nature.
+                let dispatch = Instant::now();
+                let assemble_ns = (dispatch - received).as_nanos() as u64;
                 metrics::histogram("serve.batch.wait_us", false)
-                    .record(received.elapsed().as_micros() as u64);
+                    .record((dispatch - received).as_micros() as u64);
                 let reqs: Vec<Request> = jobs.iter().map(|j| j.req.clone()).collect();
-                let responses = engine.handle_batch(&reqs);
-                for (job, resp) in jobs.into_iter().zip(responses) {
+                // Phase timing costs clock reads inside the engine; only
+                // pay for it when a sampled trace rides in this batch.
+                let timed = jobs.iter().any(|j| j.sampled);
+                let (responses, obs) = engine.handle_batch_obs(&reqs, timed);
+                for ((job, resp), obs) in jobs.into_iter().zip(responses).zip(obs) {
+                    let report = JobReport {
+                        enqueue_ns: dispatch.saturating_duration_since(job.submitted).as_nanos()
+                            as u64,
+                        assemble_ns,
+                        obs,
+                    };
                     // A caller that gave up is not an error for the batch.
-                    let _ = job.reply.send(resp);
+                    let _ = job.reply.send((resp, report));
                 }
             }
         });
@@ -83,11 +109,23 @@ impl<M: FrozenScorer> Batcher<M> {
     /// Submits one request and blocks until its response is scored
     /// (possibly alongside other users' requests in the same batch).
     pub fn submit(&self, req: Request) -> Response {
+        self.submit_obs(req, false).0
+    }
+
+    /// [`Batcher::submit`] plus the per-request [`JobReport`]. `sampled`
+    /// marks the request as carrying a trace, which turns on engine phase
+    /// timing for its batch.
+    pub fn submit_obs(&self, req: Request, sampled: bool) -> (Response, JobReport) {
         let (rtx, rrx) = mpsc::sync_channel(1);
         self.tx
             .as_ref()
             .or_bug("batcher running")
-            .send(Job { req, reply: rtx })
+            .send(Job {
+                req,
+                sampled,
+                submitted: Instant::now(),
+                reply: rtx,
+            })
             .or_bug("batch worker alive");
         rrx.recv().or_bug("batch worker replies before exiting")
     }

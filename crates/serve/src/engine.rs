@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use meta_sgcl::infer::{FrozenMetaSgcl, State as MetaState};
 use models::{FrozenGru4Rec, GruState};
@@ -233,6 +234,44 @@ impl Request {
     }
 }
 
+/// Per-request observability report: outcome flags (which serving path
+/// answered the request) plus phase timings.
+///
+/// Flags are always filled in — they mirror exactly what the `serve.*`
+/// counters recorded for this request, so counter audits can cross-check
+/// aggregate counts against per-request reports. Phase timings are only
+/// measured when the batch is dispatched with `timed = true` (a sampled
+/// trace in flight); otherwise they are zero and the hot path performs no
+/// clock reads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReqObs {
+    /// Served the deterministic cold-start ranking (empty history).
+    pub cold_start: bool,
+    /// Answered from live incremental state (batched fast append).
+    pub cache_hit: bool,
+    /// Answered through the ANN index.
+    pub ann: bool,
+    /// ANN was requested but the exact path answered instead.
+    pub ann_fallback: bool,
+    /// The model re-encoded a window (full forward) for this request.
+    pub reencode: bool,
+    /// Model forward time (encode / append step), when timed.
+    pub forward_ns: u64,
+    /// Retrieval time (top-k ranking or ANN search), when timed.
+    pub retrieve_ns: u64,
+}
+
+/// Runs `f`, returning its wall-clock nanoseconds when `timed`.
+fn timed_ns<T>(timed: bool, f: impl FnOnce() -> T) -> (T, u64) {
+    if timed {
+        let t = Instant::now();
+        let v = f();
+        (v, t.elapsed().as_nanos() as u64)
+    } else {
+        (f(), 0)
+    }
+}
+
 /// Top-k recommendations for one request.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Response {
@@ -420,13 +459,28 @@ impl<M: FrozenScorer> Engine<M> {
     /// In [`Mode::Incremental`], runs of appendable requests for distinct
     /// users are coalesced into single batched cache-extension steps.
     pub fn handle_batch(&self, requests: &[Request]) -> Vec<Response> {
+        self.handle_batch_obs(requests, false).0
+    }
+
+    /// [`Engine::handle_batch`] plus a per-request [`ReqObs`] report.
+    ///
+    /// `timed` turns on phase timing (forward / retrieve wall-clock); pass
+    /// `false` on the untraced hot path so no clocks are read.
+    pub fn handle_batch_obs(
+        &self,
+        requests: &[Request],
+        timed: bool,
+    ) -> (Vec<Response>, Vec<ReqObs>) {
         metrics::counter("serve.requests", false).add(requests.len() as u64);
         metrics::histogram("serve.batch.size", false).record(requests.len() as u64);
         let mut out: Vec<Option<Response>> = requests.iter().map(|_| None).collect();
+        let mut obs: Vec<ReqObs> = vec![ReqObs::default(); requests.len()];
         match self.mode {
             Mode::Full => {
                 for (i, req) in requests.iter().enumerate() {
-                    out[i] = Some(self.handle_full(req));
+                    let (resp, o) = self.handle_full(req, timed);
+                    out[i] = Some(resp);
+                    obs[i] = o;
                 }
             }
             Mode::Incremental => {
@@ -435,6 +489,14 @@ impl<M: FrozenScorer> Engine<M> {
                 // flushes the group and runs alone.
                 let mut group: Vec<(usize, u64, ItemId, usize)> = Vec::new();
                 for (i, req) in requests.iter().enumerate() {
+                    // ANN retrieval only exists in [`Mode::Full`]; a request
+                    // preferring it is served exact here, and that *is* a
+                    // fallback — count it exactly once per request, before
+                    // the fast/slow split (both paths are exact).
+                    if req.topk().unwrap_or(self.default_topk) == TopK::Ann {
+                        metrics::counter("serve.ann.fallback", false).inc();
+                        obs[i].ann_fallback = true;
+                    }
                     let fast = match req {
                         Request::Append { user, item, k, .. } => {
                             if self.can_fast_append(*user) && !group.iter().any(|g| g.1 == *user) {
@@ -447,23 +509,32 @@ impl<M: FrozenScorer> Engine<M> {
                         Request::Score { .. } => false,
                     };
                     if !fast {
-                        self.flush_appends(&mut group, &mut out);
-                        out[i] = Some(self.handle_slow(req));
+                        self.flush_appends(&mut group, &mut out, &mut obs, timed);
+                        let (resp, o) = self.handle_slow(req, timed);
+                        out[i] = Some(resp);
+                        // Merge: keep the fallback flag set above.
+                        obs[i] = ReqObs {
+                            ann_fallback: obs[i].ann_fallback,
+                            ..o
+                        };
                     }
                 }
-                self.flush_appends(&mut group, &mut out);
+                self.flush_appends(&mut group, &mut out, &mut obs, timed);
             }
         }
-        out.into_iter()
+        let responses = out
+            .into_iter()
             .map(|r| r.or_bug("every request answered"))
-            .collect()
+            .collect();
+        (responses, obs)
     }
 
     /// Full mode: every request re-encodes its padded window. Requests
     /// preferring [`TopK::Ann`] retrieve through the HNSW index instead of
     /// the full-catalog projection (falling back to exact when no index or
     /// query embedding is available).
-    fn handle_full(&self, req: &Request) -> Response {
+    fn handle_full(&self, req: &Request, timed: bool) -> (Response, ReqObs) {
+        let mut obs = ReqObs::default();
         let user = req.user();
         let history = {
             let mut sessions = self.lock_sessions();
@@ -479,39 +550,64 @@ impl<M: FrozenScorer> Engine<M> {
         };
         if history.is_empty() {
             metrics::counter("serve.cold_start", false).inc();
-            let (items, scores) = self.cold_start_top_k(req.k());
-            return Response {
-                user,
-                items,
-                scores,
-            };
+            obs.cold_start = true;
+            let ((items, scores), retrieve_ns) = timed_ns(timed, || self.cold_start_top_k(req.k()));
+            obs.retrieve_ns = retrieve_ns;
+            return (
+                Response {
+                    user,
+                    items,
+                    scores,
+                },
+                obs,
+            );
         }
         if req.topk().unwrap_or(self.default_topk) == TopK::Ann {
-            if let Some(resp) = self.handle_ann(user, &history, req.k()) {
-                return resp;
+            if let Some(resp) = self.handle_ann(user, &history, req.k(), timed, &mut obs) {
+                obs.ann = true;
+                return (resp, obs);
             }
             metrics::counter("serve.ann.fallback", false).inc();
+            obs.ann_fallback = true;
         }
         metrics::counter("serve.cache.miss", false).inc();
         metrics::counter("serve.reencode", false).inc();
-        let scores = self.model.score_full(&history);
-        let (items, scores) = top_k(&scores, req.k());
-        Response {
-            user,
-            items,
-            scores,
-        }
+        obs.reencode = true;
+        let (scores, forward_ns) = timed_ns(timed, || self.model.score_full(&history));
+        obs.forward_ns = forward_ns;
+        let ((items, scores), retrieve_ns) = timed_ns(timed, || top_k(&scores, req.k()));
+        obs.retrieve_ns = retrieve_ns;
+        (
+            Response {
+                user,
+                items,
+                scores,
+            },
+            obs,
+        )
     }
 
     /// ANN retrieval: encode the window to its query embedding, then
     /// search the index. `None` when the engine has no index or the model
     /// does not expose query embeddings.
-    fn handle_ann(&self, user: u64, history: &[ItemId], k: usize) -> Option<Response> {
+    fn handle_ann(
+        &self,
+        user: u64,
+        history: &[ItemId],
+        k: usize,
+        timed: bool,
+        obs: &mut ReqObs,
+    ) -> Option<Response> {
         let index = self.ann.as_ref()?;
-        let q = self.model.query_embedding(history)?;
+        let (q, forward_ns) = timed_ns(timed, || self.model.query_embedding(history));
+        let q = q?;
+        obs.forward_ns = forward_ns;
         metrics::counter("serve.ann.query", false).inc();
         metrics::counter("serve.reencode", false).inc();
-        let (items, scores) = index.search(&q, k, 0).into_iter().unzip();
+        obs.reencode = true;
+        let (found, retrieve_ns) = timed_ns(timed, || index.search(&q, k, 0));
+        obs.retrieve_ns = retrieve_ns;
+        let (items, scores) = found.into_iter().unzip();
         Some(Response {
             user,
             items,
@@ -531,10 +627,17 @@ impl<M: FrozenScorer> Engine<M> {
     }
 
     /// Runs one batched append over the grouped requests.
+    ///
+    /// Phase attribution: the batched cache-extension step is one model
+    /// call shared by the whole group, so every grouped request reports
+    /// the same `forward_ns` (the step's duration); per-request `top_k`
+    /// ranking is timed individually.
     fn flush_appends(
         &self,
         group: &mut Vec<(usize, u64, ItemId, usize)>,
         out: &mut [Option<Response>],
+        obs: &mut [ReqObs],
+        timed: bool,
     ) {
         if group.is_empty() {
             return;
@@ -552,19 +655,22 @@ impl<M: FrozenScorer> Engine<M> {
                 .collect()
         };
         let items: Vec<ItemId> = group.iter().map(|&(_, _, item, _)| item).collect();
-        let scores = {
+        let (scores, forward_ns) = timed_ns(timed, || {
             let mut states: Vec<&mut M::State> = taken
                 .iter_mut()
                 .map(|(_, s)| s.state.as_mut().or_bug("state checked in can_fast_append"))
                 .collect();
             self.model.append_batch(&items, &mut states)
-        };
+        });
         metrics::counter("serve.cache.hit", false).add(group.len() as u64);
         for (((idx, user, item, k), (_, session)), user_scores) in
             group.iter().zip(taken.iter_mut()).zip(scores)
         {
             session.history.push(*item);
-            let (items, scores) = top_k(&user_scores, *k);
+            let ((items, scores), retrieve_ns) = timed_ns(timed, || top_k(&user_scores, *k));
+            obs[*idx].cache_hit = true;
+            obs[*idx].forward_ns = forward_ns;
+            obs[*idx].retrieve_ns = retrieve_ns;
             out[*idx] = Some(Response {
                 user: *user,
                 items,
@@ -580,7 +686,8 @@ impl<M: FrozenScorer> Engine<M> {
 
     /// Incremental mode, slow path: (re)encode the window from scratch —
     /// new histories, unknown users, and cache overflow (the slide).
-    fn handle_slow(&self, req: &Request) -> Response {
+    fn handle_slow(&self, req: &Request, timed: bool) -> (Response, ReqObs) {
+        let mut obs = ReqObs::default();
         let user = req.user();
         let history = {
             let mut sessions = self.lock_sessions();
@@ -594,31 +701,44 @@ impl<M: FrozenScorer> Engine<M> {
             }
             session.history.clone()
         };
-        metrics::counter("serve.cache.miss", false).inc();
         let window = self.window(&history);
         if window.is_empty() {
             // An empty history has no hidden state to score from; serve
             // the deterministic cold-start ranking instead of the
             // meaningless all-zero catalog the encoder would produce.
+            // Not a cache miss: there is nothing the cache could have held
+            // (mirrors the cold-start accounting in `handle_full`).
             metrics::counter("serve.cold_start", false).inc();
-            let (items, scores) = self.cold_start_top_k(req.k());
-            return Response {
-                user,
-                items,
-                scores,
-            };
+            obs.cold_start = true;
+            let ((items, scores), retrieve_ns) = timed_ns(timed, || self.cold_start_top_k(req.k()));
+            obs.retrieve_ns = retrieve_ns;
+            return (
+                Response {
+                    user,
+                    items,
+                    scores,
+                },
+                obs,
+            );
         }
+        metrics::counter("serve.cache.miss", false).inc();
         metrics::counter("serve.reencode", false).inc();
-        let (state, scores) = self.model.begin(window);
+        obs.reencode = true;
+        let ((state, scores), forward_ns) = timed_ns(timed, || self.model.begin(window));
+        obs.forward_ns = forward_ns;
         self.lock_sessions()
             .get_mut(&user)
             .or_bug("session inserted above")
             .state = Some(state);
-        let (items, scores) = top_k(&scores, req.k());
-        Response {
-            user,
-            items,
-            scores,
-        }
+        let ((items, scores), retrieve_ns) = timed_ns(timed, || top_k(&scores, req.k()));
+        obs.retrieve_ns = retrieve_ns;
+        (
+            Response {
+                user,
+                items,
+                scores,
+            },
+            obs,
+        )
     }
 }

@@ -30,6 +30,16 @@
 //! O(|items| · d) full-catalog projection, behind a measured recall gate
 //! (BENCH_9). Empty histories are served a deterministic cold-start
 //! ranking (dataset popularity, or fixed item-id order).
+//!
+//! Production observability lives in [`obs`]: per-request phase traces
+//! (enqueue → assemble → forward → retrieve → serialize) with
+//! deterministic 1-in-N sampling, a streaming DDSketch latency quantile
+//! (`serve.latency_us`), sliding-window SLO monitors (windowed p99 vs
+//! budget, ANN fallback rate, cold-start rate, cache hit-rate floor,
+//! background recall canary), and a read-only `"admin"` request kind on
+//! the serve socket (`snapshot` / `health` / `prom`). `msgc top ADDR`
+//! renders the snapshot as a polling terminal dashboard. See DESIGN.md
+//! §15.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,11 +47,13 @@
 pub mod ann;
 mod batcher;
 mod engine;
+pub mod obs;
 pub mod proto;
 pub mod quant;
 pub mod server;
 
 pub use ann::{HnswConfig, HnswIndex};
-pub use batcher::Batcher;
-pub use engine::{top_k, Engine, FrozenScorer, Mode, Request, Response, TopK};
+pub use batcher::{Batcher, JobReport};
+pub use engine::{top_k, Engine, FrozenScorer, Mode, ReqObs, Request, Response, TopK};
+pub use obs::{canary_probes, canary_recall, ObsConfig, ReqCtx, ServeObs, SloBudgets};
 pub use quant::{quantize_gated, QuantReport};

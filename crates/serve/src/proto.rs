@@ -7,11 +7,18 @@
 //! {"op":"score","user":3,"history":[1,2,3],"k":10}
 //! {"op":"score","user":3,"history":[1,2,3],"k":10,"topk":"ann"}
 //! {"op":"append","user":3,"item":4,"k":10}
+//! {"op":"admin","cmd":"snapshot"}
 //! ```
 //!
 //! The optional `"topk"` field selects the retrieval path: `"exact"`
 //! (full-catalog projection, bitwise-identical to offline scoring) or
 //! `"ann"` (HNSW approximate top-k). Omitted → the server's default.
+//!
+//! `"admin"` requests are read-only and bypass the batcher: `"snapshot"`
+//! (default) returns the name-sorted registry metrics, sketch quantiles
+//! and SLO states; `"health"` returns pass/degraded with reasons;
+//! `"prom"` returns the Prometheus text exposition wrapped in one JSON
+//! line. See DESIGN.md §15 for the response schemas.
 //!
 //! Responses:
 //!
@@ -31,6 +38,30 @@ use telemetry::json::{parse, Json};
 
 use crate::engine::{Request, Response, TopK};
 
+/// A read-only admin command (answered by [`crate::obs::ServeObs`]
+/// without entering the batcher).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdminCmd {
+    /// Name-sorted metrics + sketch quantiles + SLO states.
+    Snapshot,
+    /// Pass/degraded with per-monitor reasons.
+    Health,
+    /// Prometheus text exposition (JSON-wrapped).
+    Prom,
+}
+
+impl AdminCmd {
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<AdminCmd> {
+        match s {
+            "snapshot" => Some(AdminCmd::Snapshot),
+            "health" => Some(AdminCmd::Health),
+            "prom" => Some(AdminCmd::Prom),
+            _ => None,
+        }
+    }
+}
+
 /// A parsed inbound line.
 #[derive(Clone, Debug)]
 pub enum Incoming {
@@ -38,6 +69,8 @@ pub enum Incoming {
     Ping,
     /// A scoring request for the engine.
     Req(Request),
+    /// A read-only observability query.
+    Admin(AdminCmd),
 }
 
 /// Response line for a ping.
@@ -106,6 +139,18 @@ pub fn parse_request(line: &str) -> Result<Incoming, String> {
                 k,
                 topk,
             }))
+        }
+        "admin" => {
+            let cmd = match obj.get("cmd") {
+                None => AdminCmd::Snapshot,
+                Some(j) => {
+                    let s = j.as_str().ok_or("non-string \"cmd\"")?;
+                    AdminCmd::parse(s).ok_or_else(|| {
+                        format!("unknown \"cmd\" value \"{s}\" (snapshot|health|prom)")
+                    })?
+                }
+            };
+            Ok(Incoming::Admin(cmd))
         }
         other => Err(format!("unknown op \"{other}\"")),
     }

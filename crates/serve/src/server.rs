@@ -1,14 +1,19 @@
 //! TCP front end: line-delimited JSON over per-connection threads, all
 //! funneled through one [`Batcher`] so concurrent connections share
-//! batches.
+//! batches. With a [`ServeObs`] attached ([`run_obs`]), every request is
+//! metered (latency sketch, SLO windows) and a deterministic 1-in-N
+//! sample carries a full phase trace; `"admin"` requests are answered
+//! directly from the observer without entering the batcher.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::batcher::Batcher;
-use crate::engine::FrozenScorer;
-use crate::proto::{format_error, format_response, parse_request, Incoming, PONG};
+use crate::engine::{FrozenScorer, Request};
+use crate::obs::{ReqCtx, ServeObs};
+use crate::proto::{format_error, format_response, parse_request, AdminCmd, Incoming, PONG};
 
 /// Accepts connections forever, one thread per connection.
 ///
@@ -17,20 +22,44 @@ pub fn run<M: FrozenScorer>(
     listener: TcpListener,
     batcher: Arc<Batcher<M>>,
 ) -> std::io::Result<()> {
+    run_obs(listener, batcher, None)
+}
+
+/// [`run`] with request observability: when `obs` is present, every
+/// request feeds the latency sketch and SLO windows, sampled requests
+/// emit trace spans, and `"admin"` queries return live snapshots.
+pub fn run_obs<M: FrozenScorer>(
+    listener: TcpListener,
+    batcher: Arc<Batcher<M>>,
+    obs: Option<Arc<ServeObs>>,
+) -> std::io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
         let batcher = Arc::clone(&batcher);
+        let obs = obs.clone();
         std::thread::spawn(move || {
             // A dropped connection mid-request is the client's problem.
-            let _ = handle_connection(stream, &batcher);
+            let _ = handle_connection(stream, &batcher, obs.as_deref());
         });
     }
     Ok(())
 }
 
+fn admin_reply(obs: Option<&ServeObs>, cmd: AdminCmd) -> String {
+    match obs {
+        None => format_error("observability disabled (no admin endpoint)"),
+        Some(obs) => match cmd {
+            AdminCmd::Snapshot => obs.snapshot_json(),
+            AdminCmd::Health => obs.health_json(),
+            AdminCmd::Prom => obs.prom_json(),
+        },
+    }
+}
+
 fn handle_connection<M: FrozenScorer>(
     stream: TcpStream,
     batcher: &Batcher<M>,
+    obs: Option<&ServeObs>,
 ) -> std::io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
@@ -41,7 +70,35 @@ fn handle_connection<M: FrozenScorer>(
         }
         let reply = match parse_request(&line) {
             Ok(Incoming::Ping) => PONG.to_string(),
-            Ok(Incoming::Req(req)) => format_response(&batcher.submit(req)),
+            Ok(Incoming::Admin(cmd)) => admin_reply(obs, cmd),
+            Ok(Incoming::Req(req)) => match obs {
+                None => format_response(&batcher.submit(req)),
+                Some(obs) => {
+                    let id = obs.next_id();
+                    let sampled = obs.sampled(id);
+                    let (op, user) = match &req {
+                        Request::Score { user, .. } => ("score", *user),
+                        Request::Append { user, .. } => ("append", *user),
+                    };
+                    let start = Instant::now();
+                    let (resp, report) = batcher.submit_obs(req, sampled);
+                    let ser_start = Instant::now();
+                    let text = format_response(&resp);
+                    let serialize_ns = ser_start.elapsed().as_nanos() as u64;
+                    obs.complete(&ReqCtx {
+                        id,
+                        op,
+                        user,
+                        sampled,
+                        total_ns: start.elapsed().as_nanos() as u64,
+                        enqueue_ns: report.enqueue_ns,
+                        assemble_ns: report.assemble_ns,
+                        serialize_ns,
+                        obs: report.obs,
+                    });
+                    text
+                }
+            },
             Err(e) => format_error(&e),
         };
         writer.write_all(reply.as_bytes())?;

@@ -85,9 +85,16 @@ impl fmt::Display for ParseError {
     }
 }
 
+/// Maximum container nesting depth. The parser is recursive-descent, so
+/// unbounded nesting would overflow the stack; telemetry lines are nearly
+/// flat, making this limit generous while keeping hostile input an `Err`
+/// rather than a crash.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 /// Parses one complete JSON value; trailing non-whitespace is an error.
@@ -95,6 +102,7 @@ pub fn parse(s: &str) -> Result<Json, ParseError> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -161,7 +169,24 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the nesting depth, failing past [`MAX_DEPTH`]. The caller must
+    /// pair a successful `enter` with `self.depth -= 1`.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
+        let r = self.object_body();
+        self.depth -= 1;
+        r
+    }
+
+    fn object_body(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
@@ -187,6 +212,13 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
+        let r = self.array_body();
+        self.depth -= 1;
+        r
+    }
+
+    fn array_body(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
         let mut out = Vec::new();
         self.skip_ws();
@@ -285,9 +317,15 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("non-UTF-8 number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err(format!("invalid number `{text}`")))
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("invalid number `{text}`")))?;
+        // `f64::from_str` happily returns ±inf for overflowing literals like
+        // 1e999; JSON has no non-finite numbers, so treat that as an error.
+        if !n.is_finite() {
+            return Err(self.err(format!("number `{text}` does not fit in f64")));
+        }
+        Ok(Json::Num(n))
     }
 }
 
@@ -339,5 +377,76 @@ mod tests {
             let s = crate::trace::json_f64(v);
             assert_eq!(parse(&s).unwrap().as_num(), Some(v));
         }
+    }
+
+    #[test]
+    fn escaped_quotes_and_backslashes_resolve() {
+        // Every escape the emitter produces, plus pathological runs of
+        // backslashes (even run = literal backslashes; odd run before a
+        // quote = escaped quote).
+        let v = parse(r#""\\\\""#).unwrap();
+        assert_eq!(v.as_str(), Some("\\\\"));
+        let v = parse(r#""\\\"""#).unwrap();
+        assert_eq!(v.as_str(), Some("\\\""));
+        let v = parse(r#"{"k\"ey":"v\\al"}"#).unwrap();
+        assert_eq!(v.get("k\"ey").and_then(Json::as_str), Some("v\\al"));
+        // A string ending in a bare escape is unterminated, not a panic.
+        assert!(parse(r#""trailing\"#).is_err());
+        assert!(parse(r#""bad \q escape""#).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_resolve_or_error() {
+        assert_eq!(parse(r#""A""#).unwrap().as_str(), Some("A"));
+        assert_eq!(parse(r#""é""#).unwrap().as_str(), Some("é"));
+        assert_eq!(parse(r#""snow ☃""#).unwrap().as_str(), Some("snow ☃"));
+        // Lone surrogates map to U+FFFD (the workspace never emits pairs).
+        assert_eq!(parse(r#""\ud800""#).unwrap().as_str(), Some("\u{fffd}"));
+        // Truncated and malformed escapes error cleanly.
+        assert!(parse(r#""\u00""#).is_err());
+        assert!(parse(r#""\u12"#).is_err());
+        assert!(parse(r#""\uzzzz""#).is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Comfortably inside the limit: parses.
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep_ok).is_ok());
+        // One past the limit: a positioned error, not a stack overflow.
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let e = parse(&over).unwrap_err();
+        assert!(e.msg.contains("nesting"), "{e}");
+        // Same for objects, and for absurd hostile depth (would previously
+        // blow the stack long before returning).
+        let hostile = "[".repeat(200_000);
+        assert!(parse(&hostile).is_err());
+        let objs = format!("{}{}", r#"{"a":"#.repeat(MAX_DEPTH + 1), "1");
+        assert!(parse(&objs).is_err());
+    }
+
+    #[test]
+    fn depth_counts_nesting_not_total_containers() {
+        // Wide-but-shallow input must not trip the depth limit: siblings
+        // release their depth when they close.
+        let wide = format!("[{}]", vec!["[1]"; MAX_DEPTH * 2].join(","));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn overflow_numbers_error_cleanly() {
+        for s in ["1e999", "-1e999", "1e308999", "123456789e999999999"] {
+            let e = parse(s).unwrap_err();
+            assert!(e.msg.contains("fit"), "`{s}` → {e}");
+        }
+        // Near-max magnitudes still parse.
+        assert!(parse("1e308").unwrap().as_num().unwrap().is_finite());
+        assert!(parse("-1.7976931348623157e308").is_ok());
+        // Precision loss (not overflow) is fine: u64::MAX rounds.
+        assert!(parse("18446744073709551615").is_ok());
     }
 }

@@ -18,6 +18,17 @@
 //!   KL collapse of either latent view, a dead `Enc_σ'` meta stage, and
 //!   non-finite / exploding losses.
 //!
+//! Serving observability (DESIGN.md §15) builds on the same primitives:
+//!
+//! * [`sketch`] — a mergeable DDSketch-style streaming quantile sketch
+//!   (fixed memory, relative error ≤ α) behind the registry's `sketch`
+//!   metric kind, for live p50/p99/p999 serve latency.
+//! * [`slo`] — sliding-window rate/quantile monitors with the latching
+//!   breach semantics of [`health`], backing the serve admin endpoint's
+//!   SLO states.
+//! * [`prom`] — a Prometheus-style text exposition writer over registry
+//!   snapshots.
+//!
 //! [`json`] is a minimal JSON reader (the build is fully offline, so no
 //! serde) and [`schema`] validates emitted JSONL lines against the
 //! documented event schema (see `DESIGN.md` §10); both back the
@@ -29,11 +40,18 @@
 pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod schema;
+pub mod sketch;
+pub mod slo;
 pub mod trace;
 
 pub use health::{BatchHealth, Detector, HealthConfig, HealthMonitor, HealthWarning};
-pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, MetricValue};
+pub use metrics::{Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Sketch};
+pub use sketch::DdSketch;
+pub use slo::{
+    SloKind, SloMonitor, SloState, SloStatus, WindowCfg, WindowedQuantile, WindowedRate,
+};
 pub use trace::{ActiveSpan, Field, SpanId, Tracer};
 
 use std::sync::atomic::{AtomicBool, Ordering};

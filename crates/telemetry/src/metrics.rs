@@ -19,6 +19,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
+use crate::sketch::DdSketch;
+
 /// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i ≥ 1`
 /// holds values in `[2^(i-1), 2^i)`, so bucket 64 tops out the `u64` range.
 pub const HIST_BUCKETS: usize = 65;
@@ -166,10 +168,52 @@ impl Histogram {
     }
 }
 
+/// A registry-owned quantile sketch (see [`crate::sketch::DdSketch`]).
+///
+/// Like the histogram it records `u64` observations with relaxed atomics,
+/// but snapshots report accuracy-bounded quantiles (p50/p90/p99/p999)
+/// instead of log2 buckets — the serving latency surface.
+pub struct Sketch {
+    name: &'static str,
+    det: bool,
+    inner: DdSketch,
+}
+
+impl Sketch {
+    /// Records one value when telemetry is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.inner.record(v);
+        }
+    }
+
+    /// Estimate of the `q`-quantile, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.inner.quantile(q)
+    }
+
+    /// `(count, sum)` totals.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.inner.count(), self.inner.sum())
+    }
+
+    /// The underlying mergeable sketch.
+    pub fn inner(&self) -> &DdSketch {
+        &self.inner
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
 enum MetricRef {
     C(&'static Counter),
     G(&'static Gauge),
     H(&'static Histogram),
+    S(&'static Sketch),
 }
 
 impl MetricRef {
@@ -178,6 +222,7 @@ impl MetricRef {
             MetricRef::C(c) => c.name,
             MetricRef::G(g) => g.name,
             MetricRef::H(h) => h.name,
+            MetricRef::S(s) => s.name,
         }
     }
 }
@@ -271,6 +316,26 @@ pub fn histogram(name: &'static str, det: bool) -> &'static Histogram {
     leaked
 }
 
+/// Interns (or returns the existing) quantile sketch `name`, with the
+/// default accuracy ([`crate::sketch::DEFAULT_ALPHA`]).
+pub fn sketch(name: &'static str, det: bool) -> &'static Sketch {
+    let mut reg = registry();
+    for m in &reg.metrics {
+        if let MetricRef::S(s) = m {
+            if s.name == name {
+                return s;
+            }
+        }
+    }
+    let leaked: &'static Sketch = Box::leak(Box::new(Sketch {
+        name,
+        det,
+        inner: DdSketch::new(crate::sketch::DEFAULT_ALPHA),
+    }));
+    reg.metrics.push(MetricRef::S(leaked));
+    leaked
+}
+
 /// Snapshot value of one metric.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
@@ -288,6 +353,15 @@ pub enum MetricValue {
         invalid: u64,
         /// Non-empty buckets in index order.
         buckets: Vec<(usize, u64)>,
+    },
+    /// Quantile-sketch totals plus the reported quantiles.
+    Sketch {
+        /// Number of recorded observations.
+        count: u64,
+        /// Saturating sum of recorded values.
+        sum: u64,
+        /// `(p50, p90, p99, p999)` estimates; `None` per entry when empty.
+        quantiles: [(&'static str, Option<f64>); 4],
     },
 }
 
@@ -328,6 +402,26 @@ impl MetricSnapshot {
                     b.join(",")
                 )
             }
+            MetricValue::Sketch {
+                count,
+                sum,
+                quantiles,
+            } => {
+                let q: Vec<String> = quantiles
+                    .iter()
+                    .map(|(name, v)| {
+                        format!(
+                            "\"{name}\":{}",
+                            v.map_or_else(|| "null".into(), crate::trace::json_f64)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"ev\":\"metric\",\"name\":\"{name}\",\"kind\":\"sketch\",\"det\":{det},\
+                     \"count\":{count},\"sum\":{sum},{}}}",
+                    q.join(",")
+                )
+            }
         }
     }
 }
@@ -362,6 +456,18 @@ pub fn snapshot() -> Vec<MetricSnapshot> {
                     },
                 }
             }
+            MetricRef::S(s) => {
+                let (count, sum) = s.totals();
+                MetricSnapshot {
+                    name: s.name,
+                    det: s.det,
+                    value: MetricValue::Sketch {
+                        count,
+                        sum,
+                        quantiles: s.inner.reported(),
+                    },
+                }
+            }
         })
         .collect();
     out.sort_by(|a, b| a.name.cmp(b.name));
@@ -393,6 +499,7 @@ pub fn reset() {
                     b.store(0, Ordering::Relaxed);
                 }
             }
+            MetricRef::S(s) => s.inner.reset(),
         }
     }
 }
@@ -531,10 +638,34 @@ mod tests {
         let h = histogram("test.jsonl.h", false);
         h.record(0);
         h.record(1000);
+        let s = sketch("test.jsonl.s", false);
+        s.record(500);
         for m in snapshot() {
             let line = m.to_jsonl();
             crate::schema::validate_line(&line)
                 .unwrap_or_else(|e| panic!("line {line} failed schema: {e}"));
         }
+    }
+
+    #[test]
+    fn sketch_metric_gates_on_enabled_and_resets() {
+        let _g = guard();
+        let s = sketch("test.sketch.gate", false);
+        crate::set_enabled(false);
+        s.record(1_000);
+        assert_eq!(s.totals(), (0, 0), "disabled sketch must not move");
+        crate::set_enabled(true);
+        for v in [100u64, 200, 300] {
+            s.record(v);
+        }
+        assert_eq!(s.totals().0, 3);
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((p50 - 200.0).abs() / 200.0 <= 0.011, "p50 {p50}");
+        // Empty sketch snapshots report null quantiles.
+        reset();
+        assert_eq!(s.quantile(0.5), None);
+        let snap = snapshot();
+        let me = snap.iter().find(|m| m.name == "test.sketch.gate").unwrap();
+        assert!(me.to_jsonl().contains("\"p999\":null"));
     }
 }

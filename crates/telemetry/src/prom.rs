@@ -1,0 +1,165 @@
+//! Prometheus-style text exposition over registry snapshots.
+//!
+//! The serve admin endpoint answers `{"op":"admin","cmd":"prom"}` with this
+//! format so any scrape-based collector can ingest the registry without a
+//! JSON shim. The output follows the text exposition conventions: metric
+//! names are the registry names with `.` mapped to `_`, counters get a
+//! `_total` suffix, histograms and sketches expand to `_count`/`_sum` plus
+//! quantile series labelled `{quantile="0.99"}`. Lines are emitted in
+//! name-sorted snapshot order, so the exposition is deterministic for a
+//! deterministic registry state.
+
+use crate::metrics::{MetricSnapshot, MetricValue};
+use crate::sketch::REPORTED_QUANTILES;
+use crate::trace::json_f64;
+
+/// Maps a registry metric name (`serve.batch.wait_us`) to a Prometheus
+/// metric name (`serve_batch_wait_us`). Any character outside
+/// `[a-zA-Z0-9_:]` becomes `_`.
+pub fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        json_f64(v)
+    }
+}
+
+/// Renders one snapshot to exposition lines (no trailing blank line).
+pub fn render(snapshots: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for m in snapshots {
+        let base = prom_name(m.name);
+        match &m.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {base}_total counter\n"));
+                out.push_str(&format!("{base}_total {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {base} gauge\n"));
+                out.push_str(&format!("{base} {}\n", prom_f64(*v)));
+            }
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+                ..
+            } => {
+                // Log2 buckets expose cumulative counts keyed by upper edge,
+                // the conventional `le` label (bucket i covers [2^(i-1), 2^i)).
+                out.push_str(&format!("# TYPE {base} histogram\n"));
+                let mut cum = 0u64;
+                for (i, c) in buckets {
+                    cum += c;
+                    let le = if *i == 0 {
+                        "0".to_string()
+                    } else if *i >= 64 {
+                        "+Inf".to_string()
+                    } else {
+                        (1u64 << i).to_string()
+                    };
+                    out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cum}\n"));
+                }
+                if buckets.last().is_none_or(|(i, _)| *i < 64) {
+                    out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {cum}\n"));
+                }
+                out.push_str(&format!("{base}_sum {sum}\n"));
+                out.push_str(&format!("{base}_count {count}\n"));
+            }
+            MetricValue::Sketch {
+                count,
+                sum,
+                quantiles,
+            } => {
+                out.push_str(&format!("# TYPE {base} summary\n"));
+                for ((_, v), (_, q)) in quantiles.iter().zip(REPORTED_QUANTILES) {
+                    if let Some(v) = v {
+                        out.push_str(&format!("{base}{{quantile=\"{q}\"}} {}\n", prom_f64(*v)));
+                    }
+                }
+                out.push_str(&format!("{base}_sum {sum}\n"));
+                out.push_str(&format!("{base}_count {count}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_mapping_replaces_dots() {
+        assert_eq!(prom_name("serve.batch.wait_us"), "serve_batch_wait_us");
+        assert_eq!(prom_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn renders_every_kind() {
+        let snaps = vec![
+            MetricSnapshot {
+                name: "serve.requests",
+                det: true,
+                value: MetricValue::Counter(42),
+            },
+            MetricSnapshot {
+                name: "serve.qps",
+                det: false,
+                value: MetricValue::Gauge(12.5),
+            },
+            MetricSnapshot {
+                name: "serve.batch.wait_us",
+                det: false,
+                value: MetricValue::Histogram {
+                    count: 3,
+                    sum: 10,
+                    invalid: 0,
+                    buckets: vec![(0, 1), (3, 2)],
+                },
+            },
+            MetricSnapshot {
+                name: "serve.latency_us",
+                det: false,
+                value: MetricValue::Sketch {
+                    count: 2,
+                    sum: 300,
+                    quantiles: [
+                        ("p50", Some(100.0)),
+                        ("p90", Some(200.0)),
+                        ("p99", Some(200.0)),
+                        ("p999", None),
+                    ],
+                },
+            },
+        ];
+        let text = render(&snaps);
+        assert!(text.contains("serve_requests_total 42\n"), "{text}");
+        assert!(text.contains("serve_qps 12.5\n"), "{text}");
+        // Histogram buckets are cumulative and close with +Inf.
+        assert!(text.contains("serve_batch_wait_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("serve_batch_wait_us_bucket{le=\"8\"} 3\n"));
+        assert!(text.contains("serve_batch_wait_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("serve_batch_wait_us_count 3\n"));
+        assert!(text.contains("serve_latency_us{quantile=\"0.5\"} 100.0\n"));
+        assert!(text.contains("serve_latency_us{quantile=\"0.99\"} 200.0\n"));
+        // Empty p999 is omitted, totals still present.
+        assert!(!text.contains("quantile=\"0.999\""));
+        assert!(text.contains("serve_latency_us_count 2\n"));
+    }
+}

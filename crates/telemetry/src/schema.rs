@@ -48,6 +48,13 @@ fn check_all(obj: &Json, fields: &[(&str, Ty)]) -> Result<(), String> {
 /// Validates one JSONL line; returns the event kind on success.
 pub fn validate_line(line: &str) -> Result<String, String> {
     let obj = parse(line).map_err(|e| e.to_string())?;
+    validate_event(&obj)
+}
+
+/// Validates one already-parsed event object; returns the event kind.
+/// (The admin snapshot embeds metric event objects, so validation is
+/// shared between the line-oriented streams and the snapshot document.)
+pub fn validate_event(obj: &Json) -> Result<String, String> {
     if !matches!(obj, Json::Obj(_)) {
         return Err("line is not a JSON object".into());
     }
@@ -58,7 +65,7 @@ pub fn validate_line(line: &str) -> Result<String, String> {
         .to_string();
     match ev.as_str() {
         "run" => check_all(
-            &obj,
+            obj,
             &[
                 ("schema", Ty::Num),
                 ("strategy", Ty::Str),
@@ -68,7 +75,7 @@ pub fn validate_line(line: &str) -> Result<String, String> {
             ],
         )?,
         "batch" => check_all(
-            &obj,
+            obj,
             &[
                 ("epoch", Ty::Num),
                 ("batch", Ty::Num),
@@ -83,7 +90,7 @@ pub fn validate_line(line: &str) -> Result<String, String> {
             ],
         )?,
         "epoch" => check_all(
-            &obj,
+            obj,
             &[
                 ("epoch", Ty::Num),
                 ("batches", Ty::Num),
@@ -96,15 +103,15 @@ pub fn validate_line(line: &str) -> Result<String, String> {
         )?,
         "metric" => {
             check_all(
-                &obj,
+                obj,
                 &[("name", Ty::Str), ("kind", Ty::Str), ("det", Ty::Bool)],
             )?;
             match obj.get("kind").and_then(Json::as_str) {
-                Some("counter") => check_all(&obj, &[("value", Ty::Num)])?,
-                Some("gauge") => check_all(&obj, &[("value", Ty::NumOrNull)])?,
+                Some("counter") => check_all(obj, &[("value", Ty::Num)])?,
+                Some("gauge") => check_all(obj, &[("value", Ty::NumOrNull)])?,
                 Some("histogram") => {
                     check_all(
-                        &obj,
+                        obj,
                         &[("count", Ty::Num), ("sum", Ty::Num), ("invalid", Ty::Num)],
                     )?;
                     let buckets = obj
@@ -118,11 +125,41 @@ pub fn validate_line(line: &str) -> Result<String, String> {
                         }
                     }
                 }
+                Some("sketch") => check_all(
+                    obj,
+                    &[
+                        ("count", Ty::Num),
+                        ("sum", Ty::Num),
+                        ("p50", Ty::NumOrNull),
+                        ("p90", Ty::NumOrNull),
+                        ("p99", Ty::NumOrNull),
+                        ("p999", Ty::NumOrNull),
+                    ],
+                )?,
                 other => return Err(format!("unknown metric kind {other:?}")),
             }
         }
+        // One flat event per *sampled* serve request: phase breakdown plus
+        // outcome flags (DESIGN.md §15).
+        "req" => check_all(
+            obj,
+            &[
+                ("id", Ty::Num),
+                ("op", Ty::Str),
+                ("enqueue_ns", Ty::Num),
+                ("assemble_ns", Ty::Num),
+                ("forward_ns", Ty::Num),
+                ("retrieve_ns", Ty::Num),
+                ("serialize_ns", Ty::Num),
+                ("total_ns", Ty::Num),
+                ("cold_start", Ty::Bool),
+                ("cache_hit", Ty::Bool),
+                ("ann", Ty::Bool),
+                ("ann_fallback", Ty::Bool),
+            ],
+        )?,
         "span" => check_all(
-            &obj,
+            obj,
             &[
                 ("id", Ty::Num),
                 ("parent", Ty::Num),
@@ -132,7 +169,7 @@ pub fn validate_line(line: &str) -> Result<String, String> {
             ],
         )?,
         "health" => check_all(
-            &obj,
+            obj,
             &[
                 ("detector", Ty::Str),
                 ("epoch", Ty::Num),
@@ -142,9 +179,9 @@ pub fn validate_line(line: &str) -> Result<String, String> {
                 ("message", Ty::Str),
             ],
         )?,
-        "checkpoint" => check_all(&obj, &[("step", Ty::Num), ("path", Ty::Str)])?,
+        "checkpoint" => check_all(obj, &[("step", Ty::Num), ("path", Ty::Str)])?,
         "resume" => check_all(
-            &obj,
+            obj,
             &[
                 ("epoch", Ty::Num),
                 ("batch", Ty::Num),
@@ -155,6 +192,117 @@ pub fn validate_line(line: &str) -> Result<String, String> {
         other => return Err(format!("unknown event kind `{other}`")),
     }
     Ok(ev)
+}
+
+/// Validates a serve admin `snapshot` response document.
+///
+/// Shape (DESIGN.md §15): `{"ok":true,"kind":"snapshot","metrics":[...],
+/// "slos":[...]}` where each metric entry is a full `metric` event object
+/// (validated by [`validate_event`], names must be sorted) and each SLO
+/// state carries `name`/`status`/`value`/`threshold`/`breached_ever`/
+/// `reason`. Returns `(metric count, slo count)`.
+pub fn validate_admin_snapshot(text: &str) -> Result<(usize, usize), String> {
+    let obj = parse(text).map_err(|e| e.to_string())?;
+    check_all(&obj, &[("ok", Ty::Bool), ("kind", Ty::Str)])?;
+    if obj.get("kind").and_then(Json::as_str) != Some("snapshot") {
+        return Err("`kind` is not \"snapshot\"".into());
+    }
+    let metrics = obj
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .ok_or("missing `metrics` array")?;
+    let mut prev: Option<&str> = None;
+    for (i, m) in metrics.iter().enumerate() {
+        let kind = validate_event(m).map_err(|e| format!("metrics[{i}]: {e}"))?;
+        if kind != "metric" {
+            return Err(format!("metrics[{i}]: event kind `{kind}` is not `metric`"));
+        }
+        let name = m
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("metrics[{i}]: missing name"))?;
+        if prev.is_some_and(|p| p >= name) {
+            return Err(format!("metrics[{i}]: `{name}` breaks name-sorted order"));
+        }
+        prev = Some(name);
+    }
+    let slos = obj
+        .get("slos")
+        .and_then(Json::as_arr)
+        .ok_or("missing `slos` array")?;
+    for (i, s) in slos.iter().enumerate() {
+        check_all(
+            s,
+            &[
+                ("name", Ty::Str),
+                ("status", Ty::Str),
+                ("value", Ty::NumOrNull),
+                ("threshold", Ty::Num),
+                ("breached_ever", Ty::Bool),
+                ("reason", Ty::Str),
+            ],
+        )
+        .map_err(|e| format!("slos[{i}]: {e}"))?;
+        let status = s.get("status").and_then(Json::as_str).unwrap_or("");
+        if !matches!(status, "ok" | "degraded" | "no_data") {
+            return Err(format!("slos[{i}]: unknown status `{status}`"));
+        }
+    }
+    Ok((metrics.len(), slos.len()))
+}
+
+/// Validates a `BENCH_10.json` document (serving observability bench):
+/// a `sketch` section gating sketch-vs-exact quantile error and a
+/// `tracing` section gating enabled-sampled-tracing overhead, plus the
+/// measured disabled-observability overhead.
+pub fn validate_bench10(text: &str) -> Result<(), String> {
+    let obj = parse(text).map_err(|e| e.to_string())?;
+    check_all(&obj, &[("bench", Ty::Str), ("pass", Ty::Bool)])?;
+    if obj.get("bench").and_then(Json::as_str) != Some("BENCH_10") {
+        return Err("`bench` is not \"BENCH_10\"".into());
+    }
+    let sketch = obj.get("sketch").ok_or("missing `sketch` section")?;
+    check_all(
+        sketch,
+        &[
+            ("n", Ty::Num),
+            ("p50_sketch_us", Ty::Num),
+            ("p50_exact_us", Ty::Num),
+            ("p99_sketch_us", Ty::Num),
+            ("p99_exact_us", Ty::Num),
+            ("rel_err_p50", Ty::Num),
+            ("rel_err_p99", Ty::Num),
+            ("bound", Ty::Num),
+            ("pass", Ty::Bool),
+        ],
+    )
+    .map_err(|e| format!("sketch: {e}"))?;
+    let tracing = obj.get("tracing").ok_or("missing `tracing` section")?;
+    check_all(
+        tracing,
+        &[
+            ("requests", Ty::Num),
+            ("base_us_per_req", Ty::Num),
+            ("traced_us_per_req", Ty::Num),
+            ("overhead_frac", Ty::Num),
+            ("budget", Ty::Num),
+            ("pass", Ty::Bool),
+        ],
+    )
+    .map_err(|e| format!("tracing: {e}"))?;
+    let disabled = obj.get("disabled").ok_or("missing `disabled` section")?;
+    check_all(
+        disabled,
+        &[
+            ("requests", Ty::Num),
+            ("enabled_us_per_req", Ty::Num),
+            ("disabled_us_per_req", Ty::Num),
+            ("overhead_frac", Ty::Num),
+            ("budget", Ty::Num),
+        ],
+    )
+    .map_err(|e| format!("disabled: {e}"))?;
+    Ok(())
 }
 
 /// Validates a whole JSONL document (one event per non-empty line).
@@ -212,6 +360,55 @@ mod tests {
         assert!(validate_line("[1,2]").is_err());
         let bad_bucket = r#"{"ev":"metric","name":"h","kind":"histogram","det":true,"count":1,"sum":1,"invalid":0,"buckets":[[1]]}"#;
         assert!(validate_line(bad_bucket).is_err());
+    }
+
+    #[test]
+    fn accepts_serve_events() {
+        let lines = [
+            r#"{"ev":"metric","name":"serve.latency_us","kind":"sketch","det":false,"count":10,"sum":1000,"p50":90.0,"p90":180.0,"p99":200.0,"p999":null}"#,
+            r#"{"ev":"req","id":17,"t_ns":5,"op":"score","user":3,"enqueue_ns":100,"assemble_ns":50,"forward_ns":900,"retrieve_ns":200,"serialize_ns":30,"total_ns":1280,"cold_start":false,"cache_hit":true,"ann":true,"ann_fallback":false}"#,
+        ];
+        for line in lines {
+            validate_line(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        // Missing a phase field or a flag is an error.
+        assert!(validate_line(r#"{"ev":"req","id":1,"op":"score"}"#).is_err());
+        assert!(validate_line(
+            r#"{"ev":"metric","name":"s","kind":"sketch","det":false,"count":1,"sum":1}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn admin_snapshot_validates_shape_and_order() {
+        let good = r#"{"ok":true,"kind":"snapshot","metrics":[
+            {"ev":"metric","name":"serve.cache.hit","kind":"counter","det":true,"value":5},
+            {"ev":"metric","name":"serve.latency_us","kind":"sketch","det":false,"count":2,"sum":20,"p50":9.0,"p90":11.0,"p99":11.0,"p999":11.0}
+        ],"slos":[
+            {"name":"p99_latency_ms","status":"ok","value":1.5,"threshold":50.0,"breached_ever":false,"reason":"1.5 within budget 50"},
+            {"name":"recall_at_10","status":"no_data","value":null,"threshold":0.8,"breached_ever":false,"reason":"no observations in window"}
+        ]}"#;
+        assert_eq!(validate_admin_snapshot(good), Ok((2, 2)));
+        // Unsorted metric names are rejected (determinism contract).
+        let unsorted = good.replace("serve.cache.hit", "zzz.last");
+        assert!(validate_admin_snapshot(&unsorted)
+            .unwrap_err()
+            .contains("name-sorted"));
+        let bad_status = good.replace("\"no_data\"", "\"meh\"");
+        assert!(validate_admin_snapshot(&bad_status).is_err());
+        assert!(validate_admin_snapshot(r#"{"ok":true,"kind":"health"}"#).is_err());
+    }
+
+    #[test]
+    fn bench10_validates_required_sections() {
+        let good = r#"{"bench":"BENCH_10","pass":true,
+            "sketch":{"n":4096,"p50_sketch_us":101.0,"p50_exact_us":100.0,"p99_sketch_us":250.0,"p99_exact_us":252.0,"rel_err_p50":0.01,"rel_err_p99":0.008,"bound":0.02,"pass":true},
+            "tracing":{"requests":4096,"base_us_per_req":120.0,"traced_us_per_req":125.0,"overhead_frac":0.04,"budget":0.25,"pass":true},
+            "disabled":{"requests":4096,"enabled_us_per_req":120.0,"disabled_us_per_req":119.0,"overhead_frac":-0.008,"budget":0.02}}"#;
+        validate_bench10(good).unwrap_or_else(|e| panic!("{e}"));
+        assert!(validate_bench10(r#"{"bench":"BENCH_9","pass":true}"#).is_err());
+        let missing = good.replace("\"tracing\"", "\"tracingX\"");
+        assert!(validate_bench10(&missing).unwrap_err().contains("tracing"));
     }
 
     #[test]

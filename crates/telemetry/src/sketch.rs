@@ -1,0 +1,267 @@
+//! A mergeable streaming quantile sketch (DDSketch-style).
+//!
+//! Serving latency quantiles (p50/p99/p999) must be available live, over
+//! millions of observations, without storing samples. This sketch buckets
+//! values logarithmically: with relative accuracy `alpha`, bucket `i ≥ 1`
+//! covers `(γ^(i-1), γ^i]` for `γ = (1+α)/(1-α)`, and the bucket-midpoint
+//! estimate `2γ^i/(γ+1)` is within a factor `1±α` of every value in the
+//! bucket. Quantile queries therefore return an estimate with **relative
+//! error ≤ α** of the exact sorted-rank sample — the property test in this
+//! module checks that bound directly against exact sorted quantiles.
+//!
+//! Memory is fixed at construction: the `u64` domain needs
+//! `⌈ln(u64::MAX)/ln γ⌉ + 1` buckets (≈ 2.2 k at α = 1 %, ~18 KB), so there
+//! is no collapse logic and recording is one atomic increment — safe to
+//! share behind `&'static` from any number of threads. Two sketches with
+//! the same `alpha` merge by adding bucket counts ([`DdSketch::merge_from`]),
+//! which is how sliding windows are composed in [`crate::slo`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default relative accuracy (1 %).
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Quantiles reported in snapshots and the admin endpoint, in order.
+pub const REPORTED_QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("p999", 0.999)];
+
+/// Shared bucket-index math for a given accuracy, usable by both the
+/// atomic sketch and the plain windowed buffers in [`crate::slo`].
+#[derive(Debug, Clone, Copy)]
+pub struct SketchLayout {
+    /// Relative accuracy α.
+    pub alpha: f64,
+    gamma: f64,
+    ln_gamma: f64,
+    /// Bucket count, including the exact-zero bucket 0.
+    pub buckets: usize,
+}
+
+impl SketchLayout {
+    /// Layout for relative accuracy `alpha` (clamped to a sane range).
+    pub fn new(alpha: f64) -> SketchLayout {
+        let alpha = alpha.clamp(1e-4, 0.5);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        let ln_gamma = gamma.ln();
+        // Bucket i ≥ 1 covers (γ^(i-1), γ^i]; the u64 domain tops out at
+        // index ⌈ln(u64::MAX)/ln γ⌉.
+        let top = ((u64::MAX as f64).ln() / ln_gamma).ceil() as usize;
+        SketchLayout {
+            alpha,
+            gamma,
+            ln_gamma,
+            buckets: top + 2,
+        }
+    }
+
+    /// Bucket index for a value: 0 holds exact zeros, `i ≥ 1` covers
+    /// `(γ^(i-1), γ^i]`.
+    pub fn index_of(&self, v: u64) -> usize {
+        if v == 0 {
+            return 0;
+        }
+        // ceil with a tolerance: v exactly on a bucket edge (γ^i) must not
+        // spill upward through float noise.
+        let raw = (v as f64).ln() / self.ln_gamma;
+        let idx = raw.ceil();
+        let idx = if idx - raw > 1.0 - 1e-9 {
+            idx - 1.0
+        } else {
+            idx
+        };
+        (idx.max(1.0) as usize).min(self.buckets - 1)
+    }
+
+    /// Midpoint estimate for bucket `i`: within `1±α` of every value in it.
+    pub fn estimate_of(&self, idx: usize) -> f64 {
+        if idx == 0 {
+            return 0.0;
+        }
+        2.0 * self.gamma.powi(idx as i32) / (self.gamma + 1.0)
+    }
+}
+
+/// A fixed-memory, thread-safe, mergeable quantile sketch over `u64`
+/// observations (latencies in µs or ns).
+pub struct DdSketch {
+    layout: SketchLayout,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl DdSketch {
+    /// A sketch with relative accuracy `alpha`.
+    pub fn new(alpha: f64) -> DdSketch {
+        let layout = SketchLayout::new(alpha);
+        DdSketch {
+            layout,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: (0..layout.buckets).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The bucket layout (accuracy and size).
+    pub fn layout(&self) -> SketchLayout {
+        self.layout
+    }
+
+    /// Records one observation: two relaxed atomic adds plus one bucket
+    /// increment — no locks, no allocation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[self.layout.index_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimate of the `q`-quantile (`0 ≤ q ≤ 1`), or `None` when empty.
+    ///
+    /// The estimate is within relative error α of the exact sample at rank
+    /// `⌊q·(n-1)⌋` of the sorted observations.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * (n - 1) as f64).floor() as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum > target {
+                return Some(self.layout.estimate_of(i));
+            }
+        }
+        Some(self.layout.estimate_of(self.layout.buckets - 1))
+    }
+
+    /// Adds every bucket of `other` into `self`. Both sketches must share
+    /// the same accuracy (layouts are equal by construction from `alpha`).
+    pub fn merge_from(&self, other: &DdSketch) {
+        debug_assert_eq!(self.layout.buckets, other.layout.buckets);
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            let v = src.load(Ordering::Relaxed);
+            if v > 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Zeroes the sketch.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// The reported quantiles (`p50`/`p90`/`p99`/`p999`), `None` per entry
+    /// when the sketch is empty.
+    pub fn reported(&self) -> [(&'static str, Option<f64>); 4] {
+        REPORTED_QUANTILES.map(|(name, q)| (name, self.quantile(q)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact quantile with the same rank rule the sketch uses.
+    fn exact(sorted: &[u64], q: f64) -> u64 {
+        let target = (q * (sorted.len() - 1) as f64).floor() as usize;
+        sorted[target]
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = DdSketch::new(DEFAULT_ALPHA);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn bucket_edges_round_trip_within_alpha() {
+        let layout = SketchLayout::new(0.01);
+        for v in [1u64, 2, 3, 10, 100, 12345, 1_000_000, u64::MAX / 2] {
+            let est = layout.estimate_of(layout.index_of(v));
+            let rel = (est - v as f64).abs() / v as f64;
+            assert!(rel <= 0.01 + 1e-9, "value {v}: estimate {est}, rel {rel}");
+        }
+        assert_eq!(layout.index_of(0), 0);
+        assert_eq!(layout.estimate_of(0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_track_exact_sorted_values() {
+        // Deterministic pseudo-random latencies spanning four decades.
+        let mut vals: Vec<u64> = (0..10_000u64)
+            .map(|i| {
+                let x = i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+                100 + x % 1_000_000
+            })
+            .collect();
+        let s = DdSketch::new(DEFAULT_ALPHA);
+        for &v in &vals {
+            s.record(v);
+        }
+        vals.sort_unstable();
+        for (_, q) in REPORTED_QUANTILES {
+            let est = s.quantile(q).unwrap();
+            let want = exact(&vals, q) as f64;
+            let rel = (est - want).abs() / want;
+            assert!(
+                rel <= DEFAULT_ALPHA + 1e-9,
+                "q={q}: est {est} want {want} rel {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = DdSketch::new(0.02);
+        let b = DdSketch::new(0.02);
+        let all = DdSketch::new(0.02);
+        for i in 0..500u64 {
+            let v = 1 + i * 37 % 10_000;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn zeros_and_extremes_are_representable() {
+        let s = DdSketch::new(0.01);
+        s.record(0);
+        s.record(0);
+        s.record(u64::MAX);
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        let top = s.quantile(1.0).unwrap();
+        assert!(top > u64::MAX as f64 * 0.98);
+    }
+}

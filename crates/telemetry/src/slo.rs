@@ -1,0 +1,460 @@
+//! Sliding-window SLO monitors.
+//!
+//! The training-side [`crate::health`] detectors consume a deterministic
+//! per-batch loss decomposition; serving health is different in kind —
+//! wall-clock latency quantiles, rates over a recent window, a live recall
+//! canary — so this module provides the windowed counterparts while
+//! keeping the same shape: a monitor consumes observations, compares a
+//! derived value against a configured threshold, and reports a structured
+//! state with a human-readable reason. Like the latching health detectors,
+//! a monitor remembers that it ever degraded (`breached_ever`) even after
+//! the window recovers.
+//!
+//! Windows are rings of `slots` time slices of `slot_ms` each, rotated
+//! lazily on access against a monotonic clock: recording is a lock, a
+//! rotation check, and an in-place add — no allocation after construction.
+//! Quantile windows hold one plain log-bucket array per slot (the same
+//! [`crate::sketch::SketchLayout`] math as the global sketch), so a
+//! windowed p99 is the merge of the live slots.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::sketch::SketchLayout;
+use crate::trace::{json_escape, json_f64};
+
+/// Ring geometry: `slots` slices of `slot_ms` milliseconds each.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowCfg {
+    /// Number of ring slots.
+    pub slots: usize,
+    /// Width of one slot in milliseconds.
+    pub slot_ms: u64,
+}
+
+impl Default for WindowCfg {
+    fn default() -> Self {
+        // A one-minute window in 10 s slices.
+        WindowCfg {
+            slots: 6,
+            slot_ms: 10_000,
+        }
+    }
+}
+
+impl WindowCfg {
+    /// Total window length in seconds.
+    pub fn window_secs(&self) -> f64 {
+        (self.slots as u64 * self.slot_ms) as f64 / 1e3
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Ring rotation shared by both window kinds: advances `cur` to the slot
+/// for `now`, zeroing skipped slots via `clear(slot_index)`.
+struct Ring {
+    origin: Instant,
+    slot_ms: u64,
+    slots: usize,
+    /// Absolute slot number currently written (`elapsed_ms / slot_ms`).
+    cur: u64,
+}
+
+impl Ring {
+    fn new(cfg: WindowCfg, origin: Instant) -> Ring {
+        Ring {
+            origin,
+            slot_ms: cfg.slot_ms.max(1),
+            slots: cfg.slots.max(1),
+            cur: 0,
+        }
+    }
+
+    /// Rotates to the current slot, calling `clear` for each expired slot.
+    fn rotate(&mut self, now: Instant, mut clear: impl FnMut(usize)) -> usize {
+        let abs = now.duration_since(self.origin).as_millis() as u64 / self.slot_ms;
+        if abs > self.cur {
+            // Clear every slot skipped since the last write (bounded by
+            // the ring size — beyond that the whole ring is stale).
+            let skipped = (abs - self.cur).min(self.slots as u64);
+            for i in 1..=skipped {
+                clear(((self.cur + i) % self.slots as u64) as usize);
+            }
+            self.cur = abs;
+        }
+        (self.cur % self.slots as u64) as usize
+    }
+}
+
+struct RateInner {
+    ring: Ring,
+    num: Vec<u64>,
+    den: Vec<u64>,
+}
+
+/// A windowed ratio: numerator / denominator over the live ring.
+///
+/// Feeds rate-style SLOs (ANN fallback rate, cold-start rate, cache
+/// hit rate).
+pub struct WindowedRate {
+    inner: Mutex<RateInner>,
+}
+
+impl WindowedRate {
+    /// A rate window with the given geometry, anchored at `origin`.
+    pub fn new(cfg: WindowCfg, origin: Instant) -> WindowedRate {
+        WindowedRate {
+            inner: Mutex::new(RateInner {
+                ring: Ring::new(cfg, origin),
+                num: vec![0; cfg.slots.max(1)],
+                den: vec![0; cfg.slots.max(1)],
+            }),
+        }
+    }
+
+    /// Adds to the current slot: `num` events out of `den` opportunities.
+    pub fn record_at(&self, now: Instant, num: u64, den: u64) {
+        let mut g = lock(&self.inner);
+        let RateInner {
+            ring,
+            num: ns,
+            den: ds,
+        } = &mut *g;
+        let slot = ring.rotate(now, |i| {
+            ns[i] = 0;
+            ds[i] = 0;
+        });
+        ns[slot] += num;
+        ds[slot] += den;
+    }
+
+    /// The windowed ratio, or `None` when the window saw no opportunities.
+    pub fn value_at(&self, now: Instant) -> Option<f64> {
+        let (num, den) = self.totals_at(now);
+        (den > 0).then(|| num as f64 / den as f64)
+    }
+
+    /// Raw `(numerator, denominator)` totals over the live window (the
+    /// numerator doubles as a windowed event count, e.g. for QPS).
+    pub fn totals_at(&self, now: Instant) -> (u64, u64) {
+        let mut g = lock(&self.inner);
+        let RateInner {
+            ring,
+            num: ns,
+            den: ds,
+        } = &mut *g;
+        ring.rotate(now, |i| {
+            ns[i] = 0;
+            ds[i] = 0;
+        });
+        (ns.iter().sum(), ds.iter().sum())
+    }
+}
+
+struct QuantInner {
+    ring: Ring,
+    layout: SketchLayout,
+    /// One plain log-bucket histogram per slot (`slots × layout.buckets`).
+    buckets: Vec<Vec<u64>>,
+    counts: Vec<u64>,
+}
+
+/// A windowed quantile sketch: one log-bucket array per ring slot, merged
+/// at query time. Same accuracy bound as [`crate::sketch::DdSketch`].
+pub struct WindowedQuantile {
+    inner: Mutex<QuantInner>,
+}
+
+impl WindowedQuantile {
+    /// A quantile window with accuracy `alpha`, anchored at `origin`.
+    pub fn new(cfg: WindowCfg, alpha: f64, origin: Instant) -> WindowedQuantile {
+        let layout = SketchLayout::new(alpha);
+        WindowedQuantile {
+            inner: Mutex::new(QuantInner {
+                ring: Ring::new(cfg, origin),
+                layout,
+                buckets: (0..cfg.slots.max(1))
+                    .map(|_| vec![0; layout.buckets])
+                    .collect(),
+                counts: vec![0; cfg.slots.max(1)],
+            }),
+        }
+    }
+
+    /// Records one observation into the current slot.
+    pub fn record_at(&self, now: Instant, v: u64) {
+        let mut g = lock(&self.inner);
+        let QuantInner {
+            ring,
+            layout,
+            buckets,
+            counts,
+        } = &mut *g;
+        let slot = ring.rotate(now, |i| {
+            buckets[i].iter_mut().for_each(|b| *b = 0);
+            counts[i] = 0;
+        });
+        buckets[slot][layout.index_of(v)] += 1;
+        counts[slot] += 1;
+    }
+
+    /// Estimate of the `q`-quantile over the live window, or `None` when
+    /// the window is empty.
+    pub fn quantile_at(&self, now: Instant, q: f64) -> Option<f64> {
+        let mut g = lock(&self.inner);
+        let QuantInner {
+            ring,
+            layout,
+            buckets,
+            counts,
+        } = &mut *g;
+        ring.rotate(now, |i| {
+            buckets[i].iter_mut().for_each(|b| *b = 0);
+            counts[i] = 0;
+        });
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * (n - 1) as f64).floor() as u64;
+        let mut cum = 0u64;
+        for i in 0..layout.buckets {
+            cum += buckets.iter().map(|slot| slot[i]).sum::<u64>();
+            if cum > target {
+                return Some(layout.estimate_of(i));
+            }
+        }
+        Some(layout.estimate_of(layout.buckets - 1))
+    }
+}
+
+/// Which side of the threshold is healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// Value must stay at or below the threshold (latency, error rates).
+    UpperBound,
+    /// Value must stay at or above the threshold (hit rate, recall).
+    LowerBound,
+}
+
+/// Current status of one SLO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloStatus {
+    /// Within budget.
+    Ok,
+    /// Out of budget right now.
+    Degraded,
+    /// The window holds no observations yet; treated as passing.
+    NoData,
+}
+
+impl SloStatus {
+    /// Stable wire spelling.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            SloStatus::Ok => "ok",
+            SloStatus::Degraded => "degraded",
+            SloStatus::NoData => "no_data",
+        }
+    }
+}
+
+/// One evaluated SLO, as reported by the admin endpoint.
+#[derive(Debug, Clone)]
+pub struct SloState {
+    /// Monitor name (stable, e.g. `p99_latency_ms`).
+    pub name: &'static str,
+    /// Status at evaluation time.
+    pub status: SloStatus,
+    /// The windowed value, when the window has data.
+    pub value: Option<f64>,
+    /// Configured budget.
+    pub threshold: f64,
+    /// True if this monitor has ever evaluated Degraded in this process
+    /// (the latching bit, mirroring the training health detectors).
+    pub breached_ever: bool,
+    /// Human-readable explanation of the current status.
+    pub reason: String,
+}
+
+impl SloState {
+    /// Serializes this state as one JSON object (admin wire format).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"status\":\"{}\",\"value\":{},\"threshold\":{},\
+             \"breached_ever\":{},\"reason\":\"{}\"}}",
+            json_escape(self.name),
+            self.status.wire_name(),
+            self.value.map_or_else(|| "null".into(), json_f64),
+            json_f64(self.threshold),
+            self.breached_ever,
+            json_escape(&self.reason),
+        )
+    }
+}
+
+/// A named threshold over a windowed value, with the latched breach bit.
+pub struct SloMonitor {
+    name: &'static str,
+    kind: SloKind,
+    threshold: f64,
+    breached: AtomicBool,
+}
+
+impl SloMonitor {
+    /// A monitor asserting `kind` against `threshold`.
+    pub fn new(name: &'static str, kind: SloKind, threshold: f64) -> SloMonitor {
+        SloMonitor {
+            name,
+            kind,
+            threshold,
+            breached: AtomicBool::new(false),
+        }
+    }
+
+    /// The monitor name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Evaluates the monitor against the current windowed `value`.
+    /// `None` (no data yet) passes — a monitor cannot degrade on silence.
+    pub fn eval(&self, value: Option<f64>) -> SloState {
+        let (status, reason) = match value {
+            None => (SloStatus::NoData, "no observations in window".to_string()),
+            Some(v) => {
+                let ok = match self.kind {
+                    SloKind::UpperBound => v <= self.threshold,
+                    SloKind::LowerBound => v >= self.threshold,
+                };
+                if ok {
+                    (
+                        SloStatus::Ok,
+                        format!("{v:.4} within budget {:.4}", self.threshold),
+                    )
+                } else {
+                    let dir = match self.kind {
+                        SloKind::UpperBound => "exceeds",
+                        SloKind::LowerBound => "below",
+                    };
+                    (
+                        SloStatus::Degraded,
+                        format!("{v:.4} {dir} budget {:.4}", self.threshold),
+                    )
+                }
+            }
+        };
+        if status == SloStatus::Degraded {
+            self.breached.store(true, Ordering::Relaxed);
+        }
+        SloState {
+            name: self.name,
+            status,
+            value,
+            threshold: self.threshold,
+            breached_ever: self.breached.load(Ordering::Relaxed),
+            reason,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn t(origin: Instant, ms: u64) -> Instant {
+        origin + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn rate_window_slides_old_slots_out() {
+        let origin = Instant::now();
+        let cfg = WindowCfg {
+            slots: 3,
+            slot_ms: 100,
+        };
+        let r = WindowedRate::new(cfg, origin);
+        r.record_at(t(origin, 0), 1, 1); // slot 0: 1/1
+        r.record_at(t(origin, 150), 0, 1); // slot 1: 0/1
+        assert_eq!(r.value_at(t(origin, 150)), Some(0.5));
+        // 400 ms: slot 0 (abs 0) has slid out; only abs slot 1 remains.
+        assert_eq!(r.value_at(t(origin, 380)), Some(0.0));
+        // Far future: everything stale.
+        assert_eq!(r.value_at(t(origin, 10_000)), None);
+    }
+
+    #[test]
+    fn rate_window_survives_long_gaps() {
+        let origin = Instant::now();
+        let cfg = WindowCfg {
+            slots: 4,
+            slot_ms: 10,
+        };
+        let r = WindowedRate::new(cfg, origin);
+        r.record_at(t(origin, 0), 5, 10);
+        // A gap far larger than slots * slot_ms must fully clear the ring.
+        r.record_at(t(origin, 1_000_000), 1, 1);
+        assert_eq!(r.value_at(t(origin, 1_000_000)), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_window_merges_live_slots_and_expires() {
+        let origin = Instant::now();
+        let cfg = WindowCfg {
+            slots: 2,
+            slot_ms: 100,
+        };
+        let w = WindowedQuantile::new(cfg, 0.01, origin);
+        for _ in 0..100 {
+            w.record_at(t(origin, 0), 1_000);
+        }
+        for _ in 0..100 {
+            w.record_at(t(origin, 150), 100_000);
+        }
+        // Both slots live: the median sits between the two modes.
+        let p99 = w.quantile_at(t(origin, 150), 0.99).unwrap();
+        assert!((p99 - 100_000.0).abs() / 100_000.0 < 0.02, "p99 {p99}");
+        // After the first slot expires only the 100k mode remains.
+        let p01 = w.quantile_at(t(origin, 250), 0.01).unwrap();
+        assert!((p01 - 100_000.0).abs() / 100_000.0 < 0.02, "p01 {p01}");
+        assert_eq!(w.quantile_at(t(origin, 10_000), 0.5), None);
+    }
+
+    #[test]
+    fn monitor_latches_breach_and_reports_reasons() {
+        let m = SloMonitor::new("p99_latency_ms", SloKind::UpperBound, 10.0);
+        let s = m.eval(None);
+        assert_eq!(s.status, SloStatus::NoData);
+        assert!(!s.breached_ever);
+        let s = m.eval(Some(50.0));
+        assert_eq!(s.status, SloStatus::Degraded);
+        assert!(s.reason.contains("exceeds"), "{}", s.reason);
+        // Recovery: status clears, the latch does not.
+        let s = m.eval(Some(5.0));
+        assert_eq!(s.status, SloStatus::Ok);
+        assert!(s.breached_ever, "breach latch must survive recovery");
+
+        let m = SloMonitor::new("cache_hit_rate", SloKind::LowerBound, 0.8);
+        let s = m.eval(Some(0.5));
+        assert_eq!(s.status, SloStatus::Degraded);
+        assert!(s.reason.contains("below"), "{}", s.reason);
+    }
+
+    #[test]
+    fn slo_state_json_validates() {
+        let m = SloMonitor::new("ann_fallback_rate", SloKind::UpperBound, 0.1);
+        for v in [None, Some(0.05), Some(0.5)] {
+            let line = m.eval(v).to_json();
+            let obj = crate::json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(obj.get("status").is_some());
+        }
+    }
+}

@@ -152,13 +152,37 @@ impl Tracer {
     /// Ends a span, emitting its JSONL event with optional extra fields.
     pub fn end(&self, span: ActiveSpan, fields: &[(&str, Field<'_>)]) {
         let dur = self.now_ns().saturating_sub(span.start_ns);
+        self.emit_span(span.id, span.parent, span.name, span.start_ns, dur, fields);
+    }
+
+    /// Allocates a fresh span id without starting a clock.
+    ///
+    /// For spans reconstructed from stored timestamps (the serve pipeline
+    /// measures phases as it goes and emits the whole tree at response
+    /// time): allocate the parent id up front so children can reference it,
+    /// then emit every member with [`Tracer::emit_span`].
+    pub fn alloc_id(&self) -> SpanId {
+        SpanId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Emits a span event from explicit timestamps (`start_ns` on this
+    /// tracer's clock — see [`Tracer::now_ns`]) under a pre-allocated id.
+    pub fn emit_span(
+        &self,
+        id: SpanId,
+        parent: SpanId,
+        name: &str,
+        start_ns: u64,
+        dur_ns: u64,
+        fields: &[(&str, Field<'_>)],
+    ) {
         let mut line = format!(
             "{{\"ev\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{}",
-            span.id.0,
-            span.parent.0,
-            json_escape(span.name),
-            span.start_ns,
-            dur
+            id.0,
+            parent.0,
+            json_escape(name),
+            start_ns,
+            dur_ns
         );
         push_fields(&mut line, fields);
         line.push('}');

@@ -45,10 +45,12 @@ fn disabled_telemetry_hot_loop_allocates_nothing() {
     let c = telemetry::metrics::counter("alloc.test.counter", true);
     let g = telemetry::metrics::gauge("alloc.test.gauge", true);
     let h = telemetry::metrics::histogram("alloc.test.hist", false);
+    let s = telemetry::metrics::sketch("alloc.test.sketch", false);
     c.add(1);
     g.set(0.5);
     h.record(7);
     h.record_f64(3.5);
+    s.record(125);
 
     telemetry::set_enabled(false);
     let before = ALLOC_CALLS.load(Ordering::Relaxed);
@@ -58,6 +60,7 @@ fn disabled_telemetry_hot_loop_allocates_nothing() {
         g.set(i as f64);
         h.record(i);
         h.record_f64(i as f64 * 0.25);
+        s.record(i);
     }
     let after = ALLOC_CALLS.load(Ordering::Relaxed);
     assert_eq!(
@@ -74,6 +77,9 @@ fn disabled_telemetry_hot_loop_allocates_nothing() {
         c.add(i);
         g.set(i as f64);
         h.record(i);
+        // The serve-latency sketch records on every request; it must be
+        // pure atomics too (the ≤2% serve-overhead budget assumes it).
+        s.record(i);
     }
     let after = ALLOC_CALLS.load(Ordering::Relaxed);
     assert_eq!(

@@ -8,6 +8,7 @@
 //! msgc evaluate --data data.csv --model model.msgc
 //! msgc recommend --data data.csv --model model.msgc --user 3 --k 10
 //! msgc serve    --data data.csv --model model.msgc --addr 127.0.0.1:7878
+//! msgc top      127.0.0.1:7878
 //! msgc report   metrics.jsonl --trace trace.jsonl
 //! ```
 //!
@@ -40,7 +41,10 @@ fn usage() -> ExitCode {
          msgc recommend --data SPEC --model MODEL --user N [--k N] [--dim N] [--max-len N]\n  \
          msgc serve --data SPEC --model MODEL [--addr HOST:PORT] [--mode full|incremental] \
          [--batch-max N] [--batch-wait-us N] [--quantize none|bf16|int8] \
-         [--ann] [--ann-ef N] [--topk exact|ann] [--dim N] [--max-len N]\n  \
+         [--ann] [--ann-ef N] [--topk exact|ann] [--dim N] [--max-len N] \
+         [--trace-out FILE] [--trace-sample N] [--slo-p99-ms F] [--min-hit-rate F] \
+         [--min-recall F] [--canary-every-s N] [--canary-probes N]\n  \
+         msgc top ADDR [--interval-ms N] [--iters N]\n  \
          msgc check [--model NAME | --all] [--cost] [--determinism] [--frozen-parity] \
          [--audit-json FILE] [--inject-fault <shape|freeze|reassoc|cost|parity>]\n  \
          msgc report METRICS.jsonl [--trace TRACE.jsonl]\n\n\
@@ -96,6 +100,14 @@ const VALUE_FLAGS: &[&str] = &[
     "sampler",
     "ann-ef",
     "topk",
+    "trace-sample",
+    "slo-p99-ms",
+    "min-hit-rate",
+    "min-recall",
+    "canary-every-s",
+    "canary-probes",
+    "interval-ms",
+    "iters",
 ];
 
 #[derive(Debug)]
@@ -334,10 +346,21 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
 /// `msgc serve`: load a trained checkpoint, freeze it into the tape-free
 /// inference engine, and serve line-delimited JSON scoring requests over
 /// TCP with micro-batching across connections.
+///
+/// Observability is always on: every request feeds the `serve.latency_us`
+/// sketch and the sliding-window SLO monitors, and the socket answers
+/// read-only `{"op":"admin"}` queries (snapshot / health / prom — see
+/// `msgc top`). `--trace-out FILE` additionally emits span trees and flat
+/// `req` events for a deterministic 1-in-`--trace-sample` of requests.
+/// With `--ann`, a background canary replays `--canary-probes` synthetic
+/// histories every `--canary-every-s` seconds through both the index and
+/// the exact ranking, publishing live recall@10 (gated when `--min-recall`
+/// is set).
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use meta_sgcl_repro::nn::Freeze;
     use meta_sgcl_repro::serve::{
-        quantize_gated, server, Batcher, Engine, HnswConfig, HnswIndex, Mode, TopK,
+        canary_probes, canary_recall, quantize_gated, server, Batcher, Engine, HnswConfig,
+        HnswIndex, Mode, ObsConfig, ServeObs, SloBudgets, TopK,
     };
     use meta_sgcl_repro::tensor::QuantMode;
     use std::sync::Arc;
@@ -444,18 +467,63 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         batch_max,
         Duration::from_micros(batch_wait_us),
     ));
+
+    // Observability: tracing is opt-in (--trace-out), metering and the
+    // admin endpoint are always on.
+    let tracer = match args.get("trace-out") {
+        None => None,
+        Some(path) => Some(Arc::new(
+            meta_sgcl_repro::telemetry::trace::Tracer::to_file(path)
+                .map_err(|e| format!("--trace-out {path}: {e}"))?,
+        )),
+    };
+    let obs = ServeObs::new(ObsConfig {
+        tracer,
+        sample_every: args.get_or("trace-sample", 64)?,
+        budgets: SloBudgets {
+            p99_ms: args.get_or("slo-p99-ms", 50.0)?,
+            min_hit_rate: match args.get("min-hit-rate") {
+                None => None,
+                Some(_) => Some(args.get_or("min-hit-rate", 0.0)?),
+            },
+            min_recall: match args.get("min-recall") {
+                None => None,
+                Some(_) => Some(args.get_or("min-recall", 0.0)?),
+            },
+            ..SloBudgets::default()
+        },
+        ..ObsConfig::default()
+    });
+
+    // Background recall canary: replay deterministic probes through the
+    // ANN index and the exact ranking, publish live recall@10.
+    let canary_every_s: u64 = args.get_or("canary-every-s", 30)?;
+    if want_ann && canary_every_s > 0 {
+        let n_probes: usize = args.get_or("canary-probes", 16)?;
+        let probes = canary_probes(data.num_items, n_probes, 8, 42);
+        let engine_c = Arc::clone(&engine);
+        let obs_c = Arc::clone(&obs);
+        std::thread::spawn(move || loop {
+            if let Some(recall) = canary_recall(engine_c.as_ref(), &probes, 10) {
+                obs_c.set_canary_recall(recall);
+            }
+            std::thread::sleep(Duration::from_secs(canary_every_s));
+        });
+    }
+
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "serving {} items on {addr} (mode {mode:?}, batch-max {batch_max}, batch-wait {batch_wait_us}us, \
-         quantize {quant}, topk {default_topk:?}{})",
+         quantize {quant}, topk {default_topk:?}{}, admin endpoint on, trace sample 1/{})",
         data.num_items,
         if want_ann {
             format!(", ann ef {ann_ef}")
         } else {
             String::new()
-        }
+        },
+        obs.sample_every(),
     );
-    server::run(listener, batcher).map_err(|e| e.to_string())
+    server::run_obs(listener, batcher, Some(obs)).map_err(|e| e.to_string())
 }
 
 /// A required numeric field of a validated telemetry event (defaulting to
@@ -465,10 +533,212 @@ fn num(obj: &telemetry::json::Json, key: &str) -> f64 {
     obj.get(key).and_then(Json::as_num).unwrap_or(f64::NAN)
 }
 
+/// `msgc top ADDR`: a polling terminal dashboard over the serve admin
+/// endpoint — QPS, latency quantiles from the streaming sketch, batch
+/// occupancy, cache/ANN/cold-start traffic, and per-SLO status. Polls
+/// every `--interval-ms` (default 1000); `--iters N` renders N frames and
+/// exits (for CI), `--iters 0` (default) watches forever and redraws in
+/// place.
+fn cmd_top(addr: &str, args: &Args) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use telemetry::json::{self, Json};
+
+    let interval_ms: u64 = args.get_or("interval-ms", 1000)?;
+    let iters: u64 = args.get_or("iters", 0)?;
+
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut poll = |cmd: &str| -> Result<json::Json, String> {
+        writer
+            .write_all(format!("{{\"op\":\"admin\",\"cmd\":\"{cmd}\"}}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let obj = json::parse(line.trim()).map_err(|e| format!("bad admin reply: {e}"))?;
+        if let Some(err) = obj.get("error").and_then(Json::as_str) {
+            return Err(format!("server: {err}"));
+        }
+        Ok(obj)
+    };
+
+    // name -> metric object, from the snapshot's metrics array.
+    let find = |metrics: &[Json], name: &str| -> Option<Json> {
+        metrics
+            .iter()
+            .find(|m| m.get("name").and_then(Json::as_str) == Some(name))
+            .cloned()
+    };
+    let counter = |metrics: &[Json], name: &str| -> u64 {
+        find(metrics, name).map_or(0, |m| num(&m, "value") as u64)
+    };
+
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        let snap = poll("snapshot")?;
+        let metrics = snap
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot has no metrics array")?
+            .to_vec();
+        let slos = snap
+            .get("slos")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot has no slos array")?
+            .to_vec();
+
+        if iters == 0 {
+            print!("\x1b[2J\x1b[H"); // clear + home: redraw in place
+        }
+        println!("msgc top — {addr} (frame {frame})");
+        let qps = find(&metrics, "serve.qps").map_or(0.0, |m| num(&m, "value"));
+        let requests = counter(&metrics, "serve.requests");
+        let (batches, batch_sum) = find(&metrics, "serve.batch.size")
+            .map_or((0, 0), |m| (num(&m, "count") as u64, num(&m, "sum") as u64));
+        let occupancy = if batches > 0 {
+            batch_sum as f64 / batches as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  qps {qps:8.1}   requests {requests}   batch occupancy {occupancy:.2} over {batches} batches"
+        );
+        if let Some(lat) = find(&metrics, "serve.latency_us") {
+            println!(
+                "  latency_us  p50 {:>8.0}  p90 {:>8.0}  p99 {:>8.0}  p999 {:>8.0}  (n={})",
+                num(&lat, "p50"),
+                num(&lat, "p90"),
+                num(&lat, "p99"),
+                num(&lat, "p999"),
+                num(&lat, "count"),
+            );
+        }
+        println!(
+            "  cache hit {}  miss {}   cold starts {}   ann queries {}  fallbacks {}",
+            counter(&metrics, "serve.cache.hit"),
+            counter(&metrics, "serve.cache.miss"),
+            counter(&metrics, "serve.cold_start"),
+            counter(&metrics, "serve.ann.query"),
+            counter(&metrics, "serve.ann.fallback"),
+        );
+        if let Some(recall) = find(&metrics, "serve.canary.recall_at_10") {
+            println!("  canary recall@10 {:.4}", num(&recall, "value"));
+        }
+        println!("  SLOs:");
+        for slo in &slos {
+            let name = slo.get("name").and_then(Json::as_str).unwrap_or("?");
+            let status = slo.get("status").and_then(Json::as_str).unwrap_or("?");
+            let breached = slo
+                .get("breached_ever")
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+            let value = slo
+                .get("value")
+                .and_then(Json::as_num)
+                .map_or("--".to_string(), |v| format!("{v:.4}"));
+            println!(
+                "    {name:<20} {status:<9} value {value:>10}  threshold {:.4}{}",
+                num(slo, "threshold"),
+                if breached { "  [breached earlier]" } else { "" },
+            );
+        }
+        if iters > 0 && frame >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
+/// Aggregates serve `req` trace events: request counts per op, mean phase
+/// breakdown, and outcome-flag totals.
+#[derive(Default)]
+struct ReqAgg {
+    count: u64,
+    scores: u64,
+    appends: u64,
+    enqueue_ns: u64,
+    assemble_ns: u64,
+    forward_ns: u64,
+    retrieve_ns: u64,
+    serialize_ns: u64,
+    total_ns: u64,
+    cold: u64,
+    hits: u64,
+    ann: u64,
+    fallbacks: u64,
+}
+
+impl ReqAgg {
+    fn add(&mut self, obj: &telemetry::json::Json) {
+        use telemetry::json::Json;
+        self.count += 1;
+        match obj.get("op").and_then(Json::as_str) {
+            Some("score") => self.scores += 1,
+            Some("append") => self.appends += 1,
+            _ => {}
+        }
+        self.enqueue_ns += num(obj, "enqueue_ns") as u64;
+        self.assemble_ns += num(obj, "assemble_ns") as u64;
+        self.forward_ns += num(obj, "forward_ns") as u64;
+        self.retrieve_ns += num(obj, "retrieve_ns") as u64;
+        self.serialize_ns += num(obj, "serialize_ns") as u64;
+        self.total_ns += num(obj, "total_ns") as u64;
+        let flag = |key: &str| obj.get(key).and_then(Json::as_bool).unwrap_or(false) as u64;
+        self.cold += flag("cold_start");
+        self.hits += flag("cache_hit");
+        self.ann += flag("ann");
+        self.fallbacks += flag("ann_fallback");
+    }
+
+    fn print(&self) {
+        if self.count == 0 {
+            return;
+        }
+        println!(
+            "\nserve requests ({} sampled: {} score, {} append):",
+            self.count, self.scores, self.appends
+        );
+        let mean_ms = self.total_ns as f64 / self.count as f64 / 1e6;
+        println!("  mean sampled latency {mean_ms:.3} ms");
+        let phases = [
+            ("enqueue", self.enqueue_ns),
+            ("assemble", self.assemble_ns),
+            ("forward", self.forward_ns),
+            ("retrieve", self.retrieve_ns),
+            ("serialize", self.serialize_ns),
+        ];
+        for (name, ns) in phases {
+            let mean = ns as f64 / self.count as f64 / 1e6;
+            let frac = if self.total_ns > 0 {
+                100.0 * ns as f64 / self.total_ns as f64
+            } else {
+                0.0
+            };
+            // Batch assembly ends at the same dispatch instant the queue
+            // wait does; its share is contained in enqueue's, not added.
+            let note = if name == "assemble" {
+                "  [within enqueue]"
+            } else {
+                ""
+            };
+            println!("    {name:<10} {mean:>9.3} ms mean  ({frac:>5.1}% of total){note}");
+        }
+        println!(
+            "  outcomes: {} cold start(s), {} cache hit(s), {} ann-served, {} ann fallback(s)",
+            self.cold, self.hits, self.ann, self.fallbacks
+        );
+    }
+}
+
 /// `msgc report`: re-aggregate a metrics JSONL stream (and optionally a
 /// trace stream) into the per-term loss curves, health events, final
 /// deterministic counters, and — with `--trace` — the top wall-clock
-/// sinks by span name.
+/// sinks by span name. Serve-side streams are summarized too: sketch
+/// metrics print their quantiles, and sampled `req` events print a phase
+/// breakdown (so piping a `msgc serve --trace-out` file through either
+/// argument works).
 fn cmd_report(metrics_path: &str, args: &Args) -> Result<(), String> {
     use meta_sgcl_repro::meta_sgcl::EpochStats;
     use telemetry::json::{self, Json};
@@ -479,6 +749,8 @@ fn cmd_report(metrics_path: &str, args: &Args) -> Result<(), String> {
     let mut batches = 0usize;
     let mut health: Vec<String> = Vec::new();
     let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut sketches: Vec<String> = Vec::new();
+    let mut reqs = ReqAgg::default();
     let mut checkpoints = 0usize;
     let mut resumes = 0usize;
     for (i, line) in text.lines().enumerate() {
@@ -524,23 +796,37 @@ fn cmd_report(metrics_path: &str, args: &Args) -> Result<(), String> {
                 obj.get("message").and_then(Json::as_str).unwrap_or(""),
             )),
             Some("metric") => {
-                if let (Some(name), Some("counter")) = (
+                match (
                     obj.get("name").and_then(Json::as_str),
                     obj.get("kind").and_then(Json::as_str),
                 ) {
-                    counters.push((name.to_string(), num(&obj, "value") as u64));
+                    (Some(name), Some("counter")) => {
+                        counters.push((name.to_string(), num(&obj, "value") as u64));
+                    }
+                    (Some(name), Some("sketch")) => sketches.push(format!(
+                        "{name}: n={} p50={:.0} p90={:.0} p99={:.0} p999={:.0}",
+                        num(&obj, "count"),
+                        num(&obj, "p50"),
+                        num(&obj, "p90"),
+                        num(&obj, "p99"),
+                        num(&obj, "p999"),
+                    )),
+                    _ => {}
                 }
             }
+            Some("req") => reqs.add(&obj),
             Some("checkpoint") => checkpoints += 1,
             Some("resume") => resumes += 1,
             _ => {}
         }
     }
 
-    println!(
-        "\nloss curves ({} epochs, {batches} batch events):",
-        epochs.len()
-    );
+    if !epochs.is_empty() || batches > 0 {
+        println!(
+            "\nloss curves ({} epochs, {batches} batch events):",
+            epochs.len()
+        );
+    }
     for (stats, n) in &epochs {
         println!("  {stats} [{n} batches]");
     }
@@ -548,7 +834,9 @@ fn cmd_report(metrics_path: &str, args: &Args) -> Result<(), String> {
         println!("\ncheckpoints committed: {checkpoints}, resumes: {resumes}");
     }
     if health.is_empty() {
-        println!("\nhealth: no detector fired");
+        if !epochs.is_empty() || batches > 0 {
+            println!("\nhealth: no detector fired");
+        }
     } else {
         println!("\nhealth events:");
         for h in &health {
@@ -561,24 +849,37 @@ fn cmd_report(metrics_path: &str, args: &Args) -> Result<(), String> {
             println!("  {name} = {value}");
         }
     }
+    if !sketches.is_empty() {
+        println!("\nlatency sketches:");
+        for s in &sketches {
+            println!("  {s}");
+        }
+    }
+    reqs.print();
 
     if let Some(trace_path) = args.get("trace") {
         let text = std::fs::read_to_string(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
         // name -> (total ns, span count)
         let mut sinks: HashMap<String, (u64, u64)> = HashMap::new();
+        let mut trace_reqs = ReqAgg::default();
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             schema::validate_line(line).map_err(|e| format!("{trace_path}:{}: {e}", i + 1))?;
             let obj = json::parse(line).map_err(|e| e.to_string())?;
-            if obj.get("ev").and_then(Json::as_str) == Some("span") {
-                let name = obj.get("name").and_then(Json::as_str).unwrap_or("?");
-                let e = sinks.entry(name.to_string()).or_insert((0, 0));
-                e.0 += num(&obj, "dur_ns") as u64;
-                e.1 += 1;
+            match obj.get("ev").and_then(Json::as_str) {
+                Some("span") => {
+                    let name = obj.get("name").and_then(Json::as_str).unwrap_or("?");
+                    let e = sinks.entry(name.to_string()).or_insert((0, 0));
+                    e.0 += num(&obj, "dur_ns") as u64;
+                    e.1 += 1;
+                }
+                Some("req") => trace_reqs.add(&obj),
+                _ => {}
             }
         }
+        trace_reqs.print();
         let mut sinks: Vec<(String, (u64, u64))> = sinks.into_iter().collect();
         sinks.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
         println!("\ntop time sinks (by total span wall-clock):");
@@ -730,12 +1031,16 @@ fn main() -> ExitCode {
     let Some(cmd) = argv.first() else {
         return usage();
     };
-    // `report` takes its input file as the one positional argument the CLI
-    // accepts: `msgc report metrics.jsonl [--trace trace.jsonl]`.
+    // `report` and `top` take one positional argument: the metrics JSONL
+    // file and the server address respectively.
     let (positional, rest) = match (cmd.as_str(), argv.get(1)) {
-        ("report", Some(a)) if !a.starts_with("--") => (Some(a.as_str()), &argv[2..]),
+        ("report" | "top", Some(a)) if !a.starts_with("--") => (Some(a.as_str()), &argv[2..]),
         ("report", _) => {
             eprintln!("error: report requires a metrics JSONL file");
+            return usage();
+        }
+        ("top", _) => {
+            eprintln!("error: top requires a server address (HOST:PORT)");
             return usage();
         }
         _ => (None, &argv[1..]),
@@ -754,6 +1059,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&args),
         "recommend" => cmd_recommend(&args),
         "serve" => cmd_serve(&args),
+        "top" => cmd_top(positional.unwrap_or_default(), &args),
         "check" => cmd_check(&args),
         "report" => cmd_report(positional.unwrap_or_default(), &args),
         _ => return usage(),

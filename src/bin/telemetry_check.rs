@@ -2,18 +2,29 @@
 //!
 //! ```text
 //! telemetry_check metrics.jsonl trace.jsonl
+//! telemetry_check --admin-snapshot snapshot.jsonl
+//! telemetry_check --bench10 BENCH_10.json
 //! ```
 //!
-//! Validates every line of each file against the documented event schema
-//! (DESIGN.md §10) via [`telemetry::schema::validate_stream`], prints
-//! per-kind event counts, and exits non-zero on the first malformed line —
-//! the CI `telemetry-smoke` job runs it over freshly produced streams.
+//! The default mode validates every line of each file against the
+//! documented event schema (DESIGN.md §10/§15) via
+//! [`telemetry::schema::validate_stream`], prints per-kind event counts,
+//! and exits non-zero on the first malformed line — the CI
+//! `telemetry-smoke` job runs it over freshly produced streams.
+//!
+//! `--admin-snapshot FILE` validates a serve admin snapshot line
+//! (name-sorted metrics + SLO states); `--bench10 FILE` validates a
+//! `BENCH_10.json` observability-bench report. Both are used by the CI
+//! `obs-smoke` job. Modes may be mixed freely on one command line; each
+//! mode flag applies to the files after it.
 
 use std::process::ExitCode;
 
-use meta_sgcl_repro::telemetry::schema::validate_stream;
+use meta_sgcl_repro::telemetry::schema::{
+    validate_admin_snapshot, validate_bench10, validate_stream,
+};
 
-fn check_file(path: &str) -> Result<(), String> {
+fn check_stream(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let counts = validate_stream(&text).map_err(|e| format!("{path}: {e}"))?;
     let total: usize = counts.iter().map(|(_, n)| n).sum();
@@ -24,18 +35,54 @@ fn check_file(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn check_admin_snapshot(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let line = text
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| format!("{path}: empty"))?;
+    let (metrics, slos) = validate_admin_snapshot(line).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: admin snapshot OK ({metrics} metrics, {slos} SLO states)");
+    Ok(())
+}
+
+fn check_bench10(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    validate_bench10(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("{path}: BENCH_10 report OK");
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    if files.is_empty() {
-        eprintln!("usage: telemetry_check FILE.jsonl [FILE.jsonl ...]");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!(
+            "usage: telemetry_check [--admin-snapshot | --bench10 | --stream] FILE [FILE ...]"
+        );
         return ExitCode::from(2);
     }
+    let mut mode = "--stream";
+    let mut checked = 0usize;
     let mut failed = false;
-    for path in &files {
-        if let Err(e) = check_file(path) {
+    for arg in &argv {
+        if let "--stream" | "--admin-snapshot" | "--bench10" = arg.as_str() {
+            mode = arg;
+            continue;
+        }
+        checked += 1;
+        let result = match mode {
+            "--admin-snapshot" => check_admin_snapshot(arg),
+            "--bench10" => check_bench10(arg),
+            _ => check_stream(arg),
+        };
+        if let Err(e) = result {
             eprintln!("error: {e}");
             failed = true;
         }
+    }
+    if checked == 0 {
+        eprintln!("error: no files given");
+        failed = true;
     }
     if failed {
         ExitCode::FAILURE
